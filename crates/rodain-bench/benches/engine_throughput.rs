@@ -1,0 +1,89 @@
+//! Real-engine commit throughput: volatile vs mirrored (in-process link).
+//!
+//! This is the laptop-scale analogue of the paper's headline: how much a
+//! commit costs when it must wait for a mirror acknowledgement instead of
+//! nothing (volatile) — the number to compare against a synchronous disk
+//! flush (see the COMMITPATH experiment for that contrast).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rodain_db::{MirrorLossPolicy, Rodain, TxnOptions};
+use rodain_net::InProcTransport;
+use rodain_node::{MirrorConfig, MirrorNode};
+use rodain_store::{ObjectId, Store, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn volatile_engine() -> Rodain {
+    let db = Rodain::builder().workers(2).build().unwrap();
+    for i in 0..10_000u64 {
+        db.load_initial(ObjectId(i), Value::Int(0));
+    }
+    db
+}
+
+fn mirrored_engine() -> (Rodain, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let (primary_side, mirror_side) = InProcTransport::pair();
+    let store = Arc::new(Store::new());
+    let mut mirror = MirrorNode::new(store, Arc::new(mirror_side), None, MirrorConfig::default());
+    let shutdown = mirror.shutdown_handle();
+    let handle = std::thread::spawn(move || {
+        mirror.join().unwrap();
+        mirror.run();
+    });
+    let db = Rodain::builder()
+        .workers(2)
+        .mirror(Arc::new(primary_side), MirrorLossPolicy::ContinueVolatile)
+        .build()
+        .unwrap();
+    for i in 0..10_000u64 {
+        db.load_initial(ObjectId(i), Value::Int(0));
+    }
+    (db, shutdown, handle)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine-commit");
+    group.throughput(Throughput::Elements(1));
+    group.sample_size(30);
+
+    {
+        let db = volatile_engine();
+        let mut i = 0u64;
+        group.bench_function("update_volatile", |b| {
+            b.iter(|| {
+                i += 1;
+                db.execute(TxnOptions::soft_ms(1_000), move |ctx| {
+                    let oid = ObjectId(i % 10_000);
+                    let v = ctx.read(oid)?.unwrap().as_int().unwrap();
+                    ctx.write(oid, Value::Int(v + 1))?;
+                    Ok(None)
+                })
+                .unwrap()
+            })
+        });
+    }
+
+    {
+        let (db, shutdown, handle) = mirrored_engine();
+        let mut i = 0u64;
+        group.bench_function("update_mirrored", |b| {
+            b.iter(|| {
+                i += 1;
+                db.execute(TxnOptions::soft_ms(1_000), move |ctx| {
+                    let oid = ObjectId(i % 10_000);
+                    let v = ctx.read(oid)?.unwrap().as_int().unwrap();
+                    ctx.write(oid, Value::Int(v + 1))?;
+                    Ok(None)
+                })
+                .unwrap()
+            })
+        });
+        drop(db);
+        shutdown.store(true, Ordering::Release);
+        let _ = handle.join();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

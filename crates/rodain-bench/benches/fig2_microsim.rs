@@ -1,0 +1,31 @@
+//! Criterion wrapper around the Fig 2 configurations: one reduced session
+//! per commit-path configuration. Useful both as a performance regression
+//! guard on the simulator and as a quick sanity check that the 1-node-disk
+//! configuration stays the slow one.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rodain_sim::{run_session, DiskMode, SimConfig};
+use rodain_workload::WorkloadSpec;
+
+fn bench_fig2_sessions(c: &mut Criterion) {
+    let spec = WorkloadSpec {
+        count: 1_000,
+        arrival_rate_tps: 200.0,
+        write_fraction: 0.5,
+        ..WorkloadSpec::default()
+    };
+    let mut group = c.benchmark_group("fig2-session-1000txn");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("1-node-disk", SimConfig::single_node(DiskMode::On)),
+        ("2-node-disk", SimConfig::two_node(DiskMode::On)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_session(cfg, &spec)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_sessions);
+criterion_main!(benches);

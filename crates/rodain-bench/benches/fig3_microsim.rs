@@ -1,0 +1,29 @@
+//! Criterion wrapper around the Fig 3 (disk-off) configurations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rodain_sim::{run_session, DiskMode, SimConfig};
+use rodain_workload::WorkloadSpec;
+
+fn bench_fig3_sessions(c: &mut Criterion) {
+    let spec = WorkloadSpec {
+        count: 1_000,
+        arrival_rate_tps: 250.0,
+        write_fraction: 0.2,
+        ..WorkloadSpec::default()
+    };
+    let mut group = c.benchmark_group("fig3-session-1000txn");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("no-logs", SimConfig::no_logs()),
+        ("1-node-nodisk", SimConfig::single_node(DiskMode::Off)),
+        ("2-node-nodisk", SimConfig::two_node(DiskMode::Off)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_session(cfg, &spec)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_sessions);
+criterion_main!(benches);

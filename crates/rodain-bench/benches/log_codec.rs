@@ -1,0 +1,72 @@
+//! Log record encode/decode throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rodain_log::{encode_record, FrameDecoder, LogRecord, Lsn, RecordKind};
+use rodain_occ::Csn;
+use rodain_store::{ObjectId, Ts, TxnId, Value};
+
+fn sample_write(i: u64) -> LogRecord {
+    LogRecord {
+        lsn: Lsn(i),
+        txn: TxnId(i / 3),
+        kind: RecordKind::Write {
+            oid: ObjectId(i % 30_000),
+            image: Value::Record(vec![
+                Value::Text(format!("+358-40-{i:07}")),
+                Value::Int(3),
+                Value::Int(i as i64),
+            ]),
+        },
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log-codec");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("encode_write", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(encode_record(&sample_write(i)))
+        })
+    });
+
+    group.bench_function("encode_commit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(encode_record(&LogRecord {
+                lsn: Lsn(i),
+                txn: TxnId(i),
+                kind: RecordKind::Commit {
+                    csn: Csn(i),
+                    ser_ts: Ts(i << 20),
+                    n_writes: 2,
+                },
+            }))
+        })
+    });
+
+    let frames: Vec<_> = (0..1_000u64)
+        .map(|i| encode_record(&sample_write(i)))
+        .collect();
+    let stream: Vec<u8> = frames.iter().flat_map(|f| f.to_vec()).collect();
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("decode_stream_1000", |b| {
+        b.iter(|| {
+            let mut dec = FrameDecoder::new();
+            dec.feed(&stream);
+            let mut n = 0;
+            while let Ok(Some(rec)) = dec.next_record() {
+                black_box(&rec);
+                n += 1;
+            }
+            assert_eq!(n, 1_000);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

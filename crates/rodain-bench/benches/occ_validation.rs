@@ -1,0 +1,44 @@
+//! Validation throughput of every concurrency-control protocol.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rodain_occ::{make_controller, CcPriority, Protocol};
+use rodain_store::{ObjectId, Store, Ts, TxnId, Value, Workspace};
+
+fn bench_validation(c: &mut Criterion) {
+    let store = Store::new();
+    for i in 0..10_000u64 {
+        store.load_initial(ObjectId(i), Value::Int(0));
+    }
+    let mut group = c.benchmark_group("occ-validate");
+    for protocol in Protocol::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("read4_write2", protocol.name()),
+            &protocol,
+            |b, &protocol| {
+                let cc = make_controller(protocol);
+                let mut txn = 0u64;
+                b.iter(|| {
+                    txn += 1;
+                    let id = TxnId(txn);
+                    cc.begin(id, CcPriority(txn));
+                    let mut ws = Workspace::new(id);
+                    for k in 0..4u64 {
+                        let oid = ObjectId((txn * 13 + k * 997) % 10_000);
+                        let observed = store.version(oid).map(|(w, _)| w).unwrap_or(Ts::ZERO);
+                        cc.on_read(id, oid, observed);
+                        ws.read(&store, oid);
+                        if k < 2 {
+                            cc.on_write(id, oid, &store);
+                            ws.write(oid, Value::Int(txn as i64));
+                        }
+                    }
+                    black_box(cc.validate(&ws, &store))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Mirror-side reorder buffer throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rodain_log::{LogRecord, Lsn, RecordKind, ReorderBuffer};
+use rodain_occ::Csn;
+use rodain_store::{ObjectId, Ts, TxnId, Value};
+
+/// An interleaved stream: 2 writes + 1 commit per txn, two txns in flight.
+fn interleaved_stream(txns: u64) -> Vec<LogRecord> {
+    let mut out = Vec::with_capacity(txns as usize * 3);
+    let mut lsn = 0u64;
+    let mut push = |txn: u64, kind: RecordKind, lsn: &mut u64| {
+        *lsn += 1;
+        out.push(LogRecord {
+            lsn: Lsn(*lsn),
+            txn: TxnId(txn),
+            kind,
+        });
+    };
+    for pair in 0..txns / 2 {
+        let a = pair * 2 + 1;
+        let b = pair * 2 + 2;
+        for (t, k) in [(a, 0u64), (b, 0), (a, 1), (b, 1)] {
+            push(
+                t,
+                RecordKind::Write {
+                    oid: ObjectId(t * 10 + k),
+                    image: Value::Int(k as i64),
+                },
+                &mut lsn,
+            );
+        }
+        for t in [a, b] {
+            push(
+                t,
+                RecordKind::Commit {
+                    csn: Csn(t),
+                    ser_ts: Ts(t << 20),
+                    n_writes: 2,
+                },
+                &mut lsn,
+            );
+        }
+    }
+    out
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    let stream = interleaved_stream(2_000);
+    let mut group = c.benchmark_group("reorder-buffer");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("ingest_drain_2000txn", |b| {
+        b.iter(|| {
+            let mut rb = ReorderBuffer::new();
+            let mut applied = 0u64;
+            for rec in &stream {
+                let _ = rb.ingest(rec.clone()).unwrap();
+                for committed in rb.drain_ready() {
+                    applied += committed.writes.len() as u64;
+                }
+            }
+            black_box(applied)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reorder);
+criterion_main!(benches);

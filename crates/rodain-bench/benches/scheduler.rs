@@ -1,0 +1,51 @@
+//! Scheduler substrate microbenchmarks: EDF queue and admission.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rodain_sched::{
+    ActiveSet, OverloadConfig, OverloadManager, ReadyQueue, ReservationConfig, TaskMeta,
+};
+use rodain_store::TxnId;
+
+fn bench_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("edf_push_pop", |b| {
+        let mut queue = ReadyQueue::new(ReservationConfig::default());
+        let mut i = 0u64;
+        let mut expired = Vec::new();
+        // Keep ~64 tasks resident.
+        for k in 0..64u64 {
+            queue.push(TaskMeta::firm(TxnId(k), k, 50_000_000, 1_000));
+        }
+        b.iter(|| {
+            i += 1;
+            queue.push(TaskMeta::firm(
+                TxnId(i + 64),
+                i,
+                (i * 7919) % 100_000_000,
+                1_000,
+            ));
+            black_box(queue.pop(i, &mut expired));
+            expired.clear();
+        })
+    });
+
+    group.bench_function("admission_decision", |b| {
+        let mut manager = OverloadManager::new(OverloadConfig::default());
+        let mut active = ActiveSet::new();
+        for k in 0..50u64 {
+            active.insert(TaskMeta::firm(TxnId(k), 0, 50_000_000 + k, 1_000));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let arriving = TaskMeta::firm(TxnId(1_000 + i), i, (i * 31) % 80_000_000, 1_000);
+            black_box(manager.admit(i, &arriving, &active))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

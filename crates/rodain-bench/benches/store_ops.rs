@@ -1,0 +1,70 @@
+//! Microbenchmarks of the main-memory store substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rodain_store::{ObjectId, Store, Ts, TxnId, Value, Workspace};
+
+fn populated(n: u64) -> Store {
+    let store = Store::new();
+    for i in 0..n {
+        store.load_initial(
+            ObjectId(i),
+            Value::Record(vec![
+                Value::Text(format!("+358-9-{i:07}")),
+                Value::Int(0),
+                Value::Int(0),
+            ]),
+        );
+    }
+    store
+}
+
+fn bench_store(c: &mut Criterion) {
+    let store = populated(30_000);
+    let mut group = c.benchmark_group("store");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("read", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 30_000;
+            black_box(store.read(ObjectId(i)))
+        })
+    });
+
+    group.bench_function("version", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 30_000;
+            black_box(store.version(ObjectId(i)))
+        })
+    });
+
+    group.bench_function("install", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            store.install(ObjectId(i % 30_000), Value::Int(i as i64), Ts(i));
+        })
+    });
+
+    group.bench_function("workspace_read_write", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut ws = Workspace::new(TxnId(i));
+            let v = ws.read(&store, ObjectId(i % 30_000));
+            ws.write(ObjectId(i % 30_000), v.unwrap_or(Value::Null));
+            black_box(ws.write_count())
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("store-bulk");
+    group.throughput(Throughput::Elements(30_000));
+    group.sample_size(20);
+    group.bench_function("snapshot_30k", |b| b.iter(|| black_box(store.snapshot())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Run every experiment in sequence, writing all CSVs.
+//!
+//! `cargo run -p rodain-bench --release --bin all_experiments [-- --quick]`
+
+use rodain_bench::experiments::{
+    cc_ablation, commit_path, fig2_panel_a, fig2_panel_b, fig3, overload_limit, reservation,
+    saturation, takeover, SweepOptions,
+};
+use rodain_bench::report::Table;
+
+fn main() {
+    let opts = SweepOptions::from_args();
+    let started = std::time::Instant::now();
+    let run = |name: &str, table: Table| {
+        table.print();
+        println!("csv: {:?}\n", table.write_csv(name).unwrap());
+    };
+    run("fig2a", fig2_panel_a(opts));
+    run("fig2b", fig2_panel_b(opts));
+    run("fig3a", fig3(0.0, opts));
+    run("fig3b", fig3(0.2, opts));
+    run("fig3c", fig3(0.8, opts));
+    run("takeover", takeover(opts));
+    run("saturation", saturation(opts));
+    run("cc_ablation", cc_ablation(opts));
+    run("commit_path", commit_path(opts));
+    run("overload_limit", overload_limit(opts));
+    run("reservation", reservation(opts));
+    // REALENGINE is deliberately NOT part of the suite: it measures
+    // wall-clock behaviour and needs an otherwise idle machine. Run it
+    // standalone: `cargo run -p rodain-bench --release --bin real_engine`.
+    println!("all experiments finished in {:?}", started.elapsed());
+}

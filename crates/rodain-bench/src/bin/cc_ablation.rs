@@ -1,0 +1,12 @@
+//! CCABLATE: the concurrency-control family under hotspot contention —
+//! OCC-DATI vs OCC-TI vs OCC-DA vs OCC-BC vs 2PL-HP.
+//!
+//! `cargo run -p rodain-bench --release --bin cc_ablation [-- --quick]`
+
+use rodain_bench::experiments::{cc_ablation, SweepOptions};
+
+fn main() {
+    let table = cc_ablation(SweepOptions::from_args());
+    table.print();
+    println!("csv: {:?}", table.write_csv("cc_ablation").unwrap());
+}

@@ -1,0 +1,12 @@
+//! COMMITPATH: commit-latency breakdown per durability path, including the
+//! group-commit ablation of the single-node disk configuration.
+//!
+//! `cargo run -p rodain-bench --release --bin commit_path [-- --quick]`
+
+use rodain_bench::experiments::{commit_path, SweepOptions};
+
+fn main() {
+    let table = commit_path(SweepOptions::from_args());
+    table.print();
+    println!("csv: {:?}", table.write_csv("commit_path").unwrap());
+}

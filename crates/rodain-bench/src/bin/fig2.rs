@@ -1,0 +1,24 @@
+//! Regenerate Fig 2: normal mode (Primary + Mirror) vs transient mode
+//! (single node) with true log writes.
+//!
+//! `cargo run -p rodain-bench --release --bin fig2 [-- --panel a|b|all] [--quick]`
+
+use rodain_bench::experiments::{fig2_panel_a, fig2_panel_b, SweepOptions};
+
+fn main() {
+    let opts = SweepOptions::from_args();
+    let panel = std::env::args()
+        .skip_while(|a| a != "--panel")
+        .nth(1)
+        .unwrap_or_else(|| "all".into());
+    if panel == "a" || panel == "all" {
+        let table = fig2_panel_a(opts);
+        table.print();
+        println!("csv: {:?}\n", table.write_csv("fig2a").unwrap());
+    }
+    if panel == "b" || panel == "all" {
+        let table = fig2_panel_b(opts);
+        table.print();
+        println!("csv: {:?}", table.write_csv("fig2b").unwrap());
+    }
+}

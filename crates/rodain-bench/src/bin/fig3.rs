@@ -1,0 +1,24 @@
+//! Regenerate Fig 3: optimal (no logs) vs single node vs two nodes with
+//! disk writing turned off, at write ratios 0 % / 20 % / 80 %.
+//!
+//! `cargo run -p rodain-bench --release --bin fig3 [-- --write-ratio 0.2] [--quick]`
+
+use rodain_bench::experiments::{fig3, SweepOptions};
+
+fn main() {
+    let opts = SweepOptions::from_args();
+    let ratio_arg: Option<f64> = std::env::args()
+        .skip_while(|a| a != "--write-ratio")
+        .nth(1)
+        .and_then(|s| s.parse().ok());
+    let ratios: Vec<(char, f64)> = match ratio_arg {
+        Some(r) => vec![('x', r)],
+        None => vec![('a', 0.0), ('b', 0.2), ('c', 0.8)],
+    };
+    for (panel, ratio) in ratios {
+        let table = fig3(ratio, opts);
+        table.print();
+        let stem = format!("fig3{panel}");
+        println!("csv: {:?}\n", table.write_csv(&stem).unwrap());
+    }
+}

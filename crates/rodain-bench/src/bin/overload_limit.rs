@@ -1,0 +1,11 @@
+//! OVERLOAD: ablation of the overload manager's active-transaction limit.
+//!
+//! `cargo run -p rodain-bench --release --bin overload_limit [-- --quick]`
+
+use rodain_bench::experiments::{overload_limit, SweepOptions};
+
+fn main() {
+    let table = overload_limit(SweepOptions::from_args());
+    table.print();
+    println!("csv: {:?}", table.write_csv("overload_limit").unwrap());
+}

@@ -1,0 +1,12 @@
+//! REALENGINE: the Fig 3 saturation sweep run on the real threaded engine
+//! (wall-clock, this machine) as a cross-check of the simulator's shapes.
+//!
+//! `cargo run -p rodain-bench --release --bin real_engine [-- --count N]`
+
+use rodain_bench::experiments::{real_engine, SweepOptions};
+
+fn main() {
+    let table = real_engine(SweepOptions::from_args());
+    table.print();
+    println!("csv: {:?}", table.write_csv("real_engine").unwrap());
+}

@@ -1,0 +1,12 @@
+//! RESERVATION: ablation of the non-real-time execution-time reservation
+//! in the modified EDF scheduler.
+//!
+//! `cargo run -p rodain-bench --release --bin reservation [-- --quick]`
+
+use rodain_bench::experiments::{reservation, SweepOptions};
+
+fn main() {
+    let table = reservation(SweepOptions::from_args());
+    table.print();
+    println!("csv: {:?}", table.write_csv("reservation").unwrap());
+}

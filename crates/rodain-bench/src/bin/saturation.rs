@@ -1,0 +1,12 @@
+//! SATURATION experiment: where the knee sits and what kills transactions
+//! there (the paper: mostly the overload manager).
+//!
+//! `cargo run -p rodain-bench --release --bin saturation [-- --quick]`
+
+use rodain_bench::experiments::{saturation, SweepOptions};
+
+fn main() {
+    let table = saturation(SweepOptions::from_args());
+    table.print();
+    println!("csv: {:?}", table.write_csv("saturation").unwrap());
+}

@@ -1,0 +1,12 @@
+//! TAKEOVER experiment: availability after a primary failure — mirror
+//! takeover vs reboot-and-replay disk recovery.
+//!
+//! `cargo run -p rodain-bench --release --bin takeover [-- --quick]`
+
+use rodain_bench::experiments::{takeover, SweepOptions};
+
+fn main() {
+    let table = takeover(SweepOptions::from_args());
+    table.print();
+    println!("csv: {:?}", table.write_csv("takeover").unwrap());
+}

@@ -1,0 +1,128 @@
+//! Table formatting and CSV emission for experiment output.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple experiment result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Human-readable title (figure/panel identification).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as aligned markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("### {}\n\n", self.title);
+        let fmt_row = |cells: &[String]| {
+            let body: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect();
+            format!("| {} |\n", body.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.columns));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |\n", sep.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+
+    /// Write as CSV into the output directory; returns the path.
+    pub fn write_csv(&self, file_stem: &str) -> std::io::Result<PathBuf> {
+        let dir = out_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{file_stem}.csv"));
+        let mut file = std::fs::File::create(&path)?;
+        writeln!(file, "# {}", self.title)?;
+        writeln!(file, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            writeln!(file, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Where CSVs land (`RODAIN_OUT` env override, default `experiments-out/`).
+#[must_use]
+pub fn out_dir() -> PathBuf {
+    std::env::var_os("RODAIN_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("experiments-out"))
+}
+
+/// Format a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Format nanoseconds as milliseconds with two decimals.
+#[must_use]
+pub fn ms(ns: f64) -> String {
+    format!("{:.2}", ns / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("Demo", &["tps", "miss %"]);
+        t.push(vec!["100".into(), "0.0".into()]);
+        t.push(vec!["4000".into(), "12.5".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("|  tps | miss % |"));
+        assert!(md.contains("| 4000 |   12.5 |"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.3");
+        assert_eq!(ms(1_500_000.0), "1.50");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,166 @@
+//! The transaction execution context handed to user closures.
+
+use crate::error::TxnAbort;
+use rodain_occ::{AccessDecision, ConcurrencyController};
+use rodain_store::{ObjectId, Store, TxnId, Value, Workspace};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a 2PL lock wait sleeps between retries.
+const BLOCK_RETRY: Duration = Duration::from_micros(50);
+
+/// Per-transaction liveness flags shared with the engine.
+pub(crate) struct TxnFlags {
+    /// Set when the overload manager evicts this transaction.
+    pub evicted: AtomicBool,
+}
+
+impl TxnFlags {
+    pub(crate) fn new() -> Arc<TxnFlags> {
+        Arc::new(TxnFlags {
+            evicted: AtomicBool::new(false),
+        })
+    }
+}
+
+/// Why the context refused to continue (engine-internal).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum CtxStop {
+    Evicted,
+    DeadlineExpired,
+    Doomed,
+    Shutdown,
+}
+
+/// The handle a transaction closure uses to access the database.
+///
+/// Reads honour the transaction's own deferred writes; writes are buffered
+/// privately and installed only if validation accepts the transaction
+/// (the paper's deferred-write design — an abort simply discards the
+/// workspace). Every accessor may return [`TxnAbort`]; propagate it with
+/// `?` so the engine can restart or abort the transaction.
+pub struct TxnCtx<'a> {
+    pub(crate) id: TxnId,
+    pub(crate) ws: &'a mut Workspace,
+    pub(crate) store: &'a Store,
+    pub(crate) cc: &'a dyn ConcurrencyController,
+    pub(crate) flags: &'a TxnFlags,
+    pub(crate) shutdown: &'a AtomicBool,
+    /// Absolute firm deadline in engine nanos; `None` = soft/non-RT.
+    pub(crate) firm_deadline_ns: Option<u64>,
+    pub(crate) now_ns: &'a dyn Fn() -> u64,
+    pub(crate) stop: Option<CtxStop>,
+    pub(crate) blocks: u64,
+}
+
+impl<'a> TxnCtx<'a> {
+    /// This transaction's id.
+    #[must_use]
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Objects read from committed state so far.
+    #[must_use]
+    pub fn read_count(&self) -> usize {
+        self.ws.read_count()
+    }
+
+    /// Objects written so far.
+    #[must_use]
+    pub fn write_count(&self) -> usize {
+        self.ws.write_count()
+    }
+
+    fn check_alive(&mut self) -> Result<(), TxnAbort> {
+        if self.shutdown.load(Ordering::Acquire) {
+            self.stop = Some(CtxStop::Shutdown);
+            return Err(TxnAbort::SILENT);
+        }
+        if self.flags.evicted.load(Ordering::Acquire) {
+            self.stop = Some(CtxStop::Evicted);
+            return Err(TxnAbort::SILENT);
+        }
+        if let Some(deadline) = self.firm_deadline_ns {
+            if (self.now_ns)() > deadline {
+                self.stop = Some(CtxStop::DeadlineExpired);
+                return Err(TxnAbort::SILENT);
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_decision(
+        &mut self,
+        mut decide: impl FnMut() -> AccessDecision,
+    ) -> Result<(), TxnAbort> {
+        loop {
+            match decide() {
+                AccessDecision::Proceed => return Ok(()),
+                AccessDecision::Restart(_) => {
+                    self.stop = Some(CtxStop::Doomed);
+                    return Err(TxnAbort::SILENT);
+                }
+                AccessDecision::Block { .. } => {
+                    // 2PL lock wait: cooperative retry with liveness checks.
+                    self.blocks += 1;
+                    self.check_alive()?;
+                    if self.cc.doomed(self.id).is_some() {
+                        self.stop = Some(CtxStop::Doomed);
+                        return Err(TxnAbort::SILENT);
+                    }
+                    std::thread::sleep(BLOCK_RETRY);
+                }
+            }
+        }
+    }
+
+    /// Read `oid`. Returns `None` when the object does not exist (or this
+    /// transaction deleted it).
+    pub fn read(&mut self, oid: ObjectId) -> Result<Option<Value>, TxnAbort> {
+        self.check_alive()?;
+        if self.ws.has_written(oid) {
+            // Read-your-writes needs no controller involvement.
+            return Ok(self.ws.read(self.store, oid));
+        }
+        // One consistent committed lookup for both the hook and the value.
+        let committed = self.store.read(oid);
+        let observed_wts = committed.as_ref().map(|(_, wts)| *wts).unwrap_or_default();
+        let (cc, id) = (self.cc, self.id);
+        self.handle_decision(|| cc.on_read(id, oid, observed_wts))?;
+        match committed {
+            Some((value, wts)) => {
+                self.ws.note_read(oid, wts, true);
+                Ok(Some(value))
+            }
+            None => {
+                self.ws.note_read(oid, rodain_store::Ts::ZERO, false);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Buffer a deferred write of `value` to `oid`. Writing
+    /// [`Value::Null`] deletes the object at commit.
+    pub fn write(&mut self, oid: ObjectId, value: Value) -> Result<(), TxnAbort> {
+        self.check_alive()?;
+        let (cc, id, store) = (self.cc, self.id, self.store);
+        self.handle_decision(|| cc.on_write(id, oid, store))?;
+        self.ws.write(oid, value);
+        Ok(())
+    }
+
+    /// Delete `oid` at commit.
+    pub fn delete(&mut self, oid: ObjectId) -> Result<(), TxnAbort> {
+        self.write(oid, Value::Null)
+    }
+
+    /// Abort the transaction with a user-visible message. The engine will
+    /// not restart it.
+    pub fn abort(&mut self, message: impl Into<String>) -> TxnAbort {
+        TxnAbort {
+            user_message: Some(message.into()),
+        }
+    }
+}

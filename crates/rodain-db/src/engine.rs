@@ -1,0 +1,952 @@
+//! The engine: builder, submission, worker pool, commit pipeline.
+
+use crate::ctx::{CtxStop, TxnCtx, TxnFlags};
+use crate::error::{TxnAbort, TxnError};
+use crate::options::{MirrorLossPolicy, TxnOptions};
+use crate::replicate::{MirrorLink, ReplicationMode, Replicator};
+use crate::stats::{Counters, EngineStats, TxnReceipt};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+use rodain_log::RecordBuilder;
+use rodain_net::Transport;
+use rodain_node::Message;
+use rodain_occ::{make_controller, CcPriority, ConcurrencyController, Csn, Protocol};
+use rodain_sched::{
+    ActiveSet, Admission, OverloadConfig, OverloadManager, ReadyQueue, ReservationConfig, TaskMeta,
+    TxnClass,
+};
+use rodain_store::{ObjectId, Snapshot, Store, TxnId, Value, Workspace};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Longest a committed transaction waits for its durability gate before
+/// reporting a replication failure.
+const COMMIT_GATE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long the join handshake waits for a mirror's `JoinRequest`.
+const JOIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Objects per snapshot-transfer chunk.
+const SNAPSHOT_CHUNK: usize = 2_048;
+
+type BoxClosure = Box<dyn FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send>;
+
+struct Job {
+    closure: BoxClosure,
+    reply: Sender<Result<TxnReceipt, TxnError>>,
+    meta: TaskMeta,
+    flags: Arc<TxnFlags>,
+}
+
+struct SchedCore {
+    ready: ReadyQueue,
+    active: ActiveSet,
+    overload: OverloadManager,
+    jobs: HashMap<TxnId, Job>,
+    flags: HashMap<TxnId, Arc<TxnFlags>>,
+    next_id: u64,
+}
+
+struct Engine {
+    store: Arc<Store>,
+    cc: Arc<dyn ConcurrencyController>,
+    sched: Mutex<SchedCore>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    epoch: Instant,
+    counters: Counters,
+    replicator: RwLock<Replicator>,
+    commit_gate: RwLock<()>,
+    last_csn: AtomicU64,
+    builder: RecordBuilder,
+    protocol: Protocol,
+}
+
+impl Engine {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// Builder for a [`Rodain`] engine.
+pub struct RodainBuilder {
+    protocol: Protocol,
+    workers: usize,
+    overload: OverloadConfig,
+    reservation: ReservationConfig,
+    store: Option<Arc<Store>>,
+    durability: Durability,
+}
+
+enum Durability {
+    Volatile,
+    Contingency(std::path::PathBuf),
+    Mirror {
+        transport: Arc<dyn Transport>,
+        policy: MirrorLossPolicy,
+    },
+}
+
+impl RodainBuilder {
+    fn new() -> Self {
+        RodainBuilder {
+            protocol: Protocol::OccDati,
+            workers: 4,
+            overload: OverloadConfig::default(),
+            reservation: ReservationConfig::default(),
+            store: None,
+            durability: Durability::Volatile,
+        }
+    }
+
+    /// Concurrency-control protocol (default: the paper's OCC-DATI).
+    #[must_use]
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Number of executor threads (default 4).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overload-manager settings (active-transaction limit etc.).
+    #[must_use]
+    pub fn overload(mut self, cfg: OverloadConfig) -> Self {
+        self.overload = cfg;
+        self
+    }
+
+    /// Non-real-time reservation settings.
+    #[must_use]
+    pub fn reservation(mut self, cfg: ReservationConfig) -> Self {
+        self.reservation = cfg;
+        self
+    }
+
+    /// Start from an existing store (e.g. a promoted mirror's copy or a
+    /// disk-recovered state) instead of an empty database.
+    #[must_use]
+    pub fn store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Single-node Contingency mode: synchronous group-commit logging in
+    /// `dir` gates every commit.
+    #[must_use]
+    pub fn contingency_log(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.durability = Durability::Contingency(dir.into());
+        self
+    }
+
+    /// Primary mode: ship logs to a mirror over `transport` (the mirror
+    /// must be running [`rodain_node::MirrorNode::join`]), degrading per
+    /// `policy` if it dies.
+    #[must_use]
+    pub fn mirror(mut self, transport: Arc<dyn Transport>, policy: MirrorLossPolicy) -> Self {
+        self.durability = Durability::Mirror { transport, policy };
+        self
+    }
+
+    /// Build and start the engine.
+    pub fn build(self) -> io::Result<Rodain> {
+        let store = self.store.unwrap_or_default();
+        let engine = Arc::new(Engine {
+            cc: make_controller(self.protocol),
+            sched: Mutex::new(SchedCore {
+                ready: ReadyQueue::new(self.reservation),
+                active: ActiveSet::new(),
+                overload: OverloadManager::new(self.overload),
+                jobs: HashMap::new(),
+                flags: HashMap::new(),
+                next_id: 1,
+            }),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            epoch: Instant::now(),
+            counters: Counters::default(),
+            replicator: RwLock::new(Replicator::Volatile),
+            commit_gate: RwLock::new(()),
+            last_csn: AtomicU64::new(0),
+            builder: RecordBuilder::new(),
+            protocol: self.protocol,
+            store,
+        });
+
+        match self.durability {
+            Durability::Volatile => {}
+            Durability::Contingency(dir) => {
+                *engine.replicator.write() = Replicator::contingency(&dir)?;
+            }
+            Durability::Mirror { transport, policy } => {
+                attach_mirror_inner(&engine, transport, policy)?;
+            }
+        }
+
+        let workers = (0..self.workers)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                std::thread::Builder::new()
+                    .name(format!("rodain-worker-{i}"))
+                    .spawn(move || worker_loop(engine))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        Ok(Rodain { engine, workers })
+    }
+}
+
+/// The RODAIN real-time main-memory database engine. See the crate docs.
+pub struct Rodain {
+    engine: Arc<Engine>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Rodain {
+    /// Start building an engine.
+    #[must_use]
+    pub fn builder() -> RodainBuilder {
+        RodainBuilder::new()
+    }
+
+    /// Load an object during initial database population (bypasses
+    /// concurrency control and logging; timestamp zero).
+    pub fn load_initial(&self, oid: ObjectId, value: Value) {
+        self.engine.store.load_initial(oid, value);
+    }
+
+    /// Read an object's committed value outside any transaction (dirty
+    /// read of the latest committed state — handy for tests and metrics).
+    #[must_use]
+    pub fn get(&self, oid: ObjectId) -> Option<Value> {
+        self.engine.store.read(oid).map(|(v, _)| v)
+    }
+
+    /// The underlying store (shared with the replication machinery).
+    #[must_use]
+    pub fn store(&self) -> Arc<Store> {
+        Arc::clone(&self.engine.store)
+    }
+
+    /// A consistent snapshot of the database (pauses commits briefly).
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let _gate = self.engine.commit_gate.write();
+        self.engine.store.snapshot()
+    }
+
+    /// Current replication/durability mode.
+    #[must_use]
+    pub fn replication_mode(&self) -> ReplicationMode {
+        self.engine.replicator.read().mode()
+    }
+
+    /// The concurrency-control protocol in force.
+    #[must_use]
+    pub fn protocol(&self) -> Protocol {
+        self.engine.protocol
+    }
+
+    /// Commit acknowledgements received from the mirror (`None` when not
+    /// in mirrored mode).
+    #[must_use]
+    pub fn mirror_acks(&self) -> Option<u64> {
+        match &*self.engine.replicator.read() {
+            Replicator::Mirrored(link) => Some(link.acks()),
+            _ => None,
+        }
+    }
+
+    /// Engine statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        let active = self.engine.sched.lock().active.len();
+        EngineStats::from_counters(&self.engine.counters, self.engine.cc.stats(), active)
+    }
+
+    /// Submit a transaction; the returned channel yields the outcome.
+    /// See [`Rodain::execute`] for the blocking variant.
+    pub fn submit<F>(&self, opts: TxnOptions, closure: F) -> Receiver<Result<TxnReceipt, TxnError>>
+    where
+        F: FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send + 'static,
+    {
+        let (reply, rx) = bounded(1);
+        let engine = &self.engine;
+        if engine.shutdown.load(Ordering::Acquire) {
+            let _ = reply.send(Err(TxnError::Shutdown));
+            return rx;
+        }
+        let now = engine.now_ns();
+        let mut sched = engine.sched.lock();
+        let id = TxnId(sched.next_id);
+        sched.next_id += 1;
+
+        let est = opts.est_cost.as_nanos() as u64;
+        let rel_deadline = opts
+            .relative_deadline
+            .as_nanos()
+            .min(u128::from(u64::MAX / 4)) as u64;
+        let meta = match opts.class {
+            TxnClass::Firm => TaskMeta::firm(id, now, rel_deadline, est),
+            TxnClass::Soft => TaskMeta::soft(id, now, rel_deadline, est),
+            TxnClass::NonRealTime => TaskMeta::non_real_time(id, now, est),
+        };
+
+        let admission = {
+            let SchedCore {
+                overload, active, ..
+            } = &mut *sched;
+            overload.admit(now, &meta, active)
+        };
+        match admission {
+            Admission::Reject => {
+                Counters::bump(&engine.counters.aborted_admission);
+                let _ = reply.send(Err(TxnError::AdmissionDenied));
+                return rx;
+            }
+            Admission::AcceptEvicting(victim) => {
+                if let Some(flags) = sched.flags.get(&victim) {
+                    flags.evicted.store(true, Ordering::Release);
+                }
+                sched.active.remove(victim);
+                // A still-queued victim can be resolved right here.
+                if let Some(job) = sched.jobs.remove(&victim) {
+                    sched.flags.remove(&victim);
+                    Counters::bump(&engine.counters.aborted_evicted);
+                    let _ = job.reply.send(Err(TxnError::Evicted));
+                }
+            }
+            Admission::Accept => {}
+        }
+
+        let flags = TxnFlags::new();
+        sched.flags.insert(id, Arc::clone(&flags));
+        sched.active.insert(meta);
+        sched.jobs.insert(
+            id,
+            Job {
+                closure: Box::new(closure),
+                reply,
+                meta,
+                flags,
+            },
+        );
+        sched.ready.push(meta);
+        drop(sched);
+        engine.work_ready.notify_one();
+        rx
+    }
+
+    /// Execute a transaction and wait for its outcome.
+    pub fn execute<F>(&self, opts: TxnOptions, closure: F) -> Result<TxnReceipt, TxnError>
+    where
+        F: FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send + 'static,
+    {
+        self.submit(opts, closure)
+            .recv()
+            .unwrap_or(Err(TxnError::Shutdown))
+    }
+
+    /// Take a checkpoint: persist a consistent snapshot of the database
+    /// into `snapshot_dir` and truncate the local disk log below it
+    /// (extension; DESIGN.md §3.4). Returns the snapshot file's path.
+    ///
+    /// Bounded recovery: a restart restores the newest checkpoint and
+    /// replays only the remaining log tail
+    /// (see `rodain_node::recover_with_checkpoint`).
+    pub fn checkpoint(
+        &self,
+        snapshot_dir: impl AsRef<std::path::Path>,
+    ) -> io::Result<std::path::PathBuf> {
+        // Pause commits briefly for a CSN-consistent snapshot.
+        let (snapshot, boundary) = {
+            let _gate = self.engine.commit_gate.write();
+            let snapshot = self.engine.store.snapshot();
+            let boundary = Csn(self.engine.last_csn.load(Ordering::Acquire) + 1);
+            (snapshot, boundary)
+        };
+        let path = rodain_log::write_snapshot_file(snapshot_dir.as_ref(), &snapshot, boundary)?;
+        let replicator = self.engine.replicator.read();
+        replicator.append_info(self.engine.builder.checkpoint_record(boundary, boundary.0));
+        replicator.truncate_before(boundary)?;
+        Ok(path)
+    }
+
+    /// Accept a (re)joining mirror: wait for its `JoinRequest`, transfer a
+    /// consistent snapshot, then switch commits to log shipping.
+    ///
+    /// Commits pause for the duration of the snapshot transfer. A node in
+    /// Contingency mode becomes a full Primary again once this returns
+    /// (paper: the recovered peer "will always become a Mirror Node").
+    pub fn attach_mirror(
+        &self,
+        transport: Arc<dyn Transport>,
+        policy: MirrorLossPolicy,
+    ) -> io::Result<()> {
+        attach_mirror_inner(&self.engine, transport, policy)
+    }
+}
+
+fn attach_mirror_inner(
+    engine: &Arc<Engine>,
+    transport: Arc<dyn Transport>,
+    policy: MirrorLossPolicy,
+) -> io::Result<()> {
+    // 1. Wait for the mirror to announce itself.
+    let deadline = Instant::now() + JOIN_TIMEOUT;
+    loop {
+        match transport.recv_timeout(Duration::from_millis(20)) {
+            Ok(Some(frame)) => {
+                if let Ok(Message::JoinRequest) = Message::decode(frame) {
+                    break;
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    format!("mirror link failed during join: {e}"),
+                ))
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "mirror never sent JoinRequest",
+            ));
+        }
+    }
+
+    // 2. Pause commits, transfer a consistent snapshot, pick the CSN
+    //    boundary where the live stream resumes.
+    let gate = engine.commit_gate.write();
+    let snapshot = engine.store.snapshot();
+    let boundary = Csn(engine.last_csn.load(Ordering::Acquire) + 1);
+    for chunk in Message::snapshot_chunks(&snapshot, SNAPSHOT_CHUNK) {
+        transport
+            .send(chunk.encode())
+            .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e.to_string()))?;
+    }
+    transport
+        .send(Message::SnapshotDone { next_csn: boundary }.encode())
+        .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e.to_string()))?;
+
+    // 3. Switch the commit path to log shipping.
+    let link = MirrorLink::new(transport, &policy)?;
+    *engine.replicator.write() = Replicator::Mirrored(link);
+    drop(gate);
+    Ok(())
+}
+
+impl Drop for Rodain {
+    fn drop(&mut self) {
+        self.engine.shutdown.store(true, Ordering::Release);
+        self.engine.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Reply to anything still queued.
+        let mut sched = self.engine.sched.lock();
+        for (_, job) in sched.jobs.drain() {
+            let _ = job.reply.send(Err(TxnError::Shutdown));
+        }
+    }
+}
+
+// ----- worker ------------------------------------------------------------
+
+fn worker_loop(engine: Arc<Engine>) {
+    loop {
+        if engine.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let grabbed = {
+            let mut sched = engine.sched.lock();
+            let mut grabbed = None;
+            let mut expired = Vec::new();
+            loop {
+                let now = engine.now_ns();
+                let popped = sched.ready.pop(now, &mut expired);
+                // Account expired firm transactions dropped by the queue.
+                for meta in expired.drain(..) {
+                    if let Some(job) = sched.jobs.remove(&meta.txn) {
+                        sched.flags.remove(&meta.txn);
+                        sched.active.remove(meta.txn);
+                        sched.overload.record_miss(now);
+                        Counters::bump(&engine.counters.aborted_deadline);
+                        let _ = job.reply.send(Err(TxnError::DeadlineExpired));
+                    }
+                }
+                match popped {
+                    Some(task) => {
+                        if let Some(job) = sched.jobs.remove(&task.txn) {
+                            grabbed = Some(job);
+                            break;
+                        }
+                        // Stale queue entry (evicted earlier): keep looking.
+                        continue;
+                    }
+                    None => {
+                        if engine.shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        engine
+                            .work_ready
+                            .wait_for(&mut sched, Duration::from_millis(5));
+                        if engine.shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                }
+            }
+            grabbed
+        };
+        let Some(job) = grabbed else {
+            continue; // shutdown or spurious wakeup
+        };
+        execute_job(&engine, job);
+    }
+}
+
+fn execute_job(engine: &Arc<Engine>, mut job: Job) {
+    let id = job.meta.txn;
+    let started = engine.now_ns();
+    let firm_deadline = (job.meta.class == TxnClass::Firm)
+        .then_some(job.meta.deadline)
+        .flatten();
+    let priority = CcPriority(job.meta.deadline.unwrap_or(u64::MAX));
+    let mut ws = Workspace::new(id);
+    let mut restarts = 0u32;
+
+    let outcome: Result<TxnReceipt, TxnError> = loop {
+        // Pre-attempt deadline check.
+        if let Some(d) = firm_deadline {
+            if engine.now_ns() > d {
+                break Err(TxnError::DeadlineExpired);
+            }
+        }
+        engine.cc.begin(id, priority);
+        ws.reset();
+
+        let now_fn = {
+            let engine = Arc::clone(engine);
+            move || engine.now_ns()
+        };
+        let mut ctx = TxnCtx {
+            id,
+            ws: &mut ws,
+            store: &engine.store,
+            cc: engine.cc.as_ref(),
+            flags: &job.flags,
+            shutdown: &engine.shutdown,
+            firm_deadline_ns: firm_deadline,
+            now_ns: &now_fn,
+            stop: None,
+            blocks: 0,
+        };
+        let result = (job.closure)(&mut ctx);
+        let stop = ctx.stop;
+        let blocks = ctx.blocks;
+        Counters::add(&engine.counters.lock_waits, blocks);
+
+        match result {
+            Ok(value) => {
+                // An evicted transaction must not commit even if its
+                // closure never touched the context again.
+                if job.flags.evicted.load(Ordering::Acquire) {
+                    engine.cc.remove(id);
+                    Counters::bump(&engine.counters.aborted_evicted);
+                    break Err(TxnError::Evicted);
+                }
+                // Atomic validation + install, then the commit gate.
+                let gate = engine.commit_gate.read();
+                match engine.cc.validate(&ws, &engine.store) {
+                    rodain_occ::ValidationOutcome::Commit {
+                        ser_ts,
+                        csn,
+                        victims,
+                    } => {
+                        // Victims were marked by the controller; running
+                        // ones discover it at their next access/validation.
+                        let _ = victims;
+                        engine.last_csn.fetch_max(csn.0, Ordering::AcqRel);
+                        let records = engine.builder.commit_group(id, ws.writes(), csn, ser_ts);
+                        let commit_submitted = engine.now_ns();
+                        let ticket = engine.replicator.read().ship(csn, records);
+                        drop(gate);
+                        let gate_result = ticket
+                            .recv_timeout(COMMIT_GATE_TIMEOUT)
+                            .unwrap_or(Err(TxnError::Replication("commit gate timeout".into())));
+                        match gate_result {
+                            Ok(()) => {
+                                let finished = engine.now_ns();
+                                Counters::bump(&engine.counters.committed);
+                                break Ok(TxnReceipt {
+                                    result: value,
+                                    csn,
+                                    ser_ts,
+                                    restarts,
+                                    response: Duration::from_nanos(
+                                        finished.saturating_sub(job.meta.arrival),
+                                    ),
+                                    commit_wait: Duration::from_nanos(
+                                        finished.saturating_sub(commit_submitted),
+                                    ),
+                                });
+                            }
+                            Err(e) => {
+                                Counters::bump(&engine.counters.aborted_replication);
+                                break Err(e);
+                            }
+                        }
+                    }
+                    rodain_occ::ValidationOutcome::Restart(_) => {
+                        drop(gate);
+                        restarts += 1;
+                        Counters::bump(&engine.counters.restarts);
+                        if !restart_fits(engine, &job.meta) {
+                            break Err(TxnError::ConflictAbort { restarts });
+                        }
+                        continue;
+                    }
+                }
+            }
+            Err(abort) => {
+                engine.cc.remove(id);
+                if let Some(message) = abort.user_message {
+                    Counters::bump(&engine.counters.aborted_user);
+                    break Err(TxnError::UserAbort(message));
+                }
+                match stop {
+                    Some(CtxStop::Evicted) => {
+                        Counters::bump(&engine.counters.aborted_evicted);
+                        break Err(TxnError::Evicted);
+                    }
+                    Some(CtxStop::DeadlineExpired) => break Err(TxnError::DeadlineExpired),
+                    Some(CtxStop::Shutdown) => break Err(TxnError::Shutdown),
+                    Some(CtxStop::Doomed) | None => {
+                        restarts += 1;
+                        Counters::bump(&engine.counters.restarts);
+                        if !restart_fits(engine, &job.meta) {
+                            break Err(TxnError::ConflictAbort { restarts });
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
+    };
+
+    // Common cleanup and accounting.
+    let finished = engine.now_ns();
+    {
+        let mut sched = engine.sched.lock();
+        sched.active.remove(id);
+        sched.flags.remove(&id);
+        sched.ready.account_busy(finished.saturating_sub(started));
+        if matches!(outcome, Err(TxnError::DeadlineExpired)) {
+            sched.overload.record_miss(finished);
+            Counters::bump(&engine.counters.aborted_deadline);
+        }
+    }
+    let _ = job.reply.send(outcome);
+}
+
+/// Is there slack for one more execution attempt?
+fn restart_fits(engine: &Engine, meta: &TaskMeta) -> bool {
+    match (meta.class, meta.deadline) {
+        (TxnClass::Firm, Some(d)) => engine.now_ns() + meta.est_cost <= d,
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn volatile_db(workers: usize) -> Rodain {
+        Rodain::builder().workers(workers).build().unwrap()
+    }
+
+    #[test]
+    fn read_modify_write_commits() {
+        let db = volatile_db(2);
+        db.load_initial(ObjectId(1), Value::Int(10));
+        let receipt = db
+            .execute(TxnOptions::firm_ms(500), |ctx| {
+                let v = ctx.read(ObjectId(1))?.unwrap().as_int().unwrap();
+                ctx.write(ObjectId(1), Value::Int(v * 2))?;
+                Ok(Some(Value::Int(v)))
+            })
+            .unwrap();
+        assert_eq!(receipt.result, Some(Value::Int(10)));
+        assert_eq!(receipt.restarts, 0);
+        assert_eq!(db.get(ObjectId(1)), Some(Value::Int(20)));
+        assert_eq!(db.stats().committed, 1);
+        assert_eq!(db.replication_mode(), ReplicationMode::Volatile);
+        assert_eq!(db.protocol(), Protocol::OccDati);
+        assert_eq!(db.mirror_acks(), None);
+    }
+
+    #[test]
+    fn csns_are_dense_in_commit_order() {
+        let db = volatile_db(1);
+        db.load_initial(ObjectId(1), Value::Int(0));
+        let mut csns = Vec::new();
+        for _ in 0..5 {
+            let r = db
+                .execute(TxnOptions::firm_ms(500), |ctx| {
+                    ctx.read(ObjectId(1))?;
+                    Ok(None)
+                })
+                .unwrap();
+            csns.push(r.csn.0);
+        }
+        assert_eq!(csns, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn concurrent_increments_never_lose_updates() {
+        let db = Arc::new(volatile_db(4));
+        db.load_initial(ObjectId(7), Value::Int(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                let mut committed = 0u64;
+                for _ in 0..50 {
+                    let result = db.execute(
+                        TxnOptions::soft_ms(1_000).with_est_cost(Duration::from_micros(10)),
+                        |ctx| {
+                            let v = ctx.read(ObjectId(7))?.unwrap().as_int().unwrap();
+                            ctx.write(ObjectId(7), Value::Int(v + 1))?;
+                            Ok(None)
+                        },
+                    );
+                    if result.is_ok() {
+                        committed += 1;
+                    }
+                }
+                committed
+            }));
+        }
+        let committed: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let final_value = db.get(ObjectId(7)).unwrap().as_int().unwrap();
+        assert_eq!(final_value as u64, committed, "lost update detected");
+        assert!(committed > 0);
+    }
+
+    #[test]
+    fn user_abort_discards_writes() {
+        let db = volatile_db(1);
+        db.load_initial(ObjectId(1), Value::Int(1));
+        let result = db.execute(TxnOptions::firm_ms(500), |ctx| {
+            ctx.write(ObjectId(1), Value::Int(999))?;
+            Err(ctx.abort("changed my mind"))
+        });
+        assert_eq!(result, Err(TxnError::UserAbort("changed my mind".into())));
+        assert_eq!(db.get(ObjectId(1)), Some(Value::Int(1)));
+        assert_eq!(db.stats().aborted_user, 1);
+    }
+
+    #[test]
+    fn expired_deadline_aborts() {
+        let db = volatile_db(1);
+        db.load_initial(ObjectId(1), Value::Int(1));
+        // Occupy the single worker so the firm txn expires in the queue.
+        let blocker = db.submit(TxnOptions::soft_ms(10_000), |_ctx| {
+            std::thread::sleep(Duration::from_millis(60));
+            Ok(None)
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        let result = db.execute(
+            TxnOptions {
+                class: TxnClass::Firm,
+                relative_deadline: Duration::from_millis(10),
+                est_cost: Duration::from_micros(100),
+            },
+            |ctx| {
+                ctx.read(ObjectId(1))?;
+                Ok(None)
+            },
+        );
+        assert_eq!(result, Err(TxnError::DeadlineExpired));
+        assert!(blocker.recv().unwrap().is_ok());
+        assert_eq!(db.stats().aborted_deadline, 1);
+    }
+
+    #[test]
+    fn admission_limit_rejects_excess_load() {
+        let db = Rodain::builder()
+            .workers(1)
+            .overload(OverloadConfig {
+                base_limit: 2,
+                min_limit: 1,
+                window: 1_000_000_000,
+                miss_tolerance: 1,
+            })
+            .build()
+            .unwrap();
+        db.load_initial(ObjectId(1), Value::Int(1));
+        // Two slow soft transactions occupy the limit...
+        let a = db.submit(TxnOptions::soft_ms(10_000), |_| {
+            std::thread::sleep(Duration::from_millis(50));
+            Ok(None)
+        });
+        let b = db.submit(TxnOptions::soft_ms(10_000), |_| {
+            std::thread::sleep(Duration::from_millis(50));
+            Ok(None)
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        // ...so a later, *less urgent* arrival is rejected.
+        let c = db.execute(TxnOptions::soft_ms(60_000), |_| Ok(None));
+        assert_eq!(c, Err(TxnError::AdmissionDenied));
+        assert!(a.recv().unwrap().is_ok());
+        assert!(b.recv().unwrap().is_ok());
+        assert_eq!(db.stats().aborted_admission, 1);
+    }
+
+    #[test]
+    fn urgent_arrival_evicts_queued_lazy_txn() {
+        let db = Rodain::builder()
+            .workers(1)
+            .overload(OverloadConfig {
+                base_limit: 2,
+                min_limit: 1,
+                window: 1_000_000_000,
+                miss_tolerance: 1,
+            })
+            .build()
+            .unwrap();
+        db.load_initial(ObjectId(1), Value::Int(1));
+        // Worker busy with a long, *least urgent* soft txn; a firm txn
+        // queues behind it.
+        let busy = db.submit(TxnOptions::soft_ms(20_000), |_| {
+            std::thread::sleep(Duration::from_millis(60));
+            Ok(None)
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        let queued = db.submit(TxnOptions::firm_ms(5_000), |ctx| {
+            ctx.read(ObjectId(1))?;
+            Ok(None)
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        // At the limit, an urgent firm arrival evicts the least urgent
+        // active transaction — the sleeping soft one.
+        let urgent = db.execute(TxnOptions::firm_ms(500), |ctx| {
+            ctx.read(ObjectId(1))?;
+            Ok(None)
+        });
+        assert!(urgent.is_ok());
+        assert_eq!(busy.recv().unwrap(), Err(TxnError::Evicted));
+        assert!(queued.recv().unwrap().is_ok());
+        assert_eq!(db.stats().aborted_evicted, 1);
+    }
+
+    #[test]
+    fn contingency_mode_survives_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "rodain-db-contingency-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Rodain::builder()
+                .workers(2)
+                .contingency_log(&dir)
+                .build()
+                .unwrap();
+            assert_eq!(db.replication_mode(), ReplicationMode::Contingency);
+            for i in 0..10i64 {
+                db.execute(TxnOptions::firm_ms(5_000), move |ctx| {
+                    ctx.write(ObjectId(i as u64), Value::Int(i * 11))?;
+                    Ok(None)
+                })
+                .unwrap();
+            }
+        } // drop flushes and shuts down
+        let cold = rodain_node::recover_store_from_disk(&dir).unwrap();
+        assert_eq!(cold.stats.committed, 10);
+        assert_eq!(
+            cold.store.read(ObjectId(3)).map(|(v, _)| v),
+            Some(Value::Int(33))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_real_time_transactions_complete() {
+        let db = volatile_db(2);
+        db.load_initial(ObjectId(1), Value::Int(5));
+        let r = db
+            .execute(TxnOptions::non_real_time(), |ctx| ctx.read(ObjectId(1)))
+            .unwrap();
+        assert_eq!(r.result, Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn every_protocol_runs_the_same_workload() {
+        for protocol in Protocol::ALL {
+            let db = Rodain::builder()
+                .protocol(protocol)
+                .workers(2)
+                .build()
+                .unwrap();
+            db.load_initial(ObjectId(1), Value::Int(0));
+            for _ in 0..20 {
+                let _ = db.execute(TxnOptions::soft_ms(5_000), |ctx| {
+                    let v = ctx.read(ObjectId(1))?.unwrap().as_int().unwrap();
+                    ctx.write(ObjectId(1), Value::Int(v + 1))?;
+                    Ok(None)
+                });
+            }
+            let stats = db.stats();
+            assert!(stats.committed > 0, "{protocol}: no commits ({stats:?})");
+            let v = db.get(ObjectId(1)).unwrap().as_int().unwrap();
+            assert_eq!(v as u64, stats.committed, "{protocol}: lost updates");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_consistent_under_load() {
+        let db = Arc::new(volatile_db(4));
+        for i in 0..100u64 {
+            db.load_initial(ObjectId(i), Value::Int(0));
+        }
+        let writer_db = Arc::clone(&db);
+        let writer = std::thread::spawn(move || {
+            for k in 0..50 {
+                let _ = writer_db.execute(TxnOptions::soft_ms(5_000), move |ctx| {
+                    // Invariant: objects 10 and 11 always change together.
+                    ctx.write(ObjectId(10), Value::Int(k))?;
+                    ctx.write(ObjectId(11), Value::Int(k))?;
+                    Ok(None)
+                });
+            }
+        });
+        for _ in 0..20 {
+            let snap = db.snapshot();
+            let v10 = snap
+                .objects
+                .iter()
+                .find(|(oid, _)| *oid == ObjectId(10))
+                .map(|(_, o)| o.value.clone());
+            let v11 = snap
+                .objects
+                .iter()
+                .find(|(oid, _)| *oid == ObjectId(11))
+                .map(|(_, o)| o.value.clone());
+            assert_eq!(v10, v11, "snapshot split a transaction");
+        }
+        writer.join().unwrap();
+    }
+}

@@ -1,0 +1,91 @@
+//! Engine error types.
+
+use std::fmt;
+
+/// Opaque abort token surfaced inside a transaction closure.
+///
+/// Returned by [`crate::TxnCtx`] accessors when the transaction must stop
+/// executing (doomed by a validating peer, evicted by the overload
+/// manager, deadline expired, or aborted by the user). Closures propagate
+/// it with `?`; the engine inspects its own state for the actual reason
+/// and either restarts the transaction or reports a [`TxnError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnAbort {
+    pub(crate) user_message: Option<String>,
+}
+
+impl TxnAbort {
+    pub(crate) const SILENT: TxnAbort = TxnAbort { user_message: None };
+}
+
+impl fmt::Display for TxnAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.user_message {
+            Some(m) => write!(f, "transaction aborted: {m}"),
+            None => write!(f, "transaction must abort/restart"),
+        }
+    }
+}
+
+impl std::error::Error for TxnAbort {}
+
+/// Terminal transaction failures reported to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// The overload manager rejected the transaction at admission
+    /// (active-transaction limit reached, arrival not urgent enough).
+    AdmissionDenied,
+    /// Admitted, then aborted in favour of a more urgent arrival.
+    Evicted,
+    /// The (firm) deadline expired before the transaction could commit.
+    DeadlineExpired,
+    /// A concurrency-control conflict aborted the transaction and no slack
+    /// remained to restart it.
+    ConflictAbort {
+        /// Restarts attempted before giving up.
+        restarts: u32,
+    },
+    /// The user closure requested an abort.
+    UserAbort(String),
+    /// The commit could not be made durable / acknowledged.
+    Replication(String),
+    /// The engine is shutting down.
+    Shutdown,
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::AdmissionDenied => write!(f, "admission denied by overload manager"),
+            TxnError::Evicted => write!(f, "evicted by a more urgent transaction"),
+            TxnError::DeadlineExpired => write!(f, "deadline expired"),
+            TxnError::ConflictAbort { restarts } => {
+                write!(f, "aborted after {restarts} conflict restart(s)")
+            }
+            TxnError::UserAbort(m) => write!(f, "aborted by user: {m}"),
+            TxnError::Replication(m) => write!(f, "replication failure: {m}"),
+            TxnError::Shutdown => write!(f, "engine shut down"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        assert!(TxnError::AdmissionDenied.to_string().contains("overload"));
+        assert!(TxnError::ConflictAbort { restarts: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(TxnAbort::SILENT.to_string().contains("restart"));
+        assert!(TxnAbort {
+            user_message: Some("no funds".into())
+        }
+        .to_string()
+        .contains("no funds"));
+    }
+}

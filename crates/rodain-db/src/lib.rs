@@ -1,0 +1,59 @@
+//! # rodain-db — the RODAIN real-time main-memory database engine
+//!
+//! The deployable engine tying every substrate together: the main-memory
+//! [`rodain_store::Store`], the OCC-DATI family of validators
+//! ([`rodain_occ`]), modified-EDF scheduling with overload management
+//! ([`rodain_sched`]), redo logging ([`rodain_log`]) and primary/mirror
+//! replication ([`rodain_node`], [`rodain_net`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rodain_db::{Rodain, TxnOptions};
+//! use rodain_store::{ObjectId, Value};
+//!
+//! let db = Rodain::builder().workers(2).build().unwrap();
+//! db.load_initial(ObjectId(1), Value::Int(41));
+//!
+//! let receipt = db
+//!     .execute(TxnOptions::firm_ms(50), |ctx| {
+//!         let v = ctx.read(ObjectId(1))?.unwrap().as_int().unwrap();
+//!         ctx.write(ObjectId(1), Value::Int(v + 1))?;
+//!         Ok(None)
+//!     })
+//!     .unwrap();
+//! assert!(receipt.csn.0 >= 1);
+//! assert_eq!(db.get(ObjectId(1)), Some(Value::Int(42)));
+//! ```
+//!
+//! ## Deployment modes
+//!
+//! * **Volatile** (default): pure main-memory, no durability — the paper's
+//!   "no logs" reference configuration.
+//! * **Contingency** ([`RodainBuilder::contingency_log`]): a node running
+//!   alone; every commit group is flushed (group commit) to the local disk
+//!   before the transaction completes.
+//! * **Primary + Mirror** ([`RodainBuilder::mirror`] /
+//!   [`Rodain::attach_mirror`]): commit groups ship to a hot stand-by
+//!   [`rodain_node::MirrorNode`]; the *mirror's acknowledgement of the
+//!   commit record* — one message round-trip — gates the commit, and the
+//!   disk write happens asynchronously on the mirror. On mirror failure
+//!   the engine degrades to Contingency (or volatile) mode; a recovered
+//!   node rejoins as mirror via snapshot transfer + log catch-up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ctx;
+mod engine;
+mod error;
+mod options;
+mod replicate;
+mod stats;
+
+pub use ctx::TxnCtx;
+pub use engine::{Rodain, RodainBuilder};
+pub use error::{TxnAbort, TxnError};
+pub use options::{MirrorLossPolicy, TxnOptions};
+pub use replicate::ReplicationMode;
+pub use stats::{EngineStats, TxnReceipt};

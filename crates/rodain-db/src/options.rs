@@ -1,0 +1,98 @@
+//! Per-transaction options and engine policies.
+
+use rodain_sched::TxnClass;
+use std::time::Duration;
+
+/// Options of one submitted transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnOptions {
+    /// Scheduling class.
+    pub class: TxnClass,
+    /// Relative deadline (ignored for non-real-time transactions).
+    pub relative_deadline: Duration,
+    /// Estimated execution cost, used by admission/eviction decisions and
+    /// by the non-real-time reservation. A rough guess is fine.
+    pub est_cost: Duration,
+}
+
+impl TxnOptions {
+    /// A firm-deadline transaction with `ms` milliseconds to live.
+    #[must_use]
+    pub fn firm_ms(ms: u64) -> Self {
+        TxnOptions {
+            class: TxnClass::Firm,
+            relative_deadline: Duration::from_millis(ms),
+            est_cost: Duration::from_micros(500),
+        }
+    }
+
+    /// A soft-deadline transaction with `ms` milliseconds to its deadline.
+    #[must_use]
+    pub fn soft_ms(ms: u64) -> Self {
+        TxnOptions {
+            class: TxnClass::Soft,
+            relative_deadline: Duration::from_millis(ms),
+            est_cost: Duration::from_micros(500),
+        }
+    }
+
+    /// A non-real-time transaction (no deadline; runs in the reserved
+    /// fraction or when the system is otherwise idle).
+    #[must_use]
+    pub fn non_real_time() -> Self {
+        TxnOptions {
+            class: TxnClass::NonRealTime,
+            relative_deadline: Duration::MAX,
+            est_cost: Duration::from_micros(500),
+        }
+    }
+
+    /// Override the estimated cost.
+    #[must_use]
+    pub fn with_est_cost(mut self, est: Duration) -> Self {
+        self.est_cost = est;
+        self
+    }
+}
+
+impl Default for TxnOptions {
+    fn default() -> Self {
+        TxnOptions::firm_ms(50)
+    }
+}
+
+/// What the primary does when its mirror dies (paper §2: the surviving
+/// node "must store the transaction logs directly to the disk before
+/// allowing the transaction to commit").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MirrorLossPolicy {
+    /// Switch to Contingency mode: synchronous group-commit disk logging
+    /// in the given directory.
+    Contingency {
+        /// Log directory.
+        dir: std::path::PathBuf,
+    },
+    /// Keep serving without durability (the paper's disk-off experiments;
+    /// acceptable when "the probability of simultaneous failure of both
+    /// nodes is acceptable").
+    ContinueVolatile,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let f = TxnOptions::firm_ms(50);
+        assert_eq!(f.class, TxnClass::Firm);
+        assert_eq!(f.relative_deadline, Duration::from_millis(50));
+        let s = TxnOptions::soft_ms(10);
+        assert_eq!(s.class, TxnClass::Soft);
+        let n = TxnOptions::non_real_time();
+        assert_eq!(n.class, TxnClass::NonRealTime);
+        let c = f.with_est_cost(Duration::from_millis(2));
+        assert_eq!(c.est_cost, Duration::from_millis(2));
+        assert_eq!(TxnOptions::default().class, TxnClass::Firm);
+    }
+}

@@ -1,0 +1,273 @@
+//! Commit-path replication: mirror shipping, contingency disk, volatile.
+
+use crate::error::TxnError;
+use crate::options::MirrorLossPolicy;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rodain_log::{GroupCommitLog, LogRecord, LogStorage, LogStorageConfig};
+use rodain_net::Transport;
+use rodain_node::Message;
+use rodain_occ::Csn;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The engine's current durability/replication mode (observable status).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// No durability: commits complete at validation.
+    Volatile,
+    /// Single node: synchronous group-commit to the local disk.
+    Contingency,
+    /// Primary + live mirror: the mirror's commit acknowledgement gates
+    /// the commit.
+    Mirrored,
+}
+
+/// A commit ticket: resolves when the commit group is durable/acknowledged.
+pub(crate) type CommitTicket = Receiver<Result<(), TxnError>>;
+
+fn resolved(result: Result<(), TxnError>) -> CommitTicket {
+    let (tx, rx) = bounded(1);
+    let _ = tx.send(result);
+    rx
+}
+
+pub(crate) enum Replicator {
+    Volatile,
+    Contingency(GroupCommitLog),
+    Mirrored(MirrorLink),
+}
+
+impl Replicator {
+    pub(crate) fn contingency(dir: &std::path::Path) -> std::io::Result<Replicator> {
+        let storage = LogStorage::open(LogStorageConfig::new(dir))?;
+        Ok(Replicator::Contingency(GroupCommitLog::spawn(storage, 64)))
+    }
+
+    pub(crate) fn mode(&self) -> ReplicationMode {
+        match self {
+            Replicator::Volatile => ReplicationMode::Volatile,
+            Replicator::Contingency(_) => ReplicationMode::Contingency,
+            Replicator::Mirrored(link) if link.is_down() => match link.fallback {
+                Some(_) => ReplicationMode::Contingency,
+                None => ReplicationMode::Volatile,
+            },
+            Replicator::Mirrored(_) => ReplicationMode::Mirrored,
+        }
+    }
+
+    /// Checkpoint support: truncate the local disk log below `upto` (only
+    /// meaningful when a local log exists). Returns removed segment count.
+    pub(crate) fn truncate_before(&self, upto: Csn) -> std::io::Result<usize> {
+        match self {
+            Replicator::Contingency(group) => group.truncate_before(upto),
+            Replicator::Mirrored(link) => match &link.fallback {
+                Some(group) => group.truncate_before(upto),
+                None => Ok(0),
+            },
+            Replicator::Volatile => Ok(0),
+        }
+    }
+
+    /// Append an informational record (checkpoint marker) without gating a
+    /// commit on it.
+    pub(crate) fn append_info(&self, record: LogRecord) {
+        match self {
+            Replicator::Contingency(group) => {
+                let _ = group.append_async(vec![record]);
+            }
+            Replicator::Mirrored(link) => {
+                if !link.is_down() {
+                    let _ = link.transport.send(Message::Records(vec![record]).encode());
+                } else if let Some(group) = &link.fallback {
+                    let _ = group.append_async(vec![record]);
+                }
+            }
+            Replicator::Volatile => {}
+        }
+    }
+
+    /// Ship a commit group; the ticket resolves when the transaction may
+    /// report success to the client.
+    pub(crate) fn ship(&self, csn: Csn, records: Vec<LogRecord>) -> CommitTicket {
+        match self {
+            Replicator::Volatile => resolved(Ok(())),
+            Replicator::Contingency(group) => {
+                // Synchronous local disk: the log writer thread batches
+                // concurrent committers into one flush (group commit).
+                resolved(
+                    group
+                        .commit_sync(records)
+                        .map_err(|e| TxnError::Replication(e.to_string())),
+                )
+            }
+            Replicator::Mirrored(link) => link.ship(csn, records),
+        }
+    }
+}
+
+struct PendingCommit {
+    records: Vec<LogRecord>,
+    done: Sender<Result<(), TxnError>>,
+}
+
+/// The primary's side of the log-shipping protocol.
+pub(crate) struct MirrorLink {
+    transport: Arc<dyn Transport>,
+    pending: Arc<Mutex<HashMap<u64, PendingCommit>>>,
+    down: Arc<AtomicBool>,
+    /// Pre-opened contingency log used if/when the mirror dies.
+    fallback: Option<Arc<GroupCommitLog>>,
+    acks: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    ack_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MirrorLink {
+    /// Wire up a link over `transport` (the snapshot handshake has already
+    /// completed). `loss_policy` decides the degraded mode.
+    pub(crate) fn new(
+        transport: Arc<dyn Transport>,
+        loss_policy: &MirrorLossPolicy,
+    ) -> std::io::Result<MirrorLink> {
+        let fallback = match loss_policy {
+            MirrorLossPolicy::Contingency { dir } => {
+                let storage = LogStorage::open(LogStorageConfig::new(dir))?;
+                Some(Arc::new(GroupCommitLog::spawn(storage, 64)))
+            }
+            MirrorLossPolicy::ContinueVolatile => None,
+        };
+        let pending: Arc<Mutex<HashMap<u64, PendingCommit>>> = Arc::new(Mutex::new(HashMap::new()));
+        let down = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+        let acks = Arc::new(AtomicU64::new(0));
+
+        let thread_transport = Arc::clone(&transport);
+        let thread_pending = Arc::clone(&pending);
+        let thread_down = Arc::clone(&down);
+        let thread_stop = Arc::clone(&stop);
+        let thread_fallback = fallback.clone();
+        let thread_acks = Arc::clone(&acks);
+        let ack_thread = std::thread::Builder::new()
+            .name("rodain-ack-reader".into())
+            .spawn(move || {
+                let mut hb_seq = 0u64;
+                let mut last_hb = std::time::Instant::now();
+                loop {
+                    if thread_stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    match thread_transport.recv_timeout(Duration::from_millis(20)) {
+                        Ok(Some(frame)) => {
+                            if let Ok(Message::CommitAck { csn, .. }) = Message::decode(frame) {
+                                let entry = thread_pending.lock().remove(&csn.0);
+                                if let Some(p) = entry {
+                                    thread_acks.fetch_add(1, Ordering::Relaxed);
+                                    let _ = p.done.send(Ok(()));
+                                }
+                            }
+                            // Heartbeats and anything else just prove
+                            // liveness, which recv success already did.
+                        }
+                        Ok(None) => {}
+                        Err(_) => {
+                            // Mirror is gone: degrade.
+                            thread_down.store(true, Ordering::Release);
+                            let drained: Vec<PendingCommit> = {
+                                let mut map = thread_pending.lock();
+                                map.drain().map(|(_, p)| p).collect()
+                            };
+                            for p in drained {
+                                let result = match &thread_fallback {
+                                    Some(group) => group
+                                        .commit_sync(p.records)
+                                        .map_err(|e| TxnError::Replication(e.to_string())),
+                                    None => Ok(()),
+                                };
+                                let _ = p.done.send(result);
+                            }
+                            return;
+                        }
+                    }
+                    // Keep the mirror's watchdog fed while idle.
+                    if last_hb.elapsed() >= Duration::from_millis(50) {
+                        last_hb = std::time::Instant::now();
+                        hb_seq += 1;
+                        let _ = thread_transport.send(Message::Heartbeat { seq: hb_seq }.encode());
+                    }
+                }
+            })
+            .expect("spawn ack reader");
+
+        Ok(MirrorLink {
+            transport,
+            pending,
+            down,
+            fallback,
+            acks,
+            stop,
+            ack_thread: Some(ack_thread),
+        })
+    }
+
+    pub(crate) fn is_down(&self) -> bool {
+        self.down.load(Ordering::Acquire)
+    }
+
+    /// Commit acknowledgements received.
+    pub(crate) fn acks(&self) -> u64 {
+        self.acks.load(Ordering::Relaxed)
+    }
+
+    fn ship_degraded(&self, records: Vec<LogRecord>) -> CommitTicket {
+        match &self.fallback {
+            Some(group) => resolved(
+                group
+                    .commit_sync(records)
+                    .map_err(|e| TxnError::Replication(e.to_string())),
+            ),
+            None => resolved(Ok(())),
+        }
+    }
+
+    fn ship(&self, csn: Csn, records: Vec<LogRecord>) -> CommitTicket {
+        if self.is_down() {
+            return self.ship_degraded(records);
+        }
+        let (tx, rx) = bounded(1);
+        {
+            let mut pending = self.pending.lock();
+            pending.insert(
+                csn.0,
+                PendingCommit {
+                    records: records.clone(),
+                    done: tx,
+                },
+            );
+        }
+        if self
+            .transport
+            .send(Message::Records(records.clone()).encode())
+            .is_err()
+        {
+            // Send failed: degrade immediately; the ack thread will drain
+            // the rest, but resolve this one here.
+            self.down.store(true, Ordering::Release);
+            self.pending.lock().remove(&csn.0);
+            return self.ship_degraded(records);
+        }
+        rx
+    }
+}
+
+impl Drop for MirrorLink {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.transport.close();
+        if let Some(handle) = self.ack_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Receipts and engine statistics.
+
+use rodain_occ::{CcStats, Csn};
+use rodain_store::{Ts, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What a committed transaction returns to the client.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TxnReceipt {
+    /// The closure's result value.
+    pub result: Option<Value>,
+    /// Commit sequence number (true validation order).
+    pub csn: Csn,
+    /// Serialization timestamp.
+    pub ser_ts: Ts,
+    /// Concurrency-control restarts endured before committing.
+    pub restarts: u32,
+    /// End-to-end response time (submission → reply).
+    pub response: Duration,
+    /// Commit-gate wait (validation accept → durable/acknowledged).
+    pub commit_wait: Duration,
+}
+
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub committed: AtomicU64,
+    pub aborted_admission: AtomicU64,
+    pub aborted_evicted: AtomicU64,
+    pub aborted_deadline: AtomicU64,
+    pub aborted_conflict: AtomicU64,
+    pub aborted_user: AtomicU64,
+    pub aborted_replication: AtomicU64,
+    pub restarts: AtomicU64,
+    pub lock_waits: AtomicU64,
+}
+
+impl Counters {
+    pub fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of engine health.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Admission rejections.
+    pub aborted_admission: u64,
+    /// Evictions by more urgent arrivals.
+    pub aborted_evicted: u64,
+    /// Deadline expiries.
+    pub aborted_deadline: u64,
+    /// Conflict aborts (restarts exhausted the slack).
+    pub aborted_conflict: u64,
+    /// User-requested aborts.
+    pub aborted_user: u64,
+    /// Replication/durability failures.
+    pub aborted_replication: u64,
+    /// Concurrency-control restarts retried.
+    pub restarts: u64,
+    /// 2PL lock waits observed.
+    pub lock_waits: u64,
+    /// Controller counters.
+    pub cc: CcStats,
+    /// Transactions currently admitted.
+    pub active: usize,
+}
+
+impl EngineStats {
+    pub(crate) fn from_counters(counters: &Counters, cc: CcStats, active: usize) -> EngineStats {
+        EngineStats {
+            committed: counters.committed.load(Ordering::Relaxed),
+            aborted_admission: counters.aborted_admission.load(Ordering::Relaxed),
+            aborted_evicted: counters.aborted_evicted.load(Ordering::Relaxed),
+            aborted_deadline: counters.aborted_deadline.load(Ordering::Relaxed),
+            aborted_conflict: counters.aborted_conflict.load(Ordering::Relaxed),
+            aborted_user: counters.aborted_user.load(Ordering::Relaxed),
+            aborted_replication: counters.aborted_replication.load(Ordering::Relaxed),
+            restarts: counters.restarts.load(Ordering::Relaxed),
+            lock_waits: counters.lock_waits.load(Ordering::Relaxed),
+            cc,
+            active,
+        }
+    }
+
+    /// All aborts combined.
+    #[must_use]
+    pub fn aborted(&self) -> u64 {
+        self.aborted_admission
+            + self.aborted_evicted
+            + self.aborted_deadline
+            + self.aborted_conflict
+            + self.aborted_user
+            + self.aborted_replication
+    }
+
+    /// The paper's miss ratio over the engine lifetime.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let offered = self.committed + self.aborted();
+        if offered == 0 {
+            return 0.0;
+        }
+        self.aborted() as f64 / offered as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_ratios() {
+        let counters = Counters::default();
+        Counters::bump(&counters.committed);
+        Counters::bump(&counters.committed);
+        Counters::bump(&counters.aborted_deadline);
+        Counters::add(&counters.restarts, 5);
+        let stats = EngineStats::from_counters(&counters, CcStats::default(), 3);
+        assert_eq!(stats.committed, 2);
+        assert_eq!(stats.aborted(), 1);
+        assert_eq!(stats.restarts, 5);
+        assert_eq!(stats.active, 3);
+        assert!((stats.miss_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(EngineStats::default().miss_ratio(), 0.0);
+    }
+}

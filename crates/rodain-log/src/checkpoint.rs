@@ -1,0 +1,265 @@
+//! Checkpoint snapshots on disk (extension; see DESIGN.md §3.4).
+//!
+//! A checkpoint bounds recovery time and lets the disk log be truncated:
+//! the snapshot file captures the full database as of a commit sequence
+//! number; every log segment whose commits all lie below that CSN becomes
+//! garbage. Recovery then restores the newest intact snapshot and replays
+//! only the log tail (replaying retained pre-checkpoint segments is
+//! harmless — installs are idempotent at equal timestamps).
+//!
+//! File format (`*.rodainsnap`):
+//!
+//! ```text
+//! magic "RODAINSN" · version u32 · csn u64 · object count u64
+//! repeat count times: oid u64 · wts u64 · rts u64 · value (log codec)
+//! crc32 u32 over everything before it
+//! ```
+
+use crate::codec::{decode_value, encode_value, CodecError};
+use crate::crc32::crc32;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rodain_occ::Csn;
+use rodain_store::{ObjectId, Snapshot, Ts, VersionedObject};
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+const SNAPSHOT_MAGIC: &[u8; 8] = b"RODAINSN";
+const SNAPSHOT_VERSION: u32 = 1;
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {what}"))
+}
+
+impl From<CodecError> for io::Error {
+    fn from(e: CodecError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// Serialize a snapshot (with the first CSN *not* covered) to bytes.
+#[must_use]
+pub fn encode_snapshot(snapshot: &Snapshot, upto: Csn) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + snapshot.len() * 48);
+    buf.put_slice(SNAPSHOT_MAGIC);
+    buf.put_u32_le(SNAPSHOT_VERSION);
+    buf.put_u64_le(upto.0);
+    buf.put_u64_le(snapshot.len() as u64);
+    for (oid, obj) in &snapshot.objects {
+        buf.put_u64_le(oid.0);
+        buf.put_u64_le(obj.wts.0);
+        buf.put_u64_le(obj.rts.0);
+        encode_value(&mut buf, &obj.value);
+    }
+    let checksum = crc32(&buf);
+    buf.put_u32_le(checksum);
+    buf.freeze()
+}
+
+/// Parse bytes produced by [`encode_snapshot`].
+pub fn decode_snapshot(data: &[u8]) -> io::Result<(Snapshot, Csn)> {
+    if data.len() < 8 + 4 + 8 + 8 + 4 {
+        return Err(corrupt("too short"));
+    }
+    let (body, tail) = data.split_at(data.len() - 4);
+    let expected = u32::from_le_bytes(tail.try_into().expect("4 bytes"));
+    if crc32(body) != expected {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let mut buf = Bytes::copy_from_slice(body);
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    if buf.get_u32_le() != SNAPSHOT_VERSION {
+        return Err(corrupt("unsupported version"));
+    }
+    let upto = Csn(buf.get_u64_le());
+    let count = buf.get_u64_le();
+    let mut objects = Vec::with_capacity(count.min(1_000_000) as usize);
+    for _ in 0..count {
+        if buf.remaining() < 24 {
+            return Err(corrupt("truncated object header"));
+        }
+        let oid = ObjectId(buf.get_u64_le());
+        let wts = Ts(buf.get_u64_le());
+        let rts = Ts(buf.get_u64_le());
+        let value = decode_value(&mut buf)?;
+        objects.push((oid, VersionedObject { value, wts, rts }));
+    }
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok((Snapshot { objects }, upto))
+}
+
+/// Write a checkpoint snapshot atomically (tmp file + rename) into `dir`;
+/// returns its path (`checkpoint-<csn>.rodainsnap`).
+pub fn write_snapshot_file(dir: &Path, snapshot: &Snapshot, upto: Csn) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("checkpoint-{:020}.rodainsnap", upto.0));
+    let tmp = dir.join(format!(".checkpoint-{:020}.tmp", upto.0));
+    let bytes = encode_snapshot(snapshot, upto);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_data()?;
+    }
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Locate and read the newest intact checkpoint in `dir`. Corrupt files
+/// are skipped (older intact checkpoints still recover). `Ok(None)` when
+/// no usable checkpoint exists.
+pub fn read_latest_snapshot(dir: &Path) -> io::Result<Option<(Snapshot, Csn, PathBuf)>> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let mut candidates: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("checkpoint-") && name.ends_with(".rodainsnap")).then_some(path)
+        })
+        .collect();
+    candidates.sort();
+    for path in candidates.into_iter().rev() {
+        let mut data = Vec::new();
+        if fs::File::open(&path)
+            .and_then(|mut f| f.read_to_end(&mut data))
+            .is_err()
+        {
+            continue;
+        }
+        match decode_snapshot(&data) {
+            Ok((snapshot, upto)) => return Ok(Some((snapshot, upto, path))),
+            Err(_) => continue, // torn checkpoint: fall back to an older one
+        }
+    }
+    Ok(None)
+}
+
+/// Delete checkpoints older than the newest `keep` (garbage collection).
+pub fn prune_snapshots(dir: &Path, keep: usize) -> io::Result<usize> {
+    if !dir.exists() {
+        return Ok(0);
+    }
+    let mut candidates: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("checkpoint-") && name.ends_with(".rodainsnap")).then_some(path)
+        })
+        .collect();
+    candidates.sort();
+    let n = candidates.len().saturating_sub(keep.max(1));
+    for path in &candidates[..n] {
+        fs::remove_file(path)?;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodain_store::{Store, Value};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rodain-checkpoint-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_snapshot(n: u64) -> Snapshot {
+        let store = Store::new();
+        for i in 0..n {
+            store.install(
+                ObjectId(i),
+                Value::Record(vec![Value::Text(format!("v{i}")), Value::Int(i as i64)]),
+                Ts(i * 100),
+            );
+        }
+        store.snapshot()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snap = sample_snapshot(50);
+        let bytes = encode_snapshot(&snap, Csn(42));
+        let (decoded, upto) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(upto, Csn(42));
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let bytes = encode_snapshot(&Snapshot::default(), Csn(1));
+        let (decoded, upto) = decode_snapshot(&bytes).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(upto, Csn(1));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let snap = sample_snapshot(10);
+        let bytes = encode_snapshot(&snap, Csn(7)).to_vec();
+        for idx in [0, 12, bytes.len() / 2, bytes.len() - 1] {
+            let mut corrupted = bytes.clone();
+            corrupted[idx] ^= 0x40;
+            assert!(decode_snapshot(&corrupted).is_err(), "flip at {idx}");
+        }
+        // Truncation too.
+        assert!(decode_snapshot(&bytes[..bytes.len() - 5]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_and_latest_selection() {
+        let dir = tmpdir("latest");
+        write_snapshot_file(&dir, &sample_snapshot(5), Csn(10)).unwrap();
+        write_snapshot_file(&dir, &sample_snapshot(8), Csn(20)).unwrap();
+        let (snapshot, upto, path) = read_latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(upto, Csn(20));
+        assert_eq!(snapshot.len(), 8);
+        assert!(path.to_str().unwrap().contains("00000000000000000020"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_checkpoint_falls_back_to_older() {
+        let dir = tmpdir("fallback");
+        write_snapshot_file(&dir, &sample_snapshot(5), Csn(10)).unwrap();
+        let newest = write_snapshot_file(&dir, &sample_snapshot(8), Csn(20)).unwrap();
+        // Tear the newest one.
+        let data = fs::read(&newest).unwrap();
+        fs::write(&newest, &data[..data.len() - 3]).unwrap();
+        let (snapshot, upto, _) = read_latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(upto, Csn(10));
+        assert_eq!(snapshot.len(), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_none() {
+        let dir = tmpdir("missing"); // never created
+        assert!(read_latest_snapshot(&dir).unwrap().is_none());
+        assert_eq!(prune_snapshots(&dir, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = tmpdir("prune");
+        for csn in [1u64, 2, 3, 4] {
+            write_snapshot_file(&dir, &sample_snapshot(2), Csn(csn)).unwrap();
+        }
+        assert_eq!(prune_snapshots(&dir, 2).unwrap(), 2);
+        let (_, upto, _) = read_latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(upto, Csn(4));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,417 @@
+//! Binary framing for log records.
+//!
+//! Wire/disk format of one record:
+//!
+//! ```text
+//! ┌─────────┬─────────┬────────────────────┐
+//! │ len u32 │ crc u32 │ payload (len bytes)│   all integers little-endian
+//! └─────────┴─────────┴────────────────────┘
+//! payload = lsn u64 · txn u64 · tag u8 · body
+//! ```
+//!
+//! The same framing is used on the primary→mirror link and in the disk
+//! segments, so the mirror can append received frames without re-encoding.
+
+use crate::crc32::crc32;
+use crate::record::{LogRecord, Lsn, RecordKind};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rodain_occ::Csn;
+use rodain_store::{ObjectId, Ts, TxnId, Value};
+use std::fmt;
+
+/// Upper bound on a single frame; larger lengths are treated as corruption.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// CRC mismatch — the frame is torn or corrupted.
+    BadChecksum,
+    /// Structurally invalid payload (unknown tag, short body, …).
+    Malformed(&'static str),
+    /// Frame length exceeds [`MAX_FRAME_BYTES`].
+    OversizedFrame(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadChecksum => write!(f, "log frame checksum mismatch"),
+            CodecError::Malformed(what) => write!(f, "malformed log frame: {what}"),
+            CodecError::OversizedFrame(n) => write!(f, "oversized log frame: {n} bytes"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encode a [`Value`] into `buf` using the log codec's value format
+/// (exposed for higher-level message codecs, e.g. snapshot transfer).
+pub fn encode_value(buf: &mut BytesMut, value: &Value) {
+    put_value(buf, value);
+}
+
+/// Decode a [`Value`] previously written by [`encode_value`].
+pub fn decode_value(buf: &mut Bytes) -> Result<Value, CodecError> {
+    get_value(buf)
+}
+
+fn put_value(buf: &mut BytesMut, value: &Value) {
+    match value {
+        Value::Null => buf.put_u8(0),
+        Value::Int(v) => {
+            buf.put_u8(1);
+            buf.put_i64_le(*v);
+        }
+        Value::Text(s) => {
+            buf.put_u8(2);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            buf.put_u8(3);
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(b);
+        }
+        Value::Record(fields) => {
+            buf.put_u8(4);
+            buf.put_u32_le(fields.len() as u32);
+            for field in fields {
+                put_value(buf, field);
+            }
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Result<Value, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Malformed("value tag"));
+    }
+    match buf.get_u8() {
+        0 => Ok(Value::Null),
+        1 => {
+            if buf.remaining() < 8 {
+                return Err(CodecError::Malformed("int payload"));
+            }
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        2 => {
+            let bytes = get_blob(buf, "text")?;
+            String::from_utf8(bytes)
+                .map(Value::Text)
+                .map_err(|_| CodecError::Malformed("text utf-8"))
+        }
+        3 => Ok(Value::Bytes(get_blob(buf, "bytes")?)),
+        4 => {
+            if buf.remaining() < 4 {
+                return Err(CodecError::Malformed("record arity"));
+            }
+            let n = buf.get_u32_le() as usize;
+            if n > MAX_FRAME_BYTES / 2 {
+                return Err(CodecError::Malformed("record arity bound"));
+            }
+            let mut fields = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                fields.push(get_value(buf)?);
+            }
+            Ok(Value::Record(fields))
+        }
+        _ => Err(CodecError::Malformed("unknown value tag")),
+    }
+}
+
+fn get_blob(buf: &mut Bytes, what: &'static str) -> Result<Vec<u8>, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Malformed(what));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(CodecError::Malformed(what));
+    }
+    Ok(buf.copy_to_bytes(len).to_vec())
+}
+
+/// Encode a record into a self-delimiting frame.
+#[must_use]
+pub fn encode_record(record: &LogRecord) -> Bytes {
+    let mut payload = BytesMut::with_capacity(record.approx_size());
+    payload.put_u64_le(record.lsn.0);
+    payload.put_u64_le(record.txn.0);
+    match &record.kind {
+        RecordKind::Write { oid, image } => {
+            payload.put_u8(0);
+            payload.put_u64_le(oid.0);
+            put_value(&mut payload, image);
+        }
+        RecordKind::Commit {
+            csn,
+            ser_ts,
+            n_writes,
+        } => {
+            payload.put_u8(1);
+            payload.put_u64_le(csn.0);
+            payload.put_u64_le(ser_ts.0);
+            payload.put_u32_le(*n_writes);
+        }
+        RecordKind::Abort => payload.put_u8(2),
+        RecordKind::Checkpoint { upto, snapshot_id } => {
+            payload.put_u8(3);
+            payload.put_u64_le(upto.0);
+            payload.put_u64_le(*snapshot_id);
+        }
+    }
+    let payload = payload.freeze();
+    let mut frame = BytesMut::with_capacity(8 + payload.len());
+    frame.put_u32_le(payload.len() as u32);
+    frame.put_u32_le(crc32(&payload));
+    frame.put_slice(&payload);
+    frame.freeze()
+}
+
+/// Decode one frame's payload (checksum already verified).
+pub fn decode_record(mut payload: Bytes) -> Result<LogRecord, CodecError> {
+    if payload.remaining() < 17 {
+        return Err(CodecError::Malformed("payload header"));
+    }
+    let lsn = Lsn(payload.get_u64_le());
+    let txn = TxnId(payload.get_u64_le());
+    let kind = match payload.get_u8() {
+        0 => {
+            if payload.remaining() < 8 {
+                return Err(CodecError::Malformed("write oid"));
+            }
+            let oid = ObjectId(payload.get_u64_le());
+            let image = get_value(&mut payload)?;
+            RecordKind::Write { oid, image }
+        }
+        1 => {
+            if payload.remaining() < 20 {
+                return Err(CodecError::Malformed("commit body"));
+            }
+            RecordKind::Commit {
+                csn: Csn(payload.get_u64_le()),
+                ser_ts: Ts(payload.get_u64_le()),
+                n_writes: payload.get_u32_le(),
+            }
+        }
+        2 => RecordKind::Abort,
+        3 => {
+            if payload.remaining() < 16 {
+                return Err(CodecError::Malformed("checkpoint body"));
+            }
+            RecordKind::Checkpoint {
+                upto: Csn(payload.get_u64_le()),
+                snapshot_id: payload.get_u64_le(),
+            }
+        }
+        _ => return Err(CodecError::Malformed("unknown record tag")),
+    };
+    if payload.has_remaining() {
+        return Err(CodecError::Malformed("trailing bytes"));
+    }
+    Ok(LogRecord { lsn, txn, kind })
+}
+
+/// Incremental frame decoder for byte streams (TCP link, disk segments).
+///
+/// Feed arbitrary chunks with [`FrameDecoder::feed`], then pull complete
+/// records with [`FrameDecoder::next_record`]. `Ok(None)` means "need more
+/// bytes" — at end of a disk segment that state is a (tolerated) torn tail.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Create an empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw bytes from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to decode the next complete record.
+    pub fn next_record(&mut self) -> Result<Option<LogRecord>, CodecError> {
+        if self.buf.len() < 8 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(CodecError::OversizedFrame(len));
+        }
+        if self.buf.len() < 8 + len {
+            return Ok(None);
+        }
+        let expected_crc = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
+        self.buf.advance(8);
+        let payload = self.buf.split_to(len).freeze();
+        if crc32(&payload) != expected_crc {
+            return Err(CodecError::BadChecksum);
+        }
+        decode_record(payload).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord {
+                lsn: Lsn(1),
+                txn: TxnId(7),
+                kind: RecordKind::Write {
+                    oid: ObjectId(42),
+                    image: Value::Record(vec![
+                        Value::Int(-5),
+                        Value::Text("route-0800".into()),
+                        Value::Bytes(vec![1, 2, 3]),
+                        Value::Null,
+                    ]),
+                },
+            },
+            LogRecord {
+                lsn: Lsn(2),
+                txn: TxnId(7),
+                kind: RecordKind::Commit {
+                    csn: Csn(3),
+                    ser_ts: Ts(1 << 21),
+                    n_writes: 1,
+                },
+            },
+            LogRecord {
+                lsn: Lsn(3),
+                txn: TxnId(8),
+                kind: RecordKind::Abort,
+            },
+            LogRecord {
+                lsn: Lsn(4),
+                txn: TxnId(0),
+                kind: RecordKind::Checkpoint {
+                    upto: Csn(3),
+                    snapshot_id: 99,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_kind() {
+        for rec in sample_records() {
+            let frame = encode_record(&rec);
+            let mut dec = FrameDecoder::new();
+            dec.feed(&frame);
+            let got = dec.next_record().unwrap().unwrap();
+            assert_eq!(got, rec);
+            assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn stream_reassembles_across_chunk_boundaries() {
+        let records = sample_records();
+        let mut wire = Vec::new();
+        for r in &records {
+            wire.extend_from_slice(&encode_record(r));
+        }
+        // Feed one byte at a time.
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for b in wire {
+            dec.feed(&[b]);
+            while let Some(r) = dec.next_record().unwrap() {
+                out.push(r);
+            }
+        }
+        assert_eq!(out, records);
+    }
+
+    #[test]
+    fn incomplete_frame_returns_none() {
+        let frame = encode_record(&sample_records()[0]);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame[..frame.len() - 1]);
+        assert_eq!(dec.next_record().unwrap(), None);
+        dec.feed(&frame[frame.len() - 1..]);
+        assert!(dec.next_record().unwrap().is_some());
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let mut frame = encode_record(&sample_records()[0]).to_vec();
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        assert_eq!(dec.next_record(), Err(CodecError::BadChecksum));
+    }
+
+    #[test]
+    fn absurd_length_is_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(u32::MAX).to_le_bytes());
+        dec.feed(&[0u8; 4]);
+        match dec.next_record() {
+            Err(CodecError::OversizedFrame(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_malformed() {
+        // Hand-build a payload with tag 9.
+        let mut payload = BytesMut::new();
+        payload.put_u64_le(1);
+        payload.put_u64_le(1);
+        payload.put_u8(9);
+        let payload = payload.freeze();
+        assert!(matches!(
+            decode_record(payload),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_malformed() {
+        let mut payload = BytesMut::new();
+        payload.put_u64_le(1);
+        payload.put_u64_le(1);
+        payload.put_u8(2); // abort
+        payload.put_u8(0xAA); // junk
+        assert!(matches!(
+            decode_record(payload.freeze()),
+            Err(CodecError::Malformed("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn empty_text_and_bytes_roundtrip() {
+        let rec = LogRecord {
+            lsn: Lsn(1),
+            txn: TxnId(1),
+            kind: RecordKind::Write {
+                oid: ObjectId(1),
+                image: Value::Record(vec![
+                    Value::Text(String::new()),
+                    Value::Bytes(Vec::new()),
+                    Value::Record(Vec::new()),
+                ]),
+            },
+        };
+        let frame = encode_record(&rec);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        assert_eq!(dec.next_record().unwrap().unwrap(), rec);
+    }
+}

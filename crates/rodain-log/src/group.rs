@@ -1,0 +1,346 @@
+//! Group commit: batching synchronous log flushes.
+//!
+//! In Contingency mode (a node running alone) "the Log writer must store
+//! the logs directly to the disk" before the transaction may commit — the
+//! disk write is back on the critical path. [`GroupCommitLog`] amortizes it:
+//! all commit groups waiting while one flush is in flight are appended
+//! together and made durable by a single flush, so a 10 ms disk services
+//! many transactions per rotation instead of one. The mirror node uses the
+//! same component in asynchronous mode ("the disk updates are made after
+//! the transaction is committed").
+
+use crate::record::LogRecord;
+use crate::storage::LogStorage;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::io;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Monotone group-commit statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GroupCommitStats {
+    /// Flush groups executed.
+    pub groups: u64,
+    /// Records appended.
+    pub records: u64,
+    /// Synchronous commit requests served.
+    pub sync_commits: u64,
+    /// Largest number of requests coalesced into one flush.
+    pub max_batch: u64,
+}
+
+enum Request {
+    /// Append and make durable before replying.
+    Commit {
+        records: Vec<LogRecord>,
+        done: Sender<io::Result<()>>,
+    },
+    /// Checkpoint support: delete closed segments fully below a CSN.
+    Truncate {
+        upto: rodain_occ::Csn,
+        done: Sender<io::Result<usize>>,
+    },
+    /// Append without waiting (mirror's asynchronous disk writer).
+    Append {
+        records: Vec<LogRecord>,
+    },
+    /// Make everything appended so far durable.
+    Flush {
+        done: Sender<io::Result<()>>,
+    },
+    Shutdown,
+}
+
+/// A dedicated log-writer thread with group commit.
+pub struct GroupCommitLog {
+    tx: Sender<Request>,
+    handle: Option<JoinHandle<LogStorage>>,
+    stats: Arc<Mutex<GroupCommitStats>>,
+}
+
+impl GroupCommitLog {
+    /// Spawn the writer thread over `storage`. At most `max_batch` requests
+    /// are coalesced per flush.
+    #[must_use]
+    pub fn spawn(storage: LogStorage, max_batch: usize) -> Self {
+        let (tx, rx) = unbounded::<Request>();
+        let stats = Arc::new(Mutex::new(GroupCommitStats::default()));
+        let stats_thread = Arc::clone(&stats);
+        let handle = std::thread::Builder::new()
+            .name("rodain-log-writer".into())
+            .spawn(move || writer_loop(storage, rx, stats_thread, max_batch.max(1)))
+            .expect("spawn log writer");
+        GroupCommitLog {
+            tx,
+            handle: Some(handle),
+            stats,
+        }
+    }
+
+    /// Append `records` and block until they are durable. This is the
+    /// commit path of Contingency mode.
+    pub fn commit_sync(&self, records: Vec<LogRecord>) -> io::Result<()> {
+        let (done_tx, done_rx) = bounded(1);
+        self.tx
+            .send(Request::Commit {
+                records,
+                done: done_tx,
+            })
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "log writer gone"))?;
+        done_rx
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "log writer gone"))?
+    }
+
+    /// Append `records` without waiting for durability (mirror mode: the
+    /// commit was already acknowledged; the disk write happens after).
+    pub fn append_async(&self, records: Vec<LogRecord>) -> io::Result<()> {
+        self.tx
+            .send(Request::Append { records })
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "log writer gone"))
+    }
+
+    /// Block until everything appended so far is durable. A surviving
+    /// mirror calls this when the primary dies, closing the window in which
+    /// buffered logs could be lost to a second failure.
+    pub fn flush_sync(&self) -> io::Result<()> {
+        let (done_tx, done_rx) = bounded(1);
+        self.tx
+            .send(Request::Flush { done: done_tx })
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "log writer gone"))?;
+        done_rx
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "log writer gone"))?
+    }
+
+    /// Checkpoint support: delete closed segments whose commits all lie
+    /// below `upto`; returns how many were removed.
+    pub fn truncate_before(&self, upto: rodain_occ::Csn) -> io::Result<usize> {
+        let (done_tx, done_rx) = bounded(1);
+        self.tx
+            .send(Request::Truncate {
+                upto,
+                done: done_tx,
+            })
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "log writer gone"))?;
+        done_rx
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "log writer gone"))?
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> GroupCommitStats {
+        *self.stats.lock()
+    }
+
+    /// Stop the writer thread and recover the underlying storage.
+    pub fn shutdown(mut self) -> LogStorage {
+        let _ = self.tx.send(Request::Shutdown);
+        self.handle
+            .take()
+            .expect("shutdown called once")
+            .join()
+            .expect("log writer panicked")
+    }
+}
+
+impl Drop for GroupCommitLog {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = self.tx.send(Request::Shutdown);
+            let _ = handle.join();
+        }
+    }
+}
+
+fn writer_loop(
+    mut storage: LogStorage,
+    rx: Receiver<Request>,
+    stats: Arc<Mutex<GroupCommitStats>>,
+    max_batch: usize,
+) -> LogStorage {
+    loop {
+        let Ok(first) = rx.recv() else {
+            return storage;
+        };
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => break,
+            }
+        }
+
+        let mut waiters: Vec<Sender<io::Result<()>>> = Vec::new();
+        let mut appended = 0u64;
+        let mut sync_commits = 0u64;
+        let mut need_flush = false;
+        let mut shutdown = false;
+        let mut append_err: Option<io::ErrorKind> = None;
+
+        for req in batch.drain(..) {
+            match req {
+                Request::Commit { records, done } => {
+                    sync_commits += 1;
+                    need_flush = true;
+                    match storage.append_batch(&records) {
+                        Ok(()) => appended += records.len() as u64,
+                        Err(err) => append_err = Some(err.kind()),
+                    }
+                    waiters.push(done);
+                }
+                Request::Append { records } => match storage.append_batch(&records) {
+                    Ok(()) => appended += records.len() as u64,
+                    Err(err) => append_err = Some(err.kind()),
+                },
+                Request::Flush { done } => {
+                    need_flush = true;
+                    waiters.push(done);
+                }
+                Request::Truncate { upto, done } => {
+                    let _ = done.send(storage.truncate_before(upto));
+                }
+                Request::Shutdown => shutdown = true,
+            }
+        }
+
+        let flush_result = if need_flush || shutdown {
+            storage.flush()
+        } else {
+            Ok(())
+        };
+        let result_kind = append_err.or(flush_result.err().map(|e| e.kind()));
+        for w in waiters {
+            let reply = match result_kind {
+                None => Ok(()),
+                Some(kind) => Err(io::Error::new(kind, "log write failed")),
+            };
+            let _ = w.send(reply);
+        }
+
+        {
+            let mut s = stats.lock();
+            s.groups += 1;
+            s.records += appended;
+            s.sync_commits += sync_commits;
+            s.max_batch = s.max_batch.max(sync_commits);
+        }
+
+        if shutdown {
+            return storage;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Lsn, RecordKind};
+    use crate::storage::LogStorageConfig;
+    use rodain_occ::Csn;
+    use rodain_store::{Ts, TxnId};
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rodain-group-test-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn commit_rec(lsn: u64, csn: u64) -> LogRecord {
+        LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(lsn),
+            kind: RecordKind::Commit {
+                csn: Csn(csn),
+                ser_ts: Ts(csn),
+                n_writes: 0,
+            },
+        }
+    }
+
+    fn open(dir: &PathBuf) -> LogStorage {
+        LogStorage::open(LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(dir)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn sync_commit_is_durable_on_return() {
+        let dir = tmpdir("sync");
+        let group = GroupCommitLog::spawn(open(&dir), 8);
+        group.commit_sync(vec![commit_rec(1, 1)]).unwrap();
+        group.commit_sync(vec![commit_rec(2, 2)]).unwrap();
+        let mut storage = group.shutdown();
+        let got: Vec<_> = storage.iter().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_commits_coalesce() {
+        let dir = tmpdir("coalesce");
+        let group = std::sync::Arc::new(GroupCommitLog::spawn(open(&dir), 64));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let g = std::sync::Arc::clone(&group);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20u64 {
+                    g.commit_sync(vec![commit_rec(t * 100 + i, t * 100 + i)])
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = group.stats();
+        assert_eq!(stats.sync_commits, 160);
+        assert_eq!(stats.records, 160);
+        // With 8 writers racing, at least one flush served several commits.
+        assert!(
+            stats.groups <= stats.sync_commits,
+            "groups {} > commits {}",
+            stats.groups,
+            stats.sync_commits
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn async_appends_flush_on_demand() {
+        let dir = tmpdir("async");
+        let group = GroupCommitLog::spawn(open(&dir), 8);
+        for i in 1..=5u64 {
+            group.append_async(vec![commit_rec(i, i)]).unwrap();
+        }
+        group.flush_sync().unwrap();
+        assert_eq!(group.stats().records, 5);
+        let mut storage = group.shutdown();
+        let got: Vec<_> = storage.iter().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let dir = tmpdir("drop");
+        {
+            let group = GroupCommitLog::spawn(open(&dir), 8);
+            group.append_async(vec![commit_rec(1, 1)]).unwrap();
+            // Dropped without explicit shutdown.
+        }
+        let mut iter = LogStorage::scan_dir(&dir).unwrap();
+        // The shutdown path flushes buffered records.
+        assert!(iter.next().unwrap().is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,53 @@
+//! # rodain-log — the redo-log subsystem
+//!
+//! Log records serve two purposes in a RODAIN node (paper §3):
+//!
+//! 1. they keep the **Mirror Node**'s database copy up to date, so it can
+//!    take over almost instantaneously when the Primary fails;
+//! 2. they are stored on **secondary media** exactly as in a traditional
+//!    database, protecting against simultaneous failure of both nodes (and
+//!    enabling off-line analysis).
+//!
+//! The commit protocol this crate supports:
+//!
+//! * during the write phase each update generates a [`LogRecord`] carrying
+//!   the transaction id, the object id and the **after-image**;
+//! * a [`RecordKind::Commit`] record carries the commit sequence number
+//!   ([`rodain_occ::Csn`]) — the *true validation order*;
+//! * the mirror's [`ReorderBuffer`] regroups the interleaved stream per
+//!   transaction and releases committed transactions in validation order,
+//!   so the database copy never needs an undo and recovery is a single
+//!   forward pass;
+//! * [`LogStorage`] appends the reordered stream to segmented files with
+//!   per-record CRC32 framing and torn-tail detection;
+//! * [`GroupCommitLog`] batches concurrent synchronous flushes — the commit
+//!   path of a node running *alone* (Contingency mode), where the paper's
+//!   "one message round-trip instead of a disk write" trade inverts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod codec;
+mod crc32;
+mod group;
+mod record;
+mod recovery;
+mod reorder;
+mod storage;
+mod writer;
+
+pub use checkpoint::{
+    decode_snapshot, encode_snapshot, prune_snapshots, read_latest_snapshot, write_snapshot_file,
+};
+pub use codec::{
+    decode_record, decode_value, encode_record, encode_value, CodecError, FrameDecoder,
+    MAX_FRAME_BYTES,
+};
+pub use crc32::crc32;
+pub use group::{GroupCommitLog, GroupCommitStats};
+pub use record::{LogRecord, Lsn, RecordKind};
+pub use recovery::{replay_into, RecoveryError, RecoveryStats};
+pub use reorder::{CommittedTxn, IngestOutcome, ReorderBuffer, ReorderError};
+pub use storage::{LogStorage, LogStorageConfig, StorageStats};
+pub use writer::RecordBuilder;

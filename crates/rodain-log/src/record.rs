@@ -1,0 +1,151 @@
+//! Redo log records.
+
+use rodain_occ::Csn;
+use rodain_store::{ObjectId, Ts, TxnId, Value};
+use std::fmt;
+
+/// Log sequence number: position of a record in the primary's shipping
+/// order. Dense and monotone per node incarnation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The first LSN assigned by a fresh log writer.
+    pub const FIRST: Lsn = Lsn(1);
+
+    /// The next LSN.
+    #[must_use]
+    pub fn next(self) -> Lsn {
+        Lsn(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lsn#{}", self.0)
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The payload of a log record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RecordKind {
+    /// A redo after-image: transaction `txn` set `oid` to `image`
+    /// (generated during the write phase; paper §3: "transaction
+    /// identification, data item identification and an after image").
+    Write {
+        /// Updated object.
+        oid: ObjectId,
+        /// The after-image. [`Value::Null`] encodes a deletion.
+        image: Value,
+    },
+    /// The transaction committed. The mirror acknowledges this record; its
+    /// arrival — not the disk write — gates the primary's commit.
+    Commit {
+        /// Dense commit sequence number (true validation order).
+        csn: Csn,
+        /// Serialization timestamp the after-images are installed at.
+        ser_ts: Ts,
+        /// Number of `Write` records belonging to this transaction; lets
+        /// the mirror detect gaps in a transaction's record group.
+        n_writes: u32,
+    },
+    /// The transaction aborted after shipping some write records; the
+    /// mirror discards its pending group.
+    Abort,
+    /// Checkpoint marker: everything with CSN < `upto` is reflected in the
+    /// snapshot named by `snapshot_id` (extension; enables log truncation).
+    Checkpoint {
+        /// First CSN *not* covered by the checkpoint.
+        upto: Csn,
+        /// Identifier of the snapshot file the checkpoint refers to.
+        snapshot_id: u64,
+    },
+}
+
+impl RecordKind {
+    /// Short tag for diagnostics.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RecordKind::Write { .. } => "write",
+            RecordKind::Commit { .. } => "commit",
+            RecordKind::Abort => "abort",
+            RecordKind::Checkpoint { .. } => "checkpoint",
+        }
+    }
+}
+
+/// One redo log record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogRecord {
+    /// Shipping-order sequence number.
+    pub lsn: Lsn,
+    /// Owning transaction. Checkpoint records use [`TxnId`] 0.
+    pub txn: TxnId,
+    /// Payload.
+    pub kind: RecordKind,
+}
+
+impl LogRecord {
+    /// Approximate encoded size in bytes (for log-volume accounting and
+    /// simulation of transfer times).
+    #[must_use]
+    pub fn approx_size(&self) -> usize {
+        let body = match &self.kind {
+            RecordKind::Write { image, .. } => 8 + 8 + image.approx_size() + 4,
+            RecordKind::Commit { .. } => 8 + 8 + 4,
+            RecordKind::Abort => 0,
+            RecordKind::Checkpoint { .. } => 16,
+        };
+        // lsn + txn + tag + frame header (len + crc).
+        8 + 8 + 1 + 8 + body
+    }
+
+    /// Whether this is a commit record.
+    #[must_use]
+    pub fn is_commit(&self) -> bool {
+        matches!(self.kind, RecordKind::Commit { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsn_ordering() {
+        assert!(Lsn::FIRST < Lsn::FIRST.next());
+        assert_eq!(format!("{:?}", Lsn(7)), "lsn#7");
+    }
+
+    #[test]
+    fn record_predicates() {
+        let commit = LogRecord {
+            lsn: Lsn(1),
+            txn: TxnId(1),
+            kind: RecordKind::Commit {
+                csn: Csn(1),
+                ser_ts: Ts(1),
+                n_writes: 0,
+            },
+        };
+        assert!(commit.is_commit());
+        assert_eq!(commit.kind.tag(), "commit");
+        let write = LogRecord {
+            lsn: Lsn(2),
+            txn: TxnId(1),
+            kind: RecordKind::Write {
+                oid: ObjectId(1),
+                image: Value::Int(1),
+            },
+        };
+        assert!(!write.is_commit());
+        assert!(write.approx_size() > commit.approx_size() - 16);
+    }
+}

@@ -1,0 +1,222 @@
+//! Single-pass log replay.
+
+use crate::record::{LogRecord, RecordKind};
+use crate::reorder::ReorderError;
+use rodain_occ::Csn;
+use rodain_store::{Store, Ts};
+use std::fmt;
+
+/// Replay statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Records scanned.
+    pub records: u64,
+    /// Committed transactions applied.
+    pub committed: u64,
+    /// Transactions whose writes were discarded for lack of a commit record
+    /// (the in-flight tail at failure time).
+    pub discarded: u64,
+    /// After-images installed.
+    pub images: u64,
+    /// The highest CSN applied ([`Csn`] 0 when nothing committed).
+    pub max_csn: Csn,
+    /// The highest serialization timestamp applied.
+    pub max_ser_ts: Ts,
+}
+
+/// Replay failures.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// Reading a record failed (I/O or mid-log corruption).
+    Io(std::io::Error),
+    /// The log stream itself is inconsistent.
+    Stream(ReorderError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Io(e) => write!(f, "log read failed: {e}"),
+            RecoveryError::Stream(e) => write!(f, "inconsistent log stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<std::io::Error> for RecoveryError {
+    fn from(e: std::io::Error) -> Self {
+        RecoveryError::Io(e)
+    }
+}
+
+/// Rebuild database state by replaying `records` into `store`.
+///
+/// Because the mirror reorders the log by true validation order before
+/// storing it, recovery "can simply pass the log once from the beginning to
+/// the end omitting only the transactions that do not have a commit record
+/// in the log" (paper §3). The same pass also handles a Contingency-mode
+/// log (written in generation order): write records are buffered per
+/// transaction and applied only when the commit record appears.
+///
+/// Commit records are applied in the order encountered, regardless of CSN
+/// gaps — a checkpoint-truncated log legitimately starts mid-stream, and a
+/// transaction missing its commit record is exactly the in-flight tail the
+/// paper says to discard.
+pub fn replay_into(
+    store: &Store,
+    records: impl IntoIterator<Item = std::io::Result<LogRecord>>,
+) -> Result<RecoveryStats, RecoveryError> {
+    use std::collections::HashMap;
+    let mut stats = RecoveryStats::default();
+    let mut pending: HashMap<
+        rodain_store::TxnId,
+        Vec<(rodain_store::ObjectId, rodain_store::Value)>,
+    > = HashMap::new();
+    for item in records {
+        let record = item?;
+        stats.records += 1;
+        match record.kind {
+            RecordKind::Write { oid, image } => {
+                pending.entry(record.txn).or_default().push((oid, image));
+            }
+            RecordKind::Commit {
+                csn,
+                ser_ts,
+                n_writes,
+            } => {
+                let writes = pending.remove(&record.txn).unwrap_or_default();
+                if writes.len() as u32 != n_writes {
+                    return Err(RecoveryError::Stream(ReorderError::MissingWrites {
+                        txn: record.txn,
+                        expected: n_writes,
+                        got: writes.len() as u32,
+                    }));
+                }
+                stats.committed += 1;
+                stats.max_csn = stats.max_csn.max(csn);
+                stats.max_ser_ts = stats.max_ser_ts.max(ser_ts);
+                for (oid, image) in writes {
+                    store.install(oid, image, ser_ts);
+                    stats.images += 1;
+                }
+            }
+            RecordKind::Abort => {
+                pending.remove(&record.txn);
+            }
+            RecordKind::Checkpoint { .. } => {}
+        }
+    }
+    stats.discarded = pending.len() as u64;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Lsn;
+    use rodain_store::{ObjectId, TxnId, Value};
+
+    fn write(lsn: u64, txn: u64, oid: u64, v: i64) -> std::io::Result<LogRecord> {
+        Ok(LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(txn),
+            kind: RecordKind::Write {
+                oid: ObjectId(oid),
+                image: Value::Int(v),
+            },
+        })
+    }
+
+    fn commit(lsn: u64, txn: u64, csn: u64, n: u32) -> std::io::Result<LogRecord> {
+        Ok(LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(txn),
+            kind: RecordKind::Commit {
+                csn: Csn(csn),
+                ser_ts: Ts(csn * 10),
+                n_writes: n,
+            },
+        })
+    }
+
+    #[test]
+    fn committed_writes_are_applied() {
+        let store = Store::new();
+        let stats = replay_into(
+            &store,
+            vec![write(1, 1, 100, 7), write(2, 1, 101, 8), commit(3, 1, 1, 2)],
+        )
+        .unwrap();
+        assert_eq!(stats.committed, 1);
+        assert_eq!(stats.images, 2);
+        assert_eq!(store.read(ObjectId(100)).unwrap().0, Value::Int(7));
+        assert_eq!(store.read(ObjectId(100)).unwrap().1, Ts(10));
+    }
+
+    #[test]
+    fn uncommitted_tail_is_discarded() {
+        let store = Store::new();
+        let stats = replay_into(
+            &store,
+            vec![
+                write(1, 1, 100, 7),
+                commit(2, 1, 1, 1),
+                write(3, 2, 200, 9), // txn 2 never committed
+            ],
+        )
+        .unwrap();
+        assert_eq!(stats.committed, 1);
+        assert_eq!(stats.discarded, 1);
+        assert_eq!(store.read(ObjectId(200)), None);
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        let store = Store::new();
+        let records = || {
+            vec![
+                write(1, 1, 100, 7),
+                commit(2, 1, 1, 1),
+                write(3, 2, 100, 8),
+                commit(4, 2, 2, 1),
+            ]
+        };
+        replay_into(&store, records()).unwrap();
+        let snap1 = store.snapshot();
+        replay_into(&store, records()).unwrap();
+        assert_eq!(store.snapshot(), snap1);
+        assert_eq!(store.read(ObjectId(100)).unwrap().0, Value::Int(8));
+    }
+
+    #[test]
+    fn truncated_log_starting_midstream_replays() {
+        // A checkpoint-truncated log legitimately starts at csn 5.
+        let store = Store::new();
+        let stats = replay_into(
+            &store,
+            vec![write(10, 5, 1, 1), commit(11, 5, 5, 1), commit(12, 6, 6, 0)],
+        )
+        .unwrap();
+        assert_eq!(stats.committed, 2);
+        assert_eq!(stats.max_csn, Csn(6));
+    }
+
+    #[test]
+    fn io_error_propagates() {
+        let store = Store::new();
+        let err: std::io::Result<LogRecord> = Err(std::io::Error::other("boom"));
+        assert!(matches!(
+            replay_into(&store, vec![err]),
+            Err(RecoveryError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn empty_log_recovers_empty_state() {
+        let store = Store::new();
+        let stats = replay_into(&store, Vec::new()).unwrap();
+        assert_eq!(stats, RecoveryStats::default());
+        assert!(store.is_empty());
+    }
+}

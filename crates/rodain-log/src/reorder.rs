@@ -1,0 +1,397 @@
+//! Mirror-side log reordering.
+
+use crate::record::{LogRecord, Lsn, RecordKind};
+use rodain_occ::Csn;
+use rodain_store::{ObjectId, Ts, TxnId, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// A fully received, committed transaction, ready to be applied to the
+/// database copy and appended (reordered) to the disk log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommittedTxn {
+    /// The transaction.
+    pub txn: TxnId,
+    /// Commit sequence number (true validation order).
+    pub csn: Csn,
+    /// Serialization timestamp the after-images are installed at.
+    pub ser_ts: Ts,
+    /// After-images in the transaction's write order.
+    pub writes: Vec<(ObjectId, Value)>,
+    /// LSN of the commit record (acknowledged back to the primary).
+    pub commit_lsn: Lsn,
+}
+
+impl CommittedTxn {
+    /// Re-materialize the reordered record group (writes then commit) for
+    /// appending to the mirror's disk log.
+    #[must_use]
+    pub fn to_records(&self) -> Vec<LogRecord> {
+        let mut out = Vec::with_capacity(self.writes.len() + 1);
+        for (i, (oid, image)) in self.writes.iter().enumerate() {
+            out.push(LogRecord {
+                lsn: Lsn(self
+                    .commit_lsn
+                    .0
+                    .saturating_sub(self.writes.len() as u64 - i as u64)),
+                txn: self.txn,
+                kind: RecordKind::Write {
+                    oid: *oid,
+                    image: image.clone(),
+                },
+            });
+        }
+        out.push(LogRecord {
+            lsn: self.commit_lsn,
+            txn: self.txn,
+            kind: RecordKind::Commit {
+                csn: self.csn,
+                ser_ts: self.ser_ts,
+                n_writes: self.writes.len() as u32,
+            },
+        });
+        out
+    }
+}
+
+/// What [`ReorderBuffer::ingest`] did with a record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// A write record was buffered pending its commit record.
+    Buffered,
+    /// A commit record completed a transaction group. The mirror sends the
+    /// acknowledgement *now* — the paper's commit gate — even though the
+    /// transaction may still wait in the buffer for earlier CSNs.
+    Committed(Csn),
+    /// An abort record discarded the transaction's pending writes.
+    Aborted(TxnId),
+    /// A checkpoint marker passed through.
+    Checkpoint(Csn),
+}
+
+/// Errors surfaced while ingesting the log stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReorderError {
+    /// A commit record announced more writes than were received — records
+    /// were lost on the link.
+    MissingWrites {
+        /// The incomplete transaction.
+        txn: TxnId,
+        /// Writes announced by the commit record.
+        expected: u32,
+        /// Writes actually buffered.
+        got: u32,
+    },
+    /// Two commit records carried the same CSN.
+    DuplicateCsn(Csn),
+}
+
+impl std::fmt::Display for ReorderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReorderError::MissingWrites { txn, expected, got } => write!(
+                f,
+                "commit of {txn:?} announced {expected} writes but {got} arrived"
+            ),
+            ReorderError::DuplicateCsn(csn) => write!(f, "duplicate commit {csn:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ReorderError {}
+
+/// Regroups the interleaved log stream per transaction and releases
+/// committed transactions in true validation (CSN) order (paper §3):
+///
+/// > "The logs are reordered based on transactions before the Mirror Node
+/// > updates its database copy and stores the logs on disk. The true
+/// > validation order of the transactions is used for the reordering. […]
+/// > the recovery can simply pass the log once from the beginning to the
+/// > end omitting only the transactions that do not have a commit record."
+///
+/// The buffer also guarantees the mirror "never needs to undo any changes":
+/// a transaction's writes are released only once its commit record arrived
+/// *and* every transaction with a smaller CSN has been released.
+#[derive(Debug, Default)]
+pub struct ReorderBuffer {
+    pending: HashMap<TxnId, Vec<(ObjectId, Value)>>,
+    ready: BTreeMap<Csn, CommittedTxn>,
+    next_csn: Csn,
+    released: u64,
+    aborted: u64,
+}
+
+impl ReorderBuffer {
+    /// A buffer expecting the stream to start at [`Csn::FIRST`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::starting_at(Csn::FIRST)
+    }
+
+    /// A buffer joining mid-stream (mirror catch-up after a snapshot whose
+    /// last covered commit was `start.0 - 1`).
+    #[must_use]
+    pub fn starting_at(start: Csn) -> Self {
+        ReorderBuffer {
+            pending: HashMap::new(),
+            ready: BTreeMap::new(),
+            next_csn: start,
+            released: 0,
+            aborted: 0,
+        }
+    }
+
+    /// The next CSN the buffer will release.
+    #[must_use]
+    pub fn next_csn(&self) -> Csn {
+        self.next_csn
+    }
+
+    /// Transactions buffered awaiting their commit record.
+    #[must_use]
+    pub fn pending_txns(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Committed transactions waiting for earlier CSNs.
+    #[must_use]
+    pub fn ready_backlog(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Committed transactions released so far.
+    #[must_use]
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// The transaction a buffered commit with this CSN belongs to (present
+    /// between its ingest and its release by [`ReorderBuffer::drain_ready`]).
+    #[must_use]
+    pub fn committed_txn(&self, csn: Csn) -> Option<TxnId> {
+        self.ready.get(&csn).map(|c| c.txn)
+    }
+
+    /// Ingest one record from the primary.
+    pub fn ingest(&mut self, record: LogRecord) -> Result<IngestOutcome, ReorderError> {
+        match record.kind {
+            RecordKind::Write { oid, image } => {
+                self.pending
+                    .entry(record.txn)
+                    .or_default()
+                    .push((oid, image));
+                Ok(IngestOutcome::Buffered)
+            }
+            RecordKind::Commit {
+                csn,
+                ser_ts,
+                n_writes,
+            } => {
+                let writes = self.pending.remove(&record.txn).unwrap_or_default();
+                if writes.len() as u32 != n_writes {
+                    return Err(ReorderError::MissingWrites {
+                        txn: record.txn,
+                        expected: n_writes,
+                        got: writes.len() as u32,
+                    });
+                }
+                // A commit below the starting CSN is a replay duplicate
+                // (e.g. the primary resent after an ack was lost): ignore.
+                if csn < self.next_csn {
+                    return Ok(IngestOutcome::Committed(csn));
+                }
+                let committed = CommittedTxn {
+                    txn: record.txn,
+                    csn,
+                    ser_ts,
+                    writes,
+                    commit_lsn: record.lsn,
+                };
+                if self.ready.insert(csn, committed).is_some() {
+                    return Err(ReorderError::DuplicateCsn(csn));
+                }
+                Ok(IngestOutcome::Committed(csn))
+            }
+            RecordKind::Abort => {
+                self.pending.remove(&record.txn);
+                self.aborted += 1;
+                Ok(IngestOutcome::Aborted(record.txn))
+            }
+            RecordKind::Checkpoint { upto, .. } => Ok(IngestOutcome::Checkpoint(upto)),
+        }
+    }
+
+    /// Release the contiguous run of committed transactions starting at
+    /// [`ReorderBuffer::next_csn`], in validation order.
+    pub fn drain_ready(&mut self) -> Vec<CommittedTxn> {
+        let mut out = Vec::new();
+        while let Some(entry) = self.ready.first_entry() {
+            if *entry.key() != self.next_csn {
+                break;
+            }
+            out.push(entry.remove());
+            self.next_csn = self.next_csn.next();
+            self.released += 1;
+        }
+        out
+    }
+
+    /// Discard the writes of every transaction without a commit record
+    /// (primary failed: "all transactions that are not yet committed are
+    /// considered aborted, and their modifications … are not performed on
+    /// the database copy in the Mirror Node").
+    pub fn drop_uncommitted(&mut self) -> usize {
+        let n = self.pending.len();
+        self.pending.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(lsn: u64, txn: u64, oid: u64, v: i64) -> LogRecord {
+        LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(txn),
+            kind: RecordKind::Write {
+                oid: ObjectId(oid),
+                image: Value::Int(v),
+            },
+        }
+    }
+
+    fn commit(lsn: u64, txn: u64, csn: u64, n: u32) -> LogRecord {
+        LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(txn),
+            kind: RecordKind::Commit {
+                csn: Csn(csn),
+                ser_ts: Ts(csn * 100),
+                n_writes: n,
+            },
+        }
+    }
+
+    #[test]
+    fn interleaved_transactions_are_regrouped() {
+        let mut rb = ReorderBuffer::new();
+        // Two txns' write records interleave on the wire.
+        assert_eq!(rb.ingest(write(1, 1, 10, 1)), Ok(IngestOutcome::Buffered));
+        assert_eq!(rb.ingest(write(2, 2, 20, 2)), Ok(IngestOutcome::Buffered));
+        assert_eq!(rb.ingest(write(3, 1, 11, 1)), Ok(IngestOutcome::Buffered));
+        assert_eq!(
+            rb.ingest(commit(4, 1, 1, 2)),
+            Ok(IngestOutcome::Committed(Csn(1)))
+        );
+        let first = rb.drain_ready();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].txn, TxnId(1));
+        assert_eq!(first[0].writes.len(), 2);
+        assert_eq!(
+            rb.ingest(commit(5, 2, 2, 1)),
+            Ok(IngestOutcome::Committed(Csn(2)))
+        );
+        let second = rb.drain_ready();
+        assert_eq!(second[0].txn, TxnId(2));
+        assert_eq!(rb.released(), 2);
+    }
+
+    #[test]
+    fn out_of_order_commits_wait_for_the_gap() {
+        let mut rb = ReorderBuffer::new();
+        rb.ingest(commit(1, 2, 2, 0)).unwrap();
+        // CSN 1 has not arrived: nothing releases.
+        assert!(rb.drain_ready().is_empty());
+        assert_eq!(rb.ready_backlog(), 1);
+        rb.ingest(commit(2, 1, 1, 0)).unwrap();
+        let out = rb.drain_ready();
+        assert_eq!(
+            out.iter().map(|c| c.csn).collect::<Vec<_>>(),
+            vec![Csn(1), Csn(2)]
+        );
+    }
+
+    #[test]
+    fn abort_discards_pending_writes() {
+        let mut rb = ReorderBuffer::new();
+        rb.ingest(write(1, 1, 10, 1)).unwrap();
+        assert_eq!(
+            rb.ingest(LogRecord {
+                lsn: Lsn(2),
+                txn: TxnId(1),
+                kind: RecordKind::Abort,
+            }),
+            Ok(IngestOutcome::Aborted(TxnId(1)))
+        );
+        assert_eq!(rb.pending_txns(), 0);
+        assert!(rb.drain_ready().is_empty());
+    }
+
+    #[test]
+    fn missing_write_records_are_detected() {
+        let mut rb = ReorderBuffer::new();
+        rb.ingest(write(1, 1, 10, 1)).unwrap();
+        match rb.ingest(commit(2, 1, 1, 3)) {
+            Err(ReorderError::MissingWrites { expected, got, .. }) => {
+                assert_eq!((expected, got), (3, 1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_csn_is_an_error() {
+        let mut rb = ReorderBuffer::new();
+        rb.ingest(commit(1, 1, 5, 0)).unwrap();
+        assert_eq!(
+            rb.ingest(commit(2, 2, 5, 0)),
+            Err(ReorderError::DuplicateCsn(Csn(5)))
+        );
+    }
+
+    #[test]
+    fn replayed_old_commit_is_ignored() {
+        let mut rb = ReorderBuffer::starting_at(Csn(10));
+        assert_eq!(
+            rb.ingest(commit(1, 1, 4, 0)),
+            Ok(IngestOutcome::Committed(Csn(4)))
+        );
+        assert!(rb.drain_ready().is_empty());
+        assert_eq!(rb.ready_backlog(), 0);
+    }
+
+    #[test]
+    fn drop_uncommitted_counts() {
+        let mut rb = ReorderBuffer::new();
+        rb.ingest(write(1, 1, 10, 1)).unwrap();
+        rb.ingest(write(2, 2, 20, 2)).unwrap();
+        assert_eq!(rb.drop_uncommitted(), 2);
+        assert_eq!(rb.pending_txns(), 0);
+    }
+
+    #[test]
+    fn committed_txn_rematerializes_records() {
+        let ct = CommittedTxn {
+            txn: TxnId(3),
+            csn: Csn(7),
+            ser_ts: Ts(700),
+            writes: vec![(ObjectId(1), Value::Int(1)), (ObjectId(2), Value::Int(2))],
+            commit_lsn: Lsn(30),
+        };
+        let recs = ct.to_records();
+        assert_eq!(recs.len(), 3);
+        assert!(recs[2].is_commit());
+        assert_eq!(recs[2].lsn, Lsn(30));
+        assert!(recs.iter().all(|r| r.txn == TxnId(3)));
+    }
+
+    #[test]
+    fn read_only_commit_releases_immediately() {
+        let mut rb = ReorderBuffer::new();
+        rb.ingest(commit(1, 9, 1, 0)).unwrap();
+        let out = rb.drain_ready();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].writes.is_empty());
+    }
+}

@@ -1,0 +1,569 @@
+//! Segmented append-only disk log.
+
+use crate::codec::{encode_record, FrameDecoder};
+use crate::record::LogRecord;
+use crate::record::RecordKind;
+use rodain_occ::Csn;
+use std::collections::VecDeque;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const SEGMENT_MAGIC: &[u8; 8] = b"RODAINLG";
+const SEGMENT_VERSION: u32 = 1;
+const HEADER_LEN: u64 = 8 + 4 + 8;
+
+/// Configuration of the disk log.
+#[derive(Clone, Debug)]
+pub struct LogStorageConfig {
+    /// Directory holding the segment files.
+    pub dir: PathBuf,
+    /// Rotate to a new segment once the current one exceeds this size.
+    pub segment_bytes: u64,
+    /// Issue `fsync` on [`LogStorage::flush`]. Contingency mode requires
+    /// it (the disk is the only stable storage); the mirror's asynchronous
+    /// log writer can trade it for throughput.
+    pub fsync: bool,
+}
+
+impl LogStorageConfig {
+    /// Sensible defaults rooted at `dir`: 64 MiB segments, fsync on.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        LogStorageConfig {
+            dir: dir.into(),
+            segment_bytes: 64 * 1024 * 1024,
+            fsync: true,
+        }
+    }
+}
+
+/// Monotone disk-log statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Records appended.
+    pub records: u64,
+    /// Payload bytes appended (including framing).
+    pub bytes: u64,
+    /// Explicit flushes performed.
+    pub flushes: u64,
+    /// Segments created over the storage lifetime.
+    pub segments_created: u64,
+    /// Segments deleted by checkpoint truncation.
+    pub segments_truncated: u64,
+}
+
+/// Append-only, CRC-framed, segmented log storage — the "secondary media"
+/// of paper §3, holding the reordered log stream so the database survives
+/// simultaneous failure of both nodes.
+pub struct LogStorage {
+    cfg: LogStorageConfig,
+    closed: Vec<(u64, PathBuf)>,
+    writer: BufWriter<File>,
+    current_seq: u64,
+    current_path: PathBuf,
+    current_bytes: u64,
+    stats: StorageStats,
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("seg-{seq:010}.rodainlog"))
+}
+
+fn parse_segment_seq(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".rodainlog")?;
+    rest.parse().ok()
+}
+
+fn write_header(file: &mut impl Write, seq: u64) -> io::Result<()> {
+    file.write_all(SEGMENT_MAGIC)?;
+    file.write_all(&SEGMENT_VERSION.to_le_bytes())?;
+    file.write_all(&seq.to_le_bytes())?;
+    Ok(())
+}
+
+fn check_header(reader: &mut impl Read, path: &Path) -> io::Result<u64> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != SEGMENT_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: bad segment magic", path.display()),
+        ));
+    }
+    let mut version = [0u8; 4];
+    reader.read_exact(&mut version)?;
+    if u32::from_le_bytes(version) != SEGMENT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: unsupported segment version", path.display()),
+        ));
+    }
+    let mut seq = [0u8; 8];
+    reader.read_exact(&mut seq)?;
+    Ok(u64::from_le_bytes(seq))
+}
+
+impl LogStorage {
+    /// Open (creating the directory if needed). Existing segments are kept
+    /// as closed history; appends go to a fresh segment.
+    pub fn open(cfg: LogStorageConfig) -> io::Result<Self> {
+        fs::create_dir_all(&cfg.dir)?;
+        let mut closed: Vec<(u64, PathBuf)> = fs::read_dir(&cfg.dir)?
+            .filter_map(|entry| {
+                let path = entry.ok()?.path();
+                parse_segment_seq(&path).map(|seq| (seq, path))
+            })
+            .collect();
+        closed.sort_unstable_by_key(|(seq, _)| *seq);
+        let next_seq = closed.last().map(|(seq, _)| seq + 1).unwrap_or(1);
+        let current_path = segment_path(&cfg.dir, next_seq);
+        let file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&current_path)?;
+        let mut writer = BufWriter::new(file);
+        write_header(&mut writer, next_seq)?;
+        Ok(LogStorage {
+            cfg,
+            closed,
+            writer,
+            current_seq: next_seq,
+            current_path,
+            current_bytes: HEADER_LEN,
+            stats: StorageStats {
+                segments_created: 1,
+                ..StorageStats::default()
+            },
+        })
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        if self.cfg.fsync {
+            self.writer.get_ref().sync_data()?;
+        }
+        self.closed
+            .push((self.current_seq, self.current_path.clone()));
+        self.current_seq += 1;
+        self.current_path = segment_path(&self.cfg.dir, self.current_seq);
+        let file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&self.current_path)?;
+        self.writer = BufWriter::new(file);
+        write_header(&mut self.writer, self.current_seq)?;
+        self.current_bytes = HEADER_LEN;
+        self.stats.segments_created += 1;
+        Ok(())
+    }
+
+    /// Append one record (buffered; call [`LogStorage::flush`] to make it
+    /// durable).
+    pub fn append(&mut self, record: &LogRecord) -> io::Result<()> {
+        if self.current_bytes >= self.cfg.segment_bytes {
+            self.rotate()?;
+        }
+        let frame = encode_record(record);
+        self.writer.write_all(&frame)?;
+        self.current_bytes += frame.len() as u64;
+        self.stats.records += 1;
+        self.stats.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Append a batch of records.
+    pub fn append_batch(&mut self, records: &[LogRecord]) -> io::Result<()> {
+        for r in records {
+            self.append(r)?;
+        }
+        Ok(())
+    }
+
+    /// Flush buffered records to the OS (and the platter, when `fsync`).
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        if self.cfg.fsync {
+            self.writer.get_ref().sync_data()?;
+        }
+        self.stats.flushes += 1;
+        Ok(())
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> StorageStats {
+        self.stats
+    }
+
+    /// Paths of every segment, oldest first (closed then current).
+    #[must_use]
+    pub fn segment_paths(&self) -> Vec<PathBuf> {
+        let mut out: Vec<PathBuf> = self.closed.iter().map(|(_, p)| p.clone()).collect();
+        out.push(self.current_path.clone());
+        out
+    }
+
+    /// Iterate every record across all segments, oldest first. The caller
+    /// should [`LogStorage::flush`] first so buffered records are visible.
+    /// A torn tail in the *last* segment ends the iteration silently;
+    /// corruption anywhere else surfaces as an `Err` item.
+    pub fn iter(&mut self) -> io::Result<RecordIter> {
+        self.flush()?;
+        Ok(RecordIter::over(self.segment_paths()))
+    }
+
+    /// Scan a directory's segments without opening a writer (recovery of a
+    /// dead node's log).
+    pub fn scan_dir(dir: impl AsRef<Path>) -> io::Result<RecordIter> {
+        let mut segments: Vec<(u64, PathBuf)> = fs::read_dir(dir)?
+            .filter_map(|entry| {
+                let path = entry.ok()?.path();
+                parse_segment_seq(&path).map(|seq| (seq, path))
+            })
+            .collect();
+        segments.sort_unstable_by_key(|(seq, _)| *seq);
+        Ok(RecordIter::over(
+            segments.into_iter().map(|(_, p)| p).collect(),
+        ))
+    }
+
+    /// Checkpoint truncation: delete every *closed* segment all of whose
+    /// commit records lie below `upto` (their effects are covered by a
+    /// snapshot). Segments containing no commit records at all are kept
+    /// conservatively unless they are older than a deletable one.
+    pub fn truncate_before(&mut self, upto: Csn) -> io::Result<usize> {
+        self.flush()?;
+        let mut deletable = 0usize;
+        for (_, path) in &self.closed {
+            let mut max_csn = None;
+            let mut iter = RecordIter::over(vec![path.clone()]);
+            let mut clean = true;
+            for item in &mut iter {
+                match item {
+                    Ok(rec) => {
+                        if let RecordKind::Commit { csn, .. } = rec.kind {
+                            max_csn = Some(max_csn.map_or(csn, |m: Csn| m.max(csn)));
+                        }
+                    }
+                    Err(_) => {
+                        clean = false;
+                        break;
+                    }
+                }
+            }
+            match (clean, max_csn) {
+                (true, Some(max)) if max < upto => deletable += 1,
+                _ => break, // stop at the first segment we must keep
+            }
+        }
+        for (_, path) in self.closed.drain(..deletable) {
+            fs::remove_file(path)?;
+            self.stats.segments_truncated += 1;
+        }
+        Ok(deletable)
+    }
+}
+
+impl std::fmt::Debug for LogStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogStorage")
+            .field("dir", &self.cfg.dir)
+            .field("segments", &(self.closed.len() + 1))
+            .field("records", &self.stats.records)
+            .finish()
+    }
+}
+
+/// Streaming iterator over the records of a segment list.
+pub struct RecordIter {
+    files: VecDeque<PathBuf>,
+    reader: Option<BufReader<File>>,
+    decoder: FrameDecoder,
+    buf: Vec<u8>,
+    done: bool,
+    torn: bool,
+}
+
+impl RecordIter {
+    fn over(files: Vec<PathBuf>) -> Self {
+        RecordIter {
+            files: files.into(),
+            reader: None,
+            decoder: FrameDecoder::new(),
+            buf: vec![0u8; 64 * 1024],
+            done: false,
+            torn: false,
+        }
+    }
+
+    /// Whether the iteration ended at a torn tail (incomplete or
+    /// checksum-failing final frame) rather than a clean segment end.
+    #[must_use]
+    pub fn torn_tail(&self) -> bool {
+        self.torn
+    }
+
+    fn open_next(&mut self) -> io::Result<bool> {
+        let Some(path) = self.files.pop_front() else {
+            return Ok(false);
+        };
+        let file = File::open(&path)?;
+        let mut reader = BufReader::new(file);
+        check_header(&mut reader, &path)?;
+        self.reader = Some(reader);
+        self.decoder = FrameDecoder::new();
+        Ok(true)
+    }
+}
+
+impl Iterator for RecordIter {
+    type Item = io::Result<LogRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            // Drain decodable records first.
+            match self.decoder.next_record() {
+                Ok(Some(rec)) => return Some(Ok(rec)),
+                Ok(None) => {}
+                Err(err) => {
+                    // Corruption: tolerate as torn tail only at the very end
+                    // of the very last segment.
+                    self.done = true;
+                    if self.files.is_empty() {
+                        self.torn = true;
+                        return None;
+                    }
+                    return Some(Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        err.to_string(),
+                    )));
+                }
+            }
+            // Need more bytes.
+            if self.reader.is_none() {
+                match self.open_next() {
+                    Ok(true) => continue,
+                    Ok(false) => {
+                        self.done = true;
+                        if self.decoder.buffered() > 0 {
+                            self.torn = true;
+                        }
+                        return None;
+                    }
+                    Err(err) => {
+                        self.done = true;
+                        return Some(Err(err));
+                    }
+                }
+            }
+            let n = match self.reader.as_mut().expect("reader").read(&mut self.buf) {
+                Ok(n) => n,
+                Err(err) => {
+                    self.done = true;
+                    return Some(Err(err));
+                }
+            };
+            if n == 0 {
+                // End of this segment.
+                if self.decoder.buffered() > 0 {
+                    if self.files.is_empty() {
+                        // Torn tail of the last segment: stop silently.
+                        self.done = true;
+                        self.torn = true;
+                        return None;
+                    }
+                    self.done = true;
+                    return Some(Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "incomplete frame inside a non-final segment",
+                    )));
+                }
+                self.reader = None;
+                continue;
+            }
+            self.decoder.feed(&self.buf[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Lsn, RecordKind};
+    use rodain_store::{ObjectId, Ts, TxnId, Value};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rodain-log-test-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(lsn: u64, txn: u64, oid: u64) -> LogRecord {
+        LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(txn),
+            kind: RecordKind::Write {
+                oid: ObjectId(oid),
+                image: Value::Int(oid as i64),
+            },
+        }
+    }
+
+    fn commit(lsn: u64, txn: u64, csn: u64) -> LogRecord {
+        LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(txn),
+            kind: RecordKind::Commit {
+                csn: Csn(csn),
+                ser_ts: Ts(csn),
+                n_writes: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn append_flush_read_back() {
+        let dir = tmpdir("roundtrip");
+        let mut storage = LogStorage::open(LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(&dir)
+        })
+        .unwrap();
+        let records: Vec<_> = (1..=10u64).map(|i| rec(i, i, i * 10)).collect();
+        storage.append_batch(&records).unwrap();
+        storage.flush().unwrap();
+        let got: Vec<_> = storage.iter().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(got, records);
+        assert_eq!(storage.stats().records, 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_spans_segments() {
+        let dir = tmpdir("rotate");
+        let mut storage = LogStorage::open(LogStorageConfig {
+            segment_bytes: 256, // tiny: force rotation
+            fsync: false,
+            dir: dir.clone(),
+        })
+        .unwrap();
+        let records: Vec<_> = (1..=50u64).map(|i| rec(i, i, i)).collect();
+        storage.append_batch(&records).unwrap();
+        storage.flush().unwrap();
+        assert!(storage.stats().segments_created > 1);
+        let got: Vec<_> = storage.iter().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(got, records);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_preserves_history() {
+        let dir = tmpdir("reopen");
+        let cfg = LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(&dir)
+        };
+        {
+            let mut s = LogStorage::open(cfg.clone()).unwrap();
+            s.append(&rec(1, 1, 1)).unwrap();
+            s.flush().unwrap();
+        }
+        let mut s2 = LogStorage::open(cfg).unwrap();
+        s2.append(&rec(2, 2, 2)).unwrap();
+        let got: Vec<_> = s2.iter().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].lsn, Lsn(1));
+        assert_eq!(got[1].lsn, Lsn(2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let dir = tmpdir("torn");
+        let cfg = LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(&dir)
+        };
+        let path;
+        {
+            let mut s = LogStorage::open(cfg).unwrap();
+            s.append(&rec(1, 1, 1)).unwrap();
+            s.append(&rec(2, 2, 2)).unwrap();
+            s.flush().unwrap();
+            path = s.segment_paths().pop().unwrap();
+        }
+        // Chop off the final 3 bytes: the last frame is torn.
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let mut iter = LogStorage::scan_dir(&dir).unwrap();
+        let first = iter.next().unwrap().unwrap();
+        assert_eq!(first.lsn, Lsn(1));
+        assert!(iter.next().is_none());
+        assert!(iter.torn_tail());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_dir_of_empty_dir() {
+        let dir = tmpdir("empty");
+        fs::create_dir_all(&dir).unwrap();
+        let mut iter = LogStorage::scan_dir(&dir).unwrap();
+        assert!(iter.next().is_none());
+        assert!(!iter.torn_tail());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_drops_covered_segments() {
+        let dir = tmpdir("truncate");
+        let mut storage = LogStorage::open(LogStorageConfig {
+            segment_bytes: 128,
+            fsync: false,
+            dir: dir.clone(),
+        })
+        .unwrap();
+        for i in 1..=30u64 {
+            storage.append(&commit(i, i, i)).unwrap();
+        }
+        storage.flush().unwrap();
+        let segments_before = storage.segment_paths().len();
+        assert!(segments_before > 2);
+        let removed = storage.truncate_before(Csn(15)).unwrap();
+        assert!(removed > 0);
+        // Everything still readable and starting below or at csn 15.
+        let got: Vec<_> = storage.iter().unwrap().map(|r| r.unwrap()).collect();
+        assert!(!got.is_empty());
+        let first_csn = got
+            .iter()
+            .find_map(|r| match r.kind {
+                RecordKind::Commit { csn, .. } => Some(csn),
+                _ => None,
+            })
+            .unwrap();
+        assert!(first_csn <= Csn(15));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_mismatch_is_an_error() {
+        let dir = tmpdir("badheader");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("seg-0000000001.rodainlog"),
+            b"NOTMAGIC0000000000000",
+        )
+        .unwrap();
+        let mut iter = LogStorage::scan_dir(&dir).unwrap();
+        assert!(iter.next().unwrap().is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

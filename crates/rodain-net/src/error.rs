@@ -1,0 +1,30 @@
+//! Transport errors.
+
+use std::fmt;
+
+/// Transport failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer is gone (socket closed, channel dropped, or link severed by
+    /// failure injection). Crash-stop: the transport will never recover.
+    Disconnected,
+    /// An I/O error on the underlying socket.
+    Io(std::io::ErrorKind),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Io(kind) => write!(f, "transport i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.kind())
+    }
+}

@@ -1,0 +1,156 @@
+//! In-process transport.
+
+use crate::{NetError, Transport};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A transport backed by a pair of cross-wired channels — the default for
+/// tests and for running the Primary and Mirror inside one process (the
+/// paper's "RODAIN Node" is a primary/mirror *pair*; co-locating them is
+/// useful for development even though it forfeits the fault independence).
+pub struct InProcTransport {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    open: Arc<AtomicBool>,
+    peer_open: Arc<AtomicBool>,
+}
+
+impl InProcTransport {
+    /// Create a connected pair of endpoints.
+    #[must_use]
+    pub fn pair() -> (InProcTransport, InProcTransport) {
+        let (a_tx, b_rx) = unbounded();
+        let (b_tx, a_rx) = unbounded();
+        let a_open = Arc::new(AtomicBool::new(true));
+        let b_open = Arc::new(AtomicBool::new(true));
+        (
+            InProcTransport {
+                tx: a_tx,
+                rx: a_rx,
+                open: Arc::clone(&a_open),
+                peer_open: Arc::clone(&b_open),
+            },
+            InProcTransport {
+                tx: b_tx,
+                rx: b_rx,
+                open: b_open,
+                peer_open: a_open,
+            },
+        )
+    }
+
+    fn check_open(&self) -> Result<(), NetError> {
+        if self.open.load(Ordering::Acquire) && self.peer_open.load(Ordering::Acquire) {
+            Ok(())
+        } else {
+            Err(NetError::Disconnected)
+        }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn send(&self, frame: Bytes) -> Result<(), NetError> {
+        self.check_open()?;
+        self.tx.send(frame).map_err(|_| NetError::Disconnected)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NetError> {
+        // Drain queued frames even if the peer just closed; only report
+        // disconnection once the queue is empty.
+        if timeout.is_zero() {
+            return self.try_recv();
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => {
+                self.check_open()?;
+                Ok(None)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<Bytes>, NetError> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(TryRecvError::Empty) => {
+                self.check_open()?;
+                Ok(None)
+            }
+            Err(TryRecvError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    fn is_connected(&self) -> bool {
+        self.open.load(Ordering::Acquire) && self.peer_open.load(Ordering::Acquire)
+    }
+
+    fn close(&self) {
+        self.open.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_exchanges_frames_both_ways() {
+        let (a, b) = InProcTransport::pair();
+        a.send(Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(100)).unwrap().unwrap(),
+            Bytes::from_static(b"ping")
+        );
+        b.send(Bytes::from_static(b"pong")).unwrap();
+        assert_eq!(a.try_recv().unwrap().unwrap(), Bytes::from_static(b"pong"));
+    }
+
+    #[test]
+    fn ordering_is_preserved() {
+        let (a, b) = InProcTransport::pair();
+        for i in 0..100u8 {
+            a.send(Bytes::from(vec![i])).unwrap();
+        }
+        for i in 0..100u8 {
+            assert_eq!(b.try_recv().unwrap().unwrap()[0], i);
+        }
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let (a, _b) = InProcTransport::pair();
+        assert_eq!(a.recv_timeout(Duration::from_millis(5)).unwrap(), None);
+        assert_eq!(a.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn close_disconnects_both_ends() {
+        let (a, b) = InProcTransport::pair();
+        a.close();
+        assert!(!a.is_connected());
+        assert!(!b.is_connected());
+        assert_eq!(b.send(Bytes::new()), Err(NetError::Disconnected));
+        assert_eq!(a.send(Bytes::new()), Err(NetError::Disconnected));
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(1)),
+            Err(NetError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn queued_frames_drain_after_close() {
+        let (a, b) = InProcTransport::pair();
+        a.send(Bytes::from_static(b"last words")).unwrap();
+        a.close();
+        // The already-queued frame is still deliverable.
+        assert_eq!(
+            b.try_recv().unwrap().unwrap(),
+            Bytes::from_static(b"last words")
+        );
+        assert_eq!(b.try_recv(), Err(NetError::Disconnected));
+    }
+}

@@ -1,0 +1,58 @@
+//! # rodain-net — node-to-node transport
+//!
+//! The RODAIN Primary and Mirror nodes exchange log records, commit
+//! acknowledgements, watchdog heartbeats and recovery traffic. The paper's
+//! prototype ran on two Chorus/ClassiX machines on a LAN; this crate
+//! abstracts the link as an ordered, reliable, *crash-stop* duplex frame
+//! channel ([`Transport`]) with three implementations:
+//!
+//! * [`InProcTransport`] — a crossbeam channel pair for tests and
+//!   single-process deployments;
+//! * [`TcpTransport`] — length-prefixed frames over `std::net::TcpStream`,
+//!   for real two-machine deployments;
+//! * [`LossyLink`] — a failure-injection wrapper that can drop, black-hole
+//!   or sever an underlying link, used by the fault-tolerance tests.
+//!
+//! Frames are opaque [`Bytes`]; `rodain-node` defines the message codec on
+//! top.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod inproc;
+mod lossy;
+mod tcp;
+
+pub use error::NetError;
+pub use inproc::InProcTransport;
+pub use lossy::{LinkControl, LossyLink};
+pub use tcp::TcpTransport;
+
+use bytes::Bytes;
+use std::time::Duration;
+
+/// An ordered, reliable duplex frame channel between two nodes.
+///
+/// Semantics: frames arrive in send order or not at all; once any call
+/// returns [`NetError::Disconnected`] the peer is gone for good (crash-stop
+/// — a recovered node opens a *new* transport).
+pub trait Transport: Send + Sync {
+    /// Queue a frame for the peer.
+    fn send(&self, frame: Bytes) -> Result<(), NetError>;
+
+    /// Receive the next frame, waiting at most `timeout`.
+    /// `Ok(None)` means the timeout elapsed with the link still healthy.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NetError>;
+
+    /// Non-blocking receive.
+    fn try_recv(&self) -> Result<Option<Bytes>, NetError> {
+        self.recv_timeout(Duration::ZERO)
+    }
+
+    /// Whether the link is still believed to be up.
+    fn is_connected(&self) -> bool;
+
+    /// Close the link (idempotent). Pending frames may be lost.
+    fn close(&self);
+}

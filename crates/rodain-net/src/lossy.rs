@@ -1,0 +1,175 @@
+//! Failure-injection link wrapper.
+
+use crate::{NetError, Transport};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared control handle for a [`LossyLink`] (clone it into test code to
+/// manipulate the link while nodes are running).
+#[derive(Clone)]
+pub struct LinkControl {
+    severed: Arc<AtomicBool>,
+    blackhole: Arc<AtomicBool>,
+    drop_one_in: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl LinkControl {
+    /// Permanently sever the link: both directions fail with
+    /// [`NetError::Disconnected`] (models a node crash / cable cut).
+    pub fn sever(&self) {
+        self.severed.store(true, Ordering::Release);
+    }
+
+    /// Silently discard everything sent while enabled (models a partition
+    /// that the failure detector must notice by missing heartbeats).
+    pub fn set_blackhole(&self, enabled: bool) {
+        self.blackhole.store(enabled, Ordering::Release);
+    }
+
+    /// Drop every `n`-th outbound frame (0 disables dropping).
+    /// Note the [`Transport`] contract is FIFO-or-fail, so this is only
+    /// meaningful for stress-testing the *detection* of missing records
+    /// (e.g. [`rodain_log::ReorderBuffer`] gap checks, via its
+    /// `MissingWrites` error), not for normal operation.
+    pub fn set_drop_one_in(&self, n: u64) {
+        self.drop_one_in.store(n, Ordering::Release);
+    }
+
+    /// Frames discarded so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Acquire)
+    }
+
+    /// Whether the link was severed.
+    #[must_use]
+    pub fn is_severed(&self) -> bool {
+        self.severed.load(Ordering::Acquire)
+    }
+}
+
+/// A [`Transport`] decorator that injects link failures under test control.
+pub struct LossyLink<T: Transport> {
+    inner: T,
+    control: LinkControl,
+    sent: Mutex<u64>,
+}
+
+impl<T: Transport> LossyLink<T> {
+    /// Wrap `inner`; returns the link and its control handle.
+    pub fn new(inner: T) -> (Self, LinkControl) {
+        let control = LinkControl {
+            severed: Arc::new(AtomicBool::new(false)),
+            blackhole: Arc::new(AtomicBool::new(false)),
+            drop_one_in: Arc::new(AtomicU64::new(0)),
+            dropped: Arc::new(AtomicU64::new(0)),
+        };
+        (
+            LossyLink {
+                inner,
+                control: control.clone(),
+                sent: Mutex::new(0),
+            },
+            control,
+        )
+    }
+}
+
+impl<T: Transport> Transport for LossyLink<T> {
+    fn send(&self, frame: Bytes) -> Result<(), NetError> {
+        if self.control.severed.load(Ordering::Acquire) {
+            return Err(NetError::Disconnected);
+        }
+        if self.control.blackhole.load(Ordering::Acquire) {
+            self.control.dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(()); // swallowed silently
+        }
+        let drop_n = self.control.drop_one_in.load(Ordering::Acquire);
+        if drop_n > 0 {
+            let mut sent = self.sent.lock();
+            *sent += 1;
+            if *sent % drop_n == 0 {
+                self.control.dropped.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+        self.inner.send(frame)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NetError> {
+        if self.control.severed.load(Ordering::Acquire) {
+            return Err(NetError::Disconnected);
+        }
+        self.inner.recv_timeout(timeout)
+    }
+
+    fn is_connected(&self) -> bool {
+        !self.control.severed.load(Ordering::Acquire) && self.inner.is_connected()
+    }
+
+    fn close(&self) {
+        self.inner.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InProcTransport;
+
+    #[test]
+    fn passthrough_by_default() {
+        let (a, b) = InProcTransport::pair();
+        let (lossy, _ctl) = LossyLink::new(a);
+        lossy.send(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"x"));
+        assert!(lossy.is_connected());
+    }
+
+    #[test]
+    fn sever_disconnects_immediately() {
+        let (a, _b) = InProcTransport::pair();
+        let (lossy, ctl) = LossyLink::new(a);
+        ctl.sever();
+        assert!(ctl.is_severed());
+        assert_eq!(lossy.send(Bytes::new()), Err(NetError::Disconnected));
+        assert_eq!(
+            lossy.recv_timeout(Duration::from_millis(1)),
+            Err(NetError::Disconnected)
+        );
+        assert!(!lossy.is_connected());
+    }
+
+    #[test]
+    fn blackhole_swallows_silently() {
+        let (a, b) = InProcTransport::pair();
+        let (lossy, ctl) = LossyLink::new(a);
+        ctl.set_blackhole(true);
+        lossy.send(Bytes::from_static(b"gone")).unwrap();
+        assert_eq!(b.try_recv().unwrap(), None);
+        assert_eq!(ctl.dropped(), 1);
+        ctl.set_blackhole(false);
+        lossy.send(Bytes::from_static(b"back")).unwrap();
+        assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"back"));
+    }
+
+    #[test]
+    fn periodic_drop() {
+        let (a, b) = InProcTransport::pair();
+        let (lossy, ctl) = LossyLink::new(a);
+        ctl.set_drop_one_in(3);
+        for i in 0..9u8 {
+            lossy.send(Bytes::from(vec![i])).unwrap();
+        }
+        let mut received = Vec::new();
+        while let Some(f) = b.try_recv().unwrap() {
+            received.push(f[0]);
+        }
+        assert_eq!(received.len(), 6);
+        assert_eq!(ctl.dropped(), 3);
+    }
+}

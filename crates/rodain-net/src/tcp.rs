@@ -1,0 +1,241 @@
+//! TCP transport with length-prefixed framing.
+
+use crate::{NetError, Transport};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, TryRecvError};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bound on a frame accepted from the wire.
+const MAX_WIRE_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Capacity of the inbound frame queue before the reader applies
+/// backpressure by stalling the socket.
+const INBOUND_QUEUE: usize = 16 * 1024;
+
+/// A [`Transport`] over a TCP connection.
+///
+/// Wire format: `u32` little-endian length followed by the frame bytes.
+/// A background reader thread deframes the socket into a bounded queue;
+/// sends go directly to the socket under a mutex (writes are small and the
+/// log stream is produced by a single log-writer thread in practice).
+pub struct TcpTransport {
+    writer: Mutex<TcpStream>,
+    inbound: Receiver<Bytes>,
+    connected: Arc<AtomicBool>,
+    peer: SocketAddr,
+}
+
+impl TcpTransport {
+    /// Connect to a listening peer.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Accept one inbound connection on `listener`.
+    pub fn accept(listener: &TcpListener) -> Result<Self, NetError> {
+        let (stream, _) = listener.accept()?;
+        Self::from_stream(stream)
+    }
+
+    /// Wrap an already-connected stream.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, NetError> {
+        stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
+        let reader_stream = stream.try_clone()?;
+        let (tx, rx) = bounded(INBOUND_QUEUE);
+        let connected = Arc::new(AtomicBool::new(true));
+        let connected_reader = Arc::clone(&connected);
+        std::thread::Builder::new()
+            .name(format!("rodain-net-reader-{peer}"))
+            .spawn(move || {
+                let mut stream = reader_stream;
+                let mut len_buf = [0u8; 4];
+                loop {
+                    if stream.read_exact(&mut len_buf).is_err() {
+                        break;
+                    }
+                    let len = u32::from_le_bytes(len_buf);
+                    if len > MAX_WIRE_FRAME {
+                        break;
+                    }
+                    let mut frame = vec![0u8; len as usize];
+                    if stream.read_exact(&mut frame).is_err() {
+                        break;
+                    }
+                    if tx.send(Bytes::from(frame)).is_err() {
+                        break;
+                    }
+                }
+                connected_reader.store(false, Ordering::Release);
+            })
+            .expect("spawn tcp reader");
+        Ok(TcpTransport {
+            writer: Mutex::new(stream),
+            inbound: rx,
+            connected,
+            peer,
+        })
+    }
+
+    /// The peer's socket address.
+    #[must_use]
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, frame: Bytes) -> Result<(), NetError> {
+        if !self.connected.load(Ordering::Acquire) {
+            return Err(NetError::Disconnected);
+        }
+        let mut writer = self.writer.lock();
+        let len = (frame.len() as u32).to_le_bytes();
+        let result = writer
+            .write_all(&len)
+            .and_then(|()| writer.write_all(&frame));
+        match result {
+            Ok(()) => Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::BrokenPipe
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                ) =>
+            {
+                self.connected.store(false, Ordering::Release);
+                Err(NetError::Disconnected)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NetError> {
+        if timeout.is_zero() {
+            return self.try_recv();
+        }
+        match self.inbound.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => {
+                if self.connected.load(Ordering::Acquire) {
+                    Ok(None)
+                } else {
+                    Err(NetError::Disconnected)
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<Bytes>, NetError> {
+        match self.inbound.try_recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(TryRecvError::Empty) => {
+                if self.connected.load(Ordering::Acquire) {
+                    Ok(None)
+                } else {
+                    Err(NetError::Disconnected)
+                }
+            }
+            Err(TryRecvError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    fn is_connected(&self) -> bool {
+        self.connected.load(Ordering::Acquire)
+    }
+
+    fn close(&self) {
+        self.connected.store(false, Ordering::Release);
+        let writer = self.writer.lock();
+        let _ = writer.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (TcpTransport, TcpTransport) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || TcpTransport::connect(addr).unwrap());
+        let server = TcpTransport::accept(&listener).unwrap();
+        (server, client.join().unwrap())
+    }
+
+    #[test]
+    fn roundtrip_over_loopback() {
+        let (server, client) = pair();
+        client.send(Bytes::from_static(b"hello")).unwrap();
+        let got = server
+            .recv_timeout(Duration::from_secs(2))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, Bytes::from_static(b"hello"));
+        server.send(Bytes::from_static(b"world")).unwrap();
+        let got = client
+            .recv_timeout(Duration::from_secs(2))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, Bytes::from_static(b"world"));
+    }
+
+    #[test]
+    fn large_frames_survive() {
+        let (server, client) = pair();
+        let big = Bytes::from(vec![0xA5u8; 1_000_000]);
+        client.send(big.clone()).unwrap();
+        let got = server
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, big);
+    }
+
+    #[test]
+    fn many_small_frames_in_order() {
+        let (server, client) = pair();
+        for i in 0..500u32 {
+            client.send(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+        }
+        for i in 0..500u32 {
+            let got = server
+                .recv_timeout(Duration::from_secs(2))
+                .unwrap()
+                .unwrap();
+            assert_eq!(u32::from_le_bytes(got[..].try_into().unwrap()), i);
+        }
+    }
+
+    #[test]
+    fn close_surfaces_as_disconnect() {
+        let (server, client) = pair();
+        client.close();
+        // The server eventually observes the disconnect.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            match server.recv_timeout(Duration::from_millis(20)) {
+                Err(NetError::Disconnected) => break,
+                Ok(None) | Ok(Some(_)) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "disconnect not observed"
+                    );
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(matches!(
+            client.send(Bytes::new()),
+            Err(NetError::Disconnected) | Err(NetError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,130 @@
+//! Heartbeat-based failure detection (the Watchdog of Fig. 1).
+
+/// Verdict on the peer's health.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DetectorVerdict {
+    /// Heard from the peer within the timeout.
+    Alive,
+    /// One timeout elapsed; the peer may just be slow.
+    Suspect,
+    /// `suspect_rounds` timeouts elapsed without any traffic: declare the
+    /// peer dead and trigger failover.
+    Dead,
+}
+
+/// A simple timeout-based failure detector.
+///
+/// Time is injected (nanoseconds), so the same detector runs under the
+/// real clock and under simulated time. *Any* received message counts as a
+/// heartbeat — in normal operation the log/ack stream itself keeps the
+/// detector fed, and explicit [`crate::Message::Heartbeat`]s only flow when
+/// the system is idle.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    timeout_ns: u64,
+    suspect_rounds: u32,
+    last_heard: Option<u64>,
+    started_at: u64,
+    heard_count: u64,
+}
+
+impl FailureDetector {
+    /// A detector that declares death after `suspect_rounds` silent
+    /// timeouts of `timeout_ns` each, measured from `now`.
+    #[must_use]
+    pub fn new(now: u64, timeout_ns: u64, suspect_rounds: u32) -> Self {
+        FailureDetector {
+            timeout_ns: timeout_ns.max(1),
+            suspect_rounds: suspect_rounds.max(1),
+            last_heard: None,
+            started_at: now,
+            heard_count: 0,
+        }
+    }
+
+    /// Record traffic from the peer at `now`.
+    pub fn heard(&mut self, now: u64) {
+        self.heard_count += 1;
+        match self.last_heard {
+            Some(t) if t >= now => {}
+            _ => self.last_heard = Some(now),
+        }
+    }
+
+    /// Messages heard over the detector lifetime.
+    #[must_use]
+    pub fn heard_count(&self) -> u64 {
+        self.heard_count
+    }
+
+    /// Evaluate the peer's health at `now`.
+    #[must_use]
+    pub fn check(&self, now: u64) -> DetectorVerdict {
+        let reference = self.last_heard.unwrap_or(self.started_at);
+        let silent = now.saturating_sub(reference);
+        if silent < self.timeout_ns {
+            DetectorVerdict::Alive
+        } else if silent < self.timeout_ns * u64::from(self.suspect_rounds) {
+            DetectorVerdict::Suspect
+        } else {
+            DetectorVerdict::Dead
+        }
+    }
+
+    /// Nanoseconds of silence so far.
+    #[must_use]
+    pub fn silence(&self, now: u64) -> u64 {
+        now.saturating_sub(self.last_heard.unwrap_or(self.started_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alive_while_traffic_flows() {
+        let mut d = FailureDetector::new(0, 100, 3);
+        for t in (0..1000).step_by(50) {
+            d.heard(t);
+            assert_eq!(d.check(t + 49), DetectorVerdict::Alive);
+        }
+        assert_eq!(d.heard_count(), 20);
+    }
+
+    #[test]
+    fn silence_escalates_to_dead() {
+        let mut d = FailureDetector::new(0, 100, 3);
+        d.heard(10);
+        assert_eq!(d.check(100), DetectorVerdict::Alive);
+        assert_eq!(d.check(110), DetectorVerdict::Suspect);
+        assert_eq!(d.check(250), DetectorVerdict::Suspect);
+        assert_eq!(d.check(310), DetectorVerdict::Dead);
+        assert_eq!(d.silence(310), 300);
+    }
+
+    #[test]
+    fn never_heard_counts_from_start() {
+        let d = FailureDetector::new(1_000, 100, 2);
+        assert_eq!(d.check(1_050), DetectorVerdict::Alive);
+        assert_eq!(d.check(1_150), DetectorVerdict::Suspect);
+        assert_eq!(d.check(1_200), DetectorVerdict::Dead);
+    }
+
+    #[test]
+    fn late_heard_does_not_rewind() {
+        let mut d = FailureDetector::new(0, 100, 2);
+        d.heard(500);
+        d.heard(300); // out-of-order clock reading
+        assert_eq!(d.silence(600), 100);
+    }
+
+    #[test]
+    fn recovery_after_suspect() {
+        let mut d = FailureDetector::new(0, 100, 3);
+        d.heard(0);
+        assert_eq!(d.check(150), DetectorVerdict::Suspect);
+        d.heard(160);
+        assert_eq!(d.check(200), DetectorVerdict::Alive);
+    }
+}

@@ -1,0 +1,37 @@
+//! # rodain-node — node roles, watchdog, failover and recovery
+//!
+//! A "RODAIN Node" in the paper is a *pair* of database nodes: the
+//! **Primary Node** executes all transactions, the **Mirror Node** (hot
+//! stand-by) maintains a copy of the main-memory database from the shipped
+//! transaction log and stores that log on disk. This crate implements the
+//! distributed-system half of that design:
+//!
+//! * [`Message`] — the wire protocol between the two nodes (log records,
+//!   commit acknowledgements, heartbeats, snapshot transfer for rejoin);
+//! * [`NodeRole`] / [`RoleMachine`] — the failover state machine: the
+//!   mirror promotes when the primary fails, a node running alone is a
+//!   *Contingency Primary* that must log synchronously to disk, and a
+//!   recovered node **always rejoins as Mirror** ("This solution avoids the
+//!   need to switch the database processing responsibilities");
+//! * [`FailureDetector`] — heartbeat bookkeeping for the Watchdog
+//!   subsystem of Fig. 1;
+//! * [`MirrorNode`] — the complete mirror service loop: receive → reorder →
+//!   acknowledge commit records → apply to the database copy → append the
+//!   reordered log to disk asynchronously;
+//! * [`recover_store_from_disk`] — cold-start recovery: a single forward
+//!   pass over the stored log.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detector;
+mod message;
+mod mirror;
+mod recovery;
+mod role;
+
+pub use detector::{DetectorVerdict, FailureDetector};
+pub use message::{Message, MessageError};
+pub use mirror::{MirrorConfig, MirrorExit, MirrorNode, MirrorReport};
+pub use recovery::{recover_store_from_disk, recover_with_checkpoint, ColdStart};
+pub use role::{NodeRole, RoleError, RoleEvent, RoleMachine};

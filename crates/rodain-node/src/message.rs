@@ -1,0 +1,398 @@
+//! The primary↔mirror wire protocol.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rodain_log::{decode_value, encode_record, encode_value, CodecError, FrameDecoder, LogRecord};
+use rodain_occ::Csn;
+use rodain_store::{ObjectId, Snapshot, Ts, TxnId, VersionedObject};
+use std::fmt;
+
+/// Messages exchanged between the Primary and the Mirror node.
+///
+/// Each message is encoded into one transport frame; the transport supplies
+/// ordering and integrity, so no per-message checksum is added on top of the
+/// record frames' own CRCs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// A batch of log records in shipping order. The Log Writer "sends the
+    /// log records to the Mirror Node as soon as they are generated".
+    Records(Vec<LogRecord>),
+    /// Immediate acknowledgement of a commit record: "When the Mirror Node
+    /// receives a commit record, it immediately sends an acknowledgment
+    /// back." Arrival of this message — not any disk write — lets the
+    /// primary finish the commit.
+    CommitAck {
+        /// Transaction whose commit record arrived.
+        txn: TxnId,
+        /// Its commit sequence number.
+        csn: Csn,
+    },
+    /// Watchdog heartbeat.
+    Heartbeat {
+        /// Monotone sequence number per sender incarnation.
+        seq: u64,
+    },
+    /// A recovered node announces itself and asks to become the Mirror.
+    JoinRequest,
+    /// One chunk of the state-transfer snapshot.
+    SnapshotChunk {
+        /// Chunk index (0-based).
+        index: u32,
+        /// Total number of chunks.
+        total: u32,
+        /// The objects in this chunk.
+        objects: Vec<(ObjectId, VersionedObject)>,
+    },
+    /// State transfer complete; the live log stream resumes at `next_csn`.
+    SnapshotDone {
+        /// First CSN the mirror will receive over the live stream.
+        next_csn: Csn,
+    },
+}
+
+/// Message (de)serialization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessageError {
+    /// Unknown message tag byte.
+    UnknownTag(u8),
+    /// Structurally invalid body.
+    Malformed(&'static str),
+    /// An embedded log record failed to decode.
+    Record(CodecError),
+}
+
+impl fmt::Display for MessageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MessageError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            MessageError::Malformed(what) => write!(f, "malformed message: {what}"),
+            MessageError::Record(e) => write!(f, "embedded record: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MessageError {}
+
+impl From<CodecError> for MessageError {
+    fn from(e: CodecError) -> Self {
+        MessageError::Record(e)
+    }
+}
+
+const TAG_RECORDS: u8 = 1;
+const TAG_COMMIT_ACK: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+const TAG_JOIN_REQUEST: u8 = 4;
+const TAG_SNAPSHOT_CHUNK: u8 = 5;
+const TAG_SNAPSHOT_DONE: u8 = 6;
+
+impl Message {
+    /// Encode into a transport frame.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            Message::Records(records) => {
+                buf.put_u8(TAG_RECORDS);
+                buf.put_u32_le(records.len() as u32);
+                for r in records {
+                    let frame = encode_record(r);
+                    buf.put_slice(&frame);
+                }
+            }
+            Message::CommitAck { txn, csn } => {
+                buf.put_u8(TAG_COMMIT_ACK);
+                buf.put_u64_le(txn.0);
+                buf.put_u64_le(csn.0);
+            }
+            Message::Heartbeat { seq } => {
+                buf.put_u8(TAG_HEARTBEAT);
+                buf.put_u64_le(*seq);
+            }
+            Message::JoinRequest => buf.put_u8(TAG_JOIN_REQUEST),
+            Message::SnapshotChunk {
+                index,
+                total,
+                objects,
+            } => {
+                buf.put_u8(TAG_SNAPSHOT_CHUNK);
+                buf.put_u32_le(*index);
+                buf.put_u32_le(*total);
+                buf.put_u32_le(objects.len() as u32);
+                for (oid, obj) in objects {
+                    buf.put_u64_le(oid.0);
+                    buf.put_u64_le(obj.wts.0);
+                    buf.put_u64_le(obj.rts.0);
+                    encode_value(&mut buf, &obj.value);
+                }
+            }
+            Message::SnapshotDone { next_csn } => {
+                buf.put_u8(TAG_SNAPSHOT_DONE);
+                buf.put_u64_le(next_csn.0);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode a transport frame.
+    pub fn decode(mut frame: Bytes) -> Result<Message, MessageError> {
+        if frame.remaining() < 1 {
+            return Err(MessageError::Malformed("empty frame"));
+        }
+        let tag = frame.get_u8();
+        match tag {
+            TAG_RECORDS => {
+                if frame.remaining() < 4 {
+                    return Err(MessageError::Malformed("records count"));
+                }
+                let n = frame.get_u32_le() as usize;
+                let mut decoder = FrameDecoder::new();
+                decoder.feed(&frame);
+                let mut records = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    match decoder.next_record()? {
+                        Some(r) => records.push(r),
+                        None => return Err(MessageError::Malformed("truncated records")),
+                    }
+                }
+                if decoder.buffered() != 0 {
+                    return Err(MessageError::Malformed("trailing record bytes"));
+                }
+                Ok(Message::Records(records))
+            }
+            TAG_COMMIT_ACK => {
+                if frame.remaining() < 16 {
+                    return Err(MessageError::Malformed("ack body"));
+                }
+                Ok(Message::CommitAck {
+                    txn: TxnId(frame.get_u64_le()),
+                    csn: Csn(frame.get_u64_le()),
+                })
+            }
+            TAG_HEARTBEAT => {
+                if frame.remaining() < 8 {
+                    return Err(MessageError::Malformed("heartbeat body"));
+                }
+                Ok(Message::Heartbeat {
+                    seq: frame.get_u64_le(),
+                })
+            }
+            TAG_JOIN_REQUEST => Ok(Message::JoinRequest),
+            TAG_SNAPSHOT_CHUNK => {
+                if frame.remaining() < 12 {
+                    return Err(MessageError::Malformed("chunk header"));
+                }
+                let index = frame.get_u32_le();
+                let total = frame.get_u32_le();
+                let n = frame.get_u32_le() as usize;
+                let mut objects = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    if frame.remaining() < 24 {
+                        return Err(MessageError::Malformed("chunk object header"));
+                    }
+                    let oid = ObjectId(frame.get_u64_le());
+                    let wts = Ts(frame.get_u64_le());
+                    let rts = Ts(frame.get_u64_le());
+                    let value = decode_value(&mut frame)?;
+                    objects.push((oid, VersionedObject { value, wts, rts }));
+                }
+                if frame.has_remaining() {
+                    return Err(MessageError::Malformed("trailing chunk bytes"));
+                }
+                Ok(Message::SnapshotChunk {
+                    index,
+                    total,
+                    objects,
+                })
+            }
+            TAG_SNAPSHOT_DONE => {
+                if frame.remaining() < 8 {
+                    return Err(MessageError::Malformed("snapshot done body"));
+                }
+                Ok(Message::SnapshotDone {
+                    next_csn: Csn(frame.get_u64_le()),
+                })
+            }
+            other => Err(MessageError::UnknownTag(other)),
+        }
+    }
+
+    /// Split a snapshot into `SnapshotChunk` messages of at most
+    /// `objects_per_chunk` objects (at least one chunk, even when empty,
+    /// so the receiver always sees `total`).
+    #[must_use]
+    pub fn snapshot_chunks(snapshot: &Snapshot, objects_per_chunk: usize) -> Vec<Message> {
+        let chunks = if snapshot.is_empty() {
+            vec![Snapshot::default()]
+        } else {
+            snapshot.chunks(objects_per_chunk)
+        };
+        let total = chunks.len() as u32;
+        chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| Message::SnapshotChunk {
+                index: i as u32,
+                total,
+                objects: c.objects,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodain_log::{Lsn, RecordKind};
+    use rodain_store::Value;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Records(vec![
+                LogRecord {
+                    lsn: Lsn(1),
+                    txn: TxnId(1),
+                    kind: RecordKind::Write {
+                        oid: ObjectId(5),
+                        image: Value::Text("hello".into()),
+                    },
+                },
+                LogRecord {
+                    lsn: Lsn(2),
+                    txn: TxnId(1),
+                    kind: RecordKind::Commit {
+                        csn: Csn(1),
+                        ser_ts: Ts(100),
+                        n_writes: 1,
+                    },
+                },
+            ]),
+            Message::CommitAck {
+                txn: TxnId(9),
+                csn: Csn(4),
+            },
+            Message::Heartbeat { seq: 77 },
+            Message::JoinRequest,
+            Message::SnapshotChunk {
+                index: 2,
+                total: 5,
+                objects: vec![
+                    (
+                        ObjectId(1),
+                        VersionedObject {
+                            value: Value::Int(42),
+                            wts: Ts(10),
+                            rts: Ts(12),
+                        },
+                    ),
+                    (
+                        ObjectId(2),
+                        VersionedObject {
+                            value: Value::Record(vec![Value::Null, Value::Bytes(vec![1])]),
+                            wts: Ts(0),
+                            rts: Ts(0),
+                        },
+                    ),
+                ],
+            },
+            Message::SnapshotDone { next_csn: Csn(123) },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for msg in sample_messages() {
+            let frame = msg.encode();
+            let got = Message::decode(frame).unwrap();
+            assert_eq!(got, msg);
+        }
+    }
+
+    #[test]
+    fn empty_records_batch_roundtrips() {
+        let msg = Message::Records(vec![]);
+        assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let frame = Bytes::from_static(&[0xEE]);
+        assert_eq!(Message::decode(frame), Err(MessageError::UnknownTag(0xEE)));
+    }
+
+    #[test]
+    fn empty_frame_rejected() {
+        assert!(matches!(
+            Message::decode(Bytes::new()),
+            Err(MessageError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_ack_rejected() {
+        let mut frame = BytesMut::new();
+        frame.put_u8(TAG_COMMIT_ACK);
+        frame.put_u32_le(1);
+        assert!(matches!(
+            Message::decode(frame.freeze()),
+            Err(MessageError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_records_rejected() {
+        // Claim 2 records, provide 1.
+        let rec = LogRecord {
+            lsn: Lsn(1),
+            txn: TxnId(1),
+            kind: RecordKind::Abort,
+        };
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_RECORDS);
+        buf.put_u32_le(2);
+        buf.put_slice(&encode_record(&rec));
+        assert!(matches!(
+            Message::decode(buf.freeze()),
+            Err(MessageError::Malformed("truncated records"))
+        ));
+    }
+
+    #[test]
+    fn snapshot_chunking_covers_all_objects() {
+        let store = rodain_store::Store::new();
+        for i in 0..25u64 {
+            store.load_initial(ObjectId(i), Value::Int(i as i64));
+        }
+        let snap = store.snapshot();
+        let msgs = Message::snapshot_chunks(&snap, 10);
+        assert_eq!(msgs.len(), 3);
+        let mut seen = 0;
+        for (i, m) in msgs.iter().enumerate() {
+            match m {
+                Message::SnapshotChunk {
+                    index,
+                    total,
+                    objects,
+                } => {
+                    assert_eq!(*index as usize, i);
+                    assert_eq!(*total, 3);
+                    seen += objects.len();
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(seen, 25);
+    }
+
+    #[test]
+    fn empty_snapshot_yields_one_empty_chunk() {
+        let msgs = Message::snapshot_chunks(&Snapshot::default(), 10);
+        assert_eq!(msgs.len(), 1);
+        match &msgs[0] {
+            Message::SnapshotChunk { total, objects, .. } => {
+                assert_eq!(*total, 1);
+                assert!(objects.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

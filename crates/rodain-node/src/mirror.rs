@@ -1,0 +1,441 @@
+//! The Mirror Node service.
+
+use crate::detector::{DetectorVerdict, FailureDetector};
+use crate::message::Message;
+use rodain_log::{GroupCommitLog, ReorderBuffer};
+use rodain_net::{NetError, Transport};
+use rodain_occ::Csn;
+use rodain_store::{Snapshot, Store};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Mirror service configuration.
+#[derive(Clone, Debug)]
+pub struct MirrorConfig {
+    /// How long a receive may block before the loop services timers.
+    pub poll_interval: Duration,
+    /// Idle interval after which the mirror sends an explicit heartbeat.
+    pub heartbeat_interval: Duration,
+    /// Silence after which the primary is suspected.
+    pub peer_timeout: Duration,
+    /// Suspect rounds before the primary is declared dead.
+    pub suspect_rounds: u32,
+    /// When set, the state-transfer snapshot received at [`MirrorNode::join`]
+    /// is persisted here as a checkpoint file. Without it, a *rejoining*
+    /// mirror's disk log starts at the snapshot boundary and recovery from
+    /// that disk alone would miss the pre-snapshot state; with it,
+    /// [`crate::recover_with_checkpoint`] restores the full database from
+    /// snapshot + log tail.
+    pub snapshot_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for MirrorConfig {
+    fn default() -> Self {
+        MirrorConfig {
+            poll_interval: Duration::from_millis(5),
+            heartbeat_interval: Duration::from_millis(50),
+            peer_timeout: Duration::from_millis(200),
+            suspect_rounds: 3,
+            snapshot_dir: None,
+        }
+    }
+}
+
+/// Why the mirror loop ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MirrorExit {
+    /// The primary is gone (link severed or watchdog timeout). The caller
+    /// promotes this node: its store is current up to the last applied
+    /// transaction, and the buffered logs have been flushed to disk.
+    PrimaryFailed,
+    /// Local shutdown was requested.
+    ShutdownRequested,
+}
+
+/// Counters accumulated by the mirror loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MirrorReport {
+    /// Log records ingested.
+    pub records: u64,
+    /// Commit records acknowledged.
+    pub acks_sent: u64,
+    /// Committed transactions applied to the database copy.
+    pub txns_applied: u64,
+    /// After-images installed.
+    pub images_applied: u64,
+    /// Heartbeats sent.
+    pub heartbeats_sent: u64,
+    /// Undecodable or unexpected messages ignored.
+    pub ignored: u64,
+    /// Uncommitted in-flight transactions discarded at exit.
+    pub discarded_at_exit: u64,
+}
+
+/// The hot stand-by: maintains the database copy from the shipped log.
+///
+/// Life cycle: [`MirrorNode::join`] (announce, receive the state-transfer
+/// snapshot) then [`MirrorNode::run`] (the receive → reorder → acknowledge →
+/// apply → spool-to-disk loop). On primary failure `run` returns and the
+/// embedding process promotes the node (see [`crate::RoleMachine`]).
+pub struct MirrorNode {
+    store: Arc<Store>,
+    transport: Arc<dyn Transport>,
+    disk: Option<GroupCommitLog>,
+    config: MirrorConfig,
+    reorder: ReorderBuffer,
+    report: MirrorReport,
+    shutdown: Arc<AtomicBool>,
+    applied_csn: Arc<AtomicU64>,
+    hb_seq: u64,
+}
+
+impl MirrorNode {
+    /// Create a mirror over `store` (usually empty; `join` fills it),
+    /// talking to the primary through `transport`, spooling the reordered
+    /// log to `disk` when given.
+    #[must_use]
+    pub fn new(
+        store: Arc<Store>,
+        transport: Arc<dyn Transport>,
+        disk: Option<GroupCommitLog>,
+        config: MirrorConfig,
+    ) -> Self {
+        MirrorNode {
+            store,
+            transport,
+            disk,
+            config,
+            reorder: ReorderBuffer::new(),
+            report: MirrorReport::default(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            applied_csn: Arc::new(AtomicU64::new(0)),
+            hb_seq: 0,
+        }
+    }
+
+    /// A flag that makes [`MirrorNode::run`] return at the next poll.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Live view of the highest applied CSN (0 before any commit).
+    #[must_use]
+    pub fn applied_csn_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.applied_csn)
+    }
+
+    /// The database copy.
+    #[must_use]
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Announce to the primary and receive the state-transfer snapshot.
+    ///
+    /// Returns the CSN at which the live log stream resumes. The paper's
+    /// rejoin discipline: "The failed node will always become a Mirror Node
+    /// when it recovers" — the local store content (possibly recovered from
+    /// disk) is replaced wholesale by the primary's snapshot, which is
+    /// always at least as new.
+    pub fn join(&mut self) -> Result<Csn, NetError> {
+        self.transport.send(Message::JoinRequest.encode())?;
+        let mut chunks: Vec<Snapshot> = Vec::new();
+        loop {
+            let Some(frame) = self
+                .transport
+                .recv_timeout(self.config.peer_timeout * self.config.suspect_rounds)?
+            else {
+                return Err(NetError::Disconnected);
+            };
+            match Message::decode(frame) {
+                Ok(Message::SnapshotChunk { objects, .. }) => {
+                    chunks.push(Snapshot { objects });
+                }
+                Ok(Message::SnapshotDone { next_csn }) => {
+                    let snapshot = Snapshot::from_chunks(chunks);
+                    self.store.restore(&snapshot);
+                    if let Some(dir) = &self.config.snapshot_dir {
+                        // Make the join snapshot durable so this node's
+                        // disk (snapshot + spooled log tail) always covers
+                        // the full database.
+                        let _ = rodain_log::write_snapshot_file(dir, &snapshot, next_csn);
+                    }
+                    self.reorder = ReorderBuffer::starting_at(next_csn);
+                    self.applied_csn
+                        .store(next_csn.0.saturating_sub(1), Ordering::Release);
+                    return Ok(next_csn);
+                }
+                Ok(Message::Heartbeat { .. }) => {}
+                Ok(_) | Err(_) => {
+                    self.report.ignored += 1;
+                }
+            }
+        }
+    }
+
+    /// The mirror main loop. Returns when the primary fails or shutdown is
+    /// requested; either way the spooled log has been flushed to disk.
+    pub fn run(&mut self) -> (MirrorExit, MirrorReport) {
+        let start = Instant::now();
+        let now_ns = |start: Instant| start.elapsed().as_nanos() as u64;
+        let mut detector = FailureDetector::new(
+            0,
+            self.config.peer_timeout.as_nanos() as u64,
+            self.config.suspect_rounds,
+        );
+        let mut last_hb = Instant::now();
+
+        let exit = loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                break MirrorExit::ShutdownRequested;
+            }
+            match self.transport.recv_timeout(self.config.poll_interval) {
+                Ok(Some(frame)) => {
+                    detector.heard(now_ns(start));
+                    if let Err(exit) = self.handle_frame(frame) {
+                        break exit;
+                    }
+                }
+                Ok(None) => {
+                    if detector.check(now_ns(start)) == DetectorVerdict::Dead {
+                        break MirrorExit::PrimaryFailed;
+                    }
+                }
+                Err(_) => break MirrorExit::PrimaryFailed,
+            }
+            if last_hb.elapsed() >= self.config.heartbeat_interval {
+                last_hb = Instant::now();
+                self.hb_seq += 1;
+                if self
+                    .transport
+                    .send(Message::Heartbeat { seq: self.hb_seq }.encode())
+                    .is_err()
+                {
+                    break MirrorExit::PrimaryFailed;
+                }
+                self.report.heartbeats_sent += 1;
+            }
+        };
+
+        // Close the loss window: make everything buffered durable before
+        // taking over ("As soon as the remaining node has had enough time to
+        // store the remaining logs to the disk, no data will be lost").
+        self.report.discarded_at_exit = self.reorder.drop_uncommitted() as u64;
+        if let Some(disk) = &self.disk {
+            let _ = disk.flush_sync();
+        }
+        (exit, self.report)
+    }
+
+    fn handle_frame(&mut self, frame: bytes::Bytes) -> Result<(), MirrorExit> {
+        match Message::decode(frame) {
+            Ok(Message::Records(records)) => {
+                for record in records {
+                    self.report.records += 1;
+                    match self.reorder.ingest(record) {
+                        Ok(rodain_log::IngestOutcome::Committed(csn)) => {
+                            // Acknowledge immediately: this is the commit
+                            // gate on the primary.
+                            let ack = Message::CommitAck {
+                                txn: self.last_committed_txn(csn),
+                                csn,
+                            };
+                            if self.transport.send(ack.encode()).is_err() {
+                                return Err(MirrorExit::PrimaryFailed);
+                            }
+                            self.report.acks_sent += 1;
+                        }
+                        Ok(_) => {}
+                        Err(_) => {
+                            // Gap in a transaction's record group: the
+                            // transport contract makes this unreachable in
+                            // production; count and continue.
+                            self.report.ignored += 1;
+                        }
+                    }
+                }
+                self.apply_ready();
+                Ok(())
+            }
+            Ok(Message::Heartbeat { .. }) => Ok(()),
+            Ok(_) | Err(_) => {
+                self.report.ignored += 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn last_committed_txn(&self, csn: Csn) -> rodain_store::TxnId {
+        // The ReorderBuffer indexed the commit by CSN; recover its TxnId
+        // for the ack (None only for replayed duplicates).
+        self.reorder
+            .committed_txn(csn)
+            .unwrap_or(rodain_store::TxnId(0))
+    }
+
+    fn apply_ready(&mut self) {
+        for committed in self.reorder.drain_ready() {
+            for (oid, image) in &committed.writes {
+                self.store.install(*oid, image.clone(), committed.ser_ts);
+                self.report.images_applied += 1;
+            }
+            self.report.txns_applied += 1;
+            self.applied_csn.store(committed.csn.0, Ordering::Release);
+            if let Some(disk) = &self.disk {
+                let _ = disk.append_async(committed.to_records());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodain_log::{LogRecord, Lsn, RecordKind};
+    use rodain_net::InProcTransport;
+    use rodain_store::{ObjectId, Ts, TxnId, Value};
+
+    fn write_rec(lsn: u64, txn: u64, oid: u64, v: i64) -> LogRecord {
+        LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(txn),
+            kind: RecordKind::Write {
+                oid: ObjectId(oid),
+                image: Value::Int(v),
+            },
+        }
+    }
+
+    fn commit_rec(lsn: u64, txn: u64, csn: u64, n: u32) -> LogRecord {
+        LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(txn),
+            kind: RecordKind::Commit {
+                csn: Csn(csn),
+                ser_ts: Ts(csn * 1000),
+                n_writes: n,
+            },
+        }
+    }
+
+    fn fast_config() -> MirrorConfig {
+        MirrorConfig {
+            poll_interval: Duration::from_millis(1),
+            heartbeat_interval: Duration::from_millis(10),
+            peer_timeout: Duration::from_millis(50),
+            suspect_rounds: 2,
+            snapshot_dir: None,
+        }
+    }
+
+    #[test]
+    fn join_receives_snapshot_then_applies_stream() {
+        let (primary_side, mirror_side) = InProcTransport::pair();
+        let store = Arc::new(Store::new());
+        let mut mirror = MirrorNode::new(store.clone(), Arc::new(mirror_side), None, fast_config());
+        let applied = mirror.applied_csn_handle();
+        let shutdown = mirror.shutdown_handle();
+
+        let primary = std::thread::spawn(move || {
+            // Expect the join request.
+            let frame = primary_side
+                .recv_timeout(Duration::from_secs(1))
+                .unwrap()
+                .unwrap();
+            assert_eq!(Message::decode(frame).unwrap(), Message::JoinRequest);
+            // Send a 3-object snapshot in 2 chunks.
+            let snap_store = Store::new();
+            for i in 0..3u64 {
+                snap_store.load_initial(ObjectId(i), Value::Int(100 + i as i64));
+            }
+            for msg in Message::snapshot_chunks(&snap_store.snapshot(), 2) {
+                primary_side.send(msg.encode()).unwrap();
+            }
+            primary_side
+                .send(Message::SnapshotDone { next_csn: Csn(1) }.encode())
+                .unwrap();
+            // Stream one committed transaction.
+            primary_side
+                .send(
+                    Message::Records(vec![write_rec(1, 7, 0, -1), commit_rec(2, 7, 1, 1)]).encode(),
+                )
+                .unwrap();
+            // Await the ack.
+            loop {
+                let frame = primary_side
+                    .recv_timeout(Duration::from_secs(1))
+                    .unwrap()
+                    .unwrap();
+                if let Message::CommitAck { txn, csn } = Message::decode(frame).unwrap() {
+                    assert_eq!(txn, TxnId(7));
+                    assert_eq!(csn, Csn(1));
+                    break;
+                }
+            }
+            primary_side
+        });
+
+        let next = mirror.join().unwrap();
+        assert_eq!(next, Csn(1));
+        assert_eq!(store.len(), 3);
+
+        let runner = std::thread::spawn(move || mirror.run());
+        let primary_side = primary.join().unwrap();
+        // Wait until the mirror applied csn 1.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while applied.load(Ordering::Acquire) < 1 {
+            assert!(Instant::now() < deadline, "mirror never applied");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(store.read(ObjectId(0)).unwrap().0, Value::Int(-1));
+        shutdown.store(true, Ordering::Release);
+        let (exit, report) = runner.join().unwrap();
+        assert_eq!(exit, MirrorExit::ShutdownRequested);
+        assert_eq!(report.txns_applied, 1);
+        assert_eq!(report.acks_sent, 1);
+        drop(primary_side);
+    }
+
+    #[test]
+    fn primary_death_ends_the_loop() {
+        let (primary_side, mirror_side) = InProcTransport::pair();
+        let store = Arc::new(Store::new());
+        let mut mirror = MirrorNode::new(store, Arc::new(mirror_side), None, fast_config());
+        let runner = std::thread::spawn(move || mirror.run());
+        std::thread::sleep(Duration::from_millis(5));
+        primary_side.close();
+        let (exit, _) = runner.join().unwrap();
+        assert_eq!(exit, MirrorExit::PrimaryFailed);
+    }
+
+    #[test]
+    fn watchdog_timeout_without_close_also_promotes() {
+        // The primary process hangs (no traffic, link not closed): the
+        // watchdog must still declare it dead.
+        let (_primary_side, mirror_side) = InProcTransport::pair();
+        let store = Arc::new(Store::new());
+        let mut mirror = MirrorNode::new(store, Arc::new(mirror_side), None, fast_config());
+        let started = Instant::now();
+        let (exit, _) = mirror.run();
+        assert_eq!(exit, MirrorExit::PrimaryFailed);
+        // ~2 × 50 ms of silence.
+        assert!(started.elapsed() >= Duration::from_millis(90));
+    }
+
+    #[test]
+    fn uncommitted_tail_is_discarded_on_exit() {
+        let (primary_side, mirror_side) = InProcTransport::pair();
+        let store = Arc::new(Store::new());
+        let mut mirror = MirrorNode::new(store.clone(), Arc::new(mirror_side), None, fast_config());
+        primary_side
+            .send(Message::Records(vec![write_rec(1, 9, 5, 5)]).encode())
+            .unwrap();
+        primary_side.close();
+        let (exit, report) = mirror.run();
+        assert_eq!(exit, MirrorExit::PrimaryFailed);
+        assert_eq!(report.discarded_at_exit, 1);
+        assert_eq!(store.read(ObjectId(5)), None, "no dirty apply");
+    }
+}

@@ -1,0 +1,199 @@
+//! The node-role state machine.
+
+use std::fmt;
+
+/// A node's role within the RODAIN pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum NodeRole {
+    /// Executing transactions; shipping logs to a live Mirror.
+    Primary,
+    /// Maintaining the database copy from the log stream; ready to take
+    /// over "at any time".
+    Mirror,
+    /// Serving transactions *alone* after the peer failed. Logs go
+    /// synchronously to disk before commit ("it must store the transaction
+    /// logs directly to the disk before allowing the transaction to
+    /// commit").
+    ContingencyPrimary,
+    /// Restarting after a failure; replaying the disk log, then asking to
+    /// rejoin. "The failed node will always become a Mirror Node when it
+    /// recovers."
+    Recovering,
+}
+
+impl fmt::Display for NodeRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeRole::Primary => "primary",
+            NodeRole::Mirror => "mirror",
+            NodeRole::ContingencyPrimary => "contingency-primary",
+            NodeRole::Recovering => "recovering",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Events driving role transitions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RoleEvent {
+    /// The watchdog declared the peer dead.
+    PeerFailed,
+    /// A recovered peer completed state transfer and is a live Mirror.
+    PeerJoined,
+    /// Local crash/restart (modelled; a real crash loses the process).
+    LocalFailure,
+    /// Disk-log replay finished; ready to request rejoin.
+    RecoveryComplete,
+}
+
+/// Invalid transition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RoleError {
+    /// Role the node was in.
+    pub from: NodeRole,
+    /// The offending event.
+    pub event: RoleEvent,
+}
+
+impl fmt::Display for RoleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event {:?} is invalid in role {}", self.event, self.from)
+    }
+}
+
+impl std::error::Error for RoleError {}
+
+/// Enforces the paper's failover discipline:
+///
+/// ```text
+///  Primary ──PeerFailed──▶ ContingencyPrimary ◀──PeerFailed── (as sole node)
+///     ▲                          │   ▲
+///     │ PeerJoined               │   │
+///     │                          │   └──────────── Mirror ──PeerFailed──┐
+///     └── ContingencyPrimary ◀───┘                    ▲                 │
+///                                                     │            (promotes)
+///  any ──LocalFailure──▶ Recovering ──RecoveryComplete─┘ (rejoins as Mirror)
+/// ```
+///
+/// "The switch is only done when the current server fails and can no longer
+/// serve any requests" — there is deliberately no Primary⇄Mirror swap-back.
+#[derive(Debug)]
+pub struct RoleMachine {
+    role: NodeRole,
+    transitions: u64,
+}
+
+impl RoleMachine {
+    /// Start in `role`.
+    #[must_use]
+    pub fn new(role: NodeRole) -> Self {
+        RoleMachine {
+            role,
+            transitions: 0,
+        }
+    }
+
+    /// Current role.
+    #[must_use]
+    pub fn role(&self) -> NodeRole {
+        self.role
+    }
+
+    /// Number of transitions taken.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Apply `event`, returning the new role.
+    pub fn apply(&mut self, event: RoleEvent) -> Result<NodeRole, RoleError> {
+        use NodeRole::*;
+        use RoleEvent::*;
+        let next = match (self.role, event) {
+            // Losing the peer.
+            (Primary, PeerFailed) => ContingencyPrimary,
+            (Mirror, PeerFailed) => ContingencyPrimary, // promotion
+            // A recovered peer becomes the new Mirror; we keep serving.
+            (ContingencyPrimary, PeerJoined) => Primary,
+            // Crashing.
+            (Primary | Mirror | ContingencyPrimary, LocalFailure) => Recovering,
+            // Replay done: rejoin as Mirror.
+            (Recovering, RecoveryComplete) => Mirror,
+            (from, event) => return Err(RoleError { from, event }),
+        };
+        self.role = next;
+        self.transitions += 1;
+        Ok(next)
+    }
+
+    /// Whether this role serves client transactions.
+    #[must_use]
+    pub fn serves_transactions(&self) -> bool {
+        matches!(self.role, NodeRole::Primary | NodeRole::ContingencyPrimary)
+    }
+
+    /// Whether this role must flush the log to disk synchronously before a
+    /// transaction may commit.
+    #[must_use]
+    pub fn requires_sync_disk(&self) -> bool {
+        self.role == NodeRole::ContingencyPrimary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use NodeRole::*;
+    use RoleEvent::*;
+
+    #[test]
+    fn mirror_promotes_on_primary_failure() {
+        let mut m = RoleMachine::new(Mirror);
+        assert_eq!(m.apply(PeerFailed).unwrap(), ContingencyPrimary);
+        assert!(m.serves_transactions());
+        assert!(m.requires_sync_disk());
+    }
+
+    #[test]
+    fn primary_degrades_to_contingency_on_mirror_failure() {
+        let mut m = RoleMachine::new(Primary);
+        assert!(!m.requires_sync_disk());
+        assert_eq!(m.apply(PeerFailed).unwrap(), ContingencyPrimary);
+    }
+
+    #[test]
+    fn full_failure_cycle() {
+        // Primary crashes; it recovers and rejoins as Mirror.
+        let mut failed = RoleMachine::new(Primary);
+        assert_eq!(failed.apply(LocalFailure).unwrap(), Recovering);
+        assert!(!failed.serves_transactions());
+        assert_eq!(failed.apply(RecoveryComplete).unwrap(), Mirror);
+
+        // Meanwhile the old mirror became contingency primary, and on the
+        // peer's rejoin becomes a full primary again.
+        let mut survivor = RoleMachine::new(Mirror);
+        survivor.apply(PeerFailed).unwrap();
+        assert_eq!(survivor.apply(PeerJoined).unwrap(), Primary);
+        assert_eq!(survivor.transitions(), 2);
+    }
+
+    #[test]
+    fn no_swap_back_to_mirror() {
+        // A serving node never voluntarily becomes a mirror.
+        let mut m = RoleMachine::new(Primary);
+        assert!(m.apply(PeerJoined).is_err());
+        assert!(m.apply(RecoveryComplete).is_err());
+        assert_eq!(m.role(), Primary);
+        assert_eq!(m.transitions(), 0);
+    }
+
+    #[test]
+    fn recovering_ignores_peer_events() {
+        let mut m = RoleMachine::new(Recovering);
+        assert!(m.apply(PeerFailed).is_err());
+        assert!(m.apply(PeerJoined).is_err());
+        let err = m.apply(LocalFailure).unwrap_err();
+        assert_eq!(err.from, Recovering);
+        assert!(format!("{err}").contains("recovering"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Property-based tests of the node wire protocol.
+
+use proptest::prelude::*;
+use rodain_node::Message;
+
+proptest! {
+    /// Message::decode never panics on arbitrary frames.
+    #[test]
+    fn decode_never_panics(frame in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(bytes::Bytes::from(frame));
+    }
+
+    /// Whatever decodes must re-encode and decode to the same message
+    /// (decode is a partial inverse of encode even on hostile input).
+    #[test]
+    fn decode_encode_decode_is_stable(frame in prop::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(message) = Message::decode(bytes::Bytes::from(frame)) {
+            let reencoded = message.encode();
+            prop_assert_eq!(Message::decode(reencoded).unwrap(), message);
+        }
+    }
+}

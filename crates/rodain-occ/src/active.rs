@@ -1,0 +1,700 @@
+//! Shared state machine backing the optimistic protocol family.
+//!
+//! OCC-BC, OCC-DA, OCC-TI and OCC-DATI differ only in three policy switches
+//! (see the crate docs): whether conflicts with active transactions restart
+//! them outright (*broadcast*) or shrink their timestamp interval, whether
+//! committed-state constraints are applied *eagerly* at access time, and
+//! whether the validating transaction may take a *backward* serialization
+//! timestamp (one lying before already committed timestamps). [`OccCore`]
+//! implements the full mechanism; each protocol is a named configuration.
+
+use crate::interval::TsInterval;
+use crate::traits::{
+    AccessDecision, CcPriority, CcStats, Csn, Protocol, RestartReason, ValidationOutcome,
+};
+use parking_lot::Mutex;
+use rodain_store::{ObjectId, Store, Ts, TxnId, Workspace};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Spacing between consecutive *forward* serialization timestamps.
+///
+/// Forward commits advance the global clock by this stride, leaving a gap of
+/// `CLOCK_STRIDE - 1` timestamps below each committed timestamp into which
+/// later backward commits (transactions re-serialized *before* a committed
+/// one) can be placed without colliding.
+pub const CLOCK_STRIDE: u64 = 1 << 20;
+
+/// How far below the clock assigned timestamps are remembered. Transactions
+/// whose upper bound falls behind this horizon restart with
+/// [`RestartReason::Stale`]; this bounds allocator memory on long runs.
+const PRUNE_KEEP: u64 = 64 * CLOCK_STRIDE;
+
+/// Maximum probes when searching a free backward slot.
+const BACKWARD_SCAN_LIMIT: u32 = 64;
+
+/// Per-transaction bookkeeping.
+struct ActiveTxn {
+    interval: TsInterval,
+    reads: HashSet<ObjectId>,
+    writes: HashSet<ObjectId>,
+    doomed: Option<RestartReason>,
+    #[allow(dead_code)] // priorities drive victim choice in 2PL-HP only
+    priority: CcPriority,
+}
+
+impl ActiveTxn {
+    fn new(priority: CcPriority) -> Self {
+        ActiveTxn {
+            interval: TsInterval::FULL,
+            reads: HashSet::new(),
+            writes: HashSet::new(),
+            doomed: None,
+            priority,
+        }
+    }
+}
+
+struct CcState {
+    active: HashMap<TxnId, ActiveTxn>,
+    /// Last forward serialization timestamp assigned.
+    clock: u64,
+    /// Recently assigned serialization timestamps (pruned to the horizon).
+    assigned: BTreeSet<u64>,
+    next_csn: Csn,
+    stats: CcStats,
+}
+
+impl CcState {
+    fn prune_floor(&self) -> u64 {
+        self.clock.saturating_sub(PRUNE_KEEP)
+    }
+
+    /// Pick a serialization timestamp from `iv`.
+    fn choose_ser_ts(
+        &mut self,
+        iv: TsInterval,
+        allow_backward: bool,
+    ) -> Result<(u64, bool), RestartReason> {
+        debug_assert!(!iv.is_empty());
+        let forward = self.clock.saturating_add(CLOCK_STRIDE);
+        if iv.contains(forward) {
+            self.clock = forward;
+            self.assigned.insert(forward);
+            let floor = self.prune_floor();
+            // Amortized O(1): each timestamp is inserted and removed once.
+            while let Some(&oldest) = self.assigned.first() {
+                if oldest >= floor {
+                    break;
+                }
+                self.assigned.remove(&oldest);
+            }
+            return Ok((forward, false));
+        }
+        if !allow_backward {
+            return Err(RestartReason::EmptyInterval);
+        }
+        // Backward commit: place the transaction just below its upper bound,
+        // skipping already-assigned slots.
+        let floor = self.prune_floor();
+        if iv.ub < floor {
+            return Err(RestartReason::Stale);
+        }
+        let mut ts = iv.ub;
+        let mut probes = 0u32;
+        while self.assigned.contains(&ts) {
+            probes += 1;
+            if probes > BACKWARD_SCAN_LIMIT || ts == 0 {
+                return Err(RestartReason::EmptyInterval);
+            }
+            ts -= 1;
+        }
+        if ts < iv.lb || ts < floor || ts == 0 {
+            // ts 0 is reserved for the initial database load.
+            return Err(RestartReason::EmptyInterval);
+        }
+        self.assigned.insert(ts);
+        Ok((ts, true))
+    }
+}
+
+/// Policy switches distinguishing the optimistic protocols.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OccPolicy {
+    pub protocol: Protocol,
+    /// Restart conflicting active transactions instead of adjusting them.
+    pub broadcast: bool,
+    /// Apply committed-state constraints at access time (OCC-TI).
+    pub eager: bool,
+    /// Allow the validating transaction to commit at a timestamp lying
+    /// before already committed ones (OCC-TI / OCC-DATI).
+    pub allow_backward: bool,
+}
+
+/// The shared optimistic-controller engine. See the module docs.
+pub(crate) struct OccCore {
+    state: Mutex<CcState>,
+    policy: OccPolicy,
+}
+
+impl OccCore {
+    pub(crate) fn new(policy: OccPolicy) -> Self {
+        OccCore {
+            state: Mutex::new(CcState {
+                active: HashMap::new(),
+                clock: 0,
+                assigned: BTreeSet::new(),
+                next_csn: Csn::FIRST,
+                stats: CcStats::default(),
+            }),
+            policy,
+        }
+    }
+
+    pub(crate) fn protocol(&self) -> Protocol {
+        self.policy.protocol
+    }
+
+    pub(crate) fn begin(&self, txn: TxnId, priority: CcPriority) {
+        let mut st = self.state.lock();
+        st.active.insert(txn, ActiveTxn::new(priority));
+    }
+
+    pub(crate) fn on_read(&self, txn: TxnId, oid: ObjectId, observed_wts: Ts) -> AccessDecision {
+        let mut st = self.state.lock();
+        let Some(a) = st.active.get_mut(&txn) else {
+            return AccessDecision::Proceed;
+        };
+        if let Some(reason) = a.doomed {
+            return AccessDecision::Restart(reason);
+        }
+        a.reads.insert(oid);
+        if self.policy.eager {
+            // OCC-TI prunes the interval at every access: the read must
+            // serialize after the version it observed.
+            if !a.interval.after(observed_wts) {
+                a.doomed = Some(RestartReason::EmptyInterval);
+                st.stats.self_restarts += 1;
+                return AccessDecision::Restart(RestartReason::EmptyInterval);
+            }
+        }
+        AccessDecision::Proceed
+    }
+
+    pub(crate) fn on_write(&self, txn: TxnId, oid: ObjectId, store: &Store) -> AccessDecision {
+        let mut st = self.state.lock();
+        let Some(a) = st.active.get_mut(&txn) else {
+            return AccessDecision::Proceed;
+        };
+        if let Some(reason) = a.doomed {
+            return AccessDecision::Restart(reason);
+        }
+        a.writes.insert(oid);
+        if self.policy.eager {
+            // OCC-TI: a write must serialize after every committed reader
+            // and writer of the object known so far.
+            if let Some((wts, rts)) = store.version(oid) {
+                let ok = a.interval.after(wts) && a.interval.after(rts);
+                if !ok {
+                    a.doomed = Some(RestartReason::EmptyInterval);
+                    st.stats.self_restarts += 1;
+                    return AccessDecision::Restart(RestartReason::EmptyInterval);
+                }
+            }
+        }
+        AccessDecision::Proceed
+    }
+
+    pub(crate) fn doomed(&self, txn: TxnId) -> Option<RestartReason> {
+        let st = self.state.lock();
+        st.active.get(&txn).and_then(|a| a.doomed)
+    }
+
+    pub(crate) fn remove(&self, txn: TxnId) {
+        let mut st = self.state.lock();
+        st.active.remove(&txn);
+    }
+
+    pub(crate) fn active_count(&self) -> usize {
+        self.state.lock().active.len()
+    }
+
+    pub(crate) fn stats(&self) -> CcStats {
+        self.state.lock().stats
+    }
+
+    /// Atomic validation (see [`crate::ConcurrencyController::validate`]).
+    pub(crate) fn validate(&self, ws: &Workspace, store: &Store) -> ValidationOutcome {
+        let txn = ws.txn();
+        let mut st = self.state.lock();
+
+        // 1. The transaction may have been doomed while it was finishing its
+        //    read phase.
+        let stored_interval = match st.active.get(&txn) {
+            Some(a) => {
+                if let Some(reason) = a.doomed {
+                    st.stats.self_restarts += 1;
+                    st.active.remove(&txn);
+                    return ValidationOutcome::Restart(reason);
+                }
+                a.interval
+            }
+            None => TsInterval::FULL,
+        };
+
+        // 2. Committed-state constraints (the backward-validation part).
+        let mut iv = stored_interval;
+        if let Err(reason) = committed_constraints(ws, store, &mut iv) {
+            st.stats.self_restarts += 1;
+            st.active.remove(&txn);
+            return ValidationOutcome::Restart(reason);
+        }
+
+        // 3. Choose the serialization timestamp.
+        let (ser_ts, backward) = match st.choose_ser_ts(iv, self.policy.allow_backward) {
+            Ok(v) => v,
+            Err(reason) => {
+                st.stats.self_restarts += 1;
+                st.active.remove(&txn);
+                return ValidationOutcome::Restart(reason);
+            }
+        };
+
+        // 4. Resolve conflicts with the remaining active transactions:
+        //    broadcast commit restarts them; dynamic adjustment shrinks
+        //    their intervals and restarts only those left with an empty one.
+        let v_writes: HashSet<ObjectId> = ws.writes().iter().map(|(oid, _)| *oid).collect();
+        let v_reads: HashSet<ObjectId> = ws.reads().map(|(oid, _)| oid).collect();
+        let mut victims = Vec::new();
+        let ts = Ts(ser_ts);
+        let broadcast = self.policy.broadcast;
+        let mut adjustments = 0u64;
+        for (id, a) in st.active.iter_mut() {
+            if *id == txn || a.doomed.is_some() {
+                continue;
+            }
+            let reads_hit = !v_writes.is_empty() && a.reads.iter().any(|o| v_writes.contains(o));
+            let ww_hit = !v_writes.is_empty() && a.writes.iter().any(|o| v_writes.contains(o));
+            let wr_hit = !v_reads.is_empty() && a.writes.iter().any(|o| v_reads.contains(o));
+            if broadcast {
+                if reads_hit || ww_hit {
+                    a.doomed = Some(RestartReason::BroadcastConflict);
+                    victims.push(*id);
+                }
+                continue;
+            }
+            let mut ok = true;
+            let mut touched = false;
+            if reads_hit {
+                // A read an object we are overwriting: A saw the old
+                // version, so A serializes before us.
+                ok &= a.interval.before(ts);
+                touched = true;
+            }
+            if ww_hit {
+                // A's deferred write will overwrite ours: A after us.
+                ok &= a.interval.after(ts);
+                touched = true;
+            }
+            if wr_hit {
+                // We read committed state that A is about to overwrite; we
+                // did not see A's write, so A serializes after us.
+                ok &= a.interval.after(ts);
+                touched = true;
+            }
+            if touched {
+                adjustments += 1;
+                if !ok {
+                    a.doomed = Some(RestartReason::EmptyInterval);
+                    victims.push(*id);
+                }
+            }
+        }
+        st.stats.adjustments += adjustments;
+        st.stats.victim_restarts += victims.len() as u64;
+
+        // 5. Install the after-images inside the critical section: the store
+        //    always reflects a prefix of the validation order.
+        ws.install_into(store, ts);
+
+        let csn = st.next_csn;
+        st.next_csn = csn.next();
+        st.stats.commits += 1;
+        if backward {
+            st.stats.backward_commits += 1;
+        }
+        st.active.remove(&txn);
+        ValidationOutcome::Commit {
+            ser_ts: ts,
+            csn,
+            victims,
+        }
+    }
+}
+
+/// Apply the constraints the committed store state imposes on the
+/// validating transaction's interval.
+fn committed_constraints(
+    ws: &Workspace,
+    store: &Store,
+    iv: &mut TsInterval,
+) -> Result<(), RestartReason> {
+    for (oid, obs) in ws.reads() {
+        // The read must serialize after the version it observed (after the
+        // initial load, for objects read at wts 0 or found missing).
+        if !iv.after(obs.wts) {
+            return Err(RestartReason::EmptyInterval);
+        }
+        match store.version(oid) {
+            // Someone overwrote the object after we read it: we must
+            // serialize before that writer. (Classical OCC restarts here;
+            // timestamp intervals often save the commit.)
+            Some((cur_wts, _)) if cur_wts > obs.wts && !iv.before(cur_wts) => {
+                return Err(RestartReason::EmptyInterval);
+            }
+            Some(_) => {}
+            None if obs.existed => {
+                // The object was deleted after we read it. The deleter's
+                // timestamp is gone with the entry; be conservative.
+                return Err(RestartReason::EmptyInterval);
+            }
+            None => {}
+        }
+    }
+    for (oid, _) in ws.writes() {
+        if let Some((wts, rts)) = store.version(*oid) {
+            // Our write must come after every committed reader and writer.
+            if !(iv.after(wts) && iv.after(rts)) {
+                return Err(RestartReason::EmptyInterval);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dati_core() -> OccCore {
+        OccCore::new(OccPolicy {
+            protocol: Protocol::OccDati,
+            broadcast: false,
+            eager: false,
+            allow_backward: true,
+        })
+    }
+
+    fn store_with(n: u64) -> Store {
+        let s = Store::new();
+        for i in 0..n {
+            s.load_initial(ObjectId(i), rodain_store::Value::Int(i as i64));
+        }
+        s
+    }
+
+    #[test]
+    fn forward_timestamps_advance_by_stride() {
+        let core = dati_core();
+        let store = store_with(4);
+        for k in 1..=3u64 {
+            let txn = TxnId(k);
+            core.begin(txn, CcPriority(1));
+            let mut ws = Workspace::new(txn);
+            ws.read(&store, ObjectId(0));
+            match core.validate(&ws, &store) {
+                ValidationOutcome::Commit { ser_ts, csn, .. } => {
+                    assert_eq!(ser_ts, Ts(k * CLOCK_STRIDE));
+                    assert_eq!(csn, Csn(k));
+                }
+                other => panic!("expected commit, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn backward_commit_saves_stale_reader() {
+        let core = dati_core();
+        let store = store_with(4);
+
+        // R reads object 0, then W overwrites object 0 and commits.
+        let r = TxnId(1);
+        core.begin(r, CcPriority(1));
+        let mut ws_r = Workspace::new(r);
+        ws_r.read(&store, ObjectId(0));
+
+        let w = TxnId(2);
+        core.begin(w, CcPriority(1));
+        let mut ws_w = Workspace::new(w);
+        ws_w.read(&store, ObjectId(0));
+        ws_w.write(ObjectId(0), rodain_store::Value::Int(99));
+        let out_w = core.validate(&ws_w, &store);
+        let w_ts = match out_w {
+            ValidationOutcome::Commit {
+                ser_ts, victims, ..
+            } => {
+                // R's interval was capped, not restarted.
+                assert!(victims.is_empty());
+                ser_ts
+            }
+            other => panic!("{other:?}"),
+        };
+
+        // R writes a DIFFERENT object and validates: classical OCC would
+        // restart it; DATI commits it backward, before W.
+        ws_r.write(ObjectId(1), rodain_store::Value::Int(-1));
+        match core.validate(&ws_r, &store) {
+            ValidationOutcome::Commit { ser_ts, .. } => {
+                assert!(ser_ts < w_ts, "stale reader serialized before writer");
+            }
+            other => panic!("expected backward commit, got {other:?}"),
+        }
+        assert_eq!(core.stats().backward_commits, 1);
+    }
+
+    #[test]
+    fn no_backward_policy_restarts_stale_reader() {
+        let core = OccCore::new(OccPolicy {
+            protocol: Protocol::OccDa,
+            broadcast: false,
+            eager: false,
+            allow_backward: false,
+        });
+        let store = store_with(4);
+        let r = TxnId(1);
+        core.begin(r, CcPriority(1));
+        let mut ws_r = Workspace::new(r);
+        ws_r.read(&store, ObjectId(0));
+
+        let w = TxnId(2);
+        core.begin(w, CcPriority(1));
+        let mut ws_w = Workspace::new(w);
+        ws_w.write(ObjectId(0), rodain_store::Value::Int(99));
+        assert!(core.validate(&ws_w, &store).is_commit());
+
+        ws_r.write(ObjectId(1), rodain_store::Value::Int(-1));
+        match core.validate(&ws_r, &store) {
+            ValidationOutcome::Restart(RestartReason::EmptyInterval) => {}
+            other => panic!("expected restart, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_restarts_conflicting_readers() {
+        let core = OccCore::new(OccPolicy {
+            protocol: Protocol::OccBc,
+            broadcast: true,
+            eager: false,
+            allow_backward: false,
+        });
+        let store = store_with(4);
+
+        let r = TxnId(1);
+        core.begin(r, CcPriority(1));
+        let mut ws_r = Workspace::new(r);
+        ws_r.read(&store, ObjectId(0));
+        // Register the read with the controller (engine does this).
+        core.on_read(r, ObjectId(0), Ts::ZERO);
+
+        let w = TxnId(2);
+        core.begin(w, CcPriority(1));
+        let mut ws_w = Workspace::new(w);
+        ws_w.write(ObjectId(0), rodain_store::Value::Int(99));
+        match core.validate(&ws_w, &store) {
+            ValidationOutcome::Commit { victims, .. } => {
+                assert_eq!(victims, vec![r]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(core.doomed(r), Some(RestartReason::BroadcastConflict));
+        // The doomed reader's own validation restarts it.
+        match core.validate(&ws_r, &store) {
+            ValidationOutcome::Restart(RestartReason::BroadcastConflict) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_write_conflict_serializes_later_writer_after() {
+        let core = dati_core();
+        let store = store_with(4);
+
+        // A buffers a write to object 0 and registers it.
+        let a = TxnId(1);
+        core.begin(a, CcPriority(1));
+        core.on_write(a, ObjectId(0), &store);
+        let mut ws_a = Workspace::new(a);
+        ws_a.write(ObjectId(0), rodain_store::Value::Int(1));
+
+        // V commits a write to object 0 first.
+        let v = TxnId(2);
+        core.begin(v, CcPriority(1));
+        let mut ws_v = Workspace::new(v);
+        ws_v.write(ObjectId(0), rodain_store::Value::Int(2));
+        let v_ts = match core.validate(&ws_v, &store) {
+            ValidationOutcome::Commit {
+                ser_ts, victims, ..
+            } => {
+                assert!(victims.is_empty(), "A is adjusted after V, not doomed");
+                ser_ts
+            }
+            other => panic!("{other:?}"),
+        };
+
+        // A validates later: it must serialize after V. The committed-state
+        // check (wts of object 0) also forces this.
+        match core.validate(&ws_a, &store) {
+            ValidationOutcome::Commit { ser_ts, .. } => assert!(ser_ts > v_ts),
+            other => panic!("{other:?}"),
+        }
+        // Final value is A's.
+        assert_eq!(
+            store.read(ObjectId(0)).unwrap().0,
+            rodain_store::Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn squeezed_interval_restarts_victim() {
+        let core = dati_core();
+        let store = store_with(4);
+
+        // A reads object 0 (so A must precede any writer of 0) and buffers a
+        // write to object 1 (so any reader of 1 that validates first pushes
+        // A after itself).
+        let a = TxnId(1);
+        core.begin(a, CcPriority(1));
+        core.on_read(a, ObjectId(0), Ts::ZERO);
+        core.on_write(a, ObjectId(1), &store);
+
+        // V1 reads object 1 and commits (A must be after V1).
+        let v1 = TxnId(2);
+        core.begin(v1, CcPriority(1));
+        let mut ws1 = Workspace::new(v1);
+        ws1.read(&store, ObjectId(1));
+        ws1.write(ObjectId(3), rodain_store::Value::Int(3));
+        assert!(core.validate(&ws1, &store).is_commit());
+
+        // V2 writes object 0 and commits (A must be before V2). But V2's
+        // timestamp is above V1's, and A must also be after V1 … the
+        // interval squeezes to the gap between them, which is fine —
+        let v2 = TxnId(3);
+        core.begin(v2, CcPriority(1));
+        let mut ws2 = Workspace::new(v2);
+        ws2.write(ObjectId(0), rodain_store::Value::Int(9));
+        match core.validate(&ws2, &store) {
+            ValidationOutcome::Commit { victims, .. } => assert!(victims.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        // — A commits backward into the gap between ts(V1) and ts(V2).
+        let mut ws_a = Workspace::new(a);
+        ws_a.note_read(ObjectId(0), Ts::ZERO, true);
+        ws_a.write(ObjectId(1), rodain_store::Value::Int(1));
+        assert!(core.validate(&ws_a, &store).is_commit());
+    }
+
+    #[test]
+    fn victim_when_interval_truly_empty() {
+        let core = dati_core();
+        let store = store_with(4);
+
+        // A reads object 0.
+        let a = TxnId(1);
+        core.begin(a, CcPriority(1));
+        core.on_read(a, ObjectId(0), Ts::ZERO);
+
+        // V1 writes object 0 → A before ts(V1).
+        let v1 = TxnId(2);
+        core.begin(v1, CcPriority(1));
+        let mut ws1 = Workspace::new(v1);
+        ws1.write(ObjectId(0), rodain_store::Value::Int(7));
+        assert!(core.validate(&ws1, &store).is_commit());
+
+        // A now also reads object 1…
+        core.on_read(a, ObjectId(1), Ts::ZERO);
+        // …and V2 writes BOTH object 1 (→ A before ts(V2)) and reads — no:
+        // make V2 read an object A wrote so A must be AFTER V2, while A must
+        // be BEFORE V1 < V2. First A buffers a write:
+        core.on_write(a, ObjectId(2), &store);
+        let v2 = TxnId(3);
+        core.begin(v2, CcPriority(1));
+        let mut ws2 = Workspace::new(v2);
+        ws2.read(&store, ObjectId(2)); // A's pending write target
+        ws2.write(ObjectId(3), rodain_store::Value::Int(1));
+        match core.validate(&ws2, &store) {
+            ValidationOutcome::Commit { victims, .. } => {
+                // A must be before V1 (read-write on 0) and after V2
+                // (write-read on 2), but ts(V2) > ts(V1): empty interval.
+                assert_eq!(victims, vec![a]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(core.doomed(a), Some(RestartReason::EmptyInterval));
+    }
+
+    #[test]
+    fn eager_policy_dooms_at_access_time() {
+        let core = OccCore::new(OccPolicy {
+            protocol: Protocol::OccTi,
+            broadcast: false,
+            eager: true,
+            allow_backward: true,
+        });
+        let store = store_with(4);
+
+        let a = TxnId(1);
+        core.begin(a, CcPriority(1));
+        core.on_read(a, ObjectId(0), Ts::ZERO);
+
+        // V commits a write to object 0: A's ub is capped below ts(V).
+        let v = TxnId(2);
+        core.begin(v, CcPriority(1));
+        let mut ws = Workspace::new(v);
+        ws.write(ObjectId(0), rodain_store::Value::Int(9));
+        let v_ts = match core.validate(&ws, &store) {
+            ValidationOutcome::Commit { ser_ts, .. } => ser_ts,
+            other => panic!("{other:?}"),
+        };
+
+        // Eager: A's next access — a write that must serialize after the
+        // new committed version (wts = ts(V)) — is detected immediately.
+        match core.on_write(a, ObjectId(0), &store) {
+            AccessDecision::Restart(RestartReason::EmptyInterval) => {}
+            other => panic!("expected eager restart, got {other:?} (v_ts={v_ts:?})"),
+        }
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let core = dati_core();
+        core.begin(TxnId(1), CcPriority(1));
+        assert_eq!(core.active_count(), 1);
+        core.remove(TxnId(1));
+        core.remove(TxnId(1));
+        assert_eq!(core.active_count(), 0);
+    }
+
+    #[test]
+    fn read_only_transactions_never_conflict() {
+        let core = dati_core();
+        let store = store_with(8);
+        let mut txns = Vec::new();
+        for k in 1..=5u64 {
+            let t = TxnId(k);
+            core.begin(t, CcPriority(1));
+            let mut ws = Workspace::new(t);
+            ws.read(&store, ObjectId(k % 8));
+            ws.read(&store, ObjectId((k + 1) % 8));
+            core.on_read(t, ObjectId(k % 8), Ts::ZERO);
+            core.on_read(t, ObjectId((k + 1) % 8), Ts::ZERO);
+            txns.push(ws);
+        }
+        for ws in &txns {
+            match core.validate(ws, &store) {
+                ValidationOutcome::Commit { victims, .. } => assert!(victims.is_empty()),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(core.stats().commits, 5);
+        assert_eq!(core.stats().self_restarts, 0);
+    }
+}

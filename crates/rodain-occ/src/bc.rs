@@ -1,0 +1,78 @@
+//! OCC-BC — classical forward validation with broadcast commit.
+
+use crate::active::{OccCore, OccPolicy};
+use crate::traits::{
+    AccessDecision, CcPriority, CcStats, ConcurrencyController, Protocol, RestartReason,
+    ValidationOutcome,
+};
+use rodain_store::{ObjectId, Store, Ts, TxnId, Workspace};
+
+/// Classical OCC with forward validation and broadcast commit.
+///
+/// The validating transaction always commits; every active transaction
+/// whose read or write set intersects the validator's write set is
+/// restarted on the spot. This is the baseline whose "unnecessary restarts"
+/// OCC-DATI was designed to eliminate — a transaction is killed even when a
+/// serialization order existed that would have let both commit.
+pub struct OccBc {
+    core: OccCore,
+}
+
+impl OccBc {
+    /// Create a controller.
+    #[must_use]
+    pub fn new() -> Self {
+        OccBc {
+            core: OccCore::new(OccPolicy {
+                protocol: Protocol::OccBc,
+                broadcast: true,
+                eager: false,
+                allow_backward: false,
+            }),
+        }
+    }
+}
+
+impl Default for OccBc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrencyController for OccBc {
+    fn protocol(&self) -> Protocol {
+        self.core.protocol()
+    }
+
+    fn begin(&self, txn: TxnId, priority: CcPriority) {
+        self.core.begin(txn, priority);
+    }
+
+    fn on_read(&self, txn: TxnId, oid: ObjectId, observed_wts: Ts) -> AccessDecision {
+        self.core.on_read(txn, oid, observed_wts)
+    }
+
+    fn on_write(&self, txn: TxnId, oid: ObjectId, store: &Store) -> AccessDecision {
+        self.core.on_write(txn, oid, store)
+    }
+
+    fn doomed(&self, txn: TxnId) -> Option<RestartReason> {
+        self.core.doomed(txn)
+    }
+
+    fn validate(&self, ws: &Workspace, store: &Store) -> ValidationOutcome {
+        self.core.validate(ws, store)
+    }
+
+    fn remove(&self, txn: TxnId) {
+        self.core.remove(txn);
+    }
+
+    fn stats(&self) -> CcStats {
+        self.core.stats()
+    }
+
+    fn active_count(&self) -> usize {
+        self.core.active_count()
+    }
+}

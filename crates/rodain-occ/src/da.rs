@@ -1,0 +1,81 @@
+//! OCC-DA — dynamic adjustment of serialization order (Lam, Lam & Hung).
+
+use crate::active::{OccCore, OccPolicy};
+use crate::traits::{
+    AccessDecision, CcPriority, CcStats, ConcurrencyController, Protocol, RestartReason,
+    ValidationOutcome,
+};
+use rodain_store::{ObjectId, Store, Ts, TxnId, Workspace};
+
+/// OCC with Dynamic Adjustment of serialization order.
+///
+/// Active transactions conflicting with the validating one are
+/// re-serialized (their serialization-order constraints adjusted) instead
+/// of restarted, as in OCC-DATI — but the validating transaction itself
+/// always takes the next *forward* timestamp. Without the timestamp-interval
+/// machinery it cannot commit "into the past", so a transaction whose reads
+/// were overwritten by a committed writer must restart even when a backward
+/// placement would have been serializable. This isolates exactly the benefit
+/// the intervals add in OCC-TI/OCC-DATI.
+pub struct OccDa {
+    core: OccCore,
+}
+
+impl OccDa {
+    /// Create a controller.
+    #[must_use]
+    pub fn new() -> Self {
+        OccDa {
+            core: OccCore::new(OccPolicy {
+                protocol: Protocol::OccDa,
+                broadcast: false,
+                eager: false,
+                allow_backward: false,
+            }),
+        }
+    }
+}
+
+impl Default for OccDa {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrencyController for OccDa {
+    fn protocol(&self) -> Protocol {
+        self.core.protocol()
+    }
+
+    fn begin(&self, txn: TxnId, priority: CcPriority) {
+        self.core.begin(txn, priority);
+    }
+
+    fn on_read(&self, txn: TxnId, oid: ObjectId, observed_wts: Ts) -> AccessDecision {
+        self.core.on_read(txn, oid, observed_wts)
+    }
+
+    fn on_write(&self, txn: TxnId, oid: ObjectId, store: &Store) -> AccessDecision {
+        self.core.on_write(txn, oid, store)
+    }
+
+    fn doomed(&self, txn: TxnId) -> Option<RestartReason> {
+        self.core.doomed(txn)
+    }
+
+    fn validate(&self, ws: &Workspace, store: &Store) -> ValidationOutcome {
+        self.core.validate(ws, store)
+    }
+
+    fn remove(&self, txn: TxnId) {
+        self.core.remove(txn);
+    }
+
+    fn stats(&self) -> CcStats {
+        self.core.stats()
+    }
+
+    fn active_count(&self) -> usize {
+        self.core.active_count()
+    }
+}

@@ -1,0 +1,98 @@
+//! OCC-DATI — the paper's concurrency control protocol.
+
+use crate::active::{OccCore, OccPolicy};
+use crate::traits::{
+    AccessDecision, CcPriority, CcStats, ConcurrencyController, Protocol, RestartReason,
+    ValidationOutcome,
+};
+use rodain_store::{ObjectId, Store, Ts, TxnId, Workspace};
+
+/// Optimistic Concurrency Control with Dynamic Adjustment of serialization
+/// order using Timestamp Intervals (Lindström & Raatikainen).
+///
+/// RODAIN's protocol, combining OCC-DA's dynamic adjustment with OCC-TI's
+/// timestamp intervals. All interval work happens at validation — accesses
+/// during the read phase only record the read/write sets — and the
+/// validating transaction may take a serialization timestamp lying *before*
+/// already committed ones, which saves transactions (typically read-only
+/// ones that saw a since-overwritten version) that every restart-based
+/// protocol would kill.
+///
+/// ```
+/// use rodain_occ::{ConcurrencyController, OccDati, CcPriority};
+/// use rodain_store::{Store, Value, Workspace, ObjectId, TxnId};
+///
+/// let store = Store::new();
+/// store.load_initial(ObjectId(1), Value::Int(10));
+///
+/// let cc = OccDati::new();
+/// let txn = TxnId(1);
+/// cc.begin(txn, CcPriority(1));
+/// let mut ws = Workspace::new(txn);
+/// let v = ws.read(&store, ObjectId(1)).unwrap();
+/// ws.write(ObjectId(1), Value::Int(v.as_int().unwrap() + 1));
+/// assert!(cc.validate(&ws, &store).is_commit());
+/// assert_eq!(store.read(ObjectId(1)).unwrap().0, Value::Int(11));
+/// ```
+pub struct OccDati {
+    core: OccCore,
+}
+
+impl OccDati {
+    /// Create a controller.
+    #[must_use]
+    pub fn new() -> Self {
+        OccDati {
+            core: OccCore::new(OccPolicy {
+                protocol: Protocol::OccDati,
+                broadcast: false,
+                eager: false,
+                allow_backward: true,
+            }),
+        }
+    }
+}
+
+impl Default for OccDati {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrencyController for OccDati {
+    fn protocol(&self) -> Protocol {
+        self.core.protocol()
+    }
+
+    fn begin(&self, txn: TxnId, priority: CcPriority) {
+        self.core.begin(txn, priority);
+    }
+
+    fn on_read(&self, txn: TxnId, oid: ObjectId, observed_wts: Ts) -> AccessDecision {
+        self.core.on_read(txn, oid, observed_wts)
+    }
+
+    fn on_write(&self, txn: TxnId, oid: ObjectId, store: &Store) -> AccessDecision {
+        self.core.on_write(txn, oid, store)
+    }
+
+    fn doomed(&self, txn: TxnId) -> Option<RestartReason> {
+        self.core.doomed(txn)
+    }
+
+    fn validate(&self, ws: &Workspace, store: &Store) -> ValidationOutcome {
+        self.core.validate(ws, store)
+    }
+
+    fn remove(&self, txn: TxnId) {
+        self.core.remove(txn);
+    }
+
+    fn stats(&self) -> CcStats {
+        self.core.stats()
+    }
+
+    fn active_count(&self) -> usize {
+        self.core.active_count()
+    }
+}

@@ -1,0 +1,37 @@
+//! Protocol factory.
+
+use crate::traits::{ConcurrencyController, Protocol};
+use crate::{OccBc, OccDa, OccDati, OccTi, TwoPlHp};
+use std::sync::Arc;
+
+/// Instantiate a controller for `protocol`.
+///
+/// ```
+/// use rodain_occ::{make_controller, Protocol};
+/// let cc = make_controller(Protocol::OccDati);
+/// assert_eq!(cc.protocol(), Protocol::OccDati);
+/// ```
+#[must_use]
+pub fn make_controller(protocol: Protocol) -> Arc<dyn ConcurrencyController> {
+    match protocol {
+        Protocol::OccBc => Arc::new(OccBc::new()),
+        Protocol::OccDa => Arc::new(OccDa::new()),
+        Protocol::OccTi => Arc::new(OccTi::new()),
+        Protocol::OccDati => Arc::new(OccDati::new()),
+        Protocol::TwoPlHp => Arc::new(TwoPlHp::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_protocol() {
+        for p in Protocol::ALL {
+            let cc = make_controller(p);
+            assert_eq!(cc.protocol(), p);
+            assert_eq!(cc.active_count(), 0);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Timestamp intervals.
+
+use rodain_store::Ts;
+use std::fmt;
+
+/// A transaction's permissible serialization-timestamp interval `[lb, ub]`
+/// (both inclusive).
+///
+/// Every active transaction starts with the full interval `[0, ∞]`.
+/// Conflicts shrink it: serializing *after* a timestamp `t` raises the lower
+/// bound to `t+1`; serializing *before* `t` lowers the upper bound to `t-1`.
+/// A transaction whose interval becomes empty cannot be placed anywhere in
+/// the serialization order and must restart — this is the *only* restart
+/// cause in OCC-TI/OCC-DATI, which is how they cut unnecessary restarts
+/// compared to broadcast commit.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct TsInterval {
+    /// Inclusive lower bound.
+    pub lb: u64,
+    /// Inclusive upper bound.
+    pub ub: u64,
+}
+
+impl TsInterval {
+    /// The full interval `[0, ∞]`.
+    pub const FULL: TsInterval = TsInterval {
+        lb: 0,
+        ub: u64::MAX,
+    };
+
+    /// Construct an interval. `lb > ub` denotes the empty interval.
+    #[must_use]
+    pub fn new(lb: u64, ub: u64) -> Self {
+        TsInterval { lb, ub }
+    }
+
+    /// Whether no timestamp remains.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lb > self.ub
+    }
+
+    /// Constrain the transaction to serialize strictly after `ts`.
+    /// Returns `true` if the interval is still non-empty.
+    pub fn after(&mut self, ts: Ts) -> bool {
+        self.lb = self.lb.max(ts.0.saturating_add(1));
+        !self.is_empty()
+    }
+
+    /// Constrain the transaction to serialize strictly before `ts`.
+    /// Returns `true` if the interval is still non-empty.
+    pub fn before(&mut self, ts: Ts) -> bool {
+        self.ub = self.ub.min(ts.0.saturating_sub(1));
+        !self.is_empty()
+    }
+
+    /// Intersect with another interval. Returns `true` if non-empty.
+    pub fn intersect(&mut self, other: TsInterval) -> bool {
+        self.lb = self.lb.max(other.lb);
+        self.ub = self.ub.min(other.ub);
+        !self.is_empty()
+    }
+
+    /// Does `ts` lie inside the interval?
+    #[must_use]
+    pub fn contains(&self, ts: u64) -> bool {
+        self.lb <= ts && ts <= self.ub
+    }
+
+    /// Width of the interval (number of permissible timestamps), saturating.
+    #[must_use]
+    pub fn width(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.ub - self.lb).saturating_add(1)
+        }
+    }
+}
+
+impl Default for TsInterval {
+    fn default() -> Self {
+        TsInterval::FULL
+    }
+}
+
+impl fmt::Debug for TsInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "[empty]")
+        } else if self.ub == u64::MAX {
+            write!(f, "[{}, ∞]", self.lb)
+        } else {
+            write!(f, "[{}, {}]", self.lb, self.ub)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_interval_contains_everything() {
+        let iv = TsInterval::FULL;
+        assert!(iv.contains(0));
+        assert!(iv.contains(u64::MAX));
+        assert!(!iv.is_empty());
+    }
+
+    #[test]
+    fn after_raises_lb() {
+        let mut iv = TsInterval::FULL;
+        assert!(iv.after(Ts(10)));
+        assert_eq!(iv.lb, 11);
+        // After never lowers the bound.
+        assert!(iv.after(Ts(5)));
+        assert_eq!(iv.lb, 11);
+    }
+
+    #[test]
+    fn before_lowers_ub() {
+        let mut iv = TsInterval::FULL;
+        assert!(iv.before(Ts(10)));
+        assert_eq!(iv.ub, 9);
+        assert!(iv.before(Ts(20)));
+        assert_eq!(iv.ub, 9);
+    }
+
+    #[test]
+    fn conflicting_constraints_empty_the_interval() {
+        let mut iv = TsInterval::FULL;
+        assert!(iv.after(Ts(10)));
+        assert!(!iv.before(Ts(5)));
+        assert!(iv.is_empty());
+        assert_eq!(iv.width(), 0);
+    }
+
+    #[test]
+    fn adjacent_constraints_leave_single_point() {
+        let mut iv = TsInterval::FULL;
+        assert!(iv.after(Ts(4))); // lb = 5
+        assert!(iv.before(Ts(6))); // ub = 5
+        assert_eq!(iv.width(), 1);
+        assert!(iv.contains(5));
+    }
+
+    #[test]
+    fn before_zero_is_empty() {
+        let mut iv = TsInterval::FULL;
+        assert!(iv.before(Ts(0)));
+        // ub saturates at 0 - 1 -> 0; lb=0 so [0,0] still contains ts 0.
+        assert!(iv.contains(0));
+        // But a txn can never serialize before the initial load (ts 0);
+        // callers use after(Ts::ZERO) on every committed read to exclude it.
+        assert!(!iv.after(Ts(0)));
+        assert!(iv.is_empty());
+    }
+
+    #[test]
+    fn intersect() {
+        let mut a = TsInterval::new(5, 20);
+        assert!(a.intersect(TsInterval::new(10, 30)));
+        assert_eq!(a, TsInterval::new(10, 20));
+        assert!(!a.intersect(TsInterval::new(25, 30)));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", TsInterval::FULL), "[0, ∞]");
+        assert_eq!(format!("{:?}", TsInterval::new(3, 7)), "[3, 7]");
+        assert_eq!(format!("{:?}", TsInterval::new(7, 3)), "[empty]");
+    }
+}

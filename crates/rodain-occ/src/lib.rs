@@ -1,0 +1,64 @@
+//! # rodain-occ — optimistic concurrency control for real-time databases
+//!
+//! RODAIN validates transactions with **OCC-DATI** (*Optimistic Concurrency
+//! Control with Dynamic Adjustment of serialization order using Timestamp
+//! Intervals*, Lindström & Raatikainen 1999), created by combining the
+//! features of OCC-DA (Lam, Lam & Hung 1997) and OCC-TI (Lee & Son 1993).
+//! The protocol reduces the number of unnecessary restarts compared to
+//! classical forward validation: instead of restarting every active
+//! transaction that conflicts with the validating one, conflicting
+//! transactions are *dynamically re-serialized* — their permissible
+//! timestamp interval is shrunk — and only transactions whose interval
+//! becomes empty must restart.
+//!
+//! This crate implements the full protocol family so the paper's choice can
+//! be benchmarked against its ancestors:
+//!
+//! | Protocol | Intervals | Adjustment point | Conflict resolution |
+//! |---|---|---|---|
+//! | [`OccBc`]   | no  | validation | restart every conflicting active txn (broadcast commit) |
+//! | [`OccDa`]   | ub only | validation | readers of validated writes re-serialized *before*; write-write restarts |
+//! | [`OccTi`]   | yes | read phase **and** validation | full dynamic adjustment, eager pruning |
+//! | [`OccDati`] | yes | validation only | full dynamic adjustment, deferred pruning |
+//! | [`TwoPlHp`] | n/a (locks) | access time | high-priority requester wounds lower-priority holders |
+//!
+//! All controllers implement [`ConcurrencyController`]. Validation is
+//! *atomic* (a single critical section per controller), matching the paper's
+//! "transactions are validated atomically", and on success the after-images
+//! are installed into the store inside the critical section, so the store
+//! always reflects a prefix of the validation order.
+//!
+//! Two timestamp domains are involved (see DESIGN.md §6.1):
+//!
+//! * the **serialization timestamp** (`ser_ts`), chosen from the
+//!   transaction's timestamp interval — it may lie *before* already
+//!   committed timestamps (a "backward" commit, the adjustment that lets
+//!   DATI avoid restarts);
+//! * the **commit sequence number** ([`Csn`]), dense and monotone in true
+//!   validation order — the log stream is reordered by CSN on the mirror.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod active;
+mod bc;
+mod da;
+mod dati;
+mod factory;
+mod interval;
+mod lock2pl;
+mod ti;
+mod traits;
+
+pub use active::CLOCK_STRIDE;
+pub use bc::OccBc;
+pub use da::OccDa;
+pub use dati::OccDati;
+pub use factory::make_controller;
+pub use interval::TsInterval;
+pub use lock2pl::TwoPlHp;
+pub use ti::OccTi;
+pub use traits::{
+    AccessDecision, CcPriority, CcStats, ConcurrencyController, Csn, Protocol, RestartReason,
+    ValidationOutcome,
+};

@@ -1,0 +1,410 @@
+//! 2PL-HP — two-phase locking with high-priority conflict resolution.
+
+use crate::traits::{
+    AccessDecision, CcPriority, CcStats, ConcurrencyController, Csn, Protocol, RestartReason,
+    ValidationOutcome,
+};
+use parking_lot::Mutex;
+use rodain_store::{ObjectId, Store, Ts, TxnId, Workspace};
+use std::collections::{HashMap, HashSet};
+
+use crate::active::CLOCK_STRIDE;
+
+/// Two-phase locking with High Priority conflict resolution (Abbott &
+/// Garcia-Molina's classic real-time locking baseline).
+///
+/// Accesses take shared (read) or exclusive (write) locks. On conflict the
+/// *priorities* decide: a more urgent requester **wounds** every less urgent
+/// holder (they are doomed and will restart), then waits for the lock to be
+/// released; a less urgent requester simply waits. Ties break on
+/// transaction id, giving a strict total order, so every wait edge points
+/// from less urgent to more urgent and no deadlock can form.
+///
+/// Blocking is cooperative: the controller returns
+/// [`AccessDecision::Block`] and the engine retries the access after the
+/// holder finishes (the engine's wait loop also re-checks whether the
+/// requester itself has been wounded in the meantime).
+pub struct TwoPlHp {
+    state: Mutex<LockState>,
+}
+
+#[derive(Default)]
+struct LockEntry {
+    exclusive: Option<TxnId>,
+    shared: HashSet<TxnId>,
+}
+
+impl LockEntry {
+    fn is_free(&self) -> bool {
+        self.exclusive.is_none() && self.shared.is_empty()
+    }
+}
+
+struct TxnLocks {
+    priority: CcPriority,
+    held: HashSet<ObjectId>,
+    doomed: Option<RestartReason>,
+}
+
+struct LockState {
+    locks: HashMap<ObjectId, LockEntry>,
+    txns: HashMap<TxnId, TxnLocks>,
+    clock: u64,
+    next_csn: Csn,
+    stats: CcStats,
+}
+
+/// Strict priority order: smaller `CcPriority` is more urgent; ties break
+/// on transaction id so the order is total (deadlock freedom).
+fn more_urgent(a: (CcPriority, TxnId), b: (CcPriority, TxnId)) -> bool {
+    (a.0, a.1) < (b.0, b.1)
+}
+
+impl TwoPlHp {
+    /// Create a controller.
+    #[must_use]
+    pub fn new() -> Self {
+        TwoPlHp {
+            state: Mutex::new(LockState {
+                locks: HashMap::new(),
+                txns: HashMap::new(),
+                clock: 0,
+                next_csn: Csn::FIRST,
+                stats: CcStats::default(),
+            }),
+        }
+    }
+
+    /// Try to take a lock; wound less urgent conflicting holders.
+    fn acquire(&self, txn: TxnId, oid: ObjectId, exclusive: bool) -> AccessDecision {
+        let mut st = self.state.lock();
+        let me_prio = match st.txns.get(&txn) {
+            Some(t) => {
+                if let Some(reason) = t.doomed {
+                    return AccessDecision::Restart(reason);
+                }
+                t.priority
+            }
+            None => return AccessDecision::Proceed, // unregistered: engine bug-tolerance
+        };
+        let me = (me_prio, txn);
+
+        // Collect conflicting holders.
+        let entry = st.locks.entry(oid).or_default();
+        let mut conflicts: Vec<TxnId> = Vec::new();
+        if let Some(x) = entry.exclusive {
+            if x != txn {
+                conflicts.push(x);
+            }
+        }
+        if exclusive {
+            conflicts.extend(entry.shared.iter().copied().filter(|t| *t != txn));
+        }
+
+        if conflicts.is_empty() {
+            if exclusive {
+                entry.shared.remove(&txn);
+                entry.exclusive = Some(txn);
+            } else if entry.exclusive != Some(txn) {
+                entry.shared.insert(txn);
+            }
+            if let Some(t) = st.txns.get_mut(&txn) {
+                t.held.insert(oid);
+            }
+            return AccessDecision::Proceed;
+        }
+
+        // High Priority: wound every less urgent holder; block on the most
+        // urgent conflicting holder either way.
+        let mut block_on = conflicts[0];
+        let mut block_prio = st
+            .txns
+            .get(&conflicts[0])
+            .map(|t| t.priority)
+            .unwrap_or(CcPriority::LOWEST);
+        let mut wounded = Vec::new();
+        for holder in &conflicts {
+            let hp = st
+                .txns
+                .get(holder)
+                .map(|t| t.priority)
+                .unwrap_or(CcPriority::LOWEST);
+            if more_urgent(me, (hp, *holder)) {
+                wounded.push(*holder);
+            }
+            if more_urgent((hp, *holder), (block_prio, block_on)) {
+                block_on = *holder;
+                block_prio = hp;
+            }
+        }
+        for w in wounded {
+            if let Some(t) = st.txns.get_mut(&w) {
+                if t.doomed.is_none() {
+                    t.doomed = Some(RestartReason::Wounded);
+                    st.stats.victim_restarts += 1;
+                }
+            }
+        }
+        st.stats.blocks += 1;
+        AccessDecision::Block { holder: block_on }
+    }
+
+    fn release_all(st: &mut LockState, txn: TxnId) {
+        if let Some(t) = st.txns.remove(&txn) {
+            for oid in t.held {
+                if let Some(entry) = st.locks.get_mut(&oid) {
+                    if entry.exclusive == Some(txn) {
+                        entry.exclusive = None;
+                    }
+                    entry.shared.remove(&txn);
+                    if entry.is_free() {
+                        st.locks.remove(&oid);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for TwoPlHp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrencyController for TwoPlHp {
+    fn protocol(&self) -> Protocol {
+        Protocol::TwoPlHp
+    }
+
+    fn begin(&self, txn: TxnId, priority: CcPriority) {
+        let mut st = self.state.lock();
+        // A restart re-begins the same id: release stale locks first.
+        Self::release_all(&mut st, txn);
+        st.txns.insert(
+            txn,
+            TxnLocks {
+                priority,
+                held: HashSet::new(),
+                doomed: None,
+            },
+        );
+    }
+
+    fn on_read(&self, txn: TxnId, oid: ObjectId, _observed_wts: Ts) -> AccessDecision {
+        self.acquire(txn, oid, false)
+    }
+
+    fn on_write(&self, txn: TxnId, oid: ObjectId, _store: &Store) -> AccessDecision {
+        self.acquire(txn, oid, true)
+    }
+
+    fn doomed(&self, txn: TxnId) -> Option<RestartReason> {
+        self.state.lock().txns.get(&txn).and_then(|t| t.doomed)
+    }
+
+    fn validate(&self, ws: &Workspace, store: &Store) -> ValidationOutcome {
+        let txn = ws.txn();
+        let mut st = self.state.lock();
+        if let Some(t) = st.txns.get(&txn) {
+            if let Some(reason) = t.doomed {
+                Self::release_all(&mut st, txn);
+                st.stats.self_restarts += 1;
+                return ValidationOutcome::Restart(reason);
+            }
+        }
+        // Under strict 2PL validation always succeeds: every access held
+        // its lock until now.
+        st.clock += CLOCK_STRIDE;
+        let ser_ts = Ts(st.clock);
+        ws.install_into(store, ser_ts);
+        let csn = st.next_csn;
+        st.next_csn = csn.next();
+        st.stats.commits += 1;
+        Self::release_all(&mut st, txn);
+        ValidationOutcome::Commit {
+            ser_ts,
+            csn,
+            victims: Vec::new(),
+        }
+    }
+
+    fn remove(&self, txn: TxnId) {
+        let mut st = self.state.lock();
+        Self::release_all(&mut st, txn);
+    }
+
+    fn stats(&self) -> CcStats {
+        self.state.lock().stats
+    }
+
+    fn active_count(&self) -> usize {
+        self.state.lock().txns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodain_store::Value;
+
+    fn store_with(n: u64) -> Store {
+        let s = Store::new();
+        for i in 0..n {
+            s.load_initial(ObjectId(i), Value::Int(i as i64));
+        }
+        s
+    }
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let cc = TwoPlHp::new();
+        let store = store_with(2);
+        cc.begin(TxnId(1), CcPriority(10));
+        cc.begin(TxnId(2), CcPriority(20));
+        assert_eq!(
+            cc.on_read(TxnId(1), ObjectId(0), Ts::ZERO),
+            AccessDecision::Proceed
+        );
+        assert_eq!(
+            cc.on_read(TxnId(2), ObjectId(0), Ts::ZERO),
+            AccessDecision::Proceed
+        );
+        let _ = store;
+    }
+
+    #[test]
+    fn urgent_writer_wounds_reader() {
+        let cc = TwoPlHp::new();
+        let store = store_with(2);
+        cc.begin(TxnId(1), CcPriority(100)); // less urgent reader
+        cc.begin(TxnId(2), CcPriority(1)); // urgent writer
+        assert_eq!(
+            cc.on_read(TxnId(1), ObjectId(0), Ts::ZERO),
+            AccessDecision::Proceed
+        );
+        match cc.on_write(TxnId(2), ObjectId(0), &store) {
+            AccessDecision::Block { holder } => assert_eq!(holder, TxnId(1)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cc.doomed(TxnId(1)), Some(RestartReason::Wounded));
+        // Reader aborts, writer retries and proceeds.
+        cc.remove(TxnId(1));
+        assert_eq!(
+            cc.on_write(TxnId(2), ObjectId(0), &store),
+            AccessDecision::Proceed
+        );
+    }
+
+    #[test]
+    fn less_urgent_writer_waits_without_wounding() {
+        let cc = TwoPlHp::new();
+        let store = store_with(2);
+        cc.begin(TxnId(1), CcPriority(1)); // urgent reader
+        cc.begin(TxnId(2), CcPriority(100)); // lazy writer
+        assert_eq!(
+            cc.on_read(TxnId(1), ObjectId(0), Ts::ZERO),
+            AccessDecision::Proceed
+        );
+        match cc.on_write(TxnId(2), ObjectId(0), &store) {
+            AccessDecision::Block { holder } => assert_eq!(holder, TxnId(1)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cc.doomed(TxnId(1)), None);
+        assert_eq!(cc.stats().blocks, 1);
+    }
+
+    #[test]
+    fn lock_upgrade_when_sole_reader() {
+        let cc = TwoPlHp::new();
+        let store = store_with(2);
+        cc.begin(TxnId(1), CcPriority(1));
+        assert_eq!(
+            cc.on_read(TxnId(1), ObjectId(0), Ts::ZERO),
+            AccessDecision::Proceed
+        );
+        assert_eq!(
+            cc.on_write(TxnId(1), ObjectId(0), &store),
+            AccessDecision::Proceed
+        );
+        // Re-reading own exclusively locked object is fine.
+        assert_eq!(
+            cc.on_read(TxnId(1), ObjectId(0), Ts::ZERO),
+            AccessDecision::Proceed
+        );
+    }
+
+    #[test]
+    fn ties_break_on_txn_id() {
+        let cc = TwoPlHp::new();
+        let store = store_with(2);
+        cc.begin(TxnId(1), CcPriority(5));
+        cc.begin(TxnId(2), CcPriority(5));
+        assert_eq!(
+            cc.on_write(TxnId(2), ObjectId(0), &store),
+            AccessDecision::Proceed
+        );
+        // Equal priority, smaller id: txn 1 is "more urgent" and wounds 2.
+        match cc.on_write(TxnId(1), ObjectId(0), &store) {
+            AccessDecision::Block { holder } => assert_eq!(holder, TxnId(2)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cc.doomed(TxnId(2)), Some(RestartReason::Wounded));
+    }
+
+    #[test]
+    fn commit_installs_and_releases() {
+        let cc = TwoPlHp::new();
+        let store = store_with(2);
+        cc.begin(TxnId(1), CcPriority(1));
+        let mut ws = Workspace::new(TxnId(1));
+        let v = ws.read(&store, ObjectId(0)).unwrap();
+        cc.on_read(TxnId(1), ObjectId(0), Ts::ZERO);
+        ws.write(ObjectId(0), Value::Int(v.as_int().unwrap() + 1));
+        cc.on_write(TxnId(1), ObjectId(0), &store);
+        assert!(cc.validate(&ws, &store).is_commit());
+        assert_eq!(store.read(ObjectId(0)).unwrap().0, Value::Int(1));
+        assert_eq!(cc.active_count(), 0);
+        // Locks are gone: another txn can write immediately.
+        cc.begin(TxnId(2), CcPriority(1));
+        assert_eq!(
+            cc.on_write(TxnId(2), ObjectId(0), &store),
+            AccessDecision::Proceed
+        );
+    }
+
+    #[test]
+    fn wounded_txn_restarts_at_validation() {
+        let cc = TwoPlHp::new();
+        let store = store_with(2);
+        cc.begin(TxnId(1), CcPriority(100));
+        cc.on_read(TxnId(1), ObjectId(0), Ts::ZERO);
+        cc.begin(TxnId(2), CcPriority(1));
+        let _ = cc.on_write(TxnId(2), ObjectId(0), &store);
+        // Txn 1 was wounded; its validation must restart it.
+        let ws = Workspace::new(TxnId(1));
+        match cc.validate(&ws, &store) {
+            ValidationOutcome::Restart(RestartReason::Wounded) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rebegin_after_restart_clears_locks_and_doom() {
+        let cc = TwoPlHp::new();
+        let store = store_with(2);
+        cc.begin(TxnId(1), CcPriority(100));
+        cc.on_read(TxnId(1), ObjectId(0), Ts::ZERO);
+        cc.begin(TxnId(2), CcPriority(1));
+        let _ = cc.on_write(TxnId(2), ObjectId(0), &store);
+        assert_eq!(cc.doomed(TxnId(1)), Some(RestartReason::Wounded));
+        // Restart: begin again with the same id.
+        cc.begin(TxnId(1), CcPriority(100));
+        assert_eq!(cc.doomed(TxnId(1)), None);
+        // Txn 2 now holds the exclusive lock (acquired after 1's release).
+        assert_eq!(
+            cc.on_write(TxnId(2), ObjectId(0), &store),
+            AccessDecision::Proceed
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! OCC-TI — timestamp intervals with read-phase adjustment (Lee & Son).
+
+use crate::active::{OccCore, OccPolicy};
+use crate::traits::{
+    AccessDecision, CcPriority, CcStats, ConcurrencyController, Protocol, RestartReason,
+    ValidationOutcome,
+};
+use rodain_store::{ObjectId, Store, Ts, TxnId, Workspace};
+
+/// OCC with Timestamp Intervals.
+///
+/// Differs from [`crate::OccDati`] in *when* constraints against committed
+/// state are applied: OCC-TI prunes the transaction's interval at **every
+/// data access** (read and write), so a doomed transaction is detected as
+/// early as possible — at the price of a version-metadata lookup and
+/// interval update on every operation. OCC-DATI defers all of this to the
+/// single atomic validation step.
+///
+/// With single-version committed state the two protocols accept the same
+/// histories; the difference shows up as per-access overhead (modelled by
+/// the simulator's per-operation CPU costs) and earlier restart detection.
+/// See DESIGN.md §6.1 for the fidelity discussion.
+pub struct OccTi {
+    core: OccCore,
+}
+
+impl OccTi {
+    /// Create a controller.
+    #[must_use]
+    pub fn new() -> Self {
+        OccTi {
+            core: OccCore::new(OccPolicy {
+                protocol: Protocol::OccTi,
+                broadcast: false,
+                eager: true,
+                allow_backward: true,
+            }),
+        }
+    }
+}
+
+impl Default for OccTi {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrencyController for OccTi {
+    fn protocol(&self) -> Protocol {
+        self.core.protocol()
+    }
+
+    fn begin(&self, txn: TxnId, priority: CcPriority) {
+        self.core.begin(txn, priority);
+    }
+
+    fn on_read(&self, txn: TxnId, oid: ObjectId, observed_wts: Ts) -> AccessDecision {
+        self.core.on_read(txn, oid, observed_wts)
+    }
+
+    fn on_write(&self, txn: TxnId, oid: ObjectId, store: &Store) -> AccessDecision {
+        self.core.on_write(txn, oid, store)
+    }
+
+    fn doomed(&self, txn: TxnId) -> Option<RestartReason> {
+        self.core.doomed(txn)
+    }
+
+    fn validate(&self, ws: &Workspace, store: &Store) -> ValidationOutcome {
+        self.core.validate(ws, store)
+    }
+
+    fn remove(&self, txn: TxnId) {
+        self.core.remove(txn);
+    }
+
+    fn stats(&self) -> CcStats {
+        self.core.stats()
+    }
+
+    fn active_count(&self) -> usize {
+        self.core.active_count()
+    }
+}

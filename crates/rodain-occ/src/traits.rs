@@ -1,0 +1,274 @@
+//! The controller interface shared by every protocol.
+
+use rodain_store::{ObjectId, Store, Ts, TxnId, Workspace};
+use std::fmt;
+
+/// Commit sequence number: dense, monotone, assigned in *true validation
+/// order*. The mirror node reorders the log stream by CSN (paper §3: "The
+/// true validation order of the transactions is used for the reordering").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Csn(pub u64);
+
+impl Csn {
+    /// The first CSN ever assigned.
+    pub const FIRST: Csn = Csn(1);
+
+    /// The next CSN.
+    #[must_use]
+    pub fn next(self) -> Csn {
+        Csn(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for Csn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "csn#{}", self.0)
+    }
+}
+
+impl fmt::Display for Csn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Priority of a transaction as seen by the concurrency controller.
+///
+/// Smaller is more urgent. The engine uses the absolute deadline in
+/// nanoseconds (EDF), with non-real-time transactions mapped to `LOWEST`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct CcPriority(pub u64);
+
+impl CcPriority {
+    /// The least urgent priority (non-real-time transactions).
+    pub const LOWEST: CcPriority = CcPriority(u64::MAX);
+}
+
+/// The protocol family implemented by this crate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Protocol {
+    /// OCC broadcast commit: restart every conflicting active transaction.
+    OccBc,
+    /// OCC with dynamic adjustment of serialization order (Lam et al.).
+    OccDa,
+    /// OCC with timestamp intervals, read-phase adjustment (Lee & Son).
+    OccTi,
+    /// OCC-DATI: dynamic adjustment using timestamp intervals, validation
+    /// phase only (Lindström & Raatikainen) — the paper's protocol.
+    OccDati,
+    /// Two-phase locking with high-priority conflict resolution.
+    TwoPlHp,
+}
+
+impl Protocol {
+    /// All protocols, for sweeps and ablations.
+    pub const ALL: [Protocol; 5] = [
+        Protocol::OccBc,
+        Protocol::OccDa,
+        Protocol::OccTi,
+        Protocol::OccDati,
+        Protocol::TwoPlHp,
+    ];
+
+    /// Stable lowercase name used in benchmark output.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::OccBc => "occ-bc",
+            Protocol::OccDa => "occ-da",
+            Protocol::OccTi => "occ-ti",
+            Protocol::OccDati => "occ-dati",
+            Protocol::TwoPlHp => "2pl-hp",
+        }
+    }
+
+    /// Parse a protocol from its [`Protocol::name`] string.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Protocol> {
+        Protocol::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a transaction must restart (or abort, if its deadline leaves no
+/// slack for a re-execution).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum RestartReason {
+    /// Timestamp interval became empty (OCC-TI / OCC-DATI / OCC-DA).
+    EmptyInterval,
+    /// Restarted by a validating transaction's broadcast commit (OCC-BC).
+    BroadcastConflict,
+    /// Wounded by a higher-priority lock requester (2PL-HP).
+    Wounded,
+    /// The transaction was too old: its interval fell behind the pruning
+    /// horizon of the timestamp allocator.
+    Stale,
+}
+
+impl fmt::Display for RestartReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RestartReason::EmptyInterval => "empty-interval",
+            RestartReason::BroadcastConflict => "broadcast-conflict",
+            RestartReason::Wounded => "wounded",
+            RestartReason::Stale => "stale",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Decision returned by per-access hooks ([`ConcurrencyController::on_read`]
+/// / [`ConcurrencyController::on_write`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessDecision {
+    /// Access granted; carry on.
+    Proceed,
+    /// The transaction has been doomed and must restart before doing more
+    /// work (eager detection; optimistic protocols may also discover this
+    /// only at validation).
+    Restart(RestartReason),
+    /// Lock-based protocols only: the requester must wait for `holder` to
+    /// finish and then retry the access.
+    Block {
+        /// The transaction currently holding the conflicting lock.
+        holder: TxnId,
+    },
+}
+
+/// Result of atomic validation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValidationOutcome {
+    /// The transaction committed. Its after-images are already installed.
+    Commit {
+        /// Serialization timestamp chosen from the interval.
+        ser_ts: Ts,
+        /// Dense commit sequence number (true validation order).
+        csn: Csn,
+        /// Active transactions doomed by this validation (dynamic
+        /// adjustment emptied their interval, or broadcast commit hit them).
+        /// They have already been marked; the engine restarts them.
+        victims: Vec<TxnId>,
+    },
+    /// The validating transaction itself must restart.
+    Restart(RestartReason),
+}
+
+impl ValidationOutcome {
+    /// Whether the outcome is a commit.
+    #[must_use]
+    pub fn is_commit(&self) -> bool {
+        matches!(self, ValidationOutcome::Commit { .. })
+    }
+}
+
+/// Aggregate controller statistics (monotone counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CcStats {
+    /// Transactions validated successfully.
+    pub commits: u64,
+    /// Validations that ended in the validating transaction restarting.
+    pub self_restarts: u64,
+    /// Active transactions doomed as victims of another's validation.
+    pub victim_restarts: u64,
+    /// Commits whose serialization timestamp lay before the global clock
+    /// (backward commits — the adjustment classic OCC would have refused).
+    pub backward_commits: u64,
+    /// Interval adjustments applied to active transactions.
+    pub adjustments: u64,
+    /// Lock waits (2PL only).
+    pub blocks: u64,
+}
+
+/// A pluggable concurrency controller.
+///
+/// The engine drives it through the transaction life cycle:
+///
+/// ```text
+/// begin → {on_read | on_write}* → validate ─commit→ remove
+///                                    └─restart→ (reset workspace) → begin…
+/// ```
+///
+/// `validate` is atomic: the controller serializes all validations
+/// internally, and on success the caller's workspace has been installed into
+/// the store *inside* the critical section.
+pub trait ConcurrencyController: Send + Sync {
+    /// Which protocol this controller implements.
+    fn protocol(&self) -> Protocol;
+
+    /// Register a (re)starting transaction.
+    fn begin(&self, txn: TxnId, priority: CcPriority);
+
+    /// Hook invoked after the transaction read `oid` from committed state,
+    /// observing the version written at `observed_wts`.
+    fn on_read(&self, txn: TxnId, oid: ObjectId, observed_wts: Ts) -> AccessDecision;
+
+    /// Hook invoked when the transaction buffers a deferred write to `oid`.
+    /// `store` lets eager protocols (OCC-TI) prune against committed
+    /// version metadata at access time.
+    fn on_write(&self, txn: TxnId, oid: ObjectId, store: &Store) -> AccessDecision;
+
+    /// Whether the transaction has been doomed by another's validation.
+    fn doomed(&self, txn: TxnId) -> Option<RestartReason>;
+
+    /// Atomically validate `ws.txn()`; on success install the workspace
+    /// into `store` and unregister the transaction.
+    fn validate(&self, ws: &Workspace, store: &Store) -> ValidationOutcome;
+
+    /// Unregister a transaction (abort, restart bookkeeping, or final
+    /// cleanup after a failed validation). Idempotent. Releases any locks.
+    fn remove(&self, txn: TxnId);
+
+    /// Monotone statistics snapshot.
+    fn stats(&self) -> CcStats;
+
+    /// Number of currently registered (active) transactions.
+    fn active_count(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_name_roundtrip() {
+        for p in Protocol::ALL {
+            assert_eq!(Protocol::parse(p.name()), Some(p));
+        }
+        assert_eq!(Protocol::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn csn_is_monotone() {
+        assert!(Csn::FIRST < Csn::FIRST.next());
+        assert_eq!(Csn(3).next(), Csn(4));
+    }
+
+    #[test]
+    fn outcome_is_commit() {
+        assert!(ValidationOutcome::Commit {
+            ser_ts: Ts(1),
+            csn: Csn(1),
+            victims: vec![]
+        }
+        .is_commit());
+        assert!(!ValidationOutcome::Restart(RestartReason::EmptyInterval).is_commit());
+    }
+
+    #[test]
+    fn priority_ordering() {
+        assert!(CcPriority(10) < CcPriority::LOWEST);
+        assert!(CcPriority(1) < CcPriority(2));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Protocol::OccDati.to_string(), "occ-dati");
+        assert_eq!(RestartReason::Wounded.to_string(), "wounded");
+        assert_eq!(format!("{:?}", Csn(2)), "csn#2");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of interval algebra and controller invariants.
+
+use proptest::prelude::*;
+use rodain_occ::{
+    make_controller, CcPriority, Protocol, TsInterval, ValidationOutcome, CLOCK_STRIDE,
+};
+use rodain_store::{ObjectId, Store, Ts, TxnId, Value, Workspace};
+
+#[derive(Clone, Copy, Debug)]
+enum Constraint {
+    After(u64),
+    Before(u64),
+}
+
+fn constraint() -> impl Strategy<Value = Constraint> {
+    prop_oneof![
+        (0..1_000u64).prop_map(Constraint::After),
+        (0..1_000u64).prop_map(Constraint::Before),
+    ]
+}
+
+proptest! {
+    /// Constraints only ever shrink the interval, and the result is the
+    /// intersection regardless of application order.
+    #[test]
+    fn constraints_shrink_and_commute(
+        constraints in prop::collection::vec(constraint(), 0..20),
+        permutation in any::<prop::sample::Index>(),
+    ) {
+        let mut forward = TsInterval::FULL;
+        let mut prev_width = forward.width();
+        for c in &constraints {
+            match c {
+                Constraint::After(t) => {
+                    forward.after(Ts(*t));
+                }
+                Constraint::Before(t) => {
+                    forward.before(Ts(*t));
+                }
+            }
+            prop_assert!(forward.width() <= prev_width, "interval widened");
+            prev_width = forward.width();
+        }
+        // Apply in a rotated order: same final interval (or both empty).
+        let mut rotated = TsInterval::FULL;
+        let n = constraints.len().max(1);
+        let shift = permutation.index(n);
+        for i in 0..constraints.len() {
+            match constraints[(i + shift) % constraints.len()] {
+                Constraint::After(t) => {
+                    rotated.after(Ts(t));
+                }
+                Constraint::Before(t) => {
+                    rotated.before(Ts(t));
+                }
+            }
+        }
+        if forward.is_empty() {
+            prop_assert!(rotated.is_empty());
+        } else {
+            prop_assert_eq!(forward, rotated);
+        }
+    }
+
+    /// contains() agrees with the bounds.
+    #[test]
+    fn contains_is_consistent(lb in 0..500u64, ub in 0..500u64, probe in 0..600u64) {
+        let iv = TsInterval::new(lb, ub);
+        prop_assert_eq!(iv.contains(probe), lb <= probe && probe <= ub);
+        prop_assert_eq!(iv.is_empty(), lb > ub);
+    }
+
+    /// Non-conflicting transactions always commit, under every protocol,
+    /// and their serialization timestamps are strictly increasing in
+    /// validation order (no conflicts ⇒ forward assignment only).
+    #[test]
+    fn disjoint_transactions_all_commit(n in 1usize..20) {
+        for protocol in Protocol::ALL {
+            let store = Store::new();
+            for oid in 0..(n as u64 * 2) {
+                store.load_initial(ObjectId(oid), Value::Int(0));
+            }
+            let cc = make_controller(protocol);
+            let mut last_ts = Ts::ZERO;
+            for i in 0..n {
+                let id = TxnId(i as u64 + 1);
+                cc.begin(id, CcPriority(1));
+                let mut ws = Workspace::new(id);
+                // Each txn touches its own disjoint pair of objects.
+                let base = i as u64 * 2;
+                ws.read(&store, ObjectId(base));
+                cc.on_read(id, ObjectId(base), Ts::ZERO);
+                cc.on_write(id, ObjectId(base + 1), &store);
+                ws.write(ObjectId(base + 1), Value::Int(i as i64));
+                match cc.validate(&ws, &store) {
+                    ValidationOutcome::Commit { ser_ts, victims, .. } => {
+                        prop_assert!(victims.is_empty(), "{protocol}: phantom victim");
+                        prop_assert!(ser_ts > last_ts, "{protocol}: ts not increasing");
+                        last_ts = ser_ts;
+                    }
+                    other => {
+                        prop_assert!(false, "{protocol}: disjoint txn failed: {other:?}");
+                    }
+                }
+            }
+            prop_assert_eq!(cc.stats().commits, n as u64);
+            prop_assert_eq!(cc.stats().self_restarts, 0);
+            prop_assert_eq!(cc.active_count(), 0);
+        }
+    }
+
+    /// Forward serialization timestamps advance by exactly the clock
+    /// stride, leaving gaps for backward commits.
+    #[test]
+    fn forward_timestamps_are_stride_spaced(n in 1u64..30) {
+        let store = Store::new();
+        store.load_initial(ObjectId(0), Value::Int(0));
+        let cc = make_controller(Protocol::OccDati);
+        for i in 1..=n {
+            let id = TxnId(i);
+            cc.begin(id, CcPriority(1));
+            let ws = Workspace::new(id);
+            match cc.validate(&ws, &store) {
+                ValidationOutcome::Commit { ser_ts, csn, .. } => {
+                    prop_assert_eq!(ser_ts, Ts(i * CLOCK_STRIDE));
+                    prop_assert_eq!(csn.0, i);
+                }
+                other => prop_assert!(false, "{other:?}"),
+            }
+        }
+    }
+}

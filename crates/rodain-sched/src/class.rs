@@ -1,0 +1,147 @@
+//! Transaction classes and scheduling metadata.
+
+use rodain_store::TxnId;
+use serde::{Deserialize, Serialize};
+
+/// Monotonic time in nanoseconds. The scheduler never reads a clock; the
+/// engine (real time) or the simulator (virtual time) supplies `now`.
+pub type Nanos = u64;
+
+/// RODAIN's transaction classes (paper §1: "simultaneous execution of firm
+/// and soft deadline transactions as well as transactions that do not have
+/// deadlines at all").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum TxnClass {
+    /// Firm deadline: completing after the deadline is useless; the
+    /// transaction is aborted the moment its deadline expires.
+    Firm,
+    /// Soft deadline: completion after the deadline retains (diminished)
+    /// value; the transaction is not killed on expiry, but deadline misses
+    /// are still counted by the overload manager.
+    Soft,
+    /// No deadline. Runs in the execution-time fraction reserved for
+    /// non-real-time work, or when no real-time transaction is ready.
+    NonRealTime,
+}
+
+impl TxnClass {
+    /// Whether this class carries a deadline.
+    #[must_use]
+    pub fn is_real_time(&self) -> bool {
+        !matches!(self, TxnClass::NonRealTime)
+    }
+}
+
+/// Scheduling metadata for one transaction instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskMeta {
+    /// The transaction.
+    pub txn: TxnId,
+    /// Class (firm / soft / non-real-time).
+    pub class: TxnClass,
+    /// Absolute deadline (ns). `None` iff the class is non-real-time.
+    pub deadline: Option<Nanos>,
+    /// Arrival time (ns); FIFO tie-break and response-time accounting.
+    pub arrival: Nanos,
+    /// Estimated execution cost (ns), used by the non-real-time
+    /// reservation to decide when enough budget has accrued.
+    pub est_cost: Nanos,
+}
+
+impl TaskMeta {
+    /// A firm-deadline task.
+    #[must_use]
+    pub fn firm(txn: TxnId, arrival: Nanos, relative_deadline: Nanos, est_cost: Nanos) -> Self {
+        TaskMeta {
+            txn,
+            class: TxnClass::Firm,
+            deadline: Some(arrival + relative_deadline),
+            arrival,
+            est_cost,
+        }
+    }
+
+    /// A soft-deadline task.
+    #[must_use]
+    pub fn soft(txn: TxnId, arrival: Nanos, relative_deadline: Nanos, est_cost: Nanos) -> Self {
+        TaskMeta {
+            txn,
+            class: TxnClass::Soft,
+            deadline: Some(arrival + relative_deadline),
+            arrival,
+            est_cost,
+        }
+    }
+
+    /// A non-real-time task.
+    #[must_use]
+    pub fn non_real_time(txn: TxnId, arrival: Nanos, est_cost: Nanos) -> Self {
+        TaskMeta {
+            txn,
+            class: TxnClass::NonRealTime,
+            deadline: None,
+            arrival,
+            est_cost,
+        }
+    }
+
+    /// The EDF priority key: absolute deadline, with non-real-time tasks at
+    /// the very back. Smaller is more urgent.
+    #[must_use]
+    pub fn priority_key(&self) -> Nanos {
+        self.deadline.unwrap_or(Nanos::MAX)
+    }
+
+    /// Has the deadline passed at `now`? Always `false` for non-real-time.
+    #[must_use]
+    pub fn expired(&self, now: Nanos) -> bool {
+        match self.deadline {
+            Some(d) => now > d,
+            None => false,
+        }
+    }
+
+    /// Remaining slack at `now`: deadline minus now minus estimated cost.
+    /// `None` for non-real-time tasks (infinite slack).
+    #[must_use]
+    pub fn slack(&self, now: Nanos) -> Option<i64> {
+        self.deadline
+            .map(|d| d as i64 - now as i64 - self.est_cost as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes() {
+        assert!(TxnClass::Firm.is_real_time());
+        assert!(TxnClass::Soft.is_real_time());
+        assert!(!TxnClass::NonRealTime.is_real_time());
+    }
+
+    #[test]
+    fn firm_deadline_is_absolute() {
+        let t = TaskMeta::firm(TxnId(1), 1_000, 500, 100);
+        assert_eq!(t.deadline, Some(1_500));
+        assert!(!t.expired(1_500));
+        assert!(t.expired(1_501));
+        assert_eq!(t.priority_key(), 1_500);
+    }
+
+    #[test]
+    fn non_real_time_never_expires() {
+        let t = TaskMeta::non_real_time(TxnId(1), 0, 100);
+        assert!(!t.expired(u64::MAX));
+        assert_eq!(t.priority_key(), u64::MAX);
+        assert_eq!(t.slack(123), None);
+    }
+
+    #[test]
+    fn slack_accounts_for_cost() {
+        let t = TaskMeta::firm(TxnId(1), 0, 1_000, 300);
+        assert_eq!(t.slack(0), Some(700));
+        assert_eq!(t.slack(800), Some(-100));
+    }
+}

@@ -1,0 +1,319 @@
+//! EDF ready queue with demand-based non-real-time reservation.
+
+use crate::class::{Nanos, TaskMeta, TxnClass};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Configuration of the execution-time reservation for non-real-time
+/// transactions (paper §2):
+///
+/// > "Without deadlines the non-realtime transactions get the execution turn
+/// > only when the system has no real-time transaction ready for execution.
+/// > Hence, they are likely to suffer from starvation. We avoid this by
+/// > reserving a fixed fraction of execution time for the non-realtime
+/// > transactions. The reservation is made on a demand basis."
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReservationConfig {
+    /// Fraction of busy execution time credited to non-real-time work
+    /// while non-real-time transactions are queued (demand basis).
+    pub fraction: f64,
+    /// Cap on the accrued credit (ns) so an idle burst cannot bank an
+    /// unbounded non-real-time budget.
+    pub max_credit: Nanos,
+}
+
+impl Default for ReservationConfig {
+    fn default() -> Self {
+        ReservationConfig {
+            fraction: 0.05,
+            max_credit: 50_000_000, // 50 ms
+        }
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct HeapEntry {
+    key: Nanos,
+    seq: u64,
+    task: TaskMeta,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-deadline-first,
+        // FIFO (arrival sequence) within equal deadlines.
+        (Reverse(self.key), Reverse(self.seq)).cmp(&(Reverse(other.key), Reverse(other.seq)))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The modified-EDF ready queue.
+///
+/// Real-time transactions are ordered by absolute deadline (FIFO within
+/// ties). Non-real-time transactions wait in a FIFO and are normally served
+/// only when no real-time work is ready — except when the reservation
+/// credit, accrued on demand as a fixed fraction of busy time, covers the
+/// next non-real-time transaction's estimated cost, in which case it jumps
+/// ahead of the real-time queue. Expired firm-deadline tasks are dropped at
+/// [`ReadyQueue::pop`] and reported through the `expired` sink so the engine
+/// can account the miss.
+pub struct ReadyQueue {
+    rt: BinaryHeap<HeapEntry>,
+    non_rt: VecDeque<TaskMeta>,
+    seq: u64,
+    credit: Nanos,
+    config: ReservationConfig,
+}
+
+impl ReadyQueue {
+    /// Create an empty queue.
+    #[must_use]
+    pub fn new(config: ReservationConfig) -> Self {
+        ReadyQueue {
+            rt: BinaryHeap::new(),
+            non_rt: VecDeque::new(),
+            seq: 0,
+            credit: 0,
+            config,
+        }
+    }
+
+    /// Number of queued tasks (both classes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rt.len() + self.non_rt.len()
+    }
+
+    /// Whether no task is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of queued non-real-time tasks.
+    #[must_use]
+    pub fn non_rt_len(&self) -> usize {
+        self.non_rt.len()
+    }
+
+    /// Currently accrued non-real-time credit (ns).
+    #[must_use]
+    pub fn credit(&self) -> Nanos {
+        self.credit
+    }
+
+    /// Enqueue a task.
+    pub fn push(&mut self, task: TaskMeta) {
+        match task.class {
+            TxnClass::NonRealTime => self.non_rt.push_back(task),
+            _ => {
+                self.seq += 1;
+                self.rt.push(HeapEntry {
+                    key: task.priority_key(),
+                    seq: self.seq,
+                    task,
+                });
+            }
+        }
+    }
+
+    /// Account `busy` nanoseconds of execution. While non-real-time work is
+    /// queued (demand basis), a fraction of it accrues as non-real-time
+    /// credit.
+    pub fn account_busy(&mut self, busy: Nanos) {
+        if !self.non_rt.is_empty() {
+            let earned = (busy as f64 * self.config.fraction) as Nanos;
+            self.credit = (self.credit + earned).min(self.config.max_credit);
+        }
+    }
+
+    /// Dequeue the next task to run at time `now`.
+    ///
+    /// Firm tasks whose deadline already passed are not returned; they are
+    /// pushed into `expired` (the engine aborts them and counts the miss).
+    /// Soft tasks are returned even when late.
+    pub fn pop(&mut self, now: Nanos, expired: &mut Vec<TaskMeta>) -> Option<TaskMeta> {
+        // Reservation: serve non-real-time work first when its credit
+        // covers the estimated cost.
+        if let Some(front) = self.non_rt.front() {
+            if self.credit >= front.est_cost {
+                let task = self.non_rt.pop_front().expect("front exists");
+                self.credit -= task.est_cost;
+                return Some(task);
+            }
+        }
+        while let Some(entry) = self.rt.pop() {
+            let task = entry.task;
+            if task.class == TxnClass::Firm && task.expired(now) {
+                expired.push(task);
+                continue;
+            }
+            return Some(task);
+        }
+        // No real-time work ready: non-real-time runs for free.
+        self.non_rt.pop_front()
+    }
+
+    /// Peek the most urgent real-time deadline, if any (used by preemption
+    /// decisions in the simulator).
+    #[must_use]
+    pub fn earliest_rt_deadline(&self) -> Option<Nanos> {
+        self.rt.peek().map(|e| e.key)
+    }
+
+    /// Drop every queued task (node failover clears the queue).
+    pub fn clear(&mut self) {
+        self.rt.clear();
+        self.non_rt.clear();
+        self.credit = 0;
+    }
+}
+
+impl std::fmt::Debug for ReadyQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadyQueue")
+            .field("rt", &self.rt.len())
+            .field("non_rt", &self.non_rt.len())
+            .field("credit_ns", &self.credit)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodain_store::TxnId;
+
+    fn q() -> ReadyQueue {
+        ReadyQueue::new(ReservationConfig::default())
+    }
+
+    #[test]
+    fn edf_orders_by_deadline() {
+        let mut queue = q();
+        queue.push(TaskMeta::firm(TxnId(1), 0, 3_000, 10));
+        queue.push(TaskMeta::firm(TxnId(2), 0, 1_000, 10));
+        queue.push(TaskMeta::firm(TxnId(3), 0, 2_000, 10));
+        let mut expired = Vec::new();
+        assert_eq!(queue.pop(0, &mut expired).unwrap().txn, TxnId(2));
+        assert_eq!(queue.pop(0, &mut expired).unwrap().txn, TxnId(3));
+        assert_eq!(queue.pop(0, &mut expired).unwrap().txn, TxnId(1));
+        assert!(expired.is_empty());
+    }
+
+    #[test]
+    fn fifo_within_equal_deadlines() {
+        let mut queue = q();
+        for id in 1..=4u64 {
+            queue.push(TaskMeta::firm(TxnId(id), 0, 1_000, 10));
+        }
+        let mut expired = Vec::new();
+        for id in 1..=4u64 {
+            assert_eq!(queue.pop(0, &mut expired).unwrap().txn, TxnId(id));
+        }
+    }
+
+    #[test]
+    fn expired_firm_tasks_are_dropped_and_reported() {
+        let mut queue = q();
+        queue.push(TaskMeta::firm(TxnId(1), 0, 100, 10));
+        queue.push(TaskMeta::firm(TxnId(2), 0, 10_000, 10));
+        let mut expired = Vec::new();
+        let got = queue.pop(5_000, &mut expired).unwrap();
+        assert_eq!(got.txn, TxnId(2));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].txn, TxnId(1));
+    }
+
+    #[test]
+    fn late_soft_tasks_still_run() {
+        let mut queue = q();
+        queue.push(TaskMeta::soft(TxnId(1), 0, 100, 10));
+        let mut expired = Vec::new();
+        assert_eq!(queue.pop(5_000, &mut expired).unwrap().txn, TxnId(1));
+        assert!(expired.is_empty());
+    }
+
+    #[test]
+    fn non_rt_runs_when_no_rt_ready() {
+        let mut queue = q();
+        queue.push(TaskMeta::non_real_time(TxnId(1), 0, 1_000));
+        let mut expired = Vec::new();
+        assert_eq!(queue.pop(0, &mut expired).unwrap().txn, TxnId(1));
+    }
+
+    #[test]
+    fn rt_preferred_over_non_rt_without_credit() {
+        let mut queue = q();
+        queue.push(TaskMeta::non_real_time(TxnId(1), 0, 1_000));
+        queue.push(TaskMeta::firm(TxnId(2), 0, 1_000, 10));
+        let mut expired = Vec::new();
+        assert_eq!(queue.pop(0, &mut expired).unwrap().txn, TxnId(2));
+        assert_eq!(queue.pop(0, &mut expired).unwrap().txn, TxnId(1));
+    }
+
+    #[test]
+    fn reservation_lets_non_rt_jump_ahead() {
+        let mut queue = ReadyQueue::new(ReservationConfig {
+            fraction: 0.10,
+            max_credit: 1_000_000,
+        });
+        queue.push(TaskMeta::non_real_time(TxnId(1), 0, 1_000));
+        queue.push(TaskMeta::firm(TxnId(2), 0, 1_000_000, 10));
+        // 20 µs of busy time at 10 % → 2 µs credit ≥ 1 µs est cost.
+        queue.account_busy(20_000);
+        assert_eq!(queue.credit(), 2_000);
+        let mut expired = Vec::new();
+        assert_eq!(queue.pop(0, &mut expired).unwrap().txn, TxnId(1));
+        // Credit was spent.
+        assert_eq!(queue.credit(), 1_000);
+        assert_eq!(queue.pop(0, &mut expired).unwrap().txn, TxnId(2));
+    }
+
+    #[test]
+    fn credit_accrues_only_on_demand() {
+        let mut queue = q();
+        // No non-RT work queued: busy time earns nothing.
+        queue.account_busy(1_000_000);
+        assert_eq!(queue.credit(), 0);
+        queue.push(TaskMeta::non_real_time(TxnId(1), 0, u64::MAX));
+        queue.account_busy(1_000_000);
+        assert!(queue.credit() > 0);
+    }
+
+    #[test]
+    fn credit_is_capped() {
+        let mut queue = ReadyQueue::new(ReservationConfig {
+            fraction: 1.0,
+            max_credit: 500,
+        });
+        queue.push(TaskMeta::non_real_time(TxnId(1), 0, u64::MAX));
+        queue.account_busy(10_000);
+        assert_eq!(queue.credit(), 500);
+    }
+
+    #[test]
+    fn earliest_rt_deadline_peek() {
+        let mut queue = q();
+        assert_eq!(queue.earliest_rt_deadline(), None);
+        queue.push(TaskMeta::firm(TxnId(1), 0, 5_000, 10));
+        queue.push(TaskMeta::firm(TxnId(2), 0, 2_000, 10));
+        assert_eq!(queue.earliest_rt_deadline(), Some(2_000));
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut queue = q();
+        queue.push(TaskMeta::firm(TxnId(1), 0, 5_000, 10));
+        queue.push(TaskMeta::non_real_time(TxnId(2), 0, 10));
+        queue.clear();
+        assert!(queue.is_empty());
+        let mut expired = Vec::new();
+        assert!(queue.pop(0, &mut expired).is_none());
+    }
+}

@@ -1,0 +1,34 @@
+//! # rodain-sched — real-time transaction scheduling
+//!
+//! RODAIN schedules transactions with a **modified Earliest Deadline First**
+//! policy (paper §2):
+//!
+//! > "A modified version of the traditional Earliest Deadline First (EDF)
+//! > scheduling is used for transaction scheduling. The modification is
+//! > needed to support a small number of non-realtime transactions that are
+//! > executed simultaneously with the real-time transactions."
+//!
+//! Three mechanisms live here, all purely algorithmic (no threads, no
+//! clocks — time is a parameter), so the same code drives both the real
+//! engine and the discrete-event simulator:
+//!
+//! * [`ReadyQueue`] — EDF ordering of firm/soft real-time transactions, with
+//!   a demand-based *reservation* of a fixed fraction of execution time for
+//!   non-real-time transactions so they cannot starve;
+//! * [`OverloadManager`] — the paper's overload handling: the number of
+//!   active transactions is limited, an arriving lower-priority transaction
+//!   is aborted when the limit is reached, and the number of missed
+//!   deadlines within an observation period drives the limit;
+//! * [`ActiveSet`] — bookkeeping of admitted transactions used by eviction
+//!   decisions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod class;
+mod edf;
+mod overload;
+
+pub use class::{Nanos, TaskMeta, TxnClass};
+pub use edf::{ReadyQueue, ReservationConfig};
+pub use overload::{ActiveSet, Admission, OverloadConfig, OverloadManager};

@@ -1,0 +1,328 @@
+//! Overload management and admission control.
+
+use crate::class::{Nanos, TaskMeta, TxnClass};
+use rodain_store::TxnId;
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration of the overload manager (paper §2):
+///
+/// > "To handle occasional system overload situations the scheduler can
+/// > limit the number of active transactions in the database system. We use
+/// > the number of transactions that have missed their deadlines within the
+/// > observation period as the indication of the current system load level."
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// Maximum concurrently active transactions under no overload
+    /// (the prototype used 50).
+    pub base_limit: usize,
+    /// Floor the limit can shrink to under sustained overload.
+    pub min_limit: usize,
+    /// Observation period for deadline misses (ns).
+    pub window: Nanos,
+    /// Misses within the window at which the limit starts shrinking.
+    pub miss_tolerance: usize,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            base_limit: 50,
+            min_limit: 10,
+            window: 1_000_000_000, // 1 s observation period
+            miss_tolerance: 10,
+        }
+    }
+}
+
+/// Admission decision for an arriving transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Admit; capacity is available.
+    Accept,
+    /// Reject the arriving transaction (it is lower priority than every
+    /// active one, or non-real-time at the limit).
+    Reject,
+    /// Admit the arriving transaction and abort the named active one
+    /// (the arrival is more urgent than the least urgent active txn).
+    AcceptEvicting(TxnId),
+}
+
+/// Bookkeeping of the currently active (admitted, not yet finished)
+/// transactions, enough to pick eviction victims.
+#[derive(Debug, Default)]
+pub struct ActiveSet {
+    tasks: HashMap<TxnId, TaskMeta>,
+}
+
+impl ActiveSet {
+    /// Create an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of active transactions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether no transaction is active.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Register an admitted transaction.
+    pub fn insert(&mut self, task: TaskMeta) {
+        self.tasks.insert(task.txn, task);
+    }
+
+    /// Unregister a finished/aborted transaction.
+    pub fn remove(&mut self, txn: TxnId) -> Option<TaskMeta> {
+        self.tasks.remove(&txn)
+    }
+
+    /// Whether `txn` is active.
+    #[must_use]
+    pub fn contains(&self, txn: TxnId) -> bool {
+        self.tasks.contains_key(&txn)
+    }
+
+    /// The least urgent active transaction (largest EDF key; non-real-time
+    /// first, then the latest deadline; ties broken towards the newest
+    /// arrival). `None` when empty.
+    #[must_use]
+    pub fn least_urgent(&self) -> Option<&TaskMeta> {
+        self.tasks
+            .values()
+            .max_by_key(|t| (t.priority_key(), t.arrival))
+    }
+
+    /// Iterate active tasks.
+    pub fn iter(&self) -> impl Iterator<Item = &TaskMeta> {
+        self.tasks.values()
+    }
+
+    /// Drop everything (failover).
+    pub fn clear(&mut self) {
+        self.tasks.clear();
+    }
+}
+
+/// The overload manager: sliding-window deadline-miss tracking plus the
+/// active-transaction limit with priority-aware admission.
+#[derive(Debug)]
+pub struct OverloadManager {
+    config: OverloadConfig,
+    misses: VecDeque<Nanos>,
+    rejected: u64,
+    evicted: u64,
+}
+
+impl OverloadManager {
+    /// Create a manager.
+    #[must_use]
+    pub fn new(config: OverloadConfig) -> Self {
+        OverloadManager {
+            config,
+            misses: VecDeque::new(),
+            rejected: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Record a missed deadline at `now`.
+    pub fn record_miss(&mut self, now: Nanos) {
+        self.misses.push_back(now);
+        self.prune(now);
+    }
+
+    fn prune(&mut self, now: Nanos) {
+        let horizon = now.saturating_sub(self.config.window);
+        while let Some(&t) = self.misses.front() {
+            if t >= horizon {
+                break;
+            }
+            self.misses.pop_front();
+        }
+    }
+
+    /// Misses within the observation window ending at `now`.
+    #[must_use]
+    pub fn misses_in_window(&mut self, now: Nanos) -> usize {
+        self.prune(now);
+        self.misses.len()
+    }
+
+    /// The current active-transaction limit: shrinks linearly from
+    /// `base_limit` toward `min_limit` as misses within the window climb
+    /// past the tolerance.
+    #[must_use]
+    pub fn current_limit(&mut self, now: Nanos) -> usize {
+        let misses = self.misses_in_window(now);
+        let cfg = self.config;
+        if misses <= cfg.miss_tolerance {
+            return cfg.base_limit;
+        }
+        // Each miss beyond the tolerance sheds one slot, floored.
+        let excess = misses - cfg.miss_tolerance;
+        cfg.base_limit.saturating_sub(excess).max(cfg.min_limit)
+    }
+
+    /// Decide admission of `arriving` at `now` given the `active` set.
+    ///
+    /// Below the limit every transaction is admitted. At the limit the
+    /// paper aborts "an arriving lower priority transaction"; symmetrically,
+    /// an arriving transaction *more urgent* than the least urgent active
+    /// one evicts it.
+    pub fn admit(&mut self, now: Nanos, arriving: &TaskMeta, active: &ActiveSet) -> Admission {
+        let limit = self.current_limit(now);
+        if active.len() < limit {
+            return Admission::Accept;
+        }
+        if arriving.class == TxnClass::NonRealTime {
+            self.rejected += 1;
+            return Admission::Reject;
+        }
+        match active.least_urgent() {
+            Some(victim) if arriving.priority_key() < victim.priority_key() => {
+                self.evicted += 1;
+                Admission::AcceptEvicting(victim.txn)
+            }
+            _ => {
+                self.rejected += 1;
+                Admission::Reject
+            }
+        }
+    }
+
+    /// Transactions rejected at admission so far.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Active transactions evicted in favour of more urgent arrivals.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> OverloadConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(base: usize) -> OverloadManager {
+        OverloadManager::new(OverloadConfig {
+            base_limit: base,
+            min_limit: 2,
+            window: 1_000,
+            miss_tolerance: 2,
+        })
+    }
+
+    #[test]
+    fn admits_below_limit() {
+        let mut m = mgr(2);
+        let active = ActiveSet::new();
+        let t = TaskMeta::firm(TxnId(1), 0, 100, 10);
+        assert_eq!(m.admit(0, &t, &active), Admission::Accept);
+    }
+
+    #[test]
+    fn rejects_non_rt_at_limit() {
+        let mut m = mgr(1);
+        let mut active = ActiveSet::new();
+        active.insert(TaskMeta::firm(TxnId(1), 0, 100, 10));
+        let t = TaskMeta::non_real_time(TxnId(2), 0, 10);
+        assert_eq!(m.admit(0, &t, &active), Admission::Reject);
+        assert_eq!(m.rejected(), 1);
+    }
+
+    #[test]
+    fn rejects_less_urgent_rt_at_limit() {
+        let mut m = mgr(1);
+        let mut active = ActiveSet::new();
+        active.insert(TaskMeta::firm(TxnId(1), 0, 100, 10));
+        // Arriving with a later deadline: lower priority → rejected.
+        let t = TaskMeta::firm(TxnId(2), 0, 500, 10);
+        assert_eq!(m.admit(0, &t, &active), Admission::Reject);
+    }
+
+    #[test]
+    fn urgent_arrival_evicts_least_urgent() {
+        let mut m = mgr(2);
+        let mut active = ActiveSet::new();
+        active.insert(TaskMeta::firm(TxnId(1), 0, 100, 10));
+        active.insert(TaskMeta::firm(TxnId(2), 0, 900, 10));
+        let t = TaskMeta::firm(TxnId(3), 0, 50, 10);
+        assert_eq!(m.admit(0, &t, &active), Admission::AcceptEvicting(TxnId(2)));
+        assert_eq!(m.evicted(), 1);
+    }
+
+    #[test]
+    fn non_rt_active_is_first_eviction_victim() {
+        let mut m = mgr(2);
+        let mut active = ActiveSet::new();
+        active.insert(TaskMeta::firm(TxnId(1), 0, 100, 10));
+        active.insert(TaskMeta::non_real_time(TxnId(2), 0, 10));
+        let t = TaskMeta::firm(TxnId(3), 0, 50_000, 10);
+        assert_eq!(m.admit(0, &t, &active), Admission::AcceptEvicting(TxnId(2)));
+    }
+
+    #[test]
+    fn limit_shrinks_with_misses_and_recovers() {
+        let mut m = mgr(10);
+        assert_eq!(m.current_limit(0), 10);
+        for i in 0..6 {
+            m.record_miss(i);
+        }
+        // 6 misses, tolerance 2 → shed 4 slots.
+        assert_eq!(m.current_limit(10), 6);
+        // Window slides: misses age out, limit recovers.
+        assert_eq!(m.current_limit(5_000), 10);
+    }
+
+    #[test]
+    fn limit_never_drops_below_min() {
+        let mut m = mgr(4);
+        for i in 0..100 {
+            m.record_miss(i);
+        }
+        assert_eq!(m.current_limit(100), 2);
+    }
+
+    #[test]
+    fn misses_in_window_slides() {
+        let mut m = mgr(4);
+        m.record_miss(0);
+        m.record_miss(500);
+        assert_eq!(m.misses_in_window(600), 2);
+        assert_eq!(m.misses_in_window(1_400), 1);
+        assert_eq!(m.misses_in_window(1_600), 0);
+    }
+
+    #[test]
+    fn active_set_basics() {
+        let mut a = ActiveSet::new();
+        assert!(a.is_empty());
+        a.insert(TaskMeta::firm(TxnId(1), 0, 100, 10));
+        a.insert(TaskMeta::soft(TxnId(2), 5, 100, 10));
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(TxnId(1)));
+        // Least urgent: equal deadline keys 100 vs 105 → txn 2 (arrival 5).
+        assert_eq!(a.least_urgent().unwrap().txn, TxnId(2));
+        assert!(a.remove(TxnId(2)).is_some());
+        assert!(a.remove(TxnId(2)).is_none());
+        a.clear();
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the scheduling policies.
+
+use proptest::prelude::*;
+use rodain_sched::{
+    ActiveSet, Admission, OverloadConfig, OverloadManager, ReadyQueue, ReservationConfig, TaskMeta,
+    TxnClass,
+};
+use rodain_store::TxnId;
+
+fn task(n: u64) -> impl Strategy<Value = TaskMeta> {
+    (
+        0..n,
+        0..1_000u64,
+        1..100_000u64,
+        prop_oneof![Just(0u8), Just(1), Just(2)],
+    )
+        .prop_map(|(id, arrival, rel_deadline, class)| match class {
+            0 => TaskMeta::firm(TxnId(id), arrival, rel_deadline, 100),
+            1 => TaskMeta::soft(TxnId(id), arrival, rel_deadline, 100),
+            _ => TaskMeta::non_real_time(TxnId(id), arrival, 100),
+        })
+}
+
+proptest! {
+    /// Without reservation credit, real-time pops come out in EDF order
+    /// and non-real-time tasks only after every RT task.
+    #[test]
+    fn pops_respect_edf(tasks in prop::collection::vec(task(1_000_000), 0..60)) {
+        let mut queue = ReadyQueue::new(ReservationConfig {
+            fraction: 0.0, // no reservation: strict EDF then non-RT
+            max_credit: 0,
+        });
+        for t in &tasks {
+            queue.push(*t);
+        }
+        let mut expired = Vec::new();
+        let mut popped = Vec::new();
+        // Pop at time 0 so nothing expires.
+        while let Some(t) = queue.pop(0, &mut expired) {
+            popped.push(t);
+        }
+        prop_assert!(expired.is_empty());
+        prop_assert_eq!(popped.len(), tasks.len());
+        // EDF keys are non-decreasing (non-RT mapped to MAX at the back).
+        for pair in popped.windows(2) {
+            prop_assert!(
+                pair[0].priority_key() <= pair[1].priority_key(),
+                "{:?} before {:?}", pair[0], pair[1]
+            );
+        }
+    }
+
+    /// Every firm task whose deadline passed is reported expired, never
+    /// returned; soft and non-RT tasks always come out.
+    #[test]
+    fn expiry_partitions_exactly(
+        tasks in prop::collection::vec(task(1_000_000), 0..60),
+        now in 0..200_000u64,
+    ) {
+        let mut queue = ReadyQueue::new(ReservationConfig::default());
+        for t in &tasks {
+            queue.push(*t);
+        }
+        let mut expired = Vec::new();
+        let mut popped = Vec::new();
+        while let Some(t) = queue.pop(now, &mut expired) {
+            popped.push(t);
+        }
+        prop_assert_eq!(popped.len() + expired.len(), tasks.len());
+        for t in &popped {
+            prop_assert!(!(t.class == TxnClass::Firm && t.expired(now)));
+        }
+        for t in &expired {
+            prop_assert!(t.class == TxnClass::Firm && t.expired(now));
+        }
+    }
+
+    /// The admission decision never lets the active count exceed the
+    /// current limit, and evictions only name genuinely active txns.
+    #[test]
+    fn admission_respects_the_limit(
+        arrivals in prop::collection::vec(task(10_000), 1..80),
+        limit in 1usize..8,
+    ) {
+        let mut manager = OverloadManager::new(OverloadConfig {
+            base_limit: limit,
+            min_limit: 1,
+            window: 1_000_000,
+            miss_tolerance: 100, // never shrinks in this test
+        });
+        let mut active = ActiveSet::new();
+        for (i, t) in arrivals.iter().enumerate() {
+            // Re-key ids so they are unique.
+            let t = TaskMeta { txn: TxnId(i as u64), ..*t };
+            match manager.admit(t.arrival, &t, &active) {
+                Admission::Accept => {
+                    active.insert(t);
+                }
+                Admission::AcceptEvicting(victim) => {
+                    prop_assert!(active.contains(victim));
+                    prop_assert!(victim != t.txn);
+                    active.remove(victim);
+                    active.insert(t);
+                }
+                Admission::Reject => {
+                    prop_assert!(active.len() >= limit);
+                }
+            }
+            prop_assert!(active.len() <= limit);
+        }
+    }
+
+    /// The miss window never reports more misses than recorded and decays
+    /// to zero once time moves past the window.
+    #[test]
+    fn miss_window_is_bounded(
+        misses in prop::collection::vec(0..10_000u64, 0..50),
+        window in 1..5_000u64,
+    ) {
+        let mut manager = OverloadManager::new(OverloadConfig {
+            base_limit: 50,
+            min_limit: 10,
+            window,
+            miss_tolerance: 0,
+        });
+        let mut sorted = misses.clone();
+        sorted.sort_unstable();
+        for t in &sorted {
+            manager.record_miss(*t);
+        }
+        let last = sorted.last().copied().unwrap_or(0);
+        prop_assert!(manager.misses_in_window(last) <= sorted.len());
+        prop_assert_eq!(manager.misses_in_window(last + window + 1), 0);
+        prop_assert_eq!(manager.current_limit(last + window + 1), 50);
+    }
+}

@@ -1,0 +1,114 @@
+//! Blocking client for the User Request Interpreter protocol.
+
+use crate::protocol::{read_frame, write_frame, Outcome, Request, RequestOp, Response};
+use rodain_store::{ObjectId, Value};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking client connection.
+///
+/// Responses arrive in request order, so single-request helpers
+/// ([`Client::translate`], [`Client::provision`], …) simply read the next
+/// frame; [`Client::pipeline`] sends a burst and collects all replies.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Client {
+            reader,
+            writer,
+            next_id: 1,
+        })
+    }
+
+    fn send(&mut self, deadline_ms: u32, op: RequestOp) -> std::io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request {
+            id,
+            deadline_ms,
+            op,
+        };
+        write_frame(&mut self.writer, &request.encode())?;
+        Ok(id)
+    }
+
+    fn recv(&mut self) -> std::io::Result<Response> {
+        self.writer.flush()?;
+        let frame = read_frame(&mut self.reader)?;
+        Response::decode(frame)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// One request, blocking for its outcome.
+    pub fn request(&mut self, deadline_ms: u32, op: RequestOp) -> std::io::Result<Outcome> {
+        let id = self.send(deadline_ms, op)?;
+        let response = self.recv()?;
+        debug_assert_eq!(response.id, id);
+        Ok(response.outcome)
+    }
+
+    /// Translate a service number (read-only service provision).
+    pub fn translate(&mut self, number: u64, deadline_ms: u32) -> std::io::Result<Outcome> {
+        self.request(deadline_ms, RequestOp::Translate { number })
+    }
+
+    /// Re-point a service number (update service provision).
+    pub fn provision(
+        &mut self,
+        number: u64,
+        address: impl Into<String>,
+        deadline_ms: u32,
+    ) -> std::io::Result<Outcome> {
+        self.request(
+            deadline_ms,
+            RequestOp::Provision {
+                number,
+                address: address.into(),
+            },
+        )
+    }
+
+    /// Generic object read.
+    pub fn get(&mut self, oid: ObjectId, deadline_ms: u32) -> std::io::Result<Outcome> {
+        self.request(deadline_ms, RequestOp::Get { oid })
+    }
+
+    /// Generic object write.
+    pub fn put(
+        &mut self,
+        oid: ObjectId,
+        value: Value,
+        deadline_ms: u32,
+    ) -> std::io::Result<Outcome> {
+        self.request(deadline_ms, RequestOp::Put { oid, value })
+    }
+
+    /// Engine statistics as `Record[committed, aborted, restarts, active]`.
+    pub fn stats(&mut self) -> std::io::Result<Outcome> {
+        self.request(0, RequestOp::Stats)
+    }
+
+    /// Send a burst of pipelined requests and collect all responses
+    /// (returned in request order).
+    pub fn pipeline(&mut self, requests: Vec<(u32, RequestOp)>) -> std::io::Result<Vec<Outcome>> {
+        let n = requests.len();
+        for (deadline_ms, op) in requests {
+            self.send(deadline_ms, op)?;
+        }
+        let mut outcomes = Vec::with_capacity(n);
+        for _ in 0..n {
+            outcomes.push(self.recv()?.outcome);
+        }
+        Ok(outcomes)
+    }
+}

@@ -1,0 +1,30 @@
+//! # rodain-server — the User Request Interpreter
+//!
+//! The front-most subsystem of the RODAIN node (paper Fig. 1): the **User
+//! Request Interpreter** accepts "requests and new connections" from
+//! applications and returns "query and update results". This crate provides:
+//!
+//! * the client↔node [`protocol`] — length-prefixed request/response frames
+//!   carrying the number-translation service operations plus generic
+//!   object reads/writes, each tagged with a firm deadline;
+//! * [`Server`] — a thread-per-connection TCP front-end that maps requests
+//!   onto [`rodain_db::Rodain`] transactions (requests on one connection may
+//!   be pipelined; responses carry the request id and may return out of
+//!   order);
+//! * [`Client`] — a blocking client with pipelining support.
+//!
+//! Deadlines travel with the request: a request that cannot be served
+//! within its firm deadline is answered with a `Miss` outcome, mirroring
+//! the engine's abort taxonomy, so callers can distinguish "too late" from
+//! "wrong".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::Client;
+pub use protocol::{Outcome, Request, RequestOp, Response};
+pub use server::{Server, ServerHandle, ServerStats};

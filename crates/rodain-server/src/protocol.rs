@@ -1,0 +1,389 @@
+//! The client↔node wire protocol.
+//!
+//! Frames are `u32` little-endian length + body. Request body:
+//!
+//! ```text
+//! id u64 · deadline_ms u32 · op tag u8 · op fields
+//! ```
+//!
+//! Response body: `id u64 · outcome tag u8 · fields`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rodain_log::{decode_value, encode_value};
+use rodain_store::{ObjectId, Value};
+use std::fmt;
+
+/// Upper bound on a protocol frame.
+pub const MAX_REQUEST_BYTES: usize = 4 * 1024 * 1024;
+
+/// Operations a client may request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestOp {
+    /// Number translation: look up the routing address of service number
+    /// `number` (the paper's read-only service provision transaction).
+    Translate {
+        /// Service number.
+        number: u64,
+    },
+    /// Re-point service number `number` at `address` (the update service
+    /// provision transaction).
+    Provision {
+        /// Service number.
+        number: u64,
+        /// New routing address.
+        address: String,
+    },
+    /// Generic transactional read of one object.
+    Get {
+        /// Object to read.
+        oid: ObjectId,
+    },
+    /// Generic transactional write of one object.
+    Put {
+        /// Object to write.
+        oid: ObjectId,
+        /// New value.
+        value: Value,
+    },
+    /// Engine statistics (served outside the transaction path).
+    Stats,
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id (echoed in the response).
+    pub id: u64,
+    /// Relative firm deadline in milliseconds; 0 = non-real-time.
+    pub deadline_ms: u32,
+    /// The operation.
+    pub op: RequestOp,
+}
+
+/// Outcome of a request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// Committed; the payload depends on the operation (`Text` routing
+    /// address for `Translate`, the read value or `Null` for `Get`, …).
+    Ok(Value),
+    /// The service number / object does not exist.
+    NotFound,
+    /// The transaction missed its firm deadline.
+    MissDeadline,
+    /// Rejected by the overload manager (admission denied or evicted).
+    Overloaded,
+    /// Any other failure, with a human-readable reason.
+    Failed(String),
+}
+
+/// A response frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Correlation id of the request this answers.
+    pub id: u64,
+    /// The outcome.
+    pub outcome: Outcome,
+}
+
+/// Protocol decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Structurally invalid frame.
+    Malformed(&'static str),
+    /// Unknown tag byte.
+    UnknownTag(u8),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Malformed(w) => write!(f, "malformed frame: {w}"),
+            ProtocolError::UnknownTag(t) => write!(f, "unknown tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn get_string(buf: &mut Bytes, what: &'static str) -> Result<String, ProtocolError> {
+    if buf.remaining() < 4 {
+        return Err(ProtocolError::Malformed(what));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(ProtocolError::Malformed(what));
+    }
+    String::from_utf8(buf.copy_to_bytes(len).to_vec()).map_err(|_| ProtocolError::Malformed(what))
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+impl Request {
+    /// Encode into a frame body (without the length prefix).
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u64_le(self.id);
+        buf.put_u32_le(self.deadline_ms);
+        match &self.op {
+            RequestOp::Translate { number } => {
+                buf.put_u8(1);
+                buf.put_u64_le(*number);
+            }
+            RequestOp::Provision { number, address } => {
+                buf.put_u8(2);
+                buf.put_u64_le(*number);
+                put_string(&mut buf, address);
+            }
+            RequestOp::Get { oid } => {
+                buf.put_u8(3);
+                buf.put_u64_le(oid.0);
+            }
+            RequestOp::Put { oid, value } => {
+                buf.put_u8(4);
+                buf.put_u64_le(oid.0);
+                encode_value(&mut buf, value);
+            }
+            RequestOp::Stats => buf.put_u8(5),
+        }
+        buf.freeze()
+    }
+
+    /// Decode a frame body.
+    pub fn decode(mut buf: Bytes) -> Result<Request, ProtocolError> {
+        if buf.remaining() < 13 {
+            return Err(ProtocolError::Malformed("request header"));
+        }
+        let id = buf.get_u64_le();
+        let deadline_ms = buf.get_u32_le();
+        let op = match buf.get_u8() {
+            1 => {
+                if buf.remaining() < 8 {
+                    return Err(ProtocolError::Malformed("translate body"));
+                }
+                RequestOp::Translate {
+                    number: buf.get_u64_le(),
+                }
+            }
+            2 => {
+                if buf.remaining() < 8 {
+                    return Err(ProtocolError::Malformed("provision body"));
+                }
+                let number = buf.get_u64_le();
+                let address = get_string(&mut buf, "provision address")?;
+                RequestOp::Provision { number, address }
+            }
+            3 => {
+                if buf.remaining() < 8 {
+                    return Err(ProtocolError::Malformed("get body"));
+                }
+                RequestOp::Get {
+                    oid: ObjectId(buf.get_u64_le()),
+                }
+            }
+            4 => {
+                if buf.remaining() < 8 {
+                    return Err(ProtocolError::Malformed("put body"));
+                }
+                let oid = ObjectId(buf.get_u64_le());
+                let value =
+                    decode_value(&mut buf).map_err(|_| ProtocolError::Malformed("put value"))?;
+                RequestOp::Put { oid, value }
+            }
+            5 => RequestOp::Stats,
+            other => return Err(ProtocolError::UnknownTag(other)),
+        };
+        if buf.has_remaining() {
+            return Err(ProtocolError::Malformed("trailing request bytes"));
+        }
+        Ok(Request {
+            id,
+            deadline_ms,
+            op,
+        })
+    }
+}
+
+impl Response {
+    /// Encode into a frame body.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(24);
+        buf.put_u64_le(self.id);
+        match &self.outcome {
+            Outcome::Ok(value) => {
+                buf.put_u8(1);
+                encode_value(&mut buf, value);
+            }
+            Outcome::NotFound => buf.put_u8(2),
+            Outcome::MissDeadline => buf.put_u8(3),
+            Outcome::Overloaded => buf.put_u8(4),
+            Outcome::Failed(reason) => {
+                buf.put_u8(5);
+                put_string(&mut buf, reason);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode a frame body.
+    pub fn decode(mut buf: Bytes) -> Result<Response, ProtocolError> {
+        if buf.remaining() < 9 {
+            return Err(ProtocolError::Malformed("response header"));
+        }
+        let id = buf.get_u64_le();
+        let outcome = match buf.get_u8() {
+            1 => Outcome::Ok(
+                decode_value(&mut buf).map_err(|_| ProtocolError::Malformed("ok value"))?,
+            ),
+            2 => Outcome::NotFound,
+            3 => Outcome::MissDeadline,
+            4 => Outcome::Overloaded,
+            5 => Outcome::Failed(get_string(&mut buf, "failure reason")?),
+            other => return Err(ProtocolError::UnknownTag(other)),
+        };
+        if buf.has_remaining() {
+            return Err(ProtocolError::Malformed("trailing response bytes"));
+        }
+        Ok(Response { id, outcome })
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(out: &mut impl std::io::Write, body: &[u8]) -> std::io::Result<()> {
+    out.write_all(&(body.len() as u32).to_le_bytes())?;
+    out.write_all(body)
+}
+
+/// Read one length-prefixed frame.
+pub fn read_frame(input: &mut impl std::io::Read) -> std::io::Result<Bytes> {
+    let mut len = [0u8; 4];
+    input.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_REQUEST_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "oversized frame",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    input.read_exact(&mut body)?;
+    Ok(Bytes::from(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request {
+                id: 1,
+                deadline_ms: 50,
+                op: RequestOp::Translate { number: 42 },
+            },
+            Request {
+                id: 2,
+                deadline_ms: 150,
+                op: RequestOp::Provision {
+                    number: 42,
+                    address: "+358-40-555".into(),
+                },
+            },
+            Request {
+                id: 3,
+                deadline_ms: 0,
+                op: RequestOp::Get { oid: ObjectId(9) },
+            },
+            Request {
+                id: 4,
+                deadline_ms: 75,
+                op: RequestOp::Put {
+                    oid: ObjectId(9),
+                    value: Value::Record(vec![Value::Int(1), Value::Text("x".into())]),
+                },
+            },
+            Request {
+                id: 5,
+                deadline_ms: 0,
+                op: RequestOp::Stats,
+            },
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for r in sample_requests() {
+            assert_eq!(Request::decode(r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let responses = vec![
+            Response {
+                id: 1,
+                outcome: Outcome::Ok(Value::Text("+358-9-123".into())),
+            },
+            Response {
+                id: 2,
+                outcome: Outcome::NotFound,
+            },
+            Response {
+                id: 3,
+                outcome: Outcome::MissDeadline,
+            },
+            Response {
+                id: 4,
+                outcome: Outcome::Overloaded,
+            },
+            Response {
+                id: 5,
+                outcome: Outcome::Failed("boom".into()),
+            },
+        ];
+        for r in responses {
+            assert_eq!(Response::decode(r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(Request::decode(Bytes::new()).is_err());
+        assert!(Response::decode(Bytes::from_static(&[0u8; 8])).is_err());
+        assert!(matches!(
+            Request::decode(Bytes::from_static(&[0u8; 12])),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // Unknown op tag.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1);
+        buf.put_u32_le(10);
+        buf.put_u8(99);
+        assert_eq!(
+            Request::decode(buf.freeze()),
+            Err(ProtocolError::UnknownTag(99))
+        );
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let body = b"hello frames".to_vec();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        let mut reader = wire.as_slice();
+        let got = read_frame(&mut reader).unwrap();
+        assert_eq!(&got[..], &body[..]);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut reader = wire.as_slice();
+        assert!(read_frame(&mut reader).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! The TCP front-end.
+
+use crate::protocol::{read_frame, write_frame, Outcome, Request, RequestOp, Response};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rodain_db::{Rodain, TxnError, TxnOptions, TxnReceipt};
+use rodain_store::Value;
+use rodain_workload::NumberTranslationDb;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Monotone request counters.
+#[derive(Default)]
+struct StatsInner {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    not_found: AtomicU64,
+    miss_deadline: AtomicU64,
+    overloaded: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// Snapshot of the front-end's request counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests received.
+    pub requests: u64,
+    /// Requests answered `Ok`.
+    pub ok: u64,
+    /// Requests answered `NotFound`.
+    pub not_found: u64,
+    /// Requests that missed their deadline.
+    pub miss_deadline: u64,
+    /// Requests rejected by the overload manager.
+    pub overloaded: u64,
+    /// Requests that failed for any other reason.
+    pub failed: u64,
+}
+
+/// The User Request Interpreter: accepts connections and maps requests onto
+/// engine transactions. Requests on one connection may be pipelined;
+/// responses are written in request order.
+pub struct Server {
+    db: Arc<Rodain>,
+    schema: NumberTranslationDb,
+}
+
+/// Handle to a running server: address, stats, shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request-counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            ok: self.stats.ok.load(Ordering::Relaxed),
+            not_found: self.stats.not_found.load(Ordering::Relaxed),
+            miss_deadline: self.stats.miss_deadline.load(Ordering::Relaxed),
+            overloaded: self.stats.overloaded.load(Ordering::Relaxed),
+            failed: self.stats.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting connections and join the accept loop. Existing
+    /// connections drain naturally (clients see EOF on their next read).
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Server {
+    /// Create a front-end over `db` serving the number-translation schema
+    /// `schema` (generic `Get`/`Put` work regardless).
+    #[must_use]
+    pub fn new(db: Arc<Rodain>, schema: NumberTranslationDb) -> Server {
+        Server { db, schema }
+    }
+
+    /// Start serving on `listener` (a background accept loop + one thread
+    /// pair per connection).
+    pub fn start(self, listener: TcpListener) -> std::io::Result<ServerHandle> {
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsInner::default());
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_stats = Arc::clone(&stats);
+        let accept_thread = std::thread::Builder::new()
+            .name("rodain-uri-accept".into())
+            .spawn(move || {
+                while !accept_shutdown.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                            let db = Arc::clone(&self.db);
+                            let schema = self.schema;
+                            let stats = Arc::clone(&accept_stats);
+                            let _ = std::thread::Builder::new()
+                                .name("rodain-uri-conn".into())
+                                .spawn(move || serve_connection(stream, db, schema, stats));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn accept loop");
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            stats,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+type PendingReply = (u64, Receiver<Result<TxnReceipt, TxnError>>);
+
+enum ReplyJob {
+    Pending(PendingReply),
+    Immediate(Response),
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    db: Arc<Rodain>,
+    schema: NumberTranslationDb,
+    stats: Arc<StatsInner>,
+) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_stream) = stream.try_clone() else {
+        return;
+    };
+    // Writer: resolves replies in request order, keeping the read loop free
+    // to accept pipelined requests.
+    let (reply_tx, reply_rx) = unbounded::<ReplyJob>();
+    let writer_stats = Arc::clone(&stats);
+    let writer = std::thread::Builder::new()
+        .name("rodain-uri-writer".into())
+        .spawn(move || writer_loop(write_stream, reply_rx, writer_stats))
+        .expect("spawn writer");
+
+    let mut reader = BufReader::new(stream);
+    loop {
+        let Ok(frame) = read_frame(&mut reader) else {
+            break; // disconnect / malformed length
+        };
+        let Ok(request) = Request::decode(frame) else {
+            break; // protocol violation: drop the connection
+        };
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        if handle_request(&db, schema, request, &reply_tx).is_err() {
+            break;
+        }
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+fn txn_options(deadline_ms: u32) -> TxnOptions {
+    if deadline_ms == 0 {
+        TxnOptions::non_real_time()
+    } else {
+        TxnOptions::firm_ms(u64::from(deadline_ms))
+    }
+}
+
+fn handle_request(
+    db: &Arc<Rodain>,
+    schema: NumberTranslationDb,
+    request: Request,
+    replies: &Sender<ReplyJob>,
+) -> Result<(), ()> {
+    let id = request.id;
+    let opts = txn_options(request.deadline_ms);
+    let rx = match request.op {
+        RequestOp::Translate { number } => db.submit(opts, move |ctx| {
+            let record = ctx.read(schema.object_id(number))?;
+            Ok(record.map(|r| r.as_record().map(|f| f[0].clone()).unwrap_or(Value::Null)))
+        }),
+        RequestOp::Provision { number, address } => db.submit(opts, move |ctx| {
+            let oid = schema.object_id(number);
+            let Some(record) = ctx.read(oid)? else {
+                return Ok(None);
+            };
+            let (flags, count) = match record.as_record() {
+                Some([_, Value::Int(flags), Value::Int(count)]) => (*flags, *count),
+                _ => (0, 0),
+            };
+            ctx.write(
+                oid,
+                Value::Record(vec![
+                    Value::Text(address.clone()),
+                    Value::Int(flags),
+                    Value::Int(count + 1),
+                ]),
+            )?;
+            Ok(Some(Value::Int(count + 1)))
+        }),
+        RequestOp::Get { oid } => db.submit(opts, move |ctx| ctx.read(oid)),
+        RequestOp::Put { oid, value } => db.submit(opts, move |ctx| {
+            ctx.write(oid, value.clone())?;
+            Ok(Some(Value::Null))
+        }),
+        RequestOp::Stats => {
+            let stats = db.stats();
+            let payload = Value::Record(vec![
+                Value::Int(stats.committed as i64),
+                Value::Int(stats.aborted() as i64),
+                Value::Int(stats.restarts as i64),
+                Value::Int(stats.active as i64),
+            ]);
+            return replies
+                .send(ReplyJob::Immediate(Response {
+                    id,
+                    outcome: Outcome::Ok(payload),
+                }))
+                .map_err(|_| ());
+        }
+    };
+    replies.send(ReplyJob::Pending((id, rx))).map_err(|_| ())
+}
+
+fn writer_loop(stream: TcpStream, replies: Receiver<ReplyJob>, stats: Arc<StatsInner>) {
+    let mut out = BufWriter::new(stream);
+    for job in &replies {
+        let response = match job {
+            ReplyJob::Immediate(response) => response,
+            ReplyJob::Pending((id, rx)) => {
+                let outcome = match rx.recv() {
+                    Ok(Ok(receipt)) => match receipt.result {
+                        Some(value) => Outcome::Ok(value),
+                        None => Outcome::NotFound,
+                    },
+                    Ok(Err(TxnError::DeadlineExpired)) => Outcome::MissDeadline,
+                    Ok(Err(TxnError::AdmissionDenied | TxnError::Evicted)) => Outcome::Overloaded,
+                    Ok(Err(e)) => Outcome::Failed(e.to_string()),
+                    Err(_) => Outcome::Failed("engine shut down".into()),
+                };
+                Response { id, outcome }
+            }
+        };
+        match &response.outcome {
+            Outcome::Ok(_) => stats.ok.fetch_add(1, Ordering::Relaxed),
+            Outcome::NotFound => stats.not_found.fetch_add(1, Ordering::Relaxed),
+            Outcome::MissDeadline => stats.miss_deadline.fetch_add(1, Ordering::Relaxed),
+            Outcome::Overloaded => stats.overloaded.fetch_add(1, Ordering::Relaxed),
+            Outcome::Failed(_) => stats.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        if write_frame(&mut out, &response.encode()).is_err() {
+            return;
+        }
+        // Flush when no further reply is immediately pending.
+        if replies.is_empty() && out.flush().is_err() {
+            return;
+        }
+    }
+    let _ = out.flush();
+}

@@ -1,0 +1,33 @@
+//! # rodain-sim — deterministic simulation of the RODAIN node pair
+//!
+//! The paper's measurements ran on two 200 MHz Pentium Pro machines under
+//! Chorus/ClassiX. We do not have that testbed; per DESIGN.md §2 this crate
+//! substitutes a **discrete-event simulation** whose calibrated service
+//! times preserve the ratios that drive the figures: per-transaction CPU
+//! cost vs. deadlines, mirror round-trip vs. synchronous disk flush, and
+//! the 50-transaction active limit of the overload manager.
+//!
+//! The simulation is *not* a re-implementation of the database logic: it
+//! executes transactions against the **real** [`rodain_store::Store`],
+//! validates them with the **real** [`rodain_occ`] controllers, schedules
+//! them with the **real** [`rodain_sched`] policies and generates **real**
+//! [`rodain_log`] record groups — only *time* (CPU bursts, network latency,
+//! disk flushes) is simulated. Conflicts, restarts, interval adjustments
+//! and admission decisions are therefore produced by the same code paths a
+//! production deployment runs.
+//!
+//! Entry points: [`Simulation::run`] for one session, [`run_repetitions`]
+//! for the paper's "repeated at least 20 times, means reported" protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod metrics;
+mod runner;
+
+pub use config::{DiskMode, FailureInjection, HardwareModel, LoggingMode, SimConfig, TakeoverKind};
+pub use engine::Simulation;
+pub use metrics::{AggregateMetrics, LatencyStats, SimMetrics};
+pub use runner::{run_repetitions, run_session};

@@ -1,0 +1,262 @@
+//! Simulation metrics.
+
+use rodain_occ::CcStats;
+
+/// Latency summary over a set of samples (nanoseconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean.
+    pub mean_ns: f64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Maximum.
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Summarize `samples` (consumed; sorted internally).
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<u64>) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u128 = samples.iter().map(|&v| v as u128).sum();
+        let pct = |p: f64| -> u64 {
+            let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+            samples[idx]
+        };
+        LatencyStats {
+            count,
+            mean_ns: sum as f64 / count as f64,
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
+            max_ns: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Outcome counters and latency distributions of one simulated session.
+#[derive(Clone, Debug, Default)]
+pub struct SimMetrics {
+    /// Transactions in the trace (offered load).
+    pub offered: u64,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted: deadline expired (in queue, mid-execution, or no slack to
+    /// restart after a conflict-free abort).
+    pub missed_deadline: u64,
+    /// Aborted: concurrency-control restart with no slack left.
+    pub missed_conflict: u64,
+    /// Aborted: admission denied by the overload manager.
+    pub missed_admission: u64,
+    /// Aborted: evicted by a more urgent arrival at the active limit.
+    pub missed_evicted: u64,
+    /// Aborted: arrived while the node (pair) was down after a failure.
+    pub missed_unavailable: u64,
+    /// Concurrency-control restarts that were retried (not fatal).
+    pub restarts: u64,
+    /// Transactions that committed after their deadline (soft lateness;
+    /// firm transactions never reach this).
+    pub late_commits: u64,
+    /// Non-real-time transactions offered.
+    pub offered_non_rt: u64,
+    /// Non-real-time transactions committed (the modified-EDF reservation
+    /// exists to keep this from starving under real-time load).
+    pub committed_non_rt: u64,
+    /// End-to-end response times of committed transactions.
+    pub response: LatencyStats,
+    /// Commit-wait times (validation accept → durable/acknowledged).
+    pub commit_wait: LatencyStats,
+    /// Response times of committed non-real-time transactions — the
+    /// starvation indicator the EDF reservation exists to bound.
+    pub non_rt_response: LatencyStats,
+    /// Controller counters.
+    pub cc: CcStats,
+    /// Physical log flushes on the primary (single-node sync mode).
+    pub disk_flushes: u64,
+    /// Largest mirror spool backlog observed (groups).
+    pub mirror_backlog_max: u64,
+    /// Log records generated.
+    pub log_records: u64,
+    /// Log bytes shipped/stored (approximate encoded size).
+    pub log_bytes: u64,
+    /// First commit after the injected failure (ns), if any.
+    pub first_commit_after_failure_ns: Option<u64>,
+    /// Last commit before the injected failure (ns), if any.
+    pub last_commit_before_failure_ns: Option<u64>,
+    /// Simulated session length (ns).
+    pub sim_end_ns: u64,
+}
+
+impl SimMetrics {
+    /// Total missed (aborted) transactions.
+    #[must_use]
+    pub fn missed(&self) -> u64 {
+        self.missed_deadline
+            + self.missed_conflict
+            + self.missed_admission
+            + self.missed_evicted
+            + self.missed_unavailable
+    }
+
+    /// The paper's headline metric: "the transaction miss ratio, which
+    /// represents the fraction of transactions that were aborted".
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.missed() as f64 / self.offered as f64
+    }
+
+    /// Completion rate of non-real-time transactions (1.0 when none were
+    /// offered).
+    #[must_use]
+    pub fn non_rt_completion(&self) -> f64 {
+        if self.offered_non_rt == 0 {
+            return 1.0;
+        }
+        self.committed_non_rt as f64 / self.offered_non_rt as f64
+    }
+
+    /// Unavailability window around an injected failure: last commit
+    /// before → first commit after.
+    #[must_use]
+    pub fn unavailability_ns(&self) -> Option<u64> {
+        match (
+            self.last_commit_before_failure_ns,
+            self.first_commit_after_failure_ns,
+        ) {
+            (Some(before), Some(after)) => Some(after.saturating_sub(before)),
+            _ => None,
+        }
+    }
+}
+
+/// Mean ± spread across repetitions (the paper: "Every test session …
+/// is repeated at least 20 times. The reported values are the means").
+#[derive(Clone, Debug, Default)]
+pub struct AggregateMetrics {
+    /// Sessions aggregated.
+    pub sessions: u64,
+    /// Mean miss ratio.
+    pub miss_ratio_mean: f64,
+    /// Min/max miss ratio across repetitions.
+    pub miss_ratio_min: f64,
+    /// See `miss_ratio_min`.
+    pub miss_ratio_max: f64,
+    /// Mean abort-reason shares (of offered load).
+    pub deadline_share: f64,
+    /// See `deadline_share`.
+    pub conflict_share: f64,
+    /// See `deadline_share`.
+    pub admission_share: f64,
+    /// Mean restarts per offered transaction.
+    pub restart_rate: f64,
+    /// Mean commit-wait p95 (ns).
+    pub commit_wait_p95_ns: f64,
+    /// Mean response p95 (ns).
+    pub response_p95_ns: f64,
+}
+
+impl AggregateMetrics {
+    /// Aggregate repetitions.
+    #[must_use]
+    pub fn from_sessions(sessions: &[SimMetrics]) -> AggregateMetrics {
+        if sessions.is_empty() {
+            return AggregateMetrics::default();
+        }
+        let n = sessions.len() as f64;
+        let ratios: Vec<f64> = sessions.iter().map(SimMetrics::miss_ratio).collect();
+        let mean = |f: &dyn Fn(&SimMetrics) -> f64| sessions.iter().map(f).sum::<f64>() / n;
+        AggregateMetrics {
+            sessions: sessions.len() as u64,
+            miss_ratio_mean: ratios.iter().sum::<f64>() / n,
+            miss_ratio_min: ratios.iter().copied().fold(f64::INFINITY, f64::min),
+            miss_ratio_max: ratios.iter().copied().fold(0.0, f64::max),
+            deadline_share: mean(&|s| s.missed_deadline as f64 / s.offered.max(1) as f64),
+            conflict_share: mean(&|s| s.missed_conflict as f64 / s.offered.max(1) as f64),
+            admission_share: mean(&|s| {
+                (s.missed_admission + s.missed_evicted) as f64 / s.offered.max(1) as f64
+            }),
+            restart_rate: mean(&|s| s.restarts as f64 / s.offered.max(1) as f64),
+            commit_wait_p95_ns: mean(&|s| s.commit_wait.p95_ns as f64),
+            response_p95_ns: mean(&|s| s.response.p95_ns as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_percentiles() {
+        let stats = LatencyStats::from_samples((1..=100u64).collect());
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.p50_ns, 51); // index round((99)*0.50) = 50 → value 51
+        assert_eq!(stats.p95_ns, 95);
+        assert_eq!(stats.p99_ns, 99);
+        assert_eq!(stats.max_ns, 100);
+        assert!((stats.mean_ns - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        assert_eq!(LatencyStats::from_samples(vec![]), LatencyStats::default());
+    }
+
+    #[test]
+    fn miss_ratio_sums_reasons() {
+        let m = SimMetrics {
+            offered: 100,
+            committed: 90,
+            missed_deadline: 4,
+            missed_conflict: 3,
+            missed_admission: 2,
+            missed_evicted: 1,
+            ..SimMetrics::default()
+        };
+        assert_eq!(m.missed(), 10);
+        assert!((m.miss_ratio() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_offered_has_zero_ratio() {
+        assert_eq!(SimMetrics::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn unavailability_window() {
+        let mut m = SimMetrics::default();
+        assert_eq!(m.unavailability_ns(), None);
+        m.last_commit_before_failure_ns = Some(1_000);
+        m.first_commit_after_failure_ns = Some(5_000);
+        assert_eq!(m.unavailability_ns(), Some(4_000));
+    }
+
+    #[test]
+    fn aggregate_means() {
+        let mk = |missed: u64| SimMetrics {
+            offered: 100,
+            committed: 100 - missed,
+            missed_admission: missed,
+            ..SimMetrics::default()
+        };
+        let agg = AggregateMetrics::from_sessions(&[mk(10), mk(20)]);
+        assert_eq!(agg.sessions, 2);
+        assert!((agg.miss_ratio_mean - 0.15).abs() < 1e-12);
+        assert!((agg.miss_ratio_min - 0.10).abs() < 1e-12);
+        assert!((agg.miss_ratio_max - 0.20).abs() < 1e-12);
+        assert!((agg.admission_share - 0.15).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! Session runners: one session, or the paper's repeated-sessions protocol.
+
+use crate::config::SimConfig;
+use crate::engine::Simulation;
+use crate::metrics::{AggregateMetrics, SimMetrics};
+use rodain_workload::{TraceGenerator, WorkloadSpec};
+
+/// Run one simulated session of `spec` under `cfg`.
+#[must_use]
+pub fn run_session(cfg: &SimConfig, spec: &WorkloadSpec) -> SimMetrics {
+    let trace = TraceGenerator::new(spec.clone()).generate();
+    Simulation::new(cfg.clone(), trace, spec.db_objects).run()
+}
+
+/// The paper's measurement protocol: "Every test session contains 10 000
+/// transactions and is repeated at least 20 times. The reported values are
+/// the means of the repetitions." Each repetition varies the trace seed.
+#[must_use]
+pub fn run_repetitions(cfg: &SimConfig, spec: &WorkloadSpec, reps: u32) -> AggregateMetrics {
+    let sessions: Vec<SimMetrics> = (0..reps)
+        .map(|rep| {
+            let rep_spec = WorkloadSpec {
+                seed: spec
+                    .seed
+                    .wrapping_add(u64::from(rep).wrapping_mul(0x9E37_79B9)),
+                ..spec.clone()
+            };
+            run_session(cfg, &rep_spec)
+        })
+        .collect();
+    AggregateMetrics::from_sessions(&sessions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiskMode;
+
+    #[test]
+    fn repetitions_aggregate() {
+        let spec = WorkloadSpec {
+            count: 500,
+            db_objects: 1_000,
+            arrival_rate_tps: 100.0,
+            ..WorkloadSpec::default()
+        };
+        let agg = run_repetitions(&SimConfig::two_node(DiskMode::Off), &spec, 3);
+        assert_eq!(agg.sessions, 3);
+        assert!(agg.miss_ratio_min <= agg.miss_ratio_mean);
+        assert!(agg.miss_ratio_mean <= agg.miss_ratio_max);
+    }
+
+    #[test]
+    fn session_runner_matches_direct_use() {
+        let spec = WorkloadSpec {
+            count: 300,
+            db_objects: 1_000,
+            arrival_rate_tps: 80.0,
+            ..WorkloadSpec::default()
+        };
+        let cfg = SimConfig::no_logs();
+        let a = run_session(&cfg, &spec);
+        let b = run_session(&cfg, &spec);
+        assert_eq!(a.committed, b.committed);
+    }
+}

@@ -1,0 +1,21 @@
+//! Store error type.
+
+use crate::types::ObjectId;
+use std::fmt;
+
+/// Errors surfaced by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The referenced object does not exist in the database.
+    NoSuchObject(ObjectId),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NoSuchObject(oid) => write!(f, "no such object: {oid:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

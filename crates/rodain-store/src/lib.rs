@@ -1,0 +1,42 @@
+//! # rodain-store — main-memory object store
+//!
+//! The storage substrate of the RODAIN real-time main-memory database
+//! (Niklander & Raatikainen, *Using Logs to Increase Availability in
+//! Real-Time Main-Memory Database*).
+//!
+//! The store keeps every data object in main memory, sharded across a set of
+//! reader-writer locks for concurrent access by transaction executor
+//! threads. Two design points come straight from the paper:
+//!
+//! * **Deferred write.** A transaction never touches the shared database
+//!   during its read phase. All modifications go to a private
+//!   [`Workspace`]; an aborted transaction simply drops its workspace — no
+//!   rollback, no undo logging. Only after the concurrency controller
+//!   accepts the transaction are the after-images installed.
+//! * **Versioned objects.** Each object carries the commit timestamp of its
+//!   last writer (`wts`) and the largest commit timestamp of any reader
+//!   (`rts`), which the optimistic validators in `rodain-occ` use to adjust
+//!   serialization order.
+//!
+//! The store also supports whole-database [`Snapshot`]s, used by the mirror
+//! node when a recovered node rejoins and must be brought up to date before
+//! the log stream can take over.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod object;
+mod snapshot;
+mod stats;
+mod store;
+mod types;
+mod workspace;
+
+pub use error::StoreError;
+pub use object::VersionedObject;
+pub use snapshot::Snapshot;
+pub use stats::StoreStats;
+pub use store::{Store, DEFAULT_SHARDS};
+pub use types::{ObjectId, Ts, TxnId, Value};
+pub use workspace::{ReadObservation, Workspace};

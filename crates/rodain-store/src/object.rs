@@ -1,0 +1,82 @@
+//! Versioned object representation.
+
+use crate::types::{Ts, Value};
+use serde::{Deserialize, Serialize};
+
+/// A data object together with the version metadata the optimistic
+/// concurrency controllers need.
+///
+/// * `wts` — commit timestamp of the transaction that installed the current
+///   value (the *write timestamp*).
+/// * `rts` — the largest commit timestamp of any committed transaction that
+///   read this value (the *read timestamp*). A later writer must serialize
+///   after every committed reader, so its validation timestamp must exceed
+///   `rts`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionedObject {
+    /// Current committed value.
+    pub value: Value,
+    /// Write timestamp: commit timestamp of the last installed writer.
+    pub wts: Ts,
+    /// Read timestamp: max commit timestamp over committed readers.
+    pub rts: Ts,
+}
+
+impl VersionedObject {
+    /// A fresh object carrying the initial-load timestamp [`Ts::ZERO`].
+    #[must_use]
+    pub fn initial(value: Value) -> Self {
+        VersionedObject {
+            value,
+            wts: Ts::ZERO,
+            rts: Ts::ZERO,
+        }
+    }
+
+    /// A version installed by a committed writer at `wts`.
+    #[must_use]
+    pub fn installed(value: Value, wts: Ts) -> Self {
+        VersionedObject {
+            value,
+            wts,
+            rts: wts,
+        }
+    }
+
+    /// Record that a transaction committing at `ts` read this object.
+    pub fn note_committed_read(&mut self, ts: Ts) {
+        if ts > self.rts {
+            self.rts = ts;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_carries_zero_timestamps() {
+        let o = VersionedObject::initial(Value::Int(1));
+        assert_eq!(o.wts, Ts::ZERO);
+        assert_eq!(o.rts, Ts::ZERO);
+    }
+
+    #[test]
+    fn note_committed_read_is_monotone() {
+        let mut o = VersionedObject::initial(Value::Int(1));
+        o.note_committed_read(Ts(5));
+        assert_eq!(o.rts, Ts(5));
+        o.note_committed_read(Ts(3));
+        assert_eq!(o.rts, Ts(5), "rts never decreases");
+        o.note_committed_read(Ts(9));
+        assert_eq!(o.rts, Ts(9));
+    }
+
+    #[test]
+    fn installed_sets_both_timestamps() {
+        let o = VersionedObject::installed(Value::Int(2), Ts(7));
+        assert_eq!(o.wts, Ts(7));
+        assert_eq!(o.rts, Ts(7));
+    }
+}

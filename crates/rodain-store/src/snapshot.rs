@@ -1,0 +1,108 @@
+//! Whole-database snapshots.
+
+use crate::object::VersionedObject;
+use crate::types::ObjectId;
+use serde::{Deserialize, Serialize};
+
+/// A consistent copy of the full database contents.
+///
+/// Snapshots are used for mirror state transfer (a recovered node rejoining
+/// as Mirror receives a snapshot, then catches up from the log stream) and
+/// for checkpointing. Objects are sorted by id so snapshots can be chunked
+/// deterministically for transfer.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Snapshot {
+    /// All objects, sorted by [`ObjectId`].
+    pub objects: Vec<(ObjectId, VersionedObject)>,
+}
+
+impl Snapshot {
+    /// Number of objects in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the snapshot is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Split the snapshot into transfer chunks of at most `chunk_objects`
+    /// objects each. An empty snapshot yields no chunks.
+    #[must_use]
+    pub fn chunks(&self, chunk_objects: usize) -> Vec<Snapshot> {
+        assert!(chunk_objects > 0, "chunk size must be positive");
+        self.objects
+            .chunks(chunk_objects)
+            .map(|c| Snapshot {
+                objects: c.to_vec(),
+            })
+            .collect()
+    }
+
+    /// Merge transfer chunks back into a single snapshot.
+    ///
+    /// Chunks may arrive in any order; the result is re-sorted by object id.
+    #[must_use]
+    pub fn from_chunks(chunks: Vec<Snapshot>) -> Snapshot {
+        let mut objects: Vec<_> = chunks.into_iter().flat_map(|c| c.objects).collect();
+        objects.sort_unstable_by_key(|(oid, _)| *oid);
+        Snapshot { objects }
+    }
+
+    /// The largest write timestamp contained in the snapshot.
+    #[must_use]
+    pub fn max_wts(&self) -> crate::types::Ts {
+        self.objects
+            .iter()
+            .map(|(_, o)| o.wts)
+            .max()
+            .unwrap_or(crate::types::Ts::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Ts, Value};
+
+    fn sample(n: u64) -> Snapshot {
+        Snapshot {
+            objects: (0..n)
+                .map(|i| {
+                    (
+                        ObjectId(i),
+                        VersionedObject::installed(Value::Int(i as i64), Ts(i)),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn chunk_roundtrip() {
+        let snap = sample(10);
+        let mut chunks = snap.chunks(3);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[3].len(), 1);
+        // Deliver out of order.
+        chunks.reverse();
+        let merged = Snapshot::from_chunks(chunks);
+        assert_eq!(merged, snap);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let snap = sample(0);
+        assert!(snap.is_empty());
+        assert!(snap.chunks(5).is_empty());
+        assert_eq!(snap.max_wts(), Ts::ZERO);
+    }
+
+    #[test]
+    fn max_wts() {
+        assert_eq!(sample(5).max_wts(), Ts(4));
+    }
+}

@@ -1,0 +1,48 @@
+//! Store usage statistics.
+
+/// Point-in-time store usage statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of live objects.
+    pub objects: usize,
+    /// Approximate bytes of value payload plus per-object overhead.
+    pub approx_bytes: usize,
+    /// Number of lock shards.
+    pub shards: usize,
+    /// Objects in the fullest shard (a skew indicator).
+    pub max_shard_objects: usize,
+}
+
+impl StoreStats {
+    /// Shard balance ratio: fullest shard vs ideal even split.
+    /// 1.0 is perfectly even; large values indicate hash skew.
+    #[must_use]
+    pub fn shard_skew(&self) -> f64 {
+        if self.objects == 0 || self.shards == 0 {
+            return 1.0;
+        }
+        let ideal = self.objects as f64 / self.shards as f64;
+        self.max_shard_objects as f64 / ideal.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_of_empty_store_is_one() {
+        assert_eq!(StoreStats::default().shard_skew(), 1.0);
+    }
+
+    #[test]
+    fn skew_computation() {
+        let stats = StoreStats {
+            objects: 100,
+            approx_bytes: 0,
+            shards: 10,
+            max_shard_objects: 20,
+        };
+        assert!((stats.shard_skew() - 2.0).abs() < 1e-9);
+    }
+}

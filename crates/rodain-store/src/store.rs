@@ -1,0 +1,384 @@
+//! The sharded main-memory store.
+
+use crate::object::VersionedObject;
+use crate::snapshot::Snapshot;
+use crate::stats::StoreStats;
+use crate::types::{ObjectId, Ts, Value};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default number of lock shards.
+///
+/// Transactions in the RODAIN workloads touch a handful of objects out of
+/// tens of thousands, so shard contention is negligible already at a modest
+/// shard count.
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// The main-memory object store.
+///
+/// Objects live in `shards.len()` independent hash maps, each behind its own
+/// reader-writer lock. Read phases of transactions only take shared locks;
+/// the write phase (installation of after-images) takes exclusive locks on
+/// the touched shards one object at a time — the *atomicity* of installation
+/// with respect to validation is provided by the concurrency controller's
+/// validation critical section, not by the store.
+pub struct Store {
+    shards: Vec<RwLock<HashMap<ObjectId, VersionedObject>>>,
+    /// Number of objects currently present (excludes tombstoned ones).
+    len: AtomicU64,
+}
+
+impl Store {
+    /// Create an empty store with [`DEFAULT_SHARDS`] shards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Create an empty store with a specific shard count (must be > 0).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "store must have at least one shard");
+        Store {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            len: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, oid: ObjectId) -> &RwLock<HashMap<ObjectId, VersionedObject>> {
+        // Multiplicative hash; ObjectIds are often dense small integers.
+        let h = oid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = (h >> 32) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Number of objects present.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed) as usize
+    }
+
+    /// Whether the store holds no objects.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Load an object during initial database population (timestamp zero).
+    pub fn load_initial(&self, oid: ObjectId, value: Value) {
+        self.install(oid, value, Ts::ZERO);
+    }
+
+    /// Read the committed value and its write timestamp.
+    #[must_use]
+    pub fn read(&self, oid: ObjectId) -> Option<(Value, Ts)> {
+        let shard = self.shard_of(oid).read();
+        shard.get(&oid).map(|o| (o.value.clone(), o.wts))
+    }
+
+    /// Read only the version metadata (cheaper than [`Store::read`] for
+    /// validation-time checks).
+    #[must_use]
+    pub fn version(&self, oid: ObjectId) -> Option<(Ts, Ts)> {
+        let shard = self.shard_of(oid).read();
+        shard.get(&oid).map(|o| (o.wts, o.rts))
+    }
+
+    /// Install a committed after-image at timestamp `ts`.
+    ///
+    /// Installing [`Value::Null`] removes the object (tombstone semantics).
+    /// Called during the write phase of a committing transaction and by the
+    /// mirror node when applying the reordered log stream.
+    pub fn install(&self, oid: ObjectId, value: Value, ts: Ts) {
+        let mut shard = self.shard_of(oid).write();
+        if value.is_null() {
+            if shard.remove(&oid).is_some() {
+                self.len.fetch_sub(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        match shard.get_mut(&oid) {
+            Some(obj) => {
+                obj.value = value;
+                if ts > obj.wts {
+                    obj.wts = ts;
+                }
+                if ts > obj.rts {
+                    obj.rts = ts;
+                }
+            }
+            None => {
+                shard.insert(oid, VersionedObject::installed(value, ts));
+                self.len.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Record that a transaction committing at `ts` read `oid`.
+    ///
+    /// Updates the read timestamp so later writers serialize after the
+    /// reader. No-op if the object has since been deleted.
+    pub fn note_committed_read(&self, oid: ObjectId, ts: Ts) {
+        let mut shard = self.shard_of(oid).write();
+        if let Some(obj) = shard.get_mut(&oid) {
+            obj.note_committed_read(ts);
+        }
+    }
+
+    /// Extract a consistent full-database snapshot.
+    ///
+    /// The caller must ensure no installation is concurrent with the
+    /// extraction (the engine takes snapshots inside the validation critical
+    /// section or while the node is not serving transactions, e.g. during
+    /// mirror state transfer).
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut objects = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (oid, obj) in shard.iter() {
+                objects.push((*oid, obj.clone()));
+            }
+        }
+        objects.sort_unstable_by_key(|(oid, _)| *oid);
+        Snapshot { objects }
+    }
+
+    /// Replace the entire contents of the store with a snapshot.
+    pub fn restore(&self, snapshot: &Snapshot) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        self.len.store(0, Ordering::Relaxed);
+        for (oid, obj) in &snapshot.objects {
+            let mut shard = self.shard_of(*oid).write();
+            if shard.insert(*oid, obj.clone()).is_none() {
+                self.len.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Remove every object.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        self.len.store(0, Ordering::Relaxed);
+    }
+
+    /// The largest write timestamp present in the store.
+    ///
+    /// After restoring a mirror from a snapshot this tells the catch-up
+    /// protocol where the log stream must resume.
+    #[must_use]
+    pub fn max_wts(&self) -> Ts {
+        let mut max = Ts::ZERO;
+        for shard in &self.shards {
+            let shard = shard.read();
+            for obj in shard.values() {
+                if obj.wts > max {
+                    max = obj.wts;
+                }
+            }
+        }
+        max
+    }
+
+    /// Gather usage statistics.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = StoreStats {
+            objects: 0,
+            approx_bytes: 0,
+            shards: self.shards.len(),
+            max_shard_objects: 0,
+        };
+        for shard in &self.shards {
+            let shard = shard.read();
+            stats.objects += shard.len();
+            stats.max_shard_objects = stats.max_shard_objects.max(shard.len());
+            stats.approx_bytes += shard
+                .values()
+                .map(|o| o.value.approx_size() + 24)
+                .sum::<usize>();
+        }
+        stats
+    }
+
+    /// Visit every object (read-locked shard at a time).
+    pub fn for_each(&self, mut f: impl FnMut(ObjectId, &VersionedObject)) {
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (oid, obj) in shard.iter() {
+                f(*oid, obj);
+            }
+        }
+    }
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::new()
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("objects", &self.len())
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_your_install() {
+        let store = Store::new();
+        store.load_initial(ObjectId(1), Value::Int(10));
+        assert_eq!(store.read(ObjectId(1)), Some((Value::Int(10), Ts::ZERO)));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn missing_object_reads_none() {
+        let store = Store::new();
+        assert_eq!(store.read(ObjectId(404)), None);
+        assert_eq!(store.version(ObjectId(404)), None);
+    }
+
+    #[test]
+    fn install_bumps_timestamps_monotonically() {
+        let store = Store::new();
+        store.load_initial(ObjectId(1), Value::Int(0));
+        store.install(ObjectId(1), Value::Int(1), Ts(5));
+        assert_eq!(store.version(ObjectId(1)), Some((Ts(5), Ts(5))));
+        // An out-of-order (lower-ts) install updates the value but never
+        // rewinds version metadata.
+        store.install(ObjectId(1), Value::Int(2), Ts(3));
+        let (wts, rts) = store.version(ObjectId(1)).unwrap();
+        assert_eq!(wts, Ts(5));
+        assert_eq!(rts, Ts(5));
+    }
+
+    #[test]
+    fn null_install_deletes() {
+        let store = Store::new();
+        store.load_initial(ObjectId(1), Value::Int(0));
+        assert_eq!(store.len(), 1);
+        store.install(ObjectId(1), Value::Null, Ts(2));
+        assert_eq!(store.read(ObjectId(1)), None);
+        assert_eq!(store.len(), 0);
+        // Deleting a missing object is a no-op.
+        store.install(ObjectId(1), Value::Null, Ts(3));
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn note_committed_read_updates_rts() {
+        let store = Store::new();
+        store.load_initial(ObjectId(7), Value::Int(0));
+        store.note_committed_read(ObjectId(7), Ts(9));
+        assert_eq!(store.version(ObjectId(7)), Some((Ts::ZERO, Ts(9))));
+        // Reading a deleted object must not panic.
+        store.note_committed_read(ObjectId(404), Ts(10));
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let store = Store::with_shards(4);
+        for i in 0..100u64 {
+            store.load_initial(ObjectId(i), Value::Int(i as i64));
+        }
+        store.install(ObjectId(5), Value::Int(-5), Ts(12));
+        let snap = store.snapshot();
+        assert_eq!(snap.objects.len(), 100);
+
+        let other = Store::with_shards(8);
+        other.load_initial(ObjectId(999), Value::Int(0));
+        other.restore(&snap);
+        assert_eq!(other.len(), 100);
+        assert_eq!(other.read(ObjectId(5)), Some((Value::Int(-5), Ts(12))));
+        assert_eq!(other.read(ObjectId(999)), None);
+        assert_eq!(other.max_wts(), Ts(12));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_object_id() {
+        let store = Store::new();
+        for i in (0..50u64).rev() {
+            store.load_initial(ObjectId(i), Value::Int(0));
+        }
+        let snap = store.snapshot();
+        for w in snap.objects.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn stats_counts_objects() {
+        let store = Store::with_shards(2);
+        for i in 0..10u64 {
+            store.load_initial(ObjectId(i), Value::Text("x".repeat(10)));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.objects, 10);
+        assert_eq!(stats.shards, 2);
+        assert!(stats.approx_bytes >= 10 * 10);
+        assert!(stats.max_shard_objects <= 10);
+    }
+
+    #[test]
+    fn clear_empties_store() {
+        let store = Store::new();
+        store.load_initial(ObjectId(1), Value::Int(1));
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let store = Store::with_shards(3);
+        for i in 0..25u64 {
+            store.load_initial(ObjectId(i), Value::Int(i as i64));
+        }
+        let mut seen = 0usize;
+        store.for_each(|_, _| seen += 1);
+        assert_eq!(seen, 25);
+    }
+
+    #[test]
+    fn concurrent_reads_and_installs() {
+        use std::sync::Arc;
+        let store = Arc::new(Store::new());
+        for i in 0..1000u64 {
+            store.load_initial(ObjectId(i), Value::Int(0));
+        }
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let oid = ObjectId((i * 7 + t) % 1000);
+                    if i % 3 == 0 {
+                        store.install(oid, Value::Int(i as i64), Ts(i + 1));
+                    } else {
+                        let _ = store.read(oid);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 1000);
+    }
+}

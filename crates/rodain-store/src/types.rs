@@ -1,0 +1,255 @@
+//! Core identifier and value types shared by every RODAIN crate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a data object in the main-memory database.
+///
+/// RODAIN is an object-oriented database; objects are addressed by a stable
+/// 64-bit identifier. The workload layer maps application keys (for example
+/// subscriber numbers in the number-translation service) onto `ObjectId`s.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(v: u64) -> Self {
+        ObjectId(v)
+    }
+}
+
+/// Identifier of a transaction.
+///
+/// Transaction identifiers are assigned by the engine at admission and are
+/// unique within a primary node's lifetime. They appear in every redo log
+/// record so the mirror can regroup interleaved records per transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for TxnId {
+    fn from(v: u64) -> Self {
+        TxnId(v)
+    }
+}
+
+/// A logical commit/validation timestamp.
+///
+/// Validation timestamps define the *true validation order* of transactions,
+/// which the paper uses to reorder the log stream on the mirror node. They
+/// are dense, monotone and assigned atomically at validation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Ts(pub u64);
+
+impl Ts {
+    /// The zero timestamp; committed initial state carries this timestamp.
+    pub const ZERO: Ts = Ts(0);
+    /// The largest representable timestamp (used as +infinity in intervals).
+    pub const MAX: Ts = Ts(u64::MAX);
+
+    /// The next timestamp, saturating at [`Ts::MAX`].
+    #[must_use]
+    pub fn next(self) -> Ts {
+        Ts(self.0.saturating_add(1))
+    }
+
+    /// The previous timestamp, saturating at [`Ts::ZERO`].
+    #[must_use]
+    pub fn prev(self) -> Ts {
+        Ts(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Debug for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == u64::MAX {
+            write!(f, "ts(∞)")
+        } else {
+            write!(f, "ts({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for Ts {
+    fn from(v: u64) -> Self {
+        Ts(v)
+    }
+}
+
+/// A data object's value.
+///
+/// RODAIN's telecom workloads store small structured records (a number
+/// translation entry is a routing address plus service flags). `Value` keeps
+/// the common shapes cheap while remaining serializable into redo-log
+/// after-images.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / tombstone value. Installing `Null` deletes the object.
+    Null,
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A short text field (e.g. a routing address).
+    Text(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// A composite record of fields.
+    Record(Vec<Value>),
+}
+
+impl Value {
+    /// Whether this value is the `Null` tombstone.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Approximate heap size of the value in bytes, used for store statistics
+    /// and log-volume accounting.
+    #[must_use]
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 8,
+            Value::Text(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+            Value::Record(fields) => {
+                fields.iter().map(Value::approx_size).sum::<usize>() + 8 * fields.len()
+            }
+        }
+    }
+
+    /// Convenience accessor: the integer payload, if this is `Int`.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the text payload, if this is `Text`.
+    #[must_use]
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the record fields, if this is `Record`.
+    #[must_use]
+    pub fn as_record(&self) -> Option<&[Value]> {
+        match self {
+            Value::Record(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ts_next_prev_saturate() {
+        assert_eq!(Ts::MAX.next(), Ts::MAX);
+        assert_eq!(Ts::ZERO.prev(), Ts::ZERO);
+        assert_eq!(Ts(5).next(), Ts(6));
+        assert_eq!(Ts(5).prev(), Ts(4));
+    }
+
+    #[test]
+    fn ts_ordering() {
+        assert!(Ts(1) < Ts(2));
+        assert!(Ts::ZERO < Ts::MAX);
+    }
+
+    #[test]
+    fn value_sizes() {
+        assert_eq!(Value::Null.approx_size(), 0);
+        assert_eq!(Value::Int(7).approx_size(), 8);
+        assert_eq!(Value::Text("abcd".into()).approx_size(), 4);
+        assert_eq!(
+            Value::Record(vec![Value::Int(1), Value::Text("xy".into())]).approx_size(),
+            8 + 2 + 16
+        );
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Text("a".into()).as_int(), None);
+        assert_eq!(Value::Text("a".into()).as_text(), Some("a"));
+        let rec = Value::Record(vec![Value::Int(1)]);
+        assert_eq!(rec.as_record().unwrap().len(), 1);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(42i64), Value::Int(42));
+        assert_eq!(Value::from("hi"), Value::Text("hi".into()));
+        assert_eq!(Value::from(vec![1u8, 2]), Value::Bytes(vec![1, 2]));
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(format!("{:?}", ObjectId(3)), "obj#3");
+        assert_eq!(format!("{:?}", TxnId(9)), "txn#9");
+        assert_eq!(format!("{:?}", Ts(4)), "ts(4)");
+        assert_eq!(format!("{:?}", Ts::MAX), "ts(∞)");
+    }
+}

@@ -1,0 +1,301 @@
+//! Deferred-write transaction workspaces.
+
+use crate::store::Store;
+use crate::types::{ObjectId, Ts, TxnId, Value};
+use std::collections::HashMap;
+
+/// What a transaction observed when it read an object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadObservation {
+    /// Write timestamp of the version the transaction saw.
+    pub wts: Ts,
+    /// Whether the object existed at read time.
+    pub existed: bool,
+}
+
+/// A transaction's private workspace implementing the paper's *deferred
+/// write* mechanism.
+///
+/// > "the transaction is allowed to write the modified data to the database
+/// > area only after it is accepted to commit by the concurrency control
+/// > mechanism. This way the aborted transaction can simply discard its
+/// > modified copies of the data without rollbacking."
+///
+/// Reads go through the workspace so a transaction sees its own uncommitted
+/// writes; everything else comes from the committed store. Writes only touch
+/// the private after-image map. [`Workspace::install_into`] is called during
+/// the write phase, after validation accepted the transaction.
+#[derive(Debug)]
+pub struct Workspace {
+    txn: TxnId,
+    /// Objects read from committed state, with the version observed.
+    /// A read of an object this transaction already wrote does NOT appear
+    /// here (it is served from `writes` and causes no external dependency).
+    reads: HashMap<ObjectId, ReadObservation>,
+    /// Deferred after-images, in first-write order (the order the redo log
+    /// records will be generated in during the write phase).
+    writes: Vec<(ObjectId, Value)>,
+    /// Index into `writes` for O(1) read-your-writes and overwrites.
+    write_index: HashMap<ObjectId, usize>,
+}
+
+impl Workspace {
+    /// Create an empty workspace for transaction `txn`.
+    #[must_use]
+    pub fn new(txn: TxnId) -> Self {
+        Workspace {
+            txn,
+            reads: HashMap::new(),
+            writes: Vec::new(),
+            write_index: HashMap::new(),
+        }
+    }
+
+    /// The owning transaction.
+    #[must_use]
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// Read `oid`, honouring the transaction's own deferred writes first.
+    ///
+    /// Returns `None` when the object neither exists in committed state nor
+    /// in the write set (or was deleted by this transaction). Reads that hit
+    /// committed state are recorded in the read set together with the
+    /// observed version for validation.
+    pub fn read(&mut self, store: &Store, oid: ObjectId) -> Option<Value> {
+        if let Some(&idx) = self.write_index.get(&oid) {
+            let v = &self.writes[idx].1;
+            return if v.is_null() { None } else { Some(v.clone()) };
+        }
+        match store.read(oid) {
+            Some((value, wts)) => {
+                self.note_read(oid, wts, true);
+                Some(value)
+            }
+            None => {
+                self.note_read(oid, Ts::ZERO, false);
+                None
+            }
+        }
+    }
+
+    /// Record an externally performed read (used by the simulator, which
+    /// separates timing from data access).
+    pub fn note_read(&mut self, oid: ObjectId, wts: Ts, existed: bool) {
+        // Keep the FIRST observation: validation must check the version the
+        // transaction actually used.
+        self.reads
+            .entry(oid)
+            .or_insert(ReadObservation { wts, existed });
+    }
+
+    /// Buffer a deferred write of `value` to `oid`.
+    ///
+    /// Writing [`Value::Null`] deletes the object at commit.
+    pub fn write(&mut self, oid: ObjectId, value: Value) {
+        match self.write_index.get(&oid) {
+            Some(&idx) => self.writes[idx].1 = value,
+            None => {
+                self.write_index.insert(oid, self.writes.len());
+                self.writes.push((oid, value));
+            }
+        }
+    }
+
+    /// The read set: object ids and observed versions.
+    pub fn reads(&self) -> impl Iterator<Item = (ObjectId, ReadObservation)> + '_ {
+        self.reads.iter().map(|(oid, obs)| (*oid, *obs))
+    }
+
+    /// The write set in first-write order (redo-log generation order).
+    #[must_use]
+    pub fn writes(&self) -> &[(ObjectId, Value)] {
+        &self.writes
+    }
+
+    /// Whether the transaction performed any writes.
+    #[must_use]
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Number of committed-state reads recorded.
+    #[must_use]
+    pub fn read_count(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of distinct objects written.
+    #[must_use]
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Did this transaction read `oid` from committed state?
+    #[must_use]
+    pub fn has_read(&self, oid: ObjectId) -> bool {
+        self.reads.contains_key(&oid)
+    }
+
+    /// Did this transaction write `oid`?
+    #[must_use]
+    pub fn has_written(&self, oid: ObjectId) -> bool {
+        self.write_index.contains_key(&oid)
+    }
+
+    /// Write phase: install every after-image into the store at commit
+    /// timestamp `ts` and stamp the read timestamps of read objects.
+    ///
+    /// Must only be called after the concurrency controller accepted the
+    /// transaction, inside its validation critical section (the paper's
+    /// "transactions are validated atomically").
+    pub fn install_into(&self, store: &Store, ts: Ts) {
+        for (oid, obs) in &self.reads {
+            if obs.existed && !self.write_index.contains_key(oid) {
+                store.note_committed_read(*oid, ts);
+            }
+        }
+        for (oid, value) in &self.writes {
+            store.install(*oid, value.clone(), ts);
+        }
+    }
+
+    /// Discard all buffered state, keeping the allocation for a restart of
+    /// the same transaction. This is the paper's cheap abort: no rollback.
+    pub fn reset(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+        self.write_index.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(n: u64) -> Store {
+        let s = Store::new();
+        for i in 0..n {
+            s.load_initial(ObjectId(i), Value::Int(i as i64));
+        }
+        s
+    }
+
+    #[test]
+    fn read_committed_records_observation() {
+        let store = store_with(3);
+        let mut ws = Workspace::new(TxnId(1));
+        assert_eq!(ws.read(&store, ObjectId(2)), Some(Value::Int(2)));
+        assert_eq!(ws.read_count(), 1);
+        assert!(ws.has_read(ObjectId(2)));
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let store = store_with(3);
+        let mut ws = Workspace::new(TxnId(1));
+        ws.write(ObjectId(2), Value::Int(99));
+        assert_eq!(ws.read(&store, ObjectId(2)), Some(Value::Int(99)));
+        // Own-write reads do not create read-set entries.
+        assert_eq!(ws.read_count(), 0);
+    }
+
+    #[test]
+    fn read_own_delete_sees_none() {
+        let store = store_with(3);
+        let mut ws = Workspace::new(TxnId(1));
+        ws.write(ObjectId(1), Value::Null);
+        assert_eq!(ws.read(&store, ObjectId(1)), None);
+    }
+
+    #[test]
+    fn missing_object_read_is_recorded() {
+        let store = store_with(1);
+        let mut ws = Workspace::new(TxnId(1));
+        assert_eq!(ws.read(&store, ObjectId(42)), None);
+        let obs: Vec<_> = ws.reads().collect();
+        assert_eq!(obs.len(), 1);
+        assert!(!obs[0].1.existed);
+    }
+
+    #[test]
+    fn first_observation_wins() {
+        let store = store_with(1);
+        let mut ws = Workspace::new(TxnId(1));
+        ws.read(&store, ObjectId(0));
+        // Concurrent committer bumps the version...
+        store.install(ObjectId(0), Value::Int(7), Ts(10));
+        // ...re-reading within the txn keeps the FIRST observed version for
+        // validation purposes.
+        ws.read(&store, ObjectId(0));
+        let obs: Vec<_> = ws.reads().collect();
+        assert_eq!(obs[0].1.wts, Ts::ZERO);
+    }
+
+    #[test]
+    fn overwrite_keeps_single_log_slot() {
+        let store = store_with(1);
+        let mut ws = Workspace::new(TxnId(1));
+        ws.write(ObjectId(0), Value::Int(1));
+        ws.write(ObjectId(0), Value::Int(2));
+        assert_eq!(ws.write_count(), 1);
+        assert_eq!(ws.writes(), &[(ObjectId(0), Value::Int(2))]);
+        assert_eq!(ws.read(&store, ObjectId(0)), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn writes_preserve_first_write_order() {
+        let mut ws = Workspace::new(TxnId(1));
+        ws.write(ObjectId(5), Value::Int(5));
+        ws.write(ObjectId(1), Value::Int(1));
+        ws.write(ObjectId(5), Value::Int(55));
+        let order: Vec<_> = ws.writes().iter().map(|(oid, _)| oid.0).collect();
+        assert_eq!(order, vec![5, 1]);
+    }
+
+    #[test]
+    fn install_applies_after_images_and_read_stamps() {
+        let store = store_with(3);
+        let mut ws = Workspace::new(TxnId(1));
+        ws.read(&store, ObjectId(0));
+        ws.write(ObjectId(1), Value::Int(111));
+        ws.install_into(&store, Ts(4));
+        assert_eq!(store.read(ObjectId(1)), Some((Value::Int(111), Ts(4))));
+        // Read-only object got its rts bumped.
+        assert_eq!(store.version(ObjectId(0)), Some((Ts::ZERO, Ts(4))));
+    }
+
+    #[test]
+    fn read_then_write_same_object_stamps_once() {
+        let store = store_with(2);
+        let mut ws = Workspace::new(TxnId(1));
+        ws.read(&store, ObjectId(0));
+        ws.write(ObjectId(0), Value::Int(100));
+        ws.install_into(&store, Ts(9));
+        // Install sets both wts and rts to 9; the read-note path is skipped
+        // for objects that were also written.
+        assert_eq!(store.version(ObjectId(0)), Some((Ts(9), Ts(9))));
+    }
+
+    #[test]
+    fn abort_is_reset_without_store_effects() {
+        let store = store_with(2);
+        let mut ws = Workspace::new(TxnId(1));
+        ws.read(&store, ObjectId(0));
+        ws.write(ObjectId(1), Value::Int(42));
+        ws.reset();
+        assert!(ws.is_read_only());
+        assert_eq!(ws.read_count(), 0);
+        assert_eq!(store.read(ObjectId(1)), Some((Value::Int(1), Ts::ZERO)));
+    }
+
+    #[test]
+    fn install_null_deletes() {
+        let store = store_with(2);
+        let mut ws = Workspace::new(TxnId(1));
+        ws.write(ObjectId(1), Value::Null);
+        ws.install_into(&store, Ts(2));
+        assert_eq!(store.read(ObjectId(1)), None);
+    }
+}

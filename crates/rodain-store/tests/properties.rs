@@ -1,0 +1,139 @@
+//! Property-based tests of the store substrate.
+
+use proptest::prelude::*;
+use rodain_store::{ObjectId, Snapshot, Store, Ts, TxnId, Value, VersionedObject, Workspace};
+use std::collections::HashMap;
+
+/// Strategy for plausible object values (bounded recursion).
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        "[a-z0-9+-]{0,16}".prop_map(Value::Text),
+        prop::collection::vec(any::<u8>(), 0..24).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(2, 16, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Value::Record)
+    })
+}
+
+#[derive(Clone, Debug)]
+enum WsOp {
+    Read(u64),
+    Write(u64, i64),
+    Delete(u64),
+}
+
+fn ws_op(n_objects: u64) -> impl Strategy<Value = WsOp> {
+    prop_oneof![
+        (0..n_objects).prop_map(WsOp::Read),
+        (0..n_objects, any::<i64>()).prop_map(|(o, v)| WsOp::Write(o, v)),
+        (0..n_objects).prop_map(WsOp::Delete),
+    ]
+}
+
+proptest! {
+    /// The deferred-write workspace behaves exactly like a HashMap overlay
+    /// over the committed store.
+    #[test]
+    fn workspace_matches_overlay_model(
+        ops in prop::collection::vec(ws_op(16), 0..40),
+    ) {
+        let store = Store::new();
+        for oid in 0..16u64 {
+            store.load_initial(ObjectId(oid), Value::Int(-(oid as i64)));
+        }
+        let mut ws = Workspace::new(TxnId(1));
+        // The model: committed base + overlay of this txn's writes.
+        let mut overlay: HashMap<u64, Option<i64>> = HashMap::new();
+        for op in &ops {
+            match op {
+                WsOp::Read(o) => {
+                    let got = ws.read(&store, ObjectId(*o));
+                    let expected = match overlay.get(o) {
+                        Some(Some(v)) => Some(Value::Int(*v)),
+                        Some(None) => None,
+                        None => Some(Value::Int(-(*o as i64))),
+                    };
+                    prop_assert_eq!(got, expected);
+                }
+                WsOp::Write(o, v) => {
+                    ws.write(ObjectId(*o), Value::Int(*v));
+                    overlay.insert(*o, Some(*v));
+                }
+                WsOp::Delete(o) => {
+                    ws.write(ObjectId(*o), Value::Null);
+                    overlay.insert(*o, None);
+                }
+            }
+        }
+        // Write set matches the overlay.
+        prop_assert_eq!(ws.write_count(), overlay.len());
+        // Install applies the overlay to the store.
+        ws.install_into(&store, Ts(7));
+        for (o, v) in &overlay {
+            let got = store.read(ObjectId(*o)).map(|(value, _)| value);
+            let expected = v.map(Value::Int);
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// install never rewinds version metadata, whatever order installs
+    /// arrive in.
+    #[test]
+    fn version_metadata_is_monotone(
+        installs in prop::collection::vec((0..8u64, 0..100u64, any::<i64>()), 1..60),
+    ) {
+        let store = Store::new();
+        let mut max_ts: HashMap<u64, u64> = HashMap::new();
+        for (oid, ts, v) in &installs {
+            store.install(ObjectId(*oid), Value::Int(*v), Ts(*ts));
+            let entry = max_ts.entry(*oid).or_insert(0);
+            *entry = (*entry).max(*ts);
+            let (wts, rts) = store.version(ObjectId(*oid)).unwrap();
+            prop_assert_eq!(wts.0, *entry);
+            prop_assert!(rts >= wts || rts.0 == *entry);
+        }
+    }
+
+    /// Snapshot chunk/merge is the identity for any chunk size and any
+    /// delivery order.
+    #[test]
+    fn snapshot_chunking_roundtrip(
+        objects in prop::collection::btree_map(0..200u64, (value_strategy(), 0..50u64), 0..40),
+        chunk_size in 1usize..10,
+        reverse in any::<bool>(),
+    ) {
+        let snapshot = Snapshot {
+            objects: objects
+                .into_iter()
+                .map(|(oid, (value, ts))| {
+                    (ObjectId(oid), VersionedObject::installed(value, Ts(ts)))
+                })
+                .collect(),
+        };
+        let mut chunks = snapshot.chunks(chunk_size);
+        if reverse {
+            chunks.reverse();
+        }
+        let merged = Snapshot::from_chunks(chunks);
+        prop_assert_eq!(merged, snapshot);
+    }
+
+    /// restore() makes two stores observationally identical.
+    #[test]
+    fn restore_replicates_state(
+        objects in prop::collection::vec((0..100u64, any::<i64>(), 0..1000u64), 0..50),
+    ) {
+        let a = Store::with_shards(4);
+        for (oid, v, ts) in &objects {
+            a.install(ObjectId(*oid), Value::Int(*v), Ts(*ts));
+        }
+        let b = Store::with_shards(16);
+        b.load_initial(ObjectId(9999), Value::Int(1)); // stale content
+        b.restore(&a.snapshot());
+        prop_assert_eq!(a.snapshot(), b.snapshot());
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert_eq!(a.max_wts(), b.max_wts());
+    }
+}

@@ -1,0 +1,138 @@
+//! Inspect, verify and recover RODAIN disk-log directories.
+//!
+//! ```text
+//! rodain-logdump dump <log-dir> [--limit N]
+//! rodain-logdump verify <log-dir>
+//! rodain-logdump recover <log-dir> [--checkpoint-dir DIR] [--sample N]
+//! ```
+
+use rodain_node::{recover_store_from_disk, recover_with_checkpoint};
+use rodain_tools::{logdump, Args};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rodain-logdump dump <log-dir> [--limit N]\n  \
+         rodain-logdump verify <log-dir>\n  \
+         rodain-logdump analyze <log-dir> [--top N]\n  \
+         rodain-logdump recover <log-dir> [--checkpoint-dir DIR] [--sample N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let (Some(command), Some(dir)) = (args.positional.first(), args.positional.get(1)) else {
+        return usage();
+    };
+    let dir = PathBuf::from(dir);
+    match command.as_str() {
+        "dump" => {
+            let limit = args.get_or("limit", 0usize);
+            let mut stdout = std::io::stdout().lock();
+            match logdump::dump(&dir, limit, &mut stdout) {
+                Ok(n) => {
+                    eprintln!("({n} records)");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("dump failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "verify" => match logdump::verify(&dir) {
+            Ok(report) => {
+                println!("records:      {}", report.records);
+                println!(
+                    "  writes {} / commits {} / aborts {} / checkpoints {}",
+                    report.writes, report.commits, report.aborts, report.checkpoints
+                );
+                if let (Some(min), Some(max)) = (report.min_csn, report.max_csn) {
+                    println!("commit csn:   {min} ..= {max}");
+                }
+                println!("torn tail:    {}", report.torn_tail);
+                match &report.corruption {
+                    None => {
+                        println!("status:       OK");
+                        ExitCode::SUCCESS
+                    }
+                    Some(what) => {
+                        println!("status:       CORRUPT — {what}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("verify failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "analyze" => match logdump::analyze(&dir, args.get_or("top", 10usize)) {
+            Ok(report) => {
+                println!("committed transactions: {}", report.transactions);
+                println!("after-image bytes:      {}", report.image_bytes);
+                println!("writes per transaction:");
+                for (bucket, count) in report.writes_histogram.iter().enumerate() {
+                    if *count > 0 {
+                        let label = if bucket == report.writes_histogram.len() - 1 {
+                            format!("{bucket}+")
+                        } else {
+                            bucket.to_string()
+                        };
+                        println!("  {label:>3} writes: {count}");
+                    }
+                }
+                println!("hottest objects:");
+                for (oid, writes) in &report.hottest_objects {
+                    println!("  obj#{oid}: {writes} update(s)");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("analyze failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "recover" => {
+            let result = match args.options.get("checkpoint-dir") {
+                Some(ckpt) => recover_with_checkpoint(&dir, PathBuf::from(ckpt)),
+                None => recover_store_from_disk(&dir),
+            };
+            match result {
+                Ok(cold) => {
+                    println!(
+                        "recovered {} objects from {} committed transactions \
+                         ({} records scanned, {} in-flight discarded, torn tail: {})",
+                        cold.store.len(),
+                        cold.stats.committed,
+                        cold.stats.records,
+                        cold.stats.discarded,
+                        cold.torn_tail
+                    );
+                    println!(
+                        "max csn: {} · max ser_ts: {}",
+                        cold.stats.max_csn, cold.stats.max_ser_ts
+                    );
+                    let sample = args.get_or("sample", 0usize);
+                    if sample > 0 {
+                        let mut shown = 0usize;
+                        cold.store.for_each(|oid, obj| {
+                            if shown < sample {
+                                println!("  {oid:?} = {:?} @ {}", obj.value, obj.wts);
+                                shown += 1;
+                            }
+                        });
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("recover failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,127 @@
+//! Replay an off-line trace file against a *real* RODAIN engine — the
+//! paper's "interface process, that reads the load descriptions from an
+//! off-line generated test file".
+//!
+//! ```text
+//! rodain-replay <trace-file> [--objects N] [--workers N]
+//!               [--contingency-log DIR]      # sync disk commit path
+//!               [--paced]                    # honour trace arrival times
+//! ```
+//!
+//! Without `--contingency-log` the engine runs volatile (the "no logs"
+//! configuration); pair it with a mirror process by embedding the library
+//! instead (see the tcp_cluster example).
+
+use rodain_db::{Rodain, TxnError, TxnOptions};
+use rodain_tools::Args;
+use rodain_workload::{NumberTranslationDb, Trace, TxnKind};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let Some(path) = args.positional.first() else {
+        eprintln!(
+            "usage: rodain-replay <trace-file> [--objects N] [--workers N] \
+             [--contingency-log DIR] [--paced]"
+        );
+        return ExitCode::from(2);
+    };
+    let trace = match std::fs::File::open(path)
+        .map_err(|e| e.to_string())
+        .and_then(|f| Trace::read_from(std::io::BufReader::new(f)).map_err(|e| e.to_string()))
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let objects: u64 = args.get_or("objects", 30_000u64);
+    let workers: usize = args.get_or("workers", 4usize);
+    let paced = args.flags.contains("paced");
+
+    let mut builder = Rodain::builder().workers(workers);
+    if let Some(dir) = args.options.get("contingency-log") {
+        builder = builder.contingency_log(dir);
+    }
+    let db = match builder.build() {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("cannot start engine: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let schema = NumberTranslationDb::new(objects);
+    schema.populate(&db.store());
+    eprintln!(
+        "replaying {} transactions over {} objects ({} workers, {}, {})",
+        trace.len(),
+        objects,
+        workers,
+        if paced { "paced" } else { "max speed" },
+        match db.replication_mode() {
+            rodain_db::ReplicationMode::Contingency => "contingency disk logging",
+            _ => "volatile",
+        }
+    );
+
+    let started = Instant::now();
+    let mut pending = Vec::with_capacity(trace.len());
+    for request in &trace.requests {
+        if paced {
+            let target = Duration::from_nanos(request.arrival_ns);
+            if let Some(sleep) = target.checked_sub(started.elapsed()) {
+                std::thread::sleep(sleep);
+            }
+        }
+        let opts = match (request.kind, request.relative_deadline_ns) {
+            (TxnKind::NonRealTime, _) => TxnOptions::non_real_time(),
+            (_, Some(d)) => TxnOptions {
+                class: rodain_sched::TxnClass::Firm,
+                relative_deadline: Duration::from_nanos(d),
+                est_cost: Duration::from_micros(200),
+            },
+            (_, None) => TxnOptions::non_real_time(),
+        };
+        let objs = request.objects.clone();
+        let seq = request.seq;
+        let update = request.is_update();
+        pending.push(db.submit(opts, move |ctx| {
+            for &n in &objs {
+                let oid = schema.object_id(n);
+                if let Some(record) = ctx.read(oid)? {
+                    if update {
+                        ctx.write(oid, schema.updated_record(&record, seq))?;
+                    }
+                }
+            }
+            Ok(None)
+        }));
+    }
+
+    let (mut committed, mut deadline, mut admission, mut other) = (0u64, 0u64, 0u64, 0u64);
+    for rx in pending {
+        match rx.recv() {
+            Ok(Ok(_)) => committed += 1,
+            Ok(Err(TxnError::DeadlineExpired)) => deadline += 1,
+            Ok(Err(TxnError::AdmissionDenied | TxnError::Evicted)) => admission += 1,
+            _ => other += 1,
+        }
+    }
+    let elapsed = started.elapsed();
+    let total = committed + deadline + admission + other;
+    println!("elapsed:        {elapsed:?}");
+    println!(
+        "throughput:     {:.0} tps",
+        total as f64 / elapsed.as_secs_f64()
+    );
+    println!("committed:      {committed}");
+    println!(
+        "missed:         {} ({:.2} %) — deadline {deadline} / overload {admission} / other {other}",
+        total - committed,
+        (total - committed) as f64 / total.max(1) as f64 * 100.0
+    );
+    println!("engine stats:   {:?}", db.stats());
+    ExitCode::SUCCESS
+}

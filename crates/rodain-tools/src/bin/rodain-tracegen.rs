@@ -1,0 +1,78 @@
+//! Generate and inspect the "off-line generated test files" that drive
+//! RODAIN test sessions.
+//!
+//! ```text
+//! rodain-tracegen generate --out FILE [--count N] [--rate TPS]
+//!                 [--write-fraction F] [--objects N] [--seed N]
+//!                 [--reads N] [--updates N] [--deadline-jitter J]
+//!                 [--hotspot FRACTION:PROBABILITY]
+//! rodain-tracegen info <trace-file>
+//! ```
+
+use rodain_tools::{tracegen, Args};
+use rodain_workload::Trace;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rodain-tracegen generate --out FILE [--count N] [--rate TPS] \
+         [--write-fraction F] [--objects N] [--seed N] [--hotspot F:P] …\n  \
+         rodain-tracegen info <trace-file>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    match args.positional.first().map(String::as_str) {
+        Some("generate") => {
+            let Some(out) = args.options.get("out").cloned() else {
+                eprintln!("generate requires --out FILE");
+                return usage();
+            };
+            let spec = match tracegen::spec_from_args(&args) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("invalid parameters: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match tracegen::generate_to_file(spec, std::path::Path::new(&out)) {
+                Ok(trace) => {
+                    println!("wrote {} transactions to {out}", trace.len());
+                    let mut stdout = std::io::stdout().lock();
+                    let _ = tracegen::describe(&trace, &mut stdout);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("generation failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("info") => {
+            let Some(path) = args.positional.get(1) else {
+                return usage();
+            };
+            let file = match std::fs::File::open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot open {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Trace::read_from(std::io::BufReader::new(file)) {
+                Ok(trace) => {
+                    let mut stdout = std::io::stdout().lock();
+                    let _ = tracegen::describe(&trace, &mut stdout);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot parse {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

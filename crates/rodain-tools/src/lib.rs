@@ -1,0 +1,87 @@
+//! # rodain-tools — operator tooling
+//!
+//! Two command-line tools an operator of a RODAIN deployment needs:
+//!
+//! * **`rodain-logdump`** — inspect, verify and recover from a disk-log
+//!   directory (the mirror's spool or a contingency log):
+//!   `rodain-logdump dump|verify|recover <log-dir> [options]`
+//! * **`rodain-tracegen`** — produce and inspect the "off-line generated
+//!   test files" the paper's experiments are driven by:
+//!   `rodain-tracegen generate|info …`
+//!
+//! The library part holds the logic so it is unit-testable; the binaries
+//! are thin argument parsers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod logdump;
+pub mod tracegen;
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: std::collections::HashMap<String, String>,
+    /// Bare `--flags` without a value.
+    pub flags: std::collections::HashSet<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Args {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        out.options.insert(key.to_owned(), value);
+                    }
+                    _ => {
+                        out.flags.insert(key.to_owned());
+                    }
+                }
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        out
+    }
+
+    /// Typed option lookup with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.options
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_positionals_options_and_flags() {
+        let args = Args::parse(
+            ["dump", "/tmp/log", "--limit", "10", "--verbose"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(args.positional, vec!["dump", "/tmp/log"]);
+        assert_eq!(args.get_or("limit", 0usize), 10);
+        assert!(args.flags.contains("verbose"));
+        assert_eq!(args.get_or("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let args = Args::parse(["--a", "--b", "x"].into_iter().map(String::from));
+        assert!(args.flags.contains("a"));
+        assert_eq!(args.options.get("b").map(String::as_str), Some("x"));
+    }
+}

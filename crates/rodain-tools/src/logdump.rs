@@ -1,0 +1,366 @@
+//! Log directory inspection, verification and recovery.
+
+use rodain_log::{LogRecord, LogStorage, RecordKind};
+use rodain_occ::Csn;
+use std::io::Write;
+use std::path::Path;
+
+/// Render one record as a human-readable line.
+#[must_use]
+pub fn format_record(record: &LogRecord) -> String {
+    match &record.kind {
+        RecordKind::Write { oid, image } => format!(
+            "{:>10}  {:>10}  WRITE       {:?} ({} bytes)",
+            record.lsn,
+            record.txn,
+            oid,
+            image.approx_size()
+        ),
+        RecordKind::Commit {
+            csn,
+            ser_ts,
+            n_writes,
+        } => format!(
+            "{:>10}  {:>10}  COMMIT      csn={} ser_ts={} writes={}",
+            record.lsn, record.txn, csn, ser_ts, n_writes
+        ),
+        RecordKind::Abort => format!("{:>10}  {:>10}  ABORT", record.lsn, record.txn),
+        RecordKind::Checkpoint { upto, snapshot_id } => format!(
+            "{:>10}  {:>10}  CHECKPOINT  upto={} snapshot={}",
+            record.lsn, record.txn, upto, snapshot_id
+        ),
+    }
+}
+
+/// Scan summary produced by [`verify`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Records read successfully.
+    pub records: u64,
+    /// Write records.
+    pub writes: u64,
+    /// Commit records.
+    pub commits: u64,
+    /// Abort records.
+    pub aborts: u64,
+    /// Checkpoint markers.
+    pub checkpoints: u64,
+    /// Lowest commit CSN seen.
+    pub min_csn: Option<Csn>,
+    /// Highest commit CSN seen.
+    pub max_csn: Option<Csn>,
+    /// Whether the log ends in a torn tail (normal after a crash).
+    pub torn_tail: bool,
+    /// Mid-log corruption message, if any (NOT normal).
+    pub corruption: Option<String>,
+}
+
+impl VerifyReport {
+    /// A log is healthy when it has no mid-stream corruption.
+    #[must_use]
+    pub fn healthy(&self) -> bool {
+        self.corruption.is_none()
+    }
+}
+
+/// Scan every segment in `dir`, checking CRCs and structure.
+pub fn verify(dir: &Path) -> std::io::Result<VerifyReport> {
+    let mut report = VerifyReport::default();
+    let mut iter = LogStorage::scan_dir(dir)?;
+    for item in &mut iter {
+        match item {
+            Ok(record) => {
+                report.records += 1;
+                match record.kind {
+                    RecordKind::Write { .. } => report.writes += 1,
+                    RecordKind::Commit { csn, .. } => {
+                        report.commits += 1;
+                        report.min_csn = Some(report.min_csn.map_or(csn, |m| m.min(csn)));
+                        report.max_csn = Some(report.max_csn.map_or(csn, |m| m.max(csn)));
+                    }
+                    RecordKind::Abort => report.aborts += 1,
+                    RecordKind::Checkpoint { .. } => report.checkpoints += 1,
+                }
+            }
+            Err(e) => {
+                report.corruption = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    report.torn_tail = iter.torn_tail();
+    Ok(report)
+}
+
+/// Off-line usage analysis (paper §3: the stored logs "can be also used
+/// for, for example, off-line analysis of the database usage").
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct UsageReport {
+    /// Committed transactions analysed.
+    pub transactions: u64,
+    /// Histogram of writes-per-transaction: index = write count (clamped
+    /// to the last bucket), value = transactions.
+    pub writes_histogram: Vec<u64>,
+    /// The most frequently updated objects, hottest first: (object, writes).
+    pub hottest_objects: Vec<(u64, u64)>,
+    /// Total after-image bytes (approximate).
+    pub image_bytes: u64,
+}
+
+/// Analyse update traffic in a log directory: write-set size distribution
+/// and the hottest objects (top `top_n`).
+pub fn analyze(dir: &Path, top_n: usize) -> std::io::Result<UsageReport> {
+    use std::collections::HashMap;
+    const HIST_BUCKETS: usize = 9; // 0..=7 writes, last bucket = "8+"
+    let mut report = UsageReport {
+        writes_histogram: vec![0; HIST_BUCKETS],
+        ..UsageReport::default()
+    };
+    let mut per_object: HashMap<u64, u64> = HashMap::new();
+    let mut pending_writes: HashMap<u64, Vec<u64>> = HashMap::new();
+    for item in LogStorage::scan_dir(dir)? {
+        let Ok(record) = item else { break };
+        match record.kind {
+            RecordKind::Write { oid, image } => {
+                report.image_bytes += image.approx_size() as u64;
+                pending_writes.entry(record.txn.0).or_default().push(oid.0);
+            }
+            RecordKind::Commit { .. } => {
+                let writes = pending_writes.remove(&record.txn.0).unwrap_or_default();
+                report.transactions += 1;
+                let bucket = writes.len().min(HIST_BUCKETS - 1);
+                report.writes_histogram[bucket] += 1;
+                for oid in writes {
+                    *per_object.entry(oid).or_insert(0) += 1;
+                }
+            }
+            RecordKind::Abort => {
+                pending_writes.remove(&record.txn.0);
+            }
+            RecordKind::Checkpoint { .. } => {}
+        }
+    }
+    let mut hottest: Vec<(u64, u64)> = per_object.into_iter().collect();
+    hottest.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    hottest.truncate(top_n);
+    report.hottest_objects = hottest;
+    Ok(report)
+}
+
+/// Print up to `limit` records from `dir` to `out` (0 = no limit).
+pub fn dump(dir: &Path, limit: usize, out: &mut impl Write) -> std::io::Result<u64> {
+    writeln!(out, "{:>10}  {:>10}  KIND / DETAILS", "LSN", "TXN")?;
+    let mut printed = 0u64;
+    for item in LogStorage::scan_dir(dir)? {
+        let record = item?;
+        writeln!(out, "{}", format_record(&record))?;
+        printed += 1;
+        if limit != 0 && printed as usize >= limit {
+            break;
+        }
+    }
+    Ok(printed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodain_log::{LogStorageConfig, Lsn};
+    use rodain_store::{ObjectId, Ts, TxnId, Value};
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rodain-tools-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_log(dir: &Path) {
+        let mut storage = LogStorage::open(LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(dir)
+        })
+        .unwrap();
+        storage
+            .append_batch(&[
+                LogRecord {
+                    lsn: Lsn(1),
+                    txn: TxnId(1),
+                    kind: RecordKind::Write {
+                        oid: ObjectId(10),
+                        image: Value::Int(7),
+                    },
+                },
+                LogRecord {
+                    lsn: Lsn(2),
+                    txn: TxnId(1),
+                    kind: RecordKind::Commit {
+                        csn: Csn(1),
+                        ser_ts: Ts(100),
+                        n_writes: 1,
+                    },
+                },
+                LogRecord {
+                    lsn: Lsn(3),
+                    txn: TxnId(2),
+                    kind: RecordKind::Abort,
+                },
+                LogRecord {
+                    lsn: Lsn(4),
+                    txn: TxnId(0),
+                    kind: RecordKind::Checkpoint {
+                        upto: Csn(2),
+                        snapshot_id: 9,
+                    },
+                },
+            ])
+            .unwrap();
+        storage.flush().unwrap();
+    }
+
+    #[test]
+    fn verify_reports_counts() {
+        let dir = tmpdir("verify");
+        sample_log(&dir);
+        let report = verify(&dir).unwrap();
+        assert!(report.healthy());
+        assert_eq!(report.records, 4);
+        assert_eq!(report.writes, 1);
+        assert_eq!(report.commits, 1);
+        assert_eq!(report.aborts, 1);
+        assert_eq!(report.checkpoints, 1);
+        assert_eq!(report.min_csn, Some(Csn(1)));
+        assert_eq!(report.max_csn, Some(Csn(1)));
+        assert!(!report.torn_tail);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_flags_torn_tail() {
+        let dir = tmpdir("torn");
+        sample_log(&dir);
+        let mut segments: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        segments.sort();
+        let last = segments.last().unwrap();
+        let data = std::fs::read(last).unwrap();
+        std::fs::write(last, &data[..data.len() - 2]).unwrap();
+        let report = verify(&dir).unwrap();
+        assert!(report.torn_tail);
+        assert!(report.healthy(), "torn tail is not corruption");
+        assert_eq!(report.records, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_prints_every_kind() {
+        let dir = tmpdir("dump");
+        sample_log(&dir);
+        let mut out = Vec::new();
+        let n = dump(&dir, 0, &mut out).unwrap();
+        assert_eq!(n, 4);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("WRITE"));
+        assert!(text.contains("COMMIT"));
+        assert!(text.contains("ABORT"));
+        assert!(text.contains("CHECKPOINT"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn analyze_reports_usage() {
+        let dir = tmpdir("analyze");
+        let mut storage = LogStorage::open(LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(&dir)
+        })
+        .unwrap();
+        // txn 1: two writes (object 7 twice is impossible per txn in the
+        // engine, but the analyser must not care); txn 2: read-only;
+        // txn 3: uncommitted.
+        let mut lsn = 0u64;
+        let push = |txn: u64, kind: RecordKind, storage: &mut LogStorage, lsn: &mut u64| {
+            *lsn += 1;
+            storage
+                .append(&LogRecord {
+                    lsn: Lsn(*lsn),
+                    txn: TxnId(txn),
+                    kind,
+                })
+                .unwrap();
+        };
+        push(
+            1,
+            RecordKind::Write {
+                oid: ObjectId(7),
+                image: Value::Int(1),
+            },
+            &mut storage,
+            &mut lsn,
+        );
+        push(
+            1,
+            RecordKind::Write {
+                oid: ObjectId(9),
+                image: Value::Int(2),
+            },
+            &mut storage,
+            &mut lsn,
+        );
+        push(
+            1,
+            RecordKind::Commit {
+                csn: Csn(1),
+                ser_ts: Ts(1),
+                n_writes: 2,
+            },
+            &mut storage,
+            &mut lsn,
+        );
+        push(
+            2,
+            RecordKind::Commit {
+                csn: Csn(2),
+                ser_ts: Ts(2),
+                n_writes: 0,
+            },
+            &mut storage,
+            &mut lsn,
+        );
+        push(
+            3,
+            RecordKind::Write {
+                oid: ObjectId(7),
+                image: Value::Int(3),
+            },
+            &mut storage,
+            &mut lsn,
+        );
+        storage.flush().unwrap();
+        drop(storage);
+
+        let report = analyze(&dir, 5).unwrap();
+        assert_eq!(report.transactions, 2);
+        assert_eq!(report.writes_histogram[0], 1); // the read-only commit
+        assert_eq!(report.writes_histogram[2], 1); // the 2-write commit
+                                                   // Uncommitted txn 3's write of object 7 is excluded.
+        assert_eq!(report.hottest_objects, vec![(7, 1), (9, 1)]);
+        assert_eq!(report.image_bytes, 8 + 8 + 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_respects_limit() {
+        let dir = tmpdir("limit");
+        sample_log(&dir);
+        let mut out = Vec::new();
+        assert_eq!(dump(&dir, 2, &mut out).unwrap(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

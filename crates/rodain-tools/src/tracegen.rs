@@ -1,0 +1,140 @@
+//! Off-line trace file generation and inspection.
+
+use rodain_workload::{AccessPattern, Trace, TraceGenerator, TxnKind, WorkloadSpec};
+use std::io::Write;
+use std::path::Path;
+
+/// Build a [`WorkloadSpec`] from parsed options (missing options keep the
+/// paper defaults).
+pub fn spec_from_args(args: &crate::Args) -> Result<WorkloadSpec, String> {
+    let mut spec = WorkloadSpec {
+        count: args.get_or("count", 10_000u64),
+        db_objects: args.get_or("objects", 30_000u64),
+        arrival_rate_tps: args.get_or("rate", 200.0f64),
+        write_fraction: args.get_or("write-fraction", 0.2f64),
+        non_rt_fraction: args.get_or("non-rt-fraction", 0.0f64),
+        deadline_jitter: args.get_or("deadline-jitter", 0.0f64),
+        read_deadline_ms: args.get_or("read-deadline-ms", 50u64),
+        write_deadline_ms: args.get_or("write-deadline-ms", 150u64),
+        reads_per_read_txn: args.get_or("reads", 4u32),
+        reads_per_update_txn: args.get_or("updates", 2u32),
+        seed: args.get_or("seed", 0x0DA1_2000u64),
+        ..WorkloadSpec::default()
+    };
+    if let Some(hot) = args.options.get("hotspot") {
+        // "--hotspot frac:prob", e.g. "--hotspot 0.01:0.8"
+        let (frac, prob) = hot
+            .split_once(':')
+            .ok_or("--hotspot expects FRACTION:PROBABILITY")?;
+        spec.access = AccessPattern::Hotspot {
+            hot_fraction: frac.parse().map_err(|_| "bad hotspot fraction")?,
+            hot_probability: prob.parse().map_err(|_| "bad hotspot probability")?,
+        };
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Generate the trace for `spec` and write it to `path`.
+pub fn generate_to_file(spec: WorkloadSpec, path: &Path) -> std::io::Result<Trace> {
+    let trace = TraceGenerator::new(spec).generate();
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    trace.write_to(&mut file)?;
+    file.flush()?;
+    Ok(trace)
+}
+
+/// Human-readable statistics of a trace.
+pub fn describe(trace: &Trace, out: &mut impl Write) -> std::io::Result<()> {
+    let (mut reads, mut updates, mut non_rt) = (0u64, 0u64, 0u64);
+    let mut objects_touched = 0u64;
+    for r in &trace.requests {
+        match r.kind {
+            TxnKind::ReadOnly => reads += 1,
+            TxnKind::Update => updates += 1,
+            TxnKind::NonRealTime => non_rt += 1,
+        }
+        objects_touched += r.objects.len() as u64;
+    }
+    let duration_s = trace.duration_ns() as f64 / 1e9;
+    writeln!(out, "transactions:      {}", trace.len())?;
+    writeln!(
+        out,
+        "mix:               {reads} read-only / {updates} update / {non_rt} non-real-time"
+    )?;
+    writeln!(out, "update fraction:   {:.3}", trace.update_fraction())?;
+    writeln!(out, "session duration:  {duration_s:.2} s")?;
+    if duration_s > 0.0 {
+        writeln!(
+            out,
+            "offered rate:      {:.1} tps",
+            trace.len() as f64 / duration_s
+        )?;
+    }
+    writeln!(
+        out,
+        "accesses:          {objects_touched} ({:.2} per txn)",
+        objects_touched as f64 / trace.len().max(1) as f64
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Args;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn defaults_are_paper_parameters() {
+        let spec = spec_from_args(&args(&[])).unwrap();
+        assert_eq!(spec.count, 10_000);
+        assert_eq!(spec.db_objects, 30_000);
+        assert_eq!(spec.read_deadline_ms, 50);
+        assert_eq!(spec.write_deadline_ms, 150);
+    }
+
+    #[test]
+    fn options_override() {
+        let spec = spec_from_args(&args(&[
+            "--rate",
+            "300",
+            "--write-fraction",
+            "0.8",
+            "--count",
+            "500",
+            "--hotspot",
+            "0.01:0.9",
+        ]))
+        .unwrap();
+        assert_eq!(spec.arrival_rate_tps, 300.0);
+        assert_eq!(spec.write_fraction, 0.8);
+        assert_eq!(spec.count, 500);
+        assert!(matches!(spec.access, AccessPattern::Hotspot { .. }));
+    }
+
+    #[test]
+    fn invalid_specs_are_reported() {
+        assert!(spec_from_args(&args(&["--write-fraction", "1.7"])).is_err());
+        assert!(spec_from_args(&args(&["--hotspot", "nonsense"])).is_err());
+    }
+
+    #[test]
+    fn generate_and_reload() {
+        let path =
+            std::env::temp_dir().join(format!("rodain-tracegen-test-{}.trace", std::process::id()));
+        let spec = spec_from_args(&args(&["--count", "100", "--rate", "500"])).unwrap();
+        let trace = generate_to_file(spec, &path).unwrap();
+        let reloaded =
+            Trace::read_from(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+        assert_eq!(reloaded, trace);
+        let mut out = Vec::new();
+        describe(&reloaded, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("transactions:      100"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,265 @@
+//! Deterministic trace generation.
+
+use crate::spec::{AccessPattern, WorkloadSpec};
+use crate::trace::{Trace, TxnKind, TxnRequest};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Poisson-arrival trace generator.
+///
+/// Fully deterministic: the same [`WorkloadSpec`] always yields the same
+/// [`Trace`], which is what lets EXPERIMENTS.md quote reproducible numbers.
+pub struct TraceGenerator {
+    spec: WorkloadSpec,
+    rng: SmallRng,
+}
+
+impl TraceGenerator {
+    /// Create a generator for `spec` (validated).
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`WorkloadSpec::validate`].
+    #[must_use]
+    pub fn new(spec: WorkloadSpec) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("invalid workload spec: {e}");
+        }
+        let rng = SmallRng::seed_from_u64(spec.seed);
+        TraceGenerator { spec, rng }
+    }
+
+    /// Exponential inter-arrival sample (ns) for the configured rate.
+    fn next_interarrival_ns(&mut self) -> u64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let secs = -u.ln() / self.spec.arrival_rate_tps;
+        (secs * 1e9) as u64
+    }
+
+    /// Pick one object number according to the access pattern.
+    fn pick_object(&mut self) -> u64 {
+        let n = self.spec.db_objects;
+        match self.spec.access {
+            AccessPattern::Uniform => self.rng.gen_range(0..n),
+            AccessPattern::Hotspot {
+                hot_fraction,
+                hot_probability,
+            } => {
+                let hot_n = ((n as f64 * hot_fraction) as u64).max(1);
+                if self.rng.gen_bool(hot_probability.clamp(0.0, 1.0)) {
+                    self.rng.gen_range(0..hot_n)
+                } else if hot_n < n {
+                    self.rng.gen_range(hot_n..n)
+                } else {
+                    self.rng.gen_range(0..n)
+                }
+            }
+        }
+    }
+
+    /// Pick `count` *distinct* objects.
+    fn pick_objects(&mut self, count: u32) -> Vec<u64> {
+        let mut objects = Vec::with_capacity(count as usize);
+        let mut guard = 0;
+        while objects.len() < count as usize {
+            let candidate = self.pick_object();
+            if !objects.contains(&candidate) {
+                objects.push(candidate);
+            } else {
+                guard += 1;
+                if guard > 10_000 {
+                    // Degenerate tiny database: accept duplicates' absence
+                    // by shrinking the set.
+                    break;
+                }
+            }
+        }
+        objects
+    }
+
+    /// Generate the full session trace.
+    #[must_use]
+    pub fn generate(mut self) -> Trace {
+        let spec = self.spec.clone();
+        let mut requests = Vec::with_capacity(spec.count as usize);
+        let mut clock_ns = 0u64;
+        for seq in 0..spec.count {
+            clock_ns += self.next_interarrival_ns();
+            let roll: f64 = self.rng.gen();
+            let (kind, reads, deadline_ms) = if roll < spec.write_fraction {
+                (
+                    TxnKind::Update,
+                    spec.reads_per_update_txn,
+                    Some(spec.write_deadline_ms),
+                )
+            } else if roll < spec.write_fraction + spec.non_rt_fraction {
+                (TxnKind::NonRealTime, spec.reads_per_read_txn, None)
+            } else {
+                (
+                    TxnKind::ReadOnly,
+                    spec.reads_per_read_txn,
+                    Some(spec.read_deadline_ms),
+                )
+            };
+            let relative_deadline_ns = deadline_ms.map(|ms| {
+                let base = ms as f64 * 1e6;
+                let jitter = spec.deadline_jitter;
+                let factor = if jitter > 0.0 {
+                    1.0 + self.rng.gen_range(-jitter..jitter)
+                } else {
+                    1.0
+                };
+                (base * factor) as u64
+            });
+            requests.push(TxnRequest {
+                seq,
+                arrival_ns: clock_ns,
+                kind,
+                relative_deadline_ns,
+                objects: self.pick_objects(reads),
+            });
+        }
+        Trace { requests }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let spec = WorkloadSpec::default();
+        let a = TraceGenerator::new(spec.clone()).generate();
+        let b = TraceGenerator::new(spec).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_trace() {
+        let a = TraceGenerator::new(WorkloadSpec::default()).generate();
+        let b = TraceGenerator::new(WorkloadSpec {
+            seed: 42,
+            ..WorkloadSpec::default()
+        })
+        .generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrival_rate_is_respected() {
+        let spec = WorkloadSpec {
+            count: 20_000,
+            arrival_rate_tps: 500.0,
+            ..WorkloadSpec::default()
+        };
+        let trace = TraceGenerator::new(spec).generate();
+        let duration_s = trace.duration_ns() as f64 / 1e9;
+        let rate = trace.len() as f64 / duration_s;
+        assert!(
+            (rate - 500.0).abs() < 25.0,
+            "empirical rate {rate} too far from 500"
+        );
+        // Arrivals are sorted.
+        for w in trace.requests.windows(2) {
+            assert!(w[0].arrival_ns <= w[1].arrival_ns);
+        }
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let spec = WorkloadSpec {
+            count: 20_000,
+            write_fraction: 0.8,
+            ..WorkloadSpec::default()
+        };
+        let trace = TraceGenerator::new(spec).generate();
+        assert!((trace.update_fraction() - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_write_fraction_is_all_reads() {
+        let spec = WorkloadSpec {
+            count: 1_000,
+            write_fraction: 0.0,
+            ..WorkloadSpec::default()
+        };
+        let trace = TraceGenerator::new(spec).generate();
+        assert_eq!(trace.update_fraction(), 0.0);
+        assert!(trace
+            .requests
+            .iter()
+            .all(|r| r.kind == TxnKind::ReadOnly && r.objects.len() == 4));
+    }
+
+    #[test]
+    fn objects_are_distinct_and_in_range() {
+        let spec = WorkloadSpec {
+            count: 2_000,
+            db_objects: 50,
+            ..WorkloadSpec::default()
+        };
+        let trace = TraceGenerator::new(spec).generate();
+        for r in &trace.requests {
+            let mut sorted = r.objects.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), r.objects.len(), "duplicates in {r:?}");
+            assert!(r.objects.iter().all(|&o| o < 50));
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_accesses() {
+        let spec = WorkloadSpec {
+            count: 5_000,
+            db_objects: 1_000,
+            access: AccessPattern::Hotspot {
+                hot_fraction: 0.01,
+                hot_probability: 0.9,
+            },
+            ..WorkloadSpec::default()
+        };
+        let trace = TraceGenerator::new(spec).generate();
+        let total: usize = trace.requests.iter().map(|r| r.objects.len()).sum();
+        let hot: usize = trace
+            .requests
+            .iter()
+            .flat_map(|r| &r.objects)
+            .filter(|&&o| o < 10)
+            .count();
+        let share = hot as f64 / total as f64;
+        assert!(share > 0.6, "hot share {share} too small");
+    }
+
+    #[test]
+    fn non_rt_fraction_produces_deadline_free_txns() {
+        let spec = WorkloadSpec {
+            count: 5_000,
+            write_fraction: 0.1,
+            non_rt_fraction: 0.2,
+            ..WorkloadSpec::default()
+        };
+        let trace = TraceGenerator::new(spec).generate();
+        let non_rt = trace
+            .requests
+            .iter()
+            .filter(|r| r.kind == TxnKind::NonRealTime)
+            .count() as f64
+            / trace.len() as f64;
+        assert!((non_rt - 0.2).abs() < 0.03);
+        assert!(trace
+            .requests
+            .iter()
+            .filter(|r| r.kind == TxnKind::NonRealTime)
+            .all(|r| r.relative_deadline_ns.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload spec")]
+    fn invalid_spec_panics() {
+        let _ = TraceGenerator::new(WorkloadSpec {
+            write_fraction: 2.0,
+            ..WorkloadSpec::default()
+        });
+    }
+}

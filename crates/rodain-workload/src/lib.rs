@@ -1,0 +1,35 @@
+//! # rodain-workload — telecom workload generation
+//!
+//! The paper's experimental study (§4) drives the prototype with an
+//! off-line generated test file:
+//!
+//! > "All transactions arrive at the RODAIN Prototype through a specific
+//! > interface process, that reads the load descriptions from an off-line
+//! > generated test file. […] The test database, containing 30 000 data
+//! > objects, represents a number translation service. The workload in a
+//! > test session consists of a variable mix of two transactions, one
+//! > simple read-only transaction and the other a simple write transaction."
+//!
+//! This crate reproduces that flow:
+//!
+//! * [`NumberTranslationDb`] — the test database: subscriber numbers mapped
+//!   to routing records;
+//! * [`WorkloadSpec`] — all knobs of a test session (arrival rate, write
+//!   fraction, deadlines, transaction shapes, seed);
+//! * [`TraceGenerator`] — deterministic Poisson arrival process producing a
+//!   [`Trace`] of [`TxnRequest`]s;
+//! * [`Trace::write_to`] / [`Trace::read_from`] — the "off-line generated
+//!   test file" format, so experiments are replayable byte-for-byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod schema;
+mod spec;
+mod trace;
+
+pub use gen::TraceGenerator;
+pub use schema::NumberTranslationDb;
+pub use spec::{AccessPattern, TxnMixEntry, WorkloadSpec};
+pub use trace::{Trace, TraceError, TxnKind, TxnRequest};

@@ -1,0 +1,104 @@
+//! The number-translation test database.
+
+use rodain_store::{ObjectId, Store, Value};
+
+/// Builder/descriptor of the paper's test database: a number translation
+/// service ("intelligent network" service numbers such as toll-free 0800
+/// numbers translated to routable subscriber numbers).
+///
+/// Each object is a routing record:
+/// `Record[ Text routing_address, Int service_flags, Int translation_count ]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NumberTranslationDb {
+    /// Number of service numbers (data objects). The prototype used 30 000.
+    pub objects: u64,
+}
+
+impl NumberTranslationDb {
+    /// The paper's configuration.
+    pub const PAPER: NumberTranslationDb = NumberTranslationDb { objects: 30_000 };
+
+    /// A database of `objects` entries.
+    #[must_use]
+    pub fn new(objects: u64) -> Self {
+        NumberTranslationDb { objects }
+    }
+
+    /// The object id of service number `n` (0-based dense mapping).
+    #[must_use]
+    pub fn object_id(&self, n: u64) -> ObjectId {
+        ObjectId(n % self.objects.max(1))
+    }
+
+    /// The initial routing record for service number `n`.
+    #[must_use]
+    pub fn initial_record(&self, n: u64) -> Value {
+        Value::Record(vec![
+            Value::Text(format!("+358-9-{:07}", n % 10_000_000)),
+            Value::Int((n % 8) as i64), // service flags
+            Value::Int(0),              // translation count
+        ])
+    }
+
+    /// An updated routing record: a service-provision update re-points the
+    /// number and bumps the translation counter.
+    #[must_use]
+    pub fn updated_record(&self, previous: &Value, txn_seq: u64) -> Value {
+        let (flags, count) = match previous.as_record() {
+            Some([_, Value::Int(flags), Value::Int(count)]) => (*flags, *count),
+            _ => (0, 0),
+        };
+        Value::Record(vec![
+            Value::Text(format!("+358-40-{:07}", txn_seq % 10_000_000)),
+            Value::Int(flags),
+            Value::Int(count + 1),
+        ])
+    }
+
+    /// Populate `store` with the full database at timestamp zero.
+    pub fn populate(&self, store: &Store) {
+        for n in 0..self.objects {
+            store.load_initial(self.object_id(n), self.initial_record(n));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populate_creates_every_object() {
+        let db = NumberTranslationDb::new(100);
+        let store = Store::new();
+        db.populate(&store);
+        assert_eq!(store.len(), 100);
+        let (value, _) = store.read(db.object_id(42)).unwrap();
+        let fields = value.as_record().unwrap();
+        assert_eq!(fields.len(), 3);
+        assert!(fields[0].as_text().unwrap().starts_with("+358-9-"));
+    }
+
+    #[test]
+    fn update_bumps_translation_count() {
+        let db = NumberTranslationDb::new(10);
+        let initial = db.initial_record(3);
+        let updated = db.updated_record(&initial, 999);
+        let fields = updated.as_record().unwrap();
+        assert_eq!(fields[2], Value::Int(1));
+        assert!(fields[0].as_text().unwrap().starts_with("+358-40-"));
+        let updated2 = db.updated_record(&updated, 1000);
+        assert_eq!(updated2.as_record().unwrap()[2], Value::Int(2));
+    }
+
+    #[test]
+    fn object_ids_wrap() {
+        let db = NumberTranslationDb::new(10);
+        assert_eq!(db.object_id(13), ObjectId(3));
+    }
+
+    #[test]
+    fn paper_config() {
+        assert_eq!(NumberTranslationDb::PAPER.objects, 30_000);
+    }
+}

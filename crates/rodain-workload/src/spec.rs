@@ -1,0 +1,214 @@
+//! Test-session specification.
+
+use serde::{Deserialize, Serialize};
+
+/// How transactions pick the objects they touch.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Uniform over the whole database (the paper's service numbers are
+    /// equally likely).
+    Uniform,
+    /// A fraction `hot_fraction` of the database receives `hot_probability`
+    /// of the accesses — an extension for contention studies (the CCABLATE
+    /// experiment uses it to make protocol differences visible).
+    Hotspot {
+        /// Fraction of objects that are hot (0, 1].
+        hot_fraction: f64,
+        /// Probability an access goes to the hot set [0, 1].
+        hot_probability: f64,
+    },
+}
+
+/// One entry of the transaction mix (extension point beyond the paper's
+/// two-transaction mix; unused probability mass goes to the read-only
+/// service-provision transaction).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TxnMixEntry {
+    /// Share of arrivals [0, 1].
+    pub share: f64,
+    /// Objects read.
+    pub reads: u32,
+    /// Objects updated (subset of the reads; 0 = read-only).
+    pub updates: u32,
+    /// Relative firm deadline in milliseconds (`None` = non-real-time).
+    pub deadline_ms: Option<u64>,
+}
+
+/// All knobs of one test session.
+///
+/// Defaults follow the paper's experimental study (§4) under the OCR
+/// interpretations listed in DESIGN.md §1: 30 000 objects, 10 000
+/// transactions per session, firm deadlines of 50 ms (read) / 150 ms
+/// (write), a variable read/update mix, uniform access.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Database size in objects.
+    pub db_objects: u64,
+    /// Transactions in the session.
+    pub count: u64,
+    /// Poisson arrival rate, transactions per second.
+    pub arrival_rate_tps: f64,
+    /// Fraction of arrivals that are update transactions [0, 1].
+    pub write_fraction: f64,
+    /// Objects read by the read-only service-provision transaction.
+    pub reads_per_read_txn: u32,
+    /// Objects read by the update transaction (all of them are updated:
+    /// "reads a few objects, updates them and then commits").
+    pub reads_per_update_txn: u32,
+    /// Relative firm deadline of read-only transactions (ms).
+    pub read_deadline_ms: u64,
+    /// Relative firm deadline of update transactions (ms).
+    pub write_deadline_ms: u64,
+    /// Fraction of arrivals that are non-real-time maintenance
+    /// transactions (no deadline; 0 in the paper's figures).
+    pub non_rt_fraction: f64,
+    /// Relative-deadline jitter: each transaction's deadline is scaled by
+    /// a uniform factor in `[1-j, 1+j]`. The paper's workload uses fixed
+    /// per-class deadlines (j = 0); contention studies (CCABLATE) use
+    /// jitter so that EDF produces cross-preemption between update
+    /// transactions and concurrency-control conflicts become possible.
+    pub deadline_jitter: f64,
+    /// Object selection pattern.
+    pub access: AccessPattern,
+    /// RNG seed: same spec + same seed ⇒ identical trace.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            db_objects: 30_000,
+            count: 10_000,
+            arrival_rate_tps: 200.0,
+            write_fraction: 0.2,
+            reads_per_read_txn: 4,
+            reads_per_update_txn: 2,
+            read_deadline_ms: 50,
+            write_deadline_ms: 150,
+            non_rt_fraction: 0.0,
+            deadline_jitter: 0.0,
+            access: AccessPattern::Uniform,
+            seed: 0x0DA1_2000,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// The paper's session at a given arrival rate and write fraction.
+    #[must_use]
+    pub fn paper(arrival_rate_tps: f64, write_fraction: f64) -> Self {
+        WorkloadSpec {
+            arrival_rate_tps,
+            write_fraction,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    /// Validate ranges; returns a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.db_objects == 0 {
+            return Err("db_objects must be positive".into());
+        }
+        if !(self.arrival_rate_tps.is_finite() && self.arrival_rate_tps > 0.0) {
+            return Err("arrival_rate_tps must be positive".into());
+        }
+        for (name, v) in [
+            ("write_fraction", self.write_fraction),
+            ("non_rt_fraction", self.non_rt_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must lie in [0, 1]"));
+            }
+        }
+        if self.write_fraction + self.non_rt_fraction > 1.0 {
+            return Err("write_fraction + non_rt_fraction exceeds 1".into());
+        }
+        if !(0.0..1.0).contains(&self.deadline_jitter) {
+            return Err("deadline_jitter must lie in [0, 1)".into());
+        }
+        if self.reads_per_read_txn == 0 || self.reads_per_update_txn == 0 {
+            return Err("transactions must read at least one object".into());
+        }
+        if let AccessPattern::Hotspot {
+            hot_fraction,
+            hot_probability,
+        } = self.access
+        {
+            if !(0.0 < hot_fraction && hot_fraction <= 1.0) {
+                return Err("hot_fraction must lie in (0, 1]".into());
+            }
+            if !(0.0..=1.0).contains(&hot_probability) {
+                return Err("hot_probability must lie in [0, 1]".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Expected session duration in seconds (count / rate).
+    #[must_use]
+    pub fn expected_duration_secs(&self) -> f64 {
+        self.count as f64 / self.arrival_rate_tps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_valid() {
+        WorkloadSpec::default().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_spec_overrides() {
+        let s = WorkloadSpec::paper(300.0, 0.8);
+        assert_eq!(s.arrival_rate_tps, 300.0);
+        assert_eq!(s.write_fraction, 0.8);
+        assert_eq!(s.db_objects, 30_000);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let bad = [
+            WorkloadSpec {
+                write_fraction: 1.5,
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                arrival_rate_tps: 0.0,
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                write_fraction: 0.8,
+                non_rt_fraction: 0.4,
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                access: AccessPattern::Hotspot {
+                    hot_fraction: 0.0,
+                    hot_probability: 0.5,
+                },
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                db_objects: 0,
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                deadline_jitter: 1.0,
+                ..WorkloadSpec::default()
+            },
+        ];
+        for spec in bad {
+            assert!(spec.validate().is_err(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn duration_estimate() {
+        let s = WorkloadSpec::paper(200.0, 0.0);
+        assert!((s.expected_duration_secs() - 50.0).abs() < 1e-9);
+    }
+}

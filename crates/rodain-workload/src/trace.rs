@@ -1,0 +1,271 @@
+//! Transaction traces and the "off-line generated test file" format.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// The two transaction types of the paper's workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnKind {
+    /// "The read-only service provision transaction reads a few objects
+    /// and commits."
+    ReadOnly,
+    /// "The write transaction is an update service provision transaction
+    /// that reads a few objects, updates them and then commits."
+    Update,
+    /// A non-real-time maintenance transaction (extension; reads a few
+    /// objects without a deadline).
+    NonRealTime,
+}
+
+impl TxnKind {
+    fn tag(self) -> char {
+        match self {
+            TxnKind::ReadOnly => 'R',
+            TxnKind::Update => 'U',
+            TxnKind::NonRealTime => 'N',
+        }
+    }
+
+    fn from_tag(c: &str) -> Option<TxnKind> {
+        match c {
+            "R" => Some(TxnKind::ReadOnly),
+            "U" => Some(TxnKind::Update),
+            "N" => Some(TxnKind::NonRealTime),
+            _ => None,
+        }
+    }
+}
+
+/// One load description: a transaction arrival.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnRequest {
+    /// Dense sequence number within the session (also seeds value
+    /// generation so re-execution is deterministic).
+    pub seq: u64,
+    /// Arrival time relative to session start (ns).
+    pub arrival_ns: u64,
+    /// Transaction type.
+    pub kind: TxnKind,
+    /// Relative firm deadline (ns); `None` for non-real-time.
+    pub relative_deadline_ns: Option<u64>,
+    /// Object numbers read (update transactions update all of them).
+    pub objects: Vec<u64>,
+}
+
+impl TxnRequest {
+    /// Whether this request updates the objects it reads.
+    #[must_use]
+    pub fn is_update(&self) -> bool {
+        self.kind == TxnKind::Update
+    }
+}
+
+/// Errors reading a trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based number.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse(line, what) => write!(f, "trace line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// A full test session: the ordered list of transaction arrivals.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Arrivals, ordered by `arrival_ns`.
+    pub requests: Vec<TxnRequest>,
+}
+
+impl Trace {
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Observed update fraction.
+    #[must_use]
+    pub fn update_fraction(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        let updates = self.requests.iter().filter(|r| r.is_update()).count();
+        updates as f64 / self.requests.len() as f64
+    }
+
+    /// Session duration: last arrival offset (ns).
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.requests.last().map(|r| r.arrival_ns).unwrap_or(0)
+    }
+
+    /// Write the "off-line generated test file": one line per arrival,
+    /// `seq arrival_ns kind deadline_ns objects,comma,separated`.
+    pub fn write_to(&self, out: &mut impl Write) -> io::Result<()> {
+        writeln!(out, "# rodain-trace v1")?;
+        for r in &self.requests {
+            let deadline = r
+                .relative_deadline_ns
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into());
+            let objects: Vec<String> = r.objects.iter().map(u64::to_string).collect();
+            writeln!(
+                out,
+                "{} {} {} {} {}",
+                r.seq,
+                r.arrival_ns,
+                r.kind.tag(),
+                deadline,
+                objects.join(",")
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Read a trace written by [`Trace::write_to`].
+    pub fn read_from(input: impl BufRead) -> Result<Trace, TraceError> {
+        let mut requests = Vec::new();
+        for (lineno, line) in input.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let mut field = |what: &str| {
+                parts
+                    .next()
+                    .ok_or_else(|| TraceError::Parse(lineno + 1, format!("missing {what}")))
+            };
+            let seq: u64 = field("seq")?
+                .parse()
+                .map_err(|_| TraceError::Parse(lineno + 1, "bad seq".into()))?;
+            let arrival_ns: u64 = field("arrival")?
+                .parse()
+                .map_err(|_| TraceError::Parse(lineno + 1, "bad arrival".into()))?;
+            let kind = TxnKind::from_tag(field("kind")?)
+                .ok_or_else(|| TraceError::Parse(lineno + 1, "bad kind".into()))?;
+            let deadline_raw = field("deadline")?;
+            let relative_deadline_ns = if deadline_raw == "-" {
+                None
+            } else {
+                Some(
+                    deadline_raw
+                        .parse()
+                        .map_err(|_| TraceError::Parse(lineno + 1, "bad deadline".into()))?,
+                )
+            };
+            let objects_raw = field("objects")?;
+            let objects: Result<Vec<u64>, _> =
+                objects_raw.split(',').map(str::parse::<u64>).collect();
+            let objects =
+                objects.map_err(|_| TraceError::Parse(lineno + 1, "bad object list".into()))?;
+            requests.push(TxnRequest {
+                seq,
+                arrival_ns,
+                kind,
+                relative_deadline_ns,
+                objects,
+            });
+        }
+        Ok(Trace { requests })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            requests: vec![
+                TxnRequest {
+                    seq: 0,
+                    arrival_ns: 0,
+                    kind: TxnKind::ReadOnly,
+                    relative_deadline_ns: Some(50_000_000),
+                    objects: vec![5, 17, 230],
+                },
+                TxnRequest {
+                    seq: 1,
+                    arrival_ns: 4_217_000,
+                    kind: TxnKind::Update,
+                    relative_deadline_ns: Some(150_000_000),
+                    objects: vec![99, 12],
+                },
+                TxnRequest {
+                    seq: 2,
+                    arrival_ns: 9_000_000,
+                    kind: TxnKind::NonRealTime,
+                    relative_deadline_ns: None,
+                    objects: vec![1],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let got = Trace::read_from(buf.as_slice()).unwrap();
+        assert_eq!(got, trace);
+    }
+
+    #[test]
+    fn stats() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert!((t.update_fraction() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(t.duration_ns(), 9_000_000);
+        assert!(!t.is_empty());
+        assert_eq!(Trace::default().duration_ns(), 0);
+        assert_eq!(Trace::default().update_fraction(), 0.0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n0 0 R 1000 1,2\n# mid comment\n1 5 U 2000 3\n";
+        let got = Trace::read_from(text.as_bytes()).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got.requests[1].objects, vec![3]);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_number() {
+        let text = "0 0 R 1000 1,2\nnot a line\n";
+        match Trace::read_from(text.as_bytes()) {
+            Err(TraceError::Parse(2, _)) => {}
+            other => panic!("{other:?}"),
+        }
+        let text = "0 0 X 1000 1\n";
+        assert!(matches!(
+            Trace::read_from(text.as_bytes()),
+            Err(TraceError::Parse(1, _))
+        ));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of trace generation and the trace-file format.
+
+use proptest::prelude::*;
+use rodain_workload::{Trace, TraceGenerator, TxnKind, TxnRequest, WorkloadSpec};
+
+fn request_strategy() -> impl Strategy<Value = TxnRequest> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        prop_oneof![
+            Just(TxnKind::ReadOnly),
+            Just(TxnKind::Update),
+            Just(TxnKind::NonRealTime)
+        ],
+        prop::option::of(1..u64::MAX / 2),
+        prop::collection::vec(any::<u64>(), 1..6),
+    )
+        .prop_map(|(seq, arrival_ns, kind, deadline, objects)| TxnRequest {
+            seq,
+            arrival_ns,
+            kind,
+            relative_deadline_ns: if kind == TxnKind::NonRealTime {
+                None
+            } else {
+                deadline.or(Some(1))
+            },
+            objects,
+        })
+}
+
+proptest! {
+    /// The "off-line generated test file" format is lossless for any trace.
+    #[test]
+    fn trace_file_roundtrip(requests in prop::collection::vec(request_strategy(), 0..40)) {
+        let trace = Trace { requests };
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        let parsed = Trace::read_from(buf.as_slice()).unwrap();
+        prop_assert_eq!(parsed, trace);
+    }
+
+    /// Generated traces satisfy their spec's structural invariants for any
+    /// parameter combination.
+    #[test]
+    fn generated_traces_are_well_formed(
+        seed in any::<u64>(),
+        rate in 1.0f64..2_000.0,
+        write_fraction in 0.0f64..=1.0,
+        jitter in 0.0f64..0.9,
+        db_objects in 10u64..5_000,
+        count in 1u64..400,
+    ) {
+        let spec = WorkloadSpec {
+            seed,
+            arrival_rate_tps: rate,
+            write_fraction,
+            deadline_jitter: jitter,
+            db_objects,
+            count,
+            ..WorkloadSpec::default()
+        };
+        let trace = TraceGenerator::new(spec.clone()).generate();
+        prop_assert_eq!(trace.len() as u64, count);
+        let mut prev_arrival = 0u64;
+        for (i, r) in trace.requests.iter().enumerate() {
+            prop_assert_eq!(r.seq, i as u64);
+            prop_assert!(r.arrival_ns >= prev_arrival, "arrivals sorted");
+            prev_arrival = r.arrival_ns;
+            prop_assert!(!r.objects.is_empty());
+            prop_assert!(r.objects.iter().all(|&o| o < db_objects));
+            match r.kind {
+                TxnKind::NonRealTime => prop_assert!(r.relative_deadline_ns.is_none()),
+                TxnKind::ReadOnly => {
+                    let d = r.relative_deadline_ns.unwrap();
+                    let base = spec.read_deadline_ms * 1_000_000;
+                    let lo = (base as f64 * (1.0 - jitter) - 2.0) as u64;
+                    let hi = (base as f64 * (1.0 + jitter) + 2.0) as u64;
+                    prop_assert!((lo..=hi).contains(&d), "read deadline {d} outside [{lo},{hi}]");
+                }
+                TxnKind::Update => {
+                    let d = r.relative_deadline_ns.unwrap();
+                    let base = spec.write_deadline_ms * 1_000_000;
+                    let lo = (base as f64 * (1.0 - jitter) - 2.0) as u64;
+                    let hi = (base as f64 * (1.0 + jitter) + 2.0) as u64;
+                    prop_assert!((lo..=hi).contains(&d), "write deadline {d} outside [{lo},{hi}]");
+                }
+            }
+        }
+        // Determinism.
+        let again = TraceGenerator::new(spec).generate();
+        prop_assert_eq!(again, trace);
+    }
+}

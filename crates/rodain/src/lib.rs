@@ -1,0 +1,42 @@
+//! # rodain — real-time main-memory database with log-shipped hot stand-by
+//!
+//! A from-scratch Rust implementation of the RODAIN architecture
+//! (Niklander & Raatikainen, *Using Logs to Increase Availability in
+//! Real-Time Main-Memory Database*): a telecom-grade real-time main-memory
+//! DBMS whose availability comes from a **Mirror Node** kept current by
+//! shipping transaction redo logs — taking the disk write off the commit
+//! critical path and replacing it with one message round-trip.
+//!
+//! This umbrella crate re-exports the whole system:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`store`] | `rodain-store` | main-memory object store, deferred-write workspaces, snapshots |
+//! | [`occ`] | `rodain-occ` | OCC-DATI and its baselines (OCC-TI, OCC-DA, OCC-BC, 2PL-HP) |
+//! | [`sched`] | `rodain-sched` | modified EDF, non-real-time reservation, overload manager |
+//! | [`log`] | `rodain-log` | redo records, codec, reorder buffer, segmented disk log, group commit, recovery |
+//! | [`net`] | `rodain-net` | in-process / TCP / failure-injection transports |
+//! | [`node`] | `rodain-node` | wire protocol, roles, watchdog, the Mirror Node service |
+//! | [`db`] | `rodain-db` | the engine: [`db::Rodain`] |
+//! | [`server`] | `rodain-server` | the User Request Interpreter: TCP front-end + client |
+//! | [`sim`] | `rodain-sim` | deterministic simulation regenerating the paper's figures |
+//! | [`workload`] | `rodain-workload` | number-translation workloads, traces |
+//!
+//! See the repository's `README.md` for a tour and `examples/` for runnable
+//! programs.
+
+#![forbid(unsafe_code)]
+
+pub use rodain_db as db;
+pub use rodain_log as log;
+pub use rodain_net as net;
+pub use rodain_node as node;
+pub use rodain_occ as occ;
+pub use rodain_sched as sched;
+pub use rodain_server as server;
+pub use rodain_sim as sim;
+pub use rodain_store as store;
+pub use rodain_workload as workload;
+
+pub use rodain_db::{Rodain, RodainBuilder, TxnCtx, TxnError, TxnOptions, TxnReceipt};
+pub use rodain_store::{ObjectId, Ts, TxnId, Value};

@@ -1,0 +1,152 @@
+//! The availability story: primary failure, near-instantaneous mirror
+//! takeover, contingency operation, and rejoin of the recovered node.
+//!
+//! Run with: `cargo run --example failover`
+//!
+//! Walks the full role cycle of DESIGN.md §6 / the paper §2:
+//! `Primary ∥ Mirror → (primary dies) → ContingencyPrimary → (recovered
+//! node rejoins as Mirror) → Primary ∥ Mirror`.
+
+use rodain::db::{MirrorLossPolicy, Rodain, TxnOptions};
+use rodain::net::InProcTransport;
+use rodain::node::{MirrorConfig, MirrorExit, MirrorNode, NodeRole, RoleEvent, RoleMachine};
+use rodain::store::Store;
+use rodain::{ObjectId, Value};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fast_config() -> MirrorConfig {
+    MirrorConfig {
+        poll_interval: Duration::from_millis(1),
+        heartbeat_interval: Duration::from_millis(10),
+        peer_timeout: Duration::from_millis(50),
+        suspect_rounds: 3,
+        snapshot_dir: None,
+    }
+}
+
+fn main() {
+    let log_dir = std::env::temp_dir().join(format!("rodain-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&log_dir);
+
+    // ── Phase 1: a healthy pair ───────────────────────────────────────────
+    println!("phase 1: primary + mirror running");
+    let (primary_side, mirror_side) = InProcTransport::pair();
+    let mirror_store = Arc::new(Store::new());
+    let mut mirror = MirrorNode::new(
+        mirror_store.clone(),
+        Arc::new(mirror_side),
+        None,
+        fast_config(),
+    );
+    let applied = mirror.applied_csn_handle();
+    let mut mirror_role = RoleMachine::new(NodeRole::Mirror);
+    let mirror_thread = std::thread::spawn(move || {
+        mirror.join().unwrap();
+        mirror.run()
+    });
+
+    let primary = Rodain::builder()
+        .workers(2)
+        .mirror(Arc::new(primary_side), MirrorLossPolicy::ContinueVolatile)
+        .build()
+        .unwrap();
+    for i in 0..500u64 {
+        primary
+            .execute(TxnOptions::firm_ms(100), move |ctx| {
+                ctx.write(ObjectId(i % 50), Value::Int(i as i64))?;
+                Ok(None)
+            })
+            .unwrap();
+    }
+    while applied.load(Ordering::Acquire) < 500 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    println!("  500 transactions committed; mirror is current (csn 500)");
+
+    // ── Phase 2: the primary crashes ─────────────────────────────────────
+    println!("phase 2: killing the primary…");
+    let crash_at = Instant::now();
+    drop(primary); // the process dies; the link closes
+
+    let (exit, report) = mirror_thread.join().unwrap();
+    assert_eq!(exit, MirrorExit::PrimaryFailed);
+    mirror_role.apply(RoleEvent::PeerFailed).unwrap();
+    println!(
+        "  watchdog fired after {:?}; mirror promotes to {} \
+         ({} txns were applied, {} in-flight discarded)",
+        crash_at.elapsed(),
+        mirror_role.role(),
+        report.txns_applied,
+        report.discarded_at_exit
+    );
+
+    // The promoted node serves immediately from its in-memory copy, in
+    // Contingency mode (synchronous disk logging).
+    let promoted = Rodain::builder()
+        .workers(2)
+        .store(mirror_store)
+        .contingency_log(&log_dir)
+        .build()
+        .unwrap();
+    let first = promoted
+        .execute(TxnOptions::firm_ms(100), |ctx| ctx.read(ObjectId(10)))
+        .unwrap();
+    println!(
+        "  unavailability window ≈ {:?}; first read after takeover: {:?}",
+        crash_at.elapsed(),
+        first.result.unwrap()
+    );
+    assert!(mirror_role.requires_sync_disk());
+
+    // ── Phase 3: the failed node recovers and rejoins as Mirror ─────────
+    println!("phase 3: recovered node rejoins as mirror");
+    let mut old_primary_role = RoleMachine::new(NodeRole::Primary);
+    old_primary_role.apply(RoleEvent::LocalFailure).unwrap();
+    old_primary_role.apply(RoleEvent::RecoveryComplete).unwrap();
+    assert_eq!(old_primary_role.role(), NodeRole::Mirror);
+
+    let (new_primary_side, new_mirror_side) = InProcTransport::pair();
+    let rejoined_store = Arc::new(Store::new());
+    let mut rejoined = MirrorNode::new(
+        rejoined_store.clone(),
+        Arc::new(new_mirror_side),
+        None,
+        fast_config(),
+    );
+    let rejoined_shutdown = rejoined.shutdown_handle();
+    let rejoined_thread = std::thread::spawn(move || {
+        let next = rejoined.join().unwrap();
+        println!("  state transfer complete; live stream resumes at {next:?}");
+        rejoined.run()
+    });
+    promoted
+        .attach_mirror(
+            Arc::new(new_primary_side),
+            MirrorLossPolicy::ContinueVolatile,
+        )
+        .unwrap();
+    mirror_role.apply(RoleEvent::PeerJoined).unwrap();
+    println!("  promoted node is a full {} again", mirror_role.role());
+
+    promoted
+        .execute(TxnOptions::firm_ms(100), |ctx| {
+            ctx.write(ObjectId(999), Value::Text("post-rejoin".into()))?;
+            Ok(None)
+        })
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while rejoined_store.read(ObjectId(999)).is_none() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    println!(
+        "  rejoined mirror sees post-rejoin write: {:?}",
+        rejoined_store.read(ObjectId(999)).unwrap().0
+    );
+
+    rejoined_shutdown.store(true, Ordering::Release);
+    rejoined_thread.join().unwrap();
+    let _ = std::fs::remove_dir_all(&log_dir);
+    println!("full failure cycle complete ✔");
+}

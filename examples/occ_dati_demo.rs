@@ -1,0 +1,92 @@
+//! A guided tour of OCC-DATI's *dynamic adjustment of serialization order*
+//! — the mechanism RODAIN uses to cut unnecessary restarts.
+//!
+//! Run with: `cargo run --example occ_dati_demo`
+//!
+//! The classic scenario: a reader observes an object, a writer overwrites
+//! it and commits first. Broadcast-commit OCC kills the reader; OCC-DATI
+//! re-serializes it *before* the writer (a "backward commit") and both
+//! transactions survive.
+
+use rodain::occ::{make_controller, CcPriority, Protocol, ValidationOutcome};
+use rodain::store::{ObjectId, Store, TxnId, Value, Workspace};
+
+fn scenario(protocol: Protocol) {
+    println!("── {} ──", protocol);
+    let store = Store::new();
+    store.load_initial(ObjectId(0), Value::Text("old route".into()));
+    store.load_initial(ObjectId(1), Value::Int(0));
+    let cc = make_controller(protocol);
+
+    // T1 begins and reads object 0 (the soon-to-be-stale read).
+    let t1 = TxnId(1);
+    cc.begin(t1, CcPriority(1));
+    let mut ws1 = Workspace::new(t1);
+    let seen = ws1.read(&store, ObjectId(0)).unwrap();
+    cc.on_read(t1, ObjectId(0), rodain::Ts::ZERO);
+    println!("T1 reads  obj#0 → {seen:?}");
+
+    // T2 overwrites object 0 and validates first.
+    let t2 = TxnId(2);
+    cc.begin(t2, CcPriority(1));
+    let mut ws2 = Workspace::new(t2);
+    ws2.write(ObjectId(0), Value::Text("new route".into()));
+    match cc.validate(&ws2, &store) {
+        ValidationOutcome::Commit {
+            ser_ts,
+            csn,
+            victims,
+        } => {
+            println!("T2 writes obj#0, commits at ser_ts={ser_ts} (csn {csn})");
+            if victims.is_empty() {
+                println!("   no victims — T1's timestamp interval was merely capped");
+            } else {
+                println!("   victims: {victims:?} — T1 was restarted on the spot");
+            }
+        }
+        other => println!("T2: {other:?}"),
+    }
+
+    // T1 now writes a DIFFERENT object and validates. Under OCC-DATI it
+    // may serialize before T2 (its read of the old version is then
+    // consistent); under OCC-BC it is already doomed.
+    ws1.write(ObjectId(1), Value::Int(42));
+    match cc.validate(&ws1, &store) {
+        ValidationOutcome::Commit { ser_ts, csn, .. } => {
+            println!(
+                "T1 writes obj#1, commits at ser_ts={ser_ts} (csn {csn}) — \
+                 placed BEFORE T2 in the serialization order"
+            );
+        }
+        ValidationOutcome::Restart(reason) => {
+            println!("T1 must restart: {reason} — its work is wasted");
+        }
+    }
+    let stats = cc.stats();
+    println!(
+        "stats: commits={} self_restarts={} victim_restarts={} backward_commits={}\n",
+        stats.commits, stats.self_restarts, stats.victim_restarts, stats.backward_commits
+    );
+}
+
+fn main() {
+    println!(
+        "The stale-reader scenario under each concurrency-control protocol.\n\
+         T1 reads obj#0; T2 overwrites obj#0 and commits; T1 then writes obj#1.\n\
+         A serial order exists (T1 before T2) — a protocol only finds it if it\n\
+         can place T1's commit *behind* an already committed timestamp.\n"
+    );
+    for protocol in [
+        Protocol::OccBc,
+        Protocol::OccDa,
+        Protocol::OccTi,
+        Protocol::OccDati,
+    ] {
+        scenario(protocol);
+    }
+    println!(
+        "OCC-BC and OCC-DA lose T1 (restart); OCC-TI and OCC-DATI commit both\n\
+         transactions via a backward timestamp — \"dynamic adjustment of the\n\
+         serialization order using timestamp intervals\"."
+    );
+}

@@ -1,0 +1,199 @@
+//! End-to-end engine tests: a realistic mixed workload through the public
+//! `Rodain` API, checking invariants the paper's design promises.
+
+use rodain::db::{Rodain, TxnError, TxnOptions};
+use rodain::occ::Protocol;
+use rodain::workload::NumberTranslationDb;
+use rodain::{ObjectId, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn populated_db(objects: u64, workers: usize) -> Rodain {
+    let db = Rodain::builder().workers(workers).build().unwrap();
+    let schema = NumberTranslationDb::new(objects);
+    for n in 0..objects {
+        db.load_initial(schema.object_id(n), schema.initial_record(n));
+    }
+    db
+}
+
+#[test]
+fn number_translation_service_mixed_load() {
+    let db = Arc::new(populated_db(1_000, 4));
+    let schema = NumberTranslationDb::new(1_000);
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            let mut commits = 0u64;
+            for i in 0..200u64 {
+                let n = (t * 313 + i * 7) % 1_000;
+                let oid = schema.object_id(n);
+                let update = i % 5 == 0;
+                let result = if update {
+                    db.execute(TxnOptions::firm_ms(1_000), move |ctx| {
+                        let prev = ctx.read(oid)?.unwrap();
+                        let next = NumberTranslationDb::new(1_000).updated_record(&prev, i);
+                        ctx.write(oid, next)?;
+                        Ok(None)
+                    })
+                } else {
+                    db.execute(TxnOptions::firm_ms(1_000), move |ctx| {
+                        let record = ctx.read(oid)?.unwrap();
+                        // A service-provision read: the routing address.
+                        let fields = record.as_record().unwrap();
+                        assert!(fields[0].as_text().unwrap().starts_with("+358"));
+                        Ok(Some(fields[0].clone()))
+                    })
+                };
+                if result.is_ok() {
+                    commits += 1;
+                }
+            }
+            commits
+        }));
+    }
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let stats = db.stats();
+    assert_eq!(stats.committed, total);
+    assert!(total >= 780, "too many aborts under light load: {stats:?}");
+    // Every record still has the 3-field shape (no torn installs).
+    let mut checked = 0;
+    db.store().for_each(|_, obj| {
+        assert_eq!(obj.value.as_record().unwrap().len(), 3);
+        checked += 1;
+    });
+    assert_eq!(checked, 1_000);
+}
+
+#[test]
+fn update_counters_equal_committed_updates() {
+    // Translation-count column == number of committed updates, per object.
+    let db = populated_db(50, 4);
+    let schema = NumberTranslationDb::new(50);
+    let mut committed_per_object = vec![0i64; 50];
+    for round in 0..6u64 {
+        for n in 0..50u64 {
+            let oid = schema.object_id(n);
+            let result = db.execute(TxnOptions::soft_ms(5_000), move |ctx| {
+                let prev = ctx.read(oid)?.unwrap();
+                ctx.write(
+                    oid,
+                    NumberTranslationDb::new(50).updated_record(&prev, round),
+                )?;
+                Ok(None)
+            });
+            if result.is_ok() {
+                committed_per_object[n as usize] += 1;
+            }
+        }
+    }
+    for n in 0..50u64 {
+        let record = db.get(schema.object_id(n)).unwrap();
+        let count = record.as_record().unwrap()[2].as_int().unwrap();
+        assert_eq!(count, committed_per_object[n as usize], "object {n}");
+    }
+}
+
+#[test]
+fn firm_deadline_is_enforced_end_to_end() {
+    let db = populated_db(10, 1);
+    // Saturate the single worker.
+    let blocker = db.submit(TxnOptions::soft_ms(60_000), |_| {
+        std::thread::sleep(Duration::from_millis(80));
+        Ok(None)
+    });
+    std::thread::sleep(Duration::from_millis(5));
+    let started = std::time::Instant::now();
+    let result = db.execute(TxnOptions::firm_ms(20), |ctx| {
+        ctx.read(ObjectId(0))?;
+        Ok(None)
+    });
+    assert_eq!(result, Err(TxnError::DeadlineExpired));
+    // The miss must be reported promptly once the worker frees up, not
+    // after some unrelated timeout.
+    assert!(started.elapsed() < Duration::from_secs(2));
+    assert!(blocker.recv().unwrap().is_ok());
+}
+
+#[test]
+fn every_protocol_preserves_bank_invariant() {
+    // Transfers between two accounts: the sum is invariant under any
+    // interleaving, for every concurrency-control protocol.
+    for protocol in Protocol::ALL {
+        let db = Arc::new(
+            Rodain::builder()
+                .protocol(protocol)
+                .workers(4)
+                .build()
+                .unwrap(),
+        );
+        db.load_initial(ObjectId(1), Value::Int(500));
+        db.load_initial(ObjectId(2), Value::Int(500));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..40 {
+                    let amount = ((t * 13 + i) % 7) as i64 - 3;
+                    let _ = db.execute(TxnOptions::soft_ms(5_000), move |ctx| {
+                        let a = ctx.read(ObjectId(1))?.unwrap().as_int().unwrap();
+                        let b = ctx.read(ObjectId(2))?.unwrap().as_int().unwrap();
+                        ctx.write(ObjectId(1), Value::Int(a - amount))?;
+                        ctx.write(ObjectId(2), Value::Int(b + amount))?;
+                        Ok(None)
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let a = db.get(ObjectId(1)).unwrap().as_int().unwrap();
+        let b = db.get(ObjectId(2)).unwrap().as_int().unwrap();
+        assert_eq!(a + b, 1_000, "{protocol}: invariant broken (a={a}, b={b})");
+    }
+}
+
+#[test]
+fn deletes_are_transactional() {
+    let db = populated_db(10, 2);
+    let schema = NumberTranslationDb::new(10);
+    db.execute(TxnOptions::firm_ms(1_000), move |ctx| {
+        ctx.delete(schema.object_id(3))?;
+        Ok(None)
+    })
+    .unwrap();
+    assert_eq!(db.get(schema.object_id(3)), None);
+    // Reading a deleted object inside a transaction sees None.
+    let r = db
+        .execute(TxnOptions::firm_ms(1_000), move |ctx| {
+            assert!(ctx.read(schema.object_id(3))?.is_none());
+            Ok(None)
+        })
+        .unwrap();
+    assert_eq!(r.result, None);
+}
+
+#[test]
+fn stats_reconcile_with_outcomes() {
+    let db = populated_db(100, 2);
+    let schema = NumberTranslationDb::new(100);
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    for i in 0..100u64 {
+        let oid = schema.object_id(i);
+        let result = db.execute(TxnOptions::firm_ms(2_000), move |ctx| {
+            ctx.read(oid)?;
+            Ok(None)
+        });
+        match result {
+            Ok(_) => ok += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    let stats = db.stats();
+    assert_eq!(stats.committed, ok);
+    assert_eq!(stats.aborted(), failed);
+    assert_eq!(stats.active, 0);
+}

@@ -1,0 +1,124 @@
+//! Simulation-level integration: the qualitative *shapes* of the paper's
+//! figures must hold at reduced scale (the full-scale sweeps live in the
+//! rodain-bench experiment binaries).
+
+use rodain::sim::{run_repetitions, run_session, DiskMode, SimConfig};
+use rodain::workload::WorkloadSpec;
+
+fn spec(rate: f64, wr: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        count: 2_500,
+        db_objects: 5_000,
+        arrival_rate_tps: rate,
+        write_fraction: wr,
+        ..WorkloadSpec::default()
+    }
+}
+
+#[test]
+fn fig2_shape_two_node_beats_single_node_disk_across_rates() {
+    // Fig 2: "the use of a remote node instead of direct disk writes
+    // increases the system performance" — at every arrival rate, at
+    // write ratio 50 %.
+    for rate in [100.0, 200.0, 300.0] {
+        let one = run_session(&SimConfig::single_node(DiskMode::On), &spec(rate, 0.5));
+        let two = run_session(&SimConfig::two_node(DiskMode::On), &spec(rate, 0.5));
+        assert!(
+            two.miss_ratio() <= one.miss_ratio(),
+            "rate {rate}: two-node {} vs one-node {}",
+            two.miss_ratio(),
+            one.miss_ratio()
+        );
+    }
+    // And the gap is dramatic in the mid range.
+    let one = run_session(&SimConfig::single_node(DiskMode::On), &spec(200.0, 0.5));
+    let two = run_session(&SimConfig::two_node(DiskMode::On), &spec(200.0, 0.5));
+    assert!(one.miss_ratio() - two.miss_ratio() > 0.3);
+}
+
+#[test]
+fn fig2b_shape_write_fraction_matters_little_for_two_node() {
+    // Fig 2(b): at 300 tps the two-node system's miss ratio moves little
+    // with the write fraction ("The effect of the ratio of update
+    // transactions is relatively small").
+    let lo = run_session(&SimConfig::two_node(DiskMode::On), &spec(250.0, 0.0));
+    let hi = run_session(&SimConfig::two_node(DiskMode::On), &spec(250.0, 0.8));
+    assert!(
+        (hi.miss_ratio() - lo.miss_ratio()).abs() < 0.25,
+        "write-ratio effect too large: {} vs {}",
+        lo.miss_ratio(),
+        hi.miss_ratio()
+    );
+    // While the single-node-disk system is bad at BOTH ends (even
+    // read-only txns pay the disk for their commit record).
+    let one_lo = run_session(&SimConfig::single_node(DiskMode::On), &spec(250.0, 0.0));
+    assert!(one_lo.miss_ratio() > 0.4);
+}
+
+#[test]
+fn fig3_shape_three_series_close_saturation_in_band() {
+    // Fig 3: with disk off, no-logs / 1-node / 2-node are close; the knee
+    // sits at 200-300 tps; below the knee everything commits.
+    for wr in [0.0, 0.2, 0.8] {
+        let below_knee = run_session(&SimConfig::two_node(DiskMode::Off), &spec(150.0, wr));
+        assert!(
+            below_knee.miss_ratio() < 0.05,
+            "wr {wr}: missing below the knee ({})",
+            below_knee.miss_ratio()
+        );
+        let above_knee = run_session(&SimConfig::two_node(DiskMode::Off), &spec(400.0, wr));
+        assert!(
+            above_knee.miss_ratio() > 0.2,
+            "wr {wr}: no saturation above the knee ({})",
+            above_knee.miss_ratio()
+        );
+        // Series closeness at a mid-range rate.
+        let nologs = run_session(&SimConfig::no_logs(), &spec(250.0, wr));
+        let one = run_session(&SimConfig::single_node(DiskMode::Off), &spec(250.0, wr));
+        let two = run_session(&SimConfig::two_node(DiskMode::Off), &spec(250.0, wr));
+        assert!(
+            (one.miss_ratio() - nologs.miss_ratio()).abs() < 0.12,
+            "wr {wr}: 1-node {} vs no-logs {}",
+            one.miss_ratio(),
+            nologs.miss_ratio()
+        );
+        assert!(
+            two.miss_ratio() >= nologs.miss_ratio() - 0.02,
+            "wr {wr}: logging cannot beat the no-log optimum"
+        );
+        assert!(
+            (two.miss_ratio() - nologs.miss_ratio()).abs() < 0.15,
+            "wr {wr}: 2-node {} vs no-logs {}",
+            two.miss_ratio(),
+            nologs.miss_ratio()
+        );
+    }
+}
+
+#[test]
+fn repetitions_shrink_variance() {
+    let agg = run_repetitions(&SimConfig::two_node(DiskMode::Off), &spec(280.0, 0.2), 5);
+    assert_eq!(agg.sessions, 5);
+    assert!(agg.miss_ratio_max - agg.miss_ratio_min < 0.2);
+    assert!(agg.miss_ratio_mean >= agg.miss_ratio_min);
+}
+
+#[test]
+fn sim_is_deterministic_across_processes_worth_of_reruns() {
+    let a = run_session(&SimConfig::two_node(DiskMode::On), &spec(300.0, 0.5));
+    let b = run_session(&SimConfig::two_node(DiskMode::On), &spec(300.0, 0.5));
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.missed_deadline, b.missed_deadline);
+    assert_eq!(a.missed_admission, b.missed_admission);
+    assert_eq!(a.missed_conflict, b.missed_conflict);
+    assert_eq!(a.response.p99_ns, b.response.p99_ns);
+    assert_eq!(a.log_records, b.log_records);
+}
+
+#[test]
+fn commit_log_records_also_for_read_only_transactions() {
+    // Read-only workload still generates one commit record per commit.
+    let m = run_session(&SimConfig::two_node(DiskMode::Off), &spec(100.0, 0.0));
+    assert!(m.log_records >= m.committed);
+    assert!(m.log_records < m.committed + m.committed / 10 + 10);
+}

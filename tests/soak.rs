@@ -1,0 +1,146 @@
+//! Long-running soak test: sustained mixed load with repeated mirror
+//! failovers and rejoins, checking state equivalence at every epoch.
+//!
+//! Ignored by default (takes ~20 s); run with:
+//! `cargo test --test soak -- --ignored --nocapture`
+
+use rodain::db::{MirrorLossPolicy, Rodain, TxnOptions};
+use rodain::net::InProcTransport;
+use rodain::node::{MirrorConfig, MirrorNode};
+use rodain::store::Store;
+use rodain::{ObjectId, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fast_mirror_config() -> MirrorConfig {
+    MirrorConfig {
+        poll_interval: Duration::from_millis(1),
+        heartbeat_interval: Duration::from_millis(10),
+        peer_timeout: Duration::from_millis(100),
+        suspect_rounds: 3,
+        snapshot_dir: None,
+    }
+}
+
+struct MirrorHarness {
+    store: Arc<Store>,
+    applied: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<(rodain::node::MirrorExit, rodain::node::MirrorReport)>,
+}
+
+fn spawn_mirror(db: &Rodain) -> MirrorHarness {
+    let (primary_side, mirror_side) = InProcTransport::pair();
+    let store = Arc::new(Store::new());
+    let mut mirror = MirrorNode::new(
+        store.clone(),
+        Arc::new(mirror_side),
+        None,
+        fast_mirror_config(),
+    );
+    let applied = mirror.applied_csn_handle();
+    let shutdown = mirror.shutdown_handle();
+    let thread = std::thread::spawn(move || {
+        mirror.join().expect("mirror join");
+        mirror.run()
+    });
+    db.attach_mirror(Arc::new(primary_side), MirrorLossPolicy::ContinueVolatile)
+        .expect("attach mirror");
+    MirrorHarness {
+        store,
+        applied,
+        shutdown,
+        thread,
+    }
+}
+
+#[test]
+#[ignore = "soak test: ~20 s of sustained load; run explicitly"]
+fn sustained_load_with_repeated_failovers() {
+    const OBJECTS: u64 = 2_000;
+    const EPOCHS: usize = 5;
+    const WRITERS: usize = 4;
+
+    let db = Arc::new(Rodain::builder().workers(WRITERS + 1).build().unwrap());
+    for i in 0..OBJECTS {
+        db.load_initial(ObjectId(i), Value::Int(0));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writers = Vec::new();
+    for t in 0..WRITERS as u64 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        writers.push(std::thread::spawn(move || {
+            let mut committed = 0u64;
+            let mut i = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                i += 1;
+                let oid = ObjectId((t * 7_919 + i * 13) % OBJECTS);
+                let result = db.execute(
+                    TxnOptions::soft_ms(5_000).with_est_cost(Duration::from_micros(20)),
+                    move |ctx| {
+                        let v = ctx.read(oid)?.unwrap().as_int().unwrap();
+                        ctx.write(oid, Value::Int(v + 1))?;
+                        Ok(None)
+                    },
+                );
+                if result.is_ok() {
+                    committed += 1;
+                }
+            }
+            committed
+        }));
+    }
+
+    // Epochs: attach a fresh mirror, let it track live traffic, verify it
+    // catches up, kill it, repeat — all while the writers hammer away.
+    for epoch in 0..EPOCHS {
+        let mirror = spawn_mirror(&db);
+        let epoch_start = Instant::now();
+        std::thread::sleep(Duration::from_millis(1_500));
+        // The mirror must be advancing.
+        let before = mirror.applied.load(Ordering::Acquire);
+        std::thread::sleep(Duration::from_millis(500));
+        let after = mirror.applied.load(Ordering::Acquire);
+        assert!(
+            after > before,
+            "epoch {epoch}: mirror stalled ({before} → {after})"
+        );
+        // Kill the mirror; the primary must keep serving.
+        mirror.shutdown.store(true, Ordering::Release);
+        let (_, report) = mirror.thread.join().unwrap();
+        assert!(report.txns_applied > 0, "epoch {epoch}: nothing applied");
+        println!(
+            "epoch {epoch}: mirror applied {} txns in {:?}",
+            report.txns_applied,
+            epoch_start.elapsed()
+        );
+    }
+
+    // Drain the writers and verify global consistency: sum of all counters
+    // equals total committed updates.
+    stop.store(true, Ordering::Release);
+    let committed: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+    let mut total = 0i64;
+    db.store().for_each(|_, obj| {
+        total += obj.value.as_int().unwrap();
+    });
+    assert_eq!(total as u64, committed, "lost or phantom updates");
+    println!("soak done: {committed} commits across {EPOCHS} failover epochs, state consistent");
+
+    // Final mirror catches up to the full state via snapshot transfer.
+    let final_mirror = spawn_mirror(&db);
+    let snapshot = db.snapshot();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if final_mirror.store.snapshot() == snapshot {
+            break;
+        }
+        assert!(Instant::now() < deadline, "final mirror never converged");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    final_mirror.shutdown.store(true, Ordering::Release);
+    let _ = final_mirror.thread.join();
+}
