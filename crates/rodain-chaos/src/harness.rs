@@ -1,0 +1,639 @@
+//! The chaos harness: a real primary/mirror engine pair driven through a
+//! [`FaultPlan`] by a single-threaded increment workload, with durability
+//! invariants checked at quiescence.
+//!
+//! Determinism: the driver is single-threaded, every injector is either
+//! exact (sever, crash, one-shot disk faults) or a pure function of the
+//! frame sequence (jitter), and verdict/trace lines never contain
+//! wall-clock data — so the same plan over the same config produces a
+//! byte-identical [`ChaosVerdict::render`].
+
+use crate::invariants::Ledger;
+use crate::plan::{FaultEvent, FaultPlan};
+use rodain_db::{MirrorLossPolicy, ReplicationMode, Rodain, TxnOptions};
+use rodain_log::{DiskFaultControl, FaultyStorage, LogStorage, LogStorageConfig};
+use rodain_net::{InProcTransport, LinkControl, LossyLink};
+use rodain_node::{MirrorConfig, MirrorExit, MirrorNode, NodeRole, RoleEvent, RoleMachine};
+use rodain_store::{ObjectId, Store, Value};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Degraded mode the primary falls back to when its mirror dies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FallbackPolicy {
+    /// Keep serving without durability (the paper's measured fast path).
+    Volatile,
+    /// Switch to synchronous group-commit disk logging.
+    Contingency,
+}
+
+/// Harness knobs.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Objects in the increment workload (round-robin targets).
+    pub objects: u64,
+    /// Commit attempts to drive.
+    pub commits: u64,
+    /// Engine worker threads (the driver itself is single-threaded).
+    pub workers: usize,
+    /// Engine commit-gate timeout; kept short so blackholed or corrupted
+    /// commit records fail over quickly.
+    pub commit_gate_timeout: Duration,
+    /// Degraded-mode policy wired into every mirror attachment.
+    pub fallback: FallbackPolicy,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            objects: 8,
+            commits: 48,
+            workers: 2,
+            commit_gate_timeout: Duration::from_millis(300),
+            fallback: FallbackPolicy::Contingency,
+        }
+    }
+}
+
+/// Outcome of one harness run.
+#[derive(Clone, Debug)]
+pub struct ChaosVerdict {
+    /// Deterministic per-commit / per-event log of the run.
+    pub trace: Vec<String>,
+    /// Invariant violations (empty on a passing run).
+    pub violations: Vec<String>,
+    /// Commits the engine acknowledged.
+    pub acked: u64,
+    /// Commits the driver attempted.
+    pub attempts: u64,
+    /// Replication mode observed at quiescence.
+    pub final_mode: ReplicationMode,
+}
+
+impl ChaosVerdict {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Stable textual form (no wall-clock data): byte-identical across
+    /// runs of the same plan and config.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.trace {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if self.violations.is_empty() {
+            out.push_str("violations: none\n");
+        } else {
+            for violation in &self.violations {
+                out.push_str("VIOLATION: ");
+                out.push_str(violation);
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "acked {}/{} attempts, final mode {:?}\n",
+            self.acked, self.attempts, self.final_mode
+        ));
+        out
+    }
+}
+
+/// Which parts of the pair are alive, from the harness's (ground-truth)
+/// point of view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Topology {
+    Pair,
+    MirrorDown,
+    Promoted,
+}
+
+struct MirrorHandle {
+    store: Arc<Store>,
+    shutdown: Arc<AtomicBool>,
+    control: LinkControl,
+    thread: std::thread::JoinHandle<(MirrorExit, rodain_node::MirrorReport)>,
+}
+
+/// Runs workloads against an engine pair under a fault plan.
+pub struct ChaosHarness {
+    config: ChaosConfig,
+}
+
+impl ChaosHarness {
+    /// A harness with the given knobs.
+    #[must_use]
+    pub fn new(config: ChaosConfig) -> ChaosHarness {
+        ChaosHarness { config }
+    }
+
+    /// Execute `plan`: build a primary+mirror pair, drive the increment
+    /// workload, injecting each planned fault immediately before its
+    /// commit offset, then quiesce and check every invariant.
+    #[must_use]
+    pub fn run(&self, plan: &FaultPlan) -> ChaosVerdict {
+        Runner::new(self.config.clone()).run(plan)
+    }
+}
+
+struct Runner {
+    config: ChaosConfig,
+    scratch: PathBuf,
+    db: Option<Rodain>,
+    mirror: Option<MirrorHandle>,
+    disk_ctl: Option<DiskFaultControl>,
+    serving: RoleMachine,
+    standby: RoleMachine,
+    topology: Topology,
+    /// False once a fault that can silently lose frames was injected on
+    /// the current link; suppresses the replica-equality check.
+    link_clean: bool,
+    /// True once an injected fault leaves the final mode timing-dependent
+    /// (scripted corruption); suppresses the mode check.
+    mode_flexible: bool,
+    ledger: Ledger,
+    trace: Vec<String>,
+    violations: Vec<String>,
+    dir_seq: u64,
+}
+
+impl Runner {
+    fn new(config: ChaosConfig) -> Runner {
+        let scratch = std::env::temp_dir().join(format!(
+            "rodain-chaos-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&scratch);
+        std::fs::create_dir_all(&scratch).expect("create chaos scratch dir");
+        let ledger = Ledger::new(config.objects);
+        Runner {
+            config,
+            scratch,
+            db: None,
+            mirror: None,
+            disk_ctl: None,
+            serving: RoleMachine::new(NodeRole::Primary),
+            standby: RoleMachine::new(NodeRole::Mirror),
+            topology: Topology::Pair,
+            link_clean: true,
+            mode_flexible: false,
+            ledger,
+            trace: Vec::new(),
+            violations: Vec::new(),
+            dir_seq: 0,
+        }
+    }
+
+    fn run(mut self, plan: &FaultPlan) -> ChaosVerdict {
+        self.trace.push(format!(
+            "run: {} commits over {} objects, {} planned faults (seed {})",
+            self.config.commits,
+            self.config.objects,
+            plan.events.len(),
+            plan.seed
+        ));
+        self.start_pair();
+        let mut next = 0usize;
+        for k in 1..=self.config.commits {
+            while next < plan.events.len() && plan.events[next].at_commit <= k {
+                let event = plan.events[next].event;
+                self.trace.push(format!("commit {k}: inject {event}"));
+                self.apply_event(event);
+                self.check_roles(&format!("after {event}"));
+                next += 1;
+            }
+            self.attempt_commit(k);
+        }
+        while next < plan.events.len() {
+            self.trace.push(format!(
+                "skipped {} (scheduled past the workload end)",
+                plan.events[next].event
+            ));
+            next += 1;
+        }
+        self.quiesce();
+        self.finish()
+    }
+
+    // ----- pair lifecycle -------------------------------------------------
+
+    fn start_pair(&mut self) {
+        let db = Rodain::builder()
+            .workers(self.config.workers)
+            .commit_gate_timeout(self.config.commit_gate_timeout)
+            .build()
+            .expect("build primary engine");
+        for i in 0..self.config.objects {
+            db.load_initial(ObjectId(i), Value::Int(0));
+        }
+        self.db = Some(db);
+        self.attach_fresh_mirror();
+    }
+
+    fn mirror_node_config() -> MirrorConfig {
+        MirrorConfig {
+            poll_interval: Duration::from_millis(1),
+            heartbeat_interval: Duration::from_millis(10),
+            peer_timeout: Duration::from_millis(100),
+            suspect_rounds: 3,
+            snapshot_dir: None,
+        }
+    }
+
+    fn fresh_policy(&mut self) -> MirrorLossPolicy {
+        match self.config.fallback {
+            FallbackPolicy::Volatile => MirrorLossPolicy::ContinueVolatile,
+            FallbackPolicy::Contingency => {
+                self.dir_seq += 1;
+                MirrorLossPolicy::Contingency {
+                    dir: self.scratch.join(format!("fallback-{}", self.dir_seq)),
+                }
+            }
+        }
+    }
+
+    /// Spawn a fresh mirror over a new lossy in-process link and attach it
+    /// to the current serving engine (snapshot transfer + live stream).
+    fn attach_fresh_mirror(&mut self) {
+        let (primary_side, mirror_side) = InProcTransport::pair();
+        let (lossy, control) = LossyLink::new(primary_side);
+        let store = Arc::new(Store::new());
+        let mut mirror = MirrorNode::new(
+            store.clone(),
+            Arc::new(mirror_side),
+            None,
+            Self::mirror_node_config(),
+        );
+        let shutdown = mirror.shutdown_handle();
+        let thread = std::thread::spawn(move || {
+            mirror.join().expect("mirror join handshake");
+            mirror.run()
+        });
+        let policy = self.fresh_policy();
+        self.db
+            .as_ref()
+            .expect("serving engine")
+            .attach_mirror(Arc::new(lossy), policy)
+            .expect("attach mirror");
+        self.mirror = Some(MirrorHandle {
+            store,
+            shutdown,
+            control,
+            thread,
+        });
+        self.disk_ctl = None; // attach replaced any contingency replicator
+        self.topology = Topology::Pair;
+        self.link_clean = true;
+    }
+
+    /// Promote `store` (the dead primary's mirror copy) into a serving
+    /// engine running Contingency mode over a fault-injectable disk log.
+    fn promote(&mut self, store: Arc<Store>) {
+        self.dir_seq += 1;
+        let dir = self.scratch.join(format!("promoted-{}", self.dir_seq));
+        let storage =
+            LogStorage::open(LogStorageConfig::new(&dir)).expect("open promoted contingency log");
+        let (faulty, disk_ctl) = FaultyStorage::new(storage);
+        let db = Rodain::builder()
+            .workers(self.config.workers)
+            .store(store)
+            .contingency_storage(faulty)
+            .commit_gate_timeout(self.config.commit_gate_timeout)
+            .build()
+            .expect("promote mirror store");
+        self.disk_ctl = Some(disk_ctl);
+        self.db = Some(db);
+        self.topology = Topology::Promoted;
+    }
+
+    // ----- role bookkeeping ----------------------------------------------
+
+    fn apply_role(&mut self, on_serving: bool, event: RoleEvent) {
+        let machine = if on_serving {
+            &mut self.serving
+        } else {
+            &mut self.standby
+        };
+        if let Err(e) = machine.apply(event) {
+            self.violations.push(format!("role machine rejected: {e}"));
+        }
+    }
+
+    fn role_mirror_died(&mut self) {
+        self.apply_role(true, RoleEvent::PeerFailed);
+        self.apply_role(false, RoleEvent::LocalFailure);
+    }
+
+    fn role_primary_died(&mut self) {
+        self.apply_role(false, RoleEvent::PeerFailed); // standby promotes
+        self.apply_role(true, RoleEvent::LocalFailure);
+        std::mem::swap(&mut self.serving, &mut self.standby);
+    }
+
+    fn role_rejoined(&mut self) {
+        self.apply_role(false, RoleEvent::RecoveryComplete);
+        self.apply_role(true, RoleEvent::PeerJoined);
+    }
+
+    /// Split-brain freedom: exactly the serving node serves.
+    fn check_roles(&mut self, when: &str) {
+        if !self.serving.serves_transactions() || self.standby.serves_transactions() {
+            self.violations.push(format!(
+                "{when}: roles broke single-writer (serving={}, standby={})",
+                self.serving.role(),
+                self.standby.role()
+            ));
+        }
+    }
+
+    // ----- fault application ---------------------------------------------
+
+    fn apply_event(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::Delay { base_us, jitter_us } => {
+                if let Some(m) = &self.mirror {
+                    m.control.set_delay(
+                        Duration::from_micros(base_us),
+                        Duration::from_micros(jitter_us),
+                    );
+                }
+            }
+            FaultEvent::DuplicateOneIn { n } => {
+                if let Some(m) = &self.mirror {
+                    m.control.set_duplicate_one_in(n);
+                }
+            }
+            FaultEvent::CorruptNextFrame => {
+                if let Some(m) = &self.mirror {
+                    m.control.corrupt_next();
+                    // Whether the corrupted frame is a commit record or an
+                    // interleaved heartbeat races with wall-clock timing;
+                    // the link and final mode are no longer predictable.
+                    self.link_clean = false;
+                    self.mode_flexible = true;
+                }
+            }
+            FaultEvent::HealLink => {
+                if let Some(m) = &self.mirror {
+                    m.control.heal();
+                }
+            }
+            FaultEvent::SeverLink => {
+                let Some(m) = self.mirror.take() else {
+                    self.trace.push("  (no mirror to sever)".into());
+                    return;
+                };
+                m.control.sever();
+                let (exit, _report) = m.thread.join().expect("mirror thread");
+                if exit != MirrorExit::PrimaryFailed {
+                    self.violations
+                        .push(format!("severed mirror exited as {exit:?}"));
+                }
+                self.role_mirror_died();
+                self.topology = Topology::MirrorDown;
+            }
+            FaultEvent::CrashMirror => {
+                let Some(m) = self.mirror.take() else {
+                    self.trace.push("  (no mirror to crash)".into());
+                    return;
+                };
+                m.shutdown.store(true, Ordering::Release);
+                let _ = m.thread.join().expect("mirror thread");
+                // The dead peer must also stop answering the link.
+                m.control.sever();
+                self.role_mirror_died();
+                self.topology = Topology::MirrorDown;
+            }
+            FaultEvent::CrashPrimary => {
+                let Some(m) = self.mirror.take() else {
+                    self.trace.push("  (no mirror to promote)".into());
+                    return;
+                };
+                // Dropping the engine closes the mirror link; the mirror
+                // observes the disconnect and exits ready for promotion.
+                drop(self.db.take());
+                let (exit, _report) = m.thread.join().expect("mirror thread");
+                if exit != MirrorExit::PrimaryFailed {
+                    self.violations
+                        .push(format!("mirror exited as {exit:?} after primary crash"));
+                }
+                self.role_primary_died();
+                self.promote(m.store);
+            }
+            FaultEvent::PartitionUntilFailover => {
+                let Some(m) = self.mirror.take() else {
+                    self.trace.push("  (no mirror to partition from)".into());
+                    return;
+                };
+                // Starve the mirror's watchdog: frames vanish silently
+                // while the old primary still believes it is connected.
+                m.control.set_blackhole(true);
+                let (exit, _report) = m.thread.join().expect("mirror thread");
+                if exit != MirrorExit::PrimaryFailed {
+                    self.violations
+                        .push(format!("partitioned mirror exited as {exit:?}"));
+                }
+                // The old primary lost the partition: it is failed.
+                drop(self.db.take());
+                self.role_primary_died();
+                self.promote(m.store);
+            }
+            FaultEvent::RejoinMirror => {
+                if self.mirror.is_some() {
+                    self.trace.push("  (mirror already attached)".into());
+                    return;
+                }
+                self.attach_fresh_mirror();
+                self.role_rejoined();
+            }
+            FaultEvent::DiskFailFlush => match &self.disk_ctl {
+                Some(ctl) => ctl.fail_next_flushes(1),
+                None => self.trace.push("  (no fault-injectable disk)".into()),
+            },
+            FaultEvent::DiskFailAppend => match &self.disk_ctl {
+                Some(ctl) => ctl.fail_next_appends(1),
+                None => self.trace.push("  (no fault-injectable disk)".into()),
+            },
+        }
+    }
+
+    // ----- workload -------------------------------------------------------
+
+    fn attempt_commit(&mut self, k: u64) {
+        let oid = ObjectId((k - 1) % self.config.objects);
+        self.ledger.record_attempt(oid.0);
+        let db = self.db.as_ref().expect("serving engine");
+        let result = db.execute(TxnOptions::soft_ms(30_000), move |ctx| {
+            let v = ctx.read(oid)?.expect("workload object exists");
+            let v = v.as_int().expect("workload object is an integer");
+            ctx.write(oid, Value::Int(v + 1))?;
+            Ok(None)
+        });
+        match result {
+            Ok(_) => {
+                self.ledger.record_ack(oid.0);
+                self.trace.push(format!("commit {k}: acked (object {})", oid.0));
+            }
+            Err(e) => {
+                self.trace
+                    .push(format!("commit {k}: failed on object {} ({e})", oid.0));
+            }
+        }
+    }
+
+    // ----- quiescence checks ----------------------------------------------
+
+    fn expected_mode(&self) -> ReplicationMode {
+        match self.topology {
+            Topology::Pair => ReplicationMode::Mirrored,
+            Topology::Promoted => ReplicationMode::Contingency,
+            Topology::MirrorDown => match self.config.fallback {
+                FallbackPolicy::Contingency => ReplicationMode::Contingency,
+                FallbackPolicy::Volatile => ReplicationMode::Volatile,
+            },
+        }
+    }
+
+    fn quiesce(&mut self) {
+        let db = self.db.as_ref().expect("serving engine");
+
+        // 5: the mode degraded exactly as the plan dictated. The last
+        // transition can lag the event by one ack-reader poll, so allow a
+        // bounded settle.
+        if !self.mode_flexible {
+            let expected = self.expected_mode();
+            let deadline = Instant::now() + Duration::from_secs(2);
+            loop {
+                let mode = db.replication_mode();
+                if mode == expected {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    self.violations.push(format!(
+                        "mode at quiescence: expected {expected:?}, observed {mode:?}"
+                    ));
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+
+        // 3: with a live mirror over a clean link, the copy converges to
+        // an identical database (values AND version metadata).
+        if self.topology == Topology::Pair && self.link_clean {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let converged = loop {
+                if self
+                    .mirror
+                    .as_ref()
+                    .is_some_and(|m| m.store.snapshot() == db.snapshot())
+                {
+                    break true;
+                }
+                if Instant::now() >= deadline {
+                    break false;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            };
+            if converged {
+                self.trace.push("quiesce: mirror converged".into());
+            } else {
+                self.violations
+                    .push("mirror diverged from primary at quiescence".into());
+            }
+        }
+
+        // 1 + 2: no acked commit lost, no phantom updates.
+        let serving_store = db.store();
+        let mut ledger_violations = self.ledger.check_store(&serving_store, "serving store");
+        self.violations.append(&mut ledger_violations);
+
+        // 4: single-writer still holds at the end.
+        self.check_roles("at quiescence");
+
+        self.trace.push(format!(
+            "quiesce: acked {}/{}",
+            self.ledger.acked_total(),
+            self.ledger.attempts_total()
+        ));
+    }
+
+    fn finish(mut self) -> ChaosVerdict {
+        let final_mode = self
+            .db
+            .as_ref()
+            .map_or(ReplicationMode::Volatile, Rodain::replication_mode);
+        if let Some(m) = self.mirror.take() {
+            m.shutdown.store(true, Ordering::Release);
+            let _ = m.thread.join();
+        }
+        drop(self.db.take());
+        let _ = std::fs::remove_dir_all(&self.scratch);
+        ChaosVerdict {
+            trace: self.trace,
+            violations: self.violations,
+            acked: self.ledger.acked_total(),
+            attempts: self.ledger.attempts_total(),
+            final_mode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlannedFault;
+
+    fn small_config() -> ChaosConfig {
+        ChaosConfig {
+            objects: 4,
+            commits: 12,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn faultless_run_converges_and_acks_everything() {
+        let plan = FaultPlan::script(Vec::new());
+        let verdict = ChaosHarness::new(small_config()).run(&plan);
+        assert!(verdict.passed(), "{}", verdict.render());
+        assert_eq!(verdict.acked, 12);
+        assert_eq!(verdict.attempts, 12);
+        assert_eq!(verdict.final_mode, ReplicationMode::Mirrored);
+        assert!(verdict.render().contains("mirror converged"));
+    }
+
+    #[test]
+    fn mirror_crash_degrades_but_keeps_acking() {
+        let plan = FaultPlan::script(vec![PlannedFault {
+            at_commit: 5,
+            event: FaultEvent::CrashMirror,
+        }]);
+        let verdict = ChaosHarness::new(small_config()).run(&plan);
+        assert!(verdict.passed(), "{}", verdict.render());
+        assert_eq!(verdict.acked, 12, "degraded path must keep committing");
+        assert_eq!(verdict.final_mode, ReplicationMode::Contingency);
+    }
+
+    #[test]
+    fn volatile_fallback_reports_volatile_mode() {
+        let plan = FaultPlan::script(vec![PlannedFault {
+            at_commit: 4,
+            event: FaultEvent::SeverLink,
+        }]);
+        let config = ChaosConfig {
+            fallback: FallbackPolicy::Volatile,
+            ..small_config()
+        };
+        let verdict = ChaosHarness::new(config).run(&plan);
+        assert!(verdict.passed(), "{}", verdict.render());
+        assert_eq!(verdict.final_mode, ReplicationMode::Volatile);
+    }
+}

@@ -1,0 +1,149 @@
+//! Durability invariant checking.
+//!
+//! The harness workload is a stream of single-object increments, which
+//! makes the durability argument a counting argument. For every object:
+//!
+//! * `acked` — increments whose commit the engine *acknowledged* to the
+//!   driver. The availability contract covers exactly these.
+//! * `attempts` — increments the driver submitted, acknowledged or not.
+//!
+//! Because the engine installs after-images at validation (before the
+//! durability gate), a commit that *failed* its gate may still be visible
+//! in the store — so the check is one-sided on both ends: the stored
+//! counter must be at least every acknowledged increment (no acked commit
+//! lost) and at most every attempted one (no phantom updates).
+
+use rodain_store::{ObjectId, Store, Value};
+
+/// Per-object ledger of attempted and acknowledged increments.
+pub struct Ledger {
+    acked: Vec<u64>,
+    attempts: Vec<u64>,
+}
+
+impl Ledger {
+    /// A ledger over objects `0..objects`, all counters zero.
+    #[must_use]
+    pub fn new(objects: u64) -> Ledger {
+        Ledger {
+            acked: vec![0; objects as usize],
+            attempts: vec![0; objects as usize],
+        }
+    }
+
+    /// Record that an increment of object `slot` was submitted.
+    pub fn record_attempt(&mut self, slot: u64) {
+        self.attempts[slot as usize] += 1;
+    }
+
+    /// Record that the engine acknowledged the commit of an increment of
+    /// object `slot`.
+    pub fn record_ack(&mut self, slot: u64) {
+        self.acked[slot as usize] += 1;
+    }
+
+    /// Total acknowledged commits.
+    #[must_use]
+    pub fn acked_total(&self) -> u64 {
+        self.acked.iter().sum()
+    }
+
+    /// Total submitted commits.
+    #[must_use]
+    pub fn attempts_total(&self) -> u64 {
+        self.attempts.iter().sum()
+    }
+
+    /// Check the durability invariants against `store` (the serving
+    /// node's database at quiescence). Returns one message per violation;
+    /// empty means the store is consistent with the ledger.
+    #[must_use]
+    pub fn check_store(&self, store: &Store, label: &str) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (i, (&acked, &attempts)) in self.acked.iter().zip(&self.attempts).enumerate() {
+            let value = match store.read(ObjectId(i as u64)) {
+                Some((Value::Int(v), _)) => v,
+                Some((other, _)) => {
+                    violations.push(format!(
+                        "{label}: object {i} holds non-integer value {other:?}"
+                    ));
+                    continue;
+                }
+                None => {
+                    violations.push(format!("{label}: object {i} missing from the store"));
+                    continue;
+                }
+            };
+            if value < 0 || (value as u64) < acked {
+                violations.push(format!(
+                    "{label}: object {i} lost acked commits (stored {value}, acked {acked})"
+                ));
+            }
+            if value > 0 && value as u64 > attempts {
+                violations.push(format!(
+                    "{label}: object {i} has phantom updates (stored {value}, attempted {attempts})"
+                ));
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(values: &[i64]) -> Store {
+        let store = Store::new();
+        for (i, &v) in values.iter().enumerate() {
+            store.load_initial(ObjectId(i as u64), Value::Int(v));
+        }
+        store
+    }
+
+    #[test]
+    fn consistent_store_passes() {
+        let mut ledger = Ledger::new(2);
+        for _ in 0..3 {
+            ledger.record_attempt(0);
+            ledger.record_ack(0);
+        }
+        ledger.record_attempt(1); // unacked attempt may or may not land
+        let store = store_with(&[3, 1]);
+        assert!(ledger.check_store(&store, "t").is_empty());
+        let store = store_with(&[3, 0]);
+        assert!(ledger.check_store(&store, "t").is_empty());
+        assert_eq!(ledger.acked_total(), 3);
+        assert_eq!(ledger.attempts_total(), 4);
+    }
+
+    #[test]
+    fn lost_ack_is_reported() {
+        let mut ledger = Ledger::new(1);
+        ledger.record_attempt(0);
+        ledger.record_ack(0);
+        let store = store_with(&[0]);
+        let violations = ledger.check_store(&store, "t");
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("lost acked commits"));
+    }
+
+    #[test]
+    fn phantom_update_is_reported() {
+        let mut ledger = Ledger::new(1);
+        ledger.record_attempt(0);
+        let store = store_with(&[2]);
+        let violations = ledger.check_store(&store, "t");
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("phantom"));
+    }
+
+    #[test]
+    fn missing_object_is_reported() {
+        let ledger = Ledger::new(2);
+        let store = store_with(&[0]); // object 1 absent
+        let violations = ledger.check_store(&store, "t");
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("missing"));
+    }
+}

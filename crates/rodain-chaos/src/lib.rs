@@ -1,0 +1,45 @@
+//! # rodain-chaos — deterministic fault-injection harness
+//!
+//! The paper's availability claim rests on the primary/mirror pair
+//! surviving single failures without losing acknowledged commits. This
+//! crate turns that claim into a checkable property: it drives a real
+//! engine pair through a **reproducible schedule of faults** spanning all
+//! three failure layers and verifies the durability invariants afterwards.
+//!
+//! * **Network** — via [`rodain_net::LossyLink`]: sever, blackhole
+//!   partitions, latency with deterministic per-frame jitter, frame
+//!   duplication and single-byte corruption.
+//! * **Disk** — via [`rodain_log::FaultyStorage`]: transient append/fsync
+//!   failures injected into the serving node's contingency log.
+//! * **Node** — scripted crash/restart of the primary or mirror at commit
+//!   offsets, exercising promotion ([`rodain_node::RoleMachine`]) and
+//!   rejoin-by-snapshot.
+//!
+//! A [`FaultPlan`] is either scripted explicitly or generated from a seed
+//! ([`FaultPlan::generate`]); the same seed always yields the same
+//! schedule and — because every injector is deterministic and the
+//! workload driver is single-threaded — the same [`ChaosVerdict`]. Failing
+//! runs are reproduced with `CHAOS_SEED=<seed> cargo test -p rodain-chaos`.
+//!
+//! Invariants checked at quiescence (see [`invariants::Ledger`]):
+//!
+//! 1. **No acknowledged commit is lost**: every acked increment is visible
+//!    in the serving node's store.
+//! 2. **No phantom updates**: the store never exceeds the attempted work.
+//! 3. **Replica convergence**: with a live mirror and a clean link, the
+//!    mirror's copy equals the primary's snapshot byte for byte.
+//! 4. **Exactly one node serves** at any role transition (split-brain
+//!    freedom under the paper's crash-stop model).
+//! 5. **Mode degradation matches the injected faults**: Mirrored →
+//!    Contingency/Volatile exactly when the plan kills the mirror.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod invariants;
+pub mod plan;
+
+pub use harness::{ChaosConfig, ChaosHarness, ChaosVerdict, FallbackPolicy};
+pub use invariants::Ledger;
+pub use plan::{FaultEvent, FaultPlan, PlannedFault};

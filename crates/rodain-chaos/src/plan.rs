@@ -1,0 +1,303 @@
+//! Fault plans: reproducible schedules of fault events keyed to commit
+//! offsets.
+//!
+//! A plan is data, not behaviour: rendering one ([`FaultPlan::render`])
+//! yields a stable, byte-for-byte reproducible description, which is what
+//! makes a failing chaos run reportable as "seed N at commit K".
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// One fault to inject into the running pair.
+///
+/// Events name *intents*; the harness maps them onto the concrete
+/// injectors ([`rodain_net::LinkControl`], [`rodain_log::DiskFaultControl`]
+/// and node lifecycle control).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultEvent {
+    /// Permanently sever the primary→mirror link (cable cut). The mirror
+    /// is lost; the primary degrades to its loss policy.
+    SeverLink,
+    /// Blackhole the link until the mirror's watchdog declares the primary
+    /// dead and promotes. The old primary is on the losing side of the
+    /// partition and is treated as failed.
+    PartitionUntilFailover,
+    /// Crash the primary outright; the mirror observes the disconnect and
+    /// promotes.
+    CrashPrimary,
+    /// Crash the mirror; the primary degrades to its loss policy.
+    CrashMirror,
+    /// The failed node has recovered and rejoins as a fresh mirror via
+    /// snapshot transfer (the paper's rejoin discipline).
+    RejoinMirror,
+    /// Add latency to every shipped frame.
+    Delay {
+        /// Base latency, microseconds, added to every frame.
+        base_us: u64,
+        /// Upper bound of the extra per-frame jitter, microseconds; the
+        /// actual amount is a deterministic function of the frame number.
+        jitter_us: u64,
+    },
+    /// Ship every n-th frame twice (the reorder buffer must ignore the
+    /// replay).
+    DuplicateOneIn {
+        /// Duplication period; every n-th frame is doubled.
+        n: u64,
+    },
+    /// Flip one byte in the next outbound frame. Scripted plans only:
+    /// [`FaultPlan::generate`] never emits it, because whether it hits a
+    /// commit record or an interleaved heartbeat races with wall-clock
+    /// timing and would break run-level reproducibility.
+    CorruptNextFrame,
+    /// Clear latency/duplication/corruption settings on the link.
+    HealLink,
+    /// Fail the next fsync of the serving node's contingency log
+    /// (meaningful after a promotion; that commit must NOT be
+    /// acknowledged).
+    DiskFailFlush,
+    /// Fail the next append of the serving node's contingency log with a
+    /// transient I/O error.
+    DiskFailAppend,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::SeverLink => write!(f, "sever-link"),
+            FaultEvent::PartitionUntilFailover => write!(f, "partition-until-failover"),
+            FaultEvent::CrashPrimary => write!(f, "crash-primary"),
+            FaultEvent::CrashMirror => write!(f, "crash-mirror"),
+            FaultEvent::RejoinMirror => write!(f, "rejoin-mirror"),
+            FaultEvent::Delay { base_us, jitter_us } => {
+                write!(f, "delay(base={base_us}us, jitter={jitter_us}us)")
+            }
+            FaultEvent::DuplicateOneIn { n } => write!(f, "duplicate-one-in({n})"),
+            FaultEvent::CorruptNextFrame => write!(f, "corrupt-next-frame"),
+            FaultEvent::HealLink => write!(f, "heal-link"),
+            FaultEvent::DiskFailFlush => write!(f, "disk-fail-flush"),
+            FaultEvent::DiskFailAppend => write!(f, "disk-fail-append"),
+        }
+    }
+}
+
+/// A fault scheduled immediately before the `at_commit`-th commit attempt
+/// (1-based) of the harness workload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PlannedFault {
+    /// Workload commit attempt this fault precedes.
+    pub at_commit: u64,
+    /// The fault to inject.
+    pub event: FaultEvent,
+}
+
+/// Topology tracked while *generating* a plan, so random schedules only
+/// ever ask for transitions the pair can actually take (no rejoining a
+/// mirror that is alive, no disk faults while the disk path is idle).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Topology {
+    /// Primary and mirror both live.
+    Pair,
+    /// Mirror dead; the original primary serves degraded.
+    MirrorDown,
+    /// Primary dead; the promoted mirror serves in contingency mode.
+    Promoted,
+}
+
+/// A reproducible fault schedule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from (0 for scripted plans).
+    pub seed: u64,
+    /// The schedule, ordered by [`PlannedFault::at_commit`].
+    pub events: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// An explicit, hand-written schedule (sorted by commit offset; the
+    /// relative order of events sharing an offset is preserved).
+    #[must_use]
+    pub fn script(mut events: Vec<PlannedFault>) -> FaultPlan {
+        events.sort_by_key(|e| e.at_commit);
+        FaultPlan { seed: 0, events }
+    }
+
+    /// Generate a schedule from `seed` for a workload of `total_commits`
+    /// attempts. The same `(seed, total_commits)` always yields the same
+    /// plan, and the events respect the pair's topology: crashes alternate
+    /// with rejoins, and disk faults only target a node actually running
+    /// on its contingency log.
+    #[must_use]
+    pub fn generate(seed: u64, total_commits: u64) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut topology = Topology::Pair;
+        let mut at = 0u64;
+        loop {
+            at += rng.gen_range(3..=12u64);
+            if at >= total_commits {
+                break;
+            }
+            let event = match topology {
+                Topology::Pair => match rng.gen_range(0..7u32) {
+                    0 => FaultEvent::Delay {
+                        base_us: rng.gen_range(50..=500),
+                        jitter_us: rng.gen_range(0..=200),
+                    },
+                    1 => FaultEvent::DuplicateOneIn {
+                        n: rng.gen_range(2..=6),
+                    },
+                    2 => FaultEvent::HealLink,
+                    3 => {
+                        topology = Topology::MirrorDown;
+                        FaultEvent::CrashMirror
+                    }
+                    4 => {
+                        topology = Topology::MirrorDown;
+                        FaultEvent::SeverLink
+                    }
+                    5 => {
+                        topology = Topology::Promoted;
+                        FaultEvent::PartitionUntilFailover
+                    }
+                    _ => {
+                        topology = Topology::Promoted;
+                        FaultEvent::CrashPrimary
+                    }
+                },
+                Topology::MirrorDown => {
+                    topology = Topology::Pair;
+                    FaultEvent::RejoinMirror
+                }
+                Topology::Promoted => match rng.gen_range(0..3u32) {
+                    0 => FaultEvent::DiskFailFlush,
+                    1 => FaultEvent::DiskFailAppend,
+                    _ => {
+                        topology = Topology::Pair;
+                        FaultEvent::RejoinMirror
+                    }
+                },
+            };
+            events.push(PlannedFault { at_commit: at, event });
+        }
+        FaultPlan { seed, events }
+    }
+
+    /// Stable textual form of the schedule (used by the reproducibility
+    /// check: two renders of the same seed must be byte-identical).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("plan seed={} events={}\n", self.seed, self.events.len());
+        for fault in &self.events {
+            out.push_str(&format!("  commit {:>4}: {}\n", fault.at_commit, fault.event));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::generate(42, 200);
+        let b = FaultPlan::generate(42, 200);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        assert!(!a.events.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        // Not guaranteed for every pair of seeds, but these must differ or
+        // the RNG is not being consulted at all.
+        let a = FaultPlan::generate(1, 500);
+        let b = FaultPlan::generate(2, 500);
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn events_stay_inside_the_workload_and_ordered() {
+        for seed in 0..20u64 {
+            let plan = FaultPlan::generate(seed, 100);
+            let mut last = 0;
+            for fault in &plan.events {
+                assert!(fault.at_commit < 100, "seed {seed}: event past workload");
+                assert!(fault.at_commit >= last, "seed {seed}: unordered plan");
+                last = fault.at_commit;
+            }
+        }
+    }
+
+    #[test]
+    fn generated_plans_respect_topology() {
+        // Replay each plan's implied topology and reject impossible asks.
+        for seed in 0..50u64 {
+            let plan = FaultPlan::generate(seed, 300);
+            let mut mirror_alive = true;
+            let mut promoted = false;
+            for fault in &plan.events {
+                match fault.event {
+                    FaultEvent::CrashMirror | FaultEvent::SeverLink => {
+                        assert!(mirror_alive, "seed {seed}: killed a dead mirror");
+                        mirror_alive = false;
+                    }
+                    FaultEvent::PartitionUntilFailover | FaultEvent::CrashPrimary => {
+                        assert!(mirror_alive, "seed {seed}: promoted a dead mirror");
+                        mirror_alive = false;
+                        promoted = true;
+                    }
+                    FaultEvent::RejoinMirror => {
+                        assert!(!mirror_alive, "seed {seed}: rejoined a live mirror");
+                        mirror_alive = true;
+                        promoted = false;
+                    }
+                    FaultEvent::DiskFailFlush | FaultEvent::DiskFailAppend => {
+                        assert!(promoted, "seed {seed}: disk fault with no sync disk");
+                    }
+                    FaultEvent::CorruptNextFrame => {
+                        panic!("seed {seed}: generator must never emit corruption");
+                    }
+                    FaultEvent::Delay { .. }
+                    | FaultEvent::DuplicateOneIn { .. }
+                    | FaultEvent::HealLink => {
+                        assert!(mirror_alive, "seed {seed}: link knob with no link");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn script_sorts_by_offset() {
+        let plan = FaultPlan::script(vec![
+            PlannedFault {
+                at_commit: 9,
+                event: FaultEvent::RejoinMirror,
+            },
+            PlannedFault {
+                at_commit: 3,
+                event: FaultEvent::CrashMirror,
+            },
+        ]);
+        assert_eq!(plan.events[0].at_commit, 3);
+        assert_eq!(plan.events[1].at_commit, 9);
+        assert_eq!(plan.seed, 0);
+    }
+
+    #[test]
+    fn render_is_stable_text() {
+        let plan = FaultPlan::script(vec![PlannedFault {
+            at_commit: 7,
+            event: FaultEvent::Delay {
+                base_us: 100,
+                jitter_us: 40,
+            },
+        }]);
+        assert_eq!(
+            plan.render(),
+            "plan seed=0 events=1\n  commit    7: delay(base=100us, jitter=40us)\n"
+        );
+    }
+}

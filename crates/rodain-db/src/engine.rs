@@ -60,6 +60,7 @@ struct Engine {
     counters: Counters,
     replicator: RwLock<Replicator>,
     commit_gate: RwLock<()>,
+    commit_gate_timeout: Duration,
     last_csn: AtomicU64,
     builder: RecordBuilder,
     protocol: Protocol,
@@ -79,11 +80,13 @@ pub struct RodainBuilder {
     reservation: ReservationConfig,
     store: Option<Arc<Store>>,
     durability: Durability,
+    commit_gate_timeout: Duration,
 }
 
 enum Durability {
     Volatile,
     Contingency(std::path::PathBuf),
+    ContingencyBackend(Box<dyn rodain_log::StorageBackend>),
     Mirror {
         transport: Arc<dyn Transport>,
         policy: MirrorLossPolicy,
@@ -99,6 +102,7 @@ impl RodainBuilder {
             reservation: ReservationConfig::default(),
             store: None,
             durability: Durability::Volatile,
+            commit_gate_timeout: COMMIT_GATE_TIMEOUT,
         }
     }
 
@@ -146,6 +150,27 @@ impl RodainBuilder {
         self
     }
 
+    /// Single-node Contingency mode over a pre-built storage backend —
+    /// e.g. a fault-injecting [`rodain_log::FaultyStorage`] in chaos tests.
+    #[must_use]
+    pub fn contingency_storage(
+        mut self,
+        storage: impl rodain_log::StorageBackend + 'static,
+    ) -> Self {
+        self.durability = Durability::ContingencyBackend(Box::new(storage));
+        self
+    }
+
+    /// Longest a committed transaction waits for its durability gate
+    /// (mirror acknowledgement or local flush) before the engine declares
+    /// the mirror dead and retries through the degraded path (default
+    /// 10 s). Chaos tests shorten this to keep fault turnaround tight.
+    #[must_use]
+    pub fn commit_gate_timeout(mut self, timeout: Duration) -> Self {
+        self.commit_gate_timeout = timeout.max(Duration::from_millis(1));
+        self
+    }
+
     /// Primary mode: ship logs to a mirror over `transport` (the mirror
     /// must be running [`rodain_node::MirrorNode::join`]), degrading per
     /// `policy` if it dies.
@@ -174,6 +199,7 @@ impl RodainBuilder {
             counters: Counters::default(),
             replicator: RwLock::new(Replicator::Volatile),
             commit_gate: RwLock::new(()),
+            commit_gate_timeout: self.commit_gate_timeout,
             last_csn: AtomicU64::new(0),
             builder: RecordBuilder::new(),
             protocol: self.protocol,
@@ -184,6 +210,9 @@ impl RodainBuilder {
             Durability::Volatile => {}
             Durability::Contingency(dir) => {
                 *engine.replicator.write() = Replicator::contingency(&dir)?;
+            }
+            Durability::ContingencyBackend(backend) => {
+                *engine.replicator.write() = Replicator::contingency_backend(backend);
             }
             Durability::Mirror { transport, policy } => {
                 attach_mirror_inner(&engine, transport, policy)?;
@@ -582,8 +611,15 @@ fn execute_job(engine: &Arc<Engine>, mut job: Job) {
                         let commit_submitted = engine.now_ns();
                         let ticket = engine.replicator.read().ship(csn, records);
                         drop(gate);
-                        let gate_result = ticket
-                            .recv_timeout(COMMIT_GATE_TIMEOUT)
+                        let mut waited = ticket.recv_timeout(engine.commit_gate_timeout);
+                        if waited.is_err() && engine.replicator.read().note_gate_timeout() {
+                            // The mirror went silent (e.g. it rejected a
+                            // corrupted frame and never acked). Mark-down
+                            // resolved every pending ticket through the
+                            // degraded path; re-await this one.
+                            waited = ticket.recv_timeout(engine.commit_gate_timeout);
+                        }
+                        let gate_result = waited
                             .unwrap_or(Err(TxnError::Replication("commit gate timeout".into())));
                         match gate_result {
                             Ok(()) => {

@@ -2,16 +2,46 @@
 
 use crate::error::TxnError;
 use crate::options::MirrorLossPolicy;
+use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
-use rodain_log::{GroupCommitLog, LogRecord, LogStorage, LogStorageConfig};
-use rodain_net::Transport;
+use rodain_log::{GroupCommitLog, LogRecord, LogStorage, LogStorageConfig, StorageBackend};
+use rodain_net::{NetError, Transport};
 use rodain_node::Message;
 use rodain_occ::Csn;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Attempts for one frame before the link is declared dead. Only
+/// [`NetError::Io`] is retried — `Disconnected` is permanent under the
+/// crash-stop transport contract.
+const SEND_ATTEMPTS: u32 = 3;
+
+/// Initial backoff between send retries (doubles per attempt).
+const SEND_BACKOFF: Duration = Duration::from_micros(100);
+
+/// Send `frame`, retrying transient I/O errors with exponential backoff.
+fn send_with_retry(transport: &dyn Transport, frame: Bytes) -> Result<(), NetError> {
+    let mut backoff = SEND_BACKOFF;
+    let mut attempt = 1;
+    loop {
+        match transport.send(frame.clone()) {
+            Ok(()) => return Ok(()),
+            // Crash-stop: the peer is gone for good; retrying is useless.
+            Err(NetError::Disconnected) => return Err(NetError::Disconnected),
+            Err(err @ NetError::Io(_)) => {
+                if attempt >= SEND_ATTEMPTS {
+                    return Err(err);
+                }
+                attempt += 1;
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+        }
+    }
+}
 
 /// The engine's current durability/replication mode (observable status).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +74,28 @@ impl Replicator {
     pub(crate) fn contingency(dir: &std::path::Path) -> std::io::Result<Replicator> {
         let storage = LogStorage::open(LogStorageConfig::new(dir))?;
         Ok(Replicator::Contingency(GroupCommitLog::spawn(storage, 64)))
+    }
+
+    /// Contingency mode over a pre-built storage backend (the chaos harness
+    /// injects a fault-wrapping backend here).
+    pub(crate) fn contingency_backend(backend: Box<dyn StorageBackend>) -> Replicator {
+        Replicator::Contingency(GroupCommitLog::spawn_dyn(backend, 64))
+    }
+
+    /// A commit ticket timed out. In mirrored mode with the link still
+    /// nominally up, declare the mirror dead: close the transport (so the
+    /// peer's watchdog fires promptly) and fail every pending commit over
+    /// to the fallback — the caller then re-awaits its ticket, which
+    /// resolves through the degraded path. Returns whether a failover was
+    /// actually triggered.
+    pub(crate) fn note_gate_timeout(&self) -> bool {
+        match self {
+            Replicator::Mirrored(link) if !link.is_down() => {
+                link.mark_down();
+                true
+            }
+            _ => false,
+        }
     }
 
     pub(crate) fn mode(&self) -> ReplicationMode {
@@ -80,7 +132,10 @@ impl Replicator {
             }
             Replicator::Mirrored(link) => {
                 if !link.is_down() {
-                    let _ = link.transport.send(Message::Records(vec![record]).encode());
+                    let _ = send_with_retry(
+                        link.transport.as_ref(),
+                        Message::Records(vec![record]).encode(),
+                    );
                 } else if let Some(group) = &link.fallback {
                     let _ = group.append_async(vec![record]);
                 }
@@ -111,6 +166,28 @@ impl Replicator {
 struct PendingCommit {
     records: Vec<LogRecord>,
     done: Sender<Result<(), TxnError>>,
+}
+
+/// Resolve every pending commit through the fallback (or as plain volatile
+/// success when there is none). Shared between the ack-reader's error path
+/// and [`MirrorLink::mark_down`].
+fn drain_pending(
+    pending: &Mutex<HashMap<u64, PendingCommit>>,
+    fallback: Option<&Arc<GroupCommitLog>>,
+) {
+    let drained: Vec<PendingCommit> = {
+        let mut map = pending.lock();
+        map.drain().map(|(_, p)| p).collect()
+    };
+    for p in drained {
+        let result = match fallback {
+            Some(group) => group
+                .commit_sync(p.records)
+                .map_err(|e| TxnError::Replication(e.to_string())),
+            None => Ok(()),
+        };
+        let _ = p.done.send(result);
+    }
 }
 
 /// The primary's side of the log-shipping protocol.
@@ -175,19 +252,7 @@ impl MirrorLink {
                         Err(_) => {
                             // Mirror is gone: degrade.
                             thread_down.store(true, Ordering::Release);
-                            let drained: Vec<PendingCommit> = {
-                                let mut map = thread_pending.lock();
-                                map.drain().map(|(_, p)| p).collect()
-                            };
-                            for p in drained {
-                                let result = match &thread_fallback {
-                                    Some(group) => group
-                                        .commit_sync(p.records)
-                                        .map_err(|e| TxnError::Replication(e.to_string())),
-                                    None => Ok(()),
-                                };
-                                let _ = p.done.send(result);
-                            }
+                            drain_pending(&thread_pending, thread_fallback.as_ref());
                             return;
                         }
                     }
@@ -214,6 +279,18 @@ impl MirrorLink {
 
     pub(crate) fn is_down(&self) -> bool {
         self.down.load(Ordering::Acquire)
+    }
+
+    /// Declare the mirror dead: fail every pending commit over to the
+    /// fallback and close the transport so the peer (if it is actually
+    /// alive, e.g. it stopped acking because a corrupted frame was
+    /// rejected) observes the disconnect and exits. Idempotent.
+    pub(crate) fn mark_down(&self) {
+        if self.down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.transport.close();
+        drain_pending(&self.pending, self.fallback.as_ref());
     }
 
     /// Commit acknowledgements received.
@@ -247,15 +324,17 @@ impl MirrorLink {
                 },
             );
         }
-        if self
-            .transport
-            .send(Message::Records(records.clone()).encode())
-            .is_err()
+        if send_with_retry(
+            self.transport.as_ref(),
+            Message::Records(records.clone()).encode(),
+        )
+        .is_err()
         {
-            // Send failed: degrade immediately; the ack thread will drain
-            // the rest, but resolve this one here.
-            self.down.store(true, Ordering::Release);
+            // Send failed even after retries: pull this commit back out and
+            // resolve it through the degraded path, then fail the link over
+            // (mark_down drains whatever else was in flight).
             self.pending.lock().remove(&csn.0);
+            self.mark_down();
             return self.ship_degraded(records);
         }
         rx

@@ -1,0 +1,338 @@
+//! Disk fault injection for chaos testing.
+//!
+//! [`FaultyStorage`] wraps a [`LogStorage`] behind the [`StorageBackend`]
+//! trait and injects the classic disk failure modes on command: transient
+//! EIO on append, a full disk, fsync failures, and torn writes (a crash in
+//! the middle of an append that leaves a truncated final frame on the
+//! platter — exactly the case [`crate::storage::RecordIter`]'s torn-tail
+//! tolerance exists for).
+
+use crate::record::LogRecord;
+use crate::storage::{LogStorage, RecordIter, StorageBackend, StorageStats};
+use rodain_occ::Csn;
+use std::fs::OpenOptions;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bytes chopped off the current segment by a simulated torn write — enough
+/// to damage the final frame's CRC without touching earlier frames.
+const TORN_WRITE_BYTES: u64 = 3;
+
+#[derive(Debug, Default)]
+struct FaultState {
+    fail_appends: AtomicU64,
+    fail_flushes: AtomicU64,
+    full_disk: AtomicBool,
+    torn_append: AtomicBool,
+    poisoned: AtomicBool,
+    injected: AtomicU64,
+}
+
+/// Shared control handle for a [`FaultyStorage`] (clone it into test code
+/// to arm faults while the log writer is running).
+#[derive(Clone, Debug, Default)]
+pub struct DiskFaultControl {
+    state: Arc<FaultState>,
+}
+
+impl DiskFaultControl {
+    /// Fail the next `n` record appends with EIO (then heal).
+    pub fn fail_next_appends(&self, n: u64) {
+        self.state.fail_appends.store(n, Ordering::Release);
+    }
+
+    /// Fail the next `n` flushes (fsync failures; then heal). Records stay
+    /// buffered, so a *later* successful flush still makes them durable —
+    /// callers must treat the failed commit as not durable in the meantime.
+    pub fn fail_next_flushes(&self, n: u64) {
+        self.state.fail_flushes.store(n, Ordering::Release);
+    }
+
+    /// Simulate a full disk: every append fails with
+    /// [`io::ErrorKind::StorageFull`] until cleared.
+    pub fn set_full_disk(&self, on: bool) {
+        self.state.full_disk.store(on, Ordering::Release);
+    }
+
+    /// Tear the next append: the record reaches the platter truncated and
+    /// the storage is poisoned (the "node" crashed mid-write; only
+    /// [`LogStorage::scan_dir`] recovery may touch the directory after).
+    pub fn tear_next_append(&self) {
+        self.state.torn_append.store(true, Ordering::Release);
+    }
+
+    /// Faults injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.state.injected.load(Ordering::Acquire)
+    }
+
+    /// Whether a torn write has permanently poisoned the storage.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.state.poisoned.load(Ordering::Acquire)
+    }
+}
+
+/// A [`StorageBackend`] decorator that injects disk failures under test
+/// control.
+pub struct FaultyStorage {
+    inner: LogStorage,
+    control: DiskFaultControl,
+}
+
+impl FaultyStorage {
+    /// Wrap `inner`; returns the storage and its control handle.
+    #[must_use]
+    pub fn new(inner: LogStorage) -> (Self, DiskFaultControl) {
+        let control = DiskFaultControl::default();
+        (
+            FaultyStorage {
+                inner,
+                control: control.clone(),
+            },
+            control,
+        )
+    }
+
+    fn poisoned_err() -> io::Error {
+        io::Error::other("storage poisoned by simulated torn write")
+    }
+
+    fn note_injected(&self) {
+        self.control.state.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement-if-positive on a one-shot fault counter; true = fire.
+    fn take_shot(counter: &AtomicU64) -> bool {
+        counter
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Simulate a crash mid-append: the record (and everything before it)
+    /// is flushed, then the tail of the current segment is chopped so the
+    /// final frame fails its CRC. The storage is poisoned afterwards —
+    /// a crashed node never writes again.
+    fn tear(&mut self, record: &LogRecord) -> io::Result<()> {
+        self.inner.append(record)?;
+        self.inner.flush()?;
+        let path = self
+            .inner
+            .segment_paths()
+            .pop()
+            .expect("storage always has a current segment");
+        let len = std::fs::metadata(&path)?.len();
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(len.saturating_sub(TORN_WRITE_BYTES))?;
+        file.sync_data()?;
+        self.control.state.poisoned.store(true, Ordering::Release);
+        self.note_injected();
+        Err(io::Error::new(
+            io::ErrorKind::Interrupted,
+            "simulated torn write (crash mid-append)",
+        ))
+    }
+}
+
+impl StorageBackend for FaultyStorage {
+    fn append_batch(&mut self, records: &[LogRecord]) -> io::Result<()> {
+        let state = &self.control.state;
+        for record in records {
+            if state.poisoned.load(Ordering::Acquire) {
+                return Err(Self::poisoned_err());
+            }
+            if state.full_disk.load(Ordering::Acquire) {
+                self.note_injected();
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "simulated full disk",
+                ));
+            }
+            if Self::take_shot(&state.fail_appends) {
+                self.note_injected();
+                return Err(io::Error::other("simulated EIO on append"));
+            }
+            if state.torn_append.swap(false, Ordering::AcqRel) {
+                return self.tear(record);
+            }
+            self.inner.append(record)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let state = &self.control.state;
+        if state.poisoned.load(Ordering::Acquire) {
+            return Err(Self::poisoned_err());
+        }
+        if Self::take_shot(&state.fail_flushes) {
+            self.note_injected();
+            return Err(io::Error::other("simulated fsync failure"));
+        }
+        self.inner.flush()
+    }
+
+    fn truncate_before(&mut self, upto: Csn) -> io::Result<usize> {
+        if self.control.state.poisoned.load(Ordering::Acquire) {
+            return Err(Self::poisoned_err());
+        }
+        self.inner.truncate_before(upto)
+    }
+
+    fn iter(&mut self) -> io::Result<RecordIter> {
+        if self.control.state.poisoned.load(Ordering::Acquire) {
+            // A poisoned writer cannot flush; read whatever made it to disk.
+            return Ok(RecordIter::over(self.inner.segment_paths()));
+        }
+        self.inner.iter()
+    }
+
+    fn stats(&self) -> StorageStats {
+        self.inner.stats()
+    }
+}
+
+impl std::fmt::Debug for FaultyStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyStorage")
+            .field("inner", &self.inner)
+            .field("injected", &self.control.injected())
+            .field("poisoned", &self.control.is_poisoned())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Lsn, RecordKind};
+    use crate::storage::LogStorageConfig;
+    use rodain_store::{ObjectId, Ts, TxnId, Value};
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rodain-faults-test-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &PathBuf) -> LogStorage {
+        LogStorage::open(LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(dir)
+        })
+        .unwrap()
+    }
+
+    fn write_rec(lsn: u64, oid: u64) -> LogRecord {
+        LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(lsn),
+            kind: RecordKind::Write {
+                oid: ObjectId(oid),
+                image: Value::Int(oid as i64),
+            },
+        }
+    }
+
+    fn commit_rec(lsn: u64, csn: u64) -> LogRecord {
+        LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(lsn),
+            kind: RecordKind::Commit {
+                csn: Csn(csn),
+                ser_ts: Ts(csn),
+                n_writes: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn passthrough_when_unarmed() {
+        let dir = tmpdir("clean");
+        let (mut faulty, ctl) = FaultyStorage::new(open(&dir));
+        faulty
+            .append_batch(&[write_rec(1, 1), commit_rec(2, 1)])
+            .unwrap();
+        StorageBackend::flush(&mut faulty).unwrap();
+        let got: Vec<_> = StorageBackend::iter(&mut faulty)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(ctl.injected(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_eio_then_heal() {
+        let dir = tmpdir("eio");
+        let (mut faulty, ctl) = FaultyStorage::new(open(&dir));
+        ctl.fail_next_appends(2);
+        assert!(faulty.append_batch(&[write_rec(1, 1)]).is_err());
+        assert!(faulty.append_batch(&[write_rec(2, 2)]).is_err());
+        faulty.append_batch(&[write_rec(3, 3)]).unwrap();
+        assert_eq!(ctl.injected(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_disk_until_cleared() {
+        let dir = tmpdir("full");
+        let (mut faulty, ctl) = FaultyStorage::new(open(&dir));
+        ctl.set_full_disk(true);
+        let err = faulty.append_batch(&[write_rec(1, 1)]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        ctl.set_full_disk(false);
+        faulty.append_batch(&[write_rec(2, 2)]).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_failure_is_transient() {
+        let dir = tmpdir("fsync");
+        let (mut faulty, ctl) = FaultyStorage::new(open(&dir));
+        faulty.append_batch(&[commit_rec(1, 1)]).unwrap();
+        ctl.fail_next_flushes(1);
+        assert!(StorageBackend::flush(&mut faulty).is_err());
+        // The record was only buffered; a later flush recovers durability.
+        StorageBackend::flush(&mut faulty).unwrap();
+        let got: Vec<_> = StorageBackend::iter(&mut faulty)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(got.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_poisons_and_recovery_tolerates_the_tail() {
+        let dir = tmpdir("torn");
+        let (mut faulty, ctl) = FaultyStorage::new(open(&dir));
+        faulty
+            .append_batch(&[write_rec(1, 1), commit_rec(2, 1)])
+            .unwrap();
+        StorageBackend::flush(&mut faulty).unwrap();
+        ctl.tear_next_append();
+        let err = faulty.append_batch(&[commit_rec(3, 2)]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert!(ctl.is_poisoned());
+        // The crashed node never writes again.
+        assert!(faulty.append_batch(&[commit_rec(4, 3)]).is_err());
+        assert!(StorageBackend::flush(&mut faulty).is_err());
+        drop(faulty);
+        // Recovery scans the directory: the intact prefix survives, the
+        // torn final frame is tolerated silently.
+        let mut iter = LogStorage::scan_dir(&dir).unwrap();
+        let recovered: Vec<_> = (&mut iter).map(|r| r.unwrap()).collect();
+        assert_eq!(recovered.len(), 2);
+        assert!(iter.torn_tail());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -10,7 +10,7 @@
 //! the transaction is committed").
 
 use crate::record::LogRecord;
-use crate::storage::LogStorage;
+use crate::storage::StorageBackend;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::io;
@@ -55,15 +55,23 @@ enum Request {
 /// A dedicated log-writer thread with group commit.
 pub struct GroupCommitLog {
     tx: Sender<Request>,
-    handle: Option<JoinHandle<LogStorage>>,
+    handle: Option<JoinHandle<Box<dyn StorageBackend>>>,
     stats: Arc<Mutex<GroupCommitStats>>,
 }
 
 impl GroupCommitLog {
-    /// Spawn the writer thread over `storage`. At most `max_batch` requests
-    /// are coalesced per flush.
+    /// Spawn the writer thread over `storage` — usually a
+    /// [`crate::LogStorage`], but any [`StorageBackend`] works (the chaos
+    /// harness injects a fault-wrapping backend here). At most `max_batch`
+    /// requests are coalesced per flush.
     #[must_use]
-    pub fn spawn(storage: LogStorage, max_batch: usize) -> Self {
+    pub fn spawn(storage: impl StorageBackend + 'static, max_batch: usize) -> Self {
+        Self::spawn_dyn(Box::new(storage), max_batch)
+    }
+
+    /// [`GroupCommitLog::spawn`] for an already-boxed backend.
+    #[must_use]
+    pub fn spawn_dyn(storage: Box<dyn StorageBackend>, max_batch: usize) -> Self {
         let (tx, rx) = unbounded::<Request>();
         let stats = Arc::new(Mutex::new(GroupCommitStats::default()));
         let stats_thread = Arc::clone(&stats);
@@ -136,7 +144,7 @@ impl GroupCommitLog {
     }
 
     /// Stop the writer thread and recover the underlying storage.
-    pub fn shutdown(mut self) -> LogStorage {
+    pub fn shutdown(mut self) -> Box<dyn StorageBackend> {
         let _ = self.tx.send(Request::Shutdown);
         self.handle
             .take()
@@ -156,11 +164,11 @@ impl Drop for GroupCommitLog {
 }
 
 fn writer_loop(
-    mut storage: LogStorage,
+    mut storage: Box<dyn StorageBackend>,
     rx: Receiver<Request>,
     stats: Arc<Mutex<GroupCommitStats>>,
     max_batch: usize,
-) -> LogStorage {
+) -> Box<dyn StorageBackend> {
     loop {
         let Ok(first) = rx.recv() else {
             return storage;
@@ -238,7 +246,7 @@ fn writer_loop(
 mod tests {
     use super::*;
     use crate::record::{Lsn, RecordKind};
-    use crate::storage::LogStorageConfig;
+    use crate::storage::{LogStorage, LogStorageConfig};
     use rodain_occ::Csn;
     use rodain_store::{Ts, TxnId};
     use std::path::PathBuf;

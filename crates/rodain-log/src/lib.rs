@@ -30,6 +30,7 @@
 mod checkpoint;
 mod codec;
 mod crc32;
+mod faults;
 mod group;
 mod record;
 mod recovery;
@@ -45,9 +46,10 @@ pub use codec::{
     MAX_FRAME_BYTES,
 };
 pub use crc32::crc32;
+pub use faults::{DiskFaultControl, FaultyStorage};
 pub use group::{GroupCommitLog, GroupCommitStats};
 pub use record::{LogRecord, Lsn, RecordKind};
 pub use recovery::{replay_into, RecoveryError, RecoveryStats};
 pub use reorder::{CommittedTxn, IngestOutcome, ReorderBuffer, ReorderError};
-pub use storage::{LogStorage, LogStorageConfig, StorageStats};
+pub use storage::{LogStorage, LogStorageConfig, RecordIter, StorageBackend, StorageStats};
 pub use writer::RecordBuilder;

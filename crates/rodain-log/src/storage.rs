@@ -53,6 +53,54 @@ pub struct StorageStats {
     pub segments_truncated: u64,
 }
 
+/// Abstraction over the disk half of the log pipeline, so the group-commit
+/// writer can run over the real [`LogStorage`] or a fault-injecting wrapper
+/// (`FaultyStorage` in the chaos harness).
+///
+/// Implementations own their buffering; `append_batch` may defer I/O until
+/// `flush`, which must make every appended record durable (subject to the
+/// backend's fsync policy).
+pub trait StorageBackend: Send {
+    /// Append a batch of records (possibly buffered).
+    fn append_batch(&mut self, records: &[LogRecord]) -> io::Result<()>;
+
+    /// Flush buffered records to stable storage.
+    fn flush(&mut self) -> io::Result<()>;
+
+    /// Checkpoint support: delete closed segments fully below `upto`;
+    /// returns how many were removed.
+    fn truncate_before(&mut self, upto: Csn) -> io::Result<usize>;
+
+    /// Iterate every record, oldest first (flushing first so buffered
+    /// records are visible).
+    fn iter(&mut self) -> io::Result<RecordIter>;
+
+    /// Statistics snapshot.
+    fn stats(&self) -> StorageStats;
+}
+
+impl StorageBackend for LogStorage {
+    fn append_batch(&mut self, records: &[LogRecord]) -> io::Result<()> {
+        LogStorage::append_batch(self, records)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        LogStorage::flush(self)
+    }
+
+    fn truncate_before(&mut self, upto: Csn) -> io::Result<usize> {
+        LogStorage::truncate_before(self, upto)
+    }
+
+    fn iter(&mut self) -> io::Result<RecordIter> {
+        LogStorage::iter(self)
+    }
+
+    fn stats(&self) -> StorageStats {
+        LogStorage::stats(self)
+    }
+}
+
 /// Append-only, CRC-framed, segmented log storage — the "secondary media"
 /// of paper §3, holding the reordered log stream so the database survives
 /// simultaneous failure of both nodes.
@@ -287,7 +335,7 @@ pub struct RecordIter {
 }
 
 impl RecordIter {
-    fn over(files: Vec<PathBuf>) -> Self {
+    pub(crate) fn over(files: Vec<PathBuf>) -> Self {
         RecordIter {
             files: files.into(),
             reader: None,

@@ -10,8 +10,9 @@
 //!   single-process deployments;
 //! * [`TcpTransport`] — length-prefixed frames over `std::net::TcpStream`,
 //!   for real two-machine deployments;
-//! * [`LossyLink`] — a failure-injection wrapper that can drop, black-hole
-//!   or sever an underlying link, used by the fault-tolerance tests.
+//! * [`LossyLink`] — a failure-injection wrapper that can drop, black-hole,
+//!   sever, delay, duplicate or corrupt traffic on an underlying link, used
+//!   by the fault-tolerance tests and the `rodain-chaos` harness.
 //!
 //! Frames are opaque [`Bytes`]; `rodain-node` defines the message codec on
 //! top.

@@ -2,32 +2,57 @@
 
 use crate::{NetError, Transport};
 use bytes::Bytes;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// XOR mask applied to the corrupted byte. Chosen to flip bits in both
+/// nibbles so a single corrupted byte always defeats the CRC32 framing of
+/// `rodain-log` records and the message codec on top.
+const CORRUPT_MASK: u8 = 0xA5;
+
+/// Multiplier for the deterministic per-frame jitter hash (the 64-bit
+/// golden-ratio constant). Jitter must not consume a shared RNG: the amount
+/// of added latency is a pure function of the frame sequence number so a
+/// fault schedule replays identically.
+const JITTER_HASH: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The knobs and counters shared between a [`LossyLink`] and its
+/// [`LinkControl`] handles.
+#[derive(Default)]
+struct LinkState {
+    severed: AtomicBool,
+    blackhole: AtomicBool,
+    drop_one_in: AtomicU64,
+    duplicate_one_in: AtomicU64,
+    corrupt_one_in: AtomicU64,
+    corrupt_next: AtomicBool,
+    delay_ns: AtomicU64,
+    jitter_ns: AtomicU64,
+    sent: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    corrupted: AtomicU64,
+}
 
 /// Shared control handle for a [`LossyLink`] (clone it into test code to
 /// manipulate the link while nodes are running).
 #[derive(Clone)]
 pub struct LinkControl {
-    severed: Arc<AtomicBool>,
-    blackhole: Arc<AtomicBool>,
-    drop_one_in: Arc<AtomicU64>,
-    dropped: Arc<AtomicU64>,
+    state: Arc<LinkState>,
 }
 
 impl LinkControl {
     /// Permanently sever the link: both directions fail with
     /// [`NetError::Disconnected`] (models a node crash / cable cut).
     pub fn sever(&self) {
-        self.severed.store(true, Ordering::Release);
+        self.state.severed.store(true, Ordering::Release);
     }
 
     /// Silently discard everything sent while enabled (models a partition
     /// that the failure detector must notice by missing heartbeats).
     pub fn set_blackhole(&self, enabled: bool) {
-        self.blackhole.store(enabled, Ordering::Release);
+        self.state.blackhole.store(enabled, Ordering::Release);
     }
 
     /// Drop every `n`-th outbound frame (0 disables dropping).
@@ -36,79 +61,161 @@ impl LinkControl {
     /// (e.g. [`rodain_log::ReorderBuffer`] gap checks, via its
     /// `MissingWrites` error), not for normal operation.
     pub fn set_drop_one_in(&self, n: u64) {
-        self.drop_one_in.store(n, Ordering::Release);
+        self.state.drop_one_in.store(n, Ordering::Release);
+    }
+
+    /// Send every `n`-th outbound frame twice (0 disables duplication).
+    /// The receiver must tolerate replayed frames — commit replay is
+    /// idempotent in `rodain-log`'s reorder buffer, and this knob proves it.
+    pub fn set_duplicate_one_in(&self, n: u64) {
+        self.state.duplicate_one_in.store(n, Ordering::Release);
+    }
+
+    /// Flip one byte in every `n`-th outbound frame (0 disables corruption).
+    /// The CRC framing on log records must reject the damaged payload.
+    pub fn set_corrupt_one_in(&self, n: u64) {
+        self.state.corrupt_one_in.store(n, Ordering::Release);
+    }
+
+    /// Flip one byte in the next outbound frame only (one-shot).
+    pub fn corrupt_next(&self) {
+        self.state.corrupt_next.store(true, Ordering::Release);
+    }
+
+    /// Add `base` of latency to every frame, plus up to `jitter` more chosen
+    /// deterministically per frame from its sequence number. Zero/zero
+    /// disables the delay.
+    pub fn set_delay(&self, base: Duration, jitter: Duration) {
+        let base_ns = u64::try_from(base.as_nanos()).unwrap_or(u64::MAX);
+        let jitter_ns = u64::try_from(jitter.as_nanos()).unwrap_or(u64::MAX);
+        self.state.delay_ns.store(base_ns, Ordering::Release);
+        self.state.jitter_ns.store(jitter_ns, Ordering::Release);
+    }
+
+    /// Clear delay, duplication and corruption settings (sever is
+    /// irreversible by design — crash-stop links never come back).
+    pub fn heal(&self) {
+        self.state.blackhole.store(false, Ordering::Release);
+        self.state.drop_one_in.store(0, Ordering::Release);
+        self.state.duplicate_one_in.store(0, Ordering::Release);
+        self.state.corrupt_one_in.store(0, Ordering::Release);
+        self.state.corrupt_next.store(false, Ordering::Release);
+        self.state.delay_ns.store(0, Ordering::Release);
+        self.state.jitter_ns.store(0, Ordering::Release);
+    }
+
+    /// Frames sent through the link so far (including duplicates' originals,
+    /// excluding dropped frames' payloads reaching the peer).
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.state.sent.load(Ordering::Acquire)
     }
 
     /// Frames discarded so far.
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Acquire)
+        self.state.dropped.load(Ordering::Acquire)
+    }
+
+    /// Frames sent twice so far.
+    #[must_use]
+    pub fn duplicated(&self) -> u64 {
+        self.state.duplicated.load(Ordering::Acquire)
+    }
+
+    /// Frames damaged so far.
+    #[must_use]
+    pub fn corrupted(&self) -> u64 {
+        self.state.corrupted.load(Ordering::Acquire)
     }
 
     /// Whether the link was severed.
     #[must_use]
     pub fn is_severed(&self) -> bool {
-        self.severed.load(Ordering::Acquire)
+        self.state.severed.load(Ordering::Acquire)
     }
 }
 
 /// A [`Transport`] decorator that injects link failures under test control.
 pub struct LossyLink<T: Transport> {
     inner: T,
-    control: LinkControl,
-    sent: Mutex<u64>,
+    state: Arc<LinkState>,
 }
 
 impl<T: Transport> LossyLink<T> {
     /// Wrap `inner`; returns the link and its control handle.
     pub fn new(inner: T) -> (Self, LinkControl) {
-        let control = LinkControl {
-            severed: Arc::new(AtomicBool::new(false)),
-            blackhole: Arc::new(AtomicBool::new(false)),
-            drop_one_in: Arc::new(AtomicU64::new(0)),
-            dropped: Arc::new(AtomicU64::new(0)),
-        };
+        let state = Arc::new(LinkState::default());
         (
             LossyLink {
                 inner,
-                control: control.clone(),
-                sent: Mutex::new(0),
+                state: Arc::clone(&state),
             },
-            control,
+            LinkControl { state },
         )
     }
 }
 
 impl<T: Transport> Transport for LossyLink<T> {
     fn send(&self, frame: Bytes) -> Result<(), NetError> {
-        if self.control.severed.load(Ordering::Acquire) {
+        let s = &*self.state;
+        if s.severed.load(Ordering::Acquire) {
             return Err(NetError::Disconnected);
         }
-        if self.control.blackhole.load(Ordering::Acquire) {
-            self.control.dropped.fetch_add(1, Ordering::Relaxed);
+        if s.blackhole.load(Ordering::Acquire) {
+            s.dropped.fetch_add(1, Ordering::Relaxed);
             return Ok(()); // swallowed silently
         }
-        let drop_n = self.control.drop_one_in.load(Ordering::Acquire);
-        if drop_n > 0 {
-            let mut sent = self.sent.lock();
-            *sent += 1;
-            if *sent % drop_n == 0 {
-                self.control.dropped.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
-            }
+        // Lock-free frame sequencing: the injection decisions below must not
+        // add contention to the send path being measured.
+        let seq = s.sent.fetch_add(1, Ordering::AcqRel) + 1;
+        let drop_n = s.drop_one_in.load(Ordering::Acquire);
+        if drop_n > 0 && seq % drop_n == 0 {
+            s.dropped.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let base_ns = s.delay_ns.load(Ordering::Acquire);
+        let jitter_ns = s.jitter_ns.load(Ordering::Acquire);
+        if base_ns > 0 || jitter_ns > 0 {
+            let extra = if jitter_ns > 0 {
+                seq.wrapping_mul(JITTER_HASH) % jitter_ns.saturating_add(1)
+            } else {
+                0
+            };
+            std::thread::sleep(Duration::from_nanos(base_ns.saturating_add(extra)));
+        }
+        let corrupt_n = s.corrupt_one_in.load(Ordering::Acquire);
+        let corrupt = if frame.is_empty() {
+            false
+        } else {
+            s.corrupt_next.swap(false, Ordering::AcqRel) || (corrupt_n > 0 && seq % corrupt_n == 0)
+        };
+        let frame = if corrupt {
+            s.corrupted.fetch_add(1, Ordering::Relaxed);
+            let mut damaged = frame.to_vec();
+            let victim = damaged.len() / 2;
+            damaged[victim] ^= CORRUPT_MASK;
+            Bytes::from(damaged)
+        } else {
+            frame
+        };
+        let dup_n = s.duplicate_one_in.load(Ordering::Acquire);
+        if dup_n > 0 && seq % dup_n == 0 {
+            s.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.inner.send(frame.clone())?;
         }
         self.inner.send(frame)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NetError> {
-        if self.control.severed.load(Ordering::Acquire) {
+        if self.state.severed.load(Ordering::Acquire) {
             return Err(NetError::Disconnected);
         }
         self.inner.recv_timeout(timeout)
     }
 
     fn is_connected(&self) -> bool {
-        !self.control.severed.load(Ordering::Acquire) && self.inner.is_connected()
+        !self.state.severed.load(Ordering::Acquire) && self.inner.is_connected()
     }
 
     fn close(&self) {
@@ -124,10 +231,11 @@ mod tests {
     #[test]
     fn passthrough_by_default() {
         let (a, b) = InProcTransport::pair();
-        let (lossy, _ctl) = LossyLink::new(a);
+        let (lossy, ctl) = LossyLink::new(a);
         lossy.send(Bytes::from_static(b"x")).unwrap();
         assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"x"));
         assert!(lossy.is_connected());
+        assert_eq!(ctl.sent(), 1);
     }
 
     #[test]
@@ -171,5 +279,91 @@ mod tests {
         }
         assert_eq!(received.len(), 6);
         assert_eq!(ctl.dropped(), 3);
+    }
+
+    #[test]
+    fn periodic_duplication() {
+        let (a, b) = InProcTransport::pair();
+        let (lossy, ctl) = LossyLink::new(a);
+        ctl.set_duplicate_one_in(2);
+        for i in 0..4u8 {
+            lossy.send(Bytes::from(vec![i])).unwrap();
+        }
+        let mut received = Vec::new();
+        while let Some(f) = b.try_recv().unwrap() {
+            received.push(f[0]);
+        }
+        // Frames 2 and 4 arrive twice, immediately after their originals.
+        assert_eq!(received, vec![0, 1, 1, 2, 3, 3]);
+        assert_eq!(ctl.duplicated(), 2);
+    }
+
+    #[test]
+    fn corrupt_next_is_one_shot() {
+        let (a, b) = InProcTransport::pair();
+        let (lossy, ctl) = LossyLink::new(a);
+        ctl.corrupt_next();
+        let clean = Bytes::from_static(b"payload");
+        lossy.send(clean.clone()).unwrap();
+        lossy.send(clean.clone()).unwrap();
+        let first = b.try_recv().unwrap().unwrap();
+        let second = b.try_recv().unwrap().unwrap();
+        assert_ne!(first, clean);
+        assert_eq!(first.len(), clean.len());
+        assert_eq!(first[clean.len() / 2], clean[clean.len() / 2] ^ CORRUPT_MASK);
+        assert_eq!(second, clean);
+        assert_eq!(ctl.corrupted(), 1);
+    }
+
+    #[test]
+    fn periodic_corruption_and_heal() {
+        let (a, b) = InProcTransport::pair();
+        let (lossy, ctl) = LossyLink::new(a);
+        ctl.set_corrupt_one_in(2);
+        for _ in 0..4 {
+            lossy.send(Bytes::from_static(b"abcd")).unwrap();
+        }
+        let mut damaged = 0;
+        while let Some(f) = b.try_recv().unwrap() {
+            if f != Bytes::from_static(b"abcd") {
+                damaged += 1;
+            }
+        }
+        assert_eq!(damaged, 2);
+        assert_eq!(ctl.corrupted(), 2);
+        ctl.heal();
+        lossy.send(Bytes::from_static(b"abcd")).unwrap();
+        assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"abcd"));
+        assert_eq!(ctl.corrupted(), 2);
+    }
+
+    #[test]
+    fn delay_slows_the_send_path() {
+        let (a, b) = InProcTransport::pair();
+        let (lossy, ctl) = LossyLink::new(a);
+        ctl.set_delay(Duration::from_millis(5), Duration::ZERO);
+        let start = std::time::Instant::now();
+        lossy.send(Bytes::from_static(b"slow")).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"slow"));
+        ctl.heal();
+        lossy.send(Bytes::from_static(b"fast")).unwrap();
+        assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"fast"));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_sequence() {
+        // The jitter amount is a pure function of the frame sequence number;
+        // two links configured identically delay identically.
+        let jitter = 1000u64;
+        let a: Vec<u64> = (1..=10u64)
+            .map(|seq| seq.wrapping_mul(JITTER_HASH) % (jitter + 1))
+            .collect();
+        let b: Vec<u64> = (1..=10u64)
+            .map(|seq| seq.wrapping_mul(JITTER_HASH) % (jitter + 1))
+            .collect();
+        assert_eq!(a, b);
+        // And it actually varies between frames.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
     }
 }

@@ -238,4 +238,126 @@ mod tests {
             Err(NetError::Disconnected) | Err(NetError::Io(_))
         ));
     }
+
+    #[test]
+    fn peer_disconnect_mid_frame_surfaces_as_disconnect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            // Promise a 100-byte frame, deliver 10 bytes, then vanish.
+            stream.write_all(&100u32.to_le_bytes()).unwrap();
+            stream.write_all(&[0u8; 10]).unwrap();
+            drop(stream);
+        });
+        let server = TcpTransport::accept(&listener).unwrap();
+        raw.join().unwrap();
+        // The truncated frame must never be delivered; the reader notices
+        // the half-frame EOF and the link reports Disconnected.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            match server.recv_timeout(Duration::from_millis(20)) {
+                Err(NetError::Disconnected) => break,
+                Ok(Some(frame)) => panic!("truncated frame delivered: {} bytes", frame.len()),
+                Ok(None) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "mid-frame disconnect not observed"
+                    );
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(!server.is_connected());
+    }
+
+    #[test]
+    fn oversized_frame_header_kills_the_link() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            // A length prefix beyond MAX_WIRE_FRAME must be rejected rather
+            // than trigger a giant allocation.
+            stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+            // Keep the socket open; the reader must bail on its own.
+            std::thread::sleep(Duration::from_millis(200));
+            drop(stream);
+        });
+        let server = TcpTransport::accept(&listener).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            match server.recv_timeout(Duration::from_millis(20)) {
+                Err(NetError::Disconnected) => break,
+                Ok(Some(_)) => panic!("oversized frame delivered"),
+                Ok(None) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "oversized frame not rejected"
+                    );
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+        raw.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_expires_with_link_healthy() {
+        let (server, client) = pair();
+        let start = std::time::Instant::now();
+        assert_eq!(server.recv_timeout(Duration::from_millis(30)).unwrap(), None);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        // An expired timeout is not an error: the link stays usable.
+        assert!(server.is_connected());
+        assert!(client.is_connected());
+        assert_eq!(server.try_recv().unwrap(), None);
+        client.send(Bytes::from_static(b"late")).unwrap();
+        let got = server
+            .recv_timeout(Duration::from_secs(2))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, Bytes::from_static(b"late"));
+    }
+
+    #[test]
+    fn reconnect_after_close_uses_a_fresh_transport() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let connect1 = std::thread::spawn(move || TcpTransport::connect(addr).unwrap());
+        let server1 = TcpTransport::accept(&listener).unwrap();
+        let client1 = connect1.join().unwrap();
+        client1.close();
+        assert!(!client1.is_connected());
+        assert!(matches!(
+            client1.send(Bytes::from_static(b"dead")),
+            Err(NetError::Disconnected)
+        ));
+        // Crash-stop: the old endpoints never come back; a recovered node
+        // opens a brand-new connection against the same listener.
+        let connect2 = std::thread::spawn(move || TcpTransport::connect(addr).unwrap());
+        let server2 = TcpTransport::accept(&listener).unwrap();
+        let client2 = connect2.join().unwrap();
+        client2.send(Bytes::from_static(b"hello again")).unwrap();
+        let got = server2
+            .recv_timeout(Duration::from_secs(2))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, Bytes::from_static(b"hello again"));
+        // The first server endpoint eventually observes its disconnect.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            match server1.recv_timeout(Duration::from_millis(20)) {
+                Err(NetError::Disconnected) => break,
+                Ok(Some(_)) => panic!("frame on a closed link"),
+                Ok(None) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "old link still looks healthy"
+                    );
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
 }

@@ -64,7 +64,7 @@ impl FailureDetector {
         let silent = now.saturating_sub(reference);
         if silent < self.timeout_ns {
             DetectorVerdict::Alive
-        } else if silent < self.timeout_ns * u64::from(self.suspect_rounds) {
+        } else if silent < self.timeout_ns.saturating_mul(u64::from(self.suspect_rounds)) {
             DetectorVerdict::Suspect
         } else {
             DetectorVerdict::Dead
@@ -117,6 +117,17 @@ mod tests {
         d.heard(500);
         d.heard(300); // out-of-order clock reading
         assert_eq!(d.silence(600), 100);
+    }
+
+    #[test]
+    fn huge_timeout_does_not_wrap() {
+        // timeout_ns * suspect_rounds would overflow u64 and wrap to a tiny
+        // product, instantly declaring the peer dead; the multiplication
+        // must saturate instead.
+        let d = FailureDetector::new(0, u64::MAX / 2, 3);
+        assert_eq!(d.check(u64::MAX / 2 - 1), DetectorVerdict::Alive);
+        assert_eq!(d.check(u64::MAX / 2 + 10), DetectorVerdict::Suspect);
+        assert_eq!(d.check(u64::MAX - 1), DetectorVerdict::Suspect);
     }
 
     #[test]

@@ -90,6 +90,19 @@ impl CcState {
             }
             return Ok((forward, false));
         }
+        // The clock lags committed state when an engine is rebuilt over a
+        // store that already carries high write timestamps (mirror
+        // promotion after a primary crash, cold-start recovery). An
+        // interval unbounded above whose lower bound clears the clock is
+        // that case — not a genuine backward squeeze — so jump the clock
+        // past the inherited timestamps instead of committing at u64::MAX
+        // and wedging every later writer of the same objects.
+        if iv.ub == u64::MAX && iv.lb > forward {
+            let jumped = iv.lb.saturating_add(CLOCK_STRIDE);
+            self.clock = jumped;
+            self.assigned.insert(jumped);
+            return Ok((jumped, false));
+        }
         if !allow_backward {
             return Err(RestartReason::EmptyInterval);
         }
@@ -405,6 +418,39 @@ mod tests {
                 ValidationOutcome::Commit { ser_ts, csn, .. } => {
                     assert_eq!(ser_ts, Ts(k * CLOCK_STRIDE));
                     assert_eq!(csn, Csn(k));
+                }
+                other => panic!("expected commit, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn inherited_high_timestamps_jump_the_clock_forward() {
+        // A promoted mirror (or a recovered node) starts a fresh controller
+        // whose clock is 0, over a store whose objects already carry large
+        // write timestamps from the previous incarnation. Commits must jump
+        // the clock past the inherited timestamps — not land at u64::MAX —
+        // so the same object can be written again and again.
+        let core = dati_core();
+        let store = store_with(2);
+        let inherited = Ts(500 * CLOCK_STRIDE);
+        store.install(ObjectId(0), rodain_store::Value::Int(7), inherited);
+
+        let mut last_ts = inherited;
+        for k in 1..=3u64 {
+            let txn = TxnId(k);
+            core.begin(txn, CcPriority(1));
+            let mut ws = Workspace::new(txn);
+            ws.read(&store, ObjectId(0));
+            ws.write(ObjectId(0), rodain_store::Value::Int(7 + k as i64));
+            match core.validate(&ws, &store) {
+                ValidationOutcome::Commit { ser_ts, .. } => {
+                    assert!(ser_ts > last_ts, "{ser_ts:?} !> {last_ts:?}");
+                    assert!(
+                        ser_ts.0 < inherited.0 + 10 * CLOCK_STRIDE,
+                        "clock overshot: {ser_ts:?}"
+                    );
+                    last_ts = ser_ts;
                 }
                 other => panic!("expected commit, got {other:?}"),
             }

@@ -1,8 +1,11 @@
-//! Long-running soak test: sustained mixed load with repeated mirror
-//! failovers and rejoins, checking state equivalence at every epoch.
+//! Soak test: sustained mixed load with repeated mirror failovers and
+//! rejoins, checking state equivalence at every epoch.
 //!
-//! Ignored by default (takes ~20 s); run with:
-//! `cargo test --test soak -- --ignored --nocapture`
+//! Two scales of the same scenario:
+//! * `soak_smoke` — seconds-scale, runs in the normal test suite.
+//! * `sustained_load_with_repeated_failovers` — the full ~20 s soak,
+//!   ignored by default; run with
+//!   `cargo test --test soak -- --ignored --nocapture`
 
 use rodain::db::{MirrorLossPolicy, Rodain, TxnOptions};
 use rodain::net::InProcTransport;
@@ -55,21 +58,27 @@ fn spawn_mirror(db: &Rodain) -> MirrorHarness {
     }
 }
 
-#[test]
-#[ignore = "soak test: ~20 s of sustained load; run explicitly"]
-fn sustained_load_with_repeated_failovers() {
-    const OBJECTS: u64 = 2_000;
-    const EPOCHS: usize = 5;
-    const WRITERS: usize = 4;
+struct SoakScale {
+    objects: u64,
+    epochs: usize,
+    writers: usize,
+    /// How long each epoch's mirror tracks live traffic before the
+    /// stall probe.
+    epoch_live: Duration,
+    /// Window over which the mirror's applied counter must advance.
+    epoch_probe: Duration,
+}
 
-    let db = Arc::new(Rodain::builder().workers(WRITERS + 1).build().unwrap());
-    for i in 0..OBJECTS {
+fn soak(scale: &SoakScale) {
+    let objects = scale.objects;
+    let db = Arc::new(Rodain::builder().workers(scale.writers + 1).build().unwrap());
+    for i in 0..objects {
         db.load_initial(ObjectId(i), Value::Int(0));
     }
 
     let stop = Arc::new(AtomicBool::new(false));
     let mut writers = Vec::new();
-    for t in 0..WRITERS as u64 {
+    for t in 0..scale.writers as u64 {
         let db = Arc::clone(&db);
         let stop = Arc::clone(&stop);
         writers.push(std::thread::spawn(move || {
@@ -77,7 +86,7 @@ fn sustained_load_with_repeated_failovers() {
             let mut i = 0u64;
             while !stop.load(Ordering::Acquire) {
                 i += 1;
-                let oid = ObjectId((t * 7_919 + i * 13) % OBJECTS);
+                let oid = ObjectId((t * 7_919 + i * 13) % objects);
                 let result = db.execute(
                     TxnOptions::soft_ms(5_000).with_est_cost(Duration::from_micros(20)),
                     move |ctx| {
@@ -96,13 +105,13 @@ fn sustained_load_with_repeated_failovers() {
 
     // Epochs: attach a fresh mirror, let it track live traffic, verify it
     // catches up, kill it, repeat — all while the writers hammer away.
-    for epoch in 0..EPOCHS {
+    for epoch in 0..scale.epochs {
         let mirror = spawn_mirror(&db);
         let epoch_start = Instant::now();
-        std::thread::sleep(Duration::from_millis(1_500));
+        std::thread::sleep(scale.epoch_live);
         // The mirror must be advancing.
         let before = mirror.applied.load(Ordering::Acquire);
-        std::thread::sleep(Duration::from_millis(500));
+        std::thread::sleep(scale.epoch_probe);
         let after = mirror.applied.load(Ordering::Acquire);
         assert!(
             after > before,
@@ -128,7 +137,10 @@ fn sustained_load_with_repeated_failovers() {
         total += obj.value.as_int().unwrap();
     });
     assert_eq!(total as u64, committed, "lost or phantom updates");
-    println!("soak done: {committed} commits across {EPOCHS} failover epochs, state consistent");
+    println!(
+        "soak done: {committed} commits across {} failover epochs, state consistent",
+        scale.epochs
+    );
 
     // Final mirror catches up to the full state via snapshot transfer.
     let final_mirror = spawn_mirror(&db);
@@ -143,4 +155,29 @@ fn sustained_load_with_repeated_failovers() {
     }
     final_mirror.shutdown.store(true, Ordering::Release);
     let _ = final_mirror.thread.join();
+}
+
+/// Reduced-scale soak that runs in the default suite (about a second):
+/// one failover epoch, fewer objects and writers, same invariants.
+#[test]
+fn soak_smoke() {
+    soak(&SoakScale {
+        objects: 200,
+        epochs: 1,
+        writers: 2,
+        epoch_live: Duration::from_millis(300),
+        epoch_probe: Duration::from_millis(150),
+    });
+}
+
+#[test]
+#[ignore = "soak test: ~20 s of sustained load; run explicitly"]
+fn sustained_load_with_repeated_failovers() {
+    soak(&SoakScale {
+        objects: 2_000,
+        epochs: 5,
+        writers: 4,
+        epoch_live: Duration::from_millis(1_500),
+        epoch_probe: Duration::from_millis(500),
+    });
 }
