@@ -254,7 +254,9 @@ pub fn cc_ablation(opts: SweepOptions) -> Table {
             "conflict%",
             "restarts/txn",
             "backward commits",
+            "commit-wait p50 (ms)",
             "commit-wait p95 (ms)",
+            "commit-wait p99 (ms)",
         ],
     );
     for protocol in Protocol::ALL {
@@ -286,7 +288,9 @@ pub fn cc_ablation(opts: SweepOptions) -> Table {
             pct(agg.conflict_share),
             format!("{:.3}", agg.restart_rate),
             sample.cc.backward_commits.to_string(),
+            ms(agg.commit_wait_p50_ns),
             ms(agg.commit_wait_p95_ns),
+            ms(agg.commit_wait_p99_ns),
         ]);
     }
     table
@@ -305,8 +309,12 @@ pub fn commit_path(opts: SweepOptions) -> Table {
         ),
         &[
             "configuration",
+            "commit-wait p50 (ms)",
             "commit-wait p95 (ms)",
+            "commit-wait p99 (ms)",
+            "response p50 (ms)",
             "response p95 (ms)",
+            "response p99 (ms)",
             "miss%",
         ],
     );
@@ -334,8 +342,12 @@ pub fn commit_path(opts: SweepOptions) -> Table {
         let agg = run_repetitions(&cfg, &spec, opts.reps);
         table.push(vec![
             name,
+            ms(agg.commit_wait_p50_ns),
             ms(agg.commit_wait_p95_ns),
+            ms(agg.commit_wait_p99_ns),
+            ms(agg.response_p50_ns),
             ms(agg.response_p95_ns),
+            ms(agg.response_p99_ns),
             pct(agg.miss_ratio_mean),
         ]);
     }
@@ -512,6 +524,9 @@ pub fn real_engine(opts: SweepOptions) -> Table {
             "miss%",
             "admission%",
             "deadline%",
+            "response p50 (ms)",
+            "response p95 (ms)",
+            "response p99 (ms)",
         ],
     );
 
@@ -588,12 +603,23 @@ pub fn real_engine(opts: SweepOptions) -> Table {
             }
         }
         let total = (committed + deadline + admission + other).max(1);
+        // Percentiles come from the engine's own observability layer: the
+        // `engine_response_ns` histogram in [`rodain_db::MetricsSnapshot`].
+        let snapshot = db.metrics();
+        let response_pct = |q: f64| -> f64 {
+            snapshot
+                .histogram("engine_response_ns")
+                .map_or(0.0, |h| h.percentile(q) as f64)
+        };
         table.push(vec![
             format!("{fraction:.2}"),
             format!("{rate:.0}"),
             pct((total - committed) as f64 / total as f64),
             pct(admission as f64 / total as f64),
             pct(deadline as f64 / total as f64),
+            ms(response_pct(0.50)),
+            ms(response_pct(0.95)),
+            ms(response_pct(0.99)),
         ]);
     }
     table

@@ -479,7 +479,8 @@ impl Runner {
         match result {
             Ok(_) => {
                 self.ledger.record_ack(oid.0);
-                self.trace.push(format!("commit {k}: acked (object {})", oid.0));
+                self.trace
+                    .push(format!("commit {k}: acked (object {})", oid.0));
             }
             Err(e) => {
                 self.trace
@@ -513,6 +514,16 @@ impl Runner {
             loop {
                 let mode = db.replication_mode();
                 if mode == expected {
+                    // The observability layer must agree with the engine:
+                    // the `replication_mode` gauge is what an operator
+                    // dashboard would alert on during this very failover.
+                    let gauge = db.metrics().gauge("replication_mode");
+                    if gauge != Some(expected.as_gauge()) {
+                        self.violations.push(format!(
+                            "replication_mode gauge at quiescence: expected {}, observed {gauge:?}",
+                            expected.as_gauge()
+                        ));
+                    }
                     break;
                 }
                 if Instant::now() >= deadline {

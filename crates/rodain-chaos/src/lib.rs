@@ -31,7 +31,14 @@
 //! 4. **Exactly one node serves** at any role transition (split-brain
 //!    freedom under the paper's crash-stop model).
 //! 5. **Mode degradation matches the injected faults**: Mirrored →
-//!    Contingency/Volatile exactly when the plan kills the mirror.
+//!    Contingency/Volatile exactly when the plan kills the mirror. The
+//!    check reads both the engine API ([`rodain_db::Rodain::replication_mode`])
+//!    and the observability layer's `replication_mode` gauge
+//!    ([`rodain_db::Rodain::metrics`]) — the operator's dashboard and the
+//!    engine must agree mid-failover (metric catalog: `METRICS.md`).
+//!
+//! The contributor workflow for reproducing and minimizing a failing seed
+//! is documented in `CONTRIBUTING.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -178,7 +178,10 @@ impl FaultPlan {
                     }
                 },
             };
-            events.push(PlannedFault { at_commit: at, event });
+            events.push(PlannedFault {
+                at_commit: at,
+                event,
+            });
         }
         FaultPlan { seed, events }
     }
@@ -189,7 +192,10 @@ impl FaultPlan {
     pub fn render(&self) -> String {
         let mut out = format!("plan seed={} events={}\n", self.seed, self.events.len());
         for fault in &self.events {
-            out.push_str(&format!("  commit {:>4}: {}\n", fault.at_commit, fault.event));
+            out.push_str(&format!(
+                "  commit {:>4}: {}\n",
+                fault.at_commit, fault.event
+            ));
         }
         out
     }

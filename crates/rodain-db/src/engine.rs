@@ -10,6 +10,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 use rodain_log::RecordBuilder;
 use rodain_net::Transport;
 use rodain_node::Message;
+use rodain_obs::{Counter, Histogram, MetricsSnapshot, Recorder};
 use rodain_occ::{make_controller, CcPriority, ConcurrencyController, Csn, Protocol};
 use rodain_sched::{
     ActiveSet, Admission, OverloadConfig, OverloadManager, ReadyQueue, ReservationConfig, TaskMeta,
@@ -58,6 +59,8 @@ struct Engine {
     shutdown: AtomicBool,
     epoch: Instant,
     counters: Counters,
+    recorder: Recorder,
+    obs: EngineObs,
     replicator: RwLock<Replicator>,
     commit_gate: RwLock<()>,
     commit_gate_timeout: Duration,
@@ -72,6 +75,41 @@ impl Engine {
     }
 }
 
+/// Commit-path telemetry handles bound once at build time (see
+/// `METRICS.md` for the catalog entries these feed).
+struct EngineObs {
+    /// Validation accept → durable/acknowledged, per committed txn.
+    commit_wait_ns: Histogram,
+    /// Submission → reply, per committed txn.
+    response_ns: Histogram,
+    /// Commit tickets that timed out and triggered a mirror failover.
+    gate_timeouts: Counter,
+    /// OCC validation outcomes, labelled by protocol.
+    validation_commit: Counter,
+    validation_restart: Counter,
+}
+
+impl EngineObs {
+    fn new(rec: &Recorder, protocol: Protocol) -> EngineObs {
+        // Info-style gauge: constant 1, the label carries the protocol.
+        rec.gauge(&format!("engine_info{{protocol=\"{}\"}}", protocol.name()))
+            .set(1);
+        EngineObs {
+            commit_wait_ns: rec.histogram("engine_commit_wait_ns"),
+            response_ns: rec.histogram("engine_response_ns"),
+            gate_timeouts: rec.counter("engine_gate_timeouts_total"),
+            validation_commit: rec.counter(&format!(
+                "occ_validation_commit_total{{protocol=\"{}\"}}",
+                protocol.name()
+            )),
+            validation_restart: rec.counter(&format!(
+                "occ_validation_restart_total{{protocol=\"{}\"}}",
+                protocol.name()
+            )),
+        }
+    }
+}
+
 /// Builder for a [`Rodain`] engine.
 pub struct RodainBuilder {
     protocol: Protocol,
@@ -81,6 +119,7 @@ pub struct RodainBuilder {
     store: Option<Arc<Store>>,
     durability: Durability,
     commit_gate_timeout: Duration,
+    recorder: Option<Recorder>,
 }
 
 enum Durability {
@@ -103,7 +142,18 @@ impl RodainBuilder {
             store: None,
             durability: Durability::Volatile,
             commit_gate_timeout: COMMIT_GATE_TIMEOUT,
+            recorder: None,
         }
+    }
+
+    /// Register the engine's metrics on an externally owned [`Recorder`]
+    /// instead of a private one — e.g. to share one registry between the
+    /// engine and a co-located mirror node. The default is a fresh
+    /// recorder, reachable later through [`Rodain::recorder`].
+    #[must_use]
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Concurrency-control protocol (default: the paper's OCC-DATI).
@@ -183,10 +233,11 @@ impl RodainBuilder {
     /// Build and start the engine.
     pub fn build(self) -> io::Result<Rodain> {
         let store = self.store.unwrap_or_default();
+        let recorder = self.recorder.unwrap_or_default();
         let engine = Arc::new(Engine {
             cc: make_controller(self.protocol),
             sched: Mutex::new(SchedCore {
-                ready: ReadyQueue::new(self.reservation),
+                ready: ReadyQueue::observed(self.reservation, &recorder),
                 active: ActiveSet::new(),
                 overload: OverloadManager::new(self.overload),
                 jobs: HashMap::new(),
@@ -196,7 +247,9 @@ impl RodainBuilder {
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
             epoch: Instant::now(),
-            counters: Counters::default(),
+            counters: Counters::new(&recorder),
+            obs: EngineObs::new(&recorder, self.protocol),
+            recorder,
             replicator: RwLock::new(Replicator::Volatile),
             commit_gate: RwLock::new(()),
             commit_gate_timeout: self.commit_gate_timeout,
@@ -209,15 +262,24 @@ impl RodainBuilder {
         match self.durability {
             Durability::Volatile => {}
             Durability::Contingency(dir) => {
-                *engine.replicator.write() = Replicator::contingency(&dir)?;
+                *engine.replicator.write() = Replicator::contingency(&dir, &engine.recorder)?;
             }
             Durability::ContingencyBackend(backend) => {
-                *engine.replicator.write() = Replicator::contingency_backend(backend);
+                *engine.replicator.write() =
+                    Replicator::contingency_backend(backend, &engine.recorder);
             }
             Durability::Mirror { transport, policy } => {
                 attach_mirror_inner(&engine, transport, policy)?;
             }
         }
+        let mode = engine.replicator.read().mode();
+        engine
+            .recorder
+            .gauge("replication_mode")
+            .set(mode.as_gauge());
+        engine
+            .recorder
+            .emit("mode-change", format!("engine started in {mode:?}"));
 
         let workers = (0..self.workers)
             .map(|i| {
@@ -301,6 +363,36 @@ impl Rodain {
         EngineStats::from_counters(&self.engine.counters, self.engine.cc.stats(), active)
     }
 
+    /// A point-in-time snapshot of every metric the engine and its
+    /// attached subsystems publish (see `METRICS.md`). Render it with
+    /// [`MetricsSnapshot::render_text`], [`MetricsSnapshot::render_json`]
+    /// or [`MetricsSnapshot::render_prometheus`].
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        // Keep the controller's point-lookup counters in the same snapshot
+        // as the handle-based metrics.
+        let rec = &self.engine.recorder;
+        for (name, value) in self.engine.cc.stats().named() {
+            let counter = rec.counter(&format!(
+                "occ_{name}_total{{protocol=\"{}\"}}",
+                self.engine.protocol.name()
+            ));
+            // CcStats is cumulative; counters only move forward.
+            let current = counter.get();
+            counter.add(value.saturating_sub(current));
+        }
+        rec.gauge("txn_active")
+            .set(self.engine.sched.lock().active.len() as i64);
+        rec.snapshot()
+    }
+
+    /// The engine's metric registry — clone it to register additional
+    /// metrics in the same snapshot (the chaos harness and the server do).
+    #[must_use]
+    pub fn recorder(&self) -> Recorder {
+        self.engine.recorder.clone()
+    }
+
     /// Submit a transaction; the returned channel yields the outcome.
     /// See [`Rodain::execute`] for the blocking variant.
     pub fn submit<F>(&self, opts: TxnOptions, closure: F) -> Receiver<Result<TxnReceipt, TxnError>>
@@ -337,7 +429,7 @@ impl Rodain {
         };
         match admission {
             Admission::Reject => {
-                Counters::bump(&engine.counters.aborted_admission);
+                engine.counters.aborted_admission.inc();
                 let _ = reply.send(Err(TxnError::AdmissionDenied));
                 return rx;
             }
@@ -349,7 +441,7 @@ impl Rodain {
                 // A still-queued victim can be resolved right here.
                 if let Some(job) = sched.jobs.remove(&victim) {
                     sched.flags.remove(&victim);
-                    Counters::bump(&engine.counters.aborted_evicted);
+                    engine.counters.aborted_evicted.inc();
                     let _ = job.reply.send(Err(TxnError::Evicted));
                 }
             }
@@ -469,8 +561,16 @@ fn attach_mirror_inner(
         .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e.to_string()))?;
 
     // 3. Switch the commit path to log shipping.
-    let link = MirrorLink::new(transport, &policy)?;
+    let link = MirrorLink::new(transport, &policy, &engine.recorder)?;
     *engine.replicator.write() = Replicator::Mirrored(link);
+    engine
+        .recorder
+        .gauge("replication_mode")
+        .set(ReplicationMode::Mirrored.as_gauge());
+    engine.recorder.emit(
+        "mode-change",
+        format!("mirror attached at csn {}", boundary.0),
+    );
     drop(gate);
     Ok(())
 }
@@ -510,7 +610,7 @@ fn worker_loop(engine: Arc<Engine>) {
                         sched.flags.remove(&meta.txn);
                         sched.active.remove(meta.txn);
                         sched.overload.record_miss(now);
-                        Counters::bump(&engine.counters.aborted_deadline);
+                        engine.counters.aborted_deadline.inc();
                         let _ = job.reply.send(Err(TxnError::DeadlineExpired));
                     }
                 }
@@ -584,7 +684,7 @@ fn execute_job(engine: &Arc<Engine>, mut job: Job) {
         let result = (job.closure)(&mut ctx);
         let stop = ctx.stop;
         let blocks = ctx.blocks;
-        Counters::add(&engine.counters.lock_waits, blocks);
+        engine.counters.lock_waits.add(blocks);
 
         match result {
             Ok(value) => {
@@ -592,7 +692,7 @@ fn execute_job(engine: &Arc<Engine>, mut job: Job) {
                 // closure never touched the context again.
                 if job.flags.evicted.load(Ordering::Acquire) {
                     engine.cc.remove(id);
-                    Counters::bump(&engine.counters.aborted_evicted);
+                    engine.counters.aborted_evicted.inc();
                     break Err(TxnError::Evicted);
                 }
                 // Atomic validation + install, then the commit gate.
@@ -606,6 +706,7 @@ fn execute_job(engine: &Arc<Engine>, mut job: Job) {
                         // Victims were marked by the controller; running
                         // ones discover it at their next access/validation.
                         let _ = victims;
+                        engine.obs.validation_commit.inc();
                         engine.last_csn.fetch_max(csn.0, Ordering::AcqRel);
                         let records = engine.builder.commit_group(id, ws.writes(), csn, ser_ts);
                         let commit_submitted = engine.now_ns();
@@ -617,6 +718,11 @@ fn execute_job(engine: &Arc<Engine>, mut job: Job) {
                             // corrupted frame and never acked). Mark-down
                             // resolved every pending ticket through the
                             // degraded path; re-await this one.
+                            engine.obs.gate_timeouts.inc();
+                            engine.recorder.emit(
+                                "gate-timeout",
+                                format!("commit gate timed out at csn {}", csn.0),
+                            );
                             waited = ticket.recv_timeout(engine.commit_gate_timeout);
                         }
                         let gate_result = waited
@@ -624,30 +730,31 @@ fn execute_job(engine: &Arc<Engine>, mut job: Job) {
                         match gate_result {
                             Ok(()) => {
                                 let finished = engine.now_ns();
-                                Counters::bump(&engine.counters.committed);
+                                engine.counters.committed.inc();
+                                let commit_wait = finished.saturating_sub(commit_submitted);
+                                let response = finished.saturating_sub(job.meta.arrival);
+                                engine.obs.commit_wait_ns.record(commit_wait);
+                                engine.obs.response_ns.record(response);
                                 break Ok(TxnReceipt {
                                     result: value,
                                     csn,
                                     ser_ts,
                                     restarts,
-                                    response: Duration::from_nanos(
-                                        finished.saturating_sub(job.meta.arrival),
-                                    ),
-                                    commit_wait: Duration::from_nanos(
-                                        finished.saturating_sub(commit_submitted),
-                                    ),
+                                    response: Duration::from_nanos(response),
+                                    commit_wait: Duration::from_nanos(commit_wait),
                                 });
                             }
                             Err(e) => {
-                                Counters::bump(&engine.counters.aborted_replication);
+                                engine.counters.aborted_replication.inc();
                                 break Err(e);
                             }
                         }
                     }
                     rodain_occ::ValidationOutcome::Restart(_) => {
                         drop(gate);
+                        engine.obs.validation_restart.inc();
                         restarts += 1;
-                        Counters::bump(&engine.counters.restarts);
+                        engine.counters.restarts.inc();
                         if !restart_fits(engine, &job.meta) {
                             break Err(TxnError::ConflictAbort { restarts });
                         }
@@ -658,19 +765,19 @@ fn execute_job(engine: &Arc<Engine>, mut job: Job) {
             Err(abort) => {
                 engine.cc.remove(id);
                 if let Some(message) = abort.user_message {
-                    Counters::bump(&engine.counters.aborted_user);
+                    engine.counters.aborted_user.inc();
                     break Err(TxnError::UserAbort(message));
                 }
                 match stop {
                     Some(CtxStop::Evicted) => {
-                        Counters::bump(&engine.counters.aborted_evicted);
+                        engine.counters.aborted_evicted.inc();
                         break Err(TxnError::Evicted);
                     }
                     Some(CtxStop::DeadlineExpired) => break Err(TxnError::DeadlineExpired),
                     Some(CtxStop::Shutdown) => break Err(TxnError::Shutdown),
                     Some(CtxStop::Doomed) | None => {
                         restarts += 1;
-                        Counters::bump(&engine.counters.restarts);
+                        engine.counters.restarts.inc();
                         if !restart_fits(engine, &job.meta) {
                             break Err(TxnError::ConflictAbort { restarts });
                         }
@@ -690,7 +797,7 @@ fn execute_job(engine: &Arc<Engine>, mut job: Job) {
         sched.ready.account_busy(finished.saturating_sub(started));
         if matches!(outcome, Err(TxnError::DeadlineExpired)) {
             sched.overload.record_miss(finished);
-            Counters::bump(&engine.counters.aborted_deadline);
+            engine.counters.aborted_deadline.inc();
         }
     }
     let _ = job.reply.send(outcome);

@@ -40,6 +40,14 @@
 //!   disk write happens asynchronously on the mirror. On mirror failure
 //!   the engine degrades to Contingency (or volatile) mode; a recovered
 //!   node rejoins as mirror via snapshot transfer + log catch-up.
+//!
+//! ## Observability
+//!
+//! Every engine publishes commit-path telemetry (latency histograms,
+//! outcome counters, the `replication_mode` gauge, a failover event
+//! trace) on a [`rodain_obs::Recorder`]. [`Rodain::metrics`] returns the
+//! snapshot; [`RodainBuilder::recorder`] lets several components share one
+//! registry. The metric catalog lives in the repository's `METRICS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,4 +64,5 @@ pub use engine::{Rodain, RodainBuilder};
 pub use error::{TxnAbort, TxnError};
 pub use options::{MirrorLossPolicy, TxnOptions};
 pub use replicate::ReplicationMode;
+pub use rodain_obs::{MetricsSnapshot, Recorder};
 pub use stats::{EngineStats, TxnReceipt};

@@ -8,11 +8,12 @@ use parking_lot::Mutex;
 use rodain_log::{GroupCommitLog, LogRecord, LogStorage, LogStorageConfig, StorageBackend};
 use rodain_net::{NetError, Transport};
 use rodain_node::Message;
+use rodain_obs::{Counter, Gauge, Histogram, Recorder};
 use rodain_occ::Csn;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Attempts for one frame before the link is declared dead. Only
 /// [`NetError::Io`] is retried — `Disconnected` is permanent under the
@@ -55,6 +56,19 @@ pub enum ReplicationMode {
     Mirrored,
 }
 
+impl ReplicationMode {
+    /// Stable numeric encoding published as the `replication_mode` gauge
+    /// (see `METRICS.md`): 0 = Volatile, 1 = Contingency, 2 = Mirrored.
+    #[must_use]
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            ReplicationMode::Volatile => 0,
+            ReplicationMode::Contingency => 1,
+            ReplicationMode::Mirrored => 2,
+        }
+    }
+}
+
 /// A commit ticket: resolves when the commit group is durable/acknowledged.
 pub(crate) type CommitTicket = Receiver<Result<(), TxnError>>;
 
@@ -71,15 +85,23 @@ pub(crate) enum Replicator {
 }
 
 impl Replicator {
-    pub(crate) fn contingency(dir: &std::path::Path) -> std::io::Result<Replicator> {
+    pub(crate) fn contingency(
+        dir: &std::path::Path,
+        rec: &Recorder,
+    ) -> std::io::Result<Replicator> {
         let storage = LogStorage::open(LogStorageConfig::new(dir))?;
-        Ok(Replicator::Contingency(GroupCommitLog::spawn(storage, 64)))
+        Ok(Replicator::Contingency(GroupCommitLog::spawn_observed(
+            storage, 64, rec,
+        )))
     }
 
     /// Contingency mode over a pre-built storage backend (the chaos harness
     /// injects a fault-wrapping backend here).
-    pub(crate) fn contingency_backend(backend: Box<dyn StorageBackend>) -> Replicator {
-        Replicator::Contingency(GroupCommitLog::spawn_dyn(backend, 64))
+    pub(crate) fn contingency_backend(
+        backend: Box<dyn StorageBackend>,
+        rec: &Recorder,
+    ) -> Replicator {
+        Replicator::Contingency(GroupCommitLog::spawn_dyn_observed(backend, 64, rec))
     }
 
     /// A commit ticket timed out. In mirrored mode with the link still
@@ -166,6 +188,9 @@ impl Replicator {
 struct PendingCommit {
     records: Vec<LogRecord>,
     done: Sender<Result<(), TxnError>>,
+    /// When the commit group left the primary — the ack's arrival closes
+    /// the `mirror_ship_rtt_ns` measurement.
+    sent_at: Instant,
 }
 
 /// Resolve every pending commit through the fallback (or as plain volatile
@@ -197,36 +222,50 @@ pub(crate) struct MirrorLink {
     down: Arc<AtomicBool>,
     /// Pre-opened contingency log used if/when the mirror dies.
     fallback: Option<Arc<GroupCommitLog>>,
-    acks: Arc<AtomicU64>,
+    acks: Counter,
+    /// Degraded-mode value the `replication_mode` gauge takes on failover.
+    mode_gauge: Gauge,
+    rec: Recorder,
     stop: Arc<AtomicBool>,
     ack_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl MirrorLink {
     /// Wire up a link over `transport` (the snapshot handshake has already
-    /// completed). `loss_policy` decides the degraded mode.
+    /// completed). `loss_policy` decides the degraded mode. Publishes
+    /// `mirror_ship_rtt_ns`, `mirror_acks_total` and keeps the
+    /// `replication_mode` gauge honest through failover (see `METRICS.md`).
     pub(crate) fn new(
         transport: Arc<dyn Transport>,
         loss_policy: &MirrorLossPolicy,
+        rec: &Recorder,
     ) -> std::io::Result<MirrorLink> {
         let fallback = match loss_policy {
             MirrorLossPolicy::Contingency { dir } => {
                 let storage = LogStorage::open(LogStorageConfig::new(dir))?;
-                Some(Arc::new(GroupCommitLog::spawn(storage, 64)))
+                Some(Arc::new(GroupCommitLog::spawn_observed(storage, 64, rec)))
             }
             MirrorLossPolicy::ContinueVolatile => None,
+        };
+        let degraded_mode = match fallback {
+            Some(_) => ReplicationMode::Contingency,
+            None => ReplicationMode::Volatile,
         };
         let pending: Arc<Mutex<HashMap<u64, PendingCommit>>> = Arc::new(Mutex::new(HashMap::new()));
         let down = Arc::new(AtomicBool::new(false));
         let stop = Arc::new(AtomicBool::new(false));
-        let acks = Arc::new(AtomicU64::new(0));
+        let acks = rec.counter("mirror_acks_total");
+        let rtt = rec.histogram("mirror_ship_rtt_ns");
+        let mode_gauge = rec.gauge("replication_mode");
 
         let thread_transport = Arc::clone(&transport);
         let thread_pending = Arc::clone(&pending);
         let thread_down = Arc::clone(&down);
         let thread_stop = Arc::clone(&stop);
         let thread_fallback = fallback.clone();
-        let thread_acks = Arc::clone(&acks);
+        let thread_acks = acks.clone();
+        let thread_mode = mode_gauge.clone();
+        let thread_rec = rec.clone();
         let ack_thread = std::thread::Builder::new()
             .name("rodain-ack-reader".into())
             .spawn(move || {
@@ -241,7 +280,8 @@ impl MirrorLink {
                             if let Ok(Message::CommitAck { csn, .. }) = Message::decode(frame) {
                                 let entry = thread_pending.lock().remove(&csn.0);
                                 if let Some(p) = entry {
-                                    thread_acks.fetch_add(1, Ordering::Relaxed);
+                                    thread_acks.inc();
+                                    rtt.record_elapsed(p.sent_at);
                                     let _ = p.done.send(Ok(()));
                                 }
                             }
@@ -252,6 +292,11 @@ impl MirrorLink {
                         Err(_) => {
                             // Mirror is gone: degrade.
                             thread_down.store(true, Ordering::Release);
+                            thread_mode.set(degraded_mode.as_gauge());
+                            thread_rec.emit(
+                                "mirror-down",
+                                format!("link error; degrading to {degraded_mode:?}"),
+                            );
                             drain_pending(&thread_pending, thread_fallback.as_ref());
                             return;
                         }
@@ -272,6 +317,8 @@ impl MirrorLink {
             down,
             fallback,
             acks,
+            mode_gauge,
+            rec: rec.clone(),
             stop,
             ack_thread: Some(ack_thread),
         })
@@ -289,13 +336,22 @@ impl MirrorLink {
         if self.down.swap(true, Ordering::AcqRel) {
             return;
         }
+        let degraded = match &self.fallback {
+            Some(_) => ReplicationMode::Contingency,
+            None => ReplicationMode::Volatile,
+        };
+        self.mode_gauge.set(degraded.as_gauge());
+        self.rec.emit(
+            "mirror-down",
+            format!("marked down; degrading to {degraded:?}"),
+        );
         self.transport.close();
         drain_pending(&self.pending, self.fallback.as_ref());
     }
 
     /// Commit acknowledgements received.
     pub(crate) fn acks(&self) -> u64 {
-        self.acks.load(Ordering::Relaxed)
+        self.acks.get()
     }
 
     fn ship_degraded(&self, records: Vec<LogRecord>) -> CommitTicket {
@@ -321,6 +377,7 @@ impl MirrorLink {
                 PendingCommit {
                     records: records.clone(),
                     done: tx,
+                    sent_at: Instant::now(),
                 },
             );
         }

@@ -1,8 +1,8 @@
 //! Receipts and engine statistics.
 
+use rodain_obs::{Counter, Recorder};
 use rodain_occ::{CcStats, Csn};
 use rodain_store::{Ts, Value};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// What a committed transaction returns to the client.
@@ -22,26 +22,34 @@ pub struct TxnReceipt {
     pub commit_wait: Duration,
 }
 
-#[derive(Default)]
+/// The engine's outcome counters, registered on the engine's
+/// [`Recorder`] so the same values back both [`EngineStats`] and the
+/// metrics snapshot (see `METRICS.md` for the catalog entries).
 pub(crate) struct Counters {
-    pub committed: AtomicU64,
-    pub aborted_admission: AtomicU64,
-    pub aborted_evicted: AtomicU64,
-    pub aborted_deadline: AtomicU64,
-    pub aborted_conflict: AtomicU64,
-    pub aborted_user: AtomicU64,
-    pub aborted_replication: AtomicU64,
-    pub restarts: AtomicU64,
-    pub lock_waits: AtomicU64,
+    pub committed: Counter,
+    pub aborted_admission: Counter,
+    pub aborted_evicted: Counter,
+    pub aborted_deadline: Counter,
+    pub aborted_conflict: Counter,
+    pub aborted_user: Counter,
+    pub aborted_replication: Counter,
+    pub restarts: Counter,
+    pub lock_waits: Counter,
 }
 
 impl Counters {
-    pub fn bump(field: &AtomicU64) {
-        field.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub fn add(field: &AtomicU64, n: u64) {
-        field.fetch_add(n, Ordering::Relaxed);
+    pub fn new(rec: &Recorder) -> Counters {
+        Counters {
+            committed: rec.counter("txn_committed_total"),
+            aborted_admission: rec.counter("txn_aborted_admission_total"),
+            aborted_evicted: rec.counter("txn_aborted_evicted_total"),
+            aborted_deadline: rec.counter("txn_aborted_deadline_total"),
+            aborted_conflict: rec.counter("txn_aborted_conflict_total"),
+            aborted_user: rec.counter("txn_aborted_user_total"),
+            aborted_replication: rec.counter("txn_aborted_replication_total"),
+            restarts: rec.counter("txn_restarts_total"),
+            lock_waits: rec.counter("txn_lock_waits_total"),
+        }
     }
 }
 
@@ -75,15 +83,15 @@ pub struct EngineStats {
 impl EngineStats {
     pub(crate) fn from_counters(counters: &Counters, cc: CcStats, active: usize) -> EngineStats {
         EngineStats {
-            committed: counters.committed.load(Ordering::Relaxed),
-            aborted_admission: counters.aborted_admission.load(Ordering::Relaxed),
-            aborted_evicted: counters.aborted_evicted.load(Ordering::Relaxed),
-            aborted_deadline: counters.aborted_deadline.load(Ordering::Relaxed),
-            aborted_conflict: counters.aborted_conflict.load(Ordering::Relaxed),
-            aborted_user: counters.aborted_user.load(Ordering::Relaxed),
-            aborted_replication: counters.aborted_replication.load(Ordering::Relaxed),
-            restarts: counters.restarts.load(Ordering::Relaxed),
-            lock_waits: counters.lock_waits.load(Ordering::Relaxed),
+            committed: counters.committed.get(),
+            aborted_admission: counters.aborted_admission.get(),
+            aborted_evicted: counters.aborted_evicted.get(),
+            aborted_deadline: counters.aborted_deadline.get(),
+            aborted_conflict: counters.aborted_conflict.get(),
+            aborted_user: counters.aborted_user.get(),
+            aborted_replication: counters.aborted_replication.get(),
+            restarts: counters.restarts.get(),
+            lock_waits: counters.lock_waits.get(),
             cc,
             active,
         }
@@ -117,11 +125,12 @@ mod tests {
 
     #[test]
     fn snapshot_and_ratios() {
-        let counters = Counters::default();
-        Counters::bump(&counters.committed);
-        Counters::bump(&counters.committed);
-        Counters::bump(&counters.aborted_deadline);
-        Counters::add(&counters.restarts, 5);
+        let rec = Recorder::new();
+        let counters = Counters::new(&rec);
+        counters.committed.inc();
+        counters.committed.inc();
+        counters.aborted_deadline.inc();
+        counters.restarts.add(5);
         let stats = EngineStats::from_counters(&counters, CcStats::default(), 3);
         assert_eq!(stats.committed, 2);
         assert_eq!(stats.aborted(), 1);
@@ -129,5 +138,9 @@ mod tests {
         assert_eq!(stats.active, 3);
         assert!((stats.miss_ratio() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(EngineStats::default().miss_ratio(), 0.0);
+        // The same counters are visible through the recorder snapshot.
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("txn_committed_total"), Some(2));
+        assert_eq!(snap.counter("txn_restarts_total"), Some(5));
     }
 }

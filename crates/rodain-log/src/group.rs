@@ -13,9 +13,11 @@ use crate::record::LogRecord;
 use crate::storage::StorageBackend;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use rodain_obs::{Histogram, Recorder};
 use std::io;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Monotone group-commit statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -72,12 +74,38 @@ impl GroupCommitLog {
     /// [`GroupCommitLog::spawn`] for an already-boxed backend.
     #[must_use]
     pub fn spawn_dyn(storage: Box<dyn StorageBackend>, max_batch: usize) -> Self {
+        Self::spawn_dyn_observed(storage, max_batch, &Recorder::new())
+    }
+
+    /// [`GroupCommitLog::spawn`] publishing `log_flush_ns` (wall time of
+    /// each storage flush — the Contingency-mode fsync) and
+    /// `log_batch_records` (records coalesced per flush group) on `rec`.
+    #[must_use]
+    pub fn spawn_observed(
+        storage: impl StorageBackend + 'static,
+        max_batch: usize,
+        rec: &Recorder,
+    ) -> Self {
+        Self::spawn_dyn_observed(Box::new(storage), max_batch, rec)
+    }
+
+    /// [`GroupCommitLog::spawn_observed`] for an already-boxed backend.
+    #[must_use]
+    pub fn spawn_dyn_observed(
+        storage: Box<dyn StorageBackend>,
+        max_batch: usize,
+        rec: &Recorder,
+    ) -> Self {
         let (tx, rx) = unbounded::<Request>();
         let stats = Arc::new(Mutex::new(GroupCommitStats::default()));
         let stats_thread = Arc::clone(&stats);
+        let obs = WriterObs {
+            flush_ns: rec.histogram("log_flush_ns"),
+            batch_records: rec.histogram("log_batch_records"),
+        };
         let handle = std::thread::Builder::new()
             .name("rodain-log-writer".into())
-            .spawn(move || writer_loop(storage, rx, stats_thread, max_batch.max(1)))
+            .spawn(move || writer_loop(storage, rx, stats_thread, max_batch.max(1), obs))
             .expect("spawn log writer");
         GroupCommitLog {
             tx,
@@ -163,11 +191,18 @@ impl Drop for GroupCommitLog {
     }
 }
 
+/// Writer-thread metrics (see `METRICS.md`).
+struct WriterObs {
+    flush_ns: Histogram,
+    batch_records: Histogram,
+}
+
 fn writer_loop(
     mut storage: Box<dyn StorageBackend>,
     rx: Receiver<Request>,
     stats: Arc<Mutex<GroupCommitStats>>,
     max_batch: usize,
+    obs: WriterObs,
 ) -> Box<dyn StorageBackend> {
     loop {
         let Ok(first) = rx.recv() else {
@@ -215,10 +250,16 @@ fn writer_loop(
         }
 
         let flush_result = if need_flush || shutdown {
-            storage.flush()
+            let started = Instant::now();
+            let result = storage.flush();
+            obs.flush_ns.record_elapsed(started);
+            result
         } else {
             Ok(())
         };
+        if appended > 0 {
+            obs.batch_records.record(appended);
+        }
         let result_kind = append_err.or(flush_result.err().map(|e| e.kind()));
         for w in waiters {
             let reply = match result_kind {
@@ -335,6 +376,22 @@ mod tests {
         let mut storage = group.shutdown();
         let got: Vec<_> = storage.iter().unwrap().map(|r| r.unwrap()).collect();
         assert_eq!(got.len(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observed_writer_records_flush_latency() {
+        let dir = tmpdir("observed");
+        let rec = Recorder::new();
+        let group = GroupCommitLog::spawn_observed(open(&dir), 8, &rec);
+        group.commit_sync(vec![commit_rec(1, 1)]).unwrap();
+        group.commit_sync(vec![commit_rec(2, 2)]).unwrap();
+        let snap = rec.snapshot();
+        let flush = snap.histogram("log_flush_ns").unwrap();
+        assert!(flush.count >= 2, "flushes: {}", flush.count);
+        let batch = snap.histogram("log_batch_records").unwrap();
+        assert!(batch.count >= 1);
+        drop(group);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -4,8 +4,10 @@ use crate::detector::{DetectorVerdict, FailureDetector};
 use crate::message::Message;
 use rodain_log::{GroupCommitLog, ReorderBuffer};
 use rodain_net::{NetError, Transport};
+use rodain_obs::{Gauge, Histogram, Recorder};
 use rodain_occ::Csn;
 use rodain_store::{Snapshot, Store};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -88,6 +90,24 @@ pub struct MirrorNode {
     shutdown: Arc<AtomicBool>,
     applied_csn: Arc<AtomicU64>,
     hb_seq: u64,
+    obs: Option<MirrorObs>,
+    /// When each commit was acknowledged, keyed by CSN — closed by the
+    /// apply in [`MirrorNode::apply_ready`] (`mirror_apply_lag_ns`).
+    /// Only populated when a recorder is attached.
+    acked_at: HashMap<u64, Instant>,
+}
+
+/// Mirror-side metrics (see `METRICS.md`).
+struct MirrorObs {
+    /// Commit acknowledged → after-images applied to the copy.
+    apply_lag: Histogram,
+    /// Transactions buffered in the reorder buffer, not yet committed.
+    reorder_pending: Gauge,
+    /// Highest CSN applied to the database copy.
+    applied_csn: Gauge,
+    /// Promotion cost: drop-uncommitted + final disk flush at takeover.
+    takeover_flush: Histogram,
+    rec: Recorder,
 }
 
 impl MirrorNode {
@@ -111,7 +131,24 @@ impl MirrorNode {
             shutdown: Arc::new(AtomicBool::new(false)),
             applied_csn: Arc::new(AtomicU64::new(0)),
             hb_seq: 0,
+            obs: None,
+            acked_at: HashMap::new(),
         }
+    }
+
+    /// Publish `mirror_apply_lag_ns`, `mirror_reorder_pending`,
+    /// `mirror_applied_csn` and `mirror_takeover_flush_ns` on `rec`
+    /// (see `METRICS.md`).
+    #[must_use]
+    pub fn with_recorder(mut self, rec: &Recorder) -> Self {
+        self.obs = Some(MirrorObs {
+            apply_lag: rec.histogram("mirror_apply_lag_ns"),
+            reorder_pending: rec.gauge("mirror_reorder_pending"),
+            applied_csn: rec.gauge("mirror_applied_csn"),
+            takeover_flush: rec.histogram("mirror_takeover_flush_ns"),
+            rec: rec.clone(),
+        });
+        self
     }
 
     /// A flag that makes [`MirrorNode::run`] return at the next poll.
@@ -222,9 +259,22 @@ impl MirrorNode {
         // Close the loss window: make everything buffered durable before
         // taking over ("As soon as the remaining node has had enough time to
         // store the remaining logs to the disk, no data will be lost").
+        let takeover_started = Instant::now();
         self.report.discarded_at_exit = self.reorder.drop_uncommitted() as u64;
         if let Some(disk) = &self.disk {
             let _ = disk.flush_sync();
+        }
+        if let Some(obs) = &self.obs {
+            if exit == MirrorExit::PrimaryFailed {
+                obs.takeover_flush.record_elapsed(takeover_started);
+                obs.rec.emit(
+                    "takeover",
+                    format!(
+                        "primary failed; {} uncommitted txn(s) discarded, logs flushed",
+                        self.report.discarded_at_exit
+                    ),
+                );
+            }
         }
         (exit, self.report)
     }
@@ -246,6 +296,9 @@ impl MirrorNode {
                                 return Err(MirrorExit::PrimaryFailed);
                             }
                             self.report.acks_sent += 1;
+                            if self.obs.is_some() {
+                                self.acked_at.insert(csn.0, Instant::now());
+                            }
                         }
                         Ok(_) => {}
                         Err(_) => {
@@ -255,6 +308,9 @@ impl MirrorNode {
                             self.report.ignored += 1;
                         }
                     }
+                }
+                if let Some(obs) = &self.obs {
+                    obs.reorder_pending.set(self.reorder.pending_txns() as i64);
                 }
                 self.apply_ready();
                 Ok(())
@@ -283,6 +339,12 @@ impl MirrorNode {
             }
             self.report.txns_applied += 1;
             self.applied_csn.store(committed.csn.0, Ordering::Release);
+            if let Some(obs) = &self.obs {
+                if let Some(acked) = self.acked_at.remove(&committed.csn.0) {
+                    obs.apply_lag.record_elapsed(acked);
+                }
+                obs.applied_csn.set(committed.csn.0 as i64);
+            }
             if let Some(disk) = &self.disk {
                 let _ = disk.append_async(committed.to_records());
             }
@@ -334,7 +396,9 @@ mod tests {
     fn join_receives_snapshot_then_applies_stream() {
         let (primary_side, mirror_side) = InProcTransport::pair();
         let store = Arc::new(Store::new());
-        let mut mirror = MirrorNode::new(store.clone(), Arc::new(mirror_side), None, fast_config());
+        let rec = Recorder::new();
+        let mut mirror = MirrorNode::new(store.clone(), Arc::new(mirror_side), None, fast_config())
+            .with_recorder(&rec);
         let applied = mirror.applied_csn_handle();
         let shutdown = mirror.shutdown_handle();
 
@@ -395,6 +459,9 @@ mod tests {
         assert_eq!(exit, MirrorExit::ShutdownRequested);
         assert_eq!(report.txns_applied, 1);
         assert_eq!(report.acks_sent, 1);
+        let snap = rec.snapshot();
+        assert_eq!(snap.histogram("mirror_apply_lag_ns").unwrap().count, 1);
+        assert_eq!(snap.gauge("mirror_applied_csn"), Some(1));
         drop(primary_side);
     }
 

@@ -1,0 +1,329 @@
+//! Lock-free log-linear histogram.
+//!
+//! Layout (HdrHistogram-style): values `0..16` map one-to-one onto the
+//! first 16 buckets; every later power-of-two range is split into 16
+//! linear sub-buckets, so a recorded value is over-estimated by at most
+//! one sub-bucket width — a relative error of `1/16 = 6.25 %`. The table
+//! covers the full `u64` range in [`BUCKETS`] fixed slots, so recording is
+//! a handful of relaxed atomic RMWs and never allocates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Linear sub-buckets per power-of-two octave.
+const SUB_BUCKETS: usize = 16;
+
+/// Total bucket count: 16 exact low buckets + 16 per octave for
+/// exponents 4..=63.
+pub(crate) const BUCKETS: usize = SUB_BUCKETS + (64 - 4) * SUB_BUCKETS;
+
+/// Bucket index for `value`.
+fn index_of(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros() as usize; // 4..=63
+    let sub = ((value >> (exp - 4)) & 0xF) as usize;
+    SUB_BUCKETS + (exp - 4) * SUB_BUCKETS + sub
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn lower_bound(i: usize) -> u64 {
+    if i < SUB_BUCKETS {
+        return i as u64;
+    }
+    let j = i - SUB_BUCKETS;
+    let exp = 4 + j / SUB_BUCKETS;
+    let sub = (j % SUB_BUCKETS) as u64;
+    (1u64 << exp) + sub * (1u64 << (exp - 4))
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket).
+fn upper_bound(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        lower_bound(i + 1) - 1
+    }
+}
+
+struct Inner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A cloneable, lock-free latency/value histogram.
+///
+/// All recording operations use relaxed atomics: readers taking a
+/// [`HistogramSnapshot`] mid-record may see a count that is one ahead of
+/// the bucket increments (or vice versa) — an acceptable imprecision for
+/// monitoring, in exchange for a record path with no fences or locks.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<Inner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh histogram with every bucket at zero.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            inner: Arc::new(Inner {
+                buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        let inner = &self.inner;
+        inner.buckets[index_of(value)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.min.fetch_min(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record the elapsed time of `since` in nanoseconds (saturating at
+    /// `u64::MAX`).
+    pub fn record_elapsed(&self, since: std::time::Instant) {
+        let ns = u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.record(ns);
+    }
+
+    /// Observations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.inner;
+        let mut buckets = Vec::new();
+        for (i, b) in inner.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c != 0 {
+                buckets.push((i as u32, c));
+            }
+        }
+        let count = inner.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: inner.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                inner.min.load(Ordering::Relaxed)
+            },
+            max: inner.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`] at one instant. Only non-empty
+/// buckets are retained, sorted by bucket index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `(bucket index, count)` pairs for every non-empty bucket.
+    buckets: Vec<(u32, u64)>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0.0, 1.0]`: an upper bound on the
+    /// true quantile with ≤ 6.25 % relative error, clamped into
+    /// `[min, max]`. Returns 0 when the histogram is empty.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(i, c) in &self.buckets {
+            cum += c;
+            if cum >= rank {
+                return upper_bound(i as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterate `(inclusive upper bound, cumulative count)` over the
+    /// non-empty buckets in ascending value order — the shape Prometheus
+    /// exposition wants.
+    pub fn cumulative_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut cum = 0u64;
+        self.buckets.iter().map(move |&(i, c)| {
+            cum += c;
+            (upper_bound(i as usize), cum)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_exact_below_sixteen() {
+        for v in 0..16u64 {
+            assert_eq!(index_of(v), v as usize);
+            assert_eq!(lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_range() {
+        // Every bucket's lower bound must be one past the previous upper
+        // bound, with no gaps or overlaps.
+        for i in 1..BUCKETS {
+            assert_eq!(
+                lower_bound(i),
+                upper_bound(i - 1) + 1,
+                "gap between buckets {} and {}",
+                i - 1,
+                i
+            );
+        }
+        assert_eq!(upper_bound(BUCKETS - 1), u64::MAX);
+        // And index_of must agree with the bounds.
+        for &v in &[
+            0,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            1000,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = index_of(v);
+            assert!(
+                lower_bound(i) <= v && v <= upper_bound(i),
+                "value {v} bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn relative_error_within_one_sixteenth() {
+        let h = Histogram::new();
+        for v in [100u64, 999, 5_000, 123_456, 9_999_999] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // p100 over-estimates by at most one sub-bucket width, then clamps
+        // to the observed max.
+        assert_eq!(snap.percentile(1.0), 9_999_999);
+        let h2 = Histogram::new();
+        for v in 1..=1_000u64 {
+            h2.record(v);
+        }
+        let s = h2.snapshot();
+        for &(q, true_v) in &[(0.5, 500u64), (0.95, 950), (0.99, 990)] {
+            let got = s.percentile(q);
+            let err = got.abs_diff(true_v) as f64 / true_v as f64;
+            assert!(err <= 1.0 / 16.0, "q={q} got={got} true={true_v}");
+        }
+    }
+
+    #[test]
+    fn zero_samples_snapshot_is_all_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.sum, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+        assert_eq!(snap.mean(), 0.0);
+        assert_eq!(snap.percentile(0.5), 0);
+        assert_eq!(snap.cumulative_buckets().count(), 0);
+    }
+
+    #[test]
+    fn top_bucket_saturation() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.max, u64::MAX);
+        assert_eq!(snap.percentile(1.0), u64::MAX);
+        // All three land in the final bucket; the cumulative view must
+        // report the +Inf-adjacent bound without overflowing.
+        let buckets: Vec<_> = snap.cumulative_buckets().collect();
+        assert_eq!(buckets, vec![(u64::MAX, 3)]);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let h = h.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    h.record(t * per_thread + i);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, threads * per_thread);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, threads * per_thread - 1);
+        let total: u64 = snap.cumulative_buckets().last().map(|(_, c)| c).unwrap();
+        assert_eq!(total, threads * per_thread);
+    }
+
+    #[test]
+    fn record_elapsed_measures_forward_time() {
+        let h = Histogram::new();
+        let start = std::time::Instant::now();
+        h.record_elapsed(start);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! # rodain-obs — the unified observability layer
+//!
+//! The paper's headline claims are quantitative — commit latency without a
+//! disk write on the critical path, near-instant takeover — so every other
+//! crate in this workspace needs a way to *measure* its hot paths without
+//! perturbing them. This crate is that layer: a dependency-free substrate
+//! of lock-free metric primitives shared by the engine, the replication
+//! machinery, the scheduler, the log writer and the chaos harness.
+//!
+//! Building blocks:
+//!
+//! * [`Counter`] / [`Gauge`] — single atomics behind cloneable handles;
+//!   recording is one relaxed RMW, reading never blocks a writer.
+//! * [`Histogram`] — a fixed-bucket **log-linear** histogram (16 linear
+//!   sub-buckets per power of two, ≤ 6.25 % relative error) over `u64`
+//!   values, all-atomic, sized for nanosecond latencies up to `u64::MAX`.
+//!   Recording touches four relaxed atomics and never allocates.
+//! * [`EventTrace`] — a bounded ring buffer of timestamped events for
+//!   commit/failover timelines (mode changes, takeovers, gate timeouts);
+//!   old events are dropped, the tracer never grows.
+//! * [`Recorder`] — the cheap cloneable handle tying it together: metrics
+//!   are registered by name once (cold path, mutex-protected) and recorded
+//!   through the returned handles (hot path, lock-free).
+//!
+//! One snapshot type, [`MetricsSnapshot`], is consumed three ways: the
+//! server's `STATS`/metrics protocol command ([`MetricsSnapshot::render_text`]
+//! and [`MetricsSnapshot::render_json`]), Prometheus-style exposition
+//! ([`MetricsSnapshot::render_prometheus`]) and percentile columns in
+//! `rodain-bench` reports. The complete catalog of metric names the system
+//! emits — with units and the source that moves each one — lives in the
+//! repository's `METRICS.md`.
+//!
+//! ## Conventions
+//!
+//! * Durations are recorded in **nanoseconds** and the metric name ends in
+//!   `_ns`; monotone counters end in `_total`; everything else is a gauge.
+//! * Labels are baked into the registered name
+//!   (`engine_info{protocol="occ-dati"}`) — registration happens once per
+//!   process, so there is no label cardinality to manage at record time.
+//!
+//! ```
+//! use rodain_obs::Recorder;
+//!
+//! let rec = Recorder::new();
+//! let commits = rec.counter("txn_committed_total");
+//! let wait = rec.histogram("engine_commit_wait_ns");
+//! commits.inc();
+//! wait.record(1_500);
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counter("txn_committed_total"), Some(1));
+//! assert!(snap.render_prometheus().contains("engine_commit_wait_ns_count"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod metric;
+mod registry;
+mod render;
+mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use metric::{Counter, Gauge};
+pub use registry::{MetricsSnapshot, Recorder};
+pub use trace::{EventTrace, TraceEvent};

@@ -1,0 +1,88 @@
+//! Scalar metrics: monotone counters and signed gauges.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter. Cloning yields another handle to
+/// the same underlying atomic; incrementing is a single relaxed RMW.
+#[derive(Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depth, replication mode, …).
+/// Cloning yields another handle to the same underlying atomic.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    #[must_use]
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_clones_share_state() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_set_and_delta() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+}

@@ -1,0 +1,225 @@
+//! The [`Recorder`] registry and [`MetricsSnapshot`].
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::metric::{Counter, Gauge};
+use crate::trace::{EventTrace, TraceEvent};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Inner {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+    trace: EventTrace,
+}
+
+/// The cheap cloneable handle every instrumented component holds.
+///
+/// Registration (`counter`/`gauge`/`histogram`) is the cold path: it takes
+/// a mutex and does a map lookup, returning a handle bound to the named
+/// metric. Registering the same name twice returns a handle to the *same*
+/// metric, so independent components can safely share names. Hot paths
+/// record through the returned handles and never touch the registry.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Events retained by the recorder's built-in tracer.
+const TRACE_CAPACITY: usize = 256;
+
+impl Recorder {
+    /// A fresh, empty recorder.
+    #[must_use]
+    pub fn new() -> Recorder {
+        Recorder {
+            inner: Arc::new(Inner {
+                metrics: Mutex::new(BTreeMap::new()),
+                trace: EventTrace::new(TRACE_CAPACITY),
+            }),
+        }
+    }
+
+    /// Get or register the counter named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind —
+    /// that is a naming bug, not a runtime condition.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.metrics.lock().expect("metrics lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register the gauge named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.metrics.lock().expect("metrics lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register the histogram named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.metrics.lock().expect("metrics lock");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The recorder's event tracer (shared by all clones).
+    #[must_use]
+    pub fn trace(&self) -> &EventTrace {
+        &self.inner.trace
+    }
+
+    /// Convenience: emit an event on the built-in tracer.
+    pub fn emit(&self, kind: &'static str, detail: impl Into<String>) {
+        self.inner.trace.emit(kind, detail);
+    }
+
+    /// A point-in-time copy of every registered metric plus the retained
+    /// event timeline.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.metrics.lock().expect("metrics lock");
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        drop(map);
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            events: self.inner.trace.events(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Recorder`]'s contents, ready to render as
+/// plain text, JSON or Prometheus exposition (see the `render_*` methods
+/// in this crate's `render` module).
+#[derive(Clone)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, distribution)` for every histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Retained trace events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter named `name`, if registered.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of the gauge named `name`, if registered.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Distribution of the histogram named `name`, if registered.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reregistering_returns_same_metric() {
+        let rec = Recorder::new();
+        let a = rec.counter("x_total");
+        let b = rec.counter("x_total");
+        a.inc();
+        b.inc();
+        assert_eq!(rec.snapshot().counter("x_total"), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let rec = Recorder::new();
+        let _ = rec.counter("x");
+        let _ = rec.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_carries_all_kinds_and_events() {
+        let rec = Recorder::new();
+        rec.counter("c_total").add(7);
+        rec.gauge("g").set(-2);
+        rec.histogram("h_ns").record(42);
+        rec.emit("mode-change", "volatile -> mirrored");
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("c_total"), Some(7));
+        assert_eq!(snap.gauge("g"), Some(-2));
+        assert_eq!(snap.histogram("h_ns").unwrap().count, 1);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].kind, "mode-change");
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let rec = Recorder::new();
+        let clone = rec.clone();
+        clone.counter("shared_total").inc();
+        assert_eq!(rec.snapshot().counter("shared_total"), Some(1));
+    }
+}

@@ -1,0 +1,221 @@
+//! Renderers: one [`MetricsSnapshot`], three output formats.
+
+use crate::registry::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Quantiles reported by the text and JSON renderers.
+const QUANTILES: [(f64, &str); 3] = [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")];
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The metric name with any baked-in label block stripped:
+/// `engine_info{protocol="occ-dati"}` → `engine_info`.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+impl MetricsSnapshot {
+    /// Human-readable plain text: one line per metric.
+    ///
+    /// Counters and gauges render as `kind name value`; histograms render
+    /// as `hist name count=… sum=… min=… p50=… p95=… p99=… max=…`; trace
+    /// events as `event seq at_ns kind detail`.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = write!(
+                out,
+                "hist {name} count={} sum={} min={}",
+                h.count, h.sum, h.min
+            );
+            for (q, label) in QUANTILES {
+                let _ = write!(out, " {label}={}", h.percentile(q));
+            }
+            let _ = writeln!(out, " max={}", h.max);
+        }
+        for e in &self.events {
+            let _ = writeln!(out, "event {} {} {} {}", e.seq, e.at_ns, e.kind, e.detail);
+        }
+        out
+    }
+
+    /// Machine-readable JSON (no external dependency; strings are escaped
+    /// per RFC 8259).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}",
+                json_escape(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            );
+            for (q, label) in QUANTILES {
+                let _ = write!(out, ",\"{label}\":{}", h.percentile(q));
+            }
+            out.push('}');
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"at_ns\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+                e.seq,
+                e.at_ns,
+                json_escape(e.kind),
+                json_escape(&e.detail)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Prometheus text exposition (format version 0.0.4). Histograms emit
+    /// cumulative `_bucket{le=…}` series for every non-empty bucket plus
+    /// `+Inf`, `_sum` and `_count`. Trace events are omitted — they are a
+    /// timeline, not a time series.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {} counter", base_name(name));
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {} gauge", base_name(name));
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let base = base_name(name);
+            let _ = writeln!(out, "# TYPE {base} histogram");
+            for (upper, cum) in h.cumulative_buckets() {
+                if upper == u64::MAX {
+                    // Folded into +Inf below.
+                    continue;
+                }
+                let _ = writeln!(out, "{base}_bucket{{le=\"{upper}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{base}_sum {}", h.sum);
+            let _ = writeln!(out, "{base}_count {}", h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Recorder;
+
+    fn sample() -> crate::MetricsSnapshot {
+        let rec = Recorder::new();
+        rec.counter("txn_committed_total").add(10);
+        rec.gauge("replication_mode").set(2);
+        let h = rec.histogram("engine_commit_wait_ns");
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        rec.emit("mode-change", "volatile -> mirrored");
+        rec.snapshot()
+    }
+
+    #[test]
+    fn text_lists_every_metric() {
+        let text = sample().render_text();
+        assert!(text.contains("counter txn_committed_total 10"));
+        assert!(text.contains("gauge replication_mode 2"));
+        assert!(text.contains("hist engine_commit_wait_ns count=3"));
+        assert!(text.contains("p95="));
+        assert!(text.contains("event 0 "));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let rec = Recorder::new();
+        rec.counter("weird\"name_total").inc();
+        rec.emit("note", "line1\nline2");
+        let json = rec.snapshot().render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("weird\\\"name_total"));
+        assert!(json.contains("line1\\nline2"));
+        // Balanced braces (no nested strings contain braces here).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn prometheus_histogram_series_are_cumulative() {
+        let prom = sample().render_prometheus();
+        assert!(prom.contains("# TYPE engine_commit_wait_ns histogram"));
+        assert!(prom.contains("engine_commit_wait_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(prom.contains("engine_commit_wait_ns_sum 600"));
+        assert!(prom.contains("engine_commit_wait_ns_count 3"));
+        // Each successive bucket count must be >= the previous.
+        let mut last = 0u64;
+        for line in prom
+            .lines()
+            .filter(|l| l.contains("_bucket{le=\"") && !l.contains("+Inf"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn prometheus_strips_label_block_from_type_line() {
+        let rec = Recorder::new();
+        rec.gauge("engine_info{protocol=\"occ-dati\"}").set(1);
+        let prom = rec.snapshot().render_prometheus();
+        assert!(prom.contains("# TYPE engine_info gauge"));
+        assert!(prom.contains("engine_info{protocol=\"occ-dati\"} 1"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Bounded ring-buffer event tracer for commit/failover timelines.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One traced event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Monotone sequence number (never reused, survives eviction).
+    pub seq: u64,
+    /// Nanoseconds since the tracer was created.
+    pub at_ns: u64,
+    /// Static event kind, e.g. `"mode-change"` or `"takeover"`.
+    pub kind: &'static str,
+    /// Free-form detail line.
+    pub detail: String,
+}
+
+struct Inner {
+    events: VecDeque<TraceEvent>,
+    next_seq: u64,
+}
+
+/// A bounded timeline of notable events (mode changes, failovers, gate
+/// timeouts). The buffer holds the most recent `capacity` events; older
+/// ones are silently dropped, so emitting is O(1) and the tracer can live
+/// for the whole process without growing.
+#[derive(Clone)]
+pub struct EventTrace {
+    epoch: Instant,
+    capacity: usize,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl EventTrace {
+    /// A tracer retaining at most `capacity` events (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> EventTrace {
+        EventTrace {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            inner: Arc::new(Mutex::new(Inner {
+                events: VecDeque::new(),
+                next_seq: 0,
+            })),
+        }
+    }
+
+    /// Append an event, evicting the oldest if the buffer is full.
+    pub fn emit(&self, kind: &'static str, detail: impl Into<String>) {
+        let at_ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut inner = self.inner.lock().expect("trace lock");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(TraceEvent {
+            seq,
+            at_ns,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// Copy of the retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .lock()
+            .expect("trace lock")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Total events ever emitted (including evicted ones).
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.inner.lock().expect("trace lock").next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let trace = EventTrace::new(3);
+        for i in 0..5 {
+            trace.emit("tick", format!("event {i}"));
+        }
+        let events = trace.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 2);
+        assert_eq!(events[2].seq, 4);
+        assert_eq!(trace.emitted(), 5);
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let trace = EventTrace::new(8);
+        trace.emit("a", "");
+        trace.emit("b", "");
+        let events = trace.events();
+        assert!(events[0].at_ns <= events[1].at_ns);
+    }
+}

@@ -184,6 +184,23 @@ pub struct CcStats {
     pub blocks: u64,
 }
 
+impl CcStats {
+    /// `(metric name, value)` pairs for every counter, in declaration
+    /// order — the observability layer exports these under
+    /// `occ_<name>_total` (see the repository's `METRICS.md`).
+    #[must_use]
+    pub fn named(&self) -> [(&'static str, u64); 6] {
+        [
+            ("commits", self.commits),
+            ("self_restarts", self.self_restarts),
+            ("victim_restarts", self.victim_restarts),
+            ("backward_commits", self.backward_commits),
+            ("adjustments", self.adjustments),
+            ("blocks", self.blocks),
+        ]
+    }
+}
+
 /// A pluggable concurrency controller.
 ///
 /// The engine drives it through the transaction life cycle:
@@ -263,6 +280,22 @@ mod tests {
     fn priority_ordering() {
         assert!(CcPriority(10) < CcPriority::LOWEST);
         assert!(CcPriority(1) < CcPriority(2));
+    }
+
+    #[test]
+    fn named_counters_cover_every_field() {
+        let stats = CcStats {
+            commits: 1,
+            self_restarts: 2,
+            victim_restarts: 3,
+            backward_commits: 4,
+            adjustments: 5,
+            blocks: 6,
+        };
+        let named = stats.named();
+        assert_eq!(named.len(), 6);
+        let sum: u64 = named.iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, 21, "a CcStats field is missing from named()");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! EDF ready queue with demand-based non-real-time reservation.
 
 use crate::class::{Nanos, TaskMeta, TxnClass};
+use rodain_obs::{Gauge, Histogram, Recorder};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -68,6 +69,16 @@ pub struct ReadyQueue {
     seq: u64,
     credit: Nanos,
     config: ReservationConfig,
+    obs: Option<QueueObs>,
+}
+
+/// Scheduler metrics (see `METRICS.md`): queue-depth gauges updated on
+/// every push/pop, and how late an expired firm task was when the queue
+/// dropped it.
+struct QueueObs {
+    rt_depth: Gauge,
+    non_rt_depth: Gauge,
+    miss_lateness: Histogram,
 }
 
 impl ReadyQueue {
@@ -80,6 +91,28 @@ impl ReadyQueue {
             seq: 0,
             credit: 0,
             config,
+            obs: None,
+        }
+    }
+
+    /// Create an empty queue that publishes `sched_rt_depth`,
+    /// `sched_non_rt_depth` and `sched_deadline_miss_lateness_ns` on `rec`.
+    #[must_use]
+    pub fn observed(config: ReservationConfig, rec: &Recorder) -> Self {
+        let mut queue = ReadyQueue::new(config);
+        queue.obs = Some(QueueObs {
+            rt_depth: rec.gauge("sched_rt_depth"),
+            non_rt_depth: rec.gauge("sched_non_rt_depth"),
+            miss_lateness: rec.histogram("sched_deadline_miss_lateness_ns"),
+        });
+        queue
+    }
+
+    /// Publish current depths to the gauges (cheap: two relaxed stores).
+    fn sync_depth(&self) {
+        if let Some(obs) = &self.obs {
+            obs.rt_depth.set(self.rt.len() as i64);
+            obs.non_rt_depth.set(self.non_rt.len() as i64);
         }
     }
 
@@ -120,6 +153,7 @@ impl ReadyQueue {
                 });
             }
         }
+        self.sync_depth();
     }
 
     /// Account `busy` nanoseconds of execution. While non-real-time work is
@@ -138,6 +172,20 @@ impl ReadyQueue {
     /// pushed into `expired` (the engine aborts them and counts the miss).
     /// Soft tasks are returned even when late.
     pub fn pop(&mut self, now: Nanos, expired: &mut Vec<TaskMeta>) -> Option<TaskMeta> {
+        let misses_before = expired.len();
+        let popped = self.pop_inner(now, expired);
+        if let Some(obs) = &self.obs {
+            for task in &expired[misses_before..] {
+                if let Some(deadline) = task.deadline {
+                    obs.miss_lateness.record(now.saturating_sub(deadline));
+                }
+            }
+        }
+        self.sync_depth();
+        popped
+    }
+
+    fn pop_inner(&mut self, now: Nanos, expired: &mut Vec<TaskMeta>) -> Option<TaskMeta> {
         // Reservation: serve non-real-time work first when its credit
         // covers the estimated cost.
         if let Some(front) = self.non_rt.front() {
@@ -171,6 +219,7 @@ impl ReadyQueue {
         self.rt.clear();
         self.non_rt.clear();
         self.credit = 0;
+        self.sync_depth();
     }
 }
 
@@ -304,6 +353,26 @@ mod tests {
         queue.push(TaskMeta::firm(TxnId(1), 0, 5_000, 10));
         queue.push(TaskMeta::firm(TxnId(2), 0, 2_000, 10));
         assert_eq!(queue.earliest_rt_deadline(), Some(2_000));
+    }
+
+    #[test]
+    fn observed_queue_publishes_depth_and_lateness() {
+        let rec = Recorder::new();
+        let mut queue = ReadyQueue::observed(ReservationConfig::default(), &rec);
+        queue.push(TaskMeta::firm(TxnId(1), 0, 100, 10));
+        queue.push(TaskMeta::non_real_time(TxnId(2), 0, 10));
+        let snap = rec.snapshot();
+        assert_eq!(snap.gauge("sched_rt_depth"), Some(1));
+        assert_eq!(snap.gauge("sched_non_rt_depth"), Some(1));
+        // Pop at t=5000: the firm task missed its deadline by 4900 ns.
+        let mut expired = Vec::new();
+        queue.pop(5_000, &mut expired).unwrap();
+        assert_eq!(expired.len(), 1);
+        let snap = rec.snapshot();
+        let lateness = snap.histogram("sched_deadline_miss_lateness_ns").unwrap();
+        assert_eq!(lateness.count, 1);
+        assert!(lateness.max >= 4_900);
+        assert_eq!(snap.gauge("sched_rt_depth"), Some(0));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Blocking client for the User Request Interpreter protocol.
 
-use crate::protocol::{read_frame, write_frame, Outcome, Request, RequestOp, Response};
+use crate::protocol::{
+    read_frame, write_frame, MetricsFormat, Outcome, Request, RequestOp, Response,
+};
 use rodain_store::{ObjectId, Value};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -96,6 +98,16 @@ impl Client {
     /// Engine statistics as `Record[committed, aborted, restarts, active]`.
     pub fn stats(&mut self) -> std::io::Result<Outcome> {
         self.request(0, RequestOp::Stats)
+    }
+
+    /// Full metrics snapshot rendered in the requested format.
+    ///
+    /// Returns `Outcome::Ok(Value::Text(..))` holding the rendered
+    /// snapshot — human-readable lines, JSON, or Prometheus exposition
+    /// depending on `format`. See the repository's `METRICS.md` for the
+    /// metric catalog.
+    pub fn metrics(&mut self, format: MetricsFormat) -> std::io::Result<Outcome> {
+        self.request(0, RequestOp::Metrics { format })
     }
 
     /// Send a burst of pipelined requests and collect all responses

@@ -17,6 +17,15 @@
 //! within its firm deadline is answered with a `Miss` outcome, mirroring
 //! the engine's abort taxonomy, so callers can distinguish "too late" from
 //! "wrong".
+//!
+//! ## Observability
+//!
+//! Besides the compact `Stats` record, the protocol carries a `Metrics`
+//! op ([`RequestOp::Metrics`]) that returns the engine's full
+//! [`rodain_db::MetricsSnapshot`] rendered as human-readable text, JSON,
+//! or Prometheus exposition format ([`MetricsFormat`]) — suitable for a
+//! scrape endpoint or an operator console. The metric catalog is
+//! documented in the repository's `METRICS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,5 +35,5 @@ pub mod protocol;
 mod server;
 
 pub use client::Client;
-pub use protocol::{Outcome, Request, RequestOp, Response};
+pub use protocol::{MetricsFormat, Outcome, Request, RequestOp, Response};
 pub use server::{Server, ServerHandle, ServerStats};

@@ -47,6 +47,43 @@ pub enum RequestOp {
     },
     /// Engine statistics (served outside the transaction path).
     Stats,
+    /// Full metrics snapshot (served outside the transaction path): all
+    /// histograms, counters, gauges and the failover event trace, rendered
+    /// per [`MetricsFormat`].
+    Metrics {
+        /// The exposition format to render.
+        format: MetricsFormat,
+    },
+}
+
+/// Rendering formats for [`RequestOp::Metrics`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Human-readable plain text, one line per metric.
+    Text,
+    /// RFC 8259 JSON.
+    Json,
+    /// Prometheus text exposition (0.0.4).
+    Prometheus,
+}
+
+impl MetricsFormat {
+    fn tag(self) -> u8 {
+        match self {
+            MetricsFormat::Text => 0,
+            MetricsFormat::Json => 1,
+            MetricsFormat::Prometheus => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<MetricsFormat> {
+        match tag {
+            0 => Some(MetricsFormat::Text),
+            1 => Some(MetricsFormat::Json),
+            2 => Some(MetricsFormat::Prometheus),
+            _ => None,
+        }
+    }
 }
 
 /// A client request.
@@ -148,6 +185,10 @@ impl Request {
                 encode_value(&mut buf, value);
             }
             RequestOp::Stats => buf.put_u8(5),
+            RequestOp::Metrics { format } => {
+                buf.put_u8(6);
+                buf.put_u8(format.tag());
+            }
         }
         buf.freeze()
     }
@@ -194,6 +235,15 @@ impl Request {
                 RequestOp::Put { oid, value }
             }
             5 => RequestOp::Stats,
+            6 => {
+                if buf.remaining() < 1 {
+                    return Err(ProtocolError::Malformed("metrics body"));
+                }
+                let tag = buf.get_u8();
+                let format = MetricsFormat::from_tag(tag)
+                    .ok_or(ProtocolError::Malformed("metrics format"))?;
+                RequestOp::Metrics { format }
+            }
             other => return Err(ProtocolError::UnknownTag(other)),
         };
         if buf.has_remaining() {
@@ -311,7 +361,27 @@ mod tests {
                 deadline_ms: 0,
                 op: RequestOp::Stats,
             },
+            Request {
+                id: 6,
+                deadline_ms: 0,
+                op: RequestOp::Metrics {
+                    format: MetricsFormat::Prometheus,
+                },
+            },
         ]
+    }
+
+    #[test]
+    fn bad_metrics_format_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1);
+        buf.put_u32_le(0);
+        buf.put_u8(6);
+        buf.put_u8(9);
+        assert!(matches!(
+            Request::decode(buf.freeze()),
+            Err(ProtocolError::Malformed("metrics format"))
+        ));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The TCP front-end.
 
-use crate::protocol::{read_frame, write_frame, Outcome, Request, RequestOp, Response};
+use crate::protocol::{
+    read_frame, write_frame, MetricsFormat, Outcome, Request, RequestOp, Response,
+};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rodain_db::{Rodain, TxnError, TxnOptions, TxnReceipt};
 use rodain_store::Value;
@@ -246,6 +248,20 @@ fn handle_request(
                 .send(ReplyJob::Immediate(Response {
                     id,
                     outcome: Outcome::Ok(payload),
+                }))
+                .map_err(|_| ());
+        }
+        RequestOp::Metrics { format } => {
+            let snapshot = db.metrics();
+            let rendered = match format {
+                MetricsFormat::Text => snapshot.render_text(),
+                MetricsFormat::Json => snapshot.render_json(),
+                MetricsFormat::Prometheus => snapshot.render_prometheus(),
+            };
+            return replies
+                .send(ReplyJob::Immediate(Response {
+                    id,
+                    outcome: Outcome::Ok(Value::Text(rendered)),
                 }))
                 .map_err(|_| ());
         }

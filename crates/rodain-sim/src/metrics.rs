@@ -162,10 +162,18 @@ pub struct AggregateMetrics {
     pub admission_share: f64,
     /// Mean restarts per offered transaction.
     pub restart_rate: f64,
+    /// Mean commit-wait p50 (ns).
+    pub commit_wait_p50_ns: f64,
     /// Mean commit-wait p95 (ns).
     pub commit_wait_p95_ns: f64,
+    /// Mean commit-wait p99 (ns).
+    pub commit_wait_p99_ns: f64,
+    /// Mean response p50 (ns).
+    pub response_p50_ns: f64,
     /// Mean response p95 (ns).
     pub response_p95_ns: f64,
+    /// Mean response p99 (ns).
+    pub response_p99_ns: f64,
 }
 
 impl AggregateMetrics {
@@ -189,8 +197,12 @@ impl AggregateMetrics {
                 (s.missed_admission + s.missed_evicted) as f64 / s.offered.max(1) as f64
             }),
             restart_rate: mean(&|s| s.restarts as f64 / s.offered.max(1) as f64),
+            commit_wait_p50_ns: mean(&|s| s.commit_wait.p50_ns as f64),
             commit_wait_p95_ns: mean(&|s| s.commit_wait.p95_ns as f64),
+            commit_wait_p99_ns: mean(&|s| s.commit_wait.p99_ns as f64),
+            response_p50_ns: mean(&|s| s.response.p50_ns as f64),
             response_p95_ns: mean(&|s| s.response.p95_ns as f64),
+            response_p99_ns: mean(&|s| s.response.p99_ns as f64),
         }
     }
 }

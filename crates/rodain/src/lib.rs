@@ -11,6 +11,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`obs`] | `rodain-obs` | observability: histograms, counters, gauges, event trace, renderers |
 //! | [`store`] | `rodain-store` | main-memory object store, deferred-write workspaces, snapshots |
 //! | [`occ`] | `rodain-occ` | OCC-DATI and its baselines (OCC-TI, OCC-DA, OCC-BC, 2PL-HP) |
 //! | [`sched`] | `rodain-sched` | modified EDF, non-real-time reservation, overload manager |
@@ -31,6 +32,7 @@ pub use rodain_db as db;
 pub use rodain_log as log;
 pub use rodain_net as net;
 pub use rodain_node as node;
+pub use rodain_obs as obs;
 pub use rodain_occ as occ;
 pub use rodain_sched as sched;
 pub use rodain_server as server;

@@ -1,0 +1,91 @@
+//! Scrape a live RODAIN pair's metrics over the wire.
+//!
+//! Starts a primary with an in-process hot stand-by mirror, fronts it with
+//! the User Request Interpreter, drives a burst of number-translation
+//! traffic, then scrapes the engine's observability snapshot through the
+//! protocol's `Metrics` op — exactly what a Prometheus exporter or an
+//! operator console would do.
+//!
+//! `cargo run --example metrics_scrape`
+//!
+//! The metric catalog (every name, unit, and source) is in `METRICS.md`.
+
+use rodain::db::{MirrorLossPolicy, Rodain};
+use rodain::net::InProcTransport;
+use rodain::node::{MirrorConfig, MirrorNode};
+use rodain::server::{Client, MetricsFormat, Outcome, Server};
+use rodain::store::Store;
+use rodain::workload::NumberTranslationDb;
+use rodain::Value;
+use std::net::TcpListener;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn main() {
+    // Hot stand-by: commit groups ship here; its ack gates every commit.
+    let (primary_side, mirror_side) = InProcTransport::pair();
+    let mut mirror = MirrorNode::new(
+        Arc::new(Store::new()),
+        Arc::new(mirror_side),
+        None,
+        MirrorConfig::default(),
+    );
+    let shutdown = mirror.shutdown_handle();
+    let mirror_thread = std::thread::spawn(move || {
+        mirror.join().expect("mirror join");
+        mirror.run()
+    });
+
+    // Primary engine + TCP front-end.
+    let db = Arc::new(
+        Rodain::builder()
+            .workers(4)
+            .mirror(Arc::new(primary_side), MirrorLossPolicy::ContinueVolatile)
+            .build()
+            .expect("engine"),
+    );
+    let schema = NumberTranslationDb::new(10_000);
+    schema.populate(&db.store());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = Server::new(db, schema).start(listener).expect("server");
+    println!("serving on {}", server.addr());
+
+    // A burst of service traffic: translations (reads) and re-provisions
+    // (updates) with firm deadlines.
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for number in 0..500u64 {
+        client.translate(number, 50).expect("translate");
+        if number % 5 == 0 {
+            client
+                .provision(number, format!("+358-40-{number:07}"), 150)
+                .expect("provision");
+        }
+    }
+
+    // Scrape. Text for humans…
+    if let Outcome::Ok(Value::Text(text)) = client.metrics(MetricsFormat::Text).expect("metrics") {
+        println!("\n=== text snapshot (operator view) ===");
+        for line in text.lines().filter(|l| {
+            l.starts_with("hist engine_")
+                || l.starts_with("hist mirror_")
+                || l.starts_with("counter txn_committed")
+                || l.starts_with("gauge replication_mode")
+        }) {
+            println!("{line}");
+        }
+    }
+
+    // …Prometheus exposition for scrapers.
+    if let Outcome::Ok(Value::Text(prom)) =
+        client.metrics(MetricsFormat::Prometheus).expect("metrics")
+    {
+        println!("\n=== prometheus exposition (first lines) ===");
+        for line in prom.lines().take(12) {
+            println!("{line}");
+        }
+    }
+
+    server.shutdown();
+    shutdown.store(true, Ordering::Release);
+    let _ = mirror_thread.join();
+}

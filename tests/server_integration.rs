@@ -128,6 +128,136 @@ fn stats_request_reports_engine_counters() {
     server.shutdown();
 }
 
+/// Count recorded in a `hist <name> count=… …` line of the text rendering.
+fn hist_count(text: &str, name: &str) -> u64 {
+    let prefix = format!("hist {name} count=");
+    text.lines()
+        .find_map(|l| l.strip_prefix(prefix.as_str()))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no histogram {name} in:\n{text}"))
+}
+
+/// Value of a `counter <name> …` line of the text rendering.
+fn counter_value(text: &str, name: &str) -> u64 {
+    let prefix = format!("counter {name} ");
+    text.lines()
+        .find_map(|l| l.strip_prefix(prefix.as_str()))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no counter {name} in:\n{text}"))
+}
+
+/// Acceptance: after a 1 000-transaction run against a mirrored pair, the
+/// Metrics op returns commit-wait and replication-lag histograms with
+/// non-zero counts, in all three formats, and the compact Stats record
+/// agrees with the committed-transaction counter.
+#[test]
+fn metrics_request_reports_commit_path_histograms() {
+    use rodain::net::InProcTransport;
+    use rodain::node::{MirrorConfig, MirrorNode};
+    use rodain::server::MetricsFormat;
+    use std::time::Duration;
+
+    // Mirror side: a hot stand-by applying the shipped log.
+    let (primary_side, mirror_side) = InProcTransport::pair();
+    let mirror_store = Arc::new(rodain::store::Store::new());
+    let mut mirror = MirrorNode::new(
+        mirror_store,
+        Arc::new(mirror_side),
+        None,
+        MirrorConfig {
+            poll_interval: Duration::from_millis(1),
+            heartbeat_interval: Duration::from_millis(10),
+            peer_timeout: Duration::from_secs(60),
+            suspect_rounds: 1_000,
+            snapshot_dir: None,
+        },
+    );
+    let mirror_shutdown = mirror.shutdown_handle();
+    let mirror_thread = std::thread::spawn(move || {
+        mirror.join().expect("mirror join");
+        mirror.run()
+    });
+
+    // Primary side: engine + URI front-end.
+    let db = Arc::new(
+        Rodain::builder()
+            .workers(4)
+            .mirror(
+                Arc::new(primary_side),
+                rodain::db::MirrorLossPolicy::ContinueVolatile,
+            )
+            .build()
+            .unwrap(),
+    );
+    let schema = NumberTranslationDb::new(1_000);
+    schema.populate(&db.store());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let server = Server::new(db, schema).start(listener).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // 1 000 update transactions, pipelined in bursts.
+    for chunk in 0..10 {
+        let burst: Vec<_> = (0..100)
+            .map(|i| {
+                (
+                    2_000u32,
+                    RequestOp::Provision {
+                        number: chunk * 100 + i,
+                        address: format!("+358-50-{i:07}"),
+                    },
+                )
+            })
+            .collect();
+        for outcome in client.pipeline(burst).unwrap() {
+            assert!(matches!(outcome, Outcome::Ok(_)), "{outcome:?}");
+        }
+    }
+
+    // Text format: commit-gate wait and log-ship RTT both observed.
+    let text = match client.metrics(MetricsFormat::Text).unwrap() {
+        Outcome::Ok(Value::Text(text)) => text,
+        other => panic!("{other:?}"),
+    };
+    let commit_waits = hist_count(&text, "engine_commit_wait_ns");
+    let rtts = hist_count(&text, "mirror_ship_rtt_ns");
+    assert!(commit_waits >= 1_000, "commit waits {commit_waits}");
+    assert!(rtts >= 1, "ship RTTs {rtts}");
+
+    // The compact Stats record and the full snapshot agree (no traffic is
+    // in flight, so both views are quiescent).
+    let committed = counter_value(&text, "txn_committed_total");
+    match client.stats().unwrap() {
+        Outcome::Ok(Value::Record(fields)) => {
+            assert_eq!(fields[0].as_int().unwrap() as u64, committed);
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // JSON and Prometheus renderings carry the same histograms.
+    match client.metrics(MetricsFormat::Json).unwrap() {
+        Outcome::Ok(Value::Text(json)) => {
+            assert!(json.contains("\"engine_commit_wait_ns\""), "{json}");
+            assert!(json.contains("\"mirror_ship_rtt_ns\""), "{json}");
+        }
+        other => panic!("{other:?}"),
+    }
+    match client.metrics(MetricsFormat::Prometheus).unwrap() {
+        Outcome::Ok(Value::Text(prom)) => {
+            assert!(
+                prom.contains("# TYPE engine_commit_wait_ns histogram"),
+                "{prom}"
+            );
+            assert!(prom.contains("engine_commit_wait_ns_bucket"), "{prom}");
+        }
+        other => panic!("{other:?}"),
+    }
+
+    server.shutdown();
+    mirror_shutdown.store(true, std::sync::atomic::Ordering::Release);
+    let _ = mirror_thread.join();
+}
+
 #[test]
 fn non_real_time_requests_use_deadline_zero() {
     let (server, _schema) = start_service(100);
