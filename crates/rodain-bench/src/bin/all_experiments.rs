@@ -26,8 +26,10 @@ fn main() {
     run("commit_path", commit_path(opts));
     run("overload_limit", overload_limit(opts));
     run("reservation", reservation(opts));
-    // REALENGINE is deliberately NOT part of the suite: it measures
-    // wall-clock behaviour and needs an otherwise idle machine. Run it
-    // standalone: `cargo run -p rodain-bench --release --bin real_engine`.
+    // REALENGINE and SHARDSCALE are deliberately NOT part of the suite:
+    // they measure wall-clock behaviour and need an otherwise idle
+    // machine. Run them standalone:
+    // `cargo run -p rodain-bench --release --bin real_engine`
+    // `cargo run -p rodain-bench --release --bin shard_scale`
     println!("all experiments finished in {:?}", started.elapsed());
 }

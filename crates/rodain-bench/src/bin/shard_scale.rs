@@ -1,0 +1,13 @@
+//! SHARDSCALE: committed throughput vs shard count on the real engine,
+//! with the log stream made the measured bottleneck (group-commit batch 1
+//! over a throttled storage backend; see `DESIGN.md` §11).
+//!
+//! `cargo run -p rodain-bench --release --bin shard_scale [-- --quick]`
+
+use rodain_bench::experiments::{shard_scale, SweepOptions};
+
+fn main() {
+    let table = shard_scale(SweepOptions::from_args());
+    table.print();
+    println!("csv: {:?}", table.write_csv("shard_scale").unwrap());
+}

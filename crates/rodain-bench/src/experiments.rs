@@ -625,6 +625,198 @@ pub fn real_engine(opts: SweepOptions) -> Table {
     table
 }
 
+/// Shard counts swept by [`shard_scale`].
+pub const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// SHARDSCALE: committed throughput vs shard count on the *real engine*,
+/// with the log stream made the measured bottleneck. Every shard runs the
+/// paper prototype's commit path — synchronous group commit with batch 1
+/// over a [`rodain_log::ThrottledStorage`] charging a fixed service delay
+/// per flush — so a single stream serializes commits at the log device
+/// rate while N independent shard streams overlap their service times.
+/// The `unsharded` row is a plain [`rodain_db::Rodain`] on the identical
+/// commit path: the 1-shard cluster must match it (routing overhead only),
+/// and 4 shards must clear 2× the 1-shard throughput.
+#[must_use]
+pub fn shard_scale(opts: SweepOptions) -> Table {
+    use rodain_db::{Rodain, TxnOptions};
+    use rodain_log::{LogStorage, LogStorageConfig, ThrottledStorage};
+    use rodain_shard::ShardedRodain;
+    use rodain_store::{ObjectId, Value};
+    use rodain_workload::TraceGenerator;
+    use std::time::{Duration, Instant};
+
+    /// Log-device service time charged per flush (per shard stream).
+    const FLUSH_DELAY: Duration = Duration::from_millis(1);
+    const DB_OBJECTS: u64 = 4_096;
+
+    let count = opts.count;
+    let spec = WorkloadSpec {
+        count,
+        write_fraction: 1.0,
+        db_objects: DB_OBJECTS,
+        access: AccessPattern::Zipfian { theta: 0.8 },
+        ..WorkloadSpec::default()
+    };
+    // One anchor object per transaction: the single-shard fast path.
+    let anchors: Vec<u64> = TraceGenerator::new(spec)
+        .generate()
+        .requests
+        .iter()
+        .map(|r| r.objects[0])
+        .collect();
+
+    let scratch = out_dir_scratch("shardscale");
+    fn throttled(dir: std::path::PathBuf) -> ThrottledStorage<LogStorage> {
+        ThrottledStorage::new(
+            LogStorage::open(LogStorageConfig::new(dir)).expect("open shard log"),
+            FLUSH_DELAY,
+        )
+    }
+    // The whole burst is submitted up front; lift the admission limit so
+    // the overload manager doesn't reject the backlog — the log stream,
+    // not admission, must be the bottleneck under measurement.
+    fn unlimited() -> rodain_sched::OverloadConfig {
+        rodain_sched::OverloadConfig {
+            base_limit: 1_000_000,
+            min_limit: 1_000_000,
+            ..rodain_sched::OverloadConfig::default()
+        }
+    }
+
+    let mut table = Table::new(
+        format!(
+            "SHARDSCALE — committed throughput vs shard count, real engine, \
+             contingency group-commit batch=1, {}ms flush service time, \
+             Zipfian(0.8) single-object updates ({} txns per row)",
+            FLUSH_DELAY.as_millis(),
+            count
+        ),
+        &[
+            "configuration",
+            "committed",
+            "wall (s)",
+            "tput (tps)",
+            "speedup vs 1 shard",
+            "commit-wait p99 (ms)",
+        ],
+    );
+
+    let mut rows: Vec<(String, u64, f64, f64)> = Vec::new();
+
+    // Baseline: one engine, no routing layer, same throttled commit path.
+    {
+        let dir = scratch.join("unsharded");
+        let db = Rodain::builder()
+            .workers(2)
+            .overload(unlimited())
+            .contingency_storage(throttled(dir))
+            .group_commit_batch(1)
+            .build()
+            .expect("build unsharded engine");
+        for i in 0..DB_OBJECTS {
+            db.load_initial(ObjectId(i), Value::Int(0));
+        }
+        let started = Instant::now();
+        let pending: Vec<_> = anchors
+            .iter()
+            .map(|&n| {
+                let oid = ObjectId(n);
+                db.submit(TxnOptions::soft_ms(600_000), move |ctx| {
+                    let v = ctx.read(oid)?.map_or(0, |v| v.as_int().unwrap_or(0));
+                    ctx.write(oid, Value::Int(v + 1))?;
+                    Ok(None)
+                })
+            })
+            .collect();
+        let committed = pending
+            .into_iter()
+            .filter(|rx| matches!(rx.recv(), Ok(Ok(_))))
+            .count() as u64;
+        let wall = started.elapsed().as_secs_f64();
+        let p99 = db
+            .metrics()
+            .histogram("engine_commit_wait_ns")
+            .map_or(0.0, |h| h.percentile(0.99) as f64);
+        rows.push(("unsharded".into(), committed, wall, p99));
+    }
+
+    for shards in SHARD_SWEEP {
+        let dir = scratch.join(format!("shards-{shards}"));
+        let cluster = ShardedRodain::builder()
+            .shards(shards)
+            .workers_per_shard(2)
+            .shard_hook(move |i, b| {
+                b.overload(unlimited())
+                    .contingency_storage(throttled(dir.join(format!("log-{i}"))))
+                    .group_commit_batch(1)
+            })
+            .build()
+            .expect("build sharded cluster");
+        for i in 0..DB_OBJECTS {
+            cluster.load_initial(ObjectId(i), Value::Int(0));
+        }
+        let started = Instant::now();
+        let pending: Vec<_> = anchors
+            .iter()
+            .map(|&n| {
+                let oid = ObjectId(n);
+                cluster.submit_on(oid, TxnOptions::soft_ms(600_000), move |ctx| {
+                    let v = ctx.read(oid)?.map_or(0, |v| v.as_int().unwrap_or(0));
+                    ctx.write(oid, Value::Int(v + 1))?;
+                    Ok(None)
+                })
+            })
+            .collect();
+        let committed = pending
+            .into_iter()
+            .filter(|rx| matches!(rx.recv(), Ok(Ok(_))))
+            .count() as u64;
+        let wall = started.elapsed().as_secs_f64();
+        // Worst per-shard tail: the merged snapshot keeps one labelled
+        // series per shard (see METRICS.md).
+        let p99 = cluster
+            .metrics()
+            .histograms
+            .iter()
+            .filter(|(name, _)| name.starts_with("engine_commit_wait_ns"))
+            .map(|(_, h)| h.percentile(0.99) as f64)
+            .fold(0.0f64, f64::max);
+        rows.push((format!("{shards} shard(s)"), committed, wall, p99));
+    }
+
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let one_shard_tput = rows
+        .iter()
+        .find(|(name, ..)| name == "1 shard(s)")
+        .map(|&(_, committed, wall, _)| committed as f64 / wall.max(f64::EPSILON))
+        .unwrap_or(0.0);
+    for (name, committed, wall, p99) in rows {
+        let tput = committed as f64 / wall.max(f64::EPSILON);
+        table.push(vec![
+            name,
+            committed.to_string(),
+            format!("{wall:.2}"),
+            format!("{tput:.0}"),
+            format!("{:.2}×", tput / one_shard_tput.max(f64::EPSILON)),
+            ms(p99),
+        ]);
+    }
+    table
+}
+
+/// A private scratch directory for experiments that drive real disk logs.
+fn out_dir_scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rodain-bench-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -649,5 +841,19 @@ mod tests {
             count: 4_000,
         });
         assert_eq!(takeover_table.rows.len(), 2);
+    }
+
+    #[test]
+    fn shard_scale_sweeps_every_shard_count() {
+        let table = shard_scale(SweepOptions {
+            reps: 1,
+            count: 200,
+        });
+        // One unsharded baseline row plus one row per swept shard count.
+        assert_eq!(table.rows.len(), 1 + SHARD_SWEEP.len());
+        for row in &table.rows {
+            let committed: u64 = row[1].parse().unwrap();
+            assert!(committed > 0, "row {} committed nothing", row[0]);
+        }
     }
 }

@@ -37,6 +37,10 @@
 //!    ([`rodain_db::Rodain::metrics`]) — the operator's dashboard and the
 //!    engine must agree mid-failover (metric catalog: `METRICS.md`).
 //!
+//! The [`shard`] module extends the discipline to the sharding layer
+//! ([`rodain_shard::ShardedRodain`]): a seeded single-shard kill must
+//! cost exactly the victim's outage window and nothing on any survivor.
+//!
 //! The contributor workflow for reproducing and minimizing a failing seed
 //! is documented in `CONTRIBUTING.md`.
 
@@ -46,7 +50,9 @@
 pub mod harness;
 pub mod invariants;
 pub mod plan;
+pub mod shard;
 
 pub use harness::{ChaosConfig, ChaosHarness, ChaosVerdict, FallbackPolicy};
 pub use invariants::Ledger;
 pub use plan::{FaultEvent, FaultPlan, PlannedFault};
+pub use shard::{ShardKillConfig, ShardKillHarness, ShardKillVerdict};

@@ -1,0 +1,421 @@
+//! Shard-kill chaos: one partition of a [`ShardedRodain`] cluster dies
+//! and fails over while the survivors keep serving.
+//!
+//! The single-pair harness ([`crate::ChaosHarness`]) checks the paper's
+//! availability protocol for one primary/mirror pair; this module checks
+//! the sharding layer's claim that the protocol composes: killing shard
+//! *i*'s primary must cost exactly the transactions routed to shard *i*
+//! during its outage window — never a commit on any other shard, and
+//! never an increment the dead shard had already acknowledged (the
+//! mirror's copy carries them through promotion).
+//!
+//! Determinism: the driver is single-threaded and the kill, the outage
+//! window and the reinstall all happen synchronously between commit
+//! attempts, so the set of refused commits is a pure function of the
+//! victim choice — which is drawn from the seed. The same seed therefore
+//! yields a byte-identical [`ShardKillVerdict::render`], and a failing
+//! run reproduces with `CHAOS_SEED=<seed> cargo test -p rodain-chaos`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rodain_db::{MirrorLossPolicy, Rodain, TxnError, TxnOptions};
+use rodain_net::InProcTransport;
+use rodain_node::{MirrorConfig, MirrorExit, MirrorNode};
+use rodain_shard::ShardedRodain;
+use rodain_store::{ObjectId, Store, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Knobs for a shard-kill run.
+#[derive(Clone, Debug)]
+pub struct ShardKillConfig {
+    /// Partitions in the cluster.
+    pub shards: usize,
+    /// Objects in the increment workload (round-robin targets, spread
+    /// over every shard by the router).
+    pub objects: u64,
+    /// Commit attempts before the kill.
+    pub before: u64,
+    /// Commit attempts while the victim shard is detached.
+    pub outage: u64,
+    /// Commit attempts after the promoted successor is installed.
+    pub after: u64,
+    /// Executor threads per shard engine.
+    pub workers_per_shard: usize,
+    /// Commit-gate timeout for every shard engine.
+    pub commit_gate_timeout: Duration,
+}
+
+impl Default for ShardKillConfig {
+    fn default() -> Self {
+        ShardKillConfig {
+            shards: 4,
+            objects: 16,
+            before: 16,
+            outage: 16,
+            after: 16,
+            workers_per_shard: 2,
+            commit_gate_timeout: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Outcome of one shard-kill run.
+#[derive(Clone, Debug)]
+pub struct ShardKillVerdict {
+    /// Seed the victim was drawn from.
+    pub seed: u64,
+    /// The shard that was killed.
+    pub victim: usize,
+    /// Deterministic per-commit / per-event log of the run.
+    pub trace: Vec<String>,
+    /// Invariant violations (empty on a passing run).
+    pub violations: Vec<String>,
+    /// Commits the cluster acknowledged.
+    pub acked: u64,
+    /// Commits the driver attempted.
+    pub attempts: u64,
+    /// Commits refused because they routed to the detached shard.
+    pub refused: u64,
+}
+
+impl ShardKillVerdict {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Stable textual form (no wall-clock data): byte-identical across
+    /// runs of the same seed and config.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.trace {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if self.violations.is_empty() {
+            out.push_str("violations: none\n");
+        } else {
+            for violation in &self.violations {
+                out.push_str("VIOLATION: ");
+                out.push_str(violation);
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "seed {}: victim shard {}, acked {}/{} attempts ({} refused)\n",
+            self.seed, self.victim, self.acked, self.attempts, self.refused
+        ));
+        out
+    }
+}
+
+/// Drives a sharded cluster through a seeded single-shard kill.
+pub struct ShardKillHarness {
+    config: ShardKillConfig,
+}
+
+impl ShardKillHarness {
+    /// A harness with the given knobs.
+    #[must_use]
+    pub fn new(config: ShardKillConfig) -> ShardKillHarness {
+        ShardKillHarness { config }
+    }
+
+    /// Execute one run: build the cluster, attach a mirror to the
+    /// seed-chosen victim shard, drive increments through kill → outage →
+    /// promotion, then check every invariant at quiescence.
+    #[must_use]
+    pub fn run(&self, seed: u64) -> ShardKillVerdict {
+        Runner::new(self.config.clone(), seed).run()
+    }
+}
+
+fn mirror_node_config() -> MirrorConfig {
+    MirrorConfig {
+        poll_interval: Duration::from_millis(1),
+        heartbeat_interval: Duration::from_millis(10),
+        peer_timeout: Duration::from_millis(100),
+        suspect_rounds: 3,
+        snapshot_dir: None,
+    }
+}
+
+struct Runner {
+    config: ShardKillConfig,
+    seed: u64,
+    victim: usize,
+    cluster: ShardedRodain,
+    /// Per-object acked / attempted increment counts (the counting
+    /// argument from [`crate::invariants`], inlined because the objects
+    /// span several stores).
+    acked: Vec<u64>,
+    attempts: Vec<u64>,
+    refused: u64,
+    commit_no: u64,
+    trace: Vec<String>,
+    violations: Vec<String>,
+}
+
+impl Runner {
+    fn new(config: ShardKillConfig, seed: u64) -> Runner {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let victim = rng.gen_range(0..config.shards);
+        let cluster = ShardedRodain::builder()
+            .shards(config.shards)
+            .workers_per_shard(config.workers_per_shard)
+            .commit_gate_timeout(config.commit_gate_timeout)
+            .build()
+            .expect("build sharded cluster");
+        let objects = config.objects;
+        let mut runner = Runner {
+            config,
+            seed,
+            victim,
+            cluster,
+            acked: vec![0; objects as usize],
+            attempts: vec![0; objects as usize],
+            refused: 0,
+            commit_no: 0,
+            trace: Vec::new(),
+            violations: Vec::new(),
+        };
+        for i in 0..objects {
+            runner.cluster.load_initial(ObjectId(i), Value::Int(0));
+        }
+        runner
+    }
+
+    fn run(mut self) -> ShardKillVerdict {
+        self.trace.push(format!(
+            "run: {} shards, {} objects, kill shard {} after {} commits \
+             ({} during outage, {} after reinstall)",
+            self.config.shards,
+            self.config.objects,
+            self.victim,
+            self.config.before,
+            self.config.outage,
+            self.config.after,
+        ));
+
+        // Phase 0: mirror the victim shard, exactly as every shard would
+        // be mirrored in production — one pair suffices because only the
+        // victim dies.
+        let (primary_side, mirror_side) = InProcTransport::pair();
+        let mirror_store = Arc::new(Store::new());
+        let mut mirror = MirrorNode::new(
+            Arc::clone(&mirror_store),
+            Arc::new(mirror_side),
+            None,
+            mirror_node_config(),
+        );
+        let mirror_thread = std::thread::spawn(move || {
+            mirror.join().expect("mirror join handshake");
+            mirror.run()
+        });
+        self.cluster
+            .attach_mirror(
+                self.victim,
+                Arc::new(primary_side),
+                MirrorLossPolicy::ContinueVolatile,
+            )
+            .expect("attach mirror to victim shard");
+
+        // Phase 1: healthy cluster — every commit must ack.
+        for _ in 0..self.config.before {
+            self.attempt_commit(false);
+        }
+
+        // The kill: detach the victim's engine and drop it. The mirror
+        // observes the link close and exits ready for promotion, carrying
+        // every increment the dead shard acknowledged.
+        let taken = self
+            .cluster
+            .take_shard(self.victim)
+            .expect("victim engine present");
+        drop(taken);
+        let (exit, _report) = mirror_thread.join().expect("mirror thread");
+        if exit != MirrorExit::PrimaryFailed {
+            self.violations
+                .push(format!("victim's mirror exited as {exit:?} after the kill"));
+        }
+        self.trace.push(format!(
+            "kill: shard {} detached, mirror promoted",
+            self.victim
+        ));
+
+        // Phase 2: outage — commits routed to the victim must fail fast
+        // with Shutdown; every other shard must keep acking.
+        for _ in 0..self.config.outage {
+            self.attempt_commit(true);
+        }
+
+        // The reinstall: seat a successor engine over the mirror's copy.
+        let successor = Rodain::builder()
+            .workers(self.config.workers_per_shard)
+            .commit_gate_timeout(self.config.commit_gate_timeout)
+            .store(mirror_store)
+            .build()
+            .expect("promote mirror store");
+        self.cluster.install_shard(self.victim, Arc::new(successor));
+        self.trace
+            .push(format!("reinstall: shard {} serving again", self.victim));
+
+        // Phase 3: whole again — every commit must ack.
+        for _ in 0..self.config.after {
+            self.attempt_commit(false);
+        }
+
+        self.quiesce();
+        self.finish()
+    }
+
+    fn attempt_commit(&mut self, victim_down: bool) {
+        self.commit_no += 1;
+        let k = self.commit_no;
+        let oid = ObjectId((k - 1) % self.config.objects);
+        let shard = self.cluster.shard_of(oid);
+        let on_victim = shard == self.victim;
+        self.attempts[oid.0 as usize] += 1;
+        let result = self
+            .cluster
+            .execute_on(oid, TxnOptions::soft_ms(30_000), move |ctx| {
+                let v = ctx.read(oid)?.expect("workload object exists");
+                let v = v.as_int().expect("workload object is an integer");
+                ctx.write(oid, Value::Int(v + 1))?;
+                Ok(None)
+            });
+        match result {
+            Ok(_) => {
+                self.acked[oid.0 as usize] += 1;
+                self.trace.push(format!(
+                    "commit {k}: acked (object {} shard {shard})",
+                    oid.0
+                ));
+                if victim_down && on_victim {
+                    self.violations.push(format!(
+                        "commit {k}: detached shard {shard} acknowledged a commit"
+                    ));
+                }
+            }
+            Err(TxnError::Shutdown) if victim_down && on_victim => {
+                self.refused += 1;
+                self.trace.push(format!(
+                    "commit {k}: refused (object {} on detached shard {shard})",
+                    oid.0
+                ));
+            }
+            Err(e) => {
+                self.trace
+                    .push(format!("commit {k}: failed on object {} ({e})", oid.0));
+                self.violations.push(format!(
+                    "commit {k}: shard {shard} failed a commit it had to serve ({e})"
+                ));
+            }
+        }
+    }
+
+    fn quiesce(&mut self) {
+        // No acked increment lost, no phantom updates — across every
+        // shard, including the promoted successor whose store is the
+        // mirror's copy of the dead primary.
+        for i in 0..self.config.objects {
+            let oid = ObjectId(i);
+            let (acked, attempts) = (self.acked[i as usize], self.attempts[i as usize]);
+            match self.cluster.get(oid) {
+                Some(Value::Int(v)) => {
+                    if v < 0 || (v as u64) < acked {
+                        self.violations.push(format!(
+                            "object {i} lost acked commits (stored {v}, acked {acked})"
+                        ));
+                    }
+                    if v > 0 && v as u64 > attempts {
+                        self.violations.push(format!(
+                            "object {i} has phantom updates (stored {v}, attempted {attempts})"
+                        ));
+                    }
+                }
+                Some(other) => self
+                    .violations
+                    .push(format!("object {i} holds non-integer value {other:?}")),
+                None => self
+                    .violations
+                    .push(format!("object {i} missing from the cluster")),
+            }
+        }
+
+        // Every shard is seated and every shard that owns workload
+        // objects committed some of them — the survivors never stalled.
+        let owners: std::collections::BTreeSet<usize> = (0..self.config.objects)
+            .map(|i| self.cluster.shard_of(ObjectId(i)))
+            .collect();
+        for (shard, stats) in self.cluster.shard_stats().into_iter().enumerate() {
+            match stats {
+                Some(stats) => {
+                    if owners.contains(&shard) && stats.committed == 0 {
+                        self.violations
+                            .push(format!("shard {shard} committed nothing"));
+                    }
+                }
+                None => self
+                    .violations
+                    .push(format!("shard {shard} still detached at quiescence")),
+            }
+        }
+
+        self.trace.push(format!(
+            "quiesce: acked {}/{} ({} refused on the detached shard)",
+            self.acked.iter().sum::<u64>(),
+            self.attempts.iter().sum::<u64>(),
+            self.refused
+        ));
+    }
+
+    fn finish(self) -> ShardKillVerdict {
+        ShardKillVerdict {
+            seed: self.seed,
+            victim: self.victim,
+            trace: self.trace,
+            violations: self.violations,
+            acked: self.acked.iter().sum(),
+            attempts: self.attempts.iter().sum(),
+            refused: self.refused,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ShardKillConfig {
+        ShardKillConfig {
+            shards: 2,
+            objects: 16,
+            before: 6,
+            outage: 16,
+            after: 6,
+            workers_per_shard: 1,
+            ..ShardKillConfig::default()
+        }
+    }
+
+    #[test]
+    fn kill_costs_only_the_victims_outage_window() {
+        let verdict = ShardKillHarness::new(small_config()).run(11);
+        assert!(verdict.passed(), "{}", verdict.render());
+        assert_eq!(verdict.acked + verdict.refused, verdict.attempts);
+        assert!(verdict.refused > 0, "outage window refused nothing");
+        assert!(verdict.victim < 2);
+    }
+
+    #[test]
+    fn same_seed_same_verdict() {
+        let a = ShardKillHarness::new(small_config()).run(5);
+        let b = ShardKillHarness::new(small_config()).run(5);
+        assert!(a.passed(), "{}", a.render());
+        assert_eq!(a.render(), b.render());
+    }
+}

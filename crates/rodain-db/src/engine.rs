@@ -119,6 +119,7 @@ pub struct RodainBuilder {
     store: Option<Arc<Store>>,
     durability: Durability,
     commit_gate_timeout: Duration,
+    group_commit_batch: usize,
     recorder: Option<Recorder>,
 }
 
@@ -142,6 +143,7 @@ impl RodainBuilder {
             store: None,
             durability: Durability::Volatile,
             commit_gate_timeout: COMMIT_GATE_TIMEOUT,
+            group_commit_batch: crate::replicate::GROUP_COMMIT_BATCH,
             recorder: None,
         }
     }
@@ -164,6 +166,10 @@ impl RodainBuilder {
     }
 
     /// Number of executor threads (default 4).
+    ///
+    /// The engine cannot run without an executor, so `workers(0)` is
+    /// clamped to 1 rather than rejected — a zero-thread engine would
+    /// accept submissions and never reply to any of them.
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
@@ -221,6 +227,17 @@ impl RodainBuilder {
         self
     }
 
+    /// Most commit requests coalesced into one log flush in Contingency
+    /// mode (default 64). `group_commit_batch(1)` reproduces the paper
+    /// prototype's one-transaction-per-disk-rotation commit path —
+    /// benchmarks use it to make a single log stream the measured
+    /// bottleneck. Clamped to at least 1.
+    #[must_use]
+    pub fn group_commit_batch(mut self, max_batch: usize) -> Self {
+        self.group_commit_batch = max_batch.max(1);
+        self
+    }
+
     /// Primary mode: ship logs to a mirror over `transport` (the mirror
     /// must be running [`rodain_node::MirrorNode::join`]), degrading per
     /// `policy` if it dies.
@@ -262,11 +279,21 @@ impl RodainBuilder {
         match self.durability {
             Durability::Volatile => {}
             Durability::Contingency(dir) => {
-                *engine.replicator.write() = Replicator::contingency(&dir, &engine.recorder)?;
+                if dir.as_os_str().is_empty() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "contingency log directory must not be empty",
+                    ));
+                }
+                *engine.replicator.write() =
+                    Replicator::contingency(&dir, &engine.recorder, self.group_commit_batch)?;
             }
             Durability::ContingencyBackend(backend) => {
-                *engine.replicator.write() =
-                    Replicator::contingency_backend(backend, &engine.recorder);
+                *engine.replicator.write() = Replicator::contingency_backend(
+                    backend,
+                    &engine.recorder,
+                    self.group_commit_batch,
+                );
             }
             Durability::Mirror { transport, policy } => {
                 attach_mirror_inner(&engine, transport, policy)?;
@@ -1023,6 +1050,46 @@ mod tests {
             cold.store.read(ObjectId(3)).map(|(v, _)| v),
             Some(Value::Int(33))
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degenerate_builder_inputs() {
+        // workers(0) is clamped to one executor, not a dead engine.
+        let db = Rodain::builder().workers(0).build().unwrap();
+        db.load_initial(ObjectId(1), Value::Int(1));
+        let r = db
+            .execute(TxnOptions::soft_ms(5_000), |ctx| ctx.read(ObjectId(1)))
+            .unwrap();
+        assert_eq!(r.result, Some(Value::Int(1)));
+
+        // An empty contingency directory is a configuration bug.
+        let err = match Rodain::builder().contingency_log("").build() {
+            Err(e) => e,
+            Ok(_) => panic!("empty contingency dir must be rejected"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+        // group_commit_batch(0) clamps to one request per flush.
+        let dir = std::env::temp_dir().join(format!(
+            "rodain-db-batch1-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Rodain::builder()
+            .workers(1)
+            .group_commit_batch(0)
+            .contingency_log(&dir)
+            .build()
+            .unwrap();
+        assert_eq!(db.replication_mode(), ReplicationMode::Contingency);
+        db.execute(TxnOptions::soft_ms(5_000), |ctx| {
+            ctx.write(ObjectId(1), Value::Int(7))?;
+            Ok(None)
+        })
+        .unwrap();
+        drop(db);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

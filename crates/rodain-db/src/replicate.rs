@@ -84,14 +84,18 @@ pub(crate) enum Replicator {
     Mirrored(MirrorLink),
 }
 
+/// Default commit requests coalesced per group-commit flush.
+pub(crate) const GROUP_COMMIT_BATCH: usize = 64;
+
 impl Replicator {
     pub(crate) fn contingency(
         dir: &std::path::Path,
         rec: &Recorder,
+        max_batch: usize,
     ) -> std::io::Result<Replicator> {
         let storage = LogStorage::open(LogStorageConfig::new(dir))?;
         Ok(Replicator::Contingency(GroupCommitLog::spawn_observed(
-            storage, 64, rec,
+            storage, max_batch, rec,
         )))
     }
 
@@ -100,8 +104,9 @@ impl Replicator {
     pub(crate) fn contingency_backend(
         backend: Box<dyn StorageBackend>,
         rec: &Recorder,
+        max_batch: usize,
     ) -> Replicator {
-        Replicator::Contingency(GroupCommitLog::spawn_dyn_observed(backend, 64, rec))
+        Replicator::Contingency(GroupCommitLog::spawn_dyn_observed(backend, max_batch, rec))
     }
 
     /// A commit ticket timed out. In mirrored mode with the link still
@@ -243,7 +248,11 @@ impl MirrorLink {
         let fallback = match loss_policy {
             MirrorLossPolicy::Contingency { dir } => {
                 let storage = LogStorage::open(LogStorageConfig::new(dir))?;
-                Some(Arc::new(GroupCommitLog::spawn_observed(storage, 64, rec)))
+                Some(Arc::new(GroupCommitLog::spawn_observed(
+                    storage,
+                    GROUP_COMMIT_BATCH,
+                    rec,
+                )))
             }
             MirrorLossPolicy::ContinueVolatile => None,
         };

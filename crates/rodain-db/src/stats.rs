@@ -97,6 +97,27 @@ impl EngineStats {
         }
     }
 
+    /// Fold another engine's statistics into this one — how a sharded
+    /// deployment aggregates per-shard engines into cluster totals.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.committed += other.committed;
+        self.aborted_admission += other.aborted_admission;
+        self.aborted_evicted += other.aborted_evicted;
+        self.aborted_deadline += other.aborted_deadline;
+        self.aborted_conflict += other.aborted_conflict;
+        self.aborted_user += other.aborted_user;
+        self.aborted_replication += other.aborted_replication;
+        self.restarts += other.restarts;
+        self.lock_waits += other.lock_waits;
+        self.cc.commits += other.cc.commits;
+        self.cc.self_restarts += other.cc.self_restarts;
+        self.cc.victim_restarts += other.cc.victim_restarts;
+        self.cc.backward_commits += other.cc.backward_commits;
+        self.cc.adjustments += other.cc.adjustments;
+        self.cc.blocks += other.cc.blocks;
+        self.active += other.active;
+    }
+
     /// All aborts combined.
     #[must_use]
     pub fn aborted(&self) -> u64 {
@@ -122,6 +143,40 @@ impl EngineStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let a = EngineStats {
+            committed: 10,
+            restarts: 2,
+            active: 1,
+            cc: CcStats {
+                commits: 10,
+                self_restarts: 2,
+                ..CcStats::default()
+            },
+            ..EngineStats::default()
+        };
+        let b = EngineStats {
+            committed: 5,
+            aborted_deadline: 3,
+            active: 2,
+            cc: CcStats {
+                commits: 5,
+                ..CcStats::default()
+            },
+            ..EngineStats::default()
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.committed, 15);
+        assert_eq!(merged.aborted_deadline, 3);
+        assert_eq!(merged.restarts, 2);
+        assert_eq!(merged.active, 3);
+        assert_eq!(merged.cc.commits, 15);
+        assert_eq!(merged.cc.self_restarts, 2);
+        assert_eq!(merged.aborted(), 3);
+    }
 
     #[test]
     fn snapshot_and_ratios() {

@@ -261,20 +261,23 @@ fn writer_loop(
             obs.batch_records.record(appended);
         }
         let result_kind = append_err.or(flush_result.err().map(|e| e.kind()));
-        for w in waiters {
-            let reply = match result_kind {
-                None => Ok(()),
-                Some(kind) => Err(io::Error::new(kind, "log write failed")),
-            };
-            let _ = w.send(reply);
-        }
 
+        // Fold into the shared stats BEFORE acking the waiters: a caller
+        // returning from commit_sync must see its own commit counted.
         {
             let mut s = stats.lock();
             s.groups += 1;
             s.records += appended;
             s.sync_commits += sync_commits;
             s.max_batch = s.max_batch.max(sync_commits);
+        }
+
+        for w in waiters {
+            let reply = match result_kind {
+                None => Ok(()),
+                Some(kind) => Err(io::Error::new(kind, "log write failed")),
+            };
+            let _ = w.send(reply);
         }
 
         if shutdown {

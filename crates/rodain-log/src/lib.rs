@@ -36,6 +36,7 @@ mod record;
 mod recovery;
 mod reorder;
 mod storage;
+mod throttle;
 mod writer;
 
 pub use checkpoint::{
@@ -52,4 +53,5 @@ pub use record::{LogRecord, Lsn, RecordKind};
 pub use recovery::{replay_into, RecoveryError, RecoveryStats};
 pub use reorder::{CommittedTxn, IngestOutcome, ReorderBuffer, ReorderError};
 pub use storage::{LogStorage, LogStorageConfig, RecordIter, StorageBackend, StorageStats};
+pub use throttle::ThrottledStorage;
 pub use writer::RecordBuilder;

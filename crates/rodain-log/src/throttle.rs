@@ -1,0 +1,104 @@
+//! A storage decorator modelling a fixed device service time.
+//!
+//! The paper's prototype committed one transaction per disk rotation; its
+//! experiments reason about log-device *service time*, not any particular
+//! disk. [`ThrottledStorage`] makes that cost explicit and portable: every
+//! flush pays a fixed wall-clock delay on top of the wrapped backend's real
+//! work. Benchmarks (the SHARDSCALE sweep in `rodain-bench`) use it so the
+//! log stream is a deterministic bottleneck on any hardware — N independent
+//! shard streams then overlap their service times, while a single stream
+//! serializes them.
+
+use crate::record::LogRecord;
+use crate::storage::{RecordIter, StorageBackend, StorageStats};
+use rodain_occ::Csn;
+use std::io;
+use std::time::Duration;
+
+/// A [`StorageBackend`] decorator that adds a fixed service delay to every
+/// flush (the fsync — the operation group commit exists to amortize).
+pub struct ThrottledStorage<S> {
+    inner: S,
+    flush_delay: Duration,
+}
+
+impl<S: StorageBackend> ThrottledStorage<S> {
+    /// Wrap `inner`, charging `flush_delay` of wall time per flush.
+    #[must_use]
+    pub fn new(inner: S, flush_delay: Duration) -> Self {
+        ThrottledStorage { inner, flush_delay }
+    }
+}
+
+impl<S: StorageBackend> StorageBackend for ThrottledStorage<S> {
+    fn append_batch(&mut self, records: &[LogRecord]) -> io::Result<()> {
+        self.inner.append_batch(records)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        std::thread::sleep(self.flush_delay);
+        self.inner.flush()
+    }
+
+    fn truncate_before(&mut self, upto: Csn) -> io::Result<usize> {
+        self.inner.truncate_before(upto)
+    }
+
+    fn iter(&mut self) -> io::Result<RecordIter> {
+        self.inner.iter()
+    }
+
+    fn stats(&self) -> StorageStats {
+        self.inner.stats()
+    }
+}
+
+impl<S: StorageBackend> std::fmt::Debug for ThrottledStorage<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThrottledStorage")
+            .field("flush_delay", &self.flush_delay)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Lsn, RecordKind};
+    use crate::storage::{LogStorage, LogStorageConfig};
+    use rodain_store::{Ts, TxnId};
+    use std::time::Instant;
+
+    #[test]
+    fn flush_pays_the_service_delay_and_data_survives() {
+        let dir = std::env::temp_dir().join(format!(
+            "rodain-throttle-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let storage = LogStorage::open(LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(&dir)
+        })
+        .unwrap();
+        let mut throttled = ThrottledStorage::new(storage, Duration::from_millis(5));
+        throttled
+            .append_batch(&[LogRecord {
+                lsn: Lsn(1),
+                txn: TxnId(1),
+                kind: RecordKind::Commit {
+                    csn: Csn(1),
+                    ser_ts: Ts(1),
+                    n_writes: 0,
+                },
+            }])
+            .unwrap();
+        let started = Instant::now();
+        throttled.flush().unwrap();
+        assert!(started.elapsed() >= Duration::from_millis(5));
+        let got: Vec<_> = throttled.iter().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

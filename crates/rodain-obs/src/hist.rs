@@ -183,6 +183,59 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Fold `other` into this snapshot: bucket counts add, `count`/`sum`
+    /// accumulate, and the min/max envelope widens. Both snapshots must
+    /// come from this crate's histograms (same bucket layout), which the
+    /// types already guarantee.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => match ia.cmp(&ib) {
+                    std::cmp::Ordering::Less => {
+                        merged.push((ia, ca));
+                        a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push((ib, cb));
+                        b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push((ia, ca + cb));
+                        a.next();
+                        b.next();
+                    }
+                },
+                (Some(&&pair), None) => {
+                    merged.push(pair);
+                    a.next();
+                }
+                (None, Some(&&pair)) => {
+                    merged.push(pair);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        let was_empty = self.count == 0;
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = if was_empty {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+    }
+
     /// Iterate `(inclusive upper bound, cumulative count)` over the
     /// non-empty buckets in ascending value order — the shape Prometheus
     /// exposition wants.

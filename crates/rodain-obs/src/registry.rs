@@ -151,7 +151,72 @@ pub struct MetricsSnapshot {
     pub events: Vec<TraceEvent>,
 }
 
+/// `name` with `key="value"` appended to its label set: inserted before
+/// the closing `}` when the name already carries labels, opening a fresh
+/// `{...}` otherwise.
+fn labeled(name: &str, key: &str, value: &str) -> String {
+    match name.strip_suffix('}') {
+        Some(prefix) => format!("{prefix},{key}=\"{value}\"}}"),
+        None => format!("{name}{{{key}=\"{value}\"}}"),
+    }
+}
+
 impl MetricsSnapshot {
+    /// A copy of this snapshot with `key="value"` added to every metric's
+    /// label set — how a multi-engine deployment distinguishes per-shard
+    /// series before merging them into one scrape (see `METRICS.md`).
+    #[must_use]
+    pub fn with_label(&self, key: &str, value: &str) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (labeled(n, key, value), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(n, v)| (labeled(n, key, value), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| (labeled(n, key, value), h.clone()))
+                .collect(),
+            events: self.events.clone(),
+        };
+        out.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        out.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        out.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Fold `other` into this snapshot: counters and gauges with the same
+    /// name add, histograms with the same name merge their distributions,
+    /// names unique to either side are kept, and `other`'s events are
+    /// appended. Name ordering stays sorted.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            match self.counters.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => self.counters[i].1 += value,
+                Err(i) => self.counters.insert(i, (name.clone(), *value)),
+            }
+        }
+        for (name, value) in &other.gauges {
+            match self.gauges.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => self.gauges[i].1 += value,
+                Err(i) => self.gauges.insert(i, (name.clone(), *value)),
+            }
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => self.histograms[i].1.merge(hist),
+                Err(i) => self.histograms.insert(i, (name.clone(), hist.clone())),
+            }
+        }
+        self.events.extend(other.events.iter().cloned());
+    }
+
     /// Value of the counter named `name`, if registered.
     #[must_use]
     pub fn counter(&self, name: &str) -> Option<u64> {
@@ -213,6 +278,60 @@ mod tests {
         assert_eq!(snap.events.len(), 1);
         assert_eq!(snap.events[0].kind, "mode-change");
         assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn with_label_rewrites_plain_and_labelled_names() {
+        let rec = Recorder::new();
+        rec.counter("txn_committed_total").add(3);
+        rec.counter("occ_commits_total{protocol=\"occ-dati\"}")
+            .add(2);
+        rec.histogram("engine_commit_wait_ns").record(100);
+        let snap = rec.snapshot().with_label("shard", "2");
+        assert_eq!(snap.counter("txn_committed_total{shard=\"2\"}"), Some(3));
+        assert_eq!(
+            snap.counter("occ_commits_total{protocol=\"occ-dati\",shard=\"2\"}"),
+            Some(2)
+        );
+        assert_eq!(
+            snap.histogram("engine_commit_wait_ns{shard=\"2\"}")
+                .unwrap()
+                .count,
+            1
+        );
+        // Name ordering stays sorted for the renderers.
+        let names: Vec<_> = snap.counters.iter().map(|(n, _)| n.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn merge_sums_matching_names_and_keeps_unique_ones() {
+        let a = Recorder::new();
+        a.counter("txn_committed_total").add(5);
+        a.gauge("txn_active").set(2);
+        a.histogram("wait_ns").record(10);
+        a.emit("mode-change", "a");
+        let b = Recorder::new();
+        b.counter("txn_committed_total").add(7);
+        b.counter("only_b_total").add(1);
+        b.gauge("txn_active").set(3);
+        b.histogram("wait_ns").record(1000);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("txn_committed_total"), Some(12));
+        assert_eq!(merged.counter("only_b_total"), Some(1));
+        assert_eq!(merged.gauge("txn_active"), Some(5));
+        let h = merged.histogram("wait_ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 10);
+        assert_eq!(h.max, 1000);
+        assert_eq!(merged.events.len(), 1);
+        let names: Vec<_> = merged.counters.iter().map(|(n, _)| n.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -134,17 +134,35 @@ impl MetricsSnapshot {
         }
         for (name, h) in &self.histograms {
             let base = base_name(name);
+            // A label block embedded in the metric name (e.g. a per-shard
+            // dimension) must survive on every series of the histogram,
+            // merged with the bucket's own `le` label.
+            let inner = name
+                .strip_prefix(base)
+                .and_then(|rest| rest.strip_prefix('{'))
+                .and_then(|rest| rest.strip_suffix('}'))
+                .unwrap_or("");
+            let le_prefix = if inner.is_empty() {
+                String::new()
+            } else {
+                format!("{inner},")
+            };
+            let plain = if inner.is_empty() {
+                String::new()
+            } else {
+                format!("{{{inner}}}")
+            };
             let _ = writeln!(out, "# TYPE {base} histogram");
             for (upper, cum) in h.cumulative_buckets() {
                 if upper == u64::MAX {
                     // Folded into +Inf below.
                     continue;
                 }
-                let _ = writeln!(out, "{base}_bucket{{le=\"{upper}\"}} {cum}");
+                let _ = writeln!(out, "{base}_bucket{{{le_prefix}le=\"{upper}\"}} {cum}");
             }
-            let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {}", h.count);
-            let _ = writeln!(out, "{base}_sum {}", h.sum);
-            let _ = writeln!(out, "{base}_count {}", h.count);
+            let _ = writeln!(out, "{base}_bucket{{{le_prefix}le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{base}_sum{plain} {}", h.sum);
+            let _ = writeln!(out, "{base}_count{plain} {}", h.count);
         }
         out
     }
@@ -217,5 +235,19 @@ mod tests {
         let prom = rec.snapshot().render_prometheus();
         assert!(prom.contains("# TYPE engine_info gauge"));
         assert!(prom.contains("engine_info{protocol=\"occ-dati\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_keeps_labels_on_histogram_series() {
+        let rec = Recorder::new();
+        let h = rec.histogram("commit_wait_ns");
+        h.record(100);
+        h.record(200);
+        let labelled = rec.snapshot().with_label("shard", "3");
+        let prom = labelled.render_prometheus();
+        assert!(prom.contains("# TYPE commit_wait_ns histogram"));
+        assert!(prom.contains("commit_wait_ns_bucket{shard=\"3\",le=\"+Inf\"} 2"));
+        assert!(prom.contains("commit_wait_ns_sum{shard=\"3\"} 300"));
+        assert!(prom.contains("commit_wait_ns_count{shard=\"3\"} 2"));
     }
 }

@@ -10,7 +10,10 @@
 //! * [`Server`] — a thread-per-connection TCP front-end that maps requests
 //!   onto [`rodain_db::Rodain`] transactions (requests on one connection may
 //!   be pipelined; responses carry the request id and may return out of
-//!   order);
+//!   order); [`Server::sharded`] serves a hash-partitioned
+//!   [`rodain_shard::ShardedRodain`] cluster instead, routing each request
+//!   to the shard owning its object and answering `Stats`/`Metrics` with
+//!   cluster-wide merges;
 //! * [`Client`] — a blocking client with pipelining support.
 //!
 //! Deadlines travel with the request: a request that cannot be served
@@ -36,4 +39,4 @@ mod server;
 
 pub use client::Client;
 pub use protocol::{MetricsFormat, Outcome, Request, RequestOp, Response};
-pub use server::{Server, ServerHandle, ServerStats};
+pub use server::{Backend, Server, ServerHandle, ServerStats};

@@ -4,8 +4,11 @@ use crate::protocol::{
     read_frame, write_frame, MetricsFormat, Outcome, Request, RequestOp, Response,
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use rodain_db::{Rodain, TxnError, TxnOptions, TxnReceipt};
-use rodain_store::Value;
+use rodain_db::{
+    EngineStats, MetricsSnapshot, Rodain, TxnAbort, TxnCtx, TxnError, TxnOptions, TxnReceipt,
+};
+use rodain_shard::ShardedRodain;
+use rodain_store::{ObjectId, Value};
 use rodain_workload::NumberTranslationDb;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -44,11 +47,60 @@ pub struct ServerStats {
     pub failed: u64,
 }
 
+/// What answers the front-end's transactions: one engine, or a
+/// hash-partitioned cluster where each request routes to the shard that
+/// owns its anchor object.
+#[derive(Clone)]
+pub enum Backend {
+    /// A single engine — the paper's one-node database.
+    Single(Arc<Rodain>),
+    /// A sharded cluster; single-shard requests take the fast path to
+    /// their owning engine.
+    Sharded(Arc<ShardedRodain>),
+}
+
+impl Backend {
+    /// Submit a transaction anchored at `anchor` (the object the request
+    /// addresses; ignored by a single engine).
+    fn submit<F>(
+        &self,
+        anchor: ObjectId,
+        opts: TxnOptions,
+        closure: F,
+    ) -> Receiver<Result<TxnReceipt, TxnError>>
+    where
+        F: FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send + 'static,
+    {
+        match self {
+            Backend::Single(db) => db.submit(opts, closure),
+            Backend::Sharded(cluster) => cluster.submit_on(anchor, opts, closure),
+        }
+    }
+
+    /// Engine statistics — cluster-wide totals when sharded.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        match self {
+            Backend::Single(db) => db.stats(),
+            Backend::Sharded(cluster) => cluster.stats(),
+        }
+    }
+
+    /// Metrics snapshot — per-shard labelled and merged when sharded.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        match self {
+            Backend::Single(db) => db.metrics(),
+            Backend::Sharded(cluster) => cluster.metrics(),
+        }
+    }
+}
+
 /// The User Request Interpreter: accepts connections and maps requests onto
 /// engine transactions. Requests on one connection may be pipelined;
 /// responses are written in request order.
 pub struct Server {
-    db: Arc<Rodain>,
+    backend: Backend,
     schema: NumberTranslationDb,
 }
 
@@ -105,7 +157,21 @@ impl Server {
     /// `schema` (generic `Get`/`Put` work regardless).
     #[must_use]
     pub fn new(db: Arc<Rodain>, schema: NumberTranslationDb) -> Server {
-        Server { db, schema }
+        Server {
+            backend: Backend::Single(db),
+            schema,
+        }
+    }
+
+    /// Create a front-end over a sharded cluster: every request routes to
+    /// the shard owning its anchor object, and `Stats`/`Metrics` answer
+    /// with cluster-wide merges.
+    #[must_use]
+    pub fn sharded(cluster: Arc<ShardedRodain>, schema: NumberTranslationDb) -> Server {
+        Server {
+            backend: Backend::Sharded(cluster),
+            schema,
+        }
     }
 
     /// Start serving on `listener` (a background accept loop + one thread
@@ -124,12 +190,12 @@ impl Server {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             accept_stats.connections.fetch_add(1, Ordering::Relaxed);
-                            let db = Arc::clone(&self.db);
+                            let backend = self.backend.clone();
                             let schema = self.schema;
                             let stats = Arc::clone(&accept_stats);
                             let _ = std::thread::Builder::new()
                                 .name("rodain-uri-conn".into())
-                                .spawn(move || serve_connection(stream, db, schema, stats));
+                                .spawn(move || serve_connection(stream, backend, schema, stats));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(5));
@@ -157,7 +223,7 @@ enum ReplyJob {
 
 fn serve_connection(
     stream: TcpStream,
-    db: Arc<Rodain>,
+    backend: Backend,
     schema: NumberTranslationDb,
     stats: Arc<StatsInner>,
 ) {
@@ -183,7 +249,7 @@ fn serve_connection(
             break; // protocol violation: drop the connection
         };
         stats.requests.fetch_add(1, Ordering::Relaxed);
-        if handle_request(&db, schema, request, &reply_tx).is_err() {
+        if handle_request(&backend, schema, request, &reply_tx).is_err() {
             break;
         }
     }
@@ -200,7 +266,7 @@ fn txn_options(deadline_ms: u32) -> TxnOptions {
 }
 
 fn handle_request(
-    db: &Arc<Rodain>,
+    backend: &Backend,
     schema: NumberTranslationDb,
     request: Request,
     replies: &Sender<ReplyJob>,
@@ -208,36 +274,41 @@ fn handle_request(
     let id = request.id;
     let opts = txn_options(request.deadline_ms);
     let rx = match request.op {
-        RequestOp::Translate { number } => db.submit(opts, move |ctx| {
-            let record = ctx.read(schema.object_id(number))?;
-            Ok(record.map(|r| r.as_record().map(|f| f[0].clone()).unwrap_or(Value::Null)))
-        }),
-        RequestOp::Provision { number, address } => db.submit(opts, move |ctx| {
+        RequestOp::Translate { number } => {
+            let anchor = schema.object_id(number);
+            backend.submit(anchor, opts, move |ctx| {
+                let record = ctx.read(anchor)?;
+                Ok(record.map(|r| r.as_record().map(|f| f[0].clone()).unwrap_or(Value::Null)))
+            })
+        }
+        RequestOp::Provision { number, address } => {
             let oid = schema.object_id(number);
-            let Some(record) = ctx.read(oid)? else {
-                return Ok(None);
-            };
-            let (flags, count) = match record.as_record() {
-                Some([_, Value::Int(flags), Value::Int(count)]) => (*flags, *count),
-                _ => (0, 0),
-            };
-            ctx.write(
-                oid,
-                Value::Record(vec![
-                    Value::Text(address.clone()),
-                    Value::Int(flags),
-                    Value::Int(count + 1),
-                ]),
-            )?;
-            Ok(Some(Value::Int(count + 1)))
-        }),
-        RequestOp::Get { oid } => db.submit(opts, move |ctx| ctx.read(oid)),
-        RequestOp::Put { oid, value } => db.submit(opts, move |ctx| {
+            backend.submit(oid, opts, move |ctx| {
+                let Some(record) = ctx.read(oid)? else {
+                    return Ok(None);
+                };
+                let (flags, count) = match record.as_record() {
+                    Some([_, Value::Int(flags), Value::Int(count)]) => (*flags, *count),
+                    _ => (0, 0),
+                };
+                ctx.write(
+                    oid,
+                    Value::Record(vec![
+                        Value::Text(address.clone()),
+                        Value::Int(flags),
+                        Value::Int(count + 1),
+                    ]),
+                )?;
+                Ok(Some(Value::Int(count + 1)))
+            })
+        }
+        RequestOp::Get { oid } => backend.submit(oid, opts, move |ctx| ctx.read(oid)),
+        RequestOp::Put { oid, value } => backend.submit(oid, opts, move |ctx| {
             ctx.write(oid, value.clone())?;
             Ok(Some(Value::Null))
         }),
         RequestOp::Stats => {
-            let stats = db.stats();
+            let stats = backend.stats();
             let payload = Value::Record(vec![
                 Value::Int(stats.committed as i64),
                 Value::Int(stats.aborted() as i64),
@@ -252,7 +323,7 @@ fn handle_request(
                 .map_err(|_| ());
         }
         RequestOp::Metrics { format } => {
-            let snapshot = db.metrics();
+            let snapshot = backend.metrics();
             let rendered = match format {
                 MetricsFormat::Text => snapshot.render_text(),
                 MetricsFormat::Json => snapshot.render_json(),

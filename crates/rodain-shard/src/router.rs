@@ -1,0 +1,216 @@
+//! Stateless hash partitioning of the object-id space.
+
+use rodain_store::ObjectId;
+
+/// Data objects whose id has this bit set belong to the sharding layer's
+/// metadata namespace (2PC intents and decisions), not to applications.
+pub const META_BIT: u64 = 1 << 63;
+
+/// Most shards a router will address: the metadata encoding reserves
+/// 15 bits for the home-shard index.
+pub const MAX_SHARDS: usize = 1 << 15;
+
+/// Shard-index field position inside a metadata object id.
+const SHARD_SHIFT: u32 = 48;
+/// Kind field position inside a metadata object id.
+const KIND_SHIFT: u32 = 44;
+/// Mask for the group-id payload (44 bits).
+const GID_MASK: u64 = (1 << KIND_SHIFT) - 1;
+
+/// What a metadata object is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetaKind {
+    /// A participant shard's durable PREPARE record for one cross-shard
+    /// transaction (value: the encoded operations, or the coordinator CSN
+    /// once applied).
+    Intent,
+    /// The coordinator shard's commit decision for one cross-shard
+    /// transaction — its presence *is* the commit point.
+    Decision,
+}
+
+impl MetaKind {
+    fn code(self) -> u64 {
+        match self {
+            MetaKind::Intent => 1,
+            MetaKind::Decision => 2,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<MetaKind> {
+        match code {
+            1 => Some(MetaKind::Intent),
+            2 => Some(MetaKind::Decision),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded metadata object id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MetaOid {
+    /// The shard the object lives on.
+    pub shard: usize,
+    /// Intent or decision.
+    pub kind: MetaKind,
+    /// The cross-shard transaction's group id.
+    pub gid: u64,
+}
+
+/// Hash-partitions [`ObjectId`]s across `shards` engines.
+///
+/// Data objects (high bit clear) route by a Fibonacci multiplicative hash
+/// of the full id — cheap, stateless, and spreading even sequential key
+/// ranges evenly. Metadata objects (high bit set) carry their home shard
+/// in the id itself, so the 2PC coordinator can place per-participant
+/// bookkeeping exactly where the participant's redo stream lives.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` partitions.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero or exceeds [`MAX_SHARDS`].
+    #[must_use]
+    pub fn new(shards: usize) -> ShardRouter {
+        assert!(
+            shards >= 1 && shards <= MAX_SHARDS,
+            "shard count {shards} outside 1..={MAX_SHARDS}"
+        );
+        ShardRouter { shards }
+    }
+
+    /// Number of partitions.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard `oid` lives on.
+    #[must_use]
+    pub fn route(&self, oid: ObjectId) -> usize {
+        if oid.0 & META_BIT != 0 {
+            // Metadata ids embed their home shard; clamp defensively so a
+            // router resized below an old id's shard still stays in range.
+            (((oid.0 >> SHARD_SHIFT) & 0x7FFF) as usize) % self.shards
+        } else {
+            // Fibonacci multiplicative hash: the golden-ratio constant
+            // scrambles sequential ids into the high bits.
+            let h = oid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+            (h as usize) % self.shards
+        }
+    }
+
+    /// Whether `oid` belongs to the sharding layer's metadata namespace.
+    #[must_use]
+    pub fn is_meta(oid: ObjectId) -> bool {
+        oid.0 & META_BIT != 0
+    }
+
+    /// The intent object id for transaction `gid` on participant `shard`.
+    #[must_use]
+    pub fn intent_oid(&self, shard: usize, gid: u64) -> ObjectId {
+        self.meta_oid(shard, MetaKind::Intent, gid)
+    }
+
+    /// The decision object id for transaction `gid` on coordinator `shard`.
+    #[must_use]
+    pub fn decision_oid(&self, shard: usize, gid: u64) -> ObjectId {
+        self.meta_oid(shard, MetaKind::Decision, gid)
+    }
+
+    fn meta_oid(&self, shard: usize, kind: MetaKind, gid: u64) -> ObjectId {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        assert!(gid <= GID_MASK, "gid {gid} exceeds the 44-bit payload");
+        ObjectId(META_BIT | ((shard as u64) << SHARD_SHIFT) | (kind.code() << KIND_SHIFT) | gid)
+    }
+
+    /// Decode a metadata object id (`None` for data ids or unknown kinds).
+    #[must_use]
+    pub fn meta_parts(oid: ObjectId) -> Option<MetaOid> {
+        if oid.0 & META_BIT == 0 {
+            return None;
+        }
+        Some(MetaOid {
+            shard: ((oid.0 >> SHARD_SHIFT) & 0x7FFF) as usize,
+            kind: MetaKind::from_code((oid.0 >> KIND_SHIFT) & 0xF)?,
+            gid: oid.0 & GID_MASK,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_routing_is_stable_and_in_range() {
+        let router = ShardRouter::new(4);
+        for oid in 0..10_000u64 {
+            let s = router.route(ObjectId(oid));
+            assert!(s < 4);
+            assert_eq!(s, router.route(ObjectId(oid)), "routing must be stable");
+        }
+    }
+
+    #[test]
+    fn data_routing_spreads_sequential_ids() {
+        let router = ShardRouter::new(8);
+        let mut counts = [0u64; 8];
+        for oid in 0..80_000u64 {
+            counts[router.route(ObjectId(oid))] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            // Perfect balance would be 10k per shard; allow ±25 %.
+            assert!(
+                (7_500..=12_500).contains(&c),
+                "shard {shard} got {c} of 80k sequential ids"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let router = ShardRouter::new(1);
+        for oid in [0u64, 1, 42, u64::MAX / 2, META_BIT | 7] {
+            assert_eq!(router.route(ObjectId(oid)), 0);
+        }
+    }
+
+    #[test]
+    fn meta_oids_round_trip_and_route_home() {
+        let router = ShardRouter::new(6);
+        for shard in 0..6 {
+            for gid in [0u64, 1, 999, GID_MASK] {
+                let intent = router.intent_oid(shard, gid);
+                let decision = router.decision_oid(shard, gid);
+                assert_ne!(intent, decision);
+                assert!(ShardRouter::is_meta(intent));
+                assert_eq!(router.route(intent), shard);
+                assert_eq!(router.route(decision), shard);
+                assert_eq!(
+                    ShardRouter::meta_parts(intent),
+                    Some(MetaOid {
+                        shard,
+                        kind: MetaKind::Intent,
+                        gid
+                    })
+                );
+                assert_eq!(
+                    ShardRouter::meta_parts(decision).unwrap().kind,
+                    MetaKind::Decision
+                );
+            }
+        }
+        assert_eq!(ShardRouter::meta_parts(ObjectId(123)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn zero_shards_is_rejected() {
+        let _ = ShardRouter::new(0);
+    }
+}

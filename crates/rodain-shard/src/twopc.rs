@@ -1,0 +1,665 @@
+//! Cross-shard two-phase commit layered on per-shard commit gates.
+//!
+//! The protocol (DESIGN.md §11) reuses the engines' existing durability
+//! machinery instead of inventing a new log format:
+//!
+//! 1. **Prepare** — each participant shard commits a local transaction
+//!    writing an *intent object* ([`ShardRouter::intent_oid`]) whose value
+//!    encodes the transaction's operations for that shard. The intent goes
+//!    through the shard's normal OCC validation and is shipped/flushed
+//!    like any redo record, so a durable intent *is* the PREPARE record.
+//! 2. **Decide** — the coordinator shard commits a *decision object*
+//!    ([`ShardRouter::decision_oid`]). Its presence is the commit point;
+//!    its commit gave the transaction a coordinator CSN.
+//! 3. **Apply** — each participant commits a local transaction that reads
+//!    its intent, applies the operations to the data objects, and rewrites
+//!    the intent to an `Int` marker carrying the coordinator CSN — which
+//!    stamps the decision into that shard's redo stream atomically with
+//!    the data change (so replay can never half-apply a shard).
+//! 4. **Clean up** — intents and the decision are deleted.
+//!
+//! **Presumed abort:** a coordinator crash before step 2 leaves intents
+//! with no decision object; [`crate::ShardedRodain::resolve_pending`]
+//! deletes them and the data objects were never touched. A crash after
+//! step 2 leaves a decision object; recovery rolls the remaining intents
+//! forward. [`ShardOp::Add`] is a commutative delta, so independent
+//! cross-shard transfers may interleave freely without locking data
+//! objects between the phases.
+
+use crate::facade::ShardedRodain;
+use crate::router::{MetaKind, ShardRouter};
+use crossbeam::channel::Receiver;
+use rodain_db::{Rodain, TxnError, TxnOptions, TxnReceipt};
+use rodain_occ::Csn;
+use rodain_store::{ObjectId, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One operation inside a cross-shard transaction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardOp {
+    /// Add `delta` to an integer object (missing objects count as 0).
+    /// Deltas commute, so concurrent transfers over the same accounts
+    /// never lose money regardless of apply order.
+    Add {
+        /// Target object.
+        oid: ObjectId,
+        /// Signed amount to add.
+        delta: i64,
+    },
+    /// Overwrite an object with `value`.
+    Put {
+        /// Target object.
+        oid: ObjectId,
+        /// New value.
+        value: Value,
+    },
+}
+
+impl ShardOp {
+    /// The object this operation targets.
+    #[must_use]
+    pub fn oid(&self) -> ObjectId {
+        match self {
+            ShardOp::Add { oid, .. } | ShardOp::Put { oid, .. } => *oid,
+        }
+    }
+}
+
+/// Injected coordinator-crash points for recovery tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CrashPoint {
+    /// No injected crash (the normal path).
+    #[default]
+    None,
+    /// Stop after every participant prepared, before the decision —
+    /// recovery must presume abort.
+    AfterPrepare,
+    /// Stop right after the decision committed — recovery must roll
+    /// forward.
+    AfterDecision,
+}
+
+/// Outcome of a committed cross-shard transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrossReceipt {
+    /// Group id allocated for the transaction (0 for the single-shard
+    /// fast path, which needs no 2PC bookkeeping).
+    pub gid: u64,
+    /// The shard that carried the decision record.
+    pub coordinator_shard: usize,
+    /// The coordinator's commit sequence number — the transaction's
+    /// global commit point.
+    pub decision_csn: Csn,
+    /// Participant shard count.
+    pub participants: usize,
+}
+
+/// What [`crate::ShardedRodain::resolve_pending`] found and did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Intents with a decision record: applied and cleaned.
+    pub rolled_forward: u64,
+    /// Intents without a decision record: presumed aborted and deleted.
+    pub aborted: u64,
+    /// Already-applied `Int` markers cleaned up.
+    pub markers_cleaned: u64,
+    /// Orphaned decision records deleted.
+    pub decisions_cleaned: u64,
+}
+
+fn encode_op(op: &ShardOp) -> Value {
+    match op {
+        ShardOp::Add { oid, delta } => Value::Record(vec![
+            Value::Int(0),
+            Value::Int(oid.0 as i64),
+            Value::Int(*delta),
+        ]),
+        ShardOp::Put { oid, value } => {
+            Value::Record(vec![Value::Int(1), Value::Int(oid.0 as i64), value.clone()])
+        }
+    }
+}
+
+fn decode_op(value: &Value) -> Option<ShardOp> {
+    let Value::Record(fields) = value else {
+        return None;
+    };
+    match fields.as_slice() {
+        [Value::Int(0), Value::Int(oid), Value::Int(delta)] => Some(ShardOp::Add {
+            oid: ObjectId(*oid as u64),
+            delta: *delta,
+        }),
+        [Value::Int(1), Value::Int(oid), value] => Some(ShardOp::Put {
+            oid: ObjectId(*oid as u64),
+            value: value.clone(),
+        }),
+        _ => None,
+    }
+}
+
+fn encode_intent(gid: u64, coordinator: usize, ops: &[ShardOp]) -> Value {
+    Value::Record(vec![
+        Value::Int(gid as i64),
+        Value::Int(coordinator as i64),
+        Value::Record(ops.iter().map(encode_op).collect()),
+    ])
+}
+
+fn decode_intent(value: &Value) -> Option<(u64, usize, Vec<ShardOp>)> {
+    let Value::Record(fields) = value else {
+        return None;
+    };
+    let [Value::Int(gid), Value::Int(coordinator), Value::Record(ops)] = fields.as_slice() else {
+        return None;
+    };
+    let ops = ops.iter().map(decode_op).collect::<Option<Vec<_>>>()?;
+    Some((*gid as u64, *coordinator as usize, ops))
+}
+
+/// Delete `oid` (best effort — failures are resolved later by
+/// [`crate::ShardedRodain::resolve_pending`]).
+fn best_effort_delete(engine: &Rodain, oid: ObjectId) {
+    let _ = engine.execute(TxnOptions::non_real_time(), move |ctx| {
+        ctx.write(oid, Value::Null)?;
+        Ok(None)
+    });
+}
+
+/// Apply `ops` and flip the intent to an applied marker, atomically in one
+/// local transaction (idempotent: a marker or missing intent is a no-op).
+fn apply_on_shard(
+    engine: &Rodain,
+    opts: TxnOptions,
+    intent: ObjectId,
+    ops: Vec<ShardOp>,
+    stamp: i64,
+) -> Result<TxnReceipt, TxnError> {
+    engine.execute(opts, move |ctx| {
+        match ctx.read(intent)? {
+            Some(Value::Record(_)) => {}
+            // Already applied (marker) or already resolved: nothing to do.
+            _ => return Ok(None),
+        }
+        for op in &ops {
+            match op {
+                ShardOp::Add { oid, delta } => {
+                    let current = ctx.read(*oid)?.and_then(|v| v.as_int()).unwrap_or(0);
+                    ctx.write(*oid, Value::Int(current + delta))?;
+                }
+                ShardOp::Put { oid, value } => {
+                    ctx.write(*oid, value.clone())?;
+                }
+            }
+        }
+        ctx.write(intent, Value::Int(stamp))?;
+        Ok(None)
+    })
+}
+
+struct Participant {
+    shard: usize,
+    engine: Arc<Rodain>,
+    ops: Vec<ShardOp>,
+    intent: ObjectId,
+}
+
+pub(crate) fn execute_cross(
+    db: &ShardedRodain,
+    opts: TxnOptions,
+    ops: Vec<ShardOp>,
+    crash: CrashPoint,
+) -> Result<CrossReceipt, TxnError> {
+    if ops.is_empty() {
+        return Err(TxnError::UserAbort("empty cross-shard transaction".into()));
+    }
+    if ops.iter().any(|op| ShardRouter::is_meta(op.oid())) {
+        return Err(TxnError::UserAbort(
+            "cross-shard operations must target data objects".into(),
+        ));
+    }
+    let router = db.router();
+    let mut groups: BTreeMap<usize, Vec<ShardOp>> = BTreeMap::new();
+    for op in ops {
+        groups.entry(router.route(op.oid())).or_default().push(op);
+    }
+
+    // Single-shard fast path: one engine, one ordinary transaction.
+    if groups.len() == 1 {
+        let (shard, ops) = groups.into_iter().next().expect("one group");
+        let engine = db.engine(shard).ok_or(TxnError::Shutdown)?;
+        let receipt = engine.execute(opts, move |ctx| {
+            for op in &ops {
+                match op {
+                    ShardOp::Add { oid, delta } => {
+                        let current = ctx.read(*oid)?.and_then(|v| v.as_int()).unwrap_or(0);
+                        ctx.write(*oid, Value::Int(current + delta))?;
+                    }
+                    ShardOp::Put { oid, value } => {
+                        ctx.write(*oid, value.clone())?;
+                    }
+                }
+            }
+            Ok(None)
+        })?;
+        return Ok(CrossReceipt {
+            gid: 0,
+            coordinator_shard: shard,
+            decision_csn: receipt.csn,
+            participants: 1,
+        });
+    }
+
+    // Pin every participant's engine up front: failing before any intent
+    // is written costs nothing.
+    let gid = db.alloc_gid();
+    let mut participants = Vec::with_capacity(groups.len());
+    for (shard, ops) in groups {
+        let engine = db.engine(shard).ok_or(TxnError::Shutdown)?;
+        participants.push(Participant {
+            shard,
+            engine,
+            ops,
+            intent: router.intent_oid(shard, gid),
+        });
+    }
+    let coordinator = participants[0].shard;
+    let decision = router.decision_oid(coordinator, gid);
+
+    // Phase 1: durable intents on every participant, in parallel.
+    let pending: Vec<Receiver<Result<TxnReceipt, TxnError>>> = participants
+        .iter()
+        .map(|p| {
+            let intent = p.intent;
+            let payload = encode_intent(gid, coordinator, &p.ops);
+            p.engine.submit(opts, move |ctx| {
+                ctx.write(intent, payload.clone())?;
+                Ok(None)
+            })
+        })
+        .collect();
+    let mut prepare_err = None;
+    for rx in pending {
+        match rx.recv().unwrap_or(Err(TxnError::Shutdown)) {
+            Ok(_) => {}
+            Err(e) => prepare_err = Some(e),
+        }
+    }
+    if let Some(err) = prepare_err {
+        // Presumed abort: no decision exists; tear the intents down.
+        for p in &participants {
+            best_effort_delete(&p.engine, p.intent);
+        }
+        return Err(err);
+    }
+    if crash == CrashPoint::AfterPrepare {
+        return Err(TxnError::Replication(
+            "injected coordinator crash after prepare".into(),
+        ));
+    }
+
+    // Phase 2a: the decision record — the commit point.
+    let decision_receipt = match participants[0].engine.execute(opts, move |ctx| {
+        ctx.write(decision, Value::Int(gid as i64))?;
+        Ok(None)
+    }) {
+        Ok(receipt) => receipt,
+        Err(err) => {
+            for p in &participants {
+                best_effort_delete(&p.engine, p.intent);
+            }
+            return Err(err);
+        }
+    };
+    let receipt = CrossReceipt {
+        gid,
+        coordinator_shard: coordinator,
+        decision_csn: decision_receipt.csn,
+        participants: participants.len(),
+    };
+    if crash == CrashPoint::AfterDecision {
+        return Ok(receipt);
+    }
+
+    // Phase 2b: apply everywhere, stamping the coordinator CSN into each
+    // shard's redo stream. A failure here leaves the decision in place —
+    // resolve_pending finishes the roll-forward.
+    let stamp = receipt.decision_csn.0 as i64;
+    let applies: Vec<Receiver<Result<TxnReceipt, TxnError>>> = participants
+        .iter()
+        .map(|p| {
+            let intent = p.intent;
+            let ops = p.ops.clone();
+            p.engine.submit(opts, move |ctx| {
+                match ctx.read(intent)? {
+                    Some(Value::Record(_)) => {}
+                    _ => return Ok(None),
+                }
+                for op in &ops {
+                    match op {
+                        ShardOp::Add { oid, delta } => {
+                            let current = ctx.read(*oid)?.and_then(|v| v.as_int()).unwrap_or(0);
+                            ctx.write(*oid, Value::Int(current + delta))?;
+                        }
+                        ShardOp::Put { oid, value } => {
+                            ctx.write(*oid, value.clone())?;
+                        }
+                    }
+                }
+                ctx.write(intent, Value::Int(stamp))?;
+                Ok(None)
+            })
+        })
+        .collect();
+    for rx in applies {
+        rx.recv().unwrap_or(Err(TxnError::Shutdown))?;
+    }
+
+    // Cleanup: markers first, the decision last, so a crash mid-cleanup
+    // can never orphan an unapplied intent behind a deleted decision.
+    for p in &participants {
+        best_effort_delete(&p.engine, p.intent);
+    }
+    best_effort_delete(&participants[0].engine, decision);
+    Ok(receipt)
+}
+
+pub(crate) fn resolve_pending(db: &ShardedRodain) -> Result<RecoveryReport, TxnError> {
+    let router = db.router();
+    let mut report = RecoveryReport::default();
+
+    // Pass 1: resolve every intent on every shard. Decisions are only
+    // consulted (never deleted) here, so an intent on shard B can always
+    // still see its decision on shard A.
+    for shard in 0..db.shard_count() {
+        let Some(engine) = db.engine(shard) else {
+            continue;
+        };
+        let snapshot = engine.snapshot();
+        for (oid, object) in &snapshot.objects {
+            let Some(meta) = ShardRouter::meta_parts(*oid) else {
+                continue;
+            };
+            if meta.kind != MetaKind::Intent {
+                continue;
+            }
+            db.note_gid_seen(meta.gid);
+            match &object.value {
+                Value::Int(_) => {
+                    // Data already applied; only the marker lingered.
+                    best_effort_delete(&engine, *oid);
+                    report.markers_cleaned += 1;
+                }
+                value => match decode_intent(value) {
+                    Some((gid, coordinator, ops)) => {
+                        let decided = db
+                            .engine(coordinator)
+                            .and_then(|e| e.get(router.decision_oid(coordinator, gid)))
+                            .is_some();
+                        if decided {
+                            apply_on_shard(
+                                &engine,
+                                TxnOptions::non_real_time(),
+                                *oid,
+                                ops,
+                                gid as i64,
+                            )?;
+                            best_effort_delete(&engine, *oid);
+                            report.rolled_forward += 1;
+                        } else {
+                            // Presumed abort: no decision was ever made.
+                            best_effort_delete(&engine, *oid);
+                            report.aborted += 1;
+                        }
+                    }
+                    None => {
+                        // Unreadable intent from a torn future version:
+                        // without a decodable payload it cannot commit.
+                        best_effort_delete(&engine, *oid);
+                        report.aborted += 1;
+                    }
+                },
+            }
+        }
+    }
+
+    // Pass 2: every intent is resolved; decisions are now garbage.
+    for shard in 0..db.shard_count() {
+        let Some(engine) = db.engine(shard) else {
+            continue;
+        };
+        let snapshot = engine.snapshot();
+        for (oid, _) in &snapshot.objects {
+            let Some(meta) = ShardRouter::meta_parts(*oid) else {
+                continue;
+            };
+            if meta.kind == MetaKind::Decision {
+                db.note_gid_seen(meta.gid);
+                best_effort_delete(&engine, *oid);
+                report.decisions_cleaned += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodain_store::Store;
+
+    /// Two object ids guaranteed to live on different shards of `db`.
+    fn split_pair(db: &ShardedRodain) -> (ObjectId, ObjectId) {
+        let a = ObjectId(1);
+        let b = (2..1_000u64)
+            .map(ObjectId)
+            .find(|&oid| db.shard_of(oid) != db.shard_of(a))
+            .expect("some id routes elsewhere");
+        (a, b)
+    }
+
+    fn cluster(shards: usize) -> ShardedRodain {
+        ShardedRodain::builder()
+            .shards(shards)
+            .workers_per_shard(2)
+            .build()
+            .unwrap()
+    }
+
+    fn total(db: &ShardedRodain, oids: &[ObjectId]) -> i64 {
+        oids.iter()
+            .map(|&oid| db.get(oid).and_then(|v| v.as_int()).unwrap_or(0))
+            .sum()
+    }
+
+    /// No 2PC bookkeeping left anywhere.
+    fn assert_no_meta(db: &ShardedRodain) {
+        for shard in 0..db.shard_count() {
+            let snapshot = db.engine(shard).unwrap().snapshot();
+            for (oid, _) in &snapshot.objects {
+                assert!(
+                    ShardRouter::meta_parts(*oid).is_none(),
+                    "leftover meta object {oid:?} on shard {shard}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_shard_transfer_moves_money_atomically() {
+        let db = cluster(4);
+        let (a, b) = split_pair(&db);
+        db.load_initial(a, Value::Int(100));
+        db.load_initial(b, Value::Int(50));
+        let receipt = db
+            .execute_cross(
+                TxnOptions::soft_ms(5_000),
+                vec![
+                    ShardOp::Add { oid: a, delta: -30 },
+                    ShardOp::Add { oid: b, delta: 30 },
+                ],
+            )
+            .unwrap();
+        assert_eq!(receipt.participants, 2);
+        assert!(receipt.gid > 0);
+        assert_eq!(db.get(a), Some(Value::Int(70)));
+        assert_eq!(db.get(b), Some(Value::Int(80)));
+        assert_eq!(total(&db, &[a, b]), 150);
+        assert_no_meta(&db);
+    }
+
+    #[test]
+    fn colocated_ops_take_the_local_fast_path() {
+        let db = cluster(4);
+        let a = ObjectId(1);
+        let b = (2..1_000u64)
+            .map(ObjectId)
+            .find(|&oid| db.shard_of(oid) == db.shard_of(a))
+            .unwrap();
+        db.load_initial(a, Value::Int(10));
+        let receipt = db
+            .execute_cross(
+                TxnOptions::soft_ms(5_000),
+                vec![
+                    ShardOp::Add { oid: a, delta: 5 },
+                    ShardOp::Put {
+                        oid: b,
+                        value: Value::Text("x".into()),
+                    },
+                ],
+            )
+            .unwrap();
+        assert_eq!(receipt.gid, 0, "single-shard group must skip 2PC");
+        assert_eq!(receipt.participants, 1);
+        assert_eq!(db.get(a), Some(Value::Int(15)));
+        assert_eq!(db.get(b), Some(Value::Text("x".into())));
+        assert_no_meta(&db);
+    }
+
+    #[test]
+    fn meta_targets_and_empty_txns_are_rejected() {
+        let db = cluster(2);
+        assert!(matches!(
+            db.execute_cross(TxnOptions::soft_ms(100), vec![]),
+            Err(TxnError::UserAbort(_))
+        ));
+        let meta = db.router().intent_oid(0, 1);
+        assert!(matches!(
+            db.execute_cross(
+                TxnOptions::soft_ms(100),
+                vec![ShardOp::Add {
+                    oid: meta,
+                    delta: 1
+                }]
+            ),
+            Err(TxnError::UserAbort(_))
+        ));
+    }
+
+    #[test]
+    fn crash_after_prepare_presumes_abort() {
+        let db = cluster(3);
+        let (a, b) = split_pair(&db);
+        db.load_initial(a, Value::Int(100));
+        db.load_initial(b, Value::Int(0));
+        let err = db
+            .execute_cross_with_crash(
+                TxnOptions::soft_ms(5_000),
+                vec![
+                    ShardOp::Add { oid: a, delta: -40 },
+                    ShardOp::Add { oid: b, delta: 40 },
+                ],
+                CrashPoint::AfterPrepare,
+            )
+            .unwrap_err();
+        assert!(matches!(err, TxnError::Replication(_)));
+        // Intents exist, data untouched, decision absent.
+        assert_eq!(db.get(a), Some(Value::Int(100)));
+        assert_eq!(db.get(b), Some(Value::Int(0)));
+        let report = db.resolve_pending().unwrap();
+        assert_eq!(report.aborted, 2);
+        assert_eq!(report.rolled_forward, 0);
+        assert_eq!(db.get(a), Some(Value::Int(100)));
+        assert_eq!(db.get(b), Some(Value::Int(0)));
+        assert_no_meta(&db);
+    }
+
+    #[test]
+    fn crash_after_decision_rolls_forward() {
+        let db = cluster(3);
+        let (a, b) = split_pair(&db);
+        db.load_initial(a, Value::Int(100));
+        db.load_initial(b, Value::Int(0));
+        let receipt = db
+            .execute_cross_with_crash(
+                TxnOptions::soft_ms(5_000),
+                vec![
+                    ShardOp::Add { oid: a, delta: -40 },
+                    ShardOp::Add { oid: b, delta: 40 },
+                ],
+                CrashPoint::AfterDecision,
+            )
+            .unwrap();
+        assert!(receipt.decision_csn.0 > 0);
+        // Data not applied yet — the "coordinator" died after deciding.
+        assert_eq!(db.get(a), Some(Value::Int(100)));
+        let report = db.resolve_pending().unwrap();
+        assert_eq!(report.rolled_forward, 2);
+        assert_eq!(report.aborted, 0);
+        assert_eq!(report.decisions_cleaned, 1);
+        assert_eq!(db.get(a), Some(Value::Int(60)));
+        assert_eq!(db.get(b), Some(Value::Int(40)));
+        assert_no_meta(&db);
+        // Resolution is idempotent.
+        assert_eq!(db.resolve_pending().unwrap(), RecoveryReport::default());
+    }
+
+    #[test]
+    fn recovered_cluster_presumes_abort_from_fresh_stores() {
+        // Simulate a restart: the stores survive (as a mirror's copy
+        // would), the facade is rebuilt around them, then resolved.
+        let stores: Vec<Arc<Store>> = (0..3).map(|_| Arc::new(Store::new())).collect();
+        let (a, b);
+        {
+            let db = ShardedRodain::builder()
+                .shards(3)
+                .stores(stores.clone())
+                .build()
+                .unwrap();
+            let pair = split_pair(&db);
+            a = pair.0;
+            b = pair.1;
+            db.load_initial(a, Value::Int(10));
+            db.load_initial(b, Value::Int(20));
+            let _ = db.execute_cross_with_crash(
+                TxnOptions::soft_ms(5_000),
+                vec![
+                    ShardOp::Add { oid: a, delta: -5 },
+                    ShardOp::Add { oid: b, delta: 5 },
+                ],
+                CrashPoint::AfterPrepare,
+            );
+        }
+        let db = ShardedRodain::builder()
+            .shards(3)
+            .stores(stores)
+            .build()
+            .unwrap();
+        let report = db.resolve_pending().unwrap();
+        assert_eq!(report.aborted, 2);
+        assert_eq!(total(&db, &[a, b]), 30);
+        assert_eq!(db.get(a), Some(Value::Int(10)));
+        assert_no_meta(&db);
+        // The gid allocator moved past the recovered transaction's id.
+        let receipt = db
+            .execute_cross(
+                TxnOptions::soft_ms(5_000),
+                vec![
+                    ShardOp::Add { oid: a, delta: -1 },
+                    ShardOp::Add { oid: b, delta: 1 },
+                ],
+            )
+            .unwrap();
+        assert!(receipt.gid >= 2);
+    }
+}

@@ -448,8 +448,13 @@ impl Simulation {
     }
 
     fn on_step_done(&mut self, id: TxnId) {
-        debug_assert!(self.running.contains(&id));
-        self.running.remove(&id);
+        if !self.running.remove(&id) {
+            // Stale completion: a failure wiped the CPU between this
+            // event being scheduled and fired, and on_primary_fails
+            // already accounted the transaction.
+            self.try_dispatch();
+            return;
+        }
 
         let Some(t) = self.txns.get_mut(&id) else {
             self.try_dispatch();

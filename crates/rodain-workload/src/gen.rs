@@ -12,6 +12,50 @@ use rand::{Rng, SeedableRng};
 pub struct TraceGenerator {
     spec: WorkloadSpec,
     rng: SmallRng,
+    zipf: Option<ZipfState>,
+}
+
+/// Precomputed state for the YCSB-style Zipfian sampler (Gray et al.,
+/// "Quickly Generating Billion-Record Synthetic Databases"): one O(n)
+/// harmonic sum up front, then every draw is a closed-form O(1) map
+/// from a uniform variate to a rank.
+struct ZipfState {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl ZipfState {
+    fn new(n: u64, theta: f64) -> ZipfState {
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        ZipfState {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    /// Map a uniform `u ∈ [0, 1)` to a rank in `0..n` (0 most popular).
+    fn sample(&self, u: f64) -> u64 {
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if self.n > 1 && uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
 }
 
 impl TraceGenerator {
@@ -25,7 +69,11 @@ impl TraceGenerator {
             panic!("invalid workload spec: {e}");
         }
         let rng = SmallRng::seed_from_u64(spec.seed);
-        TraceGenerator { spec, rng }
+        let zipf = match spec.access {
+            AccessPattern::Zipfian { theta } => Some(ZipfState::new(spec.db_objects, theta)),
+            _ => None,
+        };
+        TraceGenerator { spec, rng, zipf }
     }
 
     /// Exponential inter-arrival sample (ns) for the configured rate.
@@ -52,6 +100,10 @@ impl TraceGenerator {
                 } else {
                     self.rng.gen_range(0..n)
                 }
+            }
+            AccessPattern::Zipfian { .. } => {
+                let u: f64 = self.rng.gen();
+                self.zipf.as_ref().expect("zipf state").sample(u)
             }
         }
     }
@@ -252,6 +304,69 @@ mod tests {
             .iter()
             .filter(|r| r.kind == TxnKind::NonRealTime)
             .all(|r| r.relative_deadline_ns.is_none()));
+    }
+
+    #[test]
+    fn zipfian_lower_ranks_dominate() {
+        let spec = WorkloadSpec {
+            count: 5_000,
+            db_objects: 10_000,
+            access: AccessPattern::Zipfian { theta: 0.9 },
+            ..WorkloadSpec::default()
+        };
+        let trace = TraceGenerator::new(spec).generate();
+        let total: usize = trace.requests.iter().map(|r| r.objects.len()).sum();
+        let share_below = |cut: u64| {
+            trace
+                .requests
+                .iter()
+                .flat_map(|r| &r.objects)
+                .filter(|&&o| o < cut)
+                .count() as f64
+                / total as f64
+        };
+        // Under uniform access the top 1% / 10% of ranks would draw
+        // ~1% / ~10%; Zipf(0.9) concentrates far more mass there.
+        assert!(share_below(100) > 0.3, "top-1% share {}", share_below(100));
+        assert!(
+            share_below(1_000) > 0.5,
+            "top-10% share {}",
+            share_below(1_000)
+        );
+        assert!(trace
+            .requests
+            .iter()
+            .flat_map(|r| &r.objects)
+            .all(|&o| o < 10_000));
+    }
+
+    #[test]
+    fn zipfian_theta_controls_skew() {
+        let trace_for = |theta| {
+            TraceGenerator::new(WorkloadSpec {
+                count: 4_000,
+                db_objects: 1_000,
+                access: AccessPattern::Zipfian { theta },
+                ..WorkloadSpec::default()
+            })
+            .generate()
+        };
+        let head_share = |trace: &crate::Trace| {
+            let total: usize = trace.requests.iter().map(|r| r.objects.len()).sum();
+            trace
+                .requests
+                .iter()
+                .flat_map(|r| &r.objects)
+                .filter(|&&o| o < 10)
+                .count() as f64
+                / total as f64
+        };
+        let mild = head_share(&trace_for(0.2));
+        let steep = head_share(&trace_for(0.95));
+        assert!(
+            steep > mild + 0.1,
+            "skew should grow with theta: {mild} vs {steep}"
+        );
     }
 
     #[test]

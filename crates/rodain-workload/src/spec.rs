@@ -17,6 +17,17 @@ pub enum AccessPattern {
         /// Probability an access goes to the hot set [0, 1].
         hot_probability: f64,
     },
+    /// Zipf-distributed ranks: object `0` is the most popular and rank
+    /// `k`'s access probability decays as `1/(k+1)^theta`. Sampled with
+    /// the YCSB/Gray et al. closed-form method, so generation stays O(1)
+    /// per access after an O(db) precomputation. Skewed popularity is
+    /// what makes shard routing interesting (SHARDSCALE drives each
+    /// shard with it) — a uniform workload never produces a hot shard.
+    Zipfian {
+        /// Skew parameter in (0, 1): 0⁺ approaches uniform, 0.99 is the
+        /// classic YCSB "zipfian" default.
+        theta: f64,
+    },
 }
 
 /// One entry of the transaction mix (extension point beyond the paper's
@@ -129,16 +140,25 @@ impl WorkloadSpec {
         if self.reads_per_read_txn == 0 || self.reads_per_update_txn == 0 {
             return Err("transactions must read at least one object".into());
         }
-        if let AccessPattern::Hotspot {
-            hot_fraction,
-            hot_probability,
-        } = self.access
-        {
-            if !(0.0 < hot_fraction && hot_fraction <= 1.0) {
-                return Err("hot_fraction must lie in (0, 1]".into());
+        match self.access {
+            AccessPattern::Uniform => {}
+            AccessPattern::Hotspot {
+                hot_fraction,
+                hot_probability,
+            } => {
+                if !(0.0 < hot_fraction && hot_fraction <= 1.0) {
+                    return Err("hot_fraction must lie in (0, 1]".into());
+                }
+                if !(0.0..=1.0).contains(&hot_probability) {
+                    return Err("hot_probability must lie in [0, 1]".into());
+                }
             }
-            if !(0.0..=1.0).contains(&hot_probability) {
-                return Err("hot_probability must lie in [0, 1]".into());
+            AccessPattern::Zipfian { theta } => {
+                // The closed-form sampler needs theta != 1 (its exponent
+                // is 1/(1-theta)); theta <= 0 would invert the skew.
+                if !(theta.is_finite() && 0.0 < theta && theta < 1.0) {
+                    return Err("zipfian theta must lie in (0, 1)".into());
+                }
             }
         }
         Ok(())
@@ -198,6 +218,18 @@ mod tests {
             },
             WorkloadSpec {
                 deadline_jitter: 1.0,
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                access: AccessPattern::Zipfian { theta: 0.0 },
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                access: AccessPattern::Zipfian { theta: 1.0 },
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                access: AccessPattern::Zipfian { theta: f64::NAN },
                 ..WorkloadSpec::default()
             },
         ];

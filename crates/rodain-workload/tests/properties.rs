@@ -1,7 +1,7 @@
 //! Property-based tests of trace generation and the trace-file format.
 
 use proptest::prelude::*;
-use rodain_workload::{Trace, TraceGenerator, TxnKind, TxnRequest, WorkloadSpec};
+use rodain_workload::{AccessPattern, Trace, TraceGenerator, TxnKind, TxnRequest, WorkloadSpec};
 
 fn request_strategy() -> impl Strategy<Value = TxnRequest> {
     (
@@ -89,5 +89,38 @@ proptest! {
         // Determinism.
         let again = TraceGenerator::new(spec).generate();
         prop_assert_eq!(again, trace);
+    }
+
+    /// For any seed and any meaningful skew, Zipfian access concentrates
+    /// draws on the low ranks: the first decile of the keyspace always
+    /// receives more than its uniform share of accesses, and every rank
+    /// stays inside the database.
+    #[test]
+    fn zipfian_lower_ranks_dominate(
+        seed in any::<u64>(),
+        theta in 0.4f64..0.99,
+        db_objects in 200u64..3_000,
+    ) {
+        let spec = WorkloadSpec {
+            seed,
+            db_objects,
+            count: 600,
+            access: AccessPattern::Zipfian { theta },
+            ..WorkloadSpec::default()
+        };
+        let trace = TraceGenerator::new(spec).generate();
+        let cut = db_objects / 10;
+        let total = trace.requests.iter().map(|r| r.objects.len()).sum::<usize>();
+        let head = trace
+            .requests
+            .iter()
+            .flat_map(|r| &r.objects)
+            .filter(|&&o| o < cut)
+            .count();
+        prop_assert!(trace.requests.iter().flat_map(|r| &r.objects).all(|&o| o < db_objects));
+        // Uniform would put ~10% below the cut; even theta = 0.4 with a
+        // small sample stays comfortably above double that.
+        let share = head as f64 / total as f64;
+        prop_assert!(share > 0.2, "head share {share} with theta {theta}");
     }
 }

@@ -22,6 +22,7 @@
 //! | [`server`] | `rodain-server` | the User Request Interpreter: TCP front-end + client |
 //! | [`sim`] | `rodain-sim` | deterministic simulation regenerating the paper's figures |
 //! | [`workload`] | `rodain-workload` | number-translation workloads, traces |
+//! | [`shard`] | `rodain-shard` | hash-partitioned multi-engine cluster: routing, cross-shard 2PC, per-shard failover |
 //!
 //! See the repository's `README.md` for a tour and `examples/` for runnable
 //! programs.
@@ -36,6 +37,7 @@ pub use rodain_obs as obs;
 pub use rodain_occ as occ;
 pub use rodain_sched as sched;
 pub use rodain_server as server;
+pub use rodain_shard as shard;
 pub use rodain_sim as sim;
 pub use rodain_store as store;
 pub use rodain_workload as workload;

@@ -289,3 +289,70 @@ fn protocol_violation_drops_only_that_connection() {
     ));
     server.shutdown();
 }
+
+#[test]
+fn sharded_backend_serves_and_merges_metrics() {
+    use rodain::server::MetricsFormat;
+    use rodain::shard::ShardedRodain;
+
+    let cluster = Arc::new(
+        ShardedRodain::builder()
+            .shards(4)
+            .workers_per_shard(2)
+            .build()
+            .unwrap(),
+    );
+    let schema = NumberTranslationDb::new(500);
+    for n in 0..schema.objects {
+        cluster.load_initial(schema.object_id(n), schema.initial_record(n));
+    }
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let server = Server::sharded(Arc::clone(&cluster), schema)
+        .start(listener)
+        .unwrap();
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Requests spread across all four shards through one front-end.
+    for n in 0..40u64 {
+        match client.translate(n, 200).unwrap() {
+            Outcome::Ok(Value::Text(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+    match client.provision(7, "+358-40-7777777", 300).unwrap() {
+        Outcome::Ok(Value::Int(count)) => assert_eq!(count, 1),
+        other => panic!("{other:?}"),
+    }
+
+    // Stats are cluster-wide totals...
+    match client.stats().unwrap() {
+        Outcome::Ok(Value::Record(fields)) => match fields.as_slice() {
+            [Value::Int(committed), ..] => assert!(*committed >= 41, "committed {committed}"),
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+    // ...and the metrics scrape carries the per-shard label dimension.
+    match client.metrics(MetricsFormat::Prometheus).unwrap() {
+        Outcome::Ok(Value::Text(body)) => {
+            for shard in 0..4 {
+                assert!(
+                    body.contains(&format!("shard=\"{shard}\"")),
+                    "missing shard {shard} label in scrape"
+                );
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // Every shard saw traffic: the workload spreads over the hash space.
+    let per_shard = cluster.shard_stats();
+    assert_eq!(per_shard.len(), 4);
+    for (i, stats) in per_shard.iter().enumerate() {
+        assert!(
+            stats.expect("shard attached").committed > 0,
+            "idle shard {i}"
+        );
+    }
+    server.shutdown();
+}
