@@ -3,8 +3,8 @@
 //! `cargo run -p rodain-bench --release --bin all_experiments [-- --quick]`
 
 use rodain_bench::experiments::{
-    cc_ablation, commit_path, fig2_panel_a, fig2_panel_b, fig3, overload_limit, reservation,
-    saturation, takeover, SweepOptions,
+    cc_ablation, commit_path, commit_pipe, fig2_panel_a, fig2_panel_b, fig3, overload_limit,
+    reservation, saturation, takeover, SweepOptions,
 };
 use rodain_bench::report::Table;
 
@@ -26,6 +26,17 @@ fn main() {
     run("commit_path", commit_path(opts));
     run("overload_limit", overload_limit(opts));
     run("reservation", reservation(opts));
+    {
+        // COMMITPIPE runs the real mirrored engine; include it here (it is
+        // fast) but keep the regression gate in the standalone binary.
+        let report = commit_pipe(opts);
+        report.table().print();
+        let dir = rodain_bench::report::out_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_COMMITPIPE.json");
+        std::fs::write(&path, report.to_json()).unwrap();
+        println!("json: {path:?}\n");
+    }
     // REALENGINE and SHARDSCALE are deliberately NOT part of the suite:
     // they measure wall-clock behaviour and need an otherwise idle
     // machine. Run them standalone:

@@ -1,0 +1,34 @@
+//! COMMITPIPE: batched log shipping vs one frame per commit group on the
+//! real mirrored engine, over a paced in-process link.
+//!
+//! Writes `BENCH_COMMITPIPE.json` into the output directory and exits
+//! non-zero when the commit-pipeline overhaul regresses: batched shipping
+//! must clear 1.5× the unbatched committed throughput without inflating
+//! the commit-wait p99 beyond 1.2× of the baseline.
+//!
+//! `cargo run -p rodain-bench --release --bin commit_pipe [-- --quick]`
+
+use rodain_bench::experiments::{commit_pipe, SweepOptions};
+use rodain_bench::report::out_dir;
+
+fn main() {
+    let report = commit_pipe(SweepOptions::from_args());
+    report.table().print();
+
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    let path = dir.join("BENCH_COMMITPIPE.json");
+    std::fs::write(&path, report.to_json()).expect("write BENCH_COMMITPIPE.json");
+    println!("json: {path:?}");
+
+    let speedup = report.speedup();
+    let p99_ratio = report.p99_ratio();
+    println!("speedup: {speedup:.2}x, commit-wait p99 ratio: {p99_ratio:.2}");
+    if speedup < 1.5 || p99_ratio > 1.2 {
+        eprintln!(
+            "COMMITPIPE regression: need speedup >= 1.5 (got {speedup:.2}) \
+             and p99 ratio <= 1.2 (got {p99_ratio:.2})"
+        );
+        std::process::exit(1);
+    }
+}

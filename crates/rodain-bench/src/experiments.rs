@@ -806,6 +806,252 @@ pub fn shard_scale(opts: SweepOptions) -> Table {
     table
 }
 
+/// One measured configuration of the COMMITPIPE experiment.
+#[derive(Clone, Debug)]
+pub struct CommitPipeRow {
+    /// Series label (`batch=1` or `batched`).
+    pub label: &'static str,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Committed throughput (txn/s).
+    pub tput_tps: f64,
+    /// Commit-wait median (ns) from `engine_commit_wait_ns`.
+    pub p50_ns: u64,
+    /// Commit-wait 95th percentile (ns).
+    pub p95_ns: u64,
+    /// Commit-wait 99th percentile (ns).
+    pub p99_ns: u64,
+    /// `Records` frames shipped (count of the `ship_batch_records` histogram).
+    pub frames: u64,
+    /// Mean log records per shipped frame (a commit group is several
+    /// records, so the unbatched baseline sits above 1 too — compare the
+    /// two series, not the absolute value).
+    pub mean_batch: f64,
+}
+
+/// COMMITPIPE result: the unbatched baseline against coalesced shipping.
+#[derive(Clone, Debug)]
+pub struct CommitPipeReport {
+    /// `ShipBatchConfig::unbatched()` — one frame per commit group.
+    pub unbatched: CommitPipeRow,
+    /// Default `ShipBatchConfig` — the shipper coalesces pending groups.
+    pub batched: CommitPipeRow,
+}
+
+impl CommitPipeReport {
+    /// Committed-throughput ratio, batched over unbatched.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.batched.tput_tps / self.unbatched.tput_tps.max(f64::EPSILON)
+    }
+
+    /// Commit-wait p99 ratio, batched over unbatched.
+    #[must_use]
+    pub fn p99_ratio(&self) -> f64 {
+        self.batched.p99_ns as f64 / (self.unbatched.p99_ns.max(1)) as f64
+    }
+
+    /// Render as the usual markdown table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "COMMITPIPE — batched log shipping vs one frame per commit \
+             (8 client threads, mirrored engine over a paced in-process link)",
+            &[
+                "series",
+                "committed",
+                "tput (txn/s)",
+                "wait p50 (ms)",
+                "wait p95 (ms)",
+                "wait p99 (ms)",
+                "frames",
+                "records/frame",
+            ],
+        );
+        for row in [&self.unbatched, &self.batched] {
+            table.push(vec![
+                row.label.to_string(),
+                row.committed.to_string(),
+                format!("{:.0}", row.tput_tps),
+                ms(row.p50_ns as f64),
+                ms(row.p95_ns as f64),
+                ms(row.p99_ns as f64),
+                row.frames.to_string(),
+                format!("{:.2}", row.mean_batch),
+            ]);
+        }
+        table
+    }
+
+    /// Hand-rolled JSON (the bench crate deliberately has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn row_json(r: &CommitPipeRow) -> String {
+            format!(
+                "    {{\"label\": \"{}\", \"committed\": {}, \"tput_tps\": {:.1}, \
+                 \"commit_wait_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, \
+                 \"frames\": {}, \"mean_records_per_frame\": {:.2}}}",
+                r.label, r.committed, r.tput_tps, r.p50_ns, r.p95_ns, r.p99_ns, r.frames,
+                r.mean_batch
+            )
+        }
+        format!(
+            "{{\n  \"experiment\": \"COMMITPIPE\",\n  \"rows\": [\n{},\n{}\n  ],\n  \
+             \"speedup\": {:.3},\n  \"p99_ratio\": {:.3}\n}}\n",
+            row_json(&self.unbatched),
+            row_json(&self.batched),
+            self.speedup(),
+            self.p99_ratio()
+        )
+    }
+}
+
+/// COMMITPIPE: quantify the commit-pipeline overhaul. Two identical
+/// mirrored engines run the same 8-thread non-conflicting update load over
+/// an in-process link whose sends are paced to a fixed per-frame wire
+/// delay (the realistic regime where round trips, not CPU, bound the
+/// commit path). The baseline ships one `Records` frame per commit group
+/// ([`rodain_db::ShipBatchConfig::unbatched`]); the contender lets the
+/// shipper coalesce every group that queued behind the in-flight frame, so
+/// one wire delay and one mirror acknowledgement amortize over the batch.
+#[must_use]
+pub fn commit_pipe(opts: SweepOptions) -> CommitPipeReport {
+    use rodain_db::ShipBatchConfig;
+    CommitPipeReport {
+        unbatched: commit_pipe_point("batch=1", ShipBatchConfig::unbatched(), opts.count),
+        batched: commit_pipe_point("batched", ShipBatchConfig::default(), opts.count),
+    }
+}
+
+fn commit_pipe_point(
+    label: &'static str,
+    batch: rodain_db::ShipBatchConfig,
+    count: u64,
+) -> CommitPipeRow {
+    use rodain_db::{MirrorLossPolicy, Rodain, TxnOptions};
+    use rodain_net::{Bytes, InProcTransport, NetError, Transport};
+    use rodain_node::{MirrorConfig, MirrorNode};
+    use rodain_store::{ObjectId, Store, Value};
+    use std::sync::atomic::Ordering;
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Per-frame wire delay. Large against local commit CPU cost, small
+    /// against the run length — the same regime as a LAN round trip.
+    const WIRE_DELAY: Duration = Duration::from_micros(80);
+    const CLIENTS: u64 = 8;
+    /// Objects per client thread; clients touch disjoint ranges.
+    const SPAN: u64 = 100;
+
+    /// The primary half of an in-process pair with sends paced to a fixed
+    /// serial wire delay. Receives (mirror acks) stay free.
+    struct PacedTransport {
+        inner: InProcTransport,
+        wire: Mutex<()>,
+        delay: Duration,
+    }
+
+    impl Transport for PacedTransport {
+        fn send(&self, frame: Bytes) -> Result<(), NetError> {
+            let _wire = self.wire.lock().unwrap();
+            let start = Instant::now();
+            // Spin: sleep() granularity is coarser than the delay itself.
+            while start.elapsed() < self.delay {
+                std::hint::spin_loop();
+            }
+            self.inner.send(frame)
+        }
+
+        fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NetError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        fn is_connected(&self) -> bool {
+            self.inner.is_connected()
+        }
+
+        fn close(&self) {
+            self.inner.close()
+        }
+    }
+
+    let (primary_side, mirror_side) = InProcTransport::pair();
+    let store = Arc::new(Store::new());
+    let mut mirror = MirrorNode::new(store, Arc::new(mirror_side), None, MirrorConfig::default());
+    let shutdown = mirror.shutdown_handle();
+    let mirror_thread = std::thread::spawn(move || {
+        mirror.join().unwrap();
+        mirror.run();
+    });
+
+    let paced = PacedTransport {
+        inner: primary_side,
+        wire: Mutex::new(()),
+        delay: WIRE_DELAY,
+    };
+    let db = Arc::new(
+        Rodain::builder()
+            .workers(CLIENTS as usize)
+            .mirror(Arc::new(paced), MirrorLossPolicy::ContinueVolatile)
+            .ship_batch(batch)
+            .build()
+            .expect("engine"),
+    );
+    for i in 0..CLIENTS * SPAN {
+        db.load_initial(ObjectId(i), Value::Int(0));
+    }
+
+    let per_client = (count / CLIENTS).max(50);
+    let started = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let mut committed = 0u64;
+                for i in 0..per_client {
+                    let oid = ObjectId(c * SPAN + i % SPAN);
+                    let outcome = db.execute(TxnOptions::soft_ms(60_000), move |ctx| {
+                        let v = ctx.read(oid)?.map_or(0, |v| v.as_int().unwrap_or(0));
+                        ctx.write(oid, Value::Int(v + 1))?;
+                        Ok(None)
+                    });
+                    if outcome.is_ok() {
+                        committed += 1;
+                    }
+                }
+                committed
+            })
+        })
+        .collect();
+    let committed: u64 = clients.into_iter().map(|h| h.join().unwrap()).sum();
+    let wall = started.elapsed().as_secs_f64();
+
+    let snapshot = db.metrics();
+    let wait = |q: f64| -> u64 {
+        snapshot
+            .histogram("engine_commit_wait_ns")
+            .map_or(0, |h| h.percentile(q))
+    };
+    let frames_hist = snapshot.histogram("ship_batch_records");
+    let frames = frames_hist.map_or(0, |h| h.count);
+    let mean_batch = frames_hist.map_or(0.0, |h| h.mean());
+
+    drop(db);
+    shutdown.store(true, Ordering::Release);
+    let _ = mirror_thread.join();
+
+    CommitPipeRow {
+        label,
+        committed,
+        tput_tps: committed as f64 / wall.max(f64::EPSILON),
+        p50_ns: wait(0.50),
+        p95_ns: wait(0.95),
+        p99_ns: wait(0.99),
+        frames,
+        mean_batch,
+    }
+}
+
 /// A private scratch directory for experiments that drive real disk logs.
 fn out_dir_scratch(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -841,6 +1087,22 @@ mod tests {
             count: 4_000,
         });
         assert_eq!(takeover_table.rows.len(), 2);
+    }
+
+    #[test]
+    fn commit_pipe_reports_both_series() {
+        let report = commit_pipe(quick());
+        assert!(report.unbatched.committed > 0);
+        assert!(report.batched.committed > 0);
+        assert!(report.unbatched.frames > 0);
+        assert!(report.batched.frames > 0);
+        assert!(report.unbatched.mean_batch > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"COMMITPIPE\""));
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"mean_records_per_frame\""));
+        // Two rows in the rendered table.
+        assert_eq!(report.table().rows.len(), 2);
     }
 
     #[test]

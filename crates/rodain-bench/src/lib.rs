@@ -13,6 +13,7 @@
 //! | `saturation` | §4: saturation knee + abort-reason breakdown |
 //! | `cc_ablation` | extension: OCC-DATI vs its ancestors under contention |
 //! | `commit_path` | extension: commit-latency breakdown, group-commit sweep |
+//! | `commit_pipe` | extension: batched log shipping vs one frame per commit |
 //! | `shard_scale` | extension: throughput vs shard count on the sharded cluster |
 //! | `all_experiments` | everything above, sequentially |
 //!

@@ -634,6 +634,103 @@ mod tests {
     }
 
     #[test]
+    fn mirror_silence_mid_batch_resolves_every_coalesced_ticket() {
+        // The commit pipeline coalesces commit groups into multi-group
+        // `Records` frames and the mirror acks only the highest CSN per
+        // frame. If the mirror goes silent mid-burst, tickets pending
+        // inside a coalesced frame — and groups still parked in the
+        // shipper's holdback — must all resolve through the
+        // gate-timeout → mark-down path. None may hang past the
+        // commit-gate bound.
+        const GATE: Duration = Duration::from_millis(150);
+        const CLIENTS: u64 = 4;
+        const BURST: u64 = 8;
+
+        let (primary_side, mirror_side) = InProcTransport::pair();
+        let (lossy, control) = LossyLink::new(primary_side);
+        let store = Arc::new(Store::new());
+        let mut mirror = MirrorNode::new(
+            store,
+            Arc::new(mirror_side),
+            None,
+            Runner::mirror_node_config(),
+        );
+        let shutdown = mirror.shutdown_handle();
+        let mirror_thread = std::thread::spawn(move || {
+            mirror.join().expect("mirror handshake");
+            mirror.run()
+        });
+
+        let db = Arc::new(
+            Rodain::builder()
+                .workers(CLIENTS as usize)
+                .commit_gate_timeout(GATE)
+                .build()
+                .expect("primary engine"),
+        );
+        for i in 0..CLIENTS {
+            db.load_initial(ObjectId(i), Value::Int(0));
+        }
+        db.attach_mirror(Arc::new(lossy), MirrorLossPolicy::ContinueVolatile)
+            .expect("attach mirror");
+        assert_eq!(db.replication_mode(), ReplicationMode::Mirrored);
+
+        // Warm the pipeline over the healthy link: acked end to end.
+        for i in 0..CLIENTS {
+            db.execute(TxnOptions::soft_ms(5_000), move |ctx| {
+                ctx.write(ObjectId(i), Value::Int(1))?;
+                Ok(None)
+            })
+            .expect("warmup commit");
+        }
+
+        // The mirror falls silent: frames vanish without a send error, so
+        // shipped frames never ack and later groups coalesce behind them.
+        control.set_blackhole(true);
+
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    let mut slowest = Duration::ZERO;
+                    for k in 0..BURST {
+                        let oid = ObjectId(c);
+                        let started = Instant::now();
+                        // The outcome is policy (ContinueVolatile → Ok);
+                        // the invariant under test is the timing bound.
+                        let _ = db.execute(TxnOptions::soft_ms(30_000), move |ctx| {
+                            let v = ctx.read(oid)?.map_or(0, |v| v.as_int().unwrap_or(0));
+                            ctx.write(oid, Value::Int(v + k as i64 + 1))?;
+                            Ok(None)
+                        });
+                        slowest = slowest.max(started.elapsed());
+                    }
+                    slowest
+                })
+            })
+            .collect();
+        let mut slowest = Duration::ZERO;
+        for handle in clients {
+            slowest = slowest.max(handle.join().expect("client thread"));
+        }
+
+        // Every ticket resolved. The engine re-arms the gate once after
+        // marking the mirror down, so the hard ceiling is two gate
+        // periods; the rest is scheduling margin for loaded CI machines.
+        assert!(
+            slowest < GATE * 2 + Duration::from_millis(500),
+            "a coalesced-frame ticket hung for {slowest:?} (gate {GATE:?})"
+        );
+        // The silence was noticed and the engine degraded per its policy.
+        assert_eq!(db.replication_mode(), ReplicationMode::Volatile);
+
+        control.set_blackhole(false);
+        shutdown.store(true, Ordering::Release);
+        drop(db);
+        let _ = mirror_thread.join();
+    }
+
+    #[test]
     fn volatile_fallback_reports_volatile_mode() {
         let plan = FaultPlan::script(vec![PlannedFault {
             at_commit: 4,

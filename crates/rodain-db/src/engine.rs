@@ -3,7 +3,7 @@
 use crate::ctx::{CtxStop, TxnCtx, TxnFlags};
 use crate::error::{TxnAbort, TxnError};
 use crate::options::{MirrorLossPolicy, TxnOptions};
-use crate::replicate::{MirrorLink, ReplicationMode, Replicator};
+use crate::replicate::{MirrorLink, ReplicationMode, Replicator, ShipBatchConfig};
 use crate::stats::{Counters, EngineStats, TxnReceipt};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -64,6 +64,7 @@ struct Engine {
     replicator: RwLock<Replicator>,
     commit_gate: RwLock<()>,
     commit_gate_timeout: Duration,
+    ship_batch: ShipBatchConfig,
     last_csn: AtomicU64,
     builder: RecordBuilder,
     protocol: Protocol,
@@ -120,6 +121,7 @@ pub struct RodainBuilder {
     durability: Durability,
     commit_gate_timeout: Duration,
     group_commit_batch: usize,
+    ship_batch: ShipBatchConfig,
     recorder: Option<Recorder>,
 }
 
@@ -144,6 +146,7 @@ impl RodainBuilder {
             durability: Durability::Volatile,
             commit_gate_timeout: COMMIT_GATE_TIMEOUT,
             group_commit_batch: crate::replicate::GROUP_COMMIT_BATCH,
+            ship_batch: ShipBatchConfig::default(),
             recorder: None,
         }
     }
@@ -238,6 +241,17 @@ impl RodainBuilder {
         self
     }
 
+    /// Mirror-shipping batch knobs (see [`ShipBatchConfig`]): how many
+    /// records/bytes one `Records` frame may carry and how long the
+    /// shipper holds an open batch for more commits.
+    /// [`ShipBatchConfig::unbatched`] restores one-frame-per-commit
+    /// shipping (the COMMITPIPE baseline).
+    #[must_use]
+    pub fn ship_batch(mut self, cfg: ShipBatchConfig) -> Self {
+        self.ship_batch = cfg;
+        self
+    }
+
     /// Primary mode: ship logs to a mirror over `transport` (the mirror
     /// must be running [`rodain_node::MirrorNode::join`]), degrading per
     /// `policy` if it dies.
@@ -270,6 +284,7 @@ impl RodainBuilder {
             replicator: RwLock::new(Replicator::Volatile),
             commit_gate: RwLock::new(()),
             commit_gate_timeout: self.commit_gate_timeout,
+            ship_batch: self.ship_batch,
             last_csn: AtomicU64::new(0),
             builder: RecordBuilder::new(),
             protocol: self.protocol,
@@ -587,8 +602,16 @@ fn attach_mirror_inner(
         .send(Message::SnapshotDone { next_csn: boundary }.encode())
         .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e.to_string()))?;
 
-    // 3. Switch the commit path to log shipping.
-    let link = MirrorLink::new(transport, &policy, &engine.recorder)?;
+    // 3. Switch the commit path to log shipping. The shipper's holdback
+    //    starts at the snapshot boundary — the first CSN the live stream
+    //    carries (the gate write lock guarantees nothing is in flight).
+    let link = MirrorLink::new(
+        transport,
+        &policy,
+        &engine.recorder,
+        boundary,
+        engine.ship_batch,
+    )?;
     *engine.replicator.write() = Replicator::Mirrored(link);
     engine
         .recorder

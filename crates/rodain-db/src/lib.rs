@@ -63,6 +63,6 @@ pub use ctx::TxnCtx;
 pub use engine::{Rodain, RodainBuilder};
 pub use error::{TxnAbort, TxnError};
 pub use options::{MirrorLossPolicy, TxnOptions};
-pub use replicate::ReplicationMode;
+pub use replicate::{ReplicationMode, ShipBatchConfig};
 pub use rodain_obs::{MetricsSnapshot, Recorder};
 pub use stats::{EngineStats, TxnReceipt};

@@ -43,7 +43,8 @@ pub use checkpoint::{
     decode_snapshot, encode_snapshot, prune_snapshots, read_latest_snapshot, write_snapshot_file,
 };
 pub use codec::{
-    decode_record, decode_value, encode_record, encode_value, CodecError, FrameDecoder,
+    decode_record, decode_value, encode_record, encode_record_into, encode_value, CodecError,
+    FrameDecoder,
     MAX_FRAME_BYTES,
 };
 pub use crc32::crc32;

@@ -30,7 +30,9 @@ pub use inproc::InProcTransport;
 pub use lossy::{LinkControl, LossyLink};
 pub use tcp::TcpTransport;
 
-use bytes::Bytes;
+/// Re-export of the frame buffer type used by [`Transport`], so adapters in
+/// crates without their own `bytes` dependency can implement the trait.
+pub use bytes::Bytes;
 use std::time::Duration;
 
 /// An ordered, reliable duplex frame channel between two nodes.

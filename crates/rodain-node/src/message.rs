@@ -1,7 +1,9 @@
 //! The primary↔mirror wire protocol.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use rodain_log::{decode_value, encode_record, encode_value, CodecError, FrameDecoder, LogRecord};
+use rodain_log::{
+    decode_value, encode_record_into, encode_value, CodecError, FrameDecoder, LogRecord,
+};
 use rodain_occ::Csn;
 use rodain_store::{ObjectId, Snapshot, Ts, TxnId, VersionedObject};
 use std::fmt;
@@ -90,13 +92,20 @@ impl Message {
     #[must_use]
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(64);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encode into a caller-supplied buffer — the allocation-free variant
+    /// of [`Message::encode`]. Record batches are framed with
+    /// [`encode_record_into`], so no per-record frame buffer is allocated.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             Message::Records(records) => {
                 buf.put_u8(TAG_RECORDS);
                 buf.put_u32_le(records.len() as u32);
                 for r in records {
-                    let frame = encode_record(r);
-                    buf.put_slice(&frame);
+                    encode_record_into(r, buf);
                 }
             }
             Message::CommitAck { txn, csn } => {
@@ -122,12 +131,28 @@ impl Message {
                     buf.put_u64_le(oid.0);
                     buf.put_u64_le(obj.wts.0);
                     buf.put_u64_le(obj.rts.0);
-                    encode_value(&mut buf, &obj.value);
+                    encode_value(buf, &obj.value);
                 }
             }
             Message::SnapshotDone { next_csn } => {
                 buf.put_u8(TAG_SNAPSHOT_DONE);
                 buf.put_u64_le(next_csn.0);
+            }
+        }
+    }
+
+    /// Encode a batched `Records` frame from several commit groups without
+    /// concatenating (or cloning) them into one vector. Decodes as a
+    /// normal [`Message::Records`] holding the concatenation.
+    #[must_use]
+    pub fn encode_record_groups(groups: &[&[LogRecord]], size_hint: usize) -> Bytes {
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        let mut buf = BytesMut::with_capacity(size_hint.max(16));
+        buf.put_u8(TAG_RECORDS);
+        buf.put_u32_le(total as u32);
+        for group in groups {
+            for r in *group {
+                encode_record_into(r, &mut buf);
             }
         }
         buf.freeze()
@@ -242,7 +267,7 @@ impl Message {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rodain_log::{Lsn, RecordKind};
+    use rodain_log::{encode_record, Lsn, RecordKind};
     use rodain_store::Value;
 
     fn sample_messages() -> Vec<Message> {
@@ -311,6 +336,32 @@ mod tests {
     fn empty_records_batch_roundtrips() {
         let msg = Message::Records(vec![]);
         assert_eq!(Message::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        for msg in sample_messages() {
+            let mut buf = BytesMut::new();
+            msg.encode_into(&mut buf);
+            assert_eq!(&buf.freeze()[..], &msg.encode()[..]);
+        }
+    }
+
+    #[test]
+    fn record_groups_decode_as_concatenated_batch() {
+        let Message::Records(records) = &sample_messages()[0] else {
+            panic!("first sample is Records");
+        };
+        let (head, tail) = records.split_at(1);
+        let groups: [&[LogRecord]; 3] = [head, tail, &[]];
+        let frame = Message::encode_record_groups(&groups, 0);
+        assert_eq!(
+            Message::decode(frame).unwrap(),
+            Message::Records(records.clone())
+        );
+        // And the batched frame is byte-identical to the monolithic one.
+        let frame = Message::encode_record_groups(&[&records[..]], 256);
+        assert_eq!(&frame[..], &Message::Records(records.clone()).encode()[..]);
     }
 
     #[test]

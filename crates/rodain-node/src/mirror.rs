@@ -60,7 +60,8 @@ pub enum MirrorExit {
 pub struct MirrorReport {
     /// Log records ingested.
     pub records: u64,
-    /// Commit records acknowledged.
+    /// Ack frames sent — one per received frame that carried commit
+    /// records, acknowledging the frame's highest CSN (ack coalescing).
     pub acks_sent: u64,
     /// Committed transactions applied to the database copy.
     pub txns_applied: u64,
@@ -282,20 +283,19 @@ impl MirrorNode {
     fn handle_frame(&mut self, frame: bytes::Bytes) -> Result<(), MirrorExit> {
         match Message::decode(frame) {
             Ok(Message::Records(records)) => {
+                // Ack coalescing: the shipper sends frames whose commit
+                // CSNs form a contiguous ascending run, so acknowledging
+                // only the highest commit in the frame covers every
+                // earlier one — one ack resolves the whole batch of
+                // commit tickets on the primary.
+                let mut highest: Option<Csn> = None;
                 for record in records {
                     self.report.records += 1;
                     match self.reorder.ingest(record) {
                         Ok(rodain_log::IngestOutcome::Committed(csn)) => {
-                            // Acknowledge immediately: this is the commit
-                            // gate on the primary.
-                            let ack = Message::CommitAck {
-                                txn: self.last_committed_txn(csn),
-                                csn,
-                            };
-                            if self.transport.send(ack.encode()).is_err() {
-                                return Err(MirrorExit::PrimaryFailed);
+                            if highest.map_or(true, |h| csn.0 > h.0) {
+                                highest = Some(csn);
                             }
-                            self.report.acks_sent += 1;
                             if self.obs.is_some() {
                                 self.acked_at.insert(csn.0, Instant::now());
                             }
@@ -308,6 +308,18 @@ impl MirrorNode {
                             self.report.ignored += 1;
                         }
                     }
+                }
+                if let Some(csn) = highest {
+                    // Acknowledge immediately: this is the commit gate on
+                    // the primary.
+                    let ack = Message::CommitAck {
+                        txn: self.last_committed_txn(csn),
+                        csn,
+                    };
+                    if self.transport.send(ack.encode()).is_err() {
+                        return Err(MirrorExit::PrimaryFailed);
+                    }
+                    self.report.acks_sent += 1;
                 }
                 if let Some(obs) = &self.obs {
                     obs.reorder_pending.set(self.reorder.pending_txns() as i64);
@@ -463,6 +475,56 @@ mod tests {
         assert_eq!(snap.histogram("mirror_apply_lag_ns").unwrap().count, 1);
         assert_eq!(snap.gauge("mirror_applied_csn"), Some(1));
         drop(primary_side);
+    }
+
+    #[test]
+    fn batched_frame_gets_one_ack_for_its_highest_csn() {
+        let (primary_side, mirror_side) = InProcTransport::pair();
+        let store = Arc::new(Store::new());
+        let mut mirror = MirrorNode::new(store.clone(), Arc::new(mirror_side), None, fast_config());
+        let shutdown = mirror.shutdown_handle();
+        let applied = mirror.applied_csn_handle();
+        let runner = std::thread::spawn(move || mirror.run());
+
+        // One coalesced frame carrying three committed transactions.
+        primary_side
+            .send(
+                Message::Records(vec![
+                    write_rec(1, 7, 0, 10),
+                    commit_rec(2, 7, 1, 1),
+                    write_rec(3, 8, 1, 20),
+                    commit_rec(4, 8, 2, 1),
+                    commit_rec(5, 9, 3, 0),
+                ])
+                .encode(),
+            )
+            .unwrap();
+
+        // Exactly one ack comes back, for the frame's highest CSN.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let (txn, csn) = loop {
+            assert!(Instant::now() < deadline, "no ack arrived");
+            if let Ok(Some(frame)) = primary_side.recv_timeout(Duration::from_millis(20)) {
+                if let Ok(Message::CommitAck { txn, csn }) = Message::decode(frame) {
+                    break (txn, csn);
+                }
+            }
+        };
+        assert_eq!(csn, Csn(3), "ack must cover the whole batch");
+        assert_eq!(txn, TxnId(9));
+
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while applied.load(Ordering::Acquire) < 3 {
+            assert!(Instant::now() < deadline, "mirror never applied the batch");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        shutdown.store(true, Ordering::Release);
+        let (exit, report) = runner.join().unwrap();
+        assert_eq!(exit, MirrorExit::ShutdownRequested);
+        assert_eq!(report.acks_sent, 1, "one ack per frame, not per commit");
+        assert_eq!(report.txns_applied, 3);
+        assert_eq!(store.read(ObjectId(0)).unwrap().0, Value::Int(10));
+        assert_eq!(store.read(ObjectId(1)).unwrap().0, Value::Int(20));
     }
 
     #[test]

@@ -7,14 +7,36 @@
 //! whether the validating transaction may take a *backward* serialization
 //! timestamp (one lying before already committed timestamps). [`OccCore`]
 //! implements the full mechanism; each protocol is a named configuration.
+//!
+//! ## Locking
+//!
+//! The controller state is split three ways so the read-phase hooks
+//! ([`OccCore::on_read`] / [`OccCore::on_write`]) never contend on a global
+//! lock:
+//!
+//! * **Transaction shards** — the active set is partitioned into
+//!   [`SHARD_COUNT`] shards keyed by `TxnId`. Hooks touch exactly one shard.
+//! * **Clock state** — the serialization-timestamp allocator and the CSN
+//!   counter sit behind one short-lived mutex taken only during validation.
+//! * **Validation mutex** — validations are serialized against each other
+//!   (the store must always reflect a prefix of the validation order), but
+//!   a validator only blocks hooks shard-by-shard while it scans for
+//!   conflicts, not for its whole critical section.
+//!
+//! A hook that slips in between a validator's conflict scan of its shard
+//! and the store install is harmless: the backward-validation pass
+//! ([`committed_constraints`]) re-checks every access against the committed
+//! store state when that transaction validates, so a missed dynamic
+//! adjustment surfaces there at the latest.
 
 use crate::interval::TsInterval;
 use crate::traits::{
     AccessDecision, CcPriority, CcStats, Csn, Protocol, RestartReason, ValidationOutcome,
 };
 use parking_lot::Mutex;
-use rodain_store::{ObjectId, Store, Ts, TxnId, Workspace};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use rodain_store::{FxHashMap, FxHashSet, ObjectId, Store, Ts, TxnId, Workspace};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Spacing between consecutive *forward* serialization timestamps.
 ///
@@ -32,11 +54,14 @@ const PRUNE_KEEP: u64 = 64 * CLOCK_STRIDE;
 /// Maximum probes when searching a free backward slot.
 const BACKWARD_SCAN_LIMIT: u32 = 64;
 
+/// Number of transaction shards. Power of two so the shard index is a mask.
+pub const SHARD_COUNT: usize = 16;
+
 /// Per-transaction bookkeeping.
 struct ActiveTxn {
     interval: TsInterval,
-    reads: HashSet<ObjectId>,
-    writes: HashSet<ObjectId>,
+    reads: FxHashSet<ObjectId>,
+    writes: FxHashSet<ObjectId>,
     doomed: Option<RestartReason>,
     #[allow(dead_code)] // priorities drive victim choice in 2PL-HP only
     priority: CcPriority,
@@ -46,25 +71,53 @@ impl ActiveTxn {
     fn new(priority: CcPriority) -> Self {
         ActiveTxn {
             interval: TsInterval::FULL,
-            reads: HashSet::new(),
-            writes: HashSet::new(),
+            reads: FxHashSet::default(),
+            writes: FxHashSet::default(),
             doomed: None,
             priority,
         }
     }
 }
 
-struct CcState {
-    active: HashMap<TxnId, ActiveTxn>,
+/// One slice of the active set. Hooks lock exactly one shard.
+#[derive(Default)]
+struct TxnShard {
+    active: FxHashMap<TxnId, ActiveTxn>,
+}
+
+/// Timestamp allocator + CSN counter: the short global critical section.
+struct ClockState {
     /// Last forward serialization timestamp assigned.
     clock: u64,
     /// Recently assigned serialization timestamps (pruned to the horizon).
     assigned: BTreeSet<u64>,
     next_csn: Csn,
-    stats: CcStats,
 }
 
-impl CcState {
+/// Monotone counters updated with relaxed atomics; no lock on any hot path.
+#[derive(Default)]
+struct AtomicCcStats {
+    commits: AtomicU64,
+    self_restarts: AtomicU64,
+    victim_restarts: AtomicU64,
+    backward_commits: AtomicU64,
+    adjustments: AtomicU64,
+}
+
+impl AtomicCcStats {
+    fn snapshot(&self) -> CcStats {
+        CcStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            self_restarts: self.self_restarts.load(Ordering::Relaxed),
+            victim_restarts: self.victim_restarts.load(Ordering::Relaxed),
+            backward_commits: self.backward_commits.load(Ordering::Relaxed),
+            adjustments: self.adjustments.load(Ordering::Relaxed),
+            blocks: 0, // 2PL only
+        }
+    }
+}
+
+impl ClockState {
     fn prune_floor(&self) -> u64 {
         self.clock.saturating_sub(PRUNE_KEEP)
     }
@@ -145,22 +198,33 @@ pub(crate) struct OccPolicy {
 
 /// The shared optimistic-controller engine. See the module docs.
 pub(crate) struct OccCore {
-    state: Mutex<CcState>,
+    /// Active-transaction bookkeeping, partitioned by `TxnId`.
+    shards: [Mutex<TxnShard>; SHARD_COUNT],
+    /// Timestamp allocator + CSN counter: the short global section.
+    clock: Mutex<ClockState>,
+    /// Serializes [`OccCore::validate`] bodies against each other.
+    validation: Mutex<()>,
+    stats: AtomicCcStats,
     policy: OccPolicy,
 }
 
 impl OccCore {
     pub(crate) fn new(policy: OccPolicy) -> Self {
         OccCore {
-            state: Mutex::new(CcState {
-                active: HashMap::new(),
+            shards: std::array::from_fn(|_| Mutex::new(TxnShard::default())),
+            clock: Mutex::new(ClockState {
                 clock: 0,
                 assigned: BTreeSet::new(),
                 next_csn: Csn::FIRST,
-                stats: CcStats::default(),
             }),
+            validation: Mutex::new(()),
+            stats: AtomicCcStats::default(),
             policy,
         }
+    }
+
+    fn shard(&self, txn: TxnId) -> &Mutex<TxnShard> {
+        &self.shards[txn.0 as usize & (SHARD_COUNT - 1)]
     }
 
     pub(crate) fn protocol(&self) -> Protocol {
@@ -168,13 +232,13 @@ impl OccCore {
     }
 
     pub(crate) fn begin(&self, txn: TxnId, priority: CcPriority) {
-        let mut st = self.state.lock();
-        st.active.insert(txn, ActiveTxn::new(priority));
+        let mut sh = self.shard(txn).lock();
+        sh.active.insert(txn, ActiveTxn::new(priority));
     }
 
     pub(crate) fn on_read(&self, txn: TxnId, oid: ObjectId, observed_wts: Ts) -> AccessDecision {
-        let mut st = self.state.lock();
-        let Some(a) = st.active.get_mut(&txn) else {
+        let mut sh = self.shard(txn).lock();
+        let Some(a) = sh.active.get_mut(&txn) else {
             return AccessDecision::Proceed;
         };
         if let Some(reason) = a.doomed {
@@ -186,7 +250,7 @@ impl OccCore {
             // serialize after the version it observed.
             if !a.interval.after(observed_wts) {
                 a.doomed = Some(RestartReason::EmptyInterval);
-                st.stats.self_restarts += 1;
+                self.stats.self_restarts.fetch_add(1, Ordering::Relaxed);
                 return AccessDecision::Restart(RestartReason::EmptyInterval);
             }
         }
@@ -194,8 +258,8 @@ impl OccCore {
     }
 
     pub(crate) fn on_write(&self, txn: TxnId, oid: ObjectId, store: &Store) -> AccessDecision {
-        let mut st = self.state.lock();
-        let Some(a) = st.active.get_mut(&txn) else {
+        let mut sh = self.shard(txn).lock();
+        let Some(a) = sh.active.get_mut(&txn) else {
             return AccessDecision::Proceed;
         };
         if let Some(reason) = a.doomed {
@@ -209,7 +273,7 @@ impl OccCore {
                 let ok = a.interval.after(wts) && a.interval.after(rts);
                 if !ok {
                     a.doomed = Some(RestartReason::EmptyInterval);
-                    st.stats.self_restarts += 1;
+                    self.stats.self_restarts.fetch_add(1, Ordering::Relaxed);
                     return AccessDecision::Restart(RestartReason::EmptyInterval);
                 }
             }
@@ -218,124 +282,149 @@ impl OccCore {
     }
 
     pub(crate) fn doomed(&self, txn: TxnId) -> Option<RestartReason> {
-        let st = self.state.lock();
-        st.active.get(&txn).and_then(|a| a.doomed)
+        let sh = self.shard(txn).lock();
+        sh.active.get(&txn).and_then(|a| a.doomed)
     }
 
     pub(crate) fn remove(&self, txn: TxnId) {
-        let mut st = self.state.lock();
-        st.active.remove(&txn);
+        let mut sh = self.shard(txn).lock();
+        sh.active.remove(&txn);
     }
 
     pub(crate) fn active_count(&self) -> usize {
-        self.state.lock().active.len()
+        self.shards.iter().map(|s| s.lock().active.len()).sum()
     }
 
     pub(crate) fn stats(&self) -> CcStats {
-        self.state.lock().stats
+        self.stats.snapshot()
+    }
+
+    /// Restart the validating transaction: count it and drop its entry.
+    fn self_restart(&self, txn: TxnId, reason: RestartReason) -> ValidationOutcome {
+        self.stats.self_restarts.fetch_add(1, Ordering::Relaxed);
+        self.remove(txn);
+        ValidationOutcome::Restart(reason)
     }
 
     /// Atomic validation (see [`crate::ConcurrencyController::validate`]).
     pub(crate) fn validate(&self, ws: &Workspace, store: &Store) -> ValidationOutcome {
         let txn = ws.txn();
-        let mut st = self.state.lock();
+        // Validations are serialized: the conflict scan, the store install
+        // and the CSN draw must together appear atomic to other validators.
+        // Hooks are NOT blocked by this — they only take their shard lock.
+        let _serial = self.validation.lock();
 
         // 1. The transaction may have been doomed while it was finishing its
         //    read phase.
-        let stored_interval = match st.active.get(&txn) {
-            Some(a) => {
-                if let Some(reason) = a.doomed {
-                    st.stats.self_restarts += 1;
-                    st.active.remove(&txn);
-                    return ValidationOutcome::Restart(reason);
+        let stored_interval = {
+            let mut sh = self.shard(txn).lock();
+            match sh.active.get(&txn) {
+                Some(a) => {
+                    if let Some(reason) = a.doomed {
+                        sh.active.remove(&txn);
+                        drop(sh);
+                        self.stats.self_restarts.fetch_add(1, Ordering::Relaxed);
+                        return ValidationOutcome::Restart(reason);
+                    }
+                    a.interval
                 }
-                a.interval
+                None => TsInterval::FULL,
             }
-            None => TsInterval::FULL,
         };
 
         // 2. Committed-state constraints (the backward-validation part).
         let mut iv = stored_interval;
         if let Err(reason) = committed_constraints(ws, store, &mut iv) {
-            st.stats.self_restarts += 1;
-            st.active.remove(&txn);
-            return ValidationOutcome::Restart(reason);
+            return self.self_restart(txn, reason);
         }
 
-        // 3. Choose the serialization timestamp.
-        let (ser_ts, backward) = match st.choose_ser_ts(iv, self.policy.allow_backward) {
+        // 3. Choose the serialization timestamp (short global section).
+        let chosen = self
+            .clock
+            .lock()
+            .choose_ser_ts(iv, self.policy.allow_backward);
+        let (ser_ts, backward) = match chosen {
             Ok(v) => v,
-            Err(reason) => {
-                st.stats.self_restarts += 1;
-                st.active.remove(&txn);
-                return ValidationOutcome::Restart(reason);
-            }
+            Err(reason) => return self.self_restart(txn, reason),
         };
 
         // 4. Resolve conflicts with the remaining active transactions:
         //    broadcast commit restarts them; dynamic adjustment shrinks
         //    their intervals and restarts only those left with an empty one.
-        let v_writes: HashSet<ObjectId> = ws.writes().iter().map(|(oid, _)| *oid).collect();
-        let v_reads: HashSet<ObjectId> = ws.reads().map(|(oid, _)| oid).collect();
+        //    The scan locks one shard at a time.
+        let v_writes: FxHashSet<ObjectId> = ws.writes().iter().map(|(oid, _)| *oid).collect();
+        let v_reads: FxHashSet<ObjectId> = ws.reads().map(|(oid, _)| oid).collect();
         let mut victims = Vec::new();
         let ts = Ts(ser_ts);
         let broadcast = self.policy.broadcast;
         let mut adjustments = 0u64;
-        for (id, a) in st.active.iter_mut() {
-            if *id == txn || a.doomed.is_some() {
-                continue;
-            }
-            let reads_hit = !v_writes.is_empty() && a.reads.iter().any(|o| v_writes.contains(o));
-            let ww_hit = !v_writes.is_empty() && a.writes.iter().any(|o| v_writes.contains(o));
-            let wr_hit = !v_reads.is_empty() && a.writes.iter().any(|o| v_reads.contains(o));
-            if broadcast {
-                if reads_hit || ww_hit {
-                    a.doomed = Some(RestartReason::BroadcastConflict);
-                    victims.push(*id);
+        for shard in &self.shards {
+            let mut sh = shard.lock();
+            for (id, a) in sh.active.iter_mut() {
+                if *id == txn || a.doomed.is_some() {
+                    continue;
                 }
-                continue;
-            }
-            let mut ok = true;
-            let mut touched = false;
-            if reads_hit {
-                // A read an object we are overwriting: A saw the old
-                // version, so A serializes before us.
-                ok &= a.interval.before(ts);
-                touched = true;
-            }
-            if ww_hit {
-                // A's deferred write will overwrite ours: A after us.
-                ok &= a.interval.after(ts);
-                touched = true;
-            }
-            if wr_hit {
-                // We read committed state that A is about to overwrite; we
-                // did not see A's write, so A serializes after us.
-                ok &= a.interval.after(ts);
-                touched = true;
-            }
-            if touched {
-                adjustments += 1;
-                if !ok {
-                    a.doomed = Some(RestartReason::EmptyInterval);
-                    victims.push(*id);
+                let reads_hit =
+                    !v_writes.is_empty() && a.reads.iter().any(|o| v_writes.contains(o));
+                let ww_hit = !v_writes.is_empty() && a.writes.iter().any(|o| v_writes.contains(o));
+                let wr_hit = !v_reads.is_empty() && a.writes.iter().any(|o| v_reads.contains(o));
+                if broadcast {
+                    if reads_hit || ww_hit {
+                        a.doomed = Some(RestartReason::BroadcastConflict);
+                        victims.push(*id);
+                    }
+                    continue;
+                }
+                let mut ok = true;
+                let mut touched = false;
+                if reads_hit {
+                    // A read an object we are overwriting: A saw the old
+                    // version, so A serializes before us.
+                    ok &= a.interval.before(ts);
+                    touched = true;
+                }
+                if ww_hit {
+                    // A's deferred write will overwrite ours: A after us.
+                    ok &= a.interval.after(ts);
+                    touched = true;
+                }
+                if wr_hit {
+                    // We read committed state that A is about to overwrite; we
+                    // did not see A's write, so A serializes after us.
+                    ok &= a.interval.after(ts);
+                    touched = true;
+                }
+                if touched {
+                    adjustments += 1;
+                    if !ok {
+                        a.doomed = Some(RestartReason::EmptyInterval);
+                        victims.push(*id);
+                    }
                 }
             }
         }
-        st.stats.adjustments += adjustments;
-        st.stats.victim_restarts += victims.len() as u64;
+        self.stats
+            .adjustments
+            .fetch_add(adjustments, Ordering::Relaxed);
+        self.stats
+            .victim_restarts
+            .fetch_add(victims.len() as u64, Ordering::Relaxed);
 
         // 5. Install the after-images inside the critical section: the store
         //    always reflects a prefix of the validation order.
         ws.install_into(store, ts);
 
-        let csn = st.next_csn;
-        st.next_csn = csn.next();
-        st.stats.commits += 1;
+        let csn = {
+            let mut clock = self.clock.lock();
+            let csn = clock.next_csn;
+            clock.next_csn = csn.next();
+            csn
+        };
+        self.stats.commits.fetch_add(1, Ordering::Relaxed);
         if backward {
-            st.stats.backward_commits += 1;
+            self.stats.backward_commits.fetch_add(1, Ordering::Relaxed);
         }
-        st.active.remove(&txn);
+        self.remove(txn);
         ValidationOutcome::Commit {
             ser_ts: ts,
             csn,
@@ -742,5 +831,93 @@ mod tests {
         }
         assert_eq!(core.stats().commits, 5);
         assert_eq!(core.stats().self_restarts, 0);
+    }
+
+    #[test]
+    fn eight_thread_hammer_keeps_stats_and_csns_consistent() {
+        // Drive the sharded controller from 8 threads mixing contended and
+        // private accesses, then check the global invariants the sharding
+        // must preserve: every attempt ends in exactly one commit or one
+        // self-restart, CSNs come out dense and unique, serialization
+        // timestamps never collide, and no entry leaks from any shard.
+        use std::sync::Arc;
+
+        const THREADS: u64 = 8;
+        const ATTEMPTS: u64 = 300;
+
+        let core = Arc::new(dati_core());
+        let store = Arc::new(store_with(8));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let core = Arc::clone(&core);
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let mut commits = 0u64;
+                let mut restarts = 0u64;
+                let mut csns = Vec::new();
+                let mut ser_ts = Vec::new();
+                for i in 0..ATTEMPTS {
+                    // Unique TxnIds that still spread across all 16 shards.
+                    let txn = TxnId(1 + t + i * THREADS);
+                    core.begin(txn, CcPriority(1));
+                    let mut ws = Workspace::new(txn);
+                    let shared = ObjectId(i % 8);
+                    ws.read(&store, shared);
+                    core.on_read(txn, shared, Ts::ZERO);
+                    if i % 3 == 0 {
+                        // Contended write: collides with other threads.
+                        ws.write(shared, rodain_store::Value::Int(i as i64));
+                        core.on_write(txn, shared, &store);
+                    }
+                    // Private write: never conflicts across threads.
+                    let private = ObjectId(100 + t);
+                    ws.write(private, rodain_store::Value::Int(i as i64));
+                    core.on_write(txn, private, &store);
+                    match core.validate(&ws, &store) {
+                        ValidationOutcome::Commit { csn, ser_ts: ts, .. } => {
+                            commits += 1;
+                            csns.push(csn.0);
+                            ser_ts.push(ts.0);
+                        }
+                        ValidationOutcome::Restart(_) => restarts += 1,
+                    }
+                }
+                (commits, restarts, csns, ser_ts)
+            }));
+        }
+
+        let mut total_commits = 0u64;
+        let mut total_restarts = 0u64;
+        let mut all_csns = Vec::new();
+        let mut all_ts = Vec::new();
+        for h in handles {
+            let (c, r, csns, ts) = h.join().unwrap();
+            total_commits += c;
+            total_restarts += r;
+            all_csns.extend(csns);
+            all_ts.extend(ts);
+        }
+
+        // Every attempt resolved exactly one way and nothing leaked.
+        assert_eq!(total_commits + total_restarts, THREADS * ATTEMPTS);
+        assert_eq!(core.active_count(), 0);
+
+        let stats = core.stats();
+        assert_eq!(stats.commits, total_commits);
+        assert_eq!(stats.self_restarts, total_restarts);
+        // Every doomed victim eventually restarts itself at validation.
+        assert!(stats.victim_restarts <= stats.self_restarts);
+
+        // CSNs are dense: a permutation of 1..=commits.
+        all_csns.sort_unstable();
+        let expected: Vec<u64> = (1..=total_commits).collect();
+        assert_eq!(all_csns, expected);
+
+        // Serialization timestamps are unique across all commits.
+        let distinct: std::collections::HashSet<u64> = all_ts.iter().copied().collect();
+        assert_eq!(distinct.len() as u64, total_commits);
+
+        // The contended object took plenty of traffic without wedging.
+        assert!(total_commits >= THREADS * ATTEMPTS / 2, "{total_commits}");
     }
 }

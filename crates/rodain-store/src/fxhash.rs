@@ -1,0 +1,141 @@
+//! A fast, non-cryptographic hasher for small-integer keys.
+//!
+//! The hot maps in the engine — workspace read/write indexes keyed by
+//! [`crate::ObjectId`], active-transaction tables keyed by
+//! [`crate::TxnId`], the replication pending map keyed by CSN — all use
+//! small dense integer keys, where SipHash's per-key setup cost dominates
+//! the probe. This is the FxHash multiply-rotate mix (the rustc hasher):
+//! one rotate, one xor, one multiply per 8 bytes, no per-instance state.
+//!
+//! Implemented in-tree because the workspace carries no external hashing
+//! crates; the algorithm is tiny and stable.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from FxHash: a random odd constant with a good bit mix.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash streaming hasher.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(chunk));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut chunk = [0u8; 4];
+            chunk.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u64::from(u32::from_le_bytes(chunk)));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (stateless, so `Default` maps
+/// hash identically across instances).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]. Drop-in for hot integer-keyed maps.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinct_small_keys_do_not_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(k);
+            assert!(seen.insert(h.finish()), "collision at key {k}");
+        }
+    }
+
+    #[test]
+    fn byte_stream_mixes_all_tails() {
+        // 8-byte, 4-byte and 1-byte tail paths all feed the state.
+        for len in [1usize, 3, 4, 7, 8, 9, 12, 16, 17] {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let mut h = FxHasher::default();
+            h.write(&bytes);
+            let full = h.finish();
+            let mut h2 = FxHasher::default();
+            let mut mutated = bytes.clone();
+            mutated[len - 1] ^= 0xff;
+            h2.write(&mutated);
+            assert_ne!(full, h2.finish(), "tail byte ignored at len {len}");
+        }
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for k in 0..1000u64 {
+            m.insert(k, k * 2);
+        }
+        for k in 0..1000u64 {
+            assert_eq!(m.get(&k), Some(&(k * 2)));
+        }
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+}

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fxhash;
 mod object;
 mod snapshot;
 mod stats;
@@ -34,6 +35,7 @@ mod types;
 mod workspace;
 
 pub use error::StoreError;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use object::VersionedObject;
 pub use snapshot::Snapshot;
 pub use stats::StoreStats;

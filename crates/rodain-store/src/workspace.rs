@@ -1,8 +1,8 @@
 //! Deferred-write transaction workspaces.
 
+use crate::fxhash::FxHashMap;
 use crate::store::Store;
 use crate::types::{ObjectId, Ts, TxnId, Value};
-use std::collections::HashMap;
 
 /// What a transaction observed when it read an object.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,12 +31,15 @@ pub struct Workspace {
     /// Objects read from committed state, with the version observed.
     /// A read of an object this transaction already wrote does NOT appear
     /// here (it is served from `writes` and causes no external dependency).
-    reads: HashMap<ObjectId, ReadObservation>,
+    ///
+    /// FxHash, not SipHash: `ObjectId` keys are small dense integers and
+    /// this map is probed on every read of every transaction.
+    reads: FxHashMap<ObjectId, ReadObservation>,
     /// Deferred after-images, in first-write order (the order the redo log
     /// records will be generated in during the write phase).
     writes: Vec<(ObjectId, Value)>,
     /// Index into `writes` for O(1) read-your-writes and overwrites.
-    write_index: HashMap<ObjectId, usize>,
+    write_index: FxHashMap<ObjectId, usize>,
 }
 
 impl Workspace {
@@ -45,9 +48,9 @@ impl Workspace {
     pub fn new(txn: TxnId) -> Self {
         Workspace {
             txn,
-            reads: HashMap::new(),
+            reads: FxHashMap::default(),
             writes: Vec::new(),
-            write_index: HashMap::new(),
+            write_index: FxHashMap::default(),
         }
     }
 
