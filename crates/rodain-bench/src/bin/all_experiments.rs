@@ -37,10 +37,11 @@ fn main() {
         std::fs::write(&path, report.to_json()).unwrap();
         println!("json: {path:?}\n");
     }
-    // REALENGINE and SHARDSCALE are deliberately NOT part of the suite:
-    // they measure wall-clock behaviour and need an otherwise idle
-    // machine. Run them standalone:
+    // REALENGINE, SHARDSCALE and RECOVERY are deliberately NOT part of
+    // the suite: they measure wall-clock behaviour and need an otherwise
+    // idle machine. Run them standalone:
     // `cargo run -p rodain-bench --release --bin real_engine`
     // `cargo run -p rodain-bench --release --bin shard_scale`
+    // `cargo run -p rodain-bench --release --bin recovery_bench`
     println!("all experiments finished in {:?}", started.elapsed());
 }

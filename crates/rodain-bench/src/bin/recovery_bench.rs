@@ -1,0 +1,47 @@
+//! RECOVERY: cold-start and takeover replay time vs log length at
+//! 1/2/4/8 replay workers (partitioned redo replay, `DESIGN.md` §13).
+//!
+//! Writes `BENCH_RECOVERY.json` into the output directory and exits
+//! non-zero when parallel replay stops scaling: on hosts exposing at
+//! least 4 cores, the 8-worker cold start over the longest log must
+//! finish in at most half the single-worker wall time. Hosts with fewer
+//! cores print the report but skip the gate — replay workers contending
+//! for one core cannot demonstrate scaling either way.
+//!
+//! `cargo run -p rodain-bench --release --bin recovery_bench [-- --quick]`
+
+use rodain_bench::experiments::{recovery, SweepOptions};
+use rodain_bench::report::out_dir;
+
+fn main() {
+    let report = recovery(SweepOptions::from_args());
+    report.table().print();
+
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    let path = dir.join("BENCH_RECOVERY.json");
+    std::fs::write(&path, report.to_json()).expect("write BENCH_RECOVERY.json");
+    println!("json: {path:?}");
+
+    let speedup = report.cold_start_speedup_8();
+    println!(
+        "cold-start speedup (8 workers vs 1, longest log): {speedup:.2}x \
+         on a {}-core host",
+        report.host_parallelism
+    );
+    if report.host_parallelism < 4 {
+        eprintln!(
+            "RECOVERY gate skipped: host exposes {} cores (< 4), parallel \
+             replay cannot scale here",
+            report.host_parallelism
+        );
+        return;
+    }
+    if speedup < 2.0 {
+        eprintln!(
+            "RECOVERY regression: 8-worker cold start must be <= 0.5x the \
+             single-worker wall time (need speedup >= 2.0, got {speedup:.2})"
+        );
+        std::process::exit(1);
+    }
+}

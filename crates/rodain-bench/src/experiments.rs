@@ -891,7 +891,13 @@ impl CommitPipeReport {
                 "    {{\"label\": \"{}\", \"committed\": {}, \"tput_tps\": {:.1}, \
                  \"commit_wait_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, \
                  \"frames\": {}, \"mean_records_per_frame\": {:.2}}}",
-                r.label, r.committed, r.tput_tps, r.p50_ns, r.p95_ns, r.p99_ns, r.frames,
+                r.label,
+                r.committed,
+                r.tput_tps,
+                r.p50_ns,
+                r.p95_ns,
+                r.p99_ns,
+                r.frames,
                 r.mean_batch
             )
         }
@@ -1063,6 +1069,247 @@ fn out_dir_scratch(tag: &str) -> std::path::PathBuf {
     dir
 }
 
+/// Replay worker counts swept by RECOVERY.
+pub const RECOVERY_WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// One RECOVERY measurement: a replay phase at a log length and worker
+/// count.
+#[derive(Clone, Debug)]
+pub struct RecoveryRow {
+    /// `"cold-start"` (disk scan + partitioned replay) or `"takeover"`
+    /// (reorder-buffer drain through the partitioned applier).
+    pub phase: &'static str,
+    /// Committed transactions replayed.
+    pub commits: u64,
+    /// Replay worker threads.
+    pub workers: usize,
+    /// Best-of-repetitions wall time, milliseconds.
+    pub best_ms: f64,
+    /// Commits applied per second at the best wall time.
+    pub commits_per_sec: f64,
+}
+
+/// RECOVERY result: replay wall time vs log length and worker count.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Every measured point (phases × log lengths × worker counts).
+    pub rows: Vec<RecoveryRow>,
+    /// `std::thread::available_parallelism()` on the measuring host. The
+    /// scaling gate only binds when this is at least 4 — replay workers
+    /// sharing one core cannot speed anything up.
+    pub host_parallelism: usize,
+}
+
+impl RecoveryReport {
+    /// Cold-start speedup of 8 replay workers over 1, measured on the
+    /// longest log in the sweep. The CI gate requires this to reach 2.0
+    /// (8 workers ≤ 0.5× the single-worker wall time).
+    #[must_use]
+    pub fn cold_start_speedup_8(&self) -> f64 {
+        let longest = self
+            .rows
+            .iter()
+            .filter(|r| r.phase == "cold-start")
+            .map(|r| r.commits)
+            .max()
+            .unwrap_or(0);
+        let best = |workers: usize| {
+            self.rows
+                .iter()
+                .find(|r| r.phase == "cold-start" && r.commits == longest && r.workers == workers)
+                .map(|r| r.best_ms)
+        };
+        match (best(1), best(8)) {
+            (Some(one), Some(eight)) => one / eight.max(f64::EPSILON),
+            _ => 0.0,
+        }
+    }
+
+    /// Render as the usual markdown table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "RECOVERY — replay wall time vs log length and worker count \
+             (partitioned redo replay; cold-start scans disk, takeover \
+             drains the reorder buffer)",
+            &["phase", "commits", "workers", "best (ms)", "commits/s"],
+        );
+        for row in &self.rows {
+            table.push(vec![
+                row.phase.to_string(),
+                row.commits.to_string(),
+                row.workers.to_string(),
+                format!("{:.1}", row.best_ms),
+                format!("{:.0}", row.commits_per_sec),
+            ]);
+        }
+        table
+    }
+
+    /// Hand-rolled JSON (the bench crate deliberately has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"phase\": \"{}\", \"commits\": {}, \"workers\": {}, \
+                     \"best_ms\": {:.3}, \"commits_per_sec\": {:.0}}}",
+                    r.phase, r.commits, r.workers, r.best_ms, r.commits_per_sec
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"experiment\": \"RECOVERY\",\n  \"host_parallelism\": {},\n  \
+             \"cold_start_speedup_8\": {:.3},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            self.host_parallelism,
+            self.cold_start_speedup_8(),
+            rows
+        )
+    }
+}
+
+/// RECOVERY: how fast a node comes back. A synthetic committed workload
+/// (text after-images, the paper's number-translation entry shape) is
+/// rendered as a redo log; each point replays it from scratch and reports
+/// the best wall time over the repetitions.
+///
+/// * **cold-start** drives the real node path
+///   ([`rodain_node::recover_store_from_disk_with`]): segment scan, frame
+///   decode, partitioned install.
+/// * **takeover** models the mirror promotion flush: the records are
+///   already ingested into a [`rodain_log::ReorderBuffer`] (untimed — the
+///   mirror did that while mirroring) and the drain through
+///   [`rodain_log::PartitionedApplier`] is what the clock sees.
+///
+/// `opts.count` scales the log: the longest log holds `count × 12`
+/// committed transactions (the default 10 000 yields 120 000 commits, the
+/// regression-gate regime), and quarter/half prefixes chart growth vs log
+/// length.
+#[must_use]
+pub fn recovery(opts: SweepOptions) -> RecoveryReport {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rodain_log::{
+        LogRecord, LogStorage, LogStorageConfig, Lsn, PartitionedApplier, RecordKind, ReorderBuffer,
+    };
+    use rodain_node::{recover_store_from_disk_with, RecoveryOptions};
+    use rodain_occ::Csn;
+    use rodain_store::{ObjectId, Store, Ts, TxnId, Value};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    /// After-images per committed transaction.
+    const WRITES_PER_TXN: u64 = 2;
+    /// Object keyspace; small enough that partitions share hot objects.
+    const OBJECTS: u64 = 4096;
+
+    let full_txns = opts.count * 12;
+    let reps = opts.reps.clamp(1, 5);
+
+    // Deterministic committed stream: every transaction writes
+    // `WRITES_PER_TXN` distinct ~48-byte text images and commits with a
+    // dense CSN, so worker-side decode + install dominates the
+    // single-threaded envelope routing.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut records = Vec::with_capacity((full_txns * (WRITES_PER_TXN + 1)) as usize);
+    let mut lsn = 0u64;
+    for t in 1..=full_txns {
+        let start = rng.gen_range(0..OBJECTS);
+        for w in 0..WRITES_PER_TXN {
+            lsn += 1;
+            records.push(LogRecord {
+                lsn: Lsn(lsn),
+                txn: TxnId(t),
+                kind: RecordKind::Write {
+                    oid: ObjectId((start + w) % OBJECTS),
+                    image: Value::Text(format!("route-{:042}", rng.gen::<u64>())),
+                },
+            });
+        }
+        lsn += 1;
+        records.push(LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(t),
+            kind: RecordKind::Commit {
+                csn: Csn(t),
+                ser_ts: Ts(t * 10),
+                n_writes: WRITES_PER_TXN as u32,
+            },
+        });
+    }
+
+    let mut rows = Vec::new();
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for txns in [full_txns / 4, full_txns / 2, full_txns] {
+        let prefix = &records[..(txns * (WRITES_PER_TXN + 1)) as usize];
+
+        let dir = out_dir_scratch(&format!("recovery-{txns}"));
+        {
+            let mut storage = LogStorage::open(LogStorageConfig {
+                fsync: false,
+                ..LogStorageConfig::new(&dir)
+            })
+            .expect("open scratch log");
+            storage.append_batch(prefix).expect("append workload");
+            storage.flush().expect("flush workload");
+        }
+        for workers in RECOVERY_WORKER_SWEEP {
+            let mut best_ms = f64::MAX;
+            for _ in 0..reps {
+                let cold =
+                    recover_store_from_disk_with(&dir, &RecoveryOptions::with_workers(workers))
+                        .expect("cold-start replay");
+                assert_eq!(cold.stats.committed, txns, "replay lost commits");
+                best_ms = best_ms.min(cold.elapsed.as_secs_f64() * 1e3);
+            }
+            rows.push(RecoveryRow {
+                phase: "cold-start",
+                commits: txns,
+                workers,
+                best_ms,
+                commits_per_sec: txns as f64 / (best_ms / 1e3).max(f64::EPSILON),
+            });
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+
+        for workers in RECOVERY_WORKER_SWEEP {
+            let mut best_ms = f64::MAX;
+            for _ in 0..reps {
+                let mut reorder = ReorderBuffer::new();
+                for record in prefix {
+                    reorder.ingest(record.clone()).expect("ingest");
+                }
+                let store = Arc::new(Store::new());
+                let started = Instant::now();
+                let ready = reorder.drain_ready();
+                let mut applier = PartitionedApplier::new(&store, workers);
+                for committed in &ready {
+                    applier.apply(committed);
+                }
+                let stats = applier.finish().expect("takeover flush");
+                let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(stats.txns, txns, "takeover lost commits");
+                best_ms = best_ms.min(elapsed_ms);
+            }
+            rows.push(RecoveryRow {
+                phase: "takeover",
+                commits: txns,
+                workers,
+                best_ms,
+                commits_per_sec: txns as f64 / (best_ms / 1e3).max(f64::EPSILON),
+            });
+        }
+    }
+
+    RecoveryReport {
+        rows,
+        host_parallelism,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1103,6 +1350,22 @@ mod tests {
         assert!(json.contains("\"mean_records_per_frame\""));
         // Two rows in the rendered table.
         assert_eq!(report.table().rows.len(), 2);
+    }
+
+    #[test]
+    fn recovery_sweeps_lengths_workers_and_both_phases() {
+        let report = recovery(SweepOptions { reps: 1, count: 40 });
+        // 3 log lengths × 4 worker counts × 2 phases.
+        assert_eq!(report.rows.len(), 3 * RECOVERY_WORKER_SWEEP.len() * 2);
+        for row in &report.rows {
+            assert!(row.best_ms >= 0.0 && row.best_ms.is_finite());
+            assert!(row.commits > 0);
+        }
+        assert!(report.cold_start_speedup_8() > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"RECOVERY\""));
+        assert!(json.contains("\"cold_start_speedup_8\""));
+        assert!(json.contains("\"takeover\""));
     }
 
     #[test]

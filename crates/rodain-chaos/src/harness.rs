@@ -244,6 +244,7 @@ impl Runner {
             peer_timeout: Duration::from_millis(100),
             suspect_rounds: 3,
             snapshot_dir: None,
+            takeover_workers: 2,
         }
     }
 
@@ -459,6 +460,21 @@ impl Runner {
             },
             FaultEvent::DiskFailAppend => match &self.disk_ctl {
                 Some(ctl) => ctl.fail_next_appends(1),
+                None => self.trace.push("  (no fault-injectable disk)".into()),
+            },
+            FaultEvent::PartialAppend => match &self.disk_ctl {
+                Some(ctl) => ctl.partial_next_append(),
+                None => self.trace.push("  (no fault-injectable disk)".into()),
+            },
+            FaultEvent::TornWrite => match &self.disk_ctl {
+                Some(ctl) => {
+                    ctl.tear_next_append();
+                    // A torn write poisons the serving node's contingency
+                    // log: the node has crashed mid-write, every later
+                    // synchronous commit fails, and the engine's reported
+                    // mode is no longer a pure function of the plan.
+                    self.mode_flexible = true;
+                }
                 None => self.trace.push("  (no fault-injectable disk)".into()),
             },
         }

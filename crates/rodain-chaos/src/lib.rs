@@ -50,9 +50,11 @@
 pub mod harness;
 pub mod invariants;
 pub mod plan;
+pub mod recovery;
 pub mod shard;
 
 pub use harness::{ChaosConfig, ChaosHarness, ChaosVerdict, FallbackPolicy};
 pub use invariants::Ledger;
 pub use plan::{FaultEvent, FaultPlan, PlannedFault};
+pub use recovery::{scenario_seeds, SeededLog};
 pub use shard::{ShardKillConfig, ShardKillHarness, ShardKillVerdict};

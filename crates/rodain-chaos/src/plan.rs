@@ -59,6 +59,20 @@ pub enum FaultEvent {
     /// Fail the next append of the serving node's contingency log with a
     /// transient I/O error.
     DiskFailAppend,
+    /// Partially apply the next append batch to the serving node's
+    /// contingency log: roughly half the records land, then the append
+    /// fails with a transient EIO. The engine's retry re-appends the whole
+    /// batch, so the log grows duplicate records that recovery must apply
+    /// idempotently.
+    PartialAppend,
+    /// Tear the next append of the serving node's contingency log: the
+    /// final frame reaches the platter truncated and the storage is
+    /// poisoned — the node has crashed mid-write and only recovery may
+    /// read the directory afterwards. Scripted plans only:
+    /// [`FaultPlan::generate`] never emits it, because a poisoned log ends
+    /// the serving node's run and the harness topology has no "both nodes
+    /// dead" state to continue from.
+    TornWrite,
 }
 
 impl fmt::Display for FaultEvent {
@@ -77,6 +91,8 @@ impl fmt::Display for FaultEvent {
             FaultEvent::HealLink => write!(f, "heal-link"),
             FaultEvent::DiskFailFlush => write!(f, "disk-fail-flush"),
             FaultEvent::DiskFailAppend => write!(f, "disk-fail-append"),
+            FaultEvent::PartialAppend => write!(f, "partial-append"),
+            FaultEvent::TornWrite => write!(f, "torn-write"),
         }
     }
 }
@@ -169,9 +185,10 @@ impl FaultPlan {
                     topology = Topology::Pair;
                     FaultEvent::RejoinMirror
                 }
-                Topology::Promoted => match rng.gen_range(0..3u32) {
+                Topology::Promoted => match rng.gen_range(0..4u32) {
                     0 => FaultEvent::DiskFailFlush,
                     1 => FaultEvent::DiskFailAppend,
+                    2 => FaultEvent::PartialAppend,
                     _ => {
                         topology = Topology::Pair;
                         FaultEvent::RejoinMirror
@@ -259,11 +276,16 @@ mod tests {
                         mirror_alive = true;
                         promoted = false;
                     }
-                    FaultEvent::DiskFailFlush | FaultEvent::DiskFailAppend => {
+                    FaultEvent::DiskFailFlush
+                    | FaultEvent::DiskFailAppend
+                    | FaultEvent::PartialAppend => {
                         assert!(promoted, "seed {seed}: disk fault with no sync disk");
                     }
                     FaultEvent::CorruptNextFrame => {
                         panic!("seed {seed}: generator must never emit corruption");
+                    }
+                    FaultEvent::TornWrite => {
+                        panic!("seed {seed}: generator must never emit torn writes");
                     }
                     FaultEvent::Delay { .. }
                     | FaultEvent::DuplicateOneIn { .. }

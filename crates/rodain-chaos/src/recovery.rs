@@ -1,0 +1,207 @@
+//! Recovery-focused chaos: crash the node *during* replay or
+//! checkpointing and verify the dirty-log contract (DESIGN.md §13).
+//!
+//! The harness in [`crate::harness`] kills nodes *between* commits; this
+//! module attacks the recovery machinery itself. Its scenarios (see
+//! `tests/recovery_scenarios.rs`) pin three properties:
+//!
+//! 1. **Torn tails truncate, mid-log corruption fails loudly** — a crash
+//!    mid-append leaves a damaged final frame that recovery drops
+//!    silently; damage anywhere else must abort with segment + offset.
+//! 2. **Mid-replay crashes converge** — a recovery process that dies
+//!    after applying a prefix ([`rodain_log::ReplayOptions`]
+//!    `stop_after_commits`) and is restarted from scratch reaches exactly
+//!    the state an uninterrupted replay reaches.
+//! 3. **Mid-checkpoint crashes keep the previous snapshot** — a crash at
+//!    any [`rodain_log::SnapshotCrashPoint`] never exposes a
+//!    half-written snapshot; checkpoint-accelerated recovery falls back
+//!    to the prior one plus the log tail.
+//!
+//! [`SeededLog`] is the deterministic workload generator behind all of
+//! them: the same seed always yields the same reordered record stream and
+//! the same expected committed state, so every failing scenario reproduces
+//! with `CHAOS_SEED=<seed> cargo test -p rodain-chaos`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rodain_log::{LogRecord, Lsn, RecordKind};
+use rodain_occ::Csn;
+use rodain_store::{ObjectId, Store, Ts, TxnId, Value};
+use std::collections::BTreeMap;
+
+/// A deterministic committed workload rendered as reordered log records,
+/// paired with the exact store contents a faithful recovery must rebuild.
+#[derive(Clone, Debug)]
+pub struct SeededLog {
+    /// The records, in reordered (appendable) order: each transaction's
+    /// writes immediately precede its commit or abort, commits ascend by
+    /// CSN.
+    pub records: Vec<LogRecord>,
+    /// Expected integer value of every object after replaying all commits.
+    pub expected: BTreeMap<u64, i64>,
+    /// Committed transactions in the stream.
+    pub commits: u64,
+    /// Highest CSN committed.
+    pub max_csn: Csn,
+}
+
+impl SeededLog {
+    /// Generate `txns` transactions over `objects` objects from `seed`.
+    /// Every ninth transaction aborts after shipping its writes, and the
+    /// stream ends with one in-flight transaction (writes, no commit) —
+    /// the tail a crash leaves behind. The same `(seed, txns, objects)`
+    /// always yields the same stream and the same expected state.
+    #[must_use]
+    pub fn generate(seed: u64, txns: u64, objects: u64) -> SeededLog {
+        assert!(objects >= 4, "need at least 4 objects for distinct writes");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut records = Vec::new();
+        let mut expected = BTreeMap::new();
+        let mut lsn = 0u64;
+        let mut csn = 0u64;
+        for t in 1..=txns {
+            let n = rng.gen_range(1..=3u64);
+            let start = rng.gen_range(0..objects);
+            let mut writes = Vec::new();
+            for w in 0..n {
+                // Consecutive oids modulo the keyspace: distinct within
+                // the transaction, so install order within it never
+                // matters (equal-timestamp installs are idempotent).
+                let oid = (start + w) % objects;
+                let val = rng.gen_range(-1_000_000..=1_000_000i64);
+                lsn += 1;
+                records.push(LogRecord {
+                    lsn: Lsn(lsn),
+                    txn: TxnId(t),
+                    kind: RecordKind::Write {
+                        oid: ObjectId(oid),
+                        image: Value::Int(val),
+                    },
+                });
+                writes.push((oid, val));
+            }
+            lsn += 1;
+            if t % 9 == 0 {
+                records.push(LogRecord {
+                    lsn: Lsn(lsn),
+                    txn: TxnId(t),
+                    kind: RecordKind::Abort,
+                });
+            } else {
+                csn += 1;
+                records.push(LogRecord {
+                    lsn: Lsn(lsn),
+                    txn: TxnId(t),
+                    kind: RecordKind::Commit {
+                        csn: Csn(csn),
+                        ser_ts: Ts(csn * 10),
+                        n_writes: n as u32,
+                    },
+                });
+                for (oid, val) in writes {
+                    expected.insert(oid, val);
+                }
+            }
+        }
+        // The in-flight tail: a transaction interrupted before its commit
+        // record. Recovery must discard it.
+        lsn += 1;
+        records.push(LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(txns + 1),
+            kind: RecordKind::Write {
+                oid: ObjectId(0),
+                image: Value::Int(i64::MIN),
+            },
+        });
+        SeededLog {
+            records,
+            expected,
+            commits: csn,
+            max_csn: Csn(csn),
+        }
+    }
+
+    /// Compare `store` against the expected committed state. Returns one
+    /// violation string per mismatch (empty = the recovered store is
+    /// exactly the pre-crash committed state: nothing lost, no phantoms).
+    #[must_use]
+    pub fn check_store(&self, store: &Store, context: &str) -> Vec<String> {
+        self.check_store_with_extras(store, &[], context)
+    }
+
+    /// [`SeededLog::check_store`] with additional `(oid, value)` pairs the
+    /// scenario committed on top of the seeded workload.
+    #[must_use]
+    pub fn check_store_with_extras(
+        &self,
+        store: &Store,
+        extras: &[(u64, i64)],
+        context: &str,
+    ) -> Vec<String> {
+        let mut expected = self.expected.clone();
+        for &(oid, val) in extras {
+            expected.insert(oid, val);
+        }
+        let mut violations = Vec::new();
+        for (&oid, &val) in &expected {
+            match store.read(ObjectId(oid)) {
+                Some((Value::Int(got), _)) if got == val => {}
+                other => violations.push(format!(
+                    "{context}: object {oid} expected {val}, found {other:?}"
+                )),
+            }
+        }
+        if store.len() != expected.len() {
+            violations.push(format!(
+                "{context}: store holds {} objects, committed state has {} (phantom or lost install)",
+                store.len(),
+                expected.len()
+            ));
+        }
+        violations
+    }
+}
+
+/// The seeds the recovery scenarios run under by default; `CHAOS_SEED`
+/// overrides them with a single pinned seed, exactly as for the pair
+/// harness (see `CONTRIBUTING.md`).
+#[must_use]
+pub fn scenario_seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEED") {
+        Ok(raw) => vec![raw
+            .trim()
+            .parse()
+            .expect("CHAOS_SEED must be an unsigned integer")],
+        Err(_) => vec![3, 11, 4099],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_log_and_expectation() {
+        let a = SeededLog::generate(77, 120, 16);
+        let b = SeededLog::generate(77, 120, 16);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.expected, b.expected);
+        assert!(a.commits > 0 && a.commits < 120, "aborts must thin commits");
+        assert_eq!(a.max_csn, Csn(a.commits));
+    }
+
+    #[test]
+    fn check_store_catches_loss_and_phantoms() {
+        let log = SeededLog::generate(5, 30, 8);
+        let store = Store::new();
+        for (&oid, &val) in &log.expected {
+            store.install(ObjectId(oid), Value::Int(val), Ts(oid + 1));
+        }
+        assert!(log.check_store(&store, "full").is_empty());
+        // A lost install is reported.
+        let (&first, _) = log.expected.iter().next().unwrap();
+        store.install(ObjectId(first), Value::Null, Ts(1_000_000));
+        assert!(!log.check_store(&store, "damaged").is_empty());
+    }
+}

@@ -140,6 +140,7 @@ fn mirror_node_config() -> MirrorConfig {
         peer_timeout: Duration::from_millis(100),
         suspect_rounds: 3,
         snapshot_dir: None,
+        takeover_workers: 2,
     }
 }
 

@@ -1,0 +1,302 @@
+//! Recovery chaos scenarios: crash the node *during* replay and
+//! checkpointing and verify the dirty-log contract (DESIGN.md §13).
+//!
+//! Every scenario runs under pinned seeds; reproduce a failure with
+//! `CHAOS_SEED=<seed> cargo test -p rodain-chaos --test recovery_scenarios`.
+
+use rodain_chaos::{scenario_seeds, SeededLog};
+use rodain_log::{
+    replay_frames_into, write_snapshot_file, write_snapshot_file_with_crash, FaultyStorage,
+    LogRecord, LogStorage, LogStorageConfig, Lsn, RecordKind, ReplayOptions, SnapshotCrashPoint,
+    StorageBackend,
+};
+use rodain_node::{recover_store_from_disk_with, recover_with_checkpoint_with, RecoveryOptions};
+use rodain_occ::Csn;
+use rodain_store::{ObjectId, Store, Ts, TxnId, Value};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn scratch_dir(tag: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rodain-recovery-chaos-{tag}-{seed}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_plain(dir: &Path) -> LogStorage {
+    LogStorage::open(LogStorageConfig {
+        fsync: false,
+        ..LogStorageConfig::new(dir)
+    })
+    .unwrap()
+}
+
+/// Split a seeded record stream into per-transaction append groups: each
+/// group ends with its commit or abort record (the trailing in-flight
+/// write forms a group of its own).
+fn txn_groups(records: &[LogRecord]) -> Vec<Vec<LogRecord>> {
+    let mut groups = Vec::new();
+    let mut current = Vec::new();
+    for record in records {
+        let boundary = matches!(record.kind, RecordKind::Commit { .. } | RecordKind::Abort);
+        current.push(record.clone());
+        if boundary {
+            groups.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    groups
+}
+
+#[test]
+fn r1_torn_write_mid_txn_recovers_every_completed_commit() {
+    for seed in scenario_seeds() {
+        let objects = 12u64;
+        let log = SeededLog::generate(seed, 60, objects);
+        let groups = txn_groups(&log.records);
+        // Crash while appending a transaction somewhere past the warm-up.
+        let tear_at = (20 + seed % 20) as usize;
+        assert!(tear_at < groups.len() - 1);
+
+        let dir = scratch_dir("r1", seed);
+        let (mut faulty, ctl) = FaultyStorage::new(open_plain(&dir));
+        for (i, group) in groups.iter().enumerate() {
+            if i == tear_at {
+                ctl.tear_next_append();
+                let err = faulty.append_batch(group).unwrap_err();
+                assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+                break;
+            }
+            faulty.append_batch(group).unwrap();
+        }
+        assert!(ctl.is_poisoned());
+        drop(faulty);
+
+        // Everything before the torn transaction was flushed by the tear;
+        // recovery truncates the damaged tail and keeps the prefix.
+        let workers = 1 + (seed % 4) as usize;
+        let cold =
+            recover_store_from_disk_with(&dir, &RecoveryOptions::with_workers(workers)).unwrap();
+        assert!(cold.torn_tail, "seed {seed}: tear not seen as torn tail");
+        assert!(cold.torn_tail_bytes > 0, "seed {seed}");
+        let prefix = SeededLog::generate(seed, tear_at as u64, objects);
+        assert_eq!(cold.stats.committed, prefix.commits, "seed {seed}");
+        let violations = prefix.check_store(&cold.store, "torn-tail recovery");
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn r2_crash_mid_replay_then_full_rerun_converges() {
+    for seed in scenario_seeds() {
+        let log = SeededLog::generate(seed, 200, 24);
+        let dir = scratch_dir("r2", seed);
+        {
+            let mut storage = open_plain(&dir);
+            storage.append_batch(&log.records).unwrap();
+            storage.flush().unwrap();
+        }
+
+        // Reference: an uninterrupted partitioned replay.
+        let full = recover_store_from_disk_with(&dir, &RecoveryOptions::with_workers(4)).unwrap();
+        assert_eq!(full.stats.committed, log.commits, "seed {seed}");
+        assert_eq!(full.stats.watermark, log.max_csn, "seed {seed}");
+        let violations = log.check_store(&full.store, "uninterrupted");
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+
+        // Chaos: the recovering process dies after applying roughly half
+        // the commits...
+        let store = Arc::new(Store::new());
+        let stop = log.commits / 2;
+        let mut frames = LogStorage::scan_dir_frames(&dir).unwrap();
+        let partial = replay_frames_into(
+            &store,
+            &mut frames,
+            ReplayOptions {
+                workers: 4,
+                stop_after_commits: Some(stop),
+            },
+        )
+        .unwrap();
+        assert_eq!(partial.committed, stop, "seed {seed}");
+        assert!(partial.watermark <= partial.max_csn);
+
+        // ...and the restarted recovery replays the whole log over the
+        // partially rebuilt store. It must converge to the reference
+        // state: installs are idempotent, so the overlap is harmless.
+        let mut frames = LogStorage::scan_dir_frames(&dir).unwrap();
+        let rerun =
+            replay_frames_into(&store, &mut frames, ReplayOptions::with_workers(4)).unwrap();
+        assert_eq!(rerun.committed, log.commits, "seed {seed}");
+        assert_eq!(rerun.watermark, log.max_csn, "seed {seed}");
+        assert_eq!(
+            store.snapshot(),
+            full.store.snapshot(),
+            "seed {seed}: mid-replay crash + rerun diverged from clean replay"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn r3_crash_mid_checkpoint_recovers_from_the_prior_snapshot() {
+    for seed in scenario_seeds() {
+        let objects = 16u64;
+        let log = SeededLog::generate(seed, 120, objects);
+        let log_dir = scratch_dir("r3-log", seed);
+        let snap_dir = scratch_dir("r3-snap", seed);
+        {
+            let mut storage = open_plain(&log_dir);
+            storage.append_batch(&log.records).unwrap();
+            storage.flush().unwrap();
+        }
+
+        // A good checkpoint exists at the halfway state.
+        let prefix = SeededLog::generate(seed, 60, objects);
+        let halfway = Store::new();
+        for (&oid, &val) in &prefix.expected {
+            halfway.install(ObjectId(oid), Value::Int(val), Ts(1));
+        }
+        let boundary = Csn(prefix.commits + 1);
+        write_snapshot_file(&snap_dir, &halfway.snapshot(), boundary).unwrap();
+
+        // The next checkpoint — at the full state — crashes mid-install,
+        // at every point before the rename becomes durable.
+        let full_state = Store::new();
+        for (&oid, &val) in &log.expected {
+            full_state.install(ObjectId(oid), Value::Int(val), Ts(2));
+        }
+        for crash in [
+            SnapshotCrashPoint::AfterTempWrite,
+            SnapshotCrashPoint::AfterTempSync,
+        ] {
+            let err = write_snapshot_file_with_crash(
+                &snap_dir,
+                &full_state.snapshot(),
+                Csn(log.commits + 1),
+                crash,
+            )
+            .unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+        }
+
+        // Recovery must see only the prior snapshot — never a torso of the
+        // crashed one — and rebuild the full state from snapshot + log.
+        let latest = rodain_log::read_latest_snapshot(&snap_dir)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            latest.1, boundary,
+            "seed {seed}: crashed install became visible"
+        );
+        let cold =
+            recover_with_checkpoint_with(&log_dir, &snap_dir, &RecoveryOptions::with_workers(2))
+                .unwrap();
+        let violations = log.check_store(&cold.store, "post-checkpoint-crash recovery");
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        let _ = std::fs::remove_dir_all(&log_dir);
+        let _ = std::fs::remove_dir_all(&snap_dir);
+    }
+}
+
+#[test]
+fn r4_partial_append_retry_duplicates_replay_idempotently() {
+    for seed in scenario_seeds() {
+        let log = SeededLog::generate(seed, 80, 12);
+        let dir = scratch_dir("r4", seed);
+        let (mut faulty, ctl) = FaultyStorage::new(open_plain(&dir));
+        faulty.append_batch(&log.records).unwrap();
+
+        // A writer ships two more committed transactions in one batch; the
+        // disk takes the first group, then EIO. The writer's retry
+        // re-appends the whole batch, so group A lands twice (same CSN).
+        let base_lsn = log.records.last().unwrap().lsn.0;
+        let commit = |lsn: u64, txn: u64, csn: u64, n: u32| LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(txn),
+            kind: RecordKind::Commit {
+                csn: Csn(csn),
+                ser_ts: Ts(csn * 10),
+                n_writes: n,
+            },
+        };
+        let write = |lsn: u64, txn: u64, oid: u64, val: i64| LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(txn),
+            kind: RecordKind::Write {
+                oid: ObjectId(oid),
+                image: Value::Int(val),
+            },
+        };
+        let batch = [
+            write(base_lsn + 1, 900, 1000, seed as i64),
+            commit(base_lsn + 2, 900, log.max_csn.0 + 1, 1),
+            write(base_lsn + 3, 901, 1001, -(seed as i64)),
+            commit(base_lsn + 4, 901, log.max_csn.0 + 2, 1),
+        ];
+        ctl.partial_next_append();
+        assert!(faulty.append_batch(&batch).is_err());
+        assert!(!ctl.is_poisoned(), "partial append must stay transient");
+        faulty.append_batch(&batch).unwrap();
+        StorageBackend::flush(&mut faulty).unwrap();
+        drop(faulty);
+
+        // Replay sees transaction 900 twice (duplicate CSN): the re-apply
+        // must be idempotent, and every other commit must survive.
+        let cold = recover_store_from_disk_with(&dir, &RecoveryOptions::with_workers(4)).unwrap();
+        assert_eq!(
+            cold.stats.committed,
+            log.commits + 3,
+            "seed {seed}: group A twice + group B once"
+        );
+        let violations = log.check_store_with_extras(
+            &cold.store,
+            &[(1000, seed as i64), (1001, -(seed as i64))],
+            "partial-append recovery",
+        );
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn r5_mid_log_corruption_fails_loudly_with_location() {
+    for seed in scenario_seeds() {
+        let log = SeededLog::generate(seed, 60, 12);
+        let dir = scratch_dir("r5", seed);
+        {
+            let mut storage = open_plain(&dir);
+            storage.append_batch(&log.records).unwrap();
+            storage.flush().unwrap();
+        }
+        // Flip one byte in the middle of the (only) segment — far from
+        // the tail, so this is NOT a torn tail and must abort recovery.
+        let segment = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "rodainlog"))
+            .expect("segment file");
+        let mut data = std::fs::read(&segment).unwrap();
+        // Segment header is 20 bytes, each frame is [len u32][crc u32]
+        // [payload]. Flip a byte inside the FIRST frame's payload: the
+        // frame fails its CRC with plenty of intact data after it, which
+        // is unambiguously corruption, never a torn tail.
+        data[20 + 8 + 4] ^= 0x20;
+        std::fs::write(&segment, &data).unwrap();
+
+        let err =
+            recover_store_from_disk_with(&dir, &RecoveryOptions::with_workers(2)).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("mid-log corruption") && msg.contains("seg-"),
+            "seed {seed}: corruption error must name segment and offset, got: {msg}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

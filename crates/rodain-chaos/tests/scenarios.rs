@@ -153,6 +153,7 @@ fn s5_corrupted_frame_is_rejected_and_commits_survive_via_fallback() {
             peer_timeout: Duration::from_millis(100),
             suspect_rounds: 3,
             snapshot_dir: None,
+            takeover_workers: 2,
         },
     );
     let handle = std::thread::spawn(move || {

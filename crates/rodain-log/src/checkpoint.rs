@@ -94,20 +94,111 @@ pub fn decode_snapshot(data: &[u8]) -> io::Result<(Snapshot, Csn)> {
     Ok((Snapshot { objects }, upto))
 }
 
-/// Write a checkpoint snapshot atomically (tmp file + rename) into `dir`;
-/// returns its path (`checkpoint-<csn>.rodainsnap`).
+/// Crash-injection points inside the snapshot install sequence, used by
+/// the chaos layer to verify that a crash *during* checkpointing always
+/// leaves the previous snapshot recoverable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SnapshotCrashPoint {
+    /// No injected crash: run the full install sequence.
+    #[default]
+    None,
+    /// Die after writing (but not syncing) the temp file: simulates losing
+    /// the snapshot body — a stale `.tmp` litters the directory but no
+    /// `*.rodainsnap` name ever points at partial data.
+    AfterTempWrite,
+    /// Die after syncing the temp file but before the rename: the complete
+    /// snapshot exists only under its invisible temp name.
+    AfterTempSync,
+    /// Die after the rename but before the directory fsync: on a real disk
+    /// the new name may or may not survive; either way each visible name
+    /// is intact.
+    AfterRename,
+}
+
+/// Write a checkpoint snapshot atomically into `dir`; returns its path
+/// (`checkpoint-<csn>.rodainsnap`).
+///
+/// Install sequence: write temp → fsync file → rename → fsync directory.
+/// The directory fsync is what makes the *rename* durable — without it a
+/// crash after "successful" checkpointing can roll the directory back to a
+/// state where the new name never existed, and a caller that already
+/// truncated the log on the strength of that checkpoint has lost data.
+/// Stale temp files from previous crashed installs are swept first.
 pub fn write_snapshot_file(dir: &Path, snapshot: &Snapshot, upto: Csn) -> io::Result<PathBuf> {
+    write_snapshot_file_with_crash(dir, snapshot, upto, SnapshotCrashPoint::None)
+}
+
+/// [`write_snapshot_file`] with an injected crash point (chaos testing).
+/// When the crash point fires the function aborts mid-sequence, leaving
+/// whatever artifacts a real crash would, and returns an
+/// [`io::ErrorKind::Interrupted`] error.
+pub fn write_snapshot_file_with_crash(
+    dir: &Path,
+    snapshot: &Snapshot,
+    upto: Csn,
+    crash: SnapshotCrashPoint,
+) -> io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
+    sweep_stale_tmp(dir);
     let path = dir.join(format!("checkpoint-{:020}.rodainsnap", upto.0));
     let tmp = dir.join(format!(".checkpoint-{:020}.tmp", upto.0));
     let bytes = encode_snapshot(snapshot, upto);
+    let simulated = |at: &str| {
+        Err(io::Error::new(
+            io::ErrorKind::Interrupted,
+            format!("simulated crash {at}"),
+        ))
+    };
     {
         let mut file = fs::File::create(&tmp)?;
         file.write_all(&bytes)?;
+        if crash == SnapshotCrashPoint::AfterTempWrite {
+            return simulated("after temp write");
+        }
         file.sync_data()?;
     }
+    if crash == SnapshotCrashPoint::AfterTempSync {
+        return simulated("after temp sync");
+    }
     fs::rename(&tmp, &path)?;
+    if crash == SnapshotCrashPoint::AfterRename {
+        return simulated("after rename");
+    }
+    sync_dir(dir)?;
     Ok(path)
+}
+
+/// Remove temp files abandoned by crashed installs. Best-effort: a file we
+/// cannot delete is left for the next sweep.
+fn sweep_stale_tmp(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_tmp = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with(".checkpoint-") && n.ends_with(".tmp"));
+        if is_tmp {
+            let _ = fs::remove_file(&path);
+        }
+    }
+}
+
+/// Make a rename in `dir` durable by fsyncing the directory itself.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    // Opening a directory read-only and calling fsync on it is the POSIX
+    // idiom; on platforms where directories cannot be fsynced (Windows),
+    // the open or sync fails and we treat the rename as durable enough.
+    match fs::File::open(dir) {
+        Ok(handle) => match handle.sync_all() {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidInput => Ok(()),
+            Err(e) => Err(e),
+        },
+        Err(_) => Ok(()),
+    }
 }
 
 /// Locate and read the newest intact checkpoint in `dir`. Corrupt files
@@ -241,6 +332,55 @@ mod tests {
         let (snapshot, upto, _) = read_latest_snapshot(&dir).unwrap().unwrap();
         assert_eq!(upto, Csn(10));
         assert_eq!(snapshot.len(), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_before_rename_never_yields_half_visible_snapshot() {
+        let dir = tmpdir("crashpoints");
+        write_snapshot_file(&dir, &sample_snapshot(5), Csn(10)).unwrap();
+        for crash in [
+            SnapshotCrashPoint::AfterTempWrite,
+            SnapshotCrashPoint::AfterTempSync,
+        ] {
+            let err = write_snapshot_file_with_crash(&dir, &sample_snapshot(9), Csn(20), crash)
+                .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+            // The crashed install left a temp file but no visible name.
+            assert!(dir.join(".checkpoint-00000000000000000020.tmp").exists());
+            assert!(!dir
+                .join("checkpoint-00000000000000000020.rodainsnap")
+                .exists());
+            // Recovery still sees the previous snapshot, fully intact.
+            let (snapshot, upto, _) = read_latest_snapshot(&dir).unwrap().unwrap();
+            assert_eq!(upto, Csn(10), "crash {crash:?} exposed a partial snapshot");
+            assert_eq!(snapshot.len(), 5);
+        }
+        // The next successful install sweeps the stale temp file.
+        write_snapshot_file(&dir, &sample_snapshot(9), Csn(30)).unwrap();
+        assert!(!dir.join(".checkpoint-00000000000000000020.tmp").exists());
+        let (_, upto, _) = read_latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(upto, Csn(30));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_after_rename_is_already_consistent() {
+        // After the rename the new snapshot is complete under its final
+        // name; the missing directory fsync only risks the *name* (not
+        // partial data) on a real power loss.
+        let dir = tmpdir("crashrename");
+        let err = write_snapshot_file_with_crash(
+            &dir,
+            &sample_snapshot(4),
+            Csn(7),
+            SnapshotCrashPoint::AfterRename,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        let (snapshot, upto, _) = read_latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(upto, Csn(7));
+        assert_eq!(snapshot.len(), 4);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -227,6 +227,76 @@ pub fn decode_record(mut payload: Bytes) -> Result<LogRecord, CodecError> {
     Ok(LogRecord { lsn, txn, kind })
 }
 
+/// A cheap, allocation-free summary of one frame payload.
+///
+/// The payload layout puts every routing-relevant field at a fixed offset
+/// (`lsn` 0..8, `txn` 8..16, tag at 16, then per-kind fields), so a replay
+/// dispatcher can route a frame to its partition worker *without* decoding
+/// the after-image — the expensive part of [`decode_record`]. The worker
+/// that owns the partition pays for the full decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameEnvelope {
+    /// A write record touching `oid`.
+    Write {
+        /// The writing transaction.
+        txn: TxnId,
+        /// The object written (determines the partition).
+        oid: ObjectId,
+    },
+    /// A commit record.
+    Commit {
+        /// The committing transaction.
+        txn: TxnId,
+        /// Commit sequence number.
+        csn: Csn,
+        /// Serialization timestamp.
+        ser_ts: Ts,
+        /// Number of write records the group must contain.
+        n_writes: u32,
+    },
+    /// An abort record.
+    Abort {
+        /// The aborting transaction.
+        txn: TxnId,
+    },
+    /// A checkpoint marker (no replay effect).
+    Checkpoint,
+}
+
+/// Peek a payload's envelope without decoding the value body.
+pub fn peek_envelope(payload: &[u8]) -> Result<FrameEnvelope, CodecError> {
+    if payload.len() < 17 {
+        return Err(CodecError::Malformed("payload header"));
+    }
+    let le_u64 = |at: usize| u64::from_le_bytes(payload[at..at + 8].try_into().unwrap());
+    let txn = TxnId(le_u64(8));
+    match payload[16] {
+        0 => {
+            if payload.len() < 25 {
+                return Err(CodecError::Malformed("write oid"));
+            }
+            Ok(FrameEnvelope::Write {
+                txn,
+                oid: ObjectId(le_u64(17)),
+            })
+        }
+        1 => {
+            if payload.len() < 37 {
+                return Err(CodecError::Malformed("commit body"));
+            }
+            Ok(FrameEnvelope::Commit {
+                txn,
+                csn: Csn(le_u64(17)),
+                ser_ts: Ts(le_u64(25)),
+                n_writes: u32::from_le_bytes(payload[33..37].try_into().unwrap()),
+            })
+        }
+        2 => Ok(FrameEnvelope::Abort { txn }),
+        3 => Ok(FrameEnvelope::Checkpoint),
+        _ => Err(CodecError::Malformed("unknown record tag")),
+    }
+}
+
 /// Incremental frame decoder for byte streams (TCP link, disk segments).
 ///
 /// Feed arbitrary chunks with [`FrameDecoder::feed`], then pull complete
@@ -255,8 +325,25 @@ impl FrameDecoder {
         self.buf.len()
     }
 
-    /// Try to decode the next complete record.
-    pub fn next_record(&mut self) -> Result<Option<LogRecord>, CodecError> {
+    /// Total on-disk extent (header + payload) of the frame at the head of
+    /// the buffer, if its length field is available. Used by the dirty-log
+    /// policy to decide whether a failing frame runs to end-of-file (a torn
+    /// tail) or has bytes after it (mid-log corruption).
+    #[must_use]
+    pub fn pending_frame_extent(&self) -> Option<usize> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        Some(8 + len)
+    }
+
+    /// Try to extract the next complete, checksum-verified frame payload.
+    ///
+    /// On error the buffer is left untouched (the failing frame stays at
+    /// the head), so callers can classify the damage via
+    /// [`FrameDecoder::pending_frame_extent`] and [`FrameDecoder::buffered`].
+    pub fn next_payload(&mut self) -> Result<Option<Bytes>, CodecError> {
         if self.buf.len() < 8 {
             return Ok(None);
         }
@@ -268,12 +355,19 @@ impl FrameDecoder {
             return Ok(None);
         }
         let expected_crc = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
-        self.buf.advance(8);
-        let payload = self.buf.split_to(len).freeze();
-        if crc32(&payload) != expected_crc {
+        if crc32(&self.buf[8..8 + len]) != expected_crc {
             return Err(CodecError::BadChecksum);
         }
-        decode_record(payload).map(Some)
+        self.buf.advance(8);
+        Ok(Some(self.buf.split_to(len).freeze()))
+    }
+
+    /// Try to decode the next complete record.
+    pub fn next_record(&mut self) -> Result<Option<LogRecord>, CodecError> {
+        match self.next_payload()? {
+            Some(payload) => decode_record(payload).map(Some),
+            None => Ok(None),
+        }
     }
 }
 
@@ -429,6 +523,59 @@ mod tests {
             decode_record(payload.freeze()),
             Err(CodecError::Malformed("trailing bytes"))
         ));
+    }
+
+    #[test]
+    fn envelope_peek_matches_full_decode() {
+        for rec in sample_records() {
+            let frame = encode_record(&rec);
+            let mut dec = FrameDecoder::new();
+            dec.feed(&frame);
+            let payload = dec.next_payload().unwrap().unwrap();
+            let env = peek_envelope(&payload).unwrap();
+            match (&rec.kind, env) {
+                (RecordKind::Write { oid, .. }, FrameEnvelope::Write { txn, oid: e_oid }) => {
+                    assert_eq!(txn, rec.txn);
+                    assert_eq!(e_oid, *oid);
+                }
+                (
+                    RecordKind::Commit {
+                        csn,
+                        ser_ts,
+                        n_writes,
+                    },
+                    FrameEnvelope::Commit {
+                        txn,
+                        csn: e_csn,
+                        ser_ts: e_ts,
+                        n_writes: e_n,
+                    },
+                ) => {
+                    assert_eq!(txn, rec.txn);
+                    assert_eq!(e_csn, *csn);
+                    assert_eq!(e_ts, *ser_ts);
+                    assert_eq!(e_n, *n_writes);
+                }
+                (RecordKind::Abort, FrameEnvelope::Abort { txn }) => assert_eq!(txn, rec.txn),
+                (RecordKind::Checkpoint { .. }, FrameEnvelope::Checkpoint) => {}
+                (kind, env) => panic!("envelope {env:?} does not match {kind:?}"),
+            }
+            // The payload must still decode fully after peeking.
+            assert_eq!(decode_record(payload).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn bad_checksum_leaves_buffer_for_inspection() {
+        let mut frame = encode_record(&sample_records()[0]).to_vec();
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        assert_eq!(dec.next_payload(), Err(CodecError::BadChecksum));
+        // The failing frame stays at the head: extent covers the full frame.
+        assert_eq!(dec.pending_frame_extent(), Some(frame.len()));
+        assert_eq!(dec.buffered(), frame.len());
     }
 
     #[test]

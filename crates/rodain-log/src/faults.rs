@@ -25,6 +25,7 @@ struct FaultState {
     fail_flushes: AtomicU64,
     full_disk: AtomicBool,
     torn_append: AtomicBool,
+    partial_append: AtomicBool,
     poisoned: AtomicBool,
     injected: AtomicU64,
 }
@@ -60,6 +61,16 @@ impl DiskFaultControl {
     /// [`LogStorage::scan_dir`] recovery may touch the directory after).
     pub fn tear_next_append(&self) {
         self.state.torn_append.store(true, Ordering::Release);
+    }
+
+    /// Partially apply the next append batch: roughly the first half of
+    /// its records reach the platter, then the append fails with a
+    /// transient EIO. Unlike [`DiskFaultControl::tear_next_append`] the
+    /// storage stays usable — a caller that retries re-appends the whole
+    /// batch, so duplicate records land in the log and recovery must
+    /// tolerate them (installs are idempotent at equal timestamps).
+    pub fn partial_next_append(&self) {
+        self.state.partial_append.store(true, Ordering::Release);
     }
 
     /// Faults injected so far.
@@ -139,6 +150,18 @@ impl FaultyStorage {
 impl StorageBackend for FaultyStorage {
     fn append_batch(&mut self, records: &[LogRecord]) -> io::Result<()> {
         let state = &self.control.state;
+        if state.poisoned.load(Ordering::Acquire) {
+            return Err(Self::poisoned_err());
+        }
+        if state.partial_append.swap(false, Ordering::AcqRel) {
+            let keep = records.len().div_ceil(2);
+            for record in &records[..keep] {
+                self.inner.append(record)?;
+            }
+            self.inner.flush()?;
+            self.note_injected();
+            return Err(io::Error::other("simulated partial append (EIO mid-batch)"));
+        }
         for record in records {
             if state.poisoned.load(Ordering::Acquire) {
                 return Err(Self::poisoned_err());
@@ -308,6 +331,32 @@ mod tests {
             .map(|r| r.unwrap())
             .collect();
         assert_eq!(got.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_append_lands_half_the_batch_then_heals() {
+        let dir = tmpdir("partial");
+        let (mut faulty, ctl) = FaultyStorage::new(open(&dir));
+        ctl.partial_next_append();
+        let batch = [
+            write_rec(1, 1),
+            commit_rec(2, 1),
+            write_rec(3, 3),
+            commit_rec(4, 2),
+        ];
+        let err = faulty.append_batch(&batch).unwrap_err();
+        assert!(err.to_string().contains("partial append"));
+        assert!(!ctl.is_poisoned(), "partial append is transient");
+        assert_eq!(ctl.injected(), 1);
+        // The retry re-appends the whole batch: duplicates land in the log.
+        faulty.append_batch(&batch).unwrap();
+        StorageBackend::flush(&mut faulty).unwrap();
+        let got: Vec<_> = StorageBackend::iter(&mut faulty)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(got.len(), 6, "first half + full retry");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -41,18 +41,23 @@ mod writer;
 
 pub use checkpoint::{
     decode_snapshot, encode_snapshot, prune_snapshots, read_latest_snapshot, write_snapshot_file,
+    write_snapshot_file_with_crash, SnapshotCrashPoint,
 };
 pub use codec::{
-    decode_record, decode_value, encode_record, encode_record_into, encode_value, CodecError,
-    FrameDecoder,
-    MAX_FRAME_BYTES,
+    decode_record, decode_value, encode_record, encode_record_into, encode_value, peek_envelope,
+    CodecError, FrameDecoder, FrameEnvelope, MAX_FRAME_BYTES,
 };
 pub use crc32::crc32;
 pub use faults::{DiskFaultControl, FaultyStorage};
 pub use group::{GroupCommitLog, GroupCommitStats};
 pub use record::{LogRecord, Lsn, RecordKind};
-pub use recovery::{replay_into, RecoveryError, RecoveryStats};
+pub use recovery::{
+    replay_frames_into, replay_into, ApplierStats, PartitionedApplier, RecoveryError,
+    RecoveryStats, ReplayOptions,
+};
 pub use reorder::{CommittedTxn, IngestOutcome, ReorderBuffer, ReorderError};
-pub use storage::{LogStorage, LogStorageConfig, RecordIter, StorageBackend, StorageStats};
+pub use storage::{
+    FrameIter, LogStorage, LogStorageConfig, RecordIter, StorageBackend, StorageStats,
+};
 pub use throttle::ThrottledStorage;
 pub use writer::RecordBuilder;

@@ -1,10 +1,45 @@
-//! Single-pass log replay.
+//! Single-pass log replay — sequential and hash-partitioned parallel.
+//!
+//! ## Partitioned replay
+//!
+//! Because the stored log is already reordered by true validation order
+//! (paper §3), REDO is a single forward pass. That pass parallelizes
+//! cleanly: after-images for different objects commute as long as each
+//! *object's* images are installed in log order. [`replay_frames_into`]
+//! therefore routes every write frame to one of N worker streams by
+//! `ObjectId::partition` — the exact hash the shard router uses — and each
+//! worker installs its partition's images in the order received. Per-object
+//! order is preserved by per-worker FIFO; cross-partition ordering is *not*
+//! enforced per record. The only global coordinate is a **CSN watermark**:
+//! the dispatcher periodically broadcasts the commit sequence number it has
+//! fully dispatched, each worker acknowledges it once its queue has drained
+//! past it, and `min` over workers is the CSN through which the rebuilt
+//! state is complete. Readers that need a consistent prefix (metrics,
+//! chaos invariants, the takeover barrier) wait on the watermark instead
+//! of serializing every record.
 
+use crate::codec::{decode_record, peek_envelope, FrameEnvelope};
 use crate::record::{LogRecord, RecordKind};
-use crate::reorder::ReorderError;
+use crate::reorder::{CommittedTxn, ReorderError};
+use bytes::Bytes;
 use rodain_occ::Csn;
-use rodain_store::{Store, Ts};
+use rodain_store::{ObjectId, Store, Ts, TxnId, Value};
+use std::collections::HashMap;
 use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Replay workers are identified by bits of a `u64` involvement mask.
+const MAX_REPLAY_WORKERS: usize = 64;
+/// Ops buffered per worker before a channel send.
+const OP_BATCH: usize = 512;
+/// Batches a worker channel holds before the dispatcher blocks.
+const CHANNEL_DEPTH: usize = 8;
+/// Watermark broadcast cadence, in commit records.
+const ADVANCE_EVERY: u64 = 1024;
 
 /// Replay statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -22,6 +57,10 @@ pub struct RecoveryStats {
     pub max_csn: Csn,
     /// The highest serialization timestamp applied.
     pub max_ser_ts: Ts,
+    /// The CSN through which *every* replay partition had applied when the
+    /// pass ended. Equals [`RecoveryStats::max_csn`] after a completed
+    /// replay; lower only when a crash point stopped the pass early.
+    pub watermark: Csn,
 }
 
 /// Replay failures.
@@ -50,6 +89,43 @@ impl From<std::io::Error> for RecoveryError {
     }
 }
 
+/// Tuning and fault-injection knobs for a replay pass.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayOptions {
+    /// Partition worker streams. `1` replays inline on the calling thread;
+    /// higher values spawn that many decode/install workers (capped at 64).
+    pub workers: usize,
+    /// Chaos crash point: stop dispatching after this many commit records,
+    /// simulating the recovering process dying mid-replay. The store is
+    /// left partially rebuilt — a subsequent *full* replay must converge to
+    /// the same state as an uninterrupted one.
+    pub stop_after_commits: Option<u64>,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            workers: 1,
+            stop_after_commits: None,
+        }
+    }
+}
+
+impl ReplayOptions {
+    /// Options for `workers` partition streams.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        ReplayOptions {
+            workers,
+            ..ReplayOptions::default()
+        }
+    }
+}
+
+fn invalid_data(detail: impl fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.to_string())
+}
+
 /// Rebuild database state by replaying `records` into `store`.
 ///
 /// Because the mirror reorders the log by true validation order before
@@ -67,12 +143,16 @@ pub fn replay_into(
     store: &Store,
     records: impl IntoIterator<Item = std::io::Result<LogRecord>>,
 ) -> Result<RecoveryStats, RecoveryError> {
-    use std::collections::HashMap;
+    sequential_replay(store, records, None)
+}
+
+fn sequential_replay(
+    store: &Store,
+    records: impl IntoIterator<Item = std::io::Result<LogRecord>>,
+    stop_after_commits: Option<u64>,
+) -> Result<RecoveryStats, RecoveryError> {
     let mut stats = RecoveryStats::default();
-    let mut pending: HashMap<
-        rodain_store::TxnId,
-        Vec<(rodain_store::ObjectId, rodain_store::Value)>,
-    > = HashMap::new();
+    let mut pending: HashMap<TxnId, Vec<(ObjectId, Value)>> = HashMap::new();
     for item in records {
         let record = item?;
         stats.records += 1;
@@ -100,6 +180,9 @@ pub fn replay_into(
                     store.install(oid, image, ser_ts);
                     stats.images += 1;
                 }
+                if stop_after_commits.is_some_and(|limit| stats.committed >= limit) {
+                    break;
+                }
             }
             RecordKind::Abort => {
                 pending.remove(&record.txn);
@@ -108,12 +191,432 @@ pub fn replay_into(
         }
     }
     stats.discarded = pending.len() as u64;
+    stats.watermark = stats.max_csn;
     Ok(stats)
+}
+
+/// One unit of work shipped to a partition worker. Per-worker channels are
+/// FIFO, which is the only ordering guarantee partitioned replay needs:
+/// every op touching a given object flows through the object's one owner.
+#[derive(Clone)]
+enum Op {
+    /// A raw, checksum-verified write frame; the worker pays for the value
+    /// decode (the expensive part) off the dispatcher's critical path.
+    RawWrite { txn: TxnId, payload: Bytes },
+    /// An already-decoded after-image of a committed transaction (the
+    /// mirror-takeover path, where the reorder buffer decoded upstream).
+    Install {
+        oid: ObjectId,
+        image: Value,
+        ser_ts: Ts,
+    },
+    /// Commit reached: install the transaction's buffered writes.
+    Apply { txn: TxnId, ser_ts: Ts },
+    /// Abort: discard the transaction's buffered writes.
+    Drop { txn: TxnId },
+    /// Watermark broadcast: everything at or below `csn` that concerns
+    /// this worker precedes this op in its queue.
+    Advance { csn: Csn },
+}
+
+fn worker_loop(
+    store: &Store,
+    rx: Receiver<Vec<Op>>,
+    applied: &AtomicU64,
+) -> Result<u64, RecoveryError> {
+    let mut images = 0u64;
+    let mut pending: HashMap<TxnId, Vec<(ObjectId, Value)>> = HashMap::new();
+    for batch in rx {
+        for op in batch {
+            match op {
+                Op::RawWrite { txn, payload } => {
+                    let record =
+                        decode_record(payload).map_err(|e| RecoveryError::Io(invalid_data(e)))?;
+                    match record.kind {
+                        RecordKind::Write { oid, image } => {
+                            pending.entry(txn).or_default().push((oid, image));
+                        }
+                        _ => {
+                            return Err(RecoveryError::Io(invalid_data(
+                                "non-write frame routed to a partition worker",
+                            )))
+                        }
+                    }
+                }
+                Op::Install { oid, image, ser_ts } => {
+                    store.install(oid, image, ser_ts);
+                    images += 1;
+                }
+                Op::Apply { txn, ser_ts } => {
+                    if let Some(writes) = pending.remove(&txn) {
+                        for (oid, image) in writes {
+                            store.install(oid, image, ser_ts);
+                            images += 1;
+                        }
+                    }
+                }
+                Op::Drop { txn } => {
+                    pending.remove(&txn);
+                }
+                Op::Advance { csn } => {
+                    applied.fetch_max(csn.0, Ordering::AcqRel);
+                }
+            }
+        }
+    }
+    Ok(images)
+}
+
+/// Routes batched ops to the partition workers, tolerating workers that
+/// exited early on an error (their channel send fails; the error itself is
+/// collected at join time).
+struct Dispatcher {
+    senders: Vec<SyncSender<Vec<Op>>>,
+    bufs: Vec<Vec<Op>>,
+    dead: Vec<bool>,
+}
+
+impl Dispatcher {
+    fn new(senders: Vec<SyncSender<Vec<Op>>>) -> Self {
+        let n = senders.len();
+        Dispatcher {
+            senders,
+            bufs: (0..n).map(|_| Vec::with_capacity(OP_BATCH)).collect(),
+            dead: vec![false; n],
+        }
+    }
+
+    fn push(&mut self, worker: usize, op: Op) {
+        if self.dead[worker] {
+            return;
+        }
+        self.bufs[worker].push(op);
+        if self.bufs[worker].len() >= OP_BATCH {
+            self.flush_one(worker);
+        }
+    }
+
+    fn broadcast(&mut self, op: &Op) {
+        for worker in 0..self.senders.len() {
+            self.push(worker, op.clone());
+        }
+    }
+
+    fn flush_one(&mut self, worker: usize) {
+        if self.dead[worker] || self.bufs[worker].is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.bufs[worker], Vec::with_capacity(OP_BATCH));
+        if self.senders[worker].send(batch).is_err() {
+            self.dead[worker] = true;
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for worker in 0..self.senders.len() {
+            self.flush_one(worker);
+        }
+    }
+}
+
+struct WorkerPool {
+    dispatcher: Dispatcher,
+    handles: Vec<JoinHandle<Result<u64, RecoveryError>>>,
+    applied: Vec<Arc<AtomicU64>>,
+}
+
+impl WorkerPool {
+    fn spawn(store: &Arc<Store>, workers: usize) -> WorkerPool {
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        let mut applied = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<Op>>(CHANNEL_DEPTH);
+            let store = Arc::clone(store);
+            let wm = Arc::new(AtomicU64::new(0));
+            let wm_worker = Arc::clone(&wm);
+            let handle = std::thread::Builder::new()
+                .name(format!("rodain-replay-{i}"))
+                .spawn(move || worker_loop(&store, rx, &wm_worker))
+                .expect("spawn replay worker");
+            senders.push(tx);
+            handles.push(handle);
+            applied.push(wm);
+        }
+        WorkerPool {
+            dispatcher: Dispatcher::new(senders),
+            handles,
+            applied,
+        }
+    }
+
+    /// Flush, close the channels, join the workers. Returns the summed
+    /// image count and the watermark (min applied CSN over workers), or the
+    /// first worker error.
+    fn finish(self) -> Result<(u64, Csn), RecoveryError> {
+        let WorkerPool {
+            mut dispatcher,
+            handles,
+            applied,
+        } = self;
+        dispatcher.flush_all();
+        drop(dispatcher); // closes every channel; workers drain and exit
+        let mut images = 0u64;
+        let mut first_err = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(n)) => images += n,
+                Ok(Err(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                Err(_) => {
+                    if first_err.is_none() {
+                        first_err = Some(RecoveryError::Io(invalid_data("replay worker panicked")));
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let watermark = Csn(applied
+            .iter()
+            .map(|a| a.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0));
+        Ok((images, watermark))
+    }
+}
+
+/// Rebuild database state from raw checksum-verified frame payloads (see
+/// `LogStorage::scan_dir_frames`), partitioned across
+/// [`ReplayOptions::workers`] streams by object-id hash.
+///
+/// With `workers == 1` this is exactly [`replay_into`] (inline, no
+/// threads). With more, the calling thread becomes the dispatcher: it peeks
+/// each frame's envelope (fixed-offset fields — no value decode), tracks
+/// per-transaction write counts and the set of involved partitions, and
+/// ships raw write frames to their owning worker. Workers do the expensive
+/// value decode and install. Semantics — commit-gated application,
+/// discarded in-flight tail, [`ReorderError::MissingWrites`] on
+/// inconsistent groups — are identical to the sequential pass, and so is
+/// the resulting store state.
+pub fn replay_frames_into(
+    store: &Arc<Store>,
+    frames: impl IntoIterator<Item = io::Result<Bytes>>,
+    opts: ReplayOptions,
+) -> Result<RecoveryStats, RecoveryError> {
+    let workers = opts.workers.clamp(1, MAX_REPLAY_WORKERS);
+    if workers <= 1 {
+        let records = frames
+            .into_iter()
+            .map(|item| item.and_then(|payload| decode_record(payload).map_err(invalid_data)));
+        return sequential_replay(store, records, opts.stop_after_commits);
+    }
+
+    let mut pool = WorkerPool::spawn(store, workers);
+    let mut stats = RecoveryStats::default();
+    // Per-transaction write count and involved-worker bitmask.
+    let mut txns: HashMap<TxnId, (u32, u64)> = HashMap::new();
+    let mut failure: Option<RecoveryError> = None;
+    let mut commits_since_advance = 0u64;
+    let mut stopped_early = false;
+
+    for item in frames {
+        let payload = match item {
+            Ok(p) => p,
+            Err(e) => {
+                failure = Some(RecoveryError::Io(e));
+                break;
+            }
+        };
+        stats.records += 1;
+        let envelope = match peek_envelope(&payload) {
+            Ok(env) => env,
+            Err(e) => {
+                failure = Some(RecoveryError::Io(invalid_data(e)));
+                break;
+            }
+        };
+        match envelope {
+            FrameEnvelope::Write { txn, oid } => {
+                let worker = oid.partition(workers);
+                let entry = txns.entry(txn).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 |= 1 << worker;
+                pool.dispatcher.push(worker, Op::RawWrite { txn, payload });
+            }
+            FrameEnvelope::Commit {
+                txn,
+                csn,
+                ser_ts,
+                n_writes,
+            } => {
+                let (count, mask) = txns.remove(&txn).unwrap_or((0, 0));
+                if count != n_writes {
+                    failure = Some(RecoveryError::Stream(ReorderError::MissingWrites {
+                        txn,
+                        expected: n_writes,
+                        got: count,
+                    }));
+                    break;
+                }
+                stats.committed += 1;
+                stats.max_csn = stats.max_csn.max(csn);
+                stats.max_ser_ts = stats.max_ser_ts.max(ser_ts);
+                let mut remaining = mask;
+                while remaining != 0 {
+                    let worker = remaining.trailing_zeros() as usize;
+                    remaining &= remaining - 1;
+                    pool.dispatcher.push(worker, Op::Apply { txn, ser_ts });
+                }
+                commits_since_advance += 1;
+                if opts
+                    .stop_after_commits
+                    .is_some_and(|limit| stats.committed >= limit)
+                {
+                    stopped_early = true;
+                    break;
+                }
+                if commits_since_advance >= ADVANCE_EVERY {
+                    commits_since_advance = 0;
+                    pool.dispatcher.broadcast(&Op::Advance { csn });
+                }
+            }
+            FrameEnvelope::Abort { txn } => {
+                if let Some((_, mask)) = txns.remove(&txn) {
+                    let mut remaining = mask;
+                    while remaining != 0 {
+                        let worker = remaining.trailing_zeros() as usize;
+                        remaining &= remaining - 1;
+                        pool.dispatcher.push(worker, Op::Drop { txn });
+                    }
+                }
+            }
+            FrameEnvelope::Checkpoint => {}
+        }
+    }
+
+    stats.discarded = txns.len() as u64;
+    if failure.is_none() && !stopped_early {
+        // Completed pass: everything dispatched is at or below max_csn.
+        pool.dispatcher
+            .broadcast(&Op::Advance { csn: stats.max_csn });
+    }
+    let joined = pool.finish();
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    let (images, watermark) = joined?;
+    stats.images = images;
+    stats.watermark = watermark;
+    Ok(stats)
+}
+
+/// Statistics of a [`PartitionedApplier`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplierStats {
+    /// Committed transactions applied.
+    pub txns: u64,
+    /// After-images installed.
+    pub images: u64,
+    /// Highest CSN applied.
+    pub max_csn: Csn,
+}
+
+enum ApplierInner {
+    Inline,
+    Threaded(WorkerPool),
+}
+
+/// Partitioned application of already-decoded committed transactions — the
+/// mirror-takeover flush path, where the reorder buffer holds fully decoded
+/// [`CommittedTxn`]s rather than raw frames.
+///
+/// Writes route to workers by the same object-id hash as
+/// [`replay_frames_into`]; [`PartitionedApplier::finish`] is the barrier
+/// that makes the drained backlog fully visible before the takeover is
+/// announced. With `workers == 1` everything applies inline.
+pub struct PartitionedApplier {
+    inner: ApplierInner,
+    store: Arc<Store>,
+    workers: usize,
+    stats: ApplierStats,
+}
+
+impl PartitionedApplier {
+    /// An applier over `workers` partition streams (capped at 64).
+    #[must_use]
+    pub fn new(store: &Arc<Store>, workers: usize) -> PartitionedApplier {
+        let workers = workers.clamp(1, MAX_REPLAY_WORKERS);
+        let inner = if workers <= 1 {
+            ApplierInner::Inline
+        } else {
+            ApplierInner::Threaded(WorkerPool::spawn(store, workers))
+        };
+        PartitionedApplier {
+            inner,
+            store: Arc::clone(store),
+            workers,
+            stats: ApplierStats::default(),
+        }
+    }
+
+    /// Number of partition streams.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Queue one committed transaction's after-images for installation.
+    pub fn apply(&mut self, txn: &CommittedTxn) {
+        self.stats.txns += 1;
+        self.stats.max_csn = self.stats.max_csn.max(txn.csn);
+        match &mut self.inner {
+            ApplierInner::Inline => {
+                for (oid, image) in &txn.writes {
+                    self.store.install(*oid, image.clone(), txn.ser_ts);
+                    self.stats.images += 1;
+                }
+            }
+            ApplierInner::Threaded(pool) => {
+                for (oid, image) in &txn.writes {
+                    let worker = oid.partition(self.workers);
+                    pool.dispatcher.push(
+                        worker,
+                        Op::Install {
+                            oid: *oid,
+                            image: image.clone(),
+                            ser_ts: txn.ser_ts,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Barrier: flush every stream, wait for all installs, return totals.
+    pub fn finish(self) -> Result<ApplierStats, RecoveryError> {
+        let mut stats = self.stats;
+        match self.inner {
+            ApplierInner::Inline => Ok(stats),
+            ApplierInner::Threaded(mut pool) => {
+                pool.dispatcher
+                    .broadcast(&Op::Advance { csn: stats.max_csn });
+                let (images, _watermark) = pool.finish()?;
+                stats.images = images;
+                Ok(stats)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::encode_record;
     use crate::record::Lsn;
     use rodain_store::{ObjectId, TxnId, Value};
 
@@ -140,6 +643,18 @@ mod tests {
         })
     }
 
+    fn frames_of(records: &[std::io::Result<LogRecord>]) -> Vec<io::Result<Bytes>> {
+        records
+            .iter()
+            .map(|r| {
+                let rec = r.as_ref().expect("test records are Ok");
+                let frame = encode_record(rec);
+                // Strip the 8-byte frame header: replay consumes payloads.
+                Ok(frame.slice(8..))
+            })
+            .collect()
+    }
+
     #[test]
     fn committed_writes_are_applied() {
         let store = Store::new();
@@ -150,6 +665,7 @@ mod tests {
         .unwrap();
         assert_eq!(stats.committed, 1);
         assert_eq!(stats.images, 2);
+        assert_eq!(stats.watermark, Csn(1));
         assert_eq!(store.read(ObjectId(100)).unwrap().0, Value::Int(7));
         assert_eq!(store.read(ObjectId(100)).unwrap().1, Ts(10));
     }
@@ -218,5 +734,153 @@ mod tests {
         let stats = replay_into(&store, Vec::new()).unwrap();
         assert_eq!(stats, RecoveryStats::default());
         assert!(store.is_empty());
+    }
+
+    /// A mixed log for equivalence tests: multi-write transactions spread
+    /// over many objects, interleaved aborts, a commit-less tail, repeated
+    /// updates of the same object across CSNs.
+    fn mixed_log(txns: u64, objects: u64) -> Vec<std::io::Result<LogRecord>> {
+        let mut records = Vec::new();
+        let mut lsn = 0u64;
+        for t in 1..=txns {
+            let writes = 1 + (t % 4);
+            for w in 0..writes {
+                lsn += 1;
+                let oid = (t * 7 + w * 13) % objects;
+                records.push(write(lsn, t, oid, (t * 100 + w) as i64));
+            }
+            lsn += 1;
+            if t % 11 == 0 {
+                // Aborted transaction: writes never applied.
+                records.push(Ok(LogRecord {
+                    lsn: Lsn(lsn),
+                    txn: TxnId(t),
+                    kind: RecordKind::Abort,
+                }));
+            } else {
+                records.push(commit(lsn, t, t, writes as u32));
+            }
+        }
+        // In-flight tail: writes without a commit.
+        records.push(write(lsn + 1, txns + 1, 3, -1));
+        records.push(write(lsn + 2, txns + 1, 5, -2));
+        records
+    }
+
+    #[test]
+    fn partitioned_replay_matches_sequential() {
+        let records = mixed_log(200, 31);
+        let sequential = Store::new();
+        let seq_stats = replay_into(&sequential, mixed_log(200, 31)).unwrap();
+        for workers in [2usize, 4, 8] {
+            let parallel = Arc::new(Store::new());
+            let par_stats = replay_frames_into(
+                &parallel,
+                frames_of(&records),
+                ReplayOptions::with_workers(workers),
+            )
+            .unwrap();
+            assert_eq!(par_stats, seq_stats, "stats diverged at {workers} workers");
+            assert_eq!(
+                parallel.snapshot(),
+                sequential.snapshot(),
+                "state diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_replay_single_worker_is_sequential() {
+        let records = mixed_log(50, 11);
+        let a = Arc::new(Store::new());
+        let stats = replay_frames_into(&a, frames_of(&records), ReplayOptions::default()).unwrap();
+        let b = Store::new();
+        let seq = replay_into(&b, mixed_log(50, 11)).unwrap();
+        assert_eq!(stats, seq);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn partitioned_replay_detects_missing_writes() {
+        let records = vec![write(1, 1, 100, 7), commit(2, 1, 1, 2)]; // claims 2 writes
+        let store = Arc::new(Store::new());
+        match replay_frames_into(&store, frames_of(&records), ReplayOptions::with_workers(4)) {
+            Err(RecoveryError::Stream(ReorderError::MissingWrites { expected, got, .. })) => {
+                assert_eq!((expected, got), (2, 1));
+            }
+            other => panic!("expected MissingWrites, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partitioned_replay_duplicate_csn_is_idempotent() {
+        // The same committed group appears twice (e.g. a respooled mirror
+        // stream): both replays install at the same ser_ts, the second is
+        // a no-op for state.
+        let records = vec![
+            write(1, 1, 100, 7),
+            commit(2, 1, 5, 1),
+            write(3, 2, 100, 7),
+            commit(4, 2, 5, 1),
+        ];
+        let store = Arc::new(Store::new());
+        let stats = replay_frames_into(&store, frames_of(&records), ReplayOptions::with_workers(2))
+            .unwrap();
+        assert_eq!(stats.committed, 2);
+        assert_eq!(stats.watermark, Csn(5));
+        assert_eq!(store.read(ObjectId(100)).unwrap().0, Value::Int(7));
+        assert_eq!(store.read(ObjectId(100)).unwrap().1, Ts(50));
+    }
+
+    #[test]
+    fn crash_point_stops_early_and_rerun_converges() {
+        let records = mixed_log(100, 17);
+        let crashed = Arc::new(Store::new());
+        let stats = replay_frames_into(
+            &crashed,
+            frames_of(&records),
+            ReplayOptions {
+                workers: 4,
+                stop_after_commits: Some(20),
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.committed, 20);
+        assert!(stats.watermark <= stats.max_csn);
+        // The interrupted store is a subset; a full re-replay from scratch
+        // converges to the uninterrupted state.
+        let full = Arc::new(Store::new());
+        replay_frames_into(&full, frames_of(&records), ReplayOptions::with_workers(4)).unwrap();
+        let reference = Store::new();
+        replay_into(&reference, mixed_log(100, 17)).unwrap();
+        assert_eq!(full.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn partitioned_applier_matches_inline_apply() {
+        let mk_txn = |t: u64| CommittedTxn {
+            txn: TxnId(t),
+            csn: Csn(t),
+            ser_ts: Ts(t * 10),
+            writes: (0..(1 + t % 3))
+                .map(|w| (ObjectId((t * 5 + w * 3) % 23), Value::Int((t + w) as i64)))
+                .collect(),
+            commit_lsn: Lsn(t * 10),
+        };
+        let inline = Arc::new(Store::new());
+        let mut a = PartitionedApplier::new(&inline, 1);
+        for t in 1..=60 {
+            a.apply(&mk_txn(t));
+        }
+        let inline_stats = a.finish().unwrap();
+        let threaded = Arc::new(Store::new());
+        let mut b = PartitionedApplier::new(&threaded, 4);
+        for t in 1..=60 {
+            b.apply(&mk_txn(t));
+        }
+        let threaded_stats = b.finish().unwrap();
+        assert_eq!(inline_stats, threaded_stats);
+        assert_eq!(inline.snapshot(), threaded.snapshot());
+        assert_eq!(threaded_stats.max_csn, Csn(60));
     }
 }

@@ -1,8 +1,9 @@
 //! Segmented append-only disk log.
 
-use crate::codec::{encode_record, FrameDecoder};
+use crate::codec::{encode_record, CodecError, FrameDecoder};
 use crate::record::LogRecord;
 use crate::record::RecordKind;
+use bytes::Bytes;
 use rodain_occ::Csn;
 use std::collections::VecDeque;
 use std::fs::{self, File, OpenOptions};
@@ -262,9 +263,8 @@ impl LogStorage {
         Ok(RecordIter::over(self.segment_paths()))
     }
 
-    /// Scan a directory's segments without opening a writer (recovery of a
-    /// dead node's log).
-    pub fn scan_dir(dir: impl AsRef<Path>) -> io::Result<RecordIter> {
+    /// Segment files of `dir`, oldest first.
+    pub fn segment_files(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
         let mut segments: Vec<(u64, PathBuf)> = fs::read_dir(dir)?
             .filter_map(|entry| {
                 let path = entry.ok()?.path();
@@ -272,9 +272,20 @@ impl LogStorage {
             })
             .collect();
         segments.sort_unstable_by_key(|(seq, _)| *seq);
-        Ok(RecordIter::over(
-            segments.into_iter().map(|(_, p)| p).collect(),
-        ))
+        Ok(segments.into_iter().map(|(_, p)| p).collect())
+    }
+
+    /// Scan a directory's segments without opening a writer (recovery of a
+    /// dead node's log).
+    pub fn scan_dir(dir: impl AsRef<Path>) -> io::Result<RecordIter> {
+        Ok(RecordIter::over(Self::segment_files(dir)?))
+    }
+
+    /// Scan a directory's segments as raw checksum-verified frame payloads
+    /// (the input of partitioned replay, which defers record decoding to
+    /// the partition workers).
+    pub fn scan_dir_frames(dir: impl AsRef<Path>) -> io::Result<FrameIter> {
+        Ok(FrameIter::over(Self::segment_files(dir)?))
     }
 
     /// Checkpoint truncation: delete every *closed* segment all of whose
@@ -324,33 +335,90 @@ impl std::fmt::Debug for LogStorage {
     }
 }
 
-/// Streaming iterator over the records of a segment list.
-pub struct RecordIter {
+/// Streaming iterator over the checksum-verified frame payloads of a
+/// segment list — the shared substrate of sequential and partitioned
+/// replay.
+///
+/// ## The dirty-log contract
+///
+/// The final segment of a crashed node's log legitimately ends mid-frame:
+/// the group-commit writer died partway through an append, and the affected
+/// transaction was never acknowledged. Such a **torn tail** — the last
+/// frame incomplete, or checksum-failing and running exactly to end of
+/// file — ends the scan silently (`torn_tail()` reports it, and
+/// `torn_tail_bytes()` how much was dropped).
+///
+/// Everything else is **corruption** and fails loudly with the segment
+/// path and byte offset: a bad frame *followed by more data* (the log
+/// kept growing past it, so the damage cannot be an in-flight append), or
+/// any bad/incomplete frame in a non-final segment.
+pub struct FrameIter {
     files: VecDeque<PathBuf>,
     reader: Option<BufReader<File>>,
+    current_path: Option<PathBuf>,
+    /// Bytes fed into the decoder from the current segment.
+    fed: u64,
     decoder: FrameDecoder,
     buf: Vec<u8>,
     done: bool,
     torn: bool,
+    torn_bytes: u64,
+    segments_scanned: u64,
 }
 
-impl RecordIter {
+impl FrameIter {
     pub(crate) fn over(files: Vec<PathBuf>) -> Self {
-        RecordIter {
+        FrameIter {
             files: files.into(),
             reader: None,
+            current_path: None,
+            fed: 0,
             decoder: FrameDecoder::new(),
             buf: vec![0u8; 64 * 1024],
             done: false,
             torn: false,
+            torn_bytes: 0,
+            segments_scanned: 0,
         }
     }
 
-    /// Whether the iteration ended at a torn tail (incomplete or
-    /// checksum-failing final frame) rather than a clean segment end.
+    /// Whether the scan ended at a torn tail rather than a clean end.
     #[must_use]
     pub fn torn_tail(&self) -> bool {
         self.torn
+    }
+
+    /// Bytes discarded from the torn tail (0 when the log ended cleanly).
+    #[must_use]
+    pub fn torn_tail_bytes(&self) -> u64 {
+        self.torn_bytes
+    }
+
+    /// Segment files opened so far.
+    #[must_use]
+    pub fn segments_scanned(&self) -> u64 {
+        self.segments_scanned
+    }
+
+    /// Byte offset (within the current segment) of the frame at the head
+    /// of the decode buffer.
+    fn frame_offset(&self) -> u64 {
+        HEADER_LEN + self.fed - self.decoder.buffered() as u64
+    }
+
+    fn corruption_error(&self, detail: impl std::fmt::Display) -> io::Error {
+        let segment = self
+            .current_path
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "<unknown segment>".into());
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "mid-log corruption in {segment} at offset {}: {detail}",
+                self.frame_offset()
+            ),
+        )
     }
 
     fn open_next(&mut self) -> io::Result<bool> {
@@ -361,36 +429,65 @@ impl RecordIter {
         let mut reader = BufReader::new(file);
         check_header(&mut reader, &path)?;
         self.reader = Some(reader);
+        self.current_path = Some(path);
+        self.fed = 0;
         self.decoder = FrameDecoder::new();
+        self.segments_scanned += 1;
         Ok(true)
+    }
+
+    /// Pull the remainder of the current segment into the decoder, so a
+    /// failing frame can be classified against true end-of-file.
+    fn drain_current(&mut self) -> io::Result<()> {
+        if let Some(reader) = self.reader.as_mut() {
+            loop {
+                let n = reader.read(&mut self.buf)?;
+                if n == 0 {
+                    break;
+                }
+                self.decoder.feed(&self.buf[..n]);
+                self.fed += n as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// Classify a frame-level decode failure per the dirty-log contract.
+    fn classify_failure(&mut self, err: CodecError) -> Option<io::Result<Bytes>> {
+        self.done = true;
+        if self.files.is_empty() {
+            // Final segment: the damage is a tolerable torn tail only if
+            // the failing frame is checksum-damaged and runs exactly to
+            // end-of-file — i.e. it can plausibly be the in-flight append
+            // the crash interrupted. Anything with data *after* the bad
+            // frame, or with an unparseable length field, is corruption.
+            if let Err(e) = self.drain_current() {
+                return Some(Err(e));
+            }
+            let runs_to_eof = self.decoder.pending_frame_extent() == Some(self.decoder.buffered());
+            if matches!(err, CodecError::BadChecksum) && runs_to_eof {
+                self.torn = true;
+                self.torn_bytes = self.decoder.buffered() as u64;
+                return None;
+            }
+        }
+        Some(Err(self.corruption_error(err)))
     }
 }
 
-impl Iterator for RecordIter {
-    type Item = io::Result<LogRecord>;
+impl Iterator for FrameIter {
+    type Item = io::Result<Bytes>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.done {
             return None;
         }
         loop {
-            // Drain decodable records first.
-            match self.decoder.next_record() {
-                Ok(Some(rec)) => return Some(Ok(rec)),
+            // Drain complete frames first.
+            match self.decoder.next_payload() {
+                Ok(Some(payload)) => return Some(Ok(payload)),
                 Ok(None) => {}
-                Err(err) => {
-                    // Corruption: tolerate as torn tail only at the very end
-                    // of the very last segment.
-                    self.done = true;
-                    if self.files.is_empty() {
-                        self.torn = true;
-                        return None;
-                    }
-                    return Some(Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        err.to_string(),
-                    )));
-                }
+                Err(err) => return self.classify_failure(err),
             }
             // Need more bytes.
             if self.reader.is_none() {
@@ -400,6 +497,7 @@ impl Iterator for RecordIter {
                         self.done = true;
                         if self.decoder.buffered() > 0 {
                             self.torn = true;
+                            self.torn_bytes = self.decoder.buffered() as u64;
                         }
                         return None;
                     }
@@ -419,22 +517,71 @@ impl Iterator for RecordIter {
             if n == 0 {
                 // End of this segment.
                 if self.decoder.buffered() > 0 {
+                    self.done = true;
                     if self.files.is_empty() {
-                        // Torn tail of the last segment: stop silently.
-                        self.done = true;
+                        // Incomplete final frame: the classic torn tail.
                         self.torn = true;
+                        self.torn_bytes = self.decoder.buffered() as u64;
                         return None;
                     }
-                    self.done = true;
-                    return Some(Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        "incomplete frame inside a non-final segment",
-                    )));
+                    return Some(Err(
+                        self.corruption_error("incomplete frame inside a non-final segment")
+                    ));
                 }
                 self.reader = None;
                 continue;
             }
             self.decoder.feed(&self.buf[..n]);
+            self.fed += n as u64;
+        }
+    }
+}
+
+/// Streaming iterator over the records of a segment list: [`FrameIter`]
+/// plus per-frame record decoding. Inherits the dirty-log contract.
+pub struct RecordIter {
+    frames: FrameIter,
+}
+
+impl RecordIter {
+    pub(crate) fn over(files: Vec<PathBuf>) -> Self {
+        RecordIter {
+            frames: FrameIter::over(files),
+        }
+    }
+
+    /// Whether the iteration ended at a torn tail (incomplete or
+    /// checksum-failing final frame) rather than a clean segment end.
+    #[must_use]
+    pub fn torn_tail(&self) -> bool {
+        self.frames.torn_tail()
+    }
+
+    /// Bytes discarded from the torn tail (0 when the log ended cleanly).
+    #[must_use]
+    pub fn torn_tail_bytes(&self) -> u64 {
+        self.frames.torn_tail_bytes()
+    }
+
+    /// Segment files opened so far.
+    #[must_use]
+    pub fn segments_scanned(&self) -> u64 {
+        self.frames.segments_scanned()
+    }
+}
+
+impl Iterator for RecordIter {
+    type Item = io::Result<LogRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.frames.next()? {
+            Ok(payload) => Some(crate::codec::decode_record(payload).map_err(|err| {
+                // A frame whose checksum verified but whose payload does
+                // not parse was *written* damaged: always corruption.
+                self.frames.done = true;
+                self.frames.corruption_error(err)
+            })),
+            Err(err) => Some(Err(err)),
         }
     }
 }
@@ -557,6 +704,152 @@ mod tests {
         assert_eq!(first.lsn, Lsn(1));
         assert!(iter.next().is_none());
         assert!(iter.torn_tail());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_reports_dropped_bytes() {
+        let dir = tmpdir("tornbytes");
+        let cfg = LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(&dir)
+        };
+        let path;
+        let full_len;
+        {
+            let mut s = LogStorage::open(cfg).unwrap();
+            s.append(&rec(1, 1, 1)).unwrap();
+            s.append(&rec(2, 2, 2)).unwrap();
+            s.flush().unwrap();
+            path = s.segment_paths().pop().unwrap();
+            full_len = fs::metadata(&path).unwrap().len();
+        }
+        let data = fs::read(&path).unwrap();
+        fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let mut iter = LogStorage::scan_dir(&dir).unwrap();
+        assert!(iter.next().unwrap().is_ok());
+        assert!(iter.next().is_none());
+        assert!(iter.torn_tail());
+        // The second frame minus the 3 chopped bytes was dropped.
+        let frame2 = full_len - HEADER_LEN - encode_record(&rec(1, 1, 1)).len() as u64;
+        assert_eq!(iter.torn_tail_bytes(), frame2 - 3);
+        assert_eq!(iter.segments_scanned(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_final_frame_at_eof_is_a_torn_tail() {
+        // A checksum-failing final frame that runs exactly to end-of-file
+        // can be the append the crash interrupted: truncate-and-continue.
+        let dir = tmpdir("dmgfinal");
+        let cfg = LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(&dir)
+        };
+        let path;
+        {
+            let mut s = LogStorage::open(cfg).unwrap();
+            s.append(&rec(1, 1, 1)).unwrap();
+            s.append(&rec(2, 2, 2)).unwrap();
+            s.flush().unwrap();
+            path = s.segment_paths().pop().unwrap();
+        }
+        let mut data = fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0xFF; // damage the last byte of the final frame
+        fs::write(&path, &data).unwrap();
+        let mut iter = LogStorage::scan_dir(&dir).unwrap();
+        assert!(iter.next().unwrap().is_ok());
+        assert!(iter.next().is_none());
+        assert!(iter.torn_tail());
+        assert!(iter.torn_tail_bytes() > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_log_corruption_fails_with_segment_and_offset() {
+        // Damage the *first* frame while a second, intact frame follows:
+        // that cannot be an interrupted append and must fail loudly.
+        let dir = tmpdir("midlog");
+        let cfg = LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(&dir)
+        };
+        let path;
+        {
+            let mut s = LogStorage::open(cfg).unwrap();
+            s.append(&rec(1, 1, 1)).unwrap();
+            s.append(&rec(2, 2, 2)).unwrap();
+            s.flush().unwrap();
+            path = s.segment_paths().pop().unwrap();
+        }
+        let mut data = fs::read(&path).unwrap();
+        // First frame payload starts after segment header + 8-byte frame
+        // header; flip a byte well inside it.
+        let target = HEADER_LEN as usize + 12;
+        data[target] ^= 0xFF;
+        fs::write(&path, &data).unwrap();
+        let mut iter = LogStorage::scan_dir(&dir).unwrap();
+        let err = iter.next().unwrap().unwrap_err();
+        assert!(!iter.torn_tail());
+        let msg = err.to_string();
+        assert!(msg.contains("mid-log corruption"), "{msg}");
+        assert!(msg.contains("seg-0000000001.rodainlog"), "{msg}");
+        assert!(msg.contains(&format!("offset {HEADER_LEN}")), "{msg}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_in_non_final_segment_is_an_error() {
+        let dir = tmpdir("nonfinal");
+        let mut storage = LogStorage::open(LogStorageConfig {
+            segment_bytes: 128, // tiny: force several segments
+            fsync: false,
+            dir: dir.clone(),
+        })
+        .unwrap();
+        for i in 1..=20u64 {
+            storage.append(&rec(i, i, i)).unwrap();
+        }
+        storage.flush().unwrap();
+        let paths = storage.segment_paths();
+        assert!(paths.len() > 2);
+        drop(storage);
+        // Chop the tail off the *first* segment.
+        let data = fs::read(&paths[0]).unwrap();
+        fs::write(&paths[0], &data[..data.len() - 3]).unwrap();
+        let mut iter = LogStorage::scan_dir(&dir).unwrap();
+        let err = iter
+            .find(Result::is_err)
+            .expect("must surface an error")
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("non-final segment"), "{msg}");
+        assert!(msg.contains("seg-0000000001"), "{msg}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frame_iter_yields_decodable_payloads() {
+        let dir = tmpdir("frames");
+        let mut storage = LogStorage::open(LogStorageConfig {
+            segment_bytes: 256,
+            fsync: false,
+            dir: dir.clone(),
+        })
+        .unwrap();
+        let records: Vec<_> = (1..=40u64).map(|i| rec(i, i, i)).collect();
+        storage.append_batch(&records).unwrap();
+        storage.flush().unwrap();
+        drop(storage);
+        let mut frames = LogStorage::scan_dir_frames(&dir).unwrap();
+        let mut got = Vec::new();
+        for payload in &mut frames {
+            got.push(crate::codec::decode_record(payload.unwrap()).unwrap());
+        }
+        assert_eq!(got, records);
+        assert!(!frames.torn_tail());
+        assert!(frames.segments_scanned() > 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

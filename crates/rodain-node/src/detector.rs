@@ -64,7 +64,11 @@ impl FailureDetector {
         let silent = now.saturating_sub(reference);
         if silent < self.timeout_ns {
             DetectorVerdict::Alive
-        } else if silent < self.timeout_ns.saturating_mul(u64::from(self.suspect_rounds)) {
+        } else if silent
+            < self
+                .timeout_ns
+                .saturating_mul(u64::from(self.suspect_rounds))
+        {
             DetectorVerdict::Suspect
         } else {
             DetectorVerdict::Dead

@@ -33,5 +33,8 @@ mod role;
 pub use detector::{DetectorVerdict, FailureDetector};
 pub use message::{Message, MessageError};
 pub use mirror::{MirrorConfig, MirrorExit, MirrorNode, MirrorReport};
-pub use recovery::{recover_store_from_disk, recover_with_checkpoint, ColdStart};
+pub use recovery::{
+    default_workers, recover_store_from_disk, recover_store_from_disk_with,
+    recover_with_checkpoint, recover_with_checkpoint_with, ColdStart, RecoveryOptions,
+};
 pub use role::{NodeRole, RoleError, RoleEvent, RoleMachine};

@@ -97,10 +97,9 @@ impl ShardRouter {
             // router resized below an old id's shard still stays in range.
             (((oid.0 >> SHARD_SHIFT) & 0x7FFF) as usize) % self.shards
         } else {
-            // Fibonacci multiplicative hash: the golden-ratio constant
-            // scrambles sequential ids into the high bits.
-            let h = oid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
-            (h as usize) % self.shards
+            // The canonical Fibonacci multiplicative hash, shared with
+            // parallel redo replay so both layers agree on ownership.
+            oid.partition(self.shards)
         }
     }
 
@@ -212,5 +211,19 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn zero_shards_is_rejected() {
         let _ = ShardRouter::new(0);
+    }
+
+    #[test]
+    fn data_routing_matches_canonical_partition_function() {
+        // Redo-replay partitioning (ObjectId::partition) and shard routing
+        // must stay byte-identical for data ids, so a per-shard replay
+        // stream only ever touches objects the shard owns.
+        for shards in [1usize, 2, 3, 8, 64] {
+            let router = ShardRouter::new(shards);
+            for oid in (0..5_000u64).chain([u64::MAX / 3, (1 << 62) + 17]) {
+                let oid = ObjectId(oid);
+                assert_eq!(router.route(oid), oid.partition(shards));
+            }
+        }
     }
 }

@@ -11,6 +11,26 @@ use std::fmt;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ObjectId(pub u64);
 
+impl ObjectId {
+    /// Hash-partition this id into one of `n` buckets.
+    ///
+    /// This Fibonacci multiplicative hash (the golden-ratio constant
+    /// scrambles sequential ids into the high bits) is the *canonical*
+    /// partitioning function of the object-id space: the shard router uses
+    /// it to place objects on engines, and parallel redo replay uses it to
+    /// assign log records to worker streams. Keeping one definition here
+    /// guarantees both layers agree on ownership.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn partition(self, n: usize) -> usize {
+        assert!(n > 0, "partition count must be non-zero");
+        let h = self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+        (h as usize) % n
+    }
+}
+
 impl fmt::Debug for ObjectId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "obj#{}", self.0)
@@ -243,6 +263,32 @@ mod tests {
         assert_eq!(Value::from(42i64), Value::Int(42));
         assert_eq!(Value::from("hi"), Value::Text("hi".into()));
         assert_eq!(Value::from(vec![1u8, 2]), Value::Bytes(vec![1, 2]));
+    }
+
+    #[test]
+    fn partition_is_stable_in_range_and_balanced() {
+        for oid in 0..10_000u64 {
+            let p = ObjectId(oid).partition(4);
+            assert!(p < 4);
+            assert_eq!(p, ObjectId(oid).partition(4), "partitioning must be stable");
+        }
+        let mut counts = [0u64; 8];
+        for oid in 0..80_000u64 {
+            counts[ObjectId(oid).partition(8)] += 1;
+        }
+        for (bucket, &c) in counts.iter().enumerate() {
+            assert!(
+                (7_500..=12_500).contains(&c),
+                "bucket {bucket} got {c} of 80k sequential ids"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_of_one_maps_everything_to_zero() {
+        for oid in [0u64, 1, 42, u64::MAX / 2, u64::MAX] {
+            assert_eq!(ObjectId(oid).partition(1), 0);
+        }
     }
 
     #[test]

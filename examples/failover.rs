@@ -23,6 +23,7 @@ fn fast_config() -> MirrorConfig {
         peer_timeout: Duration::from_millis(50),
         suspect_rounds: 3,
         snapshot_dir: None,
+        takeover_workers: 2,
     }
 }
 

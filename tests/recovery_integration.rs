@@ -2,10 +2,16 @@
 //! spooling, cold-start recovery, and the full failure cycle of the paper.
 
 use rodain::db::{MirrorLossPolicy, ReplicationMode, Rodain, TxnOptions};
-use rodain::log::{GroupCommitLog, LogStorage, LogStorageConfig};
+use rodain::log::{
+    write_snapshot_file, GroupCommitLog, LogRecord, LogStorage, LogStorageConfig, Lsn, RecordKind,
+};
 use rodain::net::InProcTransport;
-use rodain::node::{recover_store_from_disk, MirrorConfig, MirrorExit, MirrorNode};
-use rodain::store::Store;
+use rodain::node::{
+    recover_store_from_disk, recover_store_from_disk_with, recover_with_checkpoint_with,
+    MirrorConfig, MirrorExit, MirrorNode, RecoveryOptions,
+};
+use rodain::occ::Csn;
+use rodain::store::{Store, Ts, TxnId};
 use rodain::{ObjectId, Value};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
@@ -26,6 +32,7 @@ fn fast_mirror_config() -> MirrorConfig {
         peer_timeout: Duration::from_millis(100),
         suspect_rounds: 3,
         snapshot_dir: None,
+        takeover_workers: 2,
     }
 }
 
@@ -435,4 +442,202 @@ fn torn_disk_tail_only_loses_the_in_flight_transaction() {
         Some(Value::Int(0))
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- replay edge cases for partitioned recovery (DESIGN.md §13) ----
+
+/// One committed transaction as an appendable record group.
+fn committed_group(first_lsn: u64, txn: u64, csn: u64, writes: &[(u64, i64)]) -> Vec<LogRecord> {
+    let mut group = Vec::with_capacity(writes.len() + 1);
+    let mut lsn = first_lsn;
+    for &(oid, val) in writes {
+        group.push(LogRecord {
+            lsn: Lsn(lsn),
+            txn: TxnId(txn),
+            kind: RecordKind::Write {
+                oid: ObjectId(oid),
+                image: Value::Int(val),
+            },
+        });
+        lsn += 1;
+    }
+    group.push(LogRecord {
+        lsn: Lsn(lsn),
+        txn: TxnId(txn),
+        kind: RecordKind::Commit {
+            csn: Csn(csn),
+            ser_ts: Ts(csn * 10),
+            n_writes: writes.len() as u32,
+        },
+    });
+    group
+}
+
+#[test]
+fn empty_log_recovers_to_an_empty_store() {
+    let dir = tmpdir("empty-log");
+    // An opened-then-dropped log leaves a single header-only segment.
+    drop(
+        LogStorage::open(LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(&dir)
+        })
+        .unwrap(),
+    );
+    for workers in [1usize, 4] {
+        let cold =
+            recover_store_from_disk_with(&dir, &RecoveryOptions::with_workers(workers)).unwrap();
+        assert_eq!(cold.stats.committed, 0);
+        assert_eq!(cold.store.len(), 0);
+        assert!(!cold.torn_tail);
+        assert_eq!(cold.torn_tail_bytes, 0);
+        assert!(cold.segments_scanned >= 1);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn log_ending_exactly_at_a_segment_boundary_replays_cleanly() {
+    let dir = tmpdir("seg-boundary");
+    {
+        // Tiny segments force rotation mid-stream.
+        let mut storage = LogStorage::open(LogStorageConfig {
+            fsync: false,
+            segment_bytes: 256,
+            ..LogStorageConfig::new(&dir)
+        })
+        .unwrap();
+        for t in 1..=40u64 {
+            storage
+                .append_batch(&committed_group(t * 10, t, t, &[(t, t as i64)]))
+                .unwrap();
+        }
+        storage.flush().unwrap();
+    }
+    // A rotation that crashed before its first append leaves a header-only
+    // trailing segment: the record stream ends exactly at a segment
+    // boundary. Reopening the directory creates exactly that.
+    drop(
+        LogStorage::open(LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(&dir)
+        })
+        .unwrap(),
+    );
+    let segments = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "rodainlog")
+        })
+        .count();
+    assert!(segments >= 3, "expected rotation, got {segments} segments");
+
+    for workers in [1usize, 4] {
+        let cold =
+            recover_store_from_disk_with(&dir, &RecoveryOptions::with_workers(workers)).unwrap();
+        assert_eq!(cold.stats.committed, 40, "workers {workers}");
+        assert!(!cold.torn_tail, "a boundary-aligned end is not a torn tail");
+        assert_eq!(cold.segments_scanned, segments as u64);
+        for t in 1..=40u64 {
+            assert_eq!(
+                cold.store.read(ObjectId(t)).map(|(v, _)| v),
+                Some(Value::Int(t as i64)),
+                "workers {workers}, object {t}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_csn_groups_replay_idempotently() {
+    // A retried batch append (e.g. after a transient disk error) can land a
+    // whole committed transaction twice, same CSN. Replay must apply the
+    // duplicate without erroring and converge to the same state.
+    let dir = tmpdir("dup-csn");
+    {
+        let mut storage = LogStorage::open(LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(&dir)
+        })
+        .unwrap();
+        storage
+            .append_batch(&committed_group(1, 1, 1, &[(1, 10), (2, 20)]))
+            .unwrap();
+        let retried = committed_group(10, 2, 2, &[(1, 11), (3, 30)]);
+        storage.append_batch(&retried).unwrap();
+        storage.append_batch(&retried).unwrap();
+        storage.flush().unwrap();
+    }
+    for workers in [1usize, 4] {
+        let cold =
+            recover_store_from_disk_with(&dir, &RecoveryOptions::with_workers(workers)).unwrap();
+        // The duplicate counts as a replayed commit; the state is as if it
+        // committed once.
+        assert_eq!(cold.stats.committed, 3, "workers {workers}");
+        assert_eq!(cold.store.len(), 3);
+        for (oid, want) in [(1u64, 11i64), (2, 20), (3, 30)] {
+            assert_eq!(
+                cold.store.read(ObjectId(oid)).map(|(v, _)| v),
+                Some(Value::Int(want)),
+                "workers {workers}, object {oid}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retained_pre_checkpoint_segments_reapply_idempotently() {
+    // `checkpoint_truncates_log_and_accelerates_recovery` covers the pruned
+    // case; here NOTHING is truncated after the checkpoint, so recovery
+    // replays the whole log — including commits the snapshot already holds
+    // — over the restored state. That overlap must be harmless.
+    let log_dir = tmpdir("retained-log");
+    let snap_dir = tmpdir("retained-snap");
+    {
+        let mut storage = LogStorage::open(LogStorageConfig {
+            fsync: false,
+            ..LogStorageConfig::new(&log_dir)
+        })
+        .unwrap();
+        for t in 1..=30u64 {
+            storage
+                .append_batch(&committed_group(t * 10, t, t, &[(t, t as i64)]))
+                .unwrap();
+        }
+        storage.flush().unwrap();
+    }
+    // Snapshot of the state as of CSN 20.
+    let halfway = Store::new();
+    for t in 1..=20u64 {
+        halfway.install(ObjectId(t), Value::Int(t as i64), Ts(t * 10));
+    }
+    write_snapshot_file(&snap_dir, &halfway.snapshot(), Csn(20)).unwrap();
+
+    for workers in [1usize, 4] {
+        let cold = recover_with_checkpoint_with(
+            &log_dir,
+            &snap_dir,
+            &RecoveryOptions::with_workers(workers),
+        )
+        .unwrap();
+        // Every commit replays (the log was never pruned)...
+        assert_eq!(cold.stats.committed, 30, "workers {workers}");
+        // ...and re-applying the snapshot-era prefix changed nothing.
+        assert_eq!(cold.store.len(), 30);
+        for t in 1..=30u64 {
+            assert_eq!(
+                cold.store.read(ObjectId(t)).map(|(v, _)| v),
+                Some(Value::Int(t as i64)),
+                "workers {workers}, object {t}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&log_dir);
+    let _ = std::fs::remove_dir_all(&snap_dir);
 }

@@ -16,6 +16,7 @@ fn fast_mirror_config() -> MirrorConfig {
         peer_timeout: Duration::from_millis(100),
         suspect_rounds: 3,
         snapshot_dir: None,
+        takeover_workers: 2,
     }
 }
 

@@ -171,6 +171,7 @@ fn metrics_request_reports_commit_path_histograms() {
             peer_timeout: Duration::from_secs(60),
             suspect_rounds: 1_000,
             snapshot_dir: None,
+            takeover_workers: 2,
         },
     );
     let mirror_shutdown = mirror.shutdown_handle();

@@ -23,6 +23,7 @@ fn fast_mirror_config() -> MirrorConfig {
         peer_timeout: Duration::from_millis(100),
         suspect_rounds: 3,
         snapshot_dir: None,
+        takeover_workers: 2,
     }
 }
 
@@ -71,7 +72,12 @@ struct SoakScale {
 
 fn soak(scale: &SoakScale) {
     let objects = scale.objects;
-    let db = Arc::new(Rodain::builder().workers(scale.writers + 1).build().unwrap());
+    let db = Arc::new(
+        Rodain::builder()
+            .workers(scale.writers + 1)
+            .build()
+            .unwrap(),
+    );
     for i in 0..objects {
         db.load_initial(ObjectId(i), Value::Int(0));
     }
