@@ -3,8 +3,8 @@
 //! `cargo run -p rodain-bench --release --bin all_experiments [-- --quick]`
 
 use rodain_bench::experiments::{
-    cc_ablation, commit_path, commit_pipe, fig2_panel_a, fig2_panel_b, fig3, overload_limit,
-    reservation, saturation, takeover, SweepOptions,
+    cc_ablation, commit_path, commit_pipe, commit_tier, fig2_panel_a, fig2_panel_b, fig3,
+    overload_limit, reservation, saturation, takeover, SweepOptions,
 };
 use rodain_bench::report::Table;
 
@@ -34,6 +34,17 @@ fn main() {
         let dir = rodain_bench::report::out_dir();
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_COMMITPIPE.json");
+        std::fs::write(&path, report.to_json()).unwrap();
+        println!("json: {path:?}\n");
+    }
+    {
+        // COMMITTIER also runs the real mirrored engine; the regression
+        // gate stays in the standalone binary.
+        let report = commit_tier(opts);
+        report.table().print();
+        let dir = rodain_bench::report::out_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_COMMITTIER.json");
         std::fs::write(&path, report.to_json()).unwrap();
         println!("json: {path:?}\n");
     }

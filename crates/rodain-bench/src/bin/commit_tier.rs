@@ -1,0 +1,31 @@
+//! COMMITTIER: pipelined `submit` → `CommitFuture` vs blocking `execute`
+//! on the real mirrored engine, plus the `Volatile` durability tier as the
+//! no-wait floor.
+//!
+//! Writes `BENCH_COMMITTIER.json` into the output directory and exits
+//! non-zero when the tiered-durability commit redesign regresses:
+//! pipelined `MirrorAcked` submits must clear 1.5× the committed
+//! throughput of blocking `execute` at the same tier.
+//!
+//! `cargo run -p rodain-bench --release --bin commit_tier [-- --quick]`
+
+use rodain_bench::experiments::{commit_tier, SweepOptions};
+use rodain_bench::report::out_dir;
+
+fn main() {
+    let report = commit_tier(SweepOptions::from_args());
+    report.table().print();
+
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    let path = dir.join("BENCH_COMMITTIER.json");
+    std::fs::write(&path, report.to_json()).expect("write BENCH_COMMITTIER.json");
+    println!("json: {path:?}");
+
+    let speedup = report.speedup();
+    println!("pipelined / blocking speedup at mirror_acked: {speedup:.2}x");
+    if speedup < 1.5 {
+        eprintln!("COMMITTIER regression: need speedup >= 1.5 (got {speedup:.2})");
+        std::process::exit(1);
+    }
+}

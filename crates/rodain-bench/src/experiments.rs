@@ -505,8 +505,8 @@ pub fn real_engine(opts: SweepOptions) -> Table {
                 })
             })
             .collect();
-        for rx in pending {
-            let _ = rx.recv();
+        for fut in pending {
+            let _ = fut.wait();
         }
         calibration_count as f64 / started.elapsed().as_secs_f64()
     };
@@ -571,11 +571,8 @@ pub fn real_engine(opts: SweepOptions) -> Table {
             let seq = request.seq;
             let update = request.is_update();
             let opts_txn = match request.relative_deadline_ns {
-                Some(d) => TxnOptions {
-                    class: rodain_sched::TxnClass::Firm,
-                    relative_deadline: Duration::from_nanos(d),
-                    est_cost: Duration::from_micros(50),
-                },
+                Some(d) => TxnOptions::firm(Duration::from_nanos(d))
+                    .with_est_cost(Duration::from_micros(50)),
                 None => TxnOptions::non_real_time(),
             };
             pending.push(db.submit(opts_txn, move |ctx| {
@@ -594,12 +591,12 @@ pub fn real_engine(opts: SweepOptions) -> Table {
             }));
         }
         let (mut committed, mut deadline, mut admission, mut other) = (0u64, 0u64, 0u64, 0u64);
-        for rx in pending {
-            match rx.recv() {
-                Ok(Ok(_)) => committed += 1,
-                Ok(Err(TxnError::DeadlineExpired)) => deadline += 1,
-                Ok(Err(TxnError::AdmissionDenied | TxnError::Evicted)) => admission += 1,
-                _ => other += 1,
+        for fut in pending {
+            match fut.wait() {
+                Ok(_) => committed += 1,
+                Err(TxnError::DeadlineExpired) => deadline += 1,
+                Err(TxnError::AdmissionDenied | TxnError::Evicted) => admission += 1,
+                Err(_) => other += 1,
             }
         }
         let total = (committed + deadline + admission + other).max(1);
@@ -731,7 +728,7 @@ pub fn shard_scale(opts: SweepOptions) -> Table {
             .collect();
         let committed = pending
             .into_iter()
-            .filter(|rx| matches!(rx.recv(), Ok(Ok(_))))
+            .filter_map(|fut| fut.wait().ok())
             .count() as u64;
         let wall = started.elapsed().as_secs_f64();
         let p99 = db
@@ -770,7 +767,7 @@ pub fn shard_scale(opts: SweepOptions) -> Table {
             .collect();
         let committed = pending
             .into_iter()
-            .filter(|rx| matches!(rx.recv(), Ok(Ok(_))))
+            .filter_map(|fut| fut.wait().ok())
             .count() as u64;
         let wall = started.elapsed().as_secs_f64();
         // Worst per-shard tail: the merged snapshot keeps one labelled
@@ -1056,6 +1053,293 @@ fn commit_pipe_point(
         frames,
         mean_batch,
     }
+}
+
+/// One COMMITTIER series (a commit-API shape at a durability tier).
+#[derive(Clone, Debug)]
+pub struct CommitTierRow {
+    /// Series label.
+    pub label: &'static str,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Of those, receipts whose `acked_tier` matched the requested tier.
+    pub acked_at_tier: u64,
+    /// Committed throughput (txn/s).
+    pub tput_tps: f64,
+    /// Commit-wait median (ns) from the tier-labelled histogram.
+    pub p50_ns: u64,
+    /// Commit-wait 99th percentile (ns).
+    pub p99_ns: u64,
+}
+
+/// COMMITTIER result: blocking `execute` vs pipelined `submit` at the same
+/// `MirrorAcked` tier, plus the `Volatile` tier as the latency floor.
+#[derive(Clone, Debug)]
+pub struct CommitTierReport {
+    /// `execute()` (one outstanding commit per client thread).
+    pub blocking: CommitTierRow,
+    /// `submit()` futures collected after the whole burst — same tier.
+    pub pipelined: CommitTierRow,
+    /// `submit()` at `DurabilityTier::Volatile` — resolves at validation.
+    pub volatile: CommitTierRow,
+}
+
+impl CommitTierReport {
+    /// Committed-throughput ratio, pipelined over blocking (same tier).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.pipelined.tput_tps / self.blocking.tput_tps.max(f64::EPSILON)
+    }
+
+    /// Render as the usual markdown table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "COMMITTIER — commit futures and per-transaction durability tiers \
+             (8 client threads, mirrored engine over a paced in-process link)",
+            &[
+                "series",
+                "committed",
+                "acked at tier",
+                "tput (txn/s)",
+                "wait p50 (ms)",
+                "wait p99 (ms)",
+            ],
+        );
+        for row in [&self.blocking, &self.pipelined, &self.volatile] {
+            table.push(vec![
+                row.label.to_string(),
+                row.committed.to_string(),
+                row.acked_at_tier.to_string(),
+                format!("{:.0}", row.tput_tps),
+                ms(row.p50_ns as f64),
+                ms(row.p99_ns as f64),
+            ]);
+        }
+        table
+    }
+
+    /// Hand-rolled JSON (the bench crate deliberately has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn row_json(r: &CommitTierRow) -> String {
+            format!(
+                "    {{\"label\": \"{}\", \"committed\": {}, \"acked_at_tier\": {}, \
+                 \"tput_tps\": {:.1}, \"commit_wait_ns\": {{\"p50\": {}, \"p99\": {}}}}}",
+                r.label, r.committed, r.acked_at_tier, r.tput_tps, r.p50_ns, r.p99_ns
+            )
+        }
+        format!(
+            "{{\n  \"experiment\": \"COMMITTIER\",\n  \"rows\": [\n{},\n{},\n{}\n  ],\n  \
+             \"speedup\": {:.3}\n}}\n",
+            row_json(&self.blocking),
+            row_json(&self.pipelined),
+            row_json(&self.volatile),
+            self.speedup()
+        )
+    }
+}
+
+/// Which commit-API shape a COMMITTIER series drives.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TierDriver {
+    /// `execute()` — each client thread blocks on its own commit.
+    Blocking,
+    /// `submit()` the whole burst, then collect every future.
+    Pipelined,
+}
+
+/// COMMITTIER: quantify the submit → [`rodain_db::CommitFuture`] redesign.
+/// Three series on identical mirrored engines (paced link, 8 client
+/// threads, disjoint objects): blocking `execute` at `MirrorAcked` — one
+/// outstanding commit per connection, the pre-redesign API shape; the same
+/// tier through pipelined `submit`, where deferred commits queue behind the
+/// in-flight frame and coalesce into the shipper's multi-group frames; and
+/// `Volatile`-tier submits as the no-wait floor. The regression gate holds
+/// `speedup()` (pipelined / blocking at the same tier) at ≥ 1.5×.
+#[must_use]
+pub fn commit_tier(opts: SweepOptions) -> CommitTierReport {
+    use rodain_db::DurabilityTier;
+    CommitTierReport {
+        blocking: commit_tier_point(
+            "execute @ mirror_acked",
+            TierDriver::Blocking,
+            DurabilityTier::MirrorAcked,
+            opts.count,
+        ),
+        pipelined: commit_tier_point(
+            "submit @ mirror_acked",
+            TierDriver::Pipelined,
+            DurabilityTier::MirrorAcked,
+            opts.count,
+        ),
+        volatile: commit_tier_point(
+            "submit @ volatile",
+            TierDriver::Pipelined,
+            DurabilityTier::Volatile,
+            opts.count,
+        ),
+    }
+}
+
+fn commit_tier_point(
+    label: &'static str,
+    driver: TierDriver,
+    tier: rodain_db::DurabilityTier,
+    count: u64,
+) -> CommitTierRow {
+    use rodain_db::{CommitFuture, MirrorLossPolicy, Rodain, TxnOptions};
+    use rodain_net::{Bytes, InProcTransport, NetError, Transport};
+    use rodain_node::{MirrorConfig, MirrorNode};
+    use rodain_store::{ObjectId, Store, Value};
+    use std::sync::atomic::Ordering;
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Per-frame wire delay (same regime as COMMITPIPE: round trips, not
+    /// CPU, bound the commit path).
+    const WIRE_DELAY: Duration = Duration::from_micros(80);
+    const CLIENTS: u64 = 8;
+    /// Objects per client thread; clients touch disjoint ranges.
+    const SPAN: u64 = 100;
+
+    /// In-process primary transport with sends paced to a serial wire
+    /// delay (mirror acks stay free) — duplicated from COMMITPIPE so each
+    /// experiment stays self-contained.
+    struct PacedTransport {
+        inner: InProcTransport,
+        wire: Mutex<()>,
+        delay: Duration,
+    }
+
+    impl Transport for PacedTransport {
+        fn send(&self, frame: Bytes) -> Result<(), NetError> {
+            let _wire = self.wire.lock().unwrap();
+            let start = Instant::now();
+            while start.elapsed() < self.delay {
+                std::hint::spin_loop();
+            }
+            self.inner.send(frame)
+        }
+
+        fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>, NetError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        fn is_connected(&self) -> bool {
+            self.inner.is_connected()
+        }
+
+        fn close(&self) {
+            self.inner.close()
+        }
+    }
+
+    let (primary_side, mirror_side) = InProcTransport::pair();
+    let store = Arc::new(Store::new());
+    let mut mirror = MirrorNode::new(store, Arc::new(mirror_side), None, MirrorConfig::default());
+    let shutdown = mirror.shutdown_handle();
+    let mirror_thread = std::thread::spawn(move || {
+        mirror.join().unwrap();
+        mirror.run();
+    });
+
+    let paced = PacedTransport {
+        inner: primary_side,
+        wire: Mutex::new(()),
+        delay: WIRE_DELAY,
+    };
+    let db = Arc::new(
+        Rodain::builder()
+            .workers(CLIENTS as usize)
+            // Pipelined bursts hold thousands of queued submissions; lift
+            // the admission limit so both API shapes run the same load.
+            .overload(rodain_sched::OverloadConfig {
+                base_limit: 100_000,
+                min_limit: 100_000,
+                ..rodain_sched::OverloadConfig::default()
+            })
+            .mirror(Arc::new(paced), MirrorLossPolicy::ContinueVolatile)
+            .build()
+            .expect("engine"),
+    );
+    for i in 0..CLIENTS * SPAN {
+        db.load_initial(ObjectId(i), Value::Int(0));
+    }
+
+    let per_client = (count / CLIENTS).max(50);
+    let started = Instant::now();
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let opts = TxnOptions::soft_ms(60_000).with_durability(tier);
+                let mut committed = 0u64;
+                let mut at_tier = 0u64;
+                let mut tally = |outcome: Result<rodain_db::TxnReceipt, _>| {
+                    if let Ok(receipt) = outcome {
+                        committed += 1;
+                        if receipt.acked_tier == tier {
+                            at_tier += 1;
+                        }
+                    }
+                };
+                match driver {
+                    TierDriver::Blocking => {
+                        for i in 0..per_client {
+                            let oid = ObjectId(c * SPAN + i % SPAN);
+                            tally(db.execute(opts, move |ctx| {
+                                let v = ctx.read(oid)?.map_or(0, |v| v.as_int().unwrap_or(0));
+                                ctx.write(oid, Value::Int(v + 1))?;
+                                Ok(None)
+                            }));
+                        }
+                    }
+                    TierDriver::Pipelined => {
+                        let futures: Vec<CommitFuture> = (0..per_client)
+                            .map(|i| {
+                                let oid = ObjectId(c * SPAN + i % SPAN);
+                                db.submit(opts, move |ctx| {
+                                    let v = ctx.read(oid)?.map_or(0, |v| v.as_int().unwrap_or(0));
+                                    ctx.write(oid, Value::Int(v + 1))?;
+                                    Ok(None)
+                                })
+                            })
+                            .collect();
+                        for fut in futures {
+                            tally(fut.wait());
+                        }
+                    }
+                }
+                (committed, at_tier)
+            })
+        })
+        .collect();
+    let mut committed = 0u64;
+    let mut acked_at_tier = 0u64;
+    for handle in clients {
+        let (c, t) = handle.join().unwrap();
+        committed += c;
+        acked_at_tier += t;
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    let snapshot = db.metrics();
+    let series = format!("engine_commit_wait_ns{{tier=\"{}\"}}", tier.label());
+    let wait = |q: f64| -> u64 { snapshot.histogram(&series).map_or(0, |h| h.percentile(q)) };
+    let row = CommitTierRow {
+        label,
+        committed,
+        acked_at_tier,
+        tput_tps: committed as f64 / wall.max(f64::EPSILON),
+        p50_ns: wait(0.50),
+        p99_ns: wait(0.99),
+    };
+
+    drop(db);
+    shutdown.store(true, Ordering::Release);
+    let _ = mirror_thread.join();
+    row
 }
 
 /// A private scratch directory for experiments that drive real disk logs.
@@ -1350,6 +1634,25 @@ mod tests {
         assert!(json.contains("\"mean_records_per_frame\""));
         // Two rows in the rendered table.
         assert_eq!(report.table().rows.len(), 2);
+    }
+
+    #[test]
+    fn commit_tier_reports_three_series() {
+        let report = commit_tier(quick());
+        for row in [&report.blocking, &report.pipelined, &report.volatile] {
+            assert!(row.committed > 0, "{} committed nothing", row.label);
+            assert_eq!(
+                row.acked_at_tier, row.committed,
+                "{} had receipts below the requested tier",
+                row.label
+            );
+        }
+        assert!(report.speedup() > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"COMMITTIER\""));
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("submit @ volatile"));
+        assert_eq!(report.table().rows.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Durability-tier chaos scenario: a `CommitFuture` that resolves at
+//! `MirrorAcked` is a promise — every such commit must be present on the
+//! mirror when it takes over, and commits acknowledged *after* the link
+//! dies must say so honestly (`acked_tier` = `Volatile` under the
+//! `ContinueVolatile` loss policy).
+
+use rodain_db::{DurabilityTier, MirrorLossPolicy, Rodain, TxnOptions};
+use rodain_net::{InProcTransport, LossyLink};
+use rodain_node::{MirrorConfig, MirrorExit, MirrorNode};
+use rodain_store::{ObjectId, Store, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn mirror_acked_futures_survive_takeover_and_degraded_futures_are_honest() {
+    let db = Rodain::builder()
+        .workers(2)
+        .commit_gate_timeout(Duration::from_millis(250))
+        .build()
+        .unwrap();
+    for i in 0..100u64 {
+        db.load_initial(ObjectId(i * 3), Value::Int(0));
+    }
+
+    let (primary_side, mirror_side) = InProcTransport::pair();
+    let (lossy, control) = LossyLink::new(primary_side);
+    let mirror_store = Arc::new(Store::new());
+    let mut mirror = MirrorNode::new(
+        Arc::clone(&mirror_store),
+        Arc::new(mirror_side),
+        None,
+        MirrorConfig {
+            poll_interval: Duration::from_millis(1),
+            heartbeat_interval: Duration::from_millis(10),
+            peer_timeout: Duration::from_millis(100),
+            suspect_rounds: 3,
+            snapshot_dir: None,
+            takeover_workers: 2,
+        },
+    );
+    let mirror_thread = std::thread::spawn(move || {
+        mirror.join().expect("mirror join");
+        mirror.run()
+    });
+    db.attach_mirror(Arc::new(lossy), MirrorLossPolicy::ContinueVolatile)
+        .unwrap();
+
+    // Phase 1 — pipeline a burst of MirrorAcked submits. Each future must
+    // resolve at the requested tier, and together they define the durable
+    // set the mirror owes us after takeover.
+    let futures: Vec<_> = (0..30u64)
+        .map(|i| {
+            db.submit(
+                TxnOptions::soft_ms(10_000).with_durability(DurabilityTier::MirrorAcked),
+                move |ctx| {
+                    ctx.write(ObjectId(i * 3), Value::Int(i as i64 + 1))?;
+                    Ok(None)
+                },
+            )
+        })
+        .collect();
+    let mut durable = Vec::new();
+    for (i, fut) in futures.into_iter().enumerate() {
+        let receipt = fut.wait().expect("mirror-acked commit");
+        assert_eq!(
+            receipt.acked_tier,
+            DurabilityTier::MirrorAcked,
+            "commit {i} resolved below the requested tier with a live mirror"
+        );
+        durable.push((ObjectId(i as u64 * 3), Value::Int(i as i64 + 1)));
+    }
+
+    // Phase 2 — kill the link mid-stream and keep submitting. The futures
+    // must still resolve (ContinueVolatile keeps serving), but none may
+    // claim MirrorAcked: the receipt reports Volatile.
+    control.sever();
+    let degraded: Vec<_> = (30..60u64)
+        .map(|i| {
+            db.submit(
+                TxnOptions::soft_ms(10_000).with_durability(DurabilityTier::MirrorAcked),
+                move |ctx| {
+                    ctx.write(ObjectId(i * 3), Value::Int(i as i64 + 1))?;
+                    Ok(None)
+                },
+            )
+        })
+        .collect();
+    for (i, fut) in degraded.into_iter().enumerate() {
+        let receipt = fut.wait().expect("degraded commit");
+        assert_eq!(
+            receipt.acked_tier,
+            DurabilityTier::Volatile,
+            "post-sever commit {i} claimed durability the dead link cannot provide"
+        );
+    }
+
+    // The mirror notices the silent peer and takes over.
+    let (exit, _report) = mirror_thread.join().unwrap();
+    assert_eq!(exit, MirrorExit::PrimaryFailed);
+
+    // The takeover invariant: every commit whose future resolved
+    // MirrorAcked is present in the promoted store. (Volatile-resolved
+    // commits carry no such promise.)
+    for (oid, expected) in durable {
+        assert_eq!(
+            mirror_store.read(oid).map(|(v, _)| v),
+            Some(expected),
+            "mirror lost a commit whose future resolved MirrorAcked ({oid:?})"
+        );
+    }
+}

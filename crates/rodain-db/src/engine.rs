@@ -2,21 +2,21 @@
 
 use crate::ctx::{CtxStop, TxnCtx, TxnFlags};
 use crate::error::{TxnAbort, TxnError};
-use crate::options::{MirrorLossPolicy, TxnOptions};
-use crate::replicate::{MirrorLink, ReplicationMode, Replicator, ShipBatchConfig};
+use crate::options::{DurabilityTier, MirrorLossPolicy, TxnOptions};
+use crate::replicate::{CommitTicket, MirrorLink, ReplicationMode, Replicator, ShipBatchConfig};
 use crate::stats::{Counters, EngineStats, TxnReceipt};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::{Condvar, Mutex, RwLock};
 use rodain_log::RecordBuilder;
 use rodain_net::Transport;
 use rodain_node::Message;
-use rodain_obs::{Counter, Histogram, MetricsSnapshot, Recorder};
+use rodain_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Recorder};
 use rodain_occ::{make_controller, CcPriority, ConcurrencyController, Csn, Protocol};
 use rodain_sched::{
     ActiveSet, Admission, OverloadConfig, OverloadManager, ReadyQueue, ReservationConfig, TaskMeta,
     TxnClass,
 };
-use rodain_store::{ObjectId, Snapshot, Store, TxnId, Value, Workspace};
+use rodain_store::{ObjectId, Snapshot, Store, Ts, TxnId, Value, Workspace};
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -40,6 +40,93 @@ struct Job {
     reply: Sender<Result<TxnReceipt, TxnError>>,
     meta: TaskMeta,
     flags: Arc<TxnFlags>,
+    /// Durability gate the commit future waits for (from
+    /// [`TxnOptions::durability`]).
+    tier: DurabilityTier,
+}
+
+/// The pending outcome of a submitted transaction (see [`Rodain::submit`]).
+///
+/// Resolves when the transaction aborts or when its commit reaches the
+/// [`DurabilityTier`] it asked for — the worker that validated it has long
+/// moved on, so a connection can keep submitting while earlier commits
+/// drain through the mirror shipper's coalesced frames. Consume with
+/// [`CommitFuture::wait`] (blocking), [`CommitFuture::wait_timeout`] /
+/// [`CommitFuture::try_wait`] (polling), or select over
+/// [`CommitFuture::receiver`] to multiplex many futures on one thread (the
+/// server's connection writer does).
+pub struct CommitFuture {
+    rx: Receiver<Result<TxnReceipt, TxnError>>,
+}
+
+impl CommitFuture {
+    fn new(rx: Receiver<Result<TxnReceipt, TxnError>>) -> CommitFuture {
+        CommitFuture { rx }
+    }
+
+    /// An already-resolved future — for error paths that never reach the
+    /// engine (a sharded facade routing to a missing shard, say).
+    #[must_use]
+    pub fn ready(result: Result<TxnReceipt, TxnError>) -> CommitFuture {
+        let (tx, rx) = bounded(1);
+        let _ = tx.send(result);
+        CommitFuture { rx }
+    }
+
+    /// Block until the outcome is known.
+    pub fn wait(self) -> Result<TxnReceipt, TxnError> {
+        self.rx.recv().unwrap_or(Err(TxnError::Shutdown))
+    }
+
+    /// Block up to `timeout`; `None` means still pending.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<TxnReceipt, TxnError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => Some(outcome),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Err(TxnError::Shutdown)),
+        }
+    }
+
+    /// Non-blocking poll; `None` means still pending.
+    pub fn try_wait(&self) -> Option<Result<TxnReceipt, TxnError>> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(TxnError::Shutdown)),
+        }
+    }
+
+    /// The underlying channel, for `crossbeam::channel::Select` over many
+    /// futures. The channel yields exactly one message; after it fires,
+    /// collect the outcome with [`CommitFuture::try_wait`] or
+    /// [`CommitFuture::wait`].
+    #[must_use]
+    pub fn receiver(&self) -> &Receiver<Result<TxnReceipt, TxnError>> {
+        &self.rx
+    }
+}
+
+/// A validated commit handed to the completer thread: the worker is
+/// already free; the completer awaits the durability ticket and sends the
+/// final receipt (or, for an early-resolved Volatile commit, merely drains
+/// the ticket as a gate-health backstop).
+struct PendingDurability {
+    ticket: CommitTicket,
+    /// `None` for a Volatile-tier commit that already replied at the
+    /// worker — the completer then only babysits the ticket.
+    reply: Option<Sender<Result<TxnReceipt, TxnError>>>,
+    value: Option<Value>,
+    csn: Csn,
+    ser_ts: Ts,
+    restarts: u32,
+    arrival: u64,
+    commit_submitted: u64,
+    requested: DurabilityTier,
+}
+
+enum Completion {
+    Commit(Box<PendingDurability>),
+    Shutdown,
 }
 
 struct SchedCore {
@@ -68,6 +155,8 @@ struct Engine {
     last_csn: AtomicU64,
     builder: RecordBuilder,
     protocol: Protocol,
+    /// Validated commits queued for the completer thread.
+    completions: Sender<Completion>,
 }
 
 impl Engine {
@@ -81,6 +170,11 @@ impl Engine {
 struct EngineObs {
     /// Validation accept → durable/acknowledged, per committed txn.
     commit_wait_ns: Histogram,
+    /// Same measurement split by the *requested* durability tier, indexed
+    /// by [`DurabilityTier::code`].
+    tier_wait_ns: [Histogram; 3],
+    /// Commit futures ticketed but not yet resolved.
+    inflight_futures: Gauge,
     /// Submission → reply, per committed txn.
     response_ns: Histogram,
     /// Commit tickets that timed out and triggered a mirror failover.
@@ -97,6 +191,13 @@ impl EngineObs {
             .set(1);
         EngineObs {
             commit_wait_ns: rec.histogram("engine_commit_wait_ns"),
+            tier_wait_ns: DurabilityTier::ALL.map(|tier| {
+                rec.histogram(&format!(
+                    "engine_commit_wait_ns{{tier=\"{}\"}}",
+                    tier.label()
+                ))
+            }),
+            inflight_futures: rec.gauge("engine_inflight_futures"),
             response_ns: rec.histogram("engine_response_ns"),
             gate_timeouts: rec.counter("engine_gate_timeouts_total"),
             validation_commit: rec.counter(&format!(
@@ -265,6 +366,7 @@ impl RodainBuilder {
     pub fn build(self) -> io::Result<Rodain> {
         let store = self.store.unwrap_or_default();
         let recorder = self.recorder.unwrap_or_default();
+        let (completions, completions_rx) = unbounded();
         let engine = Arc::new(Engine {
             cc: make_controller(self.protocol),
             sched: Mutex::new(SchedCore {
@@ -288,6 +390,7 @@ impl RodainBuilder {
             last_csn: AtomicU64::new(0),
             builder: RecordBuilder::new(),
             protocol: self.protocol,
+            completions,
             store,
         });
 
@@ -333,7 +436,19 @@ impl RodainBuilder {
             })
             .collect();
 
-        Ok(Rodain { engine, workers })
+        let completer = {
+            let engine = Arc::clone(&engine);
+            std::thread::Builder::new()
+                .name("rodain-completer".into())
+                .spawn(move || completer_loop(&engine, &completions_rx))
+                .expect("spawn completer")
+        };
+
+        Ok(Rodain {
+            engine,
+            workers,
+            completer: Some(completer),
+        })
     }
 }
 
@@ -341,6 +456,7 @@ impl RodainBuilder {
 pub struct Rodain {
     engine: Arc<Engine>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    completer: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Rodain {
@@ -435,13 +551,19 @@ impl Rodain {
         self.engine.recorder.clone()
     }
 
-    /// Submit a transaction; the returned channel yields the outcome.
-    /// See [`Rodain::execute`] for the blocking variant.
-    pub fn submit<F>(&self, opts: TxnOptions, closure: F) -> Receiver<Result<TxnReceipt, TxnError>>
+    /// Submit a transaction; the returned [`CommitFuture`] resolves when
+    /// the commit satisfies the [`DurabilityTier`] in `opts` (or the
+    /// transaction aborts). The worker and its admission slot are released
+    /// at validation, so a caller can keep submitting while earlier
+    /// commits drain — deferred commits coalesce into the shipper's
+    /// multi-group frames. See [`Rodain::execute`] for the blocking
+    /// variant.
+    pub fn submit<F>(&self, opts: TxnOptions, closure: F) -> CommitFuture
     where
         F: FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send + 'static,
     {
         let (reply, rx) = bounded(1);
+        let rx = CommitFuture::new(rx);
         let engine = &self.engine;
         if engine.shutdown.load(Ordering::Acquire) {
             let _ = reply.send(Err(TxnError::Shutdown));
@@ -500,6 +622,7 @@ impl Rodain {
                 reply,
                 meta,
                 flags,
+                tier: opts.durability,
             },
         );
         sched.ready.push(meta);
@@ -508,14 +631,13 @@ impl Rodain {
         rx
     }
 
-    /// Execute a transaction and wait for its outcome.
+    /// Execute a transaction and wait for its outcome — a thin
+    /// `submit(..).wait()` wrapper.
     pub fn execute<F>(&self, opts: TxnOptions, closure: F) -> Result<TxnReceipt, TxnError>
     where
         F: FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send + 'static,
     {
-        self.submit(opts, closure)
-            .recv()
-            .unwrap_or(Err(TxnError::Shutdown))
+        self.submit(opts, closure).wait()
     }
 
     /// Take a checkpoint: persist a consistent snapshot of the database
@@ -632,6 +754,13 @@ impl Drop for Rodain {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        // Workers are gone, so every completion is already enqueued; the
+        // sentinel lands behind them and the completer drains in order.
+        // (The gate-timeout → mark-down backstop bounds each ticket wait.)
+        let _ = self.engine.completions.send(Completion::Shutdown);
+        if let Some(handle) = self.completer.take() {
+            let _ = handle.join();
+        }
         // Reply to anything still queued.
         let mut sched = self.engine.sched.lock();
         for (_, job) in sched.jobs.drain() {
@@ -695,6 +824,14 @@ fn worker_loop(engine: Arc<Engine>) {
     }
 }
 
+/// How one `execute_job` run ended: with an outcome to send now, or
+/// deferred to the completer thread (the durability gate is still pending
+/// and the worker must not block on it).
+enum JobVerdict {
+    Reply(Result<TxnReceipt, TxnError>),
+    Deferred,
+}
+
 fn execute_job(engine: &Arc<Engine>, mut job: Job) {
     let id = job.meta.txn;
     let started = engine.now_ns();
@@ -705,11 +842,11 @@ fn execute_job(engine: &Arc<Engine>, mut job: Job) {
     let mut ws = Workspace::new(id);
     let mut restarts = 0u32;
 
-    let outcome: Result<TxnReceipt, TxnError> = loop {
+    let verdict: JobVerdict = loop {
         // Pre-attempt deadline check.
         if let Some(d) = firm_deadline {
             if engine.now_ns() > d {
-                break Err(TxnError::DeadlineExpired);
+                break JobVerdict::Reply(Err(TxnError::DeadlineExpired));
             }
         }
         engine.cc.begin(id, priority);
@@ -743,7 +880,7 @@ fn execute_job(engine: &Arc<Engine>, mut job: Job) {
                 if job.flags.evicted.load(Ordering::Acquire) {
                     engine.cc.remove(id);
                     engine.counters.aborted_evicted.inc();
-                    break Err(TxnError::Evicted);
+                    break JobVerdict::Reply(Err(TxnError::Evicted));
                 }
                 // Atomic validation + install, then the commit gate.
                 let gate = engine.commit_gate.read();
@@ -760,45 +897,63 @@ fn execute_job(engine: &Arc<Engine>, mut job: Job) {
                         engine.last_csn.fetch_max(csn.0, Ordering::AcqRel);
                         let records = engine.builder.commit_group(id, ws.writes(), csn, ser_ts);
                         let commit_submitted = engine.now_ns();
-                        let ticket = engine.replicator.read().ship(csn, records);
+                        let tier = job.tier;
+                        let ticket = engine.replicator.read().ship(csn, records, tier);
                         drop(gate);
-                        let mut waited = ticket.recv_timeout(engine.commit_gate_timeout);
-                        if waited.is_err() && engine.replicator.read().note_gate_timeout() {
-                            // The mirror went silent (e.g. it rejected a
-                            // corrupted frame and never acked). Mark-down
-                            // resolved every pending ticket through the
-                            // degraded path; re-await this one.
-                            engine.obs.gate_timeouts.inc();
-                            engine.recorder.emit(
-                                "gate-timeout",
-                                format!("commit gate timed out at csn {}", csn.0),
-                            );
-                            waited = ticket.recv_timeout(engine.commit_gate_timeout);
-                        }
-                        let gate_result = waited
-                            .unwrap_or(Err(TxnError::Replication("commit gate timeout".into())));
-                        match gate_result {
-                            Ok(()) => {
-                                let finished = engine.now_ns();
-                                engine.counters.committed.inc();
-                                let commit_wait = finished.saturating_sub(commit_submitted);
-                                let response = finished.saturating_sub(job.meta.arrival);
-                                engine.obs.commit_wait_ns.record(commit_wait);
-                                engine.obs.response_ns.record(response);
-                                break Ok(TxnReceipt {
-                                    result: value,
+                        engine.obs.inflight_futures.add(1);
+                        if tier == DurabilityTier::Volatile {
+                            // Resolve now — the whole point of the tier.
+                            // The ticket still drains through the completer
+                            // so a wedged gate triggers the mark-down
+                            // backstop even if nothing stronger is queued.
+                            let finished = engine.now_ns();
+                            engine.counters.committed.inc();
+                            let commit_wait = finished.saturating_sub(commit_submitted);
+                            let response = finished.saturating_sub(job.meta.arrival);
+                            engine.obs.commit_wait_ns.record(commit_wait);
+                            engine.obs.tier_wait_ns[tier.code() as usize].record(commit_wait);
+                            engine.obs.response_ns.record(response);
+                            let _ = engine.completions.send(Completion::Commit(Box::new(
+                                PendingDurability {
+                                    ticket,
+                                    reply: None,
+                                    value: None,
                                     csn,
                                     ser_ts,
                                     restarts,
-                                    response: Duration::from_nanos(response),
-                                    commit_wait: Duration::from_nanos(commit_wait),
-                                });
-                            }
-                            Err(e) => {
-                                engine.counters.aborted_replication.inc();
-                                break Err(e);
-                            }
+                                    arrival: job.meta.arrival,
+                                    commit_submitted,
+                                    requested: tier,
+                                },
+                            )));
+                            break JobVerdict::Reply(Ok(TxnReceipt {
+                                result: value,
+                                csn,
+                                ser_ts,
+                                restarts,
+                                response: Duration::from_nanos(response),
+                                commit_wait: Duration::from_nanos(commit_wait),
+                                acked_tier: DurabilityTier::Volatile,
+                            }));
                         }
+                        // Deferred tiers: hand the pending receipt to the
+                        // completer and free this worker for the next
+                        // transaction — the commit future resolves when
+                        // the tier's gate does.
+                        let _ = engine.completions.send(Completion::Commit(Box::new(
+                            PendingDurability {
+                                ticket,
+                                reply: Some(job.reply.clone()),
+                                value,
+                                csn,
+                                ser_ts,
+                                restarts,
+                                arrival: job.meta.arrival,
+                                commit_submitted,
+                                requested: tier,
+                            },
+                        )));
+                        break JobVerdict::Deferred;
                     }
                     rodain_occ::ValidationOutcome::Restart(_) => {
                         drop(gate);
@@ -806,7 +961,7 @@ fn execute_job(engine: &Arc<Engine>, mut job: Job) {
                         restarts += 1;
                         engine.counters.restarts.inc();
                         if !restart_fits(engine, &job.meta) {
-                            break Err(TxnError::ConflictAbort { restarts });
+                            break JobVerdict::Reply(Err(TxnError::ConflictAbort { restarts }));
                         }
                         continue;
                     }
@@ -816,20 +971,22 @@ fn execute_job(engine: &Arc<Engine>, mut job: Job) {
                 engine.cc.remove(id);
                 if let Some(message) = abort.user_message {
                     engine.counters.aborted_user.inc();
-                    break Err(TxnError::UserAbort(message));
+                    break JobVerdict::Reply(Err(TxnError::UserAbort(message)));
                 }
                 match stop {
                     Some(CtxStop::Evicted) => {
                         engine.counters.aborted_evicted.inc();
-                        break Err(TxnError::Evicted);
+                        break JobVerdict::Reply(Err(TxnError::Evicted));
                     }
-                    Some(CtxStop::DeadlineExpired) => break Err(TxnError::DeadlineExpired),
-                    Some(CtxStop::Shutdown) => break Err(TxnError::Shutdown),
+                    Some(CtxStop::DeadlineExpired) => {
+                        break JobVerdict::Reply(Err(TxnError::DeadlineExpired))
+                    }
+                    Some(CtxStop::Shutdown) => break JobVerdict::Reply(Err(TxnError::Shutdown)),
                     Some(CtxStop::Doomed) | None => {
                         restarts += 1;
                         engine.counters.restarts.inc();
                         if !restart_fits(engine, &job.meta) {
-                            break Err(TxnError::ConflictAbort { restarts });
+                            break JobVerdict::Reply(Err(TxnError::ConflictAbort { restarts }));
                         }
                         continue;
                     }
@@ -838,19 +995,105 @@ fn execute_job(engine: &Arc<Engine>, mut job: Job) {
         }
     };
 
-    // Common cleanup and accounting.
+    // Common cleanup and accounting. Runs for deferred commits too: the
+    // admission slot frees at validation, not at durability — that is what
+    // lets a connection pipeline past an in-flight commit.
     let finished = engine.now_ns();
     {
         let mut sched = engine.sched.lock();
         sched.active.remove(id);
         sched.flags.remove(&id);
         sched.ready.account_busy(finished.saturating_sub(started));
-        if matches!(outcome, Err(TxnError::DeadlineExpired)) {
+        if matches!(verdict, JobVerdict::Reply(Err(TxnError::DeadlineExpired))) {
             sched.overload.record_miss(finished);
             engine.counters.aborted_deadline.inc();
         }
     }
-    let _ = job.reply.send(outcome);
+    if let JobVerdict::Reply(outcome) = verdict {
+        let _ = job.reply.send(outcome);
+    }
+}
+
+// ----- completer ----------------------------------------------------------
+
+/// The completer thread: awaits durability tickets in submission order and
+/// resolves their commit futures. One thread suffices — acks arrive in CSN
+/// order, so the head of the queue is the only ticket that ever actually
+/// blocks; everything behind it resolves instantly once reached.
+fn completer_loop(engine: &Arc<Engine>, completions: &Receiver<Completion>) {
+    for msg in completions {
+        match msg {
+            Completion::Commit(pending) => complete_commit(engine, *pending),
+            Completion::Shutdown => return,
+        }
+    }
+}
+
+/// Await one commit's durability ticket (with the gate-timeout → mirror
+/// mark-down backstop the workers used to run inline) and resolve its
+/// future with the achieved [`DurabilityTier`].
+fn complete_commit(engine: &Arc<Engine>, pending: PendingDurability) {
+    let mut waited = pending.ticket.recv_timeout(engine.commit_gate_timeout);
+    if waited.is_err() && engine.replicator.read().note_gate_timeout() {
+        // The mirror went silent (e.g. it rejected a corrupted frame and
+        // never acked). Mark-down resolved every pending ticket through
+        // the degraded path; re-await this one.
+        engine.obs.gate_timeouts.inc();
+        engine.recorder.emit(
+            "gate-timeout",
+            format!("commit gate timed out at csn {}", pending.csn.0),
+        );
+        waited = pending.ticket.recv_timeout(engine.commit_gate_timeout);
+    }
+    let gate_result = waited.unwrap_or(Err(TxnError::Replication("commit gate timeout".into())));
+    engine.obs.inflight_futures.add(-1);
+    let Some(reply) = pending.reply else {
+        // Volatile-tier commit: already replied at the worker; this pass
+        // only kept the gate-health backstop alive.
+        return;
+    };
+    match gate_result {
+        Ok(mut achieved) => {
+            if pending.requested == DurabilityTier::DiskFsynced
+                && achieved == DurabilityTier::MirrorAcked
+            {
+                // The mirror ack came back first; the records were already
+                // appended to the local fallback at ship time, so one
+                // flush upgrades the commit to its requested tier. With no
+                // local log the ceiling stays MirrorAcked — the receipt
+                // reports what actually held.
+                match engine.replicator.read().fsync_local() {
+                    Some(Ok(())) => achieved = DurabilityTier::DiskFsynced,
+                    Some(Err(e)) => {
+                        engine.counters.aborted_replication.inc();
+                        let _ = reply.send(Err(e));
+                        return;
+                    }
+                    None => {}
+                }
+            }
+            let finished = engine.now_ns();
+            engine.counters.committed.inc();
+            let commit_wait = finished.saturating_sub(pending.commit_submitted);
+            let response = finished.saturating_sub(pending.arrival);
+            engine.obs.commit_wait_ns.record(commit_wait);
+            engine.obs.tier_wait_ns[pending.requested.code() as usize].record(commit_wait);
+            engine.obs.response_ns.record(response);
+            let _ = reply.send(Ok(TxnReceipt {
+                result: pending.value,
+                csn: pending.csn,
+                ser_ts: pending.ser_ts,
+                restarts: pending.restarts,
+                response: Duration::from_nanos(response),
+                commit_wait: Duration::from_nanos(commit_wait),
+                acked_tier: achieved,
+            }));
+        }
+        Err(e) => {
+            engine.counters.aborted_replication.inc();
+            let _ = reply.send(Err(e));
+        }
+    }
 }
 
 /// Is there slack for one more execution attempt?
@@ -961,18 +1204,14 @@ mod tests {
         });
         std::thread::sleep(Duration::from_millis(5));
         let result = db.execute(
-            TxnOptions {
-                class: TxnClass::Firm,
-                relative_deadline: Duration::from_millis(10),
-                est_cost: Duration::from_micros(100),
-            },
+            TxnOptions::firm_ms(10).with_est_cost(Duration::from_micros(100)),
             |ctx| {
                 ctx.read(ObjectId(1))?;
                 Ok(None)
             },
         );
         assert_eq!(result, Err(TxnError::DeadlineExpired));
-        assert!(blocker.recv().unwrap().is_ok());
+        assert!(blocker.wait().is_ok());
         assert_eq!(db.stats().aborted_deadline, 1);
     }
 
@@ -1002,8 +1241,8 @@ mod tests {
         // ...so a later, *less urgent* arrival is rejected.
         let c = db.execute(TxnOptions::soft_ms(60_000), |_| Ok(None));
         assert_eq!(c, Err(TxnError::AdmissionDenied));
-        assert!(a.recv().unwrap().is_ok());
-        assert!(b.recv().unwrap().is_ok());
+        assert!(a.wait().is_ok());
+        assert!(b.wait().is_ok());
         assert_eq!(db.stats().aborted_admission, 1);
     }
 
@@ -1039,8 +1278,8 @@ mod tests {
             Ok(None)
         });
         assert!(urgent.is_ok());
-        assert_eq!(busy.recv().unwrap(), Err(TxnError::Evicted));
-        assert!(queued.recv().unwrap().is_ok());
+        assert_eq!(busy.wait(), Err(TxnError::Evicted));
+        assert!(queued.wait().is_ok());
         assert_eq!(db.stats().aborted_evicted, 1);
     }
 
@@ -1181,5 +1420,123 @@ mod tests {
             assert_eq!(v10, v11, "snapshot split a transaction");
         }
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn receipts_report_the_achieved_tier_per_mode() {
+        // Volatile engine: every request resolves at Volatile — the
+        // receipt is honest about the ceiling, not the ask.
+        let db = volatile_db(1);
+        db.load_initial(ObjectId(1), Value::Int(1));
+        for tier in DurabilityTier::ALL {
+            let r = db
+                .execute(TxnOptions::soft_ms(5_000).with_durability(tier), |ctx| {
+                    ctx.read(ObjectId(1))
+                })
+                .unwrap();
+            assert_eq!(r.acked_tier, DurabilityTier::Volatile, "requested {tier}");
+        }
+
+        // Contingency engine: Volatile requests skip the flush wait;
+        // anything stronger rides the synchronous group commit.
+        let dir = std::env::temp_dir().join(format!(
+            "rodain-db-tiers-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Rodain::builder()
+            .workers(2)
+            .contingency_log(&dir)
+            .build()
+            .unwrap();
+        db.load_initial(ObjectId(1), Value::Int(1));
+        let v = db
+            .execute(
+                TxnOptions::soft_ms(5_000).with_durability(DurabilityTier::Volatile),
+                |ctx| {
+                    ctx.write(ObjectId(2), Value::Int(2))?;
+                    Ok(None)
+                },
+            )
+            .unwrap();
+        assert_eq!(v.acked_tier, DurabilityTier::Volatile);
+        for tier in [DurabilityTier::MirrorAcked, DurabilityTier::DiskFsynced] {
+            let r = db
+                .execute(TxnOptions::soft_ms(5_000).with_durability(tier), |ctx| {
+                    ctx.write(ObjectId(3), Value::Int(3))?;
+                    Ok(None)
+                })
+                .unwrap();
+            assert_eq!(
+                r.acked_tier,
+                DurabilityTier::DiskFsynced,
+                "requested {tier}"
+            );
+        }
+        drop(db);
+        // Every tier's records reached the log, volatile ones included.
+        let cold = rodain_node::recover_store_from_disk(&dir).unwrap();
+        assert_eq!(cold.stats.committed, 3);
+        assert_eq!(
+            cold.store.read(ObjectId(2)).map(|(v, _)| v),
+            Some(Value::Int(2))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn submit_pipelines_and_futures_resolve_out_of_band() {
+        let db = volatile_db(2);
+        for i in 0..16u64 {
+            db.load_initial(ObjectId(i), Value::Int(0));
+        }
+        // Queue a burst of independent commits without waiting between
+        // submissions, then collect every future.
+        let futures: Vec<CommitFuture> = (0..16u64)
+            .map(|i| {
+                db.submit(TxnOptions::soft_ms(10_000), move |ctx| {
+                    let v = ctx.read(ObjectId(i))?.unwrap().as_int().unwrap();
+                    ctx.write(ObjectId(i), Value::Int(v + 1))?;
+                    Ok(None)
+                })
+            })
+            .collect();
+        for fut in futures {
+            let receipt = fut.wait().unwrap();
+            assert_eq!(receipt.acked_tier, DurabilityTier::Volatile);
+        }
+        assert_eq!(db.stats().committed, 16);
+        for i in 0..16u64 {
+            assert_eq!(db.get(ObjectId(i)), Some(Value::Int(1)));
+        }
+    }
+
+    #[test]
+    fn commit_future_polling_surfaces_the_outcome_once() {
+        let db = volatile_db(1);
+        db.load_initial(ObjectId(1), Value::Int(7));
+        let fut = db.submit(TxnOptions::soft_ms(5_000), |ctx| ctx.read(ObjectId(1)));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let outcome = loop {
+            if let Some(outcome) = fut.try_wait() {
+                break outcome;
+            }
+            assert!(Instant::now() < deadline, "future never resolved");
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(outcome.unwrap().result, Some(Value::Int(7)));
+        // The channel is one-shot: once the sender side is gone, a second
+        // poll reports shutdown-style disconnection rather than hanging.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while fut.try_wait() != Some(Err(TxnError::Shutdown)) {
+            assert!(Instant::now() < deadline, "consumed future never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let ready = CommitFuture::ready(Err(TxnError::AdmissionDenied));
+        assert_eq!(
+            ready.wait_timeout(Duration::from_millis(10)),
+            Some(Err(TxnError::AdmissionDenied))
+        );
     }
 }

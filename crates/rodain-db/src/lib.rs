@@ -41,6 +41,18 @@
 //!   the engine degrades to Contingency (or volatile) mode; a recovered
 //!   node rejoins as mirror via snapshot transfer + log catch-up.
 //!
+//! ## Tiered durability
+//!
+//! Within any mode, each transaction picks how much of the durability
+//! pipeline its commit waits for: [`TxnOptions::with_durability`] selects
+//! a [`DurabilityTier`] (`Volatile` / `MirrorAcked` / `DiskFsynced`), and
+//! [`Rodain::submit`] returns a [`CommitFuture`] that resolves when that
+//! tier's gate is satisfied — the worker is released at validation, so a
+//! connection keeps submitting while earlier commits drain through the
+//! shipper's coalesced frames. [`TxnReceipt::acked_tier`] reports the tier
+//! actually achieved (DESIGN.md §14). [`Rodain::execute`] stays the
+//! blocking `submit(..).wait()` wrapper.
+//!
 //! ## Observability
 //!
 //! Every engine publishes commit-path telemetry (latency histograms,
@@ -60,9 +72,9 @@ mod replicate;
 mod stats;
 
 pub use ctx::TxnCtx;
-pub use engine::{Rodain, RodainBuilder};
+pub use engine::{CommitFuture, Rodain, RodainBuilder};
 pub use error::{TxnAbort, TxnError};
-pub use options::{MirrorLossPolicy, TxnOptions};
+pub use options::{DurabilityTier, MirrorLossPolicy, TxnOptions};
 pub use replicate::{ReplicationMode, ShipBatchConfig};
 pub use rodain_obs::{MetricsSnapshot, Recorder};
 pub use stats::{EngineStats, TxnReceipt};

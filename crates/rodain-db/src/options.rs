@@ -1,9 +1,106 @@
 //! Per-transaction options and engine policies.
+//!
+//! This module is the one place durability choices live (DESIGN.md §14):
+//! the per-transaction [`DurabilityTier`] picked through the builder-style
+//! [`TxnOptions`] API, and the engine-level [`MirrorLossPolicy`] that says
+//! what the *strongest available* gate becomes after a mirror failure.
+//! Earlier revisions scattered these across per-engine knobs; anything a
+//! transaction can choose for itself is now a `TxnOptions` field.
 
 use rodain_sched::TxnClass;
 use std::time::Duration;
 
-/// Options of one submitted transaction.
+/// How much durability a transaction's commit waits for before its
+/// [`crate::CommitFuture`] resolves (paper §2: the mirror acknowledgement,
+/// one message round-trip, replaces the disk fsync on the commit path).
+///
+/// The tier is a *request*; the engine satisfies it with the strongest
+/// gate its current replication mode offers and reports what was actually
+/// achieved in [`crate::TxnReceipt::acked_tier`]. Tiers are ordered
+/// `Volatile < MirrorAcked < DiskFsynced`, so `acked_tier >= requested`
+/// means the request was met exactly or exceeded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DurabilityTier {
+    /// Resolve at validation: the commit is installed in main memory and
+    /// its log records are queued, but nothing is awaited. The paper's
+    /// "no logs" latency at per-transaction granularity.
+    Volatile,
+    /// Resolve when the commit group is acknowledged by the mirror (or,
+    /// when the engine runs without a mirror, flushed by the local
+    /// contingency log — a strictly stronger gate). The default.
+    MirrorAcked,
+    /// Resolve when the commit group is fsynced to a local disk log. In
+    /// mirrored mode this is the mirror acknowledgement *plus* a
+    /// synchronous flush of the fallback log when one is configured.
+    DiskFsynced,
+}
+
+impl DurabilityTier {
+    /// Every tier, in increasing durability order.
+    pub const ALL: [DurabilityTier; 3] = [
+        DurabilityTier::Volatile,
+        DurabilityTier::MirrorAcked,
+        DurabilityTier::DiskFsynced,
+    ];
+
+    /// Metric-label / display name (`volatile`, `mirror_acked`,
+    /// `disk_fsynced`) — baked into the per-tier histogram names in
+    /// `METRICS.md`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DurabilityTier::Volatile => "volatile",
+            DurabilityTier::MirrorAcked => "mirror_acked",
+            DurabilityTier::DiskFsynced => "disk_fsynced",
+        }
+    }
+
+    /// Stable wire encoding (the server protocol's tier byte).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            DurabilityTier::Volatile => 0,
+            DurabilityTier::MirrorAcked => 1,
+            DurabilityTier::DiskFsynced => 2,
+        }
+    }
+
+    /// Inverse of [`DurabilityTier::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<DurabilityTier> {
+        match code {
+            0 => Some(DurabilityTier::Volatile),
+            1 => Some(DurabilityTier::MirrorAcked),
+            2 => Some(DurabilityTier::DiskFsynced),
+            _ => None,
+        }
+    }
+}
+
+impl Default for DurabilityTier {
+    fn default() -> Self {
+        DurabilityTier::MirrorAcked
+    }
+}
+
+impl std::fmt::Display for DurabilityTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Options of one submitted transaction. Build with the constructors and
+/// `with_*` methods:
+///
+/// ```
+/// use rodain_db::{DurabilityTier, TxnOptions};
+/// use std::time::Duration;
+///
+/// let opts = TxnOptions::firm_ms(50)
+///     .with_est_cost(Duration::from_micros(100))
+///     .with_durability(DurabilityTier::Volatile);
+/// assert_eq!(opts.durability, DurabilityTier::Volatile);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TxnOptions {
     /// Scheduling class.
@@ -13,27 +110,43 @@ pub struct TxnOptions {
     /// Estimated execution cost, used by admission/eviction decisions and
     /// by the non-real-time reservation. A rough guess is fine.
     pub est_cost: Duration,
+    /// Durability gate the commit future waits for (see
+    /// [`DurabilityTier`]; default [`DurabilityTier::MirrorAcked`]).
+    pub durability: DurabilityTier,
 }
 
 impl TxnOptions {
+    /// A firm-deadline transaction with `deadline` to live.
+    #[must_use]
+    pub fn firm(deadline: Duration) -> Self {
+        TxnOptions {
+            class: TxnClass::Firm,
+            relative_deadline: deadline,
+            est_cost: Duration::from_micros(500),
+            durability: DurabilityTier::default(),
+        }
+    }
+
+    /// A soft-deadline transaction with `deadline` to its deadline.
+    #[must_use]
+    pub fn soft(deadline: Duration) -> Self {
+        TxnOptions {
+            class: TxnClass::Soft,
+            relative_deadline: deadline,
+            ..TxnOptions::firm(deadline)
+        }
+    }
+
     /// A firm-deadline transaction with `ms` milliseconds to live.
     #[must_use]
     pub fn firm_ms(ms: u64) -> Self {
-        TxnOptions {
-            class: TxnClass::Firm,
-            relative_deadline: Duration::from_millis(ms),
-            est_cost: Duration::from_micros(500),
-        }
+        TxnOptions::firm(Duration::from_millis(ms))
     }
 
     /// A soft-deadline transaction with `ms` milliseconds to its deadline.
     #[must_use]
     pub fn soft_ms(ms: u64) -> Self {
-        TxnOptions {
-            class: TxnClass::Soft,
-            relative_deadline: Duration::from_millis(ms),
-            est_cost: Duration::from_micros(500),
-        }
+        TxnOptions::soft(Duration::from_millis(ms))
     }
 
     /// A non-real-time transaction (no deadline; runs in the reserved
@@ -43,14 +156,35 @@ impl TxnOptions {
         TxnOptions {
             class: TxnClass::NonRealTime,
             relative_deadline: Duration::MAX,
-            est_cost: Duration::from_micros(500),
+            ..TxnOptions::firm(Duration::MAX)
         }
+    }
+
+    /// Override the scheduling class, keeping the other fields.
+    #[must_use]
+    pub fn with_class(mut self, class: TxnClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Override the relative deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.relative_deadline = deadline;
+        self
     }
 
     /// Override the estimated cost.
     #[must_use]
     pub fn with_est_cost(mut self, est: Duration) -> Self {
         self.est_cost = est;
+        self
+    }
+
+    /// Override the durability tier the commit future waits for.
+    #[must_use]
+    pub fn with_durability(mut self, tier: DurabilityTier) -> Self {
+        self.durability = tier;
         self
     }
 }
@@ -64,6 +198,13 @@ impl Default for TxnOptions {
 /// What the primary does when its mirror dies (paper §2: the surviving
 /// node "must store the transaction logs directly to the disk before
 /// allowing the transaction to commit").
+///
+/// This is the engine-level half of the durability options: it bounds the
+/// strongest tier the engine can deliver once degraded. With
+/// [`MirrorLossPolicy::Contingency`] a degraded commit resolves at
+/// [`DurabilityTier::DiskFsynced`]; with
+/// [`MirrorLossPolicy::ContinueVolatile`] it resolves at
+/// [`DurabilityTier::Volatile`] — and the receipt says so.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MirrorLossPolicy {
     /// Switch to Contingency mode: synchronous group-commit disk logging
@@ -87,6 +228,7 @@ mod tests {
         let f = TxnOptions::firm_ms(50);
         assert_eq!(f.class, TxnClass::Firm);
         assert_eq!(f.relative_deadline, Duration::from_millis(50));
+        assert_eq!(f.durability, DurabilityTier::MirrorAcked);
         let s = TxnOptions::soft_ms(10);
         assert_eq!(s.class, TxnClass::Soft);
         let n = TxnOptions::non_real_time();
@@ -94,5 +236,27 @@ mod tests {
         let c = f.with_est_cost(Duration::from_millis(2));
         assert_eq!(c.est_cost, Duration::from_millis(2));
         assert_eq!(TxnOptions::default().class, TxnClass::Firm);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let opts = TxnOptions::soft_ms(100)
+            .with_class(TxnClass::Firm)
+            .with_deadline(Duration::from_millis(25))
+            .with_durability(DurabilityTier::DiskFsynced);
+        assert_eq!(opts.class, TxnClass::Firm);
+        assert_eq!(opts.relative_deadline, Duration::from_millis(25));
+        assert_eq!(opts.durability, DurabilityTier::DiskFsynced);
+    }
+
+    #[test]
+    fn tiers_are_ordered_and_roundtrip_their_codes() {
+        assert!(DurabilityTier::Volatile < DurabilityTier::MirrorAcked);
+        assert!(DurabilityTier::MirrorAcked < DurabilityTier::DiskFsynced);
+        for tier in DurabilityTier::ALL {
+            assert_eq!(DurabilityTier::from_code(tier.code()), Some(tier));
+            assert_eq!(tier.to_string(), tier.label());
+        }
+        assert_eq!(DurabilityTier::from_code(9), None);
     }
 }

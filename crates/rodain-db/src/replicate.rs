@@ -10,7 +10,7 @@
 //! commit.
 
 use crate::error::TxnError;
-use crate::options::MirrorLossPolicy;
+use crate::options::{DurabilityTier, MirrorLossPolicy};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -133,10 +133,13 @@ impl ReplicationMode {
     }
 }
 
-/// A commit ticket: resolves when the commit group is durable/acknowledged.
-pub(crate) type CommitTicket = Receiver<Result<(), TxnError>>;
+/// A commit ticket: resolves when the commit group is durable/acknowledged,
+/// carrying the [`DurabilityTier`] the resolution actually achieved (mirror
+/// ack → `MirrorAcked`, local group flush → `DiskFsynced`, degraded with no
+/// fallback → `Volatile`).
+pub(crate) type CommitTicket = Receiver<Result<DurabilityTier, TxnError>>;
 
-fn resolved(result: Result<(), TxnError>) -> CommitTicket {
+fn resolved(result: Result<DurabilityTier, TxnError>) -> CommitTicket {
     let (tx, rx) = bounded(1);
     let _ = tx.send(result);
     rx
@@ -237,37 +240,81 @@ impl Replicator {
     }
 
     /// Ship a commit group; the ticket resolves when the transaction may
-    /// report success to the client.
-    pub(crate) fn ship(&self, csn: Csn, records: Vec<LogRecord>) -> CommitTicket {
+    /// report success to the client at the requested [`DurabilityTier`]
+    /// (or the strongest tier this mode can actually deliver). Every
+    /// commit group ships regardless of tier — cumulative highest-CSN
+    /// acks require dense CSNs on the wire — the tier only decides which
+    /// gate the ticket waits for.
+    pub(crate) fn ship(
+        &self,
+        csn: Csn,
+        records: Vec<LogRecord>,
+        tier: DurabilityTier,
+    ) -> CommitTicket {
         match self {
-            Replicator::Volatile => resolved(Ok(())),
+            Replicator::Volatile => resolved(Ok(DurabilityTier::Volatile)),
             Replicator::Contingency(group) => {
+                if tier == DurabilityTier::Volatile {
+                    // Volatile tier skips the flush wait: the records join
+                    // the log writer's queue and ride a later flush.
+                    return resolved(
+                        group
+                            .append_async(records)
+                            .map(|()| DurabilityTier::Volatile)
+                            .map_err(|e| TxnError::Replication(e.to_string())),
+                    );
+                }
                 // Synchronous local disk: the log writer thread batches
                 // concurrent committers into one flush (group commit).
                 resolved(
                     group
                         .commit_sync(records)
+                        .map(|()| DurabilityTier::DiskFsynced)
                         .map_err(|e| TxnError::Replication(e.to_string())),
                 )
             }
-            Replicator::Mirrored(link) => link.ship(csn, records),
+            Replicator::Mirrored(link) => link.ship(csn, records, tier),
         }
+    }
+
+    /// Synchronously flush the local disk log, if this mode has one — how
+    /// the completer upgrades a mirror-acked commit to
+    /// [`DurabilityTier::DiskFsynced`] (its records were appended to the
+    /// fallback at ship time; the flush covers them). `None` when no local
+    /// log exists and the upgrade is impossible.
+    pub(crate) fn fsync_local(&self) -> Option<Result<(), TxnError>> {
+        let group: &GroupCommitLog = match self {
+            Replicator::Contingency(group) => group,
+            Replicator::Mirrored(link) => link.shared.fallback.as_deref()?,
+            Replicator::Volatile => return None,
+        };
+        Some(
+            group
+                .flush_sync()
+                .map_err(|e| TxnError::Replication(e.to_string())),
+        )
     }
 }
 
 struct PendingCommit {
     records: Vec<LogRecord>,
-    done: Sender<Result<(), TxnError>>,
+    done: Sender<Result<DurabilityTier, TxnError>>,
     /// When the commit group left the primary — the ack's arrival closes
     /// the `mirror_ship_rtt_ns` measurement.
     sent_at: Instant,
+    /// The records were already appended to the fallback log at ship time
+    /// (a `DiskFsynced`-tier commit): the degraded path must flush, not
+    /// append again — a duplicate CSN in the log would replay twice.
+    on_disk: bool,
 }
 
 /// A validated commit group queued for the shipper thread.
 struct ShipRequest {
     csn: u64,
     records: Vec<LogRecord>,
-    done: Sender<Result<(), TxnError>>,
+    done: Sender<Result<DurabilityTier, TxnError>>,
+    /// See [`PendingCommit::on_disk`].
+    on_disk: bool,
 }
 
 /// State shared between the [`MirrorLink`] handle, the ack-reader thread
@@ -297,13 +344,28 @@ impl LinkShared {
         }
     }
 
-    /// Resolve one commit group through the degraded path.
-    fn degraded_result(&self, records: Vec<LogRecord>) -> Result<(), TxnError> {
+    /// Resolve one commit group through the degraded path. Returns the
+    /// tier the degraded resolution achieves: `DiskFsynced` through the
+    /// fallback log, `Volatile` when there is none — the receipt reports
+    /// it either way.
+    fn degraded_result(
+        &self,
+        records: Vec<LogRecord>,
+        on_disk: bool,
+    ) -> Result<DurabilityTier, TxnError> {
         match &self.fallback {
-            Some(group) => group
-                .commit_sync(records)
-                .map_err(|e| TxnError::Replication(e.to_string())),
-            None => Ok(()),
+            Some(group) => {
+                let flushed = if on_disk {
+                    // Already appended at ship time; only the flush is owed.
+                    group.flush_sync()
+                } else {
+                    group.commit_sync(records)
+                };
+                flushed
+                    .map(|()| DurabilityTier::DiskFsynced)
+                    .map_err(|e| TxnError::Replication(e.to_string()))
+            }
+            None => Ok(DurabilityTier::Volatile),
         }
     }
 
@@ -315,7 +377,7 @@ impl LinkShared {
             map.drain().map(|(_, p)| p).collect()
         };
         for p in drained {
-            let result = self.degraded_result(p.records);
+            let result = self.degraded_result(p.records, p.on_disk);
             let _ = p.done.send(result);
         }
     }
@@ -429,24 +491,52 @@ impl MirrorLink {
         self.shared.acks.get()
     }
 
-    fn ship_degraded(&self, records: Vec<LogRecord>) -> CommitTicket {
-        resolved(self.shared.degraded_result(records))
+    fn ship_degraded(&self, records: Vec<LogRecord>, on_disk: bool) -> CommitTicket {
+        resolved(self.shared.degraded_result(records, on_disk))
     }
 
-    fn ship(&self, csn: Csn, records: Vec<LogRecord>) -> CommitTicket {
+    fn ship(&self, csn: Csn, records: Vec<LogRecord>, tier: DurabilityTier) -> CommitTicket {
         if self.is_down() {
-            return self.ship_degraded(records);
+            return self.ship_degraded(records, false);
+        }
+        // A DiskFsynced request also appends to the fallback log *before*
+        // shipping: the mirror ack then only owes a local flush (the
+        // completer's `fsync_local` upgrade), and a mark-down drain flushes
+        // instead of re-appending (`on_disk`). Without a fallback the
+        // strongest deliverable tier is MirrorAcked — the receipt says so.
+        let mut on_disk = false;
+        if tier == DurabilityTier::DiskFsynced {
+            if let Some(group) = &self.shared.fallback {
+                match group.append_async(records.clone()) {
+                    Ok(()) => on_disk = true,
+                    Err(e) => {
+                        // The local log is broken, so the tier is
+                        // unachievable — but the group must still ship to
+                        // keep wire CSNs dense for cumulative acks. Ship
+                        // with a throwaway ticket and fail the commit.
+                        let (done, _drop_rx) = bounded(1);
+                        let _ = self.ship_tx.send(ShipRequest {
+                            csn: csn.0,
+                            records,
+                            done,
+                            on_disk: false,
+                        });
+                        return resolved(Err(TxnError::Replication(e.to_string())));
+                    }
+                }
+            }
         }
         let (done, rx) = bounded(1);
         match self.ship_tx.send(ShipRequest {
             csn: csn.0,
             records,
             done,
+            on_disk,
         }) {
             Ok(()) => rx,
             // Shipper already stopped (link torn down mid-call): the
             // request still owns its records, resolve it right here.
-            Err(send_err) => self.ship_degraded(send_err.0.records),
+            Err(send_err) => self.ship_degraded(send_err.0.records, on_disk),
         }
     }
 }
@@ -489,7 +579,7 @@ fn ack_loop(shared: &LinkShared, rtt: &Histogram) {
                     shared.acks.add(batch.len() as u64);
                     for p in batch {
                         rtt.record_elapsed(p.sent_at);
-                        let _ = p.done.send(Ok(()));
+                        let _ = p.done.send(Ok(DurabilityTier::MirrorAcked));
                     }
                 }
                 // Heartbeats and anything else just prove liveness,
@@ -566,7 +656,7 @@ impl Shipper {
 
     fn admit(&mut self, req: ShipRequest) {
         if self.shared.down.load(Ordering::Acquire) {
-            let result = self.shared.degraded_result(req.records);
+            let result = self.shared.degraded_result(req.records, req.on_disk);
             let _ = req.done.send(result);
         } else {
             self.holdback.insert(req.csn, req);
@@ -618,8 +708,7 @@ impl Shipper {
                     break;
                 }
                 if !reqs.is_empty()
-                    && (n_records >= self.batch.max_records
-                        || approx_bytes >= self.batch.max_bytes)
+                    && (n_records >= self.batch.max_records || approx_bytes >= self.batch.max_bytes)
                 {
                     break;
                 }
@@ -662,6 +751,7 @@ impl Shipper {
                         records: req.records,
                         done: req.done,
                         sent_at,
+                        on_disk: req.on_disk,
                     },
                 );
             }
@@ -678,11 +768,11 @@ impl Shipper {
     fn drain_all(&mut self) {
         let held = std::mem::take(&mut self.holdback);
         for (_, req) in held {
-            let result = self.shared.degraded_result(req.records);
+            let result = self.shared.degraded_result(req.records, req.on_disk);
             let _ = req.done.send(result);
         }
         while let Ok(req) = self.queue.try_recv() {
-            let result = self.shared.degraded_result(req.records);
+            let result = self.shared.degraded_result(req.records, req.on_disk);
             let _ = req.done.send(result);
         }
     }
@@ -739,8 +829,9 @@ mod tests {
         let (link, mirror) = mirrored_link(1);
         // Ship CSNs 1..=4 in order; the shipper coalesces them into one
         // or more contiguous frames.
-        let tickets: Vec<CommitTicket> =
-            (1..=4).map(|c| link.ship(Csn(c), commit_group(c))).collect();
+        let tickets: Vec<CommitTicket> = (1..=4)
+            .map(|c| link.ship(Csn(c), commit_group(c), DurabilityTier::MirrorAcked))
+            .collect();
         let mut got = Vec::new();
         while got.len() < 4 {
             got.extend(next_records(&mirror));
@@ -759,7 +850,7 @@ mod tests {
         for t in &tickets {
             assert_eq!(
                 t.recv_timeout(Duration::from_secs(5)).unwrap(),
-                Ok(()),
+                Ok(DurabilityTier::MirrorAcked),
                 "a coalesced ack must resolve every ticket at or below it"
             );
         }
@@ -772,9 +863,9 @@ mod tests {
         let (link, mirror) = mirrored_link(1);
         // Workers can reach ship() out of CSN order; the holdback must
         // restore dense order before anything hits the wire.
-        let t3 = link.ship(Csn(3), commit_group(3));
-        let t1 = link.ship(Csn(1), commit_group(1));
-        let t2 = link.ship(Csn(2), commit_group(2));
+        let t3 = link.ship(Csn(3), commit_group(3), DurabilityTier::MirrorAcked);
+        let t1 = link.ship(Csn(1), commit_group(1), DurabilityTier::MirrorAcked);
+        let t2 = link.ship(Csn(2), commit_group(2), DurabilityTier::MirrorAcked);
         let mut got = Vec::new();
         while got.len() < 3 {
             got.extend(next_records(&mirror));
@@ -798,8 +889,14 @@ mod tests {
                 .encode(),
             )
             .unwrap();
-        assert_eq!(t1.recv_timeout(Duration::from_secs(5)).unwrap(), Ok(()));
-        assert_eq!(t2.recv_timeout(Duration::from_secs(5)).unwrap(), Ok(()));
+        assert_eq!(
+            t1.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Ok(DurabilityTier::MirrorAcked)
+        );
+        assert_eq!(
+            t2.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Ok(DurabilityTier::MirrorAcked)
+        );
         assert!(
             t3.recv_timeout(Duration::from_millis(100)).is_err(),
             "csn 3 must stay pending past a partial ack"
@@ -815,7 +912,10 @@ mod tests {
                 .encode(),
             )
             .unwrap();
-        assert_eq!(t3.recv_timeout(Duration::from_secs(5)).unwrap(), Ok(()));
+        assert_eq!(
+            t3.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Ok(DurabilityTier::MirrorAcked)
+        );
         assert_eq!(link.acks(), 3);
     }
 
@@ -824,9 +924,9 @@ mod tests {
         let (link, mirror) = mirrored_link(1);
         // CSN 3 with the CSN-2 gap never filled: stuck in the holdback,
         // never reaching the wire.
-        let stuck = link.ship(Csn(3), commit_group(3));
+        let stuck = link.ship(Csn(3), commit_group(3), DurabilityTier::MirrorAcked);
         // CSN 1 ships alone, but the mirror never acks it.
-        let sent = link.ship(Csn(1), commit_group(1));
+        let sent = link.ship(Csn(1), commit_group(1), DurabilityTier::MirrorAcked);
         let first = next_records(&mirror);
         assert_eq!(first.len(), 1, "csn 3 must be held back across the gap");
         assert!(stuck.recv_timeout(Duration::from_millis(50)).is_err());
@@ -836,14 +936,20 @@ mod tests {
         link.mark_down();
         assert_eq!(
             sent.recv_timeout(Duration::from_secs(5)).unwrap(),
-            Ok(()),
-            "volatile fallback resolves pending tickets as success"
+            Ok(DurabilityTier::Volatile),
+            "ContinueVolatile fallback resolves pending tickets as volatile success"
         );
-        assert_eq!(stuck.recv_timeout(Duration::from_secs(5)).unwrap(), Ok(()));
+        assert_eq!(
+            stuck.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Ok(DurabilityTier::Volatile)
+        );
         assert!(link.is_down());
         // Later ships resolve degraded without touching the dead link.
-        let late = link.ship(Csn(4), commit_group(4));
-        assert_eq!(late.recv_timeout(Duration::from_secs(5)).unwrap(), Ok(()));
+        let late = link.ship(Csn(4), commit_group(4), DurabilityTier::MirrorAcked);
+        assert_eq!(
+            late.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Ok(DurabilityTier::Volatile)
+        );
     }
 
     #[test]
@@ -860,8 +966,9 @@ mod tests {
             },
         )
         .unwrap();
-        let tickets: Vec<CommitTicket> =
-            (1..=6).map(|c| link.ship(Csn(c), commit_group(c))).collect();
+        let tickets: Vec<CommitTicket> = (1..=6)
+            .map(|c| link.ship(Csn(c), commit_group(c), DurabilityTier::MirrorAcked))
+            .collect();
         let mut frames = 0;
         let mut got = 0;
         while got < 6 {
@@ -885,7 +992,69 @@ mod tests {
             )
             .unwrap();
         for t in &tickets {
-            assert_eq!(t.recv_timeout(Duration::from_secs(5)).unwrap(), Ok(()));
+            assert_eq!(
+                t.recv_timeout(Duration::from_secs(5)).unwrap(),
+                Ok(DurabilityTier::MirrorAcked)
+            );
         }
+    }
+
+    #[test]
+    fn disk_fsynced_tier_preappends_to_fallback_and_survives_mark_down() {
+        let dir = std::env::temp_dir().join(format!(
+            "rodain-tier-fallback-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (primary_side, mirror_side) = InProcTransport::pair();
+        let link = MirrorLink::new(
+            Arc::new(primary_side),
+            &MirrorLossPolicy::Contingency { dir: dir.clone() },
+            &Recorder::default(),
+            Csn(1),
+            ShipBatchConfig::default(),
+        )
+        .unwrap();
+        let mirror = Arc::new(mirror_side);
+        // A DiskFsynced-tier group still ships over the wire (CSN density)
+        // and resolves MirrorAcked on the ack; the fsync upgrade happens in
+        // the engine's completer, not here.
+        let t1 = link.ship(Csn(1), commit_group(1), DurabilityTier::DiskFsynced);
+        let got = next_records(&mirror);
+        assert_eq!(got.len(), 1);
+        mirror
+            .send(
+                Message::CommitAck {
+                    txn: TxnId(101),
+                    csn: Csn(1),
+                }
+                .encode(),
+            )
+            .unwrap();
+        assert_eq!(
+            t1.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Ok(DurabilityTier::MirrorAcked)
+        );
+        // After mark-down, an un-acked DiskFsynced group must resolve
+        // through the fallback as DiskFsynced — flushed, not re-appended.
+        let t2 = link.ship(Csn(2), commit_group(2), DurabilityTier::DiskFsynced);
+        let _ = next_records(&mirror);
+        link.mark_down();
+        assert_eq!(
+            t2.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Ok(DurabilityTier::DiskFsynced)
+        );
+        // Degraded-mode ships keep resolving DiskFsynced via the fallback.
+        let t3 = link.ship(Csn(3), commit_group(3), DurabilityTier::MirrorAcked);
+        assert_eq!(
+            t3.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Ok(DurabilityTier::DiskFsynced)
+        );
+        drop(link);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,5 +1,6 @@
 //! Receipts and engine statistics.
 
+use crate::options::DurabilityTier;
 use rodain_obs::{Counter, Recorder};
 use rodain_occ::{CcStats, Csn};
 use rodain_store::{Ts, Value};
@@ -20,6 +21,12 @@ pub struct TxnReceipt {
     pub response: Duration,
     /// Commit-gate wait (validation accept → durable/acknowledged).
     pub commit_wait: Duration,
+    /// The durability actually achieved when the commit future resolved.
+    /// At least the requested [`crate::TxnOptions::durability`] whenever
+    /// the engine's mode can deliver it; weaker only when it cannot (e.g.
+    /// a volatile engine, or a mirror lost under
+    /// [`crate::MirrorLossPolicy::ContinueVolatile`]) — see DESIGN.md §14.
+    pub acked_tier: DurabilityTier,
 }
 
 /// The engine's outcome counters, registered on the engine's

@@ -3,19 +3,28 @@
 use crate::protocol::{
     read_frame, write_frame, MetricsFormat, Outcome, Request, RequestOp, Response,
 };
+use rodain_db::DurabilityTier;
 use rodain_store::{ObjectId, Value};
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// A blocking client connection.
 ///
-/// Responses arrive in request order, so single-request helpers
-/// ([`Client::translate`], [`Client::provision`], …) simply read the next
-/// frame; [`Client::pipeline`] sends a burst and collects all replies.
+/// Responses are correlated by request id: the server may interleave
+/// frames (deferred durability acknowledgements, `Stats` answered ahead of
+/// a slow commit), so every receive path matches on id and stashes frames
+/// that answer other outstanding requests. Single-request helpers
+/// ([`Client::translate`], [`Client::provision`], …) block for their own
+/// outcome; [`Client::pipeline`] sends a burst and collects all replies;
+/// [`Client::submit_deferred`] + [`Client::wait_durable`] split a commit
+/// into submission and durability so the connection keeps streaming.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
+    /// Final outcomes received while waiting for a different id.
+    stash: HashMap<u64, Outcome>,
 }
 
 impl Client {
@@ -29,15 +38,24 @@ impl Client {
             reader,
             writer,
             next_id: 1,
+            stash: HashMap::new(),
         })
     }
 
-    fn send(&mut self, deadline_ms: u32, op: RequestOp) -> std::io::Result<u64> {
+    fn send(
+        &mut self,
+        deadline_ms: u32,
+        tier: DurabilityTier,
+        deferred: bool,
+        op: RequestOp,
+    ) -> std::io::Result<u64> {
         let id = self.next_id;
         self.next_id += 1;
         let request = Request {
             id,
             deadline_ms,
+            tier,
+            deferred,
             op,
         };
         write_frame(&mut self.writer, &request.encode())?;
@@ -51,12 +69,61 @@ impl Client {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
 
-    /// One request, blocking for its outcome.
+    /// Block until the *final* outcome for `id` arrives. `CommitPending`
+    /// frames are informational and skipped; final frames for other ids
+    /// are stashed for their own waiters.
+    fn recv_matching(&mut self, id: u64) -> std::io::Result<Outcome> {
+        if let Some(outcome) = self.stash.remove(&id) {
+            return Ok(outcome);
+        }
+        loop {
+            let response = self.recv()?;
+            if matches!(response.outcome, Outcome::CommitPending) {
+                continue;
+            }
+            if response.id == id {
+                return Ok(response.outcome);
+            }
+            self.stash.insert(response.id, response.outcome);
+        }
+    }
+
+    /// One request, blocking for its outcome at the default durability
+    /// tier.
     pub fn request(&mut self, deadline_ms: u32, op: RequestOp) -> std::io::Result<Outcome> {
-        let id = self.send(deadline_ms, op)?;
-        let response = self.recv()?;
-        debug_assert_eq!(response.id, id);
-        Ok(response.outcome)
+        self.request_tiered(deadline_ms, DurabilityTier::default(), op)
+    }
+
+    /// One request, blocking until the chosen durability tier's gate is
+    /// satisfied.
+    pub fn request_tiered(
+        &mut self,
+        deadline_ms: u32,
+        tier: DurabilityTier,
+        op: RequestOp,
+    ) -> std::io::Result<Outcome> {
+        let id = self.send(deadline_ms, tier, false, op)?;
+        self.recv_matching(id)
+    }
+
+    /// Submit a deferred request: returns its id immediately so the
+    /// connection can keep submitting; collect the durable outcome later
+    /// with [`Client::wait_durable`]. The server acknowledges validation
+    /// with `CommitPending` and answers `CommitDurable` (carrying the
+    /// achieved tier and CSN) when the tier gate resolves.
+    pub fn submit_deferred(
+        &mut self,
+        deadline_ms: u32,
+        tier: DurabilityTier,
+        op: RequestOp,
+    ) -> std::io::Result<u64> {
+        self.send(deadline_ms, tier, true, op)
+    }
+
+    /// Block for the final outcome of a request submitted with
+    /// [`Client::submit_deferred`].
+    pub fn wait_durable(&mut self, id: u64) -> std::io::Result<Outcome> {
+        self.recv_matching(id)
     }
 
     /// Translate a service number (read-only service provision).
@@ -110,17 +177,15 @@ impl Client {
         self.request(0, RequestOp::Metrics { format })
     }
 
-    /// Send a burst of pipelined requests and collect all responses
-    /// (returned in request order).
+    /// Send a burst of pipelined requests and collect all responses,
+    /// returned in request order regardless of the order the server
+    /// resolves them in (correlation is by request id).
     pub fn pipeline(&mut self, requests: Vec<(u32, RequestOp)>) -> std::io::Result<Vec<Outcome>> {
-        let n = requests.len();
-        for (deadline_ms, op) in requests {
-            self.send(deadline_ms, op)?;
-        }
-        let mut outcomes = Vec::with_capacity(n);
-        for _ in 0..n {
-            outcomes.push(self.recv()?.outcome);
-        }
-        Ok(outcomes)
+        let tier = DurabilityTier::default();
+        let ids: Vec<u64> = requests
+            .into_iter()
+            .map(|(deadline_ms, op)| self.send(deadline_ms, tier, false, op))
+            .collect::<std::io::Result<_>>()?;
+        ids.into_iter().map(|id| self.recv_matching(id)).collect()
     }
 }

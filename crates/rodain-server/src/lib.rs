@@ -4,9 +4,12 @@
 //! Request Interpreter** accepts "requests and new connections" from
 //! applications and returns "query and update results". This crate provides:
 //!
-//! * the client↔node [`protocol`] — length-prefixed request/response frames
-//!   carrying the number-translation service operations plus generic
-//!   object reads/writes, each tagged with a firm deadline;
+//! * the client↔node [`protocol`] (version [`PROTOCOL_VERSION`]) —
+//!   length-prefixed request/response frames carrying the
+//!   number-translation service operations plus generic object
+//!   reads/writes, each tagged with a firm deadline, a
+//!   [`rodain_db::DurabilityTier`] and an optional *deferred* flag that
+//!   splits the answer into `CommitPending` + `CommitDurable` frames;
 //! * [`Server`] — a thread-per-connection TCP front-end that maps requests
 //!   onto [`rodain_db::Rodain`] transactions (requests on one connection may
 //!   be pipelined; responses carry the request id and may return out of
@@ -14,7 +17,9 @@
 //!   [`rodain_shard::ShardedRodain`] cluster instead, routing each request
 //!   to the shard owning its object and answering `Stats`/`Metrics` with
 //!   cluster-wide merges;
-//! * [`Client`] — a blocking client with pipelining support.
+//! * [`Client`] — a blocking client with id-correlated pipelining and
+//!   deferred-commit support ([`Client::submit_deferred`] /
+//!   [`Client::wait_durable`]).
 //!
 //! Deadlines travel with the request: a request that cannot be served
 //! within its firm deadline is answered with a `Miss` outcome, mirroring
@@ -38,5 +43,7 @@ pub mod protocol;
 mod server;
 
 pub use client::Client;
-pub use protocol::{MetricsFormat, Outcome, Request, RequestOp, Response};
+pub use protocol::{
+    MetricsFormat, Outcome, ProtocolError, Request, RequestOp, Response, PROTOCOL_VERSION,
+};
 pub use server::{Backend, Server, ServerHandle, ServerStats};

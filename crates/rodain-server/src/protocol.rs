@@ -1,20 +1,42 @@
-//! The client↔node wire protocol.
+//! The client↔node wire protocol, version 2.
 //!
 //! Frames are `u32` little-endian length + body. Request body:
 //!
 //! ```text
-//! id u64 · deadline_ms u32 · op tag u8 · op fields
+//! version u8 (=2) · id u64 · deadline_ms u32 · tier u8 · op tag u8 · op fields
 //! ```
 //!
-//! Response body: `id u64 · outcome tag u8 · fields`.
+//! The tier byte carries the requested [`DurabilityTier`] in bits 0–1
+//! ([`DurabilityTier::code`]) and the *deferred* flag in bit 7: a deferred
+//! request is answered immediately with [`Outcome::CommitPending`] once the
+//! transaction validates, followed by a second, id-matched frame
+//! ([`Outcome::CommitDurable`] or a failure outcome) when the chosen tier's
+//! gate resolves — so one connection can keep submitting while earlier
+//! commits drain.
+//!
+//! Response body: `version u8 (=2) · id u64 · outcome tag u8 · fields`.
+//!
+//! The version byte is checked *first*: decoding a frame whose leading byte
+//! is not [`PROTOCOL_VERSION`] fails with [`ProtocolError::Version`] before
+//! any other field is touched, so mixed-version deployments fail loudly
+//! instead of misparsing. The complete wire-tag catalog lives in
+//! `DESIGN.md` §14.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rodain_db::DurabilityTier;
 use rodain_log::{decode_value, encode_value};
 use rodain_store::{ObjectId, Value};
 use std::fmt;
 
 /// Upper bound on a protocol frame.
 pub const MAX_REQUEST_BYTES: usize = 4 * 1024 * 1024;
+
+/// Wire protocol version; the first byte of every frame body.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// Bit 7 of the request tier byte: answer `CommitPending` at validation,
+/// then a second durable frame when the tier gate resolves.
+const TIER_DEFERRED_BIT: u8 = 0x80;
 
 /// Operations a client may request.
 #[derive(Clone, Debug, PartialEq)]
@@ -89,12 +111,31 @@ impl MetricsFormat {
 /// A client request.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Request {
-    /// Client-chosen correlation id (echoed in the response).
+    /// Client-chosen correlation id (echoed in every response frame).
     pub id: u64,
     /// Relative firm deadline in milliseconds; 0 = non-real-time.
     pub deadline_ms: u32,
+    /// Durability tier the commit should wait for.
+    pub tier: DurabilityTier,
+    /// Answer `CommitPending` at validation and the durable outcome later,
+    /// instead of holding the response until the tier gate resolves.
+    pub deferred: bool,
     /// The operation.
     pub op: RequestOp,
+}
+
+impl Request {
+    /// A blocking request at the default tier — the v1 behaviour.
+    #[must_use]
+    pub fn new(id: u64, deadline_ms: u32, op: RequestOp) -> Request {
+        Request {
+            id,
+            deadline_ms,
+            tier: DurabilityTier::default(),
+            deferred: false,
+            op,
+        }
+    }
 }
 
 /// Outcome of a request.
@@ -111,6 +152,20 @@ pub enum Outcome {
     Overloaded,
     /// Any other failure, with a human-readable reason.
     Failed(String),
+    /// First frame of a deferred request: the transaction validated and
+    /// its commit is draining towards the requested tier. A second frame
+    /// with the same id follows.
+    CommitPending,
+    /// Final frame of a deferred request: the commit reached `tier`.
+    CommitDurable {
+        /// The durability tier actually achieved
+        /// ([`rodain_db::TxnReceipt::acked_tier`]).
+        tier: DurabilityTier,
+        /// Commit sequence number.
+        csn: u64,
+        /// The operation's payload (as in [`Outcome::Ok`]).
+        value: Value,
+    },
 }
 
 /// A response frame.
@@ -125,6 +180,11 @@ pub struct Response {
 /// Protocol decode errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProtocolError {
+    /// The frame's leading version byte is not [`PROTOCOL_VERSION`].
+    Version {
+        /// The version byte actually received.
+        got: u8,
+    },
     /// Structurally invalid frame.
     Malformed(&'static str),
     /// Unknown tag byte.
@@ -134,6 +194,9 @@ pub enum ProtocolError {
 impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ProtocolError::Version { got } => {
+                write!(f, "protocol version {got} (expected {PROTOCOL_VERSION})")
+            }
             ProtocolError::Malformed(w) => write!(f, "malformed frame: {w}"),
             ProtocolError::UnknownTag(t) => write!(f, "unknown tag {t}"),
         }
@@ -141,6 +204,18 @@ impl fmt::Display for ProtocolError {
 }
 
 impl std::error::Error for ProtocolError {}
+
+/// Consume and check the leading version byte — the first decode step for
+/// both frame kinds.
+fn check_version(buf: &mut Bytes) -> Result<(), ProtocolError> {
+    if buf.remaining() < 1 {
+        return Err(ProtocolError::Malformed("empty frame"));
+    }
+    match buf.get_u8() {
+        PROTOCOL_VERSION => Ok(()),
+        got => Err(ProtocolError::Version { got }),
+    }
+}
 
 fn get_string(buf: &mut Bytes, what: &'static str) -> Result<String, ProtocolError> {
     if buf.remaining() < 4 {
@@ -163,8 +238,14 @@ impl Request {
     #[must_use]
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(PROTOCOL_VERSION);
         buf.put_u64_le(self.id);
         buf.put_u32_le(self.deadline_ms);
+        let mut tier_byte = self.tier.code();
+        if self.deferred {
+            tier_byte |= TIER_DEFERRED_BIT;
+        }
+        buf.put_u8(tier_byte);
         match &self.op {
             RequestOp::Translate { number } => {
                 buf.put_u8(1);
@@ -195,11 +276,16 @@ impl Request {
 
     /// Decode a frame body.
     pub fn decode(mut buf: Bytes) -> Result<Request, ProtocolError> {
-        if buf.remaining() < 13 {
+        check_version(&mut buf)?;
+        if buf.remaining() < 14 {
             return Err(ProtocolError::Malformed("request header"));
         }
         let id = buf.get_u64_le();
         let deadline_ms = buf.get_u32_le();
+        let tier_byte = buf.get_u8();
+        let tier = DurabilityTier::from_code(tier_byte & !TIER_DEFERRED_BIT)
+            .ok_or(ProtocolError::Malformed("durability tier"))?;
+        let deferred = tier_byte & TIER_DEFERRED_BIT != 0;
         let op = match buf.get_u8() {
             1 => {
                 if buf.remaining() < 8 {
@@ -252,6 +338,8 @@ impl Request {
         Ok(Request {
             id,
             deadline_ms,
+            tier,
+            deferred,
             op,
         })
     }
@@ -262,6 +350,7 @@ impl Response {
     #[must_use]
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(24);
+        buf.put_u8(PROTOCOL_VERSION);
         buf.put_u64_le(self.id);
         match &self.outcome {
             Outcome::Ok(value) => {
@@ -275,12 +364,20 @@ impl Response {
                 buf.put_u8(5);
                 put_string(&mut buf, reason);
             }
+            Outcome::CommitPending => buf.put_u8(6),
+            Outcome::CommitDurable { tier, csn, value } => {
+                buf.put_u8(7);
+                buf.put_u8(tier.code());
+                buf.put_u64_le(*csn);
+                encode_value(&mut buf, value);
+            }
         }
         buf.freeze()
     }
 
     /// Decode a frame body.
     pub fn decode(mut buf: Bytes) -> Result<Response, ProtocolError> {
+        check_version(&mut buf)?;
         if buf.remaining() < 9 {
             return Err(ProtocolError::Malformed("response header"));
         }
@@ -293,6 +390,18 @@ impl Response {
             3 => Outcome::MissDeadline,
             4 => Outcome::Overloaded,
             5 => Outcome::Failed(get_string(&mut buf, "failure reason")?),
+            6 => Outcome::CommitPending,
+            7 => {
+                if buf.remaining() < 9 {
+                    return Err(ProtocolError::Malformed("commit durable body"));
+                }
+                let tier = DurabilityTier::from_code(buf.get_u8())
+                    .ok_or(ProtocolError::Malformed("durable tier"))?;
+                let csn = buf.get_u64_le();
+                let value = decode_value(&mut buf)
+                    .map_err(|_| ProtocolError::Malformed("durable value"))?;
+                Outcome::CommitDurable { tier, csn, value }
+            }
             other => return Err(ProtocolError::UnknownTag(other)),
         };
         if buf.has_remaining() {
@@ -330,14 +439,12 @@ mod tests {
 
     fn sample_requests() -> Vec<Request> {
         vec![
-            Request {
-                id: 1,
-                deadline_ms: 50,
-                op: RequestOp::Translate { number: 42 },
-            },
+            Request::new(1, 50, RequestOp::Translate { number: 42 }),
             Request {
                 id: 2,
                 deadline_ms: 150,
+                tier: DurabilityTier::DiskFsynced,
+                deferred: true,
                 op: RequestOp::Provision {
                     number: 42,
                     address: "+358-40-555".into(),
@@ -346,36 +453,38 @@ mod tests {
             Request {
                 id: 3,
                 deadline_ms: 0,
+                tier: DurabilityTier::Volatile,
+                deferred: false,
                 op: RequestOp::Get { oid: ObjectId(9) },
             },
             Request {
                 id: 4,
                 deadline_ms: 75,
+                tier: DurabilityTier::MirrorAcked,
+                deferred: true,
                 op: RequestOp::Put {
                     oid: ObjectId(9),
                     value: Value::Record(vec![Value::Int(1), Value::Text("x".into())]),
                 },
             },
-            Request {
-                id: 5,
-                deadline_ms: 0,
-                op: RequestOp::Stats,
-            },
-            Request {
-                id: 6,
-                deadline_ms: 0,
-                op: RequestOp::Metrics {
+            Request::new(5, 0, RequestOp::Stats),
+            Request::new(
+                6,
+                0,
+                RequestOp::Metrics {
                     format: MetricsFormat::Prometheus,
                 },
-            },
+            ),
         ]
     }
 
     #[test]
     fn bad_metrics_format_rejected() {
         let mut buf = BytesMut::new();
+        buf.put_u8(PROTOCOL_VERSION);
         buf.put_u64_le(1);
         buf.put_u32_le(0);
+        buf.put_u8(0);
         buf.put_u8(6);
         buf.put_u8(9);
         assert!(matches!(
@@ -414,6 +523,18 @@ mod tests {
                 id: 5,
                 outcome: Outcome::Failed("boom".into()),
             },
+            Response {
+                id: 6,
+                outcome: Outcome::CommitPending,
+            },
+            Response {
+                id: 7,
+                outcome: Outcome::CommitDurable {
+                    tier: DurabilityTier::MirrorAcked,
+                    csn: 4_242,
+                    value: Value::Null,
+                },
+            },
         ];
         for r in responses {
             assert_eq!(Response::decode(r.encode()).unwrap(), r);
@@ -421,17 +542,69 @@ mod tests {
     }
 
     #[test]
+    fn wrong_version_rejected_before_anything_else() {
+        // A well-formed v1-style frame (no version byte): the leading id
+        // byte is read as the version and refused.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(1);
+        buf.put_u32_le(50);
+        buf.put_u8(1);
+        buf.put_u64_le(42);
+        assert_eq!(
+            Request::decode(buf.freeze()),
+            Err(ProtocolError::Version { got: 1 })
+        );
+        // Same for responses.
+        let mut buf = BytesMut::new();
+        buf.put_u8(9);
+        buf.put_u64_le(1);
+        buf.put_u8(2);
+        assert_eq!(
+            Response::decode(buf.freeze()),
+            Err(ProtocolError::Version { got: 9 })
+        );
+        // The version check happens before any length checks: a 1-byte
+        // frame with a bad version reports Version, not Malformed.
+        assert_eq!(
+            Request::decode(Bytes::from_static(&[7u8])),
+            Err(ProtocolError::Version { got: 7 })
+        );
+    }
+
+    #[test]
+    fn bad_tier_byte_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(PROTOCOL_VERSION);
+        buf.put_u64_le(1);
+        buf.put_u32_le(0);
+        buf.put_u8(3); // deferred bit clear, tier code 3: undefined
+        buf.put_u8(5);
+        assert!(matches!(
+            Request::decode(buf.freeze()),
+            Err(ProtocolError::Malformed("durability tier"))
+        ));
+    }
+
+    #[test]
     fn malformed_inputs_are_rejected() {
         assert!(Request::decode(Bytes::new()).is_err());
-        assert!(Response::decode(Bytes::from_static(&[0u8; 8])).is_err());
+        let mut short = BytesMut::new();
+        short.put_u8(PROTOCOL_VERSION);
+        short.put_slice(&[0u8; 8]);
+        assert!(Response::decode(short.freeze()).is_err());
+        let mut truncated = BytesMut::new();
+        truncated.put_u8(PROTOCOL_VERSION);
+        truncated.put_slice(&[0u8; 12]);
         assert!(matches!(
-            Request::decode(Bytes::from_static(&[0u8; 12])),
+            Request::decode(truncated.freeze()),
             Err(ProtocolError::Malformed(_))
         ));
         // Unknown op tag.
         let mut buf = BytesMut::new();
+        buf.put_u8(PROTOCOL_VERSION);
         buf.put_u64_le(1);
         buf.put_u32_le(10);
+        buf.put_u8(0);
         buf.put_u8(99);
         assert_eq!(
             Request::decode(buf.freeze()),

@@ -3,9 +3,10 @@
 use crate::protocol::{
     read_frame, write_frame, MetricsFormat, Outcome, Request, RequestOp, Response,
 };
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Select, Sender};
 use rodain_db::{
-    EngineStats, MetricsSnapshot, Rodain, TxnAbort, TxnCtx, TxnError, TxnOptions, TxnReceipt,
+    CommitFuture, DurabilityTier, EngineStats, MetricsSnapshot, Rodain, TxnAbort, TxnCtx, TxnError,
+    TxnOptions, TxnReceipt,
 };
 use rodain_shard::ShardedRodain;
 use rodain_store::{ObjectId, Value};
@@ -62,12 +63,7 @@ pub enum Backend {
 impl Backend {
     /// Submit a transaction anchored at `anchor` (the object the request
     /// addresses; ignored by a single engine).
-    fn submit<F>(
-        &self,
-        anchor: ObjectId,
-        opts: TxnOptions,
-        closure: F,
-    ) -> Receiver<Result<TxnReceipt, TxnError>>
+    fn submit<F>(&self, anchor: ObjectId, opts: TxnOptions, closure: F) -> CommitFuture
     where
         F: FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send + 'static,
     {
@@ -214,7 +210,14 @@ impl Server {
     }
 }
 
-type PendingReply = (u64, Receiver<Result<TxnReceipt, TxnError>>);
+/// A transaction whose outcome the writer is waiting on.
+struct PendingReply {
+    id: u64,
+    future: CommitFuture,
+    /// Deferred requests were already answered `CommitPending`; their
+    /// final frame is `CommitDurable` (or a failure outcome).
+    deferred: bool,
+}
 
 enum ReplyJob {
     Pending(PendingReply),
@@ -257,12 +260,13 @@ fn serve_connection(
     let _ = writer.join();
 }
 
-fn txn_options(deadline_ms: u32) -> TxnOptions {
-    if deadline_ms == 0 {
+fn txn_options(deadline_ms: u32, tier: DurabilityTier) -> TxnOptions {
+    let base = if deadline_ms == 0 {
         TxnOptions::non_real_time()
     } else {
         TxnOptions::firm_ms(u64::from(deadline_ms))
-    }
+    };
+    base.with_durability(tier)
 }
 
 fn handle_request(
@@ -272,8 +276,9 @@ fn handle_request(
     replies: &Sender<ReplyJob>,
 ) -> Result<(), ()> {
     let id = request.id;
-    let opts = txn_options(request.deadline_ms);
-    let rx = match request.op {
+    let deferred = request.deferred;
+    let opts = txn_options(request.deadline_ms, request.tier);
+    let future = match request.op {
         RequestOp::Translate { number } => {
             let anchor = schema.object_id(number);
             backend.submit(anchor, opts, move |ctx| {
@@ -337,41 +342,115 @@ fn handle_request(
                 .map_err(|_| ());
         }
     };
-    replies.send(ReplyJob::Pending((id, rx))).map_err(|_| ())
+    replies
+        .send(ReplyJob::Pending(PendingReply {
+            id,
+            future,
+            deferred,
+        }))
+        .map_err(|_| ())
 }
 
+/// Map a resolved transaction outcome onto the wire. A deferred request's
+/// final frame is `CommitDurable` (carrying the achieved tier and CSN);
+/// failures and `NotFound` use the same outcomes either way.
+fn wire_outcome(result: Result<TxnReceipt, TxnError>, deferred: bool) -> Outcome {
+    match result {
+        Ok(receipt) => match receipt.result {
+            Some(value) if deferred => Outcome::CommitDurable {
+                tier: receipt.acked_tier,
+                csn: receipt.csn.0,
+                value,
+            },
+            Some(value) => Outcome::Ok(value),
+            None => Outcome::NotFound,
+        },
+        Err(TxnError::DeadlineExpired) => Outcome::MissDeadline,
+        Err(TxnError::AdmissionDenied | TxnError::Evicted) => Outcome::Overloaded,
+        Err(e) => Outcome::Failed(e.to_string()),
+    }
+}
+
+/// The connection's writer: multiplexes newly-submitted jobs and resolving
+/// commit futures with one `Select`, so a slow durability gate never blocks
+/// the frames behind it. Responses are correlated by request id, not by
+/// order; a deferred request gets `CommitPending` as soon as it is
+/// submitted and its durable frame whenever the tier gate resolves.
 fn writer_loop(stream: TcpStream, replies: Receiver<ReplyJob>, stats: Arc<StatsInner>) {
     let mut out = BufWriter::new(stream);
-    for job in &replies {
-        let response = match job {
-            ReplyJob::Immediate(response) => response,
-            ReplyJob::Pending((id, rx)) => {
-                let outcome = match rx.recv() {
-                    Ok(Ok(receipt)) => match receipt.result {
-                        Some(value) => Outcome::Ok(value),
-                        None => Outcome::NotFound,
-                    },
-                    Ok(Err(TxnError::DeadlineExpired)) => Outcome::MissDeadline,
-                    Ok(Err(TxnError::AdmissionDenied | TxnError::Evicted)) => Outcome::Overloaded,
-                    Ok(Err(e)) => Outcome::Failed(e.to_string()),
-                    Err(_) => Outcome::Failed("engine shut down".into()),
-                };
-                Response { id, outcome }
+    let mut pending: Vec<PendingReply> = Vec::new();
+    let mut jobs_open = true;
+    'serve: while jobs_open || !pending.is_empty() {
+        // Rebuild the selector each round: the pending set changes as
+        // futures resolve. Index 0 is the job channel (while open);
+        // pending futures follow in vector order.
+        // The selector borrows every pending receiver, so it lives in its
+        // own scope: the borrows end with it, freeing `pending` for the
+        // push/swap_remove below.
+        let ready = {
+            let mut sel = Select::new();
+            if jobs_open {
+                sel.recv(&replies);
             }
+            for p in &pending {
+                sel.recv(p.future.receiver());
+            }
+            sel.ready()
         };
-        match &response.outcome {
-            Outcome::Ok(_) => stats.ok.fetch_add(1, Ordering::Relaxed),
-            Outcome::NotFound => stats.not_found.fetch_add(1, Ordering::Relaxed),
-            Outcome::MissDeadline => stats.miss_deadline.fetch_add(1, Ordering::Relaxed),
-            Outcome::Overloaded => stats.overloaded.fetch_add(1, Ordering::Relaxed),
-            Outcome::Failed(_) => stats.failed.fetch_add(1, Ordering::Relaxed),
-        };
-        if write_frame(&mut out, &response.encode()).is_err() {
-            return;
+        let base = usize::from(jobs_open);
+        let mut batch: Vec<Response> = Vec::new();
+        if jobs_open && ready == 0 {
+            match replies.try_recv() {
+                Ok(ReplyJob::Immediate(response)) => batch.push(response),
+                Ok(ReplyJob::Pending(p)) => {
+                    if p.deferred {
+                        batch.push(Response {
+                            id: p.id,
+                            outcome: Outcome::CommitPending,
+                        });
+                    }
+                    pending.push(p);
+                }
+                Err(crossbeam::channel::TryRecvError::Empty) => {}
+                Err(crossbeam::channel::TryRecvError::Disconnected) => jobs_open = false,
+            }
+        } else {
+            let idx = ready - base;
+            // `ready` can spuriously wake; `try_wait` returning `None`
+            // simply leaves the future in place for the next round.
+            if let Some(result) = pending[idx].future.try_wait() {
+                let p = pending.swap_remove(idx);
+                batch.push(Response {
+                    id: p.id,
+                    outcome: wire_outcome(result, p.deferred),
+                });
+            }
         }
-        // Flush when no further reply is immediately pending.
-        if replies.is_empty() && out.flush().is_err() {
-            return;
+        for response in batch {
+            match &response.outcome {
+                Outcome::Ok(_) | Outcome::CommitDurable { .. } => {
+                    stats.ok.fetch_add(1, Ordering::Relaxed);
+                }
+                Outcome::CommitPending => {}
+                Outcome::NotFound => {
+                    stats.not_found.fetch_add(1, Ordering::Relaxed);
+                }
+                Outcome::MissDeadline => {
+                    stats.miss_deadline.fetch_add(1, Ordering::Relaxed);
+                }
+                Outcome::Overloaded => {
+                    stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                }
+                Outcome::Failed(_) => {
+                    stats.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if write_frame(&mut out, &response.encode()).is_err() {
+                break 'serve;
+            }
+            if out.flush().is_err() {
+                break 'serve;
+            }
         }
     }
     let _ = out.flush();

@@ -1,0 +1,142 @@
+//! Property-based tests of the v2 wire protocol: any request/response —
+//! including the tier byte, deferred flag and the deferred-commit
+//! outcomes — round-trips losslessly, and truncating an encoded frame at
+//! any point is rejected rather than misparsed.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rodain_db::DurabilityTier;
+use rodain_server::{
+    MetricsFormat, Outcome, ProtocolError, Request, RequestOp, Response, PROTOCOL_VERSION,
+};
+use rodain_store::{ObjectId, Value};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        "[a-z0-9+-]{0,24}".prop_map(Value::Text),
+        prop::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(2, 16, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Value::Record)
+    })
+}
+
+fn tier_strategy() -> impl Strategy<Value = DurabilityTier> {
+    prop_oneof![
+        Just(DurabilityTier::Volatile),
+        Just(DurabilityTier::MirrorAcked),
+        Just(DurabilityTier::DiskFsynced),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = RequestOp> {
+    prop_oneof![
+        any::<u64>().prop_map(|number| RequestOp::Translate { number }),
+        (any::<u64>(), "[ -~]{0,40}")
+            .prop_map(|(number, address)| RequestOp::Provision { number, address }),
+        any::<u64>().prop_map(|oid| RequestOp::Get { oid: ObjectId(oid) }),
+        (any::<u64>(), value_strategy()).prop_map(|(oid, value)| RequestOp::Put {
+            oid: ObjectId(oid),
+            value,
+        }),
+        Just(RequestOp::Stats),
+        prop_oneof![
+            Just(MetricsFormat::Text),
+            Just(MetricsFormat::Json),
+            Just(MetricsFormat::Prometheus),
+        ]
+        .prop_map(|format| RequestOp::Metrics { format }),
+    ]
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        tier_strategy(),
+        any::<bool>(),
+        op_strategy(),
+    )
+        .prop_map(|(id, deadline_ms, tier, deferred, op)| Request {
+            id,
+            deadline_ms,
+            tier,
+            deferred,
+            op,
+        })
+}
+
+fn outcome_strategy() -> impl Strategy<Value = Outcome> {
+    prop_oneof![
+        value_strategy().prop_map(Outcome::Ok),
+        Just(Outcome::NotFound),
+        Just(Outcome::MissDeadline),
+        Just(Outcome::Overloaded),
+        "[ -~]{0,60}".prop_map(Outcome::Failed),
+        Just(Outcome::CommitPending),
+        (tier_strategy(), any::<u64>(), value_strategy())
+            .prop_map(|(tier, csn, value)| { Outcome::CommitDurable { tier, csn, value } }),
+    ]
+}
+
+proptest! {
+    /// Every request — all ops × all tiers × both deferred flags —
+    /// round-trips through encode/decode unchanged.
+    #[test]
+    fn request_roundtrip(request in request_strategy()) {
+        let decoded = Request::decode(request.encode()).unwrap();
+        prop_assert_eq!(decoded, request);
+    }
+
+    /// Every response, including the deferred-commit outcomes with their
+    /// tier and CSN fields, round-trips unchanged.
+    #[test]
+    fn response_roundtrip(id in any::<u64>(), outcome in outcome_strategy()) {
+        let response = Response { id, outcome };
+        let decoded = Response::decode(response.encode()).unwrap();
+        prop_assert_eq!(decoded, response);
+    }
+
+    /// Truncating an encoded request anywhere short of its full length is
+    /// an error — never a silent misparse into some other request.
+    #[test]
+    fn truncated_requests_are_rejected(request in request_strategy(), cut in any::<prop::sample::Index>()) {
+        let encoded = request.encode();
+        let cut = cut.index(encoded.len());
+        prop_assert!(Request::decode(encoded.slice(..cut)).is_err());
+    }
+
+    /// Same for responses.
+    #[test]
+    fn truncated_responses_are_rejected(
+        id in any::<u64>(),
+        outcome in outcome_strategy(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let encoded = Response { id, outcome }.encode();
+        let cut = cut.index(encoded.len());
+        prop_assert!(Response::decode(encoded.slice(..cut)).is_err());
+    }
+
+    /// A frame led by any byte other than the protocol version fails with
+    /// `ProtocolError::Version` before anything else is inspected.
+    #[test]
+    fn foreign_versions_are_refused(
+        version in any::<u8>().prop_map(|v| if v == PROTOCOL_VERSION { !v } else { v }),
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut frame = vec![version];
+        frame.extend_from_slice(&body);
+        let frame = Bytes::from(frame);
+        prop_assert_eq!(
+            Request::decode(frame.clone()),
+            Err(ProtocolError::Version { got: version })
+        );
+        prop_assert_eq!(
+            Response::decode(frame),
+            Err(ProtocolError::Version { got: version })
+        );
+    }
+}

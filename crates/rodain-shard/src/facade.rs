@@ -3,11 +3,10 @@
 use crate::router::ShardRouter;
 use crate::twopc;
 use crate::twopc::{CrashPoint, CrossReceipt, RecoveryReport, ShardOp};
-use crossbeam::channel::{bounded, Receiver};
 use parking_lot::RwLock;
 use rodain_db::{
-    EngineStats, MirrorLossPolicy, Rodain, RodainBuilder, TxnAbort, TxnCtx, TxnError, TxnOptions,
-    TxnReceipt,
+    CommitFuture, EngineStats, MirrorLossPolicy, Rodain, RodainBuilder, TxnAbort, TxnCtx, TxnError,
+    TxnOptions, TxnReceipt,
 };
 use rodain_net::Transport;
 use rodain_obs::MetricsSnapshot;
@@ -239,22 +238,13 @@ impl ShardedRodain {
     /// Submit a transaction whose accesses all live on `anchor`'s shard —
     /// the single-shard fast path: route, then delegate to that engine's
     /// own scheduler and commit gate.
-    pub fn submit_on<F>(
-        &self,
-        anchor: ObjectId,
-        opts: TxnOptions,
-        closure: F,
-    ) -> Receiver<Result<TxnReceipt, TxnError>>
+    pub fn submit_on<F>(&self, anchor: ObjectId, opts: TxnOptions, closure: F) -> CommitFuture
     where
         F: FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send + 'static,
     {
         match self.engine_for(anchor) {
             Some(engine) => engine.submit(opts, closure),
-            None => {
-                let (tx, rx) = bounded(1);
-                let _ = tx.send(Err(TxnError::Shutdown));
-                rx
-            }
+            None => CommitFuture::ready(Err(TxnError::Shutdown)),
         }
     }
 
@@ -268,9 +258,7 @@ impl ShardedRodain {
     where
         F: FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send + 'static,
     {
-        self.submit_on(anchor, opts, closure)
-            .recv()
-            .unwrap_or(Err(TxnError::Shutdown))
+        self.submit_on(anchor, opts, closure).wait()
     }
 
     /// Execute a cross-shard transaction atomically via two-phase commit

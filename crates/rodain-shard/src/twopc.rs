@@ -28,8 +28,7 @@
 
 use crate::facade::ShardedRodain;
 use crate::router::{MetaKind, ShardRouter};
-use crossbeam::channel::Receiver;
-use rodain_db::{Rodain, TxnError, TxnOptions, TxnReceipt};
+use rodain_db::{CommitFuture, Rodain, TxnError, TxnOptions, TxnReceipt};
 use rodain_occ::Csn;
 use rodain_store::{ObjectId, Value};
 use std::collections::BTreeMap;
@@ -267,7 +266,7 @@ pub(crate) fn execute_cross(
     let decision = router.decision_oid(coordinator, gid);
 
     // Phase 1: durable intents on every participant, in parallel.
-    let pending: Vec<Receiver<Result<TxnReceipt, TxnError>>> = participants
+    let pending: Vec<CommitFuture> = participants
         .iter()
         .map(|p| {
             let intent = p.intent;
@@ -279,8 +278,8 @@ pub(crate) fn execute_cross(
         })
         .collect();
     let mut prepare_err = None;
-    for rx in pending {
-        match rx.recv().unwrap_or(Err(TxnError::Shutdown)) {
+    for fut in pending {
+        match fut.wait() {
             Ok(_) => {}
             Err(e) => prepare_err = Some(e),
         }
@@ -325,7 +324,7 @@ pub(crate) fn execute_cross(
     // shard's redo stream. A failure here leaves the decision in place —
     // resolve_pending finishes the roll-forward.
     let stamp = receipt.decision_csn.0 as i64;
-    let applies: Vec<Receiver<Result<TxnReceipt, TxnError>>> = participants
+    let applies: Vec<CommitFuture> = participants
         .iter()
         .map(|p| {
             let intent = p.intent;
@@ -351,8 +350,8 @@ pub(crate) fn execute_cross(
             })
         })
         .collect();
-    for rx in applies {
-        rx.recv().unwrap_or(Err(TxnError::Shutdown))?;
+    for fut in applies {
+        fut.wait()?;
     }
 
     // Cleanup: markers first, the decision last, so a crash mid-cleanup

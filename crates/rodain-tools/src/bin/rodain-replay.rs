@@ -77,11 +77,9 @@ fn main() -> ExitCode {
         }
         let opts = match (request.kind, request.relative_deadline_ns) {
             (TxnKind::NonRealTime, _) => TxnOptions::non_real_time(),
-            (_, Some(d)) => TxnOptions {
-                class: rodain_sched::TxnClass::Firm,
-                relative_deadline: Duration::from_nanos(d),
-                est_cost: Duration::from_micros(200),
-            },
+            (_, Some(d)) => {
+                TxnOptions::firm(Duration::from_nanos(d)).with_est_cost(Duration::from_micros(200))
+            }
             (_, None) => TxnOptions::non_real_time(),
         };
         let objs = request.objects.clone();
@@ -101,12 +99,12 @@ fn main() -> ExitCode {
     }
 
     let (mut committed, mut deadline, mut admission, mut other) = (0u64, 0u64, 0u64, 0u64);
-    for rx in pending {
-        match rx.recv() {
-            Ok(Ok(_)) => committed += 1,
-            Ok(Err(TxnError::DeadlineExpired)) => deadline += 1,
-            Ok(Err(TxnError::AdmissionDenied | TxnError::Evicted)) => admission += 1,
-            _ => other += 1,
+    for fut in pending {
+        match fut.wait() {
+            Ok(_) => committed += 1,
+            Err(TxnError::DeadlineExpired) => deadline += 1,
+            Err(TxnError::AdmissionDenied | TxnError::Evicted) => admission += 1,
+            Err(_) => other += 1,
         }
     }
     let elapsed = started.elapsed();

@@ -42,5 +42,7 @@ pub use rodain_sim as sim;
 pub use rodain_store as store;
 pub use rodain_workload as workload;
 
-pub use rodain_db::{Rodain, RodainBuilder, TxnCtx, TxnError, TxnOptions, TxnReceipt};
+pub use rodain_db::{
+    CommitFuture, DurabilityTier, Rodain, RodainBuilder, TxnCtx, TxnError, TxnOptions, TxnReceipt,
+};
 pub use rodain_store::{ObjectId, Ts, TxnId, Value};

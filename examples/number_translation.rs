@@ -72,8 +72,8 @@ fn main() {
     let mut committed = 0u64;
     let mut missed = 0u64;
     let mut sample: Option<Value> = None;
-    for rx in outcomes {
-        match rx.recv().unwrap() {
+    for fut in outcomes {
+        match fut.wait() {
             Ok(receipt) => {
                 committed += 1;
                 if sample.is_none() {

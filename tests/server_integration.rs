@@ -84,6 +84,55 @@ fn pipelined_requests_return_in_order() {
 }
 
 #[test]
+fn deferred_commits_resolve_out_of_band() {
+    use rodain::db::DurabilityTier;
+    let (server, _schema) = start_service(1_000);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Submit a burst of deferred updates; the connection is not blocked on
+    // their durability gates.
+    let ids: Vec<u64> = (0..20u64)
+        .map(|n| {
+            client
+                .submit_deferred(
+                    500,
+                    DurabilityTier::Volatile,
+                    RequestOp::Provision {
+                        number: n,
+                        address: format!("+358-44-{n:07}"),
+                    },
+                )
+                .unwrap()
+        })
+        .collect();
+
+    // A blocking request interleaves with the drain: correlation is by id,
+    // so the answer arrives even while durable frames are outstanding.
+    match client.translate(999, 500).unwrap() {
+        Outcome::Ok(Value::Text(_)) => {}
+        other => panic!("{other:?}"),
+    }
+
+    // Every deferred commit resolves with its achieved tier and CSN. The
+    // engine runs volatile here, so Volatile is both requested and
+    // achieved.
+    for id in ids {
+        match client.wait_durable(id).unwrap() {
+            Outcome::CommitDurable { tier, csn, value } => {
+                assert_eq!(tier, DurabilityTier::Volatile);
+                assert!(csn > 0);
+                assert_eq!(value, Value::Int(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    // The durable frames count as successes in the server's stats.
+    assert_eq!(server.stats().ok, 21);
+    server.shutdown();
+}
+
+#[test]
 fn concurrent_clients_provision_disjoint_numbers() {
     let (server, _schema) = start_service(1_000);
     let addr = server.addr();
