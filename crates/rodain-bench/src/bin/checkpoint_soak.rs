@@ -1,0 +1,54 @@
+//! CHECKPOINT: does fuzzy checkpointing bound restart time and log size?
+//! Two real engines run the same append-heavy workload for 10 phases;
+//! one forces a checkpoint (install + truncate, `DESIGN.md` §15) after
+//! every phase, the other lets its log grow. After each phase the
+//! on-disk log is sized and a real cold start is timed.
+//!
+//! Writes `BENCH_CHECKPOINT.json` into the output directory and exits
+//! non-zero when the checkpointed variant stops being bounded: on hosts
+//! exposing at least 4 cores, its recovery time and log size at phase 10
+//! must stay within 1.2× of their phase-1 values (small wall times are
+//! floored so an instant restart cannot fail on scheduler noise). Hosts
+//! with fewer cores print the report but skip the gate.
+//!
+//! `cargo run -p rodain-bench --release --bin checkpoint_soak [-- --quick]`
+
+use rodain_bench::experiments::{checkpoint, SweepOptions};
+use rodain_bench::report::out_dir;
+
+fn main() {
+    let report = checkpoint(SweepOptions::from_args());
+    report.table().print();
+
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    let path = dir.join("BENCH_CHECKPOINT.json");
+    std::fs::write(&path, report.to_json()).expect("write BENCH_CHECKPOINT.json");
+    println!("json: {path:?}");
+
+    let recovery_ratio = report.enabled_recovery_ratio();
+    let bytes_ratio = report.enabled_bytes_ratio();
+    println!(
+        "enabled variant at 10x workload age: recovery {recovery_ratio:.2}x, \
+         log size {bytes_ratio:.2}x of phase 1 (disabled log grew {:.2}x) \
+         on a {}-core host",
+        report.disabled_bytes_ratio(),
+        report.host_parallelism
+    );
+    if report.host_parallelism < 4 {
+        eprintln!(
+            "CHECKPOINT gate skipped: host exposes {} cores (< 4), wall-time \
+             ratios are not meaningful here",
+            report.host_parallelism
+        );
+        return;
+    }
+    if recovery_ratio > 1.2 || bytes_ratio > 1.2 {
+        eprintln!(
+            "CHECKPOINT regression: with checkpoints enabled, recovery time and \
+             log size must stay <= 1.2x their phase-1 values as the workload \
+             runs 10x longer (got recovery {recovery_ratio:.2}x, bytes {bytes_ratio:.2}x)"
+        );
+        std::process::exit(1);
+    }
+}

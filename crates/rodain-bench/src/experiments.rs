@@ -1594,6 +1594,291 @@ pub fn recovery(opts: SweepOptions) -> RecoveryReport {
     }
 }
 
+/// One measured point of the CHECKPOINT soak: a workload phase, observed
+/// under one durability variant.
+#[derive(Clone, Debug)]
+pub struct CheckpointRow {
+    /// `"enabled"` (checkpoint + truncate after every phase) or
+    /// `"disabled"` (the log only ever grows).
+    pub variant: &'static str,
+    /// Phase number, 1-based; phase N means the workload has run N× as
+    /// long as phase 1.
+    pub phase: u32,
+    /// Commits executed so far (cumulative across phases).
+    pub commits_total: u64,
+    /// Bytes of redo log on disk after the phase (segment files only).
+    pub on_disk_bytes: u64,
+    /// Cold-start recovery wall time from the current on-disk state.
+    pub recovery_ms: f64,
+    /// Commits the replay applied on top of the snapshot (the whole log
+    /// for the disabled variant).
+    pub tail_commits: u64,
+}
+
+/// CHECKPOINT result: recovery time and log size vs workload age, with
+/// and without fuzzy checkpointing.
+#[derive(Clone, Debug)]
+pub struct CheckpointReport {
+    /// Every measured point (2 variants × phases).
+    pub rows: Vec<CheckpointRow>,
+    /// `std::thread::available_parallelism()` on the measuring host; the
+    /// CI gate only binds when this is at least 4 (a single shared core
+    /// makes wall-time ratios meaningless).
+    pub host_parallelism: usize,
+    /// Size floor for the ratio math: a truncated log's residue is the
+    /// open segment plus rotation slack, so anything under a few
+    /// segments' worth counts as "empty" — otherwise the phase-1
+    /// baseline (often a single part-filled segment) makes the bounded
+    /// steady state look like growth.
+    pub bytes_floor: u64,
+}
+
+/// Wall-time floor for ratio math: phases whose recovery finishes under
+/// this are "instant" and compared as equal, so scheduler noise on a
+/// nearly-empty tail cannot fail the gate.
+const CHECKPOINT_MS_FLOOR: f64 = 5.0;
+
+impl CheckpointReport {
+    fn row(&self, variant: &str, phase: u32) -> Option<&CheckpointRow> {
+        self.rows
+            .iter()
+            .find(|r| r.variant == variant && r.phase == phase)
+    }
+
+    fn last_phase(&self, variant: &str) -> u32 {
+        self.rows
+            .iter()
+            .filter(|r| r.variant == variant)
+            .map(|r| r.phase)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Recovery-time growth of the enabled variant: last phase over first,
+    /// floored at [`CHECKPOINT_MS_FLOOR`]. The CI gate requires ≤ 1.2 —
+    /// running the workload 10× longer must not make restart meaningfully
+    /// slower when checkpoints are on.
+    #[must_use]
+    pub fn enabled_recovery_ratio(&self) -> f64 {
+        let (first, last) = (
+            self.row("enabled", 1),
+            self.row("enabled", self.last_phase("enabled")),
+        );
+        match (first, last) {
+            (Some(a), Some(b)) => {
+                b.recovery_ms.max(CHECKPOINT_MS_FLOOR) / a.recovery_ms.max(CHECKPOINT_MS_FLOOR)
+            }
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// On-disk log growth of the enabled variant, same shape as
+    /// [`CheckpointReport::enabled_recovery_ratio`]; gated at ≤ 1.2.
+    #[must_use]
+    pub fn enabled_bytes_ratio(&self) -> f64 {
+        let (first, last) = (
+            self.row("enabled", 1),
+            self.row("enabled", self.last_phase("enabled")),
+        );
+        match (first, last) {
+            (Some(a), Some(b)) => {
+                b.on_disk_bytes.max(self.bytes_floor) as f64
+                    / a.on_disk_bytes.max(self.bytes_floor) as f64
+            }
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// On-disk log growth of the disabled variant over the same phases —
+    /// the contrast line (expected roughly linear, ≈ the phase count).
+    #[must_use]
+    pub fn disabled_bytes_ratio(&self) -> f64 {
+        let (first, last) = (
+            self.row("disabled", 1),
+            self.row("disabled", self.last_phase("disabled")),
+        );
+        match (first, last) {
+            (Some(a), Some(b)) => {
+                b.on_disk_bytes.max(self.bytes_floor) as f64
+                    / a.on_disk_bytes.max(self.bytes_floor) as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Render as the usual markdown table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "CHECKPOINT — recovery time and log size vs workload age \
+             (fuzzy checkpoint + truncation after every phase vs log-only)",
+            &[
+                "variant",
+                "phase",
+                "commits",
+                "log bytes",
+                "recovery (ms)",
+                "tail commits",
+            ],
+        );
+        for row in &self.rows {
+            table.push(vec![
+                row.variant.to_string(),
+                row.phase.to_string(),
+                row.commits_total.to_string(),
+                row.on_disk_bytes.to_string(),
+                format!("{:.1}", row.recovery_ms),
+                row.tail_commits.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// Hand-rolled JSON (the bench crate deliberately has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"variant\": \"{}\", \"phase\": {}, \"commits_total\": {}, \
+                     \"on_disk_bytes\": {}, \"recovery_ms\": {:.3}, \"tail_commits\": {}}}",
+                    r.variant, r.phase, r.commits_total, r.on_disk_bytes, r.recovery_ms, r.tail_commits
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"experiment\": \"CHECKPOINT\",\n  \"host_parallelism\": {},\n  \
+             \"enabled_recovery_ratio\": {:.3},\n  \"enabled_bytes_ratio\": {:.3},\n  \
+             \"disabled_bytes_ratio\": {:.3},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            self.host_parallelism,
+            self.enabled_recovery_ratio(),
+            self.enabled_bytes_ratio(),
+            self.disabled_bytes_ratio(),
+            rows
+        )
+    }
+}
+
+/// Phases the CHECKPOINT soak runs: phase N = the workload has run N× as
+/// long as at the first measurement.
+pub const CHECKPOINT_PHASES: u32 = 10;
+
+/// CHECKPOINT: does fuzzy checkpointing actually bound restart? One real
+/// engine per variant runs the same append-heavy workload for
+/// [`CHECKPOINT_PHASES`] phases over a Contingency log with small
+/// segments. The **enabled** engine forces a checkpoint (install +
+/// truncate, `DESIGN.md` §15) after every phase; the **disabled** engine
+/// lets the log grow. After each phase, while the engine is quiesced, the
+/// on-disk log is sized and a real cold start
+/// ([`rodain_node::recover_with_checkpoint_with`] /
+/// [`rodain_node::recover_store_from_disk_with`]) is timed against the
+/// live directories.
+///
+/// `opts.count` is the total commit budget; each phase runs a tenth of it.
+#[must_use]
+pub fn checkpoint(opts: SweepOptions) -> CheckpointReport {
+    // Small enough that every phase closes segments for truncation to
+    // collect at the default commit budget.
+    checkpoint_with_segment(opts, 8 * 1024)
+}
+
+fn checkpoint_with_segment(opts: SweepOptions, segment_bytes: u64) -> CheckpointReport {
+    use rodain_db::{CheckpointPolicy, Rodain, TxnOptions};
+    use rodain_log::{LogStorage, LogStorageConfig};
+    use rodain_node::{
+        recover_store_from_disk_with, recover_with_checkpoint_with, RecoveryOptions,
+    };
+    use rodain_store::{ObjectId, Value};
+    use std::time::Duration;
+
+    /// Object keyspace: small, so the snapshot stays bounded while the
+    /// log keeps growing — the regime checkpointing exists for.
+    const OBJECTS: u64 = 512;
+
+    let per_phase = (opts.count / CHECKPOINT_PHASES as u64).max(20);
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows = Vec::new();
+
+    for variant in ["enabled", "disabled"] {
+        let log_dir = out_dir_scratch(&format!("checkpoint-log-{variant}"));
+        let snap_dir = out_dir_scratch(&format!("checkpoint-snap-{variant}"));
+        let storage = LogStorage::open(LogStorageConfig {
+            fsync: false,
+            segment_bytes,
+            ..LogStorageConfig::new(&log_dir)
+        })
+        .expect("open soak log");
+        let mut builder = Rodain::builder().workers(2).contingency_storage(storage);
+        if variant == "enabled" {
+            // Timer off: the soak forces checkpoints at phase boundaries
+            // so the measurements land at deterministic points.
+            builder = builder.checkpoints(
+                &snap_dir,
+                CheckpointPolicy::default().with_interval(Duration::ZERO),
+            );
+        }
+        let db = builder.build().expect("build soak engine");
+
+        let mut commits_total = 0u64;
+        for phase in 1..=CHECKPOINT_PHASES {
+            for i in 0..per_phase {
+                let oid = ObjectId((commits_total + i) % OBJECTS);
+                let image = Value::Text(format!("route-{:042}", commits_total + i));
+                db.execute(TxnOptions::soft_ms(30_000), move |ctx| {
+                    ctx.write(oid, image.clone())?;
+                    Ok(None)
+                })
+                .expect("soak commit");
+            }
+            commits_total += per_phase;
+            if variant == "enabled" {
+                db.force_checkpoint().expect("forced checkpoint");
+            }
+
+            // Quiesced: size the log and time a real cold start against
+            // the live directories (reads only).
+            let on_disk_bytes = dir_bytes(&log_dir);
+            let recovery_opts = RecoveryOptions::with_workers(2);
+            let cold = if variant == "enabled" {
+                recover_with_checkpoint_with(&log_dir, &snap_dir, &recovery_opts)
+            } else {
+                recover_store_from_disk_with(&log_dir, &recovery_opts)
+            }
+            .expect("cold start");
+            rows.push(CheckpointRow {
+                variant,
+                phase,
+                commits_total,
+                on_disk_bytes,
+                recovery_ms: cold.elapsed.as_secs_f64() * 1e3,
+                tail_commits: cold.stats.committed,
+            });
+        }
+        drop(db);
+        let _ = std::fs::remove_dir_all(&log_dir);
+        let _ = std::fs::remove_dir_all(&snap_dir);
+    }
+
+    CheckpointReport {
+        rows,
+        host_parallelism,
+        bytes_floor: 4 * segment_bytes,
+    }
+}
+
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok()?.metadata().ok().map(|m| m.len()))
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1653,6 +1938,53 @@ mod tests {
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("submit @ volatile"));
         assert_eq!(report.table().rows.len(), 3);
+    }
+
+    #[test]
+    fn checkpoint_soak_bounds_the_enabled_variant() {
+        // Tiny 1 KiB segments keep the unit test fast while preserving
+        // the shape the gate measures: several closed segments per
+        // phase, truncated down to the open-segment residue.
+        let report = checkpoint_with_segment(
+            SweepOptions {
+                reps: 1,
+                count: 600,
+            },
+            1024,
+        );
+        assert_eq!(report.rows.len(), 2 * CHECKPOINT_PHASES as usize);
+        for row in &report.rows {
+            assert!(row.recovery_ms >= 0.0 && row.recovery_ms.is_finite());
+            assert!(row.on_disk_bytes > 0, "{row:?}: empty log dir");
+        }
+        // The disabled log replays everything; the enabled tail is
+        // truncated away after every phase.
+        let last = CHECKPOINT_PHASES;
+        let disabled_last = report.row("disabled", last).unwrap();
+        assert_eq!(disabled_last.tail_commits, disabled_last.commits_total);
+        let enabled_last = report.row("enabled", last).unwrap();
+        assert!(
+            enabled_last.tail_commits < enabled_last.commits_total,
+            "checkpoint never shortened the tail: {enabled_last:?}"
+        );
+        // The headline invariant (the CI gate, minus wall-time noise):
+        // checkpointed log size must not grow with workload age, while
+        // the unchecked log must.
+        assert!(
+            report.enabled_bytes_ratio() <= 1.2,
+            "enabled log grew {}x",
+            report.enabled_bytes_ratio()
+        );
+        assert!(
+            report.disabled_bytes_ratio() > 2.0,
+            "disabled log should grow roughly linearly, got {}x",
+            report.disabled_bytes_ratio()
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"CHECKPOINT\""));
+        assert!(json.contains("\"enabled_recovery_ratio\""));
+        assert!(json.contains("\"enabled_bytes_ratio\""));
+        assert_eq!(report.table().rows.len(), report.rows.len());
     }
 
     #[test]

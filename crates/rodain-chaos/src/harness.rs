@@ -255,6 +255,7 @@ impl Runner {
                 self.dir_seq += 1;
                 MirrorLossPolicy::Contingency {
                     dir: self.scratch.join(format!("fallback-{}", self.dir_seq)),
+                    segment_bytes: None,
                 }
             }
         }

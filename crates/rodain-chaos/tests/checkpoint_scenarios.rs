@@ -1,0 +1,436 @@
+//! Checkpoint chaos scenarios: crash the node around the fuzzy
+//! checkpointer — mid-scan, mid-install, mid-truncation — and race
+//! truncation against a lagging mirror (DESIGN.md §15).
+//!
+//! Every scenario runs under pinned seeds; reproduce a failure with
+//! `CHAOS_SEED=<seed> cargo test -p rodain-chaos --test checkpoint_scenarios`
+//! (the full workflow is in OPERATIONS.md).
+
+use rodain_chaos::{scenario_seeds, SeededLog};
+use rodain_db::{
+    CheckpointPolicy, DurabilityTier, MirrorLossPolicy, Rodain, TxnOptions,
+};
+use rodain_log::{
+    replay_frames_into, write_snapshot_file_with_crash, LogStorage, LogStorageConfig,
+    ReplayOptions, SnapshotCrashPoint,
+};
+use rodain_net::{InProcTransport, Transport};
+use rodain_node::{recover_with_checkpoint_with, Message, RecoveryOptions};
+use rodain_occ::Csn;
+use rodain_store::{ObjectId, Store, Value};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn scratch_dir(tag: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rodain-checkpoint-chaos-{tag}-{seed}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_tiny(dir: &Path, segment_bytes: u64) -> LogStorage {
+    LogStorage::open(LogStorageConfig {
+        fsync: false,
+        segment_bytes,
+        ..LogStorageConfig::new(dir)
+    })
+    .unwrap()
+}
+
+/// C1: fuzzy checkpoints fire while writers keep committing. No commit
+/// the engine acknowledged may be missing after a cold restart from
+/// (checkpoint + truncated tail), and the tail must be shorter than the
+/// full history — the checkpoint actually bounded recovery.
+#[test]
+fn c1_fuzzy_checkpoint_under_load_recovers_every_acked_commit() {
+    for seed in scenario_seeds() {
+        let log_dir = scratch_dir("c1-log", seed);
+        let snap_dir = scratch_dir("c1-snap", seed);
+        let db = Arc::new(
+            Rodain::builder()
+                .workers(2)
+                .contingency_storage(open_tiny(&log_dir, 512))
+                .checkpoints(&snap_dir, CheckpointPolicy::default())
+                .build()
+                .unwrap(),
+        );
+        let objects = 8u64;
+        // Two writer threads race the checkpointer: object o holds the
+        // last value any committed transaction wrote to it.
+        let mut writers = Vec::new();
+        for t in 0..2u64 {
+            let db = Arc::clone(&db);
+            writers.push(std::thread::spawn(move || {
+                for i in 0..60i64 {
+                    let oid = ObjectId((seed + t * 3 + i as u64) % objects);
+                    let val = (seed as i64) * 1_000 + t as i64 * 100 + i;
+                    db.execute(TxnOptions::soft_ms(10_000), move |ctx| {
+                        ctx.write(oid, Value::Int(val))?;
+                        Ok(None)
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        // Checkpoints interleave with the writes — the fuzzy scan runs
+        // concurrently with commits by construction.
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(5));
+            db.force_checkpoint().unwrap();
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        // One final checkpoint with traffic quiesced, then the "crash".
+        db.force_checkpoint().unwrap();
+        let total_commits = db.stats().committed;
+        let live: Vec<_> = (0..objects).map(|o| db.get(ObjectId(o))).collect();
+        drop(db);
+
+        let cold = recover_with_checkpoint_with(
+            &log_dir,
+            &snap_dir,
+            &RecoveryOptions::with_workers(2),
+        )
+        .unwrap();
+        for (o, want) in live.iter().enumerate() {
+            assert_eq!(
+                cold.store.read(ObjectId(o as u64)).map(|(v, _)| v),
+                *want,
+                "seed {seed}: object {o} diverged after checkpointed recovery"
+            );
+        }
+        assert!(
+            cold.stats.committed < total_commits,
+            "seed {seed}: truncation never shortened the tail \
+             ({} of {total_commits} commits replayed)",
+            cold.stats.committed
+        );
+        let _ = std::fs::remove_dir_all(&log_dir);
+        let _ = std::fs::remove_dir_all(&snap_dir);
+    }
+}
+
+/// C2: the node crashes mid-install of checkpoint N+1, at every point
+/// before the rename becomes durable. The previous checkpoint and the
+/// log tail retained *behind its own boundary* (truncation runs only
+/// after a successful install) must reconstruct the full state.
+#[test]
+fn c2_crash_mid_install_falls_back_to_prior_checkpoint_and_tail() {
+    for seed in scenario_seeds() {
+        let log_dir = scratch_dir("c2-log", seed);
+        let snap_dir = scratch_dir("c2-snap", seed);
+        let db = Rodain::builder()
+            .workers(2)
+            .contingency_storage(open_tiny(&log_dir, 512))
+            .checkpoints(&snap_dir, CheckpointPolicy::default())
+            .build()
+            .unwrap();
+        let write = |db: &Rodain, i: i64| {
+            let oid = ObjectId((seed + i as u64) % 10);
+            db.execute(TxnOptions::soft_ms(10_000), move |ctx| {
+                ctx.write(oid, Value::Int(i))?;
+                Ok(None)
+            })
+            .unwrap();
+        };
+        for i in 0..30 {
+            write(&db, i);
+        }
+        // Checkpoint 1 installs and truncates behind its boundary.
+        db.force_checkpoint().unwrap();
+        for i in 30..50 {
+            write(&db, i);
+        }
+        // Checkpoint 2 crashes mid-install: temp file written (and even
+        // synced) but never renamed. Exercised at both crash points.
+        let boundary = Csn(db.stats().committed + 1);
+        let snapshot = db.snapshot();
+        for crash in [
+            SnapshotCrashPoint::AfterTempWrite,
+            SnapshotCrashPoint::AfterTempSync,
+        ] {
+            let err =
+                write_snapshot_file_with_crash(&snap_dir, &snapshot, boundary, crash).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+        }
+        let live: Vec<_> = (0..10u64).map(|o| db.get(ObjectId(o))).collect();
+        drop(db);
+
+        // Recovery must pick checkpoint 1 — never a torso of checkpoint 2
+        // — and the tail retained behind checkpoint 1 covers the rest.
+        let cold = recover_with_checkpoint_with(
+            &log_dir,
+            &snap_dir,
+            &RecoveryOptions::with_workers(2),
+        )
+        .unwrap();
+        for (o, want) in live.iter().enumerate() {
+            assert_eq!(
+                cold.store.read(ObjectId(o as u64)).map(|(v, _)| v),
+                *want,
+                "seed {seed}: object {o} lost to the crashed install"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&log_dir);
+        let _ = std::fs::remove_dir_all(&snap_dir);
+    }
+}
+
+/// C3: the node crashes midway through the truncation pass — some
+/// GC-eligible segments already deleted, some still on disk. Replaying
+/// the leftovers over the snapshot is idempotent, so recovery converges
+/// to the same state as an untruncated log.
+#[test]
+fn c3_crash_mid_truncation_leaves_a_recoverable_log() {
+    for seed in scenario_seeds() {
+        let objects = 12u64;
+        let log = SeededLog::generate(seed, 120, objects);
+        let log_dir = scratch_dir("c3-log", seed);
+        let snap_dir = scratch_dir("c3-snap", seed);
+        {
+            let mut storage = open_tiny(&log_dir, 256);
+            storage.append_batch(&log.records).unwrap();
+            storage.flush().unwrap();
+        }
+        // Checkpoint at the final state; every closed segment is eligible.
+        let full = Arc::new(Store::new());
+        let mut frames = LogStorage::scan_dir_frames(&log_dir).unwrap();
+        replay_frames_into(&full, &mut frames, ReplayOptions::with_workers(1)).unwrap();
+        let boundary = Csn(log.max_csn.0 + 1);
+        rodain_log::write_snapshot_file(&snap_dir, &full.snapshot(), boundary).unwrap();
+
+        // Crash mid-truncation: the GC deletes oldest-first, so a crash
+        // partway leaves a strict prefix gone. Simulate by deleting only
+        // the first half of what a full truncation would take.
+        let mut segments: Vec<PathBuf> = std::fs::read_dir(&log_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "rodainlog"))
+            .collect();
+        segments.sort();
+        assert!(segments.len() >= 4, "seed {seed}: want several segments");
+        let eligible = segments.len() - 1; // all closed segments
+        for path in &segments[..eligible / 2] {
+            std::fs::remove_file(path).unwrap();
+        }
+
+        let cold = recover_with_checkpoint_with(
+            &log_dir,
+            &snap_dir,
+            &RecoveryOptions::with_workers(2),
+        )
+        .unwrap();
+        let violations = log.check_store(&cold.store, "mid-truncation recovery");
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        let _ = std::fs::remove_dir_all(&log_dir);
+        let _ = std::fs::remove_dir_all(&snap_dir);
+    }
+}
+
+/// C4: checkpoint truncation races in-flight shipping to a *lagging*
+/// mirror. The fence (DESIGN.md §15) must hold back every segment whose
+/// commits the mirror has not acknowledged: after the primary dies and
+/// its snapshot is lost, the un-acked commits are still on its local
+/// disk log, and the acked prefix lives on the mirror — no acked commit
+/// depends on a deleted segment.
+#[test]
+fn c4_truncation_racing_lagging_mirror_is_fenced_on_the_ack_watermark() {
+    let fallback_dir = scratch_dir("c4-fallback", 0);
+    let snap_dir = scratch_dir("c4-snap", 0);
+    let db = Rodain::builder()
+        .workers(1)
+        .commit_gate_timeout(Duration::from_secs(30))
+        .checkpoints(&snap_dir, CheckpointPolicy::default())
+        .build()
+        .unwrap();
+
+    // A hand-rolled mirror: joins, drains the snapshot, then acknowledges
+    // only commits up to the (dynamically raised) `ack_upto` — a mirror
+    // that fell behind. It must stay alive through the checkpoint: a dead
+    // link disables the fence (the fallback log becomes the only copy).
+    const ACK_UPTO: u64 = 6;
+    const COMMITS: u64 = 12;
+    let ack_upto = Arc::new(std::sync::atomic::AtomicU64::new(ACK_UPTO));
+    let mirror_ack_upto = Arc::clone(&ack_upto);
+    let (primary_side, mirror_side) = InProcTransport::pair();
+    let mirror_thread = std::thread::spawn(move || {
+        mirror_side.send(Message::JoinRequest.encode()).unwrap();
+        let mut received: Vec<(u64, rodain_store::TxnId)> = Vec::new();
+        let mut acked = 0u64;
+        loop {
+            match mirror_side.recv_timeout(Duration::from_millis(20)) {
+                Ok(Some(frame)) => match Message::decode(frame) {
+                    Ok(Message::Records(records)) => {
+                        for record in records {
+                            if let rodain_log::RecordKind::Commit { csn, .. } = record.kind {
+                                received.push((csn.0, record.txn));
+                            }
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(_) => break,
+                },
+                Ok(None) => {}
+                Err(_) => break, // transport closed: primary shut down
+            }
+            // Cumulative ack up to the allowed lag point.
+            let allowed = mirror_ack_upto.load(std::sync::atomic::Ordering::Acquire);
+            if let Some(&(csn, txn)) = received
+                .iter()
+                .filter(|(c, _)| *c <= allowed)
+                .max_by_key(|(c, _)| *c)
+            {
+                if csn > acked {
+                    acked = csn;
+                    let _ = mirror_side.send(
+                        Message::CommitAck {
+                            txn,
+                            csn: Csn(csn),
+                        }
+                        .encode(),
+                    );
+                }
+            }
+        }
+        received.into_iter().map(|(c, _)| c).collect::<Vec<u64>>()
+    });
+    db.attach_mirror(
+        Arc::new(primary_side),
+        MirrorLossPolicy::Contingency {
+            dir: fallback_dir.clone(),
+            // Tiny segments: every commit's pre-append closes a segment,
+            // so truncation has real work the fence must hold back.
+            segment_bytes: Some(64),
+        },
+    )
+    .unwrap();
+
+    // DiskFsynced commits pre-append to the fallback log at ship time.
+    // The first ACK_UPTO resolve on mirror acks; the rest stay in flight
+    // (their futures pending) while the checkpoint races them.
+    let futures: Vec<_> = (1..=COMMITS)
+        .map(|i| {
+            db.submit(
+                TxnOptions::soft_ms(60_000).with_durability(DurabilityTier::DiskFsynced),
+                move |ctx| {
+                    ctx.write(ObjectId(i), Value::Int(i as i64))?;
+                    Ok(None)
+                },
+            )
+        })
+        .collect();
+    // Wait for the acked prefix so the watermark is exactly ACK_UPTO:
+    // only ACK_UPTO acks are ever sent before we raise the allowance.
+    for fut in futures.iter().take(ACK_UPTO as usize) {
+        fut.wait_timeout(Duration::from_secs(10))
+            .expect("acked commit resolved")
+            .unwrap();
+    }
+
+    // Checkpoint now, while the link is live and lagging: the boundary
+    // covers all COMMITS, but the fence must clamp truncation to the ack
+    // watermark.
+    db.force_checkpoint().unwrap();
+    let truncated = db
+        .metrics()
+        .counter("checkpoint_truncated_segments_total")
+        .unwrap_or(0);
+    assert!(
+        truncated >= 1,
+        "acked prefix should free at least one segment (got {truncated})"
+    );
+
+    // Let the mirror catch up so every in-flight commit resolves cleanly.
+    ack_upto.store(COMMITS, std::sync::atomic::Ordering::Release);
+    for fut in futures.iter().skip(ACK_UPTO as usize) {
+        fut.wait_timeout(Duration::from_secs(10))
+            .expect("commit resolved after catch-up")
+            .unwrap();
+    }
+    drop(db); // closes the transport; the mirror loop exits on Disconnected
+    let shipped = mirror_thread.join().unwrap();
+    assert_eq!(shipped.len() as u64, COMMITS, "mirror saw every commit");
+
+    // Disaster: the primary's snapshot is lost. The mirror holds the
+    // acked prefix; the fallback log must still hold every un-acked
+    // commit — the fence kept their segments.
+    let cold = rodain_node::recover_store_from_disk(&fallback_dir).unwrap();
+    for i in (ACK_UPTO + 1)..=COMMITS {
+        assert_eq!(
+            cold.store.read(ObjectId(i)).map(|(v, _)| v),
+            Some(Value::Int(i as i64)),
+            "un-acked commit {i} lost: truncation outran the ack watermark"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&fallback_dir);
+    let _ = std::fs::remove_dir_all(&snap_dir);
+}
+
+/// C5 (seeded equivalence): for random workloads, recovery from
+/// (checkpoint + truncated tail) must equal recovery from the full,
+/// untruncated log — truncation only removes information the snapshot
+/// already carries.
+#[test]
+fn c5_checkpoint_plus_tail_equals_full_log_replay_for_random_workloads() {
+    for seed in scenario_seeds() {
+        let objects = 16u64;
+        let log = SeededLog::generate(seed, 150, objects);
+        let full_dir = scratch_dir("c5-full", seed);
+        let trunc_dir = scratch_dir("c5-trunc", seed);
+        let snap_dir = scratch_dir("c5-snap", seed);
+        for dir in [&full_dir, &trunc_dir] {
+            let mut storage = open_tiny(dir, 256);
+            storage.append_batch(&log.records).unwrap();
+            storage.flush().unwrap();
+        }
+
+        // Reference: replay the untouched log.
+        let reference = Arc::new(Store::new());
+        let mut frames = LogStorage::scan_dir_frames(&full_dir).unwrap();
+        let ref_stats =
+            replay_frames_into(&reference, &mut frames, ReplayOptions::with_workers(1)).unwrap();
+        assert_eq!(ref_stats.committed, log.commits, "seed {seed}");
+
+        // Checkpoint the state as of a seed-chosen mid-log boundary...
+        let stop = 1 + (seed % log.commits.max(2));
+        let mid = Arc::new(Store::new());
+        let mut frames = LogStorage::scan_dir_frames(&trunc_dir).unwrap();
+        let partial = replay_frames_into(
+            &mid,
+            &mut frames,
+            ReplayOptions {
+                workers: 1,
+                stop_after_commits: Some(stop),
+            },
+        )
+        .unwrap();
+        let boundary = Csn(partial.watermark.0 + 1);
+        rodain_log::write_snapshot_file(&snap_dir, &mid.snapshot(), boundary).unwrap();
+
+        // ...and truncate for real, through the storage layer's own GC.
+        {
+            let mut storage = open_tiny(&trunc_dir, 256);
+            storage.truncate_before(boundary).unwrap();
+        }
+
+        let cold = recover_with_checkpoint_with(
+            &trunc_dir,
+            &snap_dir,
+            &RecoveryOptions::with_workers(2),
+        )
+        .unwrap();
+        assert_eq!(
+            cold.store.snapshot(),
+            reference.snapshot(),
+            "seed {seed}: checkpoint+tail diverged from full-log replay (boundary {boundary:?})"
+        );
+        let _ = std::fs::remove_dir_all(&full_dir);
+        let _ = std::fs::remove_dir_all(&trunc_dir);
+        let _ = std::fs::remove_dir_all(&snap_dir);
+    }
+}

@@ -164,6 +164,7 @@ fn s5_corrupted_frame_is_rejected_and_commits_survive_via_fallback() {
         Arc::new(lossy),
         MirrorLossPolicy::Contingency {
             dir: fallback_dir.clone(),
+            segment_bytes: None,
         },
     )
     .unwrap();

@@ -2,7 +2,7 @@
 
 use crate::ctx::{CtxStop, TxnCtx, TxnFlags};
 use crate::error::{TxnAbort, TxnError};
-use crate::options::{DurabilityTier, MirrorLossPolicy, TxnOptions};
+use crate::options::{CheckpointPolicy, DurabilityTier, MirrorLossPolicy, TxnOptions};
 use crate::replicate::{CommitTicket, MirrorLink, ReplicationMode, Replicator, ShipBatchConfig};
 use crate::stats::{Counters, EngineStats, TxnReceipt};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -32,6 +32,10 @@ const JOIN_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Objects per snapshot-transfer chunk.
 const SNAPSHOT_CHUNK: usize = 2_048;
+
+/// How often the background checkpointer re-evaluates its triggers (also
+/// bounds how quickly it notices shutdown).
+const CHECKPOINT_POLL: Duration = Duration::from_millis(25);
 
 type BoxClosure = Box<dyn FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send>;
 
@@ -157,6 +161,13 @@ struct Engine {
     protocol: Protocol,
     /// Validated commits queued for the completer thread.
     completions: Sender<Completion>,
+    /// Configured checkpointing (`None`: only ad-hoc [`Rodain::checkpoint`]
+    /// calls work; the background thread and the wire op need this).
+    checkpoint: Option<CheckpointConfig>,
+    /// One checkpoint at a time: the background checkpointer and an
+    /// operator-forced checkpoint must not interleave their truncations.
+    checkpoint_lock: Mutex<()>,
+    cp_obs: CheckpointObs,
 }
 
 impl Engine {
@@ -212,6 +223,42 @@ impl EngineObs {
     }
 }
 
+/// Where configured checkpoints go and when they fire.
+struct CheckpointConfig {
+    dir: std::path::PathBuf,
+    policy: CheckpointPolicy,
+}
+
+/// Checkpoint telemetry handles (see `METRICS.md`).
+struct CheckpointObs {
+    /// Wall time of one full checkpoint (boundary → truncation done).
+    duration_ns: Histogram,
+    /// Size of each installed snapshot file.
+    snapshot_bytes: Histogram,
+    completed: Counter,
+    failed: Counter,
+    /// Log segments deleted by checkpoint truncation.
+    truncated: Counter,
+    /// Bytes the local disk log currently occupies.
+    log_bytes: Gauge,
+    /// Boundary CSN of the most recent successful checkpoint.
+    last_csn: Gauge,
+}
+
+impl CheckpointObs {
+    fn new(rec: &Recorder) -> CheckpointObs {
+        CheckpointObs {
+            duration_ns: rec.histogram("checkpoint_duration_ns"),
+            snapshot_bytes: rec.histogram("checkpoint_snapshot_bytes"),
+            completed: rec.counter("checkpoints_total"),
+            failed: rec.counter("checkpoint_failures_total"),
+            truncated: rec.counter("checkpoint_truncated_segments_total"),
+            log_bytes: rec.gauge("log_on_disk_bytes"),
+            last_csn: rec.gauge("checkpoint_csn"),
+        }
+    }
+}
+
 /// Builder for a [`Rodain`] engine.
 pub struct RodainBuilder {
     protocol: Protocol,
@@ -224,6 +271,7 @@ pub struct RodainBuilder {
     group_commit_batch: usize,
     ship_batch: ShipBatchConfig,
     recorder: Option<Recorder>,
+    checkpoint: Option<(std::path::PathBuf, CheckpointPolicy)>,
 }
 
 enum Durability {
@@ -249,6 +297,7 @@ impl RodainBuilder {
             group_commit_batch: crate::replicate::GROUP_COMMIT_BATCH,
             ship_batch: ShipBatchConfig::default(),
             recorder: None,
+            checkpoint: None,
         }
     }
 
@@ -362,6 +411,24 @@ impl RodainBuilder {
         self
     }
 
+    /// Enable the background checkpointer: fuzzy snapshots into
+    /// `snapshot_dir` per `policy`, each followed by automatic truncation
+    /// of log segments wholly behind the checkpoint boundary (fenced on
+    /// the mirror ack watermark in mirrored mode). Checkpoints never
+    /// pause writers beyond fixing the boundary CSN. Operators can also
+    /// force one at any time with [`Rodain::force_checkpoint`] or the
+    /// server's `Checkpoint` wire op. Design: DESIGN.md §15; tuning
+    /// guidance: OPERATIONS.md.
+    #[must_use]
+    pub fn checkpoints(
+        mut self,
+        snapshot_dir: impl Into<std::path::PathBuf>,
+        policy: CheckpointPolicy,
+    ) -> Self {
+        self.checkpoint = Some((snapshot_dir.into(), policy));
+        self
+    }
+
     /// Build and start the engine.
     pub fn build(self) -> io::Result<Rodain> {
         let store = self.store.unwrap_or_default();
@@ -382,6 +449,7 @@ impl RodainBuilder {
             epoch: Instant::now(),
             counters: Counters::new(&recorder),
             obs: EngineObs::new(&recorder, self.protocol),
+            cp_obs: CheckpointObs::new(&recorder),
             recorder,
             replicator: RwLock::new(Replicator::Volatile),
             commit_gate: RwLock::new(()),
@@ -391,6 +459,10 @@ impl RodainBuilder {
             builder: RecordBuilder::new(),
             protocol: self.protocol,
             completions,
+            checkpoint: self
+                .checkpoint
+                .map(|(dir, policy)| CheckpointConfig { dir, policy }),
+            checkpoint_lock: Mutex::new(()),
             store,
         });
 
@@ -444,10 +516,19 @@ impl RodainBuilder {
                 .expect("spawn completer")
         };
 
+        let checkpointer = engine.checkpoint.is_some().then(|| {
+            let engine = Arc::clone(&engine);
+            std::thread::Builder::new()
+                .name("rodain-checkpointer".into())
+                .spawn(move || checkpointer_loop(&engine))
+                .expect("spawn checkpointer")
+        });
+
         Ok(Rodain {
             engine,
             workers,
             completer: Some(completer),
+            checkpointer,
         })
     }
 }
@@ -457,6 +538,7 @@ pub struct Rodain {
     engine: Arc<Engine>,
     workers: Vec<std::thread::JoinHandle<()>>,
     completer: Option<std::thread::JoinHandle<()>>,
+    checkpointer: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Rodain {
@@ -640,29 +722,43 @@ impl Rodain {
         self.submit(opts, closure).wait()
     }
 
-    /// Take a checkpoint: persist a consistent snapshot of the database
-    /// into `snapshot_dir` and truncate the local disk log below it
-    /// (extension; DESIGN.md §3.4). Returns the snapshot file's path.
+    /// Take a fuzzy checkpoint into `snapshot_dir` and truncate the local
+    /// disk log behind it (DESIGN.md §15). Returns the snapshot file's
+    /// path. Writers are only paused for the instant the boundary CSN is
+    /// fixed — the store scan runs concurrently with commits.
     ///
     /// Bounded recovery: a restart restores the newest checkpoint and
     /// replays only the remaining log tail
-    /// (see `rodain_node::recover_with_checkpoint`).
+    /// (see `rodain_node::recover_with_checkpoint`). This ad-hoc form
+    /// applies no retention policy; the configured checkpointer
+    /// ([`RodainBuilder::checkpoints`], [`Rodain::force_checkpoint`])
+    /// does.
     pub fn checkpoint(
         &self,
         snapshot_dir: impl AsRef<std::path::Path>,
     ) -> io::Result<std::path::PathBuf> {
-        // Pause commits briefly for a CSN-consistent snapshot.
-        let (snapshot, boundary) = {
-            let _gate = self.engine.commit_gate.write();
-            let snapshot = self.engine.store.snapshot();
-            let boundary = Csn(self.engine.last_csn.load(Ordering::Acquire) + 1);
-            (snapshot, boundary)
-        };
-        let path = rodain_log::write_snapshot_file(snapshot_dir.as_ref(), &snapshot, boundary)?;
-        let replicator = self.engine.replicator.read();
-        replicator.append_info(self.engine.builder.checkpoint_record(boundary, boundary.0));
-        replicator.truncate_before(boundary)?;
-        Ok(path)
+        fuzzy_checkpoint(&self.engine, snapshot_dir.as_ref(), 0, None)
+    }
+
+    /// Force a checkpoint now, using the directory and retention policy
+    /// configured through [`RodainBuilder::checkpoints`] — what the
+    /// server's `Checkpoint` wire op calls. Runs inline on the caller's
+    /// thread, serialized against the background checkpointer. Fails with
+    /// [`io::ErrorKind::InvalidInput`] when checkpointing was not
+    /// configured.
+    pub fn force_checkpoint(&self) -> io::Result<std::path::PathBuf> {
+        let cp = self.engine.checkpoint.as_ref().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "checkpointing not configured (RodainBuilder::checkpoints)",
+            )
+        })?;
+        fuzzy_checkpoint(
+            &self.engine,
+            &cp.dir,
+            cp.policy.retain_segments,
+            Some(cp.policy.retain_snapshots),
+        )
     }
 
     /// Accept a (re)joining mirror: wait for its `JoinRequest`, transfer a
@@ -747,6 +843,130 @@ fn attach_mirror_inner(
     Ok(())
 }
 
+// ----- checkpointing ------------------------------------------------------
+
+/// Take one fuzzy checkpoint: fix a boundary CSN, scan the live store
+/// without pausing writers, install the snapshot atomically, then
+/// truncate log segments wholly behind the replication-fenced boundary
+/// (DESIGN.md §15).
+///
+/// The boundary is fixed under a brief exclusive `commit_gate` hold, so
+/// every commit with `csn < boundary` is fully installed before the scan
+/// starts. The scan itself runs under per-shard read locks only; it may
+/// observe commits *at or after* the boundary, which is safe because the
+/// retained tail (`csn >= boundary`) replays over the snapshot and
+/// `Store::install` is timestamp-monotone and idempotent.
+///
+/// Truncation is fenced on the mirror ack watermark: a segment is
+/// GC-eligible only when both the snapshot (primary disk) and the
+/// mirror's acknowledged prefix cover it — two independent copies before
+/// any byte is dropped, so a takeover racing truncation never needs a
+/// segment we deleted.
+fn fuzzy_checkpoint(
+    engine: &Engine,
+    dir: &std::path::Path,
+    retain_segments: usize,
+    prune_to: Option<usize>,
+) -> io::Result<std::path::PathBuf> {
+    // Serialize against the background checkpointer / other forced calls.
+    let _running = engine.checkpoint_lock.lock();
+    let started = Instant::now();
+
+    // 1. Fix the boundary under a brief exclusive gate. Nothing is copied
+    //    while the gate is held — writers resume before the scan.
+    let boundary = {
+        let _gate = engine.commit_gate.write();
+        Csn(engine.last_csn.load(Ordering::Acquire) + 1)
+    };
+
+    // 2. Fuzzy copy-on-scan: commits keep flowing while we walk shards.
+    let snapshot = engine.store.fuzzy_snapshot();
+
+    // 3. Atomic install: tmp → fsync → rename (DESIGN.md §13).
+    let path = rodain_log::write_snapshot_file(dir, &snapshot, boundary)?;
+    let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    if let Some(keep) = prune_to {
+        let _ = rodain_log::prune_snapshots(dir, keep);
+    }
+
+    // 4. Marker record for recovery diagnostics, then truncate behind the
+    //    fence. When a live mirror is attached the fence holds back
+    //    segments whose commits it has not acknowledged yet.
+    let replicator = engine.replicator.read();
+    replicator.append_info(engine.builder.checkpoint_record(boundary, boundary.0));
+    let fence = match replicator.ack_watermark() {
+        Some(watermark) => Csn(boundary.0.min(watermark.saturating_add(1))),
+        None => boundary,
+    };
+    let removed = replicator.truncate_before_retaining(fence, retain_segments)?;
+    let log_bytes = replicator.log_on_disk_bytes();
+    drop(replicator);
+
+    engine.cp_obs.truncated.add(removed as u64);
+    if let Some(bytes) = log_bytes {
+        engine.cp_obs.log_bytes.set(bytes as i64);
+    }
+    engine.cp_obs.snapshot_bytes.record(snapshot_bytes);
+    engine.cp_obs.duration_ns.record_elapsed(started);
+    engine.cp_obs.completed.inc();
+    engine.cp_obs.last_csn.set(boundary.0 as i64);
+    engine.recorder.emit(
+        "checkpoint",
+        format!(
+            "checkpoint at csn {} ({} objects, {removed} segments truncated)",
+            boundary.0,
+            snapshot.len()
+        ),
+    );
+    Ok(path)
+}
+
+/// Background checkpointer: wakes every [`CHECKPOINT_POLL`], fires a
+/// fuzzy checkpoint when the policy's interval elapses or the on-disk log
+/// crosses `log_bytes_trigger`. Failures are counted and reported through
+/// the recorder; the loop keeps running.
+fn checkpointer_loop(engine: &Arc<Engine>) {
+    let Some(cp) = engine.checkpoint.as_ref() else {
+        return;
+    };
+    let mut last_at = Instant::now();
+    let mut bytes_at_last = engine.replicator.read().log_on_disk_bytes().unwrap_or(0);
+    while !engine.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(CHECKPOINT_POLL);
+        if engine.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let timer_due =
+            !cp.policy.interval.is_zero() && last_at.elapsed() >= cp.policy.interval;
+        let log_bytes = engine.replicator.read().log_on_disk_bytes();
+        if let Some(bytes) = log_bytes {
+            engine.cp_obs.log_bytes.set(bytes as i64);
+        }
+        // The size trigger additionally requires growth since the last
+        // checkpoint: when truncation cannot shrink the log (mirror ack
+        // fence, retained segments) a bare threshold would hot-loop.
+        let size_due = cp.policy.log_bytes_trigger > 0
+            && log_bytes.is_some_and(|b| b >= cp.policy.log_bytes_trigger && b > bytes_at_last);
+        if !(timer_due || size_due) {
+            continue;
+        }
+        match fuzzy_checkpoint(
+            engine,
+            &cp.dir,
+            cp.policy.retain_segments,
+            Some(cp.policy.retain_snapshots),
+        ) {
+            Ok(_) => {}
+            Err(e) => {
+                engine.cp_obs.failed.inc();
+                engine.recorder.emit("checkpoint-failed", e.to_string());
+            }
+        }
+        last_at = Instant::now();
+        bytes_at_last = engine.replicator.read().log_on_disk_bytes().unwrap_or(0);
+    }
+}
+
 impl Drop for Rodain {
     fn drop(&mut self) {
         self.engine.shutdown.store(true, Ordering::Release);
@@ -759,6 +979,11 @@ impl Drop for Rodain {
         // (The gate-timeout → mark-down backstop bounds each ticket wait.)
         let _ = self.engine.completions.send(Completion::Shutdown);
         if let Some(handle) = self.completer.take() {
+            let _ = handle.join();
+        }
+        // The checkpointer polls the shutdown flag; a checkpoint already
+        // in flight runs to completion first (its snapshot stays valid).
+        if let Some(handle) = self.checkpointer.take() {
             let _ = handle.join();
         }
         // Reply to anything still queued.
@@ -1538,5 +1763,134 @@ mod tests {
             ready.wait_timeout(Duration::from_millis(10)),
             Some(Err(TxnError::AdmissionDenied))
         );
+    }
+
+    fn test_dirs(name: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let base = std::env::temp_dir().join(format!(
+            "rodain-db-cp-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        (base.join("log"), base.join("snapshots"))
+    }
+
+    #[test]
+    fn force_checkpoint_requires_configuration() {
+        let db = volatile_db(1);
+        let err = db.force_checkpoint().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn forced_checkpoint_on_empty_store_installs_empty_snapshot() {
+        let (log_dir, snap_dir) = test_dirs("empty");
+        let db = Rodain::builder()
+            .workers(1)
+            .contingency_log(&log_dir)
+            .checkpoints(&snap_dir, CheckpointPolicy::default())
+            .build()
+            .unwrap();
+        let path = db.force_checkpoint().unwrap();
+        assert!(path.exists());
+        let (snapshot, upto, _) = rodain_log::read_latest_snapshot(&snap_dir)
+            .unwrap()
+            .expect("snapshot installed");
+        assert!(snapshot.is_empty());
+        assert_eq!(upto, Csn(1)); // no commits yet: boundary is last_csn + 1
+        drop(db);
+        let _ = std::fs::remove_dir_all(log_dir.parent().unwrap());
+    }
+
+    #[test]
+    fn fuzzy_checkpoint_truncates_log_and_recovery_matches_live_state() {
+        let (log_dir, snap_dir) = test_dirs("recover");
+        // Tiny segments so truncation has something to delete.
+        let storage = rodain_log::LogStorage::open(rodain_log::LogStorageConfig {
+            fsync: false,
+            segment_bytes: 256,
+            ..rodain_log::LogStorageConfig::new(&log_dir)
+        })
+        .unwrap();
+        let db = Rodain::builder()
+            .workers(2)
+            .contingency_storage(storage)
+            .checkpoints(&snap_dir, CheckpointPolicy::default())
+            .build()
+            .unwrap();
+        for i in 0..40i64 {
+            db.execute(TxnOptions::firm_ms(5_000), move |ctx| {
+                ctx.write(ObjectId(i as u64 % 8), Value::Int(i))?;
+                Ok(None)
+            })
+            .unwrap();
+        }
+        db.force_checkpoint().unwrap();
+        // Tail commits after the checkpoint.
+        for i in 40..48i64 {
+            db.execute(TxnOptions::firm_ms(5_000), move |ctx| {
+                ctx.write(ObjectId(i as u64 % 8), Value::Int(i))?;
+                Ok(None)
+            })
+            .unwrap();
+        }
+        let live: Vec<_> = (0..8u64).map(|o| db.get(ObjectId(o))).collect();
+        let snap = db.metrics();
+        assert!(snap.counter("checkpoints_total").unwrap_or(0) >= 1);
+        assert!(
+            snap.counter("checkpoint_truncated_segments_total")
+                .unwrap_or(0)
+                > 0,
+            "tiny segments behind the boundary must be GC'd"
+        );
+        assert!(snap.gauge("checkpoint_csn").unwrap_or(0) > 0);
+        drop(db);
+        // Bounded recovery: snapshot restore + tail replay equals live state.
+        let cold = rodain_node::recover_with_checkpoint(&log_dir, &snap_dir).unwrap();
+        for (o, want) in live.iter().enumerate() {
+            assert_eq!(
+                cold.store.read(ObjectId(o as u64)).map(|(v, _)| v),
+                *want,
+                "object {o} diverged after checkpointed recovery"
+            );
+        }
+        assert!(
+            cold.stats.committed < 48,
+            "truncation should have removed early segments (tail replayed {} commits)",
+            cold.stats.committed
+        );
+        let _ = std::fs::remove_dir_all(log_dir.parent().unwrap());
+    }
+
+    #[test]
+    fn background_checkpointer_fires_on_interval() {
+        let (log_dir, snap_dir) = test_dirs("interval");
+        let db = Rodain::builder()
+            .workers(1)
+            .contingency_log(&log_dir)
+            .checkpoints(
+                &snap_dir,
+                CheckpointPolicy::default().with_interval(Duration::from_millis(50)),
+            )
+            .build()
+            .unwrap();
+        db.execute(TxnOptions::firm_ms(5_000), |ctx| {
+            ctx.write(ObjectId(1), Value::Int(1))?;
+            Ok(None)
+        })
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if db.metrics().counter("checkpoints_total").unwrap_or(0) >= 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "checkpointer never fired");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(rodain_log::read_latest_snapshot(&snap_dir)
+            .unwrap()
+            .is_some());
+        drop(db);
+        let _ = std::fs::remove_dir_all(log_dir.parent().unwrap());
     }
 }

@@ -53,6 +53,20 @@
 //! actually achieved (DESIGN.md §14). [`Rodain::execute`] stays the
 //! blocking `submit(..).wait()` wrapper.
 //!
+//! ## Checkpointing
+//!
+//! [`RodainBuilder::checkpoints`] starts a background checkpointer that
+//! periodically takes a **fuzzy** snapshot of the live store — writers
+//! are paused only for the instant the boundary CSN is fixed — installs
+//! it atomically, and truncates redo-log segments wholly behind it, so
+//! both restart time and on-disk log size stay bounded under a
+//! [`CheckpointPolicy`]. Truncation is fenced on the mirror's
+//! acknowledgement watermark: a segment is deleted only once its commits
+//! exist in two independent places (the snapshot and the mirror). See
+//! DESIGN.md §15 for the consistency argument and OPERATIONS.md for
+//! tuning guidance; [`Rodain::force_checkpoint`] (and the server's
+//! `Checkpoint` wire op) trigger one on demand.
+//!
 //! ## Observability
 //!
 //! Every engine publishes commit-path telemetry (latency histograms,
@@ -74,7 +88,7 @@ mod stats;
 pub use ctx::TxnCtx;
 pub use engine::{CommitFuture, Rodain, RodainBuilder};
 pub use error::{TxnAbort, TxnError};
-pub use options::{DurabilityTier, MirrorLossPolicy, TxnOptions};
+pub use options::{CheckpointPolicy, DurabilityTier, MirrorLossPolicy, TxnOptions};
 pub use replicate::{ReplicationMode, ShipBatchConfig};
 pub use rodain_obs::{MetricsSnapshot, Recorder};
 pub use stats::{EngineStats, TxnReceipt};

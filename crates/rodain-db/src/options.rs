@@ -208,15 +208,104 @@ impl Default for TxnOptions {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MirrorLossPolicy {
     /// Switch to Contingency mode: synchronous group-commit disk logging
-    /// in the given directory.
+    /// in the given directory. While the mirror is still live, the same
+    /// log also receives [`DurabilityTier::DiskFsynced`] pre-appends, so
+    /// the checkpointer can truncate it (fenced on the mirror's ack
+    /// watermark — DESIGN.md §15).
     Contingency {
         /// Log directory.
         dir: std::path::PathBuf,
+        /// Log segment size override in bytes; `None` keeps the storage
+        /// default (64 MiB). Chaos tests shrink this so checkpoint
+        /// truncation has closed segments to work on.
+        segment_bytes: Option<u64>,
     },
     /// Keep serving without durability (the paper's disk-off experiments;
     /// acceptable when "the probability of simultaneous failure of both
     /// nodes is acceptable").
     ContinueVolatile,
+}
+
+/// When and how aggressively the background checkpointer runs (configured
+/// through [`crate::RodainBuilder::checkpoints`]; the operator guide is
+/// OPERATIONS.md, the design chapter DESIGN.md §15).
+///
+/// A checkpoint fires when **either** trigger is due: `interval` of wall
+/// time has passed since the last checkpoint, or the local disk log has
+/// grown past `log_bytes_trigger` since then. After the snapshot installs,
+/// log segments wholly behind the checkpoint boundary (fenced on the
+/// mirror ack watermark in mirrored mode) are deleted, except for the
+/// newest `retain_segments` of them kept as a safety margin.
+///
+/// ```
+/// use rodain_db::CheckpointPolicy;
+/// use std::time::Duration;
+///
+/// let policy = CheckpointPolicy::default()
+///     .with_interval(Duration::from_secs(30))
+///     .with_log_bytes_trigger(64 << 20);
+/// assert_eq!(policy.retain_snapshots, 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Wall-time trigger: checkpoint when this much time has passed since
+    /// the previous one. [`Duration::ZERO`] disables the timer (the size
+    /// trigger, or operator-forced checkpoints, still work).
+    pub interval: Duration,
+    /// Size trigger: checkpoint when the local disk log occupies at least
+    /// this many bytes (and has grown since the last checkpoint). `0`
+    /// disables the size trigger. Ignored in modes with no local log.
+    pub log_bytes_trigger: u64,
+    /// Keep this many of the newest GC-eligible log segments on disk
+    /// instead of deleting them — a margin for operators who want redo
+    /// history to survive a bad snapshot beyond the retained snapshots.
+    pub retain_segments: usize,
+    /// Snapshot files kept in the snapshot directory (older ones are
+    /// pruned after each successful checkpoint; minimum 1).
+    pub retain_snapshots: usize,
+}
+
+impl Default for CheckpointPolicy {
+    /// Every 60 s or every 256 MiB of log, whichever comes first; no
+    /// retained-segment margin; the two newest snapshots kept.
+    fn default() -> Self {
+        CheckpointPolicy {
+            interval: Duration::from_secs(60),
+            log_bytes_trigger: 256 << 20,
+            retain_segments: 0,
+            retain_snapshots: 2,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// Override the wall-time trigger ([`Duration::ZERO`] disables it).
+    #[must_use]
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Override the log-size trigger (`0` disables it).
+    #[must_use]
+    pub fn with_log_bytes_trigger(mut self, bytes: u64) -> Self {
+        self.log_bytes_trigger = bytes;
+        self
+    }
+
+    /// Override the retained-segment safety margin.
+    #[must_use]
+    pub fn with_retain_segments(mut self, segments: usize) -> Self {
+        self.retain_segments = segments;
+        self
+    }
+
+    /// Override how many snapshot files are kept (minimum 1 applies).
+    #[must_use]
+    pub fn with_retain_snapshots(mut self, snapshots: usize) -> Self {
+        self.retain_snapshots = snapshots;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +336,20 @@ mod tests {
         assert_eq!(opts.class, TxnClass::Firm);
         assert_eq!(opts.relative_deadline, Duration::from_millis(25));
         assert_eq!(opts.durability, DurabilityTier::DiskFsynced);
+    }
+
+    #[test]
+    fn checkpoint_policy_builders_compose() {
+        let p = CheckpointPolicy::default()
+            .with_interval(Duration::ZERO)
+            .with_log_bytes_trigger(1 << 20)
+            .with_retain_segments(3)
+            .with_retain_snapshots(1);
+        assert_eq!(p.interval, Duration::ZERO);
+        assert_eq!(p.log_bytes_trigger, 1 << 20);
+        assert_eq!(p.retain_segments, 3);
+        assert_eq!(p.retain_snapshots, 1);
+        assert_eq!(CheckpointPolicy::default().retain_snapshots, 2);
     }
 
     #[test]

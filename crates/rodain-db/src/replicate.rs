@@ -21,7 +21,7 @@ use rodain_obs::{Counter, Gauge, Histogram, Recorder};
 use rodain_occ::Csn;
 use rodain_store::FxHashMap;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -205,16 +205,45 @@ impl Replicator {
     }
 
     /// Checkpoint support: truncate the local disk log below `upto` (only
-    /// meaningful when a local log exists). Returns removed segment count.
-    pub(crate) fn truncate_before(&self, upto: Csn) -> std::io::Result<usize> {
+    /// meaningful when a local log exists), keeping the newest `retain`
+    /// otherwise-deletable segments. Returns removed segment count.
+    pub(crate) fn truncate_before_retaining(
+        &self,
+        upto: Csn,
+        retain: usize,
+    ) -> std::io::Result<usize> {
         match self {
-            Replicator::Contingency(group) => group.truncate_before(upto),
+            Replicator::Contingency(group) => group.truncate_before_retaining(upto, retain),
             Replicator::Mirrored(link) => match &link.shared.fallback {
-                Some(group) => group.truncate_before(upto),
+                Some(group) => group.truncate_before_retaining(upto, retain),
                 None => Ok(0),
             },
             Replicator::Volatile => Ok(0),
         }
+    }
+
+    /// Highest commit CSN the live mirror has acknowledged — the
+    /// checkpointer's truncation fence. `None` when no live mirror exists
+    /// (volatile/contingency modes, or a mirrored link already marked
+    /// down), in which case the local log is the only copy and truncation
+    /// is bounded by the checkpoint boundary alone.
+    pub(crate) fn ack_watermark(&self) -> Option<u64> {
+        match self {
+            Replicator::Mirrored(link) if !link.is_down() => Some(link.ack_watermark()),
+            _ => None,
+        }
+    }
+
+    /// Bytes the local disk log currently occupies, when one exists — the
+    /// checkpointer's `log_bytes_trigger` input and the `log_on_disk_bytes`
+    /// gauge source.
+    pub(crate) fn log_on_disk_bytes(&self) -> Option<u64> {
+        let group: &GroupCommitLog = match self {
+            Replicator::Contingency(group) => group,
+            Replicator::Mirrored(link) => link.shared.fallback.as_deref()?,
+            Replicator::Volatile => return None,
+        };
+        group.storage_stats().ok().map(|s| s.on_disk_bytes)
     }
 
     /// Append an informational record (checkpoint marker) without gating a
@@ -325,6 +354,14 @@ struct LinkShared {
     /// frame is sent. FxHash: small dense integer keys on the hot path.
     pending: Mutex<FxHashMap<u64, PendingCommit>>,
     down: AtomicBool,
+    /// Highest commit CSN the mirror has acknowledged. Checkpoint
+    /// truncation is fenced on it: a log segment may only be deleted once
+    /// the mirror's acknowledged prefix has passed every commit in it, so
+    /// each GC'd commit has two independent surviving copies (snapshot on
+    /// primary disk, applied state on the mirror). Starts at
+    /// `start_csn - 1`: the snapshot handshake proved the mirror holds
+    /// everything below the stream start.
+    ack_watermark: AtomicU64,
     /// Pre-opened contingency log used if/when the mirror dies.
     fallback: Option<Arc<GroupCommitLog>>,
     /// Commit acknowledgements — counted per *commit* resolved, so one
@@ -426,8 +463,12 @@ impl MirrorLink {
         batch: ShipBatchConfig,
     ) -> std::io::Result<MirrorLink> {
         let fallback = match loss_policy {
-            MirrorLossPolicy::Contingency { dir } => {
-                let storage = LogStorage::open(LogStorageConfig::new(dir))?;
+            MirrorLossPolicy::Contingency { dir, segment_bytes } => {
+                let mut cfg = LogStorageConfig::new(dir);
+                if let Some(bytes) = segment_bytes {
+                    cfg.segment_bytes = *bytes;
+                }
+                let storage = LogStorage::open(cfg)?;
                 Some(Arc::new(GroupCommitLog::spawn_observed(
                     storage,
                     GROUP_COMMIT_BATCH,
@@ -440,6 +481,7 @@ impl MirrorLink {
             transport,
             pending: Mutex::new(FxHashMap::default()),
             down: AtomicBool::new(false),
+            ack_watermark: AtomicU64::new(start_csn.0.saturating_sub(1)),
             fallback,
             acks: rec.counter("mirror_acks_total"),
             mode_gauge: rec.gauge("replication_mode"),
@@ -489,6 +531,11 @@ impl MirrorLink {
     /// Commit acknowledgements received (per commit, not per ack frame).
     pub(crate) fn acks(&self) -> u64 {
         self.shared.acks.get()
+    }
+
+    /// See [`LinkShared::ack_watermark`].
+    pub(crate) fn ack_watermark(&self) -> u64 {
+        self.shared.ack_watermark.load(Ordering::Acquire)
     }
 
     fn ship_degraded(&self, records: Vec<LogRecord>, on_disk: bool) -> CommitTicket {
@@ -571,6 +618,7 @@ fn ack_loop(shared: &LinkShared, rtt: &Histogram) {
         match shared.transport.recv_timeout(Duration::from_millis(20)) {
             Ok(Some(frame)) => {
                 if let Ok(Message::CommitAck { csn, .. }) = Message::decode(frame) {
+                    shared.ack_watermark.fetch_max(csn.0, Ordering::AcqRel);
                     let batch: Vec<PendingCommit> = {
                         let mut map = shared.pending.lock();
                         let keys: Vec<u64> = map.keys().filter(|k| **k <= csn.0).copied().collect();
@@ -953,6 +1001,50 @@ mod tests {
     }
 
     #[test]
+    fn ack_watermark_tracks_highest_acknowledged_csn() {
+        let (link, mirror) = mirrored_link(5);
+        // The snapshot handshake covered everything below the stream start.
+        assert_eq!(link.ack_watermark(), 4);
+        let t5 = link.ship(Csn(5), commit_group(5), DurabilityTier::MirrorAcked);
+        let t6 = link.ship(Csn(6), commit_group(6), DurabilityTier::MirrorAcked);
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            got.extend(next_records(&mirror));
+        }
+        // A lagging mirror acks only csn 5: the watermark must not pass 5,
+        // so checkpoint truncation stays fenced below csn 6.
+        mirror
+            .send(
+                Message::CommitAck {
+                    txn: TxnId(105),
+                    csn: Csn(5),
+                }
+                .encode(),
+            )
+            .unwrap();
+        assert_eq!(
+            t5.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Ok(DurabilityTier::MirrorAcked)
+        );
+        assert_eq!(link.ack_watermark(), 5);
+        assert!(t6.recv_timeout(Duration::from_millis(50)).is_err());
+        mirror
+            .send(
+                Message::CommitAck {
+                    txn: TxnId(106),
+                    csn: Csn(6),
+                }
+                .encode(),
+            )
+            .unwrap();
+        assert_eq!(
+            t6.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Ok(DurabilityTier::MirrorAcked)
+        );
+        assert_eq!(link.ack_watermark(), 6);
+    }
+
+    #[test]
     fn batch_knobs_split_oversized_runs_into_multiple_frames() {
         let (primary_side, mirror_side) = InProcTransport::pair();
         let link = MirrorLink::new(
@@ -1013,7 +1105,10 @@ mod tests {
         let (primary_side, mirror_side) = InProcTransport::pair();
         let link = MirrorLink::new(
             Arc::new(primary_side),
-            &MirrorLossPolicy::Contingency { dir: dir.clone() },
+            &MirrorLossPolicy::Contingency {
+                dir: dir.clone(),
+                segment_bytes: None,
+            },
             &Recorder::default(),
             Csn(1),
             ShipBatchConfig::default(),

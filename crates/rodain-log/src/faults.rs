@@ -204,6 +204,13 @@ impl StorageBackend for FaultyStorage {
         self.inner.truncate_before(upto)
     }
 
+    fn truncate_before_retaining(&mut self, upto: Csn, retain: usize) -> io::Result<usize> {
+        if self.control.state.poisoned.load(Ordering::Acquire) {
+            return Err(Self::poisoned_err());
+        }
+        self.inner.truncate_before_retaining(upto, retain)
+    }
+
     fn iter(&mut self) -> io::Result<RecordIter> {
         if self.control.state.poisoned.load(Ordering::Acquire) {
             // A poisoned writer cannot flush; read whatever made it to disk.

@@ -38,10 +38,17 @@ enum Request {
         records: Vec<LogRecord>,
         done: Sender<io::Result<()>>,
     },
-    /// Checkpoint support: delete closed segments fully below a CSN.
+    /// Checkpoint support: delete closed segments fully below a CSN,
+    /// keeping the newest `retain` otherwise-deletable ones.
     Truncate {
         upto: rodain_occ::Csn,
+        retain: usize,
         done: Sender<io::Result<usize>>,
+    },
+    /// Query the underlying storage's statistics (the checkpointer's
+    /// log-size trigger reads `on_disk_bytes` through this).
+    StorageStats {
+        done: Sender<crate::storage::StorageStats>,
     },
     /// Append without waiting (mirror's asynchronous disk writer).
     Append {
@@ -153,16 +160,39 @@ impl GroupCommitLog {
     /// Checkpoint support: delete closed segments whose commits all lie
     /// below `upto`; returns how many were removed.
     pub fn truncate_before(&self, upto: rodain_occ::Csn) -> io::Result<usize> {
+        self.truncate_before_retaining(upto, 0)
+    }
+
+    /// [`GroupCommitLog::truncate_before`], keeping the newest `retain`
+    /// otherwise-deletable segments as a safety margin.
+    pub fn truncate_before_retaining(
+        &self,
+        upto: rodain_occ::Csn,
+        retain: usize,
+    ) -> io::Result<usize> {
         let (done_tx, done_rx) = bounded(1);
         self.tx
             .send(Request::Truncate {
                 upto,
+                retain,
                 done: done_tx,
             })
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "log writer gone"))?;
         done_rx
             .recv()
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "log writer gone"))?
+    }
+
+    /// Statistics of the underlying storage backend (notably
+    /// `on_disk_bytes`, the checkpointer's log-size trigger input).
+    pub fn storage_stats(&self) -> io::Result<crate::storage::StorageStats> {
+        let (done_tx, done_rx) = bounded(1);
+        self.tx
+            .send(Request::StorageStats { done: done_tx })
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "log writer gone"))?;
+        done_rx
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "log writer gone"))
     }
 
     /// Statistics snapshot.
@@ -242,8 +272,11 @@ fn writer_loop(
                     need_flush = true;
                     waiters.push(done);
                 }
-                Request::Truncate { upto, done } => {
-                    let _ = done.send(storage.truncate_before(upto));
+                Request::Truncate { upto, retain, done } => {
+                    let _ = done.send(storage.truncate_before_retaining(upto, retain));
+                }
+                Request::StorageStats { done } => {
+                    let _ = done.send(storage.stats());
                 }
                 Request::Shutdown => shutdown = true,
             }

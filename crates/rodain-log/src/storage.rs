@@ -5,6 +5,7 @@ use crate::record::LogRecord;
 use crate::record::RecordKind;
 use bytes::Bytes;
 use rodain_occ::Csn;
+use rodain_store::TxnId;
 use std::collections::VecDeque;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -39,7 +40,9 @@ impl LogStorageConfig {
     }
 }
 
-/// Monotone disk-log statistics.
+/// Disk-log statistics. Every field is monotone except
+/// [`StorageStats::on_disk_bytes`], which shrinks when checkpoint
+/// truncation deletes segments.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StorageStats {
     /// Records appended.
@@ -52,6 +55,10 @@ pub struct StorageStats {
     pub segments_created: u64,
     /// Segments deleted by checkpoint truncation.
     pub segments_truncated: u64,
+    /// Bytes currently occupied on disk across all segments (headers
+    /// included). Grows with appends, shrinks with truncation — the
+    /// checkpointer's `log_bytes_trigger` watches this.
+    pub on_disk_bytes: u64,
 }
 
 /// Abstraction over the disk half of the log pipeline, so the group-commit
@@ -71,6 +78,19 @@ pub trait StorageBackend: Send {
     /// Checkpoint support: delete closed segments fully below `upto`;
     /// returns how many were removed.
     fn truncate_before(&mut self, upto: Csn) -> io::Result<usize>;
+
+    /// [`StorageBackend::truncate_before`], but keep the newest `retain`
+    /// otherwise-deletable segments as a safety margin
+    /// (`CheckpointPolicy::retain_segments`). The default implementation
+    /// is conservative: with a non-zero `retain` it deletes nothing, so a
+    /// backend that has not opted in can never over-delete.
+    fn truncate_before_retaining(&mut self, upto: Csn, retain: usize) -> io::Result<usize> {
+        if retain == 0 {
+            self.truncate_before(upto)
+        } else {
+            Ok(0)
+        }
+    }
 
     /// Iterate every record, oldest first (flushing first so buffered
     /// records are visible).
@@ -93,6 +113,10 @@ impl StorageBackend for LogStorage {
         LogStorage::truncate_before(self, upto)
     }
 
+    fn truncate_before_retaining(&mut self, upto: Csn, retain: usize) -> io::Result<usize> {
+        LogStorage::truncate_before_retaining(self, upto, retain)
+    }
+
     fn iter(&mut self) -> io::Result<RecordIter> {
         LogStorage::iter(self)
     }
@@ -112,6 +136,15 @@ pub struct LogStorage {
     current_seq: u64,
     current_path: PathBuf,
     current_bytes: u64,
+    /// The transaction whose write records are mid-append (its commit or
+    /// abort not yet seen). Rotation never splits it: a full segment
+    /// rotates only before a record of a *different* transaction. That
+    /// keeps every commit record in the same segment as its writes — the
+    /// invariant that makes whole-segment truncation safe (DESIGN.md §15).
+    /// Callers must append each transaction's records contiguously (every
+    /// producer in this codebase does: group commit appends per-txn
+    /// batches, and the mirror reorders before storing).
+    open_txn: Option<TxnId>,
     stats: StorageStats,
 }
 
@@ -167,6 +200,10 @@ impl LogStorage {
             .collect();
         closed.sort_unstable_by_key(|(seq, _)| *seq);
         let next_seq = closed.last().map(|(seq, _)| seq + 1).unwrap_or(1);
+        let mut closed_bytes = 0u64;
+        for (_, path) in &closed {
+            closed_bytes += fs::metadata(path)?.len();
+        }
         let current_path = segment_path(&cfg.dir, next_seq);
         let file = OpenOptions::new()
             .create_new(true)
@@ -181,8 +218,10 @@ impl LogStorage {
             current_seq: next_seq,
             current_path,
             current_bytes: HEADER_LEN,
+            open_txn: None,
             stats: StorageStats {
                 segments_created: 1,
+                on_disk_bytes: closed_bytes + HEADER_LEN,
                 ..StorageStats::default()
             },
         })
@@ -205,20 +244,34 @@ impl LogStorage {
         write_header(&mut self.writer, self.current_seq)?;
         self.current_bytes = HEADER_LEN;
         self.stats.segments_created += 1;
+        self.stats.on_disk_bytes += HEADER_LEN;
         Ok(())
     }
 
     /// Append one record (buffered; call [`LogStorage::flush`] to make it
     /// durable).
+    ///
+    /// A full segment rotates only between transactions: a transaction's
+    /// write records must share a segment with their commit record, or
+    /// truncating the earlier segment would orphan the commit. A
+    /// transaction larger than `segment_bytes` overshoots the limit
+    /// rather than splitting.
     pub fn append(&mut self, record: &LogRecord) -> io::Result<()> {
-        if self.current_bytes >= self.cfg.segment_bytes {
+        if self.current_bytes >= self.cfg.segment_bytes
+            && self.open_txn.is_none_or(|open| open != record.txn)
+        {
             self.rotate()?;
         }
+        self.open_txn = match record.kind {
+            RecordKind::Write { .. } => Some(record.txn),
+            _ => None,
+        };
         let frame = encode_record(record);
         self.writer.write_all(&frame)?;
         self.current_bytes += frame.len() as u64;
         self.stats.records += 1;
         self.stats.bytes += frame.len() as u64;
+        self.stats.on_disk_bytes += frame.len() as u64;
         Ok(())
     }
 
@@ -293,6 +346,15 @@ impl LogStorage {
     /// snapshot). Segments containing no commit records at all are kept
     /// conservatively unless they are older than a deletable one.
     pub fn truncate_before(&mut self, upto: Csn) -> io::Result<usize> {
+        self.truncate_before_retaining(upto, 0)
+    }
+
+    /// [`LogStorage::truncate_before`], but keep the newest `retain`
+    /// otherwise-deletable segments on disk as a safety margin. Because
+    /// segments are deleted oldest-first, the retained ones are exactly
+    /// the `retain` GC-eligible segments closest to the checkpoint
+    /// boundary.
+    pub fn truncate_before_retaining(&mut self, upto: Csn, retain: usize) -> io::Result<usize> {
         self.flush()?;
         let mut deletable = 0usize;
         for (_, path) in &self.closed {
@@ -317,9 +379,12 @@ impl LogStorage {
                 _ => break, // stop at the first segment we must keep
             }
         }
+        let deletable = deletable.saturating_sub(retain);
         for (_, path) in self.closed.drain(..deletable) {
+            let len = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             fs::remove_file(path)?;
             self.stats.segments_truncated += 1;
+            self.stats.on_disk_bytes = self.stats.on_disk_bytes.saturating_sub(len);
         }
         Ok(deletable)
     }
@@ -891,6 +956,171 @@ mod tests {
             })
             .unwrap();
         assert!(first_csn <= Csn(15));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_keeps_segment_exactly_at_boundary() {
+        // A segment whose max commit CSN equals `upto` is NOT fully below
+        // the checkpoint boundary and must survive; one ending at upto-1
+        // is covered and must go.
+        let dir = tmpdir("boundary");
+        let mut storage = LogStorage::open(LogStorageConfig {
+            // Just above the segment header: rotate after every record, so
+            // each closed segment holds exactly one commit.
+            segment_bytes: HEADER_LEN + 1,
+            fsync: false,
+            dir: dir.clone(),
+        })
+        .unwrap();
+        for i in 1..=5u64 {
+            storage.append(&commit(i, i, i)).unwrap();
+        }
+        storage.flush().unwrap();
+        // Closed segments hold csns 1..=4 (csn 5 is in the current one).
+        let removed = storage.truncate_before(Csn(4)).unwrap();
+        assert_eq!(removed, 3, "csns 1..=3 are < 4; csn 4 is at the boundary");
+        let csns: Vec<u64> = storage
+            .iter()
+            .unwrap()
+            .filter_map(|r| match r.unwrap().kind {
+                RecordKind::Commit { csn, .. } => Some(csn.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(csns, vec![4, 5]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_retaining_keeps_newest_eligible_segments() {
+        let dir = tmpdir("retain");
+        let mut storage = LogStorage::open(LogStorageConfig {
+            segment_bytes: HEADER_LEN + 1, // one commit per closed segment
+            fsync: false,
+            dir: dir.clone(),
+        })
+        .unwrap();
+        for i in 1..=6u64 {
+            storage.append(&commit(i, i, i)).unwrap();
+        }
+        storage.flush().unwrap();
+        // 5 closed segments (csns 1..=5), all below upto=10 → eligible.
+        let removed = storage.truncate_before_retaining(Csn(10), 2).unwrap();
+        assert_eq!(removed, 3, "retain=2 spares the two newest eligible");
+        let first_csn = storage
+            .iter()
+            .unwrap()
+            .find_map(|r| match r.unwrap().kind {
+                RecordKind::Commit { csn, .. } => Some(csn.0),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first_csn, 4);
+        // Retain larger than the eligible count deletes nothing.
+        assert_eq!(storage.truncate_before_retaining(Csn(10), 99).unwrap(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_never_splits_a_transaction() {
+        // A transaction's writes must share a segment with their commit:
+        // otherwise truncating the earlier segment (whose max commit CSN
+        // is below the fence) would orphan a commit record the replay
+        // then rejects as MissingWrites — or worse, silently lose a
+        // post-boundary commit. Append several multi-write transactions
+        // through a segment limit small enough that every record would
+        // rotate under a per-record policy, then check each segment's
+        // commits are self-contained.
+        let dir = tmpdir("nosplit");
+        let mut storage = LogStorage::open(LogStorageConfig {
+            segment_bytes: HEADER_LEN + 1,
+            fsync: false,
+            dir: dir.clone(),
+        })
+        .unwrap();
+        let mut lsn = 0u64;
+        for t in 1..=8u64 {
+            for w in 0..3u64 {
+                lsn += 1;
+                storage.append(&rec(lsn, t, t * 10 + w)).unwrap();
+            }
+            lsn += 1;
+            storage
+                .append(&LogRecord {
+                    lsn: Lsn(lsn),
+                    txn: TxnId(t),
+                    kind: RecordKind::Commit {
+                        csn: Csn(t),
+                        ser_ts: Ts(t * 10),
+                        n_writes: 3,
+                    },
+                })
+                .unwrap();
+        }
+        storage.flush().unwrap();
+        assert!(storage.segment_paths().len() >= 8, "rotation still happens");
+        for path in storage.segment_paths() {
+            let mut open: std::collections::HashSet<TxnId> = Default::default();
+            for item in RecordIter::over(vec![path.clone()]) {
+                let record = item.unwrap();
+                match record.kind {
+                    RecordKind::Write { .. } => {
+                        open.insert(record.txn);
+                    }
+                    RecordKind::Commit { .. } | RecordKind::Abort => {
+                        assert!(
+                            open.remove(&record.txn),
+                            "{}: commit for txn {:?} without its writes",
+                            path.display(),
+                            record.txn
+                        );
+                    }
+                    RecordKind::Checkpoint { .. } => {}
+                }
+            }
+            assert!(
+                open.is_empty(),
+                "{}: writes without their commit straddle into the next segment",
+                path.display()
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn on_disk_bytes_tracks_appends_and_truncation() {
+        let dir = tmpdir("diskbytes");
+        let cfg = LogStorageConfig {
+            segment_bytes: 128,
+            fsync: false,
+            dir: dir.clone(),
+        };
+        let mut storage = LogStorage::open(cfg.clone()).unwrap();
+        for i in 1..=30u64 {
+            storage.append(&commit(i, i, i)).unwrap();
+        }
+        storage.flush().unwrap();
+        let on_disk: u64 = storage
+            .segment_paths()
+            .iter()
+            .map(|p| fs::metadata(p).unwrap().len())
+            .sum();
+        assert_eq!(storage.stats().on_disk_bytes, on_disk);
+        let before = storage.stats().on_disk_bytes;
+        assert!(storage.truncate_before(Csn(20)).unwrap() > 0);
+        let after = storage.stats().on_disk_bytes;
+        assert!(after < before, "truncation must shrink on_disk_bytes");
+        let on_disk_after: u64 = storage
+            .segment_paths()
+            .iter()
+            .map(|p| fs::metadata(p).unwrap().len())
+            .sum();
+        assert_eq!(after, on_disk_after);
+        drop(storage);
+        // Reopen accounts for surviving history plus the fresh segment.
+        let reopened = LogStorage::open(cfg).unwrap();
+        assert_eq!(reopened.stats().on_disk_bytes, on_disk_after + HEADER_LEN);
         let _ = fs::remove_dir_all(&dir);
     }
 

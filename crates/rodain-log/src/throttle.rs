@@ -44,6 +44,10 @@ impl<S: StorageBackend> StorageBackend for ThrottledStorage<S> {
         self.inner.truncate_before(upto)
     }
 
+    fn truncate_before_retaining(&mut self, upto: Csn, retain: usize) -> io::Result<usize> {
+        self.inner.truncate_before_retaining(upto, retain)
+    }
+
     fn iter(&mut self) -> io::Result<RecordIter> {
         self.inner.iter()
     }

@@ -16,8 +16,9 @@ pub struct RecoveryOptions {
     /// available parallelism, capped at 8.
     pub workers: usize,
     /// When set, recovery publishes `recovery_replay_ms`,
-    /// `recovery_partitions`, `recovery_segments_scanned` and
-    /// `recovery_torn_tail_bytes` on this recorder (see `METRICS.md`).
+    /// `recovery_partitions`, `recovery_segments_scanned`,
+    /// `recovery_torn_tail_bytes` and `recovery_tail_commits` on this
+    /// recorder (see `METRICS.md`).
     pub recorder: Option<Recorder>,
 }
 
@@ -161,6 +162,10 @@ fn replay_dir(
             .set(cold.segments_scanned as i64);
         rec.gauge("recovery_torn_tail_bytes")
             .set(cold.torn_tail_bytes as i64);
+        // How much work replay did on top of the snapshot — the number an
+        // operator watches to size CheckpointPolicy (OPERATIONS.md).
+        rec.gauge("recovery_tail_commits")
+            .set(cold.stats.committed as i64);
     }
     Ok(cold)
 }
@@ -307,6 +312,7 @@ mod tests {
         assert_eq!(snap.gauge("recovery_partitions"), Some(4));
         assert_eq!(snap.gauge("recovery_segments_scanned"), Some(1));
         assert_eq!(snap.gauge("recovery_torn_tail_bytes"), Some(0));
+        assert_eq!(snap.gauge("recovery_tail_commits"), Some(200));
         assert_eq!(snap.histogram("recovery_replay_ms").unwrap().count, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }

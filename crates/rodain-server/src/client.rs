@@ -177,6 +177,17 @@ impl Client {
         self.request(0, RequestOp::Metrics { format })
     }
 
+    /// Force a checkpoint on the node: take a fuzzy snapshot now and
+    /// truncate the log behind it under the server's configured policy.
+    ///
+    /// Returns `Outcome::Ok(Value::Text(..))` holding the installed
+    /// snapshot file's path, or `Outcome::Failed` when the node has no
+    /// checkpoint directory configured. See OPERATIONS.md for when to
+    /// force a checkpoint during an incident.
+    pub fn checkpoint(&mut self) -> std::io::Result<Outcome> {
+        self.request(0, RequestOp::Checkpoint)
+    }
+
     /// Send a burst of pipelined requests and collect all responses,
     /// returned in request order regardless of the order the server
     /// resolves them in (correlation is by request id).

@@ -76,6 +76,12 @@ pub enum RequestOp {
         /// The exposition format to render.
         format: MetricsFormat,
     },
+    /// Operator-forced checkpoint (served outside the transaction path):
+    /// take a fuzzy snapshot now and truncate the log behind it, using
+    /// the node's configured `CheckpointPolicy`. Answers `Ok` with the
+    /// snapshot file path, or `Failed` when the node has no checkpoint
+    /// directory configured (see OPERATIONS.md).
+    Checkpoint,
 }
 
 /// Rendering formats for [`RequestOp::Metrics`].
@@ -270,6 +276,7 @@ impl Request {
                 buf.put_u8(6);
                 buf.put_u8(format.tag());
             }
+            RequestOp::Checkpoint => buf.put_u8(7),
         }
         buf.freeze()
     }
@@ -330,6 +337,7 @@ impl Request {
                     .ok_or(ProtocolError::Malformed("metrics format"))?;
                 RequestOp::Metrics { format }
             }
+            7 => RequestOp::Checkpoint,
             other => return Err(ProtocolError::UnknownTag(other)),
         };
         if buf.has_remaining() {
@@ -475,6 +483,7 @@ mod tests {
                     format: MetricsFormat::Prometheus,
                 },
             ),
+            Request::new(7, 0, RequestOp::Checkpoint),
         ]
     }
 

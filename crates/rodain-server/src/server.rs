@@ -90,6 +90,31 @@ impl Backend {
             Backend::Sharded(cluster) => cluster.metrics(),
         }
     }
+
+    /// Force a checkpoint now (the `Checkpoint` wire op). A sharded
+    /// cluster checkpoints every live shard with its own configured
+    /// policy; the returned path is the last shard's snapshot file.
+    /// Fails when no engine has checkpointing configured
+    /// ([`rodain_db::RodainBuilder::checkpoints`]).
+    pub fn force_checkpoint(&self) -> std::io::Result<std::path::PathBuf> {
+        match self {
+            Backend::Single(db) => db.force_checkpoint(),
+            Backend::Sharded(cluster) => {
+                let mut last = None;
+                for shard in 0..cluster.shard_count() {
+                    if let Some(engine) = cluster.engine(shard) {
+                        last = Some(engine.force_checkpoint()?);
+                    }
+                }
+                last.ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "checkpointing not configured on any shard",
+                    )
+                })
+            }
+        }
+    }
 }
 
 /// The User Request Interpreter: accepts connections and maps requests onto
@@ -339,6 +364,18 @@ fn handle_request(
                     id,
                     outcome: Outcome::Ok(Value::Text(rendered)),
                 }))
+                .map_err(|_| ());
+        }
+        RequestOp::Checkpoint => {
+            // Runs inline on the connection's read thread: an operator op,
+            // serialized against the background checkpointer. Pipelined
+            // requests behind it wait for the snapshot to install.
+            let outcome = match backend.force_checkpoint() {
+                Ok(path) => Outcome::Ok(Value::Text(path.display().to_string())),
+                Err(e) => Outcome::Failed(e.to_string()),
+            };
+            return replies
+                .send(ReplyJob::Immediate(Response { id, outcome }))
                 .map_err(|_| ());
         }
     };

@@ -1,0 +1,26 @@
+//! Documentation lint CI gate: broken intra-repo markdown links and a
+//! METRICS.md catalog out of sync with the source are build failures.
+//!
+//! `cargo run -p rodain-tools --bin rodain-doclint [-- <repo-root>]`
+
+use rodain_tools::doclint::{check_markdown_links, check_metrics_catalog};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let root = args.get(1).map_or(".", String::as_str);
+    let root = Path::new(root);
+
+    let mut violations = check_markdown_links(root);
+    violations.extend(check_metrics_catalog(root));
+
+    if violations.is_empty() {
+        println!("doc-lint: ok (links resolve, metrics catalog in sync)");
+        return;
+    }
+    for violation in &violations {
+        eprintln!("doc-lint: {violation}");
+    }
+    eprintln!("doc-lint: {} violation(s)", violations.len());
+    std::process::exit(1);
+}

@@ -1,0 +1,304 @@
+//! Documentation lint: intra-repo markdown links must resolve, and the
+//! metrics catalog (`METRICS.md`) must stay in sync with the metric
+//! names the source actually registers.
+//!
+//! Run as `rodain-doclint [repo-root]` (default `.`); CI treats any
+//! finding as a failure. The checks are deliberately dumb text scans —
+//! no markdown parser, no syntax tree — so they cannot silently skip a
+//! file they fail to parse.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned (build output, VCS internals, scratch).
+const SKIP_DIRS: &[&str] = &[".git", "target", ".claude", "experiments-out", "node_modules"];
+
+fn walk(dir: &Path, ext: &str, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, ext, out);
+            }
+        } else if path.extension().is_some_and(|e| e == ext) {
+            out.push(path);
+        }
+    }
+}
+
+/// Check every `[text](target)` link in every tracked markdown file:
+/// relative targets (after stripping `#anchor` fragments) must exist on
+/// disk. External (`http…`, `mailto:`) and pure-anchor links are
+/// skipped. Returns one human-readable violation per broken link.
+#[must_use]
+pub fn check_markdown_links(root: &Path) -> Vec<String> {
+    let mut files = Vec::new();
+    walk(root, "md", &mut files);
+    files.sort();
+    let mut violations = Vec::new();
+    for file in &files {
+        let Ok(content) = fs::read_to_string(file) else {
+            continue;
+        };
+        let dir = file.parent().unwrap_or(root);
+        for target in extract_link_targets(&content) {
+            let path = target.split('#').next().unwrap_or("");
+            if path.is_empty()
+                || path.starts_with("http://")
+                || path.starts_with("https://")
+                || path.starts_with("mailto:")
+            {
+                continue;
+            }
+            let resolved = if let Some(abs) = path.strip_prefix('/') {
+                root.join(abs)
+            } else {
+                dir.join(path)
+            };
+            if !resolved.exists() {
+                violations.push(format!(
+                    "{}: broken link ({target})",
+                    file.strip_prefix(root).unwrap_or(file).display()
+                ));
+            }
+        }
+    }
+    violations
+}
+
+/// Pull the `target` out of every `](target)` occurrence. A title
+/// suffix (`](file "title")`) is stripped at the first space.
+fn extract_link_targets(content: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = content.as_bytes();
+    let mut i = 0;
+    while let Some(open) = content[i..].find("](") {
+        let bracket = i + open;
+        let start = bracket + 2;
+        let Some(close) = content[start..].find(')') else {
+            break;
+        };
+        let raw = &content[start..start + close];
+        // Skip code-span artifacts (`](…)` quoted in backticks) and
+        // empty or multi-line targets.
+        let in_code_span = bracket > 0 && bytes[bracket - 1] == b'`';
+        if !in_code_span && !raw.is_empty() && !raw.contains('`') && !raw.contains('\n') {
+            let target = raw.split(' ').next().unwrap_or(raw);
+            out.push(target.to_string());
+        }
+        i = start + close;
+        if i >= bytes.len() {
+            break;
+        }
+    }
+    out
+}
+
+/// Compare the metric names cataloged in `METRICS.md` against the names
+/// the source registers or reads. Both directions are violations: a
+/// metric used in code but missing from the catalog is undocumented; a
+/// cataloged metric no code touches is stale documentation. Label
+/// blocks (`{…}`) are stripped on both sides — the catalog documents
+/// labeled series individually, the source often builds them with
+/// `format!`.
+#[must_use]
+pub fn check_metrics_catalog(root: &Path) -> Vec<String> {
+    let catalog_path = root.join("METRICS.md");
+    let Ok(catalog) = fs::read_to_string(&catalog_path) else {
+        return vec!["METRICS.md: missing".to_string()];
+    };
+    let documented = catalog_metric_names(&catalog);
+    let scanned = source_metric_names(root);
+    // A scanned name ending in `_` is a dynamic family — the source
+    // builds the full name at runtime (`format!("occ_{name}_total…")`).
+    // It stands for every documented name sharing the prefix.
+    let (prefixes, used): (BTreeSet<String>, BTreeSet<String>) =
+        scanned.into_iter().partition(|n| n.ends_with('_'));
+
+    let mut violations = Vec::new();
+    for name in &used {
+        if !documented.contains(name) {
+            violations.push(format!(
+                "METRICS.md: metric `{name}` is registered in source but not cataloged"
+            ));
+        }
+    }
+    for prefix in &prefixes {
+        if !documented.iter().any(|d| d.starts_with(prefix.as_str())) {
+            violations.push(format!(
+                "METRICS.md: dynamic metric family `{prefix}…` has no cataloged members"
+            ));
+        }
+    }
+    for name in &documented {
+        let covered = used.contains(name)
+            || prefixes.iter().any(|p| name.starts_with(p.as_str()));
+        if !covered {
+            violations.push(format!(
+                "METRICS.md: cataloged metric `{name}` no longer appears in source"
+            ));
+        }
+    }
+    violations
+}
+
+/// First-cell backticked names of table rows whose kind column mentions
+/// counter/gauge/histogram, label blocks stripped.
+fn catalog_metric_names(catalog: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in catalog.lines() {
+        let mut cells = line.split('|').skip(1);
+        let (Some(name_cell), Some(kind_cell)) = (cells.next(), cells.next()) else {
+            continue;
+        };
+        let kind = kind_cell.trim();
+        if !(kind.contains("counter") || kind.contains("gauge") || kind.contains("histogram")) {
+            continue;
+        }
+        let name_cell = name_cell.trim();
+        let Some(stripped) = name_cell.strip_prefix('`') else {
+            continue;
+        };
+        let base: String = stripped
+            .chars()
+            .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '_')
+            .collect();
+        if !base.is_empty() {
+            names.insert(base);
+        }
+    }
+    names
+}
+
+/// Metric-name string literals reaching `.counter(` / `.gauge(` /
+/// `.histogram(` calls in non-test source under `crates/`. The literal
+/// may sit behind `&format!(` and even on the following line; anything
+/// up to 120 bytes past the call is searched for the opening quote.
+fn source_metric_names(root: &Path) -> BTreeSet<String> {
+    let mut files = Vec::new();
+    walk(&root.join("crates"), "rs", &mut files);
+    let mut names = BTreeSet::new();
+    for file in &files {
+        let Ok(content) = fs::read_to_string(file) else {
+            continue;
+        };
+        // Unit tests live in a trailing `#[cfg(test)] mod tests` by
+        // repo convention; they register throwaway names.
+        let code = content
+            .split("#[cfg(test)]")
+            .next()
+            .unwrap_or(content.as_str());
+        for method in [".counter(", ".gauge(", ".histogram("] {
+            let mut i = 0;
+            while let Some(at) = code[i..].find(method) {
+                let call = i + at + method.len();
+                let window = &code[call..(call + 120).min(code.len())];
+                if let Some(name) = literal_after_quote(window) {
+                    names.insert(name);
+                }
+                i = call;
+            }
+        }
+    }
+    names
+}
+
+/// The `[a-z0-9_]+` run right after the first `"` in `window`, if the
+/// quote appears before anything other than whitespace, `&`, or
+/// `format!(`. Returns `None` for calls taking a runtime variable.
+fn literal_after_quote(window: &str) -> Option<String> {
+    let quote = window.find('"')?;
+    let prefix = &window[..quote];
+    if !prefix
+        .chars()
+        .all(|c| c.is_whitespace() || "&format!()".contains(c))
+    {
+        return None;
+    }
+    let name: String = window[quote + 1..]
+        .chars()
+        .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '_')
+        .collect();
+    if name.len() >= 3 {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rodain-doclint-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn broken_and_valid_links_are_told_apart() {
+        let root = scratch("links");
+        fs::write(root.join("EXISTS.md"), "target").unwrap();
+        fs::write(
+            root.join("README.md"),
+            "[good](EXISTS.md) [anchor](EXISTS.md#sec) [web](https://example.com) \
+             [self](#local) [bad](MISSING.md)",
+        )
+        .unwrap();
+        let violations = check_markdown_links(&root);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("MISSING.md"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn metrics_catalog_flags_both_directions() {
+        let root = scratch("metrics");
+        fs::write(
+            root.join("METRICS.md"),
+            "| metric | kind | meaning |\n|---|---|---|\n\
+             | `used_total` | counter | fine |\n\
+             | `labeled_ns{tier=\"x\"}` | histogram | fine, label stripped |\n\
+             | `stale_total` | counter | no longer in source |\n",
+        )
+        .unwrap();
+        let src = root.join("crates/fake/src");
+        fs::create_dir_all(&src).unwrap();
+        fs::write(
+            src.join("lib.rs"),
+            "fn f(rec: &Recorder) {\n\
+             let _ = rec.counter(\"used_total\");\n\
+             let _ = rec.histogram(&format!(\n        \"labeled_ns{{tier=\\\"{t}\\\"}}\"));\n\
+             let _ = rec.counter(\"undocumented_total\");\n\
+             let _ = rec.counter(runtime_variable);\n\
+             }\n\
+             #[cfg(test)]\nmod tests { fn t(r: &Recorder) { r.counter(\"test_only_total\"); } }\n",
+        )
+        .unwrap();
+        let violations = check_metrics_catalog(&root);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("`undocumented_total`")));
+        assert!(violations.iter().any(|v| v.contains("`stale_total`")));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn link_targets_strip_titles_and_skip_code_spans() {
+        let targets = extract_link_targets("[a](x.md \"title\") `](not-a-link)` [b](y.md#frag)");
+        assert!(targets.contains(&"x.md".to_string()));
+        assert!(targets.contains(&"y.md#frag".to_string()));
+        assert!(!targets.iter().any(|t| t.contains("not-a-link")));
+    }
+}

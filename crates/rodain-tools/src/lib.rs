@@ -1,6 +1,7 @@
 //! # rodain-tools — operator tooling
 //!
-//! Two command-line tools an operator of a RODAIN deployment needs:
+//! Command-line tools an operator (or CI job) of a RODAIN deployment
+//! needs:
 //!
 //! * **`rodain-logdump`** — inspect, verify and recover from a disk-log
 //!   directory (the mirror's spool or a contingency log):
@@ -8,6 +9,9 @@
 //! * **`rodain-tracegen`** — produce and inspect the "off-line generated
 //!   test files" the paper's experiments are driven by:
 //!   `rodain-tracegen generate|info …`
+//! * **`rodain-doclint`** — CI lint: intra-repo markdown links must
+//!   resolve and `METRICS.md` must match the metric names the source
+//!   registers: `rodain-doclint [repo-root]`
 //!
 //! The library part holds the logic so it is unit-testable; the binaries
 //! are thin argument parsers.
@@ -15,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod doclint;
 pub mod logdump;
 pub mod tracegen;
 

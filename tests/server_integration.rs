@@ -341,6 +341,51 @@ fn protocol_violation_drops_only_that_connection() {
 }
 
 #[test]
+fn checkpoint_request_installs_snapshot_or_reports_unconfigured() {
+    use rodain::db::CheckpointPolicy;
+
+    // Unconfigured node: the op fails loudly instead of guessing a dir.
+    let (server, _schema) = start_service(10);
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.checkpoint().unwrap() {
+        Outcome::Failed(reason) => assert!(reason.contains("not configured"), "{reason}"),
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+
+    // Configured node: the op installs a snapshot and returns its path.
+    let base = std::env::temp_dir().join(format!("rodain-srv-cp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let db = Arc::new(
+        Rodain::builder()
+            .workers(2)
+            .contingency_log(base.join("log"))
+            .checkpoints(base.join("snapshots"), CheckpointPolicy::default())
+            .build()
+            .unwrap(),
+    );
+    let schema = NumberTranslationDb::new(100);
+    schema.populate(&db.store());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let server = Server::new(db, schema).start(listener).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for n in 0..10u64 {
+        match client.provision(n, format!("+358-40-{n:07}"), 500).unwrap() {
+            Outcome::Ok(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+    match client.checkpoint().unwrap() {
+        Outcome::Ok(Value::Text(path)) => {
+            assert!(std::path::Path::new(&path).exists(), "missing {path}");
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
 fn sharded_backend_serves_and_merges_metrics() {
     use rodain::server::MetricsFormat;
     use rodain::shard::ShardedRodain;
