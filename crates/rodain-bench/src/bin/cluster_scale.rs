@@ -1,0 +1,39 @@
+//! CLUSTERSCALE: SHARDSCALE across processes — one shard per
+//! `cluster_node` process over loopback TCP, traffic through the
+//! map-aware cluster client.
+//!
+//! Writes `BENCH_CLUSTERSCALE.json` into the output directory and exits
+//! non-zero when multi-node placement regresses: 4 nodes must clear 2×
+//! the committed throughput of 1 node over real sockets.
+//!
+//! Needs the `cluster_node` binary: either a sibling in the same target
+//! directory or named by `RODAIN_CLUSTER_NODE_BIN`. Skips (exit 0) when
+//! absent, matching the cluster test suites.
+//!
+//! `cargo run -p rodain-bench --release --bin cluster_scale [-- --quick]`
+
+use rodain_bench::cluster::cluster_scale;
+use rodain_bench::experiments::SweepOptions;
+use rodain_bench::report::out_dir;
+
+fn main() {
+    let opts = SweepOptions::from_args();
+    let Some(report) = cluster_scale(opts.count) else {
+        eprintln!("cluster_node binary not found; skipping CLUSTERSCALE");
+        return;
+    };
+    report.table().print();
+
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    let path = dir.join("BENCH_CLUSTERSCALE.json");
+    std::fs::write(&path, report.to_json()).expect("write BENCH_CLUSTERSCALE.json");
+    println!("json: {path:?}");
+
+    let speedup = report.speedup_at(4);
+    println!("speedup at 4 nodes: {speedup:.2}x");
+    if speedup < 2.0 {
+        eprintln!("CLUSTERSCALE regression: need speedup >= 2.0 at 4 nodes (got {speedup:.2})");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,266 @@
+//! CLUSTERSCALE: SHARDSCALE re-run across *processes*. Each shard seats
+//! in its own `cluster_node` process behind real loopback sockets; the
+//! driver partitions a Zipfian single-object update stream by the shard
+//! router and pushes each partition through a map-aware [`ClusterClient`]
+//! over the wire. The commit path inside every node is the paper
+//! prototype's: synchronous group commit, batch 1, a 1 ms log-device
+//! service time per flush — so one node serializes commits at the log
+//! rate and N nodes overlap N independent log streams.
+//!
+//! The gate mirrors SHARDSCALE's: 4 nodes must clear 2× the committed
+//! throughput of 1 node, now with process isolation and TCP in the loop.
+
+use crate::report::{ms, Table};
+use rodain_cluster::harness::{node_binary, NodeProcess, NodeProcessConfig};
+use rodain_cluster::{ClusterClient, ClusterCoordinator, ShardMap, ShardOwner};
+use rodain_server::Outcome;
+use rodain_shard::ShardRouter;
+use rodain_store::{ObjectId, Value};
+use rodain_workload::{AccessPattern, NumberTranslationDb, TraceGenerator, WorkloadSpec};
+use std::time::Instant;
+
+/// Node counts swept (one shard per node process).
+pub const NODE_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Log-device service time charged per flush inside each node (µs).
+const FLUSH_DELAY_US: u64 = 1_000;
+/// Objects in the database (same population as SHARDSCALE).
+const DB_OBJECTS: u64 = 4_096;
+
+/// One swept configuration: `nodes` processes, one shard each.
+#[derive(Clone, Debug)]
+pub struct ClusterScaleRow {
+    /// Node processes (= shards) in this configuration.
+    pub nodes: usize,
+    /// Transactions acknowledged `Ok` over the wire.
+    pub committed: u64,
+    /// Wall-clock seconds for the whole partitioned stream.
+    pub wall_s: f64,
+    /// Committed throughput (txn/s).
+    pub tput_tps: f64,
+    /// Client-observed per-request p50 (ns), socket round trip included.
+    pub p50_ns: u64,
+    /// Client-observed per-request p99 (ns).
+    pub p99_ns: u64,
+}
+
+/// CLUSTERSCALE result across the node sweep.
+#[derive(Clone, Debug)]
+pub struct ClusterScaleReport {
+    /// One row per entry of [`NODE_SWEEP`], in sweep order.
+    pub rows: Vec<ClusterScaleRow>,
+    /// Transactions driven per configuration.
+    pub count: u64,
+}
+
+impl ClusterScaleReport {
+    /// Committed-throughput speedup of the `nodes`-node row over 1 node.
+    #[must_use]
+    pub fn speedup_at(&self, nodes: usize) -> f64 {
+        let base = self
+            .rows
+            .iter()
+            .find(|r| r.nodes == 1)
+            .map_or(0.0, |r| r.tput_tps);
+        self.rows
+            .iter()
+            .find(|r| r.nodes == nodes)
+            .map_or(0.0, |r| r.tput_tps / base.max(f64::EPSILON))
+    }
+
+    /// Render as the usual markdown table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            format!(
+                "CLUSTERSCALE — committed throughput vs node count, one shard \
+                 per process over loopback TCP, group-commit batch=1, \
+                 {}ms flush service time, Zipfian(0.8) single-object updates \
+                 ({} txns per row)",
+                FLUSH_DELAY_US / 1_000,
+                self.count
+            ),
+            &[
+                "nodes",
+                "committed",
+                "wall (s)",
+                "tput (tps)",
+                "speedup vs 1 node",
+                "request p50 (ms)",
+                "request p99 (ms)",
+            ],
+        );
+        for row in &self.rows {
+            table.push(vec![
+                row.nodes.to_string(),
+                row.committed.to_string(),
+                format!("{:.2}", row.wall_s),
+                format!("{:.0}", row.tput_tps),
+                format!("{:.2}x", self.speedup_at(row.nodes)),
+                ms(row.p50_ns as f64),
+                ms(row.p99_ns as f64),
+            ]);
+        }
+        table
+    }
+
+    /// Hand-rolled JSON (the bench crate deliberately has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"nodes\": {}, \"committed\": {}, \"wall_s\": {:.3}, \
+                     \"tput_tps\": {:.1}, \"speedup\": {:.3}, \
+                     \"request_ns\": {{\"p50\": {}, \"p99\": {}}}}}",
+                    r.nodes,
+                    r.committed,
+                    r.wall_s,
+                    r.tput_tps,
+                    self.speedup_at(r.nodes),
+                    r.p50_ns,
+                    r.p99_ns
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"experiment\": \"CLUSTERSCALE\",\n  \"count\": {},\n  \
+             \"rows\": [\n{}\n  ],\n  \"speedup_at_4\": {:.3}\n}}\n",
+            self.count,
+            rows,
+            self.speedup_at(4)
+        )
+    }
+}
+
+fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx]
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rodain-clusterscale-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("cluster scratch dir");
+    dir
+}
+
+/// Drive one configuration: spawn `nodes` single-shard processes, install
+/// the epoch-2 deployment map, then push each anchor partition through a
+/// per-shard [`ClusterClient`] from its own thread.
+fn cluster_scale_point(bin: &std::path::Path, nodes: usize, anchors: &[u64]) -> ClusterScaleRow {
+    let router = ShardRouter::new(nodes);
+    let dirs: Vec<_> = (0..nodes).map(|s| scratch_dir(&format!("n{nodes}-s{s}"))).collect();
+    let procs: Vec<NodeProcess> = (0..nodes)
+        .map(|s| {
+            let mut cfg = NodeProcessConfig::new(nodes, vec![s], &dirs[s]);
+            cfg.flush_delay_us = FLUSH_DELAY_US;
+            cfg.batch = 1;
+            cfg.objects = DB_OBJECTS;
+            NodeProcess::spawn(bin, &cfg).expect("spawn cluster node")
+        })
+        .collect();
+
+    let boot = ClusterCoordinator::connect(&procs[0].peer_addr).expect("boot coordinator");
+    let map = ShardMap {
+        epoch: 2,
+        owners: procs
+            .iter()
+            .map(|p| ShardOwner {
+                client_addr: p.client_addr.clone(),
+                peer_addr: p.peer_addr.clone(),
+            })
+            .collect(),
+    };
+    let addrs: Vec<String> = procs.iter().map(|p| p.peer_addr.clone()).collect();
+    boot.broadcast_map(&map, &addrs).expect("install deployment map");
+
+    let mut partitions: Vec<Vec<u64>> = vec![Vec::new(); nodes];
+    for &n in anchors {
+        partitions[router.route(ObjectId(n))].push(n);
+    }
+
+    let started = Instant::now();
+    let handles: Vec<_> = partitions
+        .into_iter()
+        .enumerate()
+        .map(|(shard, part)| {
+            let addr = procs[shard].client_addr.clone();
+            std::thread::spawn(move || {
+                let mut client = ClusterClient::connect(&addr, NumberTranslationDb::new(DB_OBJECTS))
+                    .expect("bench client");
+                let mut committed = 0u64;
+                let mut lat_ns = Vec::with_capacity(part.len());
+                for (k, n) in part.iter().enumerate() {
+                    let t0 = Instant::now();
+                    let outcome = client
+                        .put(ObjectId(*n), Value::Int(k as i64))
+                        .expect("bench put");
+                    lat_ns.push(t0.elapsed().as_nanos() as u64);
+                    if matches!(outcome, Outcome::Ok(_)) {
+                        committed += 1;
+                    }
+                }
+                (committed, lat_ns)
+            })
+        })
+        .collect();
+    let mut committed = 0u64;
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(anchors.len());
+    for handle in handles {
+        let (c, l) = handle.join().expect("bench thread");
+        committed += c;
+        lat_ns.extend(l);
+    }
+    let wall_s = started.elapsed().as_secs_f64().max(f64::EPSILON);
+
+    for p in procs {
+        p.quit();
+    }
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    lat_ns.sort_unstable();
+    ClusterScaleRow {
+        nodes,
+        committed,
+        wall_s,
+        tput_tps: committed as f64 / wall_s,
+        p50_ns: percentile(&lat_ns, 0.50),
+        p99_ns: percentile(&lat_ns, 0.99),
+    }
+}
+
+/// CLUSTERSCALE: run the [`NODE_SWEEP`] with `count` transactions per
+/// configuration. Returns `None` when the `cluster_node` binary cannot be
+/// located (see [`node_binary`]) — callers should report the skip rather
+/// than fail, matching the cluster test suites.
+#[must_use]
+pub fn cluster_scale(count: u64) -> Option<ClusterScaleReport> {
+    let bin = node_binary()?;
+    let spec = WorkloadSpec {
+        count,
+        write_fraction: 1.0,
+        db_objects: DB_OBJECTS,
+        access: AccessPattern::Zipfian { theta: 0.8 },
+        ..WorkloadSpec::default()
+    };
+    let anchors: Vec<u64> = TraceGenerator::new(spec)
+        .generate()
+        .requests
+        .iter()
+        .map(|r| r.objects[0])
+        .collect();
+    let rows = NODE_SWEEP
+        .iter()
+        .map(|&nodes| cluster_scale_point(&bin, nodes, &anchors))
+        .collect();
+    Some(ClusterScaleReport { rows, count })
+}

@@ -15,11 +15,13 @@
 //! | `commit_path` | extension: commit-latency breakdown, group-commit sweep |
 //! | `commit_pipe` | extension: batched log shipping vs one frame per commit |
 //! | `shard_scale` | extension: throughput vs shard count on the sharded cluster |
+//! | `cluster_scale` | extension: SHARDSCALE across node *processes* over TCP |
 //! | `all_experiments` | everything above, sequentially |
 //!
 //! Pass `--quick` for a fast smoke run, `--reps N` / `--count N` to change
 //! the measurement protocol (paper defaults: 20 repetitions of 10 000
 //! transactions).
 
+pub mod cluster;
 pub mod experiments;
 pub mod report;

@@ -1,0 +1,240 @@
+//! Seeded cluster chaos: the 2PC coordinator dies between prepare and
+//! decide — over real sockets to real node processes — and recovery
+//! must presume abort; dies right after the decision and recovery must
+//! roll forward. Either way no acknowledged commit is lost and money is
+//! conserved.
+//!
+//! Reproduce any failing seed with:
+//! `CHAOS_SEED=<seed> cargo test -p rodain-chaos --test cluster_scenarios`
+//!
+//! Skips (passes vacuously) when the `cluster_node` binary is absent;
+//! CI builds it and sets `RODAIN_CLUSTER_NODE_BIN`.
+
+use rodain_cluster::harness::{node_binary, NodeProcess, NodeProcessConfig};
+use rodain_cluster::{ClusterClient, ClusterCoordinator, ClusterError, ShardMap, ShardOwner};
+use rodain_shard::{CrashPoint, ShardOp, ShardRouter};
+use rodain_store::{ObjectId, Value};
+use rodain_workload::NumberTranslationDb;
+
+const SHARDS: usize = 2;
+const OBJECTS: u64 = 16;
+const SEED_AMOUNT: i64 = 50;
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEED") {
+        Ok(raw) => vec![raw
+            .trim()
+            .parse()
+            .expect("CHAOS_SEED must be an unsigned integer")],
+        Err(_) => vec![1, 7, 1945],
+    }
+}
+
+/// splitmix64 — the same generator the chaos harness uses, so seeds
+/// perturb the victim pair deterministically.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+struct Cluster {
+    node_a: NodeProcess,
+    node_b: NodeProcess,
+    dirs: (std::path::PathBuf, std::path::PathBuf),
+}
+
+impl Cluster {
+    fn start(bin: &std::path::Path, tag: &str, seed: u64) -> Cluster {
+        let mk_dir = |suffix: &str| {
+            let dir = std::env::temp_dir().join(format!(
+                "rodain-chaos-cluster-{}-{tag}-{seed}-{suffix}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            dir
+        };
+        let dir_a = mk_dir("a");
+        let dir_b = mk_dir("b");
+        let node_a = NodeProcess::spawn(bin, &NodeProcessConfig::new(SHARDS, vec![0], &dir_a))
+            .expect("spawn node A");
+        let node_b = NodeProcess::spawn(bin, &NodeProcessConfig::new(SHARDS, vec![1], &dir_b))
+            .expect("spawn node B");
+        let boot = ClusterCoordinator::connect(&node_a.peer_addr).expect("boot coordinator");
+        let map = ShardMap {
+            epoch: 2,
+            owners: vec![
+                ShardOwner {
+                    client_addr: node_a.client_addr.clone(),
+                    peer_addr: node_a.peer_addr.clone(),
+                },
+                ShardOwner {
+                    client_addr: node_b.client_addr.clone(),
+                    peer_addr: node_b.peer_addr.clone(),
+                },
+            ],
+        };
+        let addrs = vec![node_a.peer_addr.clone(), node_b.peer_addr.clone()];
+        boot.broadcast_map(&map, &addrs).expect("install map");
+        for n in 0..OBJECTS {
+            boot.execute(vec![ShardOp::Put {
+                oid: ObjectId(n),
+                value: Value::Int(SEED_AMOUNT),
+            }])
+            .expect("seed balance");
+        }
+        Cluster {
+            node_a,
+            node_b,
+            dirs: (dir_a, dir_b),
+        }
+    }
+
+    /// A transfer guaranteed to span both shards, derived from `seed`.
+    fn cross_shard_pair(&self, seed: u64) -> (ObjectId, ObjectId) {
+        let router = ShardRouter::new(SHARDS);
+        let pick = |shard: usize, salt: u64| {
+            (0..OBJECTS)
+                .map(|n| ObjectId((n + mix(seed ^ salt)) % OBJECTS))
+                .find(|oid| router.route(*oid) == shard)
+                .expect("an object on each shard")
+        };
+        (pick(0, 0xA), pick(1, 0xB))
+    }
+
+    fn audit_sum(&self) -> i64 {
+        let mut client =
+            ClusterClient::connect(&self.node_a.client_addr, NumberTranslationDb::new(OBJECTS))
+                .expect("audit client");
+        let mut sum = 0i64;
+        for n in 0..OBJECTS {
+            match client.get(ObjectId(n)).expect("audit get") {
+                rodain_server::Outcome::Ok(value) => sum += value.as_int().unwrap_or(0),
+                other => panic!("audit read failed: {other:?}"),
+            }
+        }
+        sum
+    }
+
+    fn balance(&self, oid: ObjectId) -> i64 {
+        let mut client =
+            ClusterClient::connect(&self.node_a.client_addr, NumberTranslationDb::new(OBJECTS))
+                .expect("balance client");
+        match client.get(oid).expect("balance get") {
+            rodain_server::Outcome::Ok(value) => value.as_int().unwrap_or(0),
+            other => panic!("balance read failed: {other:?}"),
+        }
+    }
+
+    fn finish(self) {
+        self.node_a.quit();
+        self.node_b.quit();
+        let _ = std::fs::remove_dir_all(&self.dirs.0);
+        let _ = std::fs::remove_dir_all(&self.dirs.1);
+    }
+}
+
+#[test]
+fn coordinator_death_between_prepare_and_decide_presumes_abort() {
+    let Some(bin) = node_binary() else {
+        eprintln!("cluster_node binary not found; skipping cluster chaos");
+        return;
+    };
+    for seed in seeds() {
+        let cluster = Cluster::start(&bin, "pa", seed);
+        let (from, to) = cluster.cross_shard_pair(seed);
+        let delta = 1 + (mix(seed) % 5) as i64;
+
+        // The coordinator prepares durable intents on both shards over
+        // the wire, then dies before writing the decision record.
+        let doomed =
+            ClusterCoordinator::connect(&cluster.node_a.peer_addr).expect("doomed coordinator");
+        let outcome = doomed.execute_with_crash(
+            vec![
+                ShardOp::Add { oid: from, delta: -delta },
+                ShardOp::Add { oid: to, delta },
+            ],
+            CrashPoint::AfterPrepare,
+        );
+        assert!(
+            matches!(outcome, Err(ClusterError::InjectedCrash(_))),
+            "seed {seed}: expected injected crash, got {outcome:?}"
+        );
+        drop(doomed); // its connections die with it
+
+        // Recovery from a fresh coordinator: no decision record exists
+        // anywhere, so both intents are presumed aborted.
+        let recovery =
+            ClusterCoordinator::connect(&cluster.node_b.peer_addr).expect("recovery coordinator");
+        let report = recovery.resolve_all().expect("resolve");
+        assert!(
+            report.aborted >= 2,
+            "seed {seed}: expected both intents presumed aborted, got {report:?}"
+        );
+        assert_eq!(report.rolled_forward, 0, "seed {seed}");
+
+        // The aborted transfer left no trace and the cluster still
+        // commits new work.
+        assert_eq!(cluster.balance(from), SEED_AMOUNT, "seed {seed}");
+        assert_eq!(cluster.balance(to), SEED_AMOUNT, "seed {seed}");
+        assert_eq!(cluster.audit_sum(), OBJECTS as i64 * SEED_AMOUNT, "seed {seed}");
+        recovery
+            .execute(vec![
+                ShardOp::Add { oid: from, delta: 1 },
+                ShardOp::Add { oid: to, delta: -1 },
+            ])
+            .expect("cluster commits after recovery");
+        assert_eq!(cluster.audit_sum(), OBJECTS as i64 * SEED_AMOUNT, "seed {seed}");
+        cluster.finish();
+    }
+}
+
+#[test]
+fn coordinator_death_after_decision_rolls_forward() {
+    let Some(bin) = node_binary() else {
+        eprintln!("cluster_node binary not found; skipping cluster chaos");
+        return;
+    };
+    for seed in seeds() {
+        let cluster = Cluster::start(&bin, "rf", seed);
+        let (from, to) = cluster.cross_shard_pair(seed);
+        let delta = 1 + (mix(seed) % 5) as i64;
+
+        // The decision record commits — the transaction is acked — and
+        // the coordinator dies before applying or cleaning up.
+        let doomed =
+            ClusterCoordinator::connect(&cluster.node_a.peer_addr).expect("doomed coordinator");
+        let receipt = doomed
+            .execute_with_crash(
+                vec![
+                    ShardOp::Add { oid: from, delta: -delta },
+                    ShardOp::Add { oid: to, delta },
+                ],
+                CrashPoint::AfterDecision,
+            )
+            .expect("decision committed");
+        assert!(receipt.gid != 0, "seed {seed}");
+        drop(doomed);
+
+        // Recovery finds the decision record and rolls both intents
+        // forward: the acked transfer survives, exactly once.
+        let recovery =
+            ClusterCoordinator::connect(&cluster.node_b.peer_addr).expect("recovery coordinator");
+        let report = recovery.resolve_all().expect("resolve");
+        assert!(
+            report.rolled_forward >= 2,
+            "seed {seed}: expected both intents rolled forward, got {report:?}"
+        );
+        assert_eq!(cluster.balance(from), SEED_AMOUNT - delta, "seed {seed}");
+        assert_eq!(cluster.balance(to), SEED_AMOUNT + delta, "seed {seed}");
+        assert_eq!(cluster.audit_sum(), OBJECTS as i64 * SEED_AMOUNT, "seed {seed}");
+
+        // A second sweep finds nothing left to do (idempotent recovery).
+        let again = recovery.resolve_all().expect("second resolve");
+        assert_eq!(again.rolled_forward, 0, "seed {seed}");
+        assert_eq!(again.aborted, 0, "seed {seed}");
+        cluster.finish();
+    }
+}

@@ -1,0 +1,118 @@
+//! One cluster node as a standalone process.
+//!
+//! ```text
+//! cluster_node --shards 4 --own 0,2 --listen 127.0.0.1:0 \
+//!     --peer-listen 127.0.0.1:0 --data /tmp/node-a
+//! ```
+//!
+//! Prints `LISTEN <addr>`, `PEER <addr>` and `READY` on stdout so an
+//! orchestrating parent can scrape the bound ports, then blocks reading
+//! stdin: EOF (the parent died or closed the pipe) shuts the node down.
+
+use rodain_cluster::{ClusterNode, NodeConfig};
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
+use std::time::Duration;
+
+struct Args {
+    shards: usize,
+    own: Vec<usize>,
+    listen: String,
+    peer_listen: String,
+    data: String,
+    flush_delay_us: u64,
+    batch: usize,
+    workers: usize,
+    objects: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        shards: 1,
+        own: Vec::new(),
+        listen: "127.0.0.1:0".to_string(),
+        peer_listen: "127.0.0.1:0".to_string(),
+        data: String::new(),
+        flush_delay_us: 0,
+        batch: 1,
+        workers: 2,
+        objects: 30_000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--shards" => args.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?,
+            "--own" => {
+                args.own = value("--own")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().map_err(|e| format!("{e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--listen" => args.listen = value("--listen")?,
+            "--peer-listen" => args.peer_listen = value("--peer-listen")?,
+            "--data" => args.data = value("--data")?,
+            "--flush-delay-us" => {
+                args.flush_delay_us = value("--flush-delay-us")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--batch" => args.batch = value("--batch")?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => args.workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?,
+            "--objects" => args.objects = value("--objects")?.parse().map_err(|e| format!("{e}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.data.is_empty() {
+        return Err("--data is required".to_string());
+    }
+    if args.own.is_empty() {
+        args.own = (0..args.shards).collect();
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("cluster_node: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut cfg = NodeConfig::new(args.shards, args.own, &args.data);
+    cfg.workers_per_shard = args.workers;
+    cfg.schema_objects = args.objects;
+    cfg.group_commit_batch = args.batch;
+    cfg.unlimited_admission = true;
+    if args.flush_delay_us > 0 {
+        cfg.flush_delay = Some(Duration::from_micros(args.flush_delay_us));
+    }
+    let client_listener = TcpListener::bind(&args.listen).expect("bind client listener");
+    let peer_listener = TcpListener::bind(&args.peer_listen).expect("bind peer listener");
+    let node = ClusterNode::start(cfg, client_listener, peer_listener).expect("start node");
+
+    let stdout = std::io::stdout();
+    {
+        let mut out = stdout.lock();
+        writeln!(out, "LISTEN {}", node.client_addr()).expect("stdout");
+        writeln!(out, "PEER {}", node.peer_addr()).expect("stdout");
+        writeln!(out, "READY").expect("stdout");
+        out.flush().expect("stdout flush");
+    }
+
+    // Park until the parent closes our stdin (or asks us to quit).
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(cmd) if cmd.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    node.shutdown();
+}

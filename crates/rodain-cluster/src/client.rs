@@ -1,0 +1,173 @@
+//! A map-aware client for cluster deployments: caches the epoch-numbered
+//! [`ShardMap`], routes each request to the anchor object's owner, and
+//! on a [`Outcome::WrongShard`] redirect (or a connection failure)
+//! refreshes the map and retries against the new owner.
+
+use rodain_server::{Client, Outcome};
+use rodain_shard::{ShardMap, ShardRouter};
+use rodain_store::{ObjectId, Value};
+use rodain_workload::NumberTranslationDb;
+use std::collections::HashMap;
+use std::io;
+use std::time::Duration;
+
+/// Retry budget per request: enough for a full map refresh plus the
+/// brief window where old and new owner disagree during cutover.
+const MAX_ATTEMPTS: usize = 16;
+
+/// A routing client over a cluster of nodes.
+pub struct ClusterClient {
+    map: ShardMap,
+    router: ShardRouter,
+    conns: HashMap<String, Client>,
+    schema: NumberTranslationDb,
+    deadline_ms: u32,
+}
+
+impl ClusterClient {
+    /// Connect to any node's *client* address, fetch the cluster map it
+    /// serves, and route by it from then on.
+    pub fn connect(seed_addr: &str, schema: NumberTranslationDb) -> io::Result<ClusterClient> {
+        let mut seed = Client::connect(seed_addr)?;
+        let map = match seed.cluster_map()? {
+            Outcome::Ok(value) => ShardMap::from_value(&value)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad cluster map"))?,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("cluster map fetch failed: {other:?}"),
+                ))
+            }
+        };
+        let router = ShardRouter::new(map.owners.len());
+        let mut conns = HashMap::new();
+        conns.insert(seed_addr.to_string(), seed);
+        Ok(ClusterClient {
+            map,
+            router,
+            conns,
+            schema,
+            deadline_ms: 0,
+        })
+    }
+
+    /// Deadline attached to every data request (0 = soft/none).
+    pub fn set_deadline_ms(&mut self, deadline_ms: u32) {
+        self.deadline_ms = deadline_ms;
+    }
+
+    /// The client's current view of the map.
+    #[must_use]
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    fn conn(&mut self, addr: &str) -> io::Result<&mut Client> {
+        if !self.conns.contains_key(addr) {
+            let client = Client::connect(addr)?;
+            self.conns.insert(addr.to_string(), client);
+        }
+        Ok(self.conns.get_mut(addr).expect("conn just inserted"))
+    }
+
+    /// Ask every distinct owner for its map and keep the newest. Nodes
+    /// mid-cutover can briefly disagree; the newest epoch wins and a
+    /// short pause lets the installation broadcast land (`DESIGN.md`
+    /// §16).
+    fn refresh_map(&mut self) {
+        std::thread::sleep(Duration::from_millis(10));
+        let mut addrs: Vec<String> = self
+            .map
+            .owners
+            .iter()
+            .map(|o| o.client_addr.clone())
+            .collect();
+        addrs.extend(self.conns.keys().cloned());
+        addrs.sort();
+        addrs.dedup();
+        let mut best: Option<ShardMap> = None;
+        for addr in addrs {
+            let Ok(conn) = self.conn(&addr) else {
+                continue;
+            };
+            if let Ok(Outcome::Ok(value)) = conn.cluster_map() {
+                if let Some(map) = ShardMap::from_value(&value) {
+                    if best.as_ref().map_or(true, |b| map.epoch > b.epoch) {
+                        best = Some(map);
+                    }
+                }
+            }
+        }
+        if let Some(map) = best {
+            if map.epoch >= self.map.epoch {
+                self.map = map;
+            }
+        }
+    }
+
+    /// Route a request anchored at `anchor` to its owner, refreshing
+    /// the map and retrying on redirects or dead connections.
+    fn request_on(
+        &mut self,
+        anchor: ObjectId,
+        op: impl Fn(&mut Client, u32) -> io::Result<Outcome>,
+    ) -> io::Result<Outcome> {
+        let deadline = self.deadline_ms;
+        let mut last_err: Option<io::Error> = None;
+        for _ in 0..MAX_ATTEMPTS {
+            let shard = self.router.route(anchor);
+            let Some(addr) = self.map.owner(shard).map(|o| o.client_addr.clone()) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("shard {shard} has no owner"),
+                ));
+            };
+            let outcome = match self.conn(&addr) {
+                Ok(conn) => op(conn, deadline),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(Outcome::WrongShard { .. }) => {
+                    self.refresh_map();
+                }
+                Ok(other) => return Ok(other),
+                Err(e) => {
+                    // Connection torn (node restarting, migrating away):
+                    // drop it, refresh the map, try the new owner.
+                    self.conns.remove(&addr);
+                    last_err = Some(e);
+                    self.refresh_map();
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request did not converge on a shard owner",
+            )
+        }))
+    }
+
+    /// Number-translation lookup ([`Client::translate`]).
+    pub fn translate(&mut self, number: u64) -> io::Result<Outcome> {
+        let anchor = self.schema.object_id(number);
+        self.request_on(anchor, move |c, d| c.translate(number, d))
+    }
+
+    /// Update a service provision ([`Client::provision`]).
+    pub fn provision(&mut self, number: u64, address: &str) -> io::Result<Outcome> {
+        let anchor = self.schema.object_id(number);
+        let address = address.to_string();
+        self.request_on(anchor, move |c, d| c.provision(number, address.clone(), d))
+    }
+
+    /// Generic object read.
+    pub fn get(&mut self, oid: ObjectId) -> io::Result<Outcome> {
+        self.request_on(oid, move |c, d| c.get(oid, d))
+    }
+
+    /// Generic object write.
+    pub fn put(&mut self, oid: ObjectId, value: Value) -> io::Result<Outcome> {
+        self.request_on(oid, move |c, d| c.put(oid, value.clone(), d))
+    }
+}

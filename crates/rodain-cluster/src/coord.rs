@@ -1,0 +1,472 @@
+//! The networked 2PC coordinator: drives the durable-intent protocol
+//! from `DESIGN.md` §11 over peer sockets (`DESIGN.md` §16).
+//!
+//! The coordinator is a *client* of the cluster — it holds no shard
+//! engines. Its persistent state lives entirely on the nodes: the
+//! intent record on each participant shard and the decision record on
+//! the coordinator shard. If the coordinator process dies at any point,
+//! a later cluster-wide resolve pass ([`ClusterCoordinator::resolve_all`])
+//! finishes or presumes abort for every in-flight transaction.
+
+use crate::proto::{
+    decode_reply, encode_request, ClusterProtoError, ClusterReply, ClusterRequest,
+};
+use parking_lot::{Mutex, RwLock};
+use rodain_net::{NetError, PeerClient};
+use rodain_obs::{Histogram, Recorder};
+use rodain_shard::{CrashPoint, ShardMap, ShardOp, ShardRouter};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by cluster-wide operations.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Transport failure talking to a node.
+    Net(NetError),
+    /// The node answered, but with an application-level error.
+    Remote(String),
+    /// The node's reply did not decode, or was the wrong kind.
+    Proto(ClusterProtoError),
+    /// A shard has no owner in the current map.
+    NoOwner(usize),
+    /// The transaction was presumed aborted (a participant failed to
+    /// prepare); no data changed.
+    PresumedAbort(String),
+    /// An injected [`CrashPoint`] stopped the coordinator mid-protocol
+    /// (chaos tests only).
+    InjectedCrash(&'static str),
+    /// The request was malformed before it ever reached the wire.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Net(e) => write!(f, "network: {e}"),
+            ClusterError::Remote(m) => write!(f, "remote: {m}"),
+            ClusterError::Proto(e) => write!(f, "protocol: {e}"),
+            ClusterError::NoOwner(s) => write!(f, "shard {s} has no owner"),
+            ClusterError::PresumedAbort(m) => write!(f, "presumed abort: {m}"),
+            ClusterError::InjectedCrash(p) => write!(f, "injected crash at {p}"),
+            ClusterError::Invalid(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<NetError> for ClusterError {
+    fn from(e: NetError) -> ClusterError {
+        ClusterError::Net(e)
+    }
+}
+
+impl From<ClusterProtoError> for ClusterError {
+    fn from(e: ClusterProtoError) -> ClusterError {
+        ClusterError::Proto(e)
+    }
+}
+
+/// Receipt for a committed cluster transaction.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterReceipt {
+    /// CSN of the commit point (single-shard: the data commit;
+    /// cross-shard: the decision record's commit on the coordinator
+    /// shard).
+    pub csn: u64,
+    /// Group id of a cross-shard transaction (0 for single-shard).
+    pub gid: u64,
+    /// Shards the transaction touched.
+    pub shards: usize,
+}
+
+/// Outcome of a cluster-wide resolve sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResolveReport {
+    /// Intents rolled forward (decision record found).
+    pub rolled_forward: u64,
+    /// Intents presumed aborted (coordinator reachable, no decision).
+    pub aborted: u64,
+    /// Decision records garbage-collected in the second pass.
+    pub decisions_gced: u64,
+}
+
+/// A 2PC coordinator and migration driver speaking the peer protocol.
+pub struct ClusterCoordinator {
+    map: RwLock<ShardMap>,
+    router: ShardRouter,
+    peers: Mutex<HashMap<String, Arc<PeerClient>>>,
+    recorder: Recorder,
+    prepare_hist: Histogram,
+    next_id: AtomicU64,
+    timeout: Duration,
+}
+
+impl ClusterCoordinator {
+    /// Connect to any node's peer address and adopt the cluster map it
+    /// serves.
+    pub fn connect(seed_peer_addr: &str) -> Result<ClusterCoordinator, ClusterError> {
+        ClusterCoordinator::connect_with_timeout(seed_peer_addr, Duration::from_secs(5))
+    }
+
+    /// [`ClusterCoordinator::connect`] with an explicit per-call
+    /// timeout.
+    pub fn connect_with_timeout(
+        seed_peer_addr: &str,
+        timeout: Duration,
+    ) -> Result<ClusterCoordinator, ClusterError> {
+        let recorder = Recorder::new();
+        let prepare_hist = recorder.histogram("cluster_2pc_remote_prepare_ns");
+        let mut coordinator = ClusterCoordinator {
+            map: RwLock::new(ShardMap::single(1, "", seed_peer_addr)),
+            router: ShardRouter::new(1),
+            peers: Mutex::new(HashMap::new()),
+            recorder,
+            prepare_hist,
+            next_id: AtomicU64::new(1),
+            timeout,
+        };
+        let map = coordinator.fetch_map(seed_peer_addr)?;
+        coordinator.router = ShardRouter::new(map.owners.len());
+        *coordinator.map.write() = map;
+        Ok(coordinator)
+    }
+
+    /// The coordinator's current view of the cluster map.
+    #[must_use]
+    pub fn map(&self) -> ShardMap {
+        self.map.read().clone()
+    }
+
+    /// Metrics recorder (`cluster_2pc_remote_prepare_ns`).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    pub(crate) fn adopt_map(&self, map: ShardMap) {
+        let mut cur = self.map.write();
+        if map.epoch > cur.epoch {
+            *cur = map;
+        }
+    }
+
+    fn peer(&self, addr: &str) -> Arc<PeerClient> {
+        let mut peers = self.peers.lock();
+        Arc::clone(
+            peers
+                .entry(addr.to_string())
+                .or_insert_with(|| Arc::new(PeerClient::new(addr))),
+        )
+    }
+
+    /// One correlated request/reply exchange with the node at `addr`.
+    pub(crate) fn call(
+        &self,
+        addr: &str,
+        request: &ClusterRequest,
+    ) -> Result<ClusterReply, ClusterError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = encode_request(id, request);
+        let raw = self.peer(addr).call(frame, self.timeout)?;
+        let (got_id, reply) = decode_reply(raw)?;
+        if got_id != id {
+            return Err(ClusterError::Proto(ClusterProtoError::Malformed(
+                "reply id does not match request",
+            )));
+        }
+        match reply {
+            ClusterReply::Err { message } => Err(ClusterError::Remote(message)),
+            other => Ok(other),
+        }
+    }
+
+    pub(crate) fn owner_peer(&self, shard: usize) -> Result<String, ClusterError> {
+        self.map
+            .read()
+            .owner(shard)
+            .map(|o| o.peer_addr.clone())
+            .ok_or(ClusterError::NoOwner(shard))
+    }
+
+    /// Every distinct peer address in the current map.
+    #[must_use]
+    pub fn peer_addrs(&self) -> Vec<String> {
+        let map = self.map.read();
+        let mut addrs: Vec<String> = map.owners.iter().map(|o| o.peer_addr.clone()).collect();
+        addrs.sort();
+        addrs.dedup();
+        addrs
+    }
+
+    /// Fetch the map one node serves.
+    pub fn fetch_map(&self, peer_addr: &str) -> Result<ShardMap, ClusterError> {
+        match self.call(peer_addr, &ClusterRequest::FetchMap)? {
+            ClusterReply::Map { map } => Ok(map),
+            _ => Err(ClusterError::Proto(ClusterProtoError::Malformed(
+                "expected Map reply",
+            ))),
+        }
+    }
+
+    /// Push `map` to every address in `addrs` (idempotent; nodes keep
+    /// the highest epoch they have seen) and adopt it locally.
+    pub fn broadcast_map(&self, map: &ShardMap, addrs: &[String]) -> Result<(), ClusterError> {
+        let mut first_err = None;
+        for addr in addrs {
+            if let Err(e) = self.call(addr, &ClusterRequest::InstallMap { map: map.clone() }) {
+                first_err.get_or_insert(e);
+            }
+        }
+        self.adopt_map(map.clone());
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Adopt the freshest map any currently-known node serves (old
+    /// owners keep serving the post-cutover map, so a stale coordinator
+    /// converges in one sweep).
+    pub fn refresh_map(&self) {
+        for addr in self.peer_addrs() {
+            if let Ok(map) = self.fetch_map(&addr) {
+                self.adopt_map(map);
+            }
+        }
+    }
+
+    /// Execute `ops` as one atomic cluster transaction.
+    ///
+    /// Retries once after a map refresh when the cluster answers with an
+    /// application-level error or a presumed abort — both mean no data
+    /// changed, so the retry cannot double-apply. Transport failures on
+    /// the decision call are NOT retried (the decision may have
+    /// committed); [`ClusterCoordinator::resolve_all`] settles those.
+    pub fn execute(&self, ops: Vec<ShardOp>) -> Result<ClusterReceipt, ClusterError> {
+        match self.execute_with_crash(ops.clone(), CrashPoint::None) {
+            Err(ClusterError::Remote(_)) | Err(ClusterError::PresumedAbort(_)) => {
+                self.refresh_map();
+                self.execute_with_crash(ops, CrashPoint::None)
+            }
+            other => other,
+        }
+    }
+
+    /// [`ClusterCoordinator::execute`] with an injected coordinator
+    /// crash for recovery tests.
+    ///
+    /// Protocol (see `DESIGN.md` §16): group ops by shard; single-shard
+    /// groups commit directly on the owner. Cross-shard groups write a
+    /// durable intent on every participant (*prepare*), then commit a
+    /// decision record on the coordinator shard — that commit IS the
+    /// atomic commit point — then apply and clean up. Any failure
+    /// before the decision is a presumed abort; any crash after it is
+    /// rolled forward by resolve.
+    pub fn execute_with_crash(
+        &self,
+        ops: Vec<ShardOp>,
+        crash: CrashPoint,
+    ) -> Result<ClusterReceipt, ClusterError> {
+        if ops.is_empty() {
+            return Err(ClusterError::Invalid("empty transaction"));
+        }
+        let mut groups: Vec<(usize, Vec<ShardOp>)> = Vec::new();
+        for op in ops {
+            let shard = self.router.route(op.oid());
+            match groups.iter_mut().find(|(s, _)| *s == shard) {
+                Some((_, group)) => group.push(op),
+                None => groups.push((shard, vec![op])),
+            }
+        }
+        if groups.len() == 1 {
+            let (shard, ops) = groups.pop().expect("one group");
+            let addr = self.owner_peer(shard)?;
+            return match self.call(
+                &addr,
+                &ClusterRequest::Commit {
+                    shard: shard as u64,
+                    ops,
+                },
+            )? {
+                ClusterReply::Committed { csn } => Ok(ClusterReceipt {
+                    csn,
+                    gid: 0,
+                    shards: 1,
+                }),
+                _ => Err(ClusterError::Proto(ClusterProtoError::Malformed(
+                    "expected Committed reply",
+                ))),
+            };
+        }
+
+        let coordinator_shard = groups[0].0;
+        let coord_addr = self.owner_peer(coordinator_shard)?;
+        let gid = match self.call(
+            &coord_addr,
+            &ClusterRequest::AllocGid {
+                shard: coordinator_shard as u64,
+            },
+        )? {
+            ClusterReply::Gid { gid } => gid,
+            _ => {
+                return Err(ClusterError::Proto(ClusterProtoError::Malformed(
+                    "expected Gid reply",
+                )))
+            }
+        };
+
+        // Phase 1: durable intents on every participant.
+        let mut prepared: Vec<usize> = Vec::new();
+        for (shard, group) in &groups {
+            let addr = self.owner_peer(*shard)?;
+            let started = Instant::now();
+            let outcome = self.call(
+                &addr,
+                &ClusterRequest::Prepare {
+                    gid,
+                    coordinator_shard: coordinator_shard as u64,
+                    shard: *shard as u64,
+                    ops: group.clone(),
+                },
+            );
+            self.prepare_hist
+                .record(started.elapsed().as_nanos() as u64);
+            match outcome {
+                Ok(ClusterReply::Prepared) => prepared.push(*shard),
+                Ok(_) => {
+                    self.abort_prepared(gid, &prepared);
+                    return Err(ClusterError::Proto(ClusterProtoError::Malformed(
+                        "expected Prepared reply",
+                    )));
+                }
+                Err(e) => {
+                    // No decision record exists, so this transaction is
+                    // already aborted by presumption — tidy what we can.
+                    self.abort_prepared(gid, &prepared);
+                    return Err(ClusterError::PresumedAbort(e.to_string()));
+                }
+            }
+        }
+
+        if crash == CrashPoint::AfterPrepare {
+            return Err(ClusterError::InjectedCrash("after-prepare"));
+        }
+
+        // Commit point: the decision record on the coordinator shard.
+        let csn = match self.call(
+            &coord_addr,
+            &ClusterRequest::Decide {
+                shard: coordinator_shard as u64,
+                gid,
+            },
+        ) {
+            Ok(ClusterReply::Decided { csn }) => csn,
+            Ok(_) => {
+                self.abort_prepared(gid, &prepared);
+                return Err(ClusterError::Proto(ClusterProtoError::Malformed(
+                    "expected Decided reply",
+                )));
+            }
+            Err(e) => {
+                // The decision may or may not have committed — do NOT
+                // delete intents; resolve will consult the decision
+                // record and finish either way.
+                return Err(e);
+            }
+        };
+        let receipt = ClusterReceipt {
+            csn,
+            gid,
+            shards: groups.len(),
+        };
+
+        if crash == CrashPoint::AfterDecision {
+            // Committed but unapplied: resolve rolls it forward.
+            return Ok(receipt);
+        }
+
+        // Phase 2: apply + cleanup (all best-effort; resolve finishes
+        // stragglers).
+        for (shard, _) in &groups {
+            if let Ok(addr) = self.owner_peer(*shard) {
+                let _ = self.call(
+                    &addr,
+                    &ClusterRequest::Apply {
+                        shard: *shard as u64,
+                        gid,
+                        stamp: csn as i64,
+                    },
+                );
+                let _ = self.call(
+                    &addr,
+                    &ClusterRequest::Cleanup {
+                        shard: *shard as u64,
+                        gid,
+                        decision: false,
+                    },
+                );
+            }
+        }
+        let _ = self.call(
+            &coord_addr,
+            &ClusterRequest::Cleanup {
+                shard: coordinator_shard as u64,
+                gid,
+                decision: true,
+            },
+        );
+        Ok(receipt)
+    }
+
+    fn abort_prepared(&self, gid: u64, prepared: &[usize]) {
+        for shard in prepared {
+            if let Ok(addr) = self.owner_peer(*shard) {
+                let _ = self.call(
+                    &addr,
+                    &ClusterRequest::Cleanup {
+                        shard: *shard as u64,
+                        gid,
+                        decision: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Cluster-wide recovery sweep: every node resolves its pending
+    /// intents (consulting decision records over the wire), and only if
+    /// *all* nodes succeed does a second pass garbage-collect the
+    /// decision records (`DESIGN.md` §16 explains why GC must wait).
+    pub fn resolve_all(&self) -> Result<ResolveReport, ClusterError> {
+        let addrs = self.peer_addrs();
+        let mut report = ResolveReport::default();
+        for addr in &addrs {
+            match self.call(addr, &ClusterRequest::TriggerResolve)? {
+                ClusterReply::Resolved {
+                    rolled_forward,
+                    aborted,
+                } => {
+                    report.rolled_forward += rolled_forward;
+                    report.aborted += aborted;
+                }
+                _ => {
+                    return Err(ClusterError::Proto(ClusterProtoError::Malformed(
+                        "expected Resolved reply",
+                    )))
+                }
+            }
+        }
+        for addr in &addrs {
+            if let ClusterReply::Cleaned { count } =
+                self.call(addr, &ClusterRequest::GcDecisions)?
+            {
+                report.decisions_gced += count;
+            }
+        }
+        Ok(report)
+    }
+}

@@ -1,0 +1,163 @@
+//! Spawning real `cluster_node` processes from tests, benchmarks and
+//! examples: launch the binary, scrape its `LISTEN`/`PEER`/`READY`
+//! banner, and tear it down (gracefully or by SIGKILL for chaos).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+
+/// Command-line shape of one `cluster_node` process.
+#[derive(Clone, Debug)]
+pub struct NodeProcessConfig {
+    /// Total shards in the cluster.
+    pub shards: usize,
+    /// Shards this node seats.
+    pub own: Vec<usize>,
+    /// Data directory (per-shard logs live under it).
+    pub data: PathBuf,
+    /// `--flush-delay-us` (0 = real disk speed).
+    pub flush_delay_us: u64,
+    /// Group-commit batch limit.
+    pub batch: usize,
+    /// Executor threads per shard.
+    pub workers: usize,
+    /// Objects in the number-translation schema.
+    pub objects: u64,
+}
+
+impl NodeProcessConfig {
+    /// A node owning `own` of `shards` shards with data under `data`.
+    #[must_use]
+    pub fn new(shards: usize, own: Vec<usize>, data: impl Into<PathBuf>) -> NodeProcessConfig {
+        NodeProcessConfig {
+            shards,
+            own,
+            data: data.into(),
+            flush_delay_us: 0,
+            batch: 1,
+            workers: 2,
+            objects: 1_024,
+        }
+    }
+}
+
+/// Locate the `cluster_node` binary: `RODAIN_CLUSTER_NODE_BIN` wins;
+/// otherwise walk up from the current executable (a test binary lives in
+/// `target/<profile>/deps/`, the node binary in `target/<profile>/`).
+#[must_use]
+pub fn node_binary() -> Option<PathBuf> {
+    if let Ok(path) = std::env::var("RODAIN_CLUSTER_NODE_BIN") {
+        let path = PathBuf::from(path);
+        return path.is_file().then_some(path);
+    }
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?;
+    for _ in 0..3 {
+        for name in ["cluster_node", "cluster_node.exe"] {
+            let candidate = dir.join(name);
+            if candidate.is_file() {
+                return Some(candidate);
+            }
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+/// A running `cluster_node` child process.
+pub struct NodeProcess {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    /// Client-plane address the node bound.
+    pub client_addr: String,
+    /// Peer-plane address the node bound.
+    pub peer_addr: String,
+}
+
+impl NodeProcess {
+    /// Launch `bin` with `cfg` and wait for its `READY` banner.
+    pub fn spawn(bin: &std::path::Path, cfg: &NodeProcessConfig) -> io::Result<NodeProcess> {
+        let own = cfg
+            .own
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut child = Command::new(bin)
+            .arg("--shards")
+            .arg(cfg.shards.to_string())
+            .arg("--own")
+            .arg(own)
+            .arg("--data")
+            .arg(&cfg.data)
+            .arg("--flush-delay-us")
+            .arg(cfg.flush_delay_us.to_string())
+            .arg("--batch")
+            .arg(cfg.batch.to_string())
+            .arg("--workers")
+            .arg(cfg.workers.to_string())
+            .arg("--objects")
+            .arg(cfg.objects.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take();
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::BrokenPipe, "no child stdout"))?;
+        let mut client_addr = String::new();
+        let mut peer_addr = String::new();
+        for line in BufReader::new(stdout).lines() {
+            let line = line?;
+            if let Some(addr) = line.strip_prefix("LISTEN ") {
+                client_addr = addr.trim().to_string();
+            } else if let Some(addr) = line.strip_prefix("PEER ") {
+                peer_addr = addr.trim().to_string();
+            } else if line.trim() == "READY" {
+                break;
+            }
+        }
+        if client_addr.is_empty() || peer_addr.is_empty() {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "node exited before READY",
+            ));
+        }
+        Ok(NodeProcess {
+            child,
+            stdin,
+            client_addr,
+            peer_addr,
+        })
+    }
+
+    /// Whether the process is still running.
+    pub fn alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+
+    /// Graceful shutdown: ask the node to quit and reap it.
+    pub fn quit(mut self) {
+        if let Some(mut stdin) = self.stdin.take() {
+            let _ = writeln!(stdin, "quit");
+        }
+        let _ = self.child.wait();
+    }
+
+    /// Hard kill (chaos): SIGKILL, no flush, no goodbye.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for NodeProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}

@@ -1,0 +1,673 @@
+//! One process of a multi-node cluster: locally-owned shard engines
+//! behind a client-plane [`rodain_server::Server`] and a peer-plane
+//! [`PeerServer`] speaking the [`crate::proto`] protocol.
+
+use crate::proto::{
+    decode_request, encode_reply, ClusterReply, ClusterRequest, TailCommit,
+    CLUSTER_PROTOCOL_VERSION,
+};
+use parking_lot::Mutex;
+use rodain_db::{Rodain, RodainBuilder, TxnOptions};
+use rodain_log::{
+    decode_snapshot, write_snapshot_file, LogStorage, LogStorageConfig, ThrottledStorage,
+};
+use rodain_net::{Bytes, PeerClient, PeerServer};
+use rodain_obs::Counter;
+use rodain_occ::Csn;
+use rodain_server::{ClusterShards, Server, ServerHandle};
+use rodain_shard::{
+    apply_on_shard, best_effort_delete, decode_intent, MetaKind, ShardMap, ShardRouter,
+    ShardedRodain,
+};
+use rodain_store::{ObjectId, Store, Ts, Value};
+use rodain_workload::NumberTranslationDb;
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a peer call made *by* a node (decision queries during
+/// resolve) waits before giving up and leaving the intent pending.
+const PEER_CALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Low 32 bits of a cluster group id: the coordinator-shard-local
+/// sequence number ([`ShardedRodain::alloc_gid`]); the high bits carry
+/// the coordinator shard so ids from different coordinators never
+/// collide.
+pub const GID_SEQ_MASK: u64 = 0xFFFF_FFFF;
+
+/// Configuration of one cluster node process.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Total shards in the cluster (identical on every node).
+    pub shards: usize,
+    /// The shards this node seats engines for.
+    pub own: Vec<usize>,
+    /// Root directory for per-shard redo logs and snapshots
+    /// (`<data_dir>/shard-<i>`).
+    pub data_dir: PathBuf,
+    /// Executor threads per shard engine.
+    pub workers_per_shard: usize,
+    /// Objects in the number-translation schema served on the client
+    /// plane.
+    pub schema_objects: u64,
+    /// Charge a fixed service delay per log flush (benchmarks use this
+    /// to make each shard's log stream the measured bottleneck).
+    pub flush_delay: Option<Duration>,
+    /// Group-commit batch limit per shard (1 = the paper prototype's
+    /// one-commit-per-flush path).
+    pub group_commit_batch: usize,
+    /// Lift the admission limit so pre-submitted benchmark backlogs are
+    /// not rejected by the overload manager.
+    pub unlimited_admission: bool,
+}
+
+impl NodeConfig {
+    /// A node owning `own` out of `shards` shards, logging under
+    /// `data_dir`, with defaults suitable for tests.
+    #[must_use]
+    pub fn new(shards: usize, own: Vec<usize>, data_dir: impl Into<PathBuf>) -> NodeConfig {
+        NodeConfig {
+            shards,
+            own,
+            data_dir: data_dir.into(),
+            workers_per_shard: 2,
+            schema_objects: 1_024,
+            flush_delay: None,
+            group_commit_batch: 64,
+            unlimited_admission: false,
+        }
+    }
+}
+
+fn unlimited() -> rodain_sched::OverloadConfig {
+    rodain_sched::OverloadConfig {
+        base_limit: 1_000_000,
+        min_limit: 1_000_000,
+        ..rodain_sched::OverloadConfig::default()
+    }
+}
+
+/// Apply this node's durability/admission configuration to one shard
+/// engine builder (used at startup and again when a migrated-in shard is
+/// activated).
+fn configure_shard(cfg: &NodeConfig, shard: usize, mut b: RodainBuilder) -> RodainBuilder {
+    let dir = ShardedRodain::shard_dir(&cfg.data_dir, shard);
+    let _ = std::fs::create_dir_all(&dir);
+    if let Some(delay) = cfg.flush_delay {
+        let storage = ThrottledStorage::new(
+            LogStorage::open(LogStorageConfig::new(dir)).expect("open shard log"),
+            delay,
+        );
+        b = b.contingency_storage(storage);
+    } else {
+        b = b.contingency_log(dir);
+    }
+    if cfg.unlimited_admission {
+        b = b.overload(unlimited());
+    }
+    b.group_commit_batch(cfg.group_commit_batch)
+}
+
+/// A shard copy being staged on the target node during migration:
+/// snapshot installed, catch-up tail applied incrementally.
+struct Staged {
+    store: Arc<Store>,
+    upto: u64,
+}
+
+struct NodeState {
+    cfg: NodeConfig,
+    cluster: Arc<ClusterShards>,
+    staged: Mutex<HashMap<usize, Staged>>,
+    peers: Mutex<HashMap<String, Arc<PeerClient>>>,
+    migrations: Counter,
+    catchup: Counter,
+}
+
+/// One running cluster node: client plane + peer plane over the locally
+/// owned shards.
+pub struct ClusterNode {
+    state: Arc<NodeState>,
+    server: ServerHandle,
+    peer: PeerServer,
+}
+
+impl ClusterNode {
+    /// Start a node from `cfg`, serving clients on `client_listener` and
+    /// peers on `peer_listener`. The node boots with a provisional
+    /// single-node map (epoch 1) naming itself owner of everything; the
+    /// deployment's real map is pushed with
+    /// [`ClusterRequest::InstallMap`] once every node's addresses are
+    /// known.
+    pub fn start(
+        cfg: NodeConfig,
+        client_listener: TcpListener,
+        peer_listener: TcpListener,
+    ) -> io::Result<ClusterNode> {
+        let client_addr = client_listener.local_addr()?;
+        let peer_addr = peer_listener.local_addr()?;
+        let cfg_for_hook = cfg.clone();
+        let local = Arc::new(
+            ShardedRodain::builder()
+                .shards(cfg.shards)
+                .workers_per_shard(cfg.workers_per_shard)
+                .shard_hook(move |i, b| configure_shard(&cfg_for_hook, i, b))
+                .build()?,
+        );
+        for shard in 0..cfg.shards {
+            if !cfg.own.contains(&shard) {
+                drop(local.take_shard(shard));
+            }
+        }
+        let map = ShardMap::single(
+            cfg.shards,
+            &client_addr.to_string(),
+            &peer_addr.to_string(),
+        );
+        let cluster = ClusterShards::new(local, map);
+        let migrations = cluster.recorder().counter("cluster_migrations_total");
+        let catchup = cluster
+            .recorder()
+            .counter("cluster_migration_catchup_commits");
+        let state = Arc::new(NodeState {
+            cfg,
+            cluster: Arc::clone(&cluster),
+            staged: Mutex::new(HashMap::new()),
+            peers: Mutex::new(HashMap::new()),
+            migrations,
+            catchup,
+        });
+        let schema = NumberTranslationDb::new(state.cfg.schema_objects);
+        let server = Server::cluster(Arc::clone(&cluster), schema).start(client_listener)?;
+        let handler_state = Arc::clone(&state);
+        let peer = PeerServer::start(
+            peer_listener,
+            Arc::new(move |frame: Bytes| {
+                let (id, request) = decode_request(frame).ok()?;
+                let reply = handle_peer(&handler_state, request);
+                Some(encode_reply(id, &reply))
+            }),
+        )?;
+        Ok(ClusterNode {
+            state,
+            server,
+            peer,
+        })
+    }
+
+    /// The client-plane address.
+    #[must_use]
+    pub fn client_addr(&self) -> std::net::SocketAddr {
+        self.server.addr()
+    }
+
+    /// The peer-plane address.
+    #[must_use]
+    pub fn peer_addr(&self) -> std::net::SocketAddr {
+        self.peer.addr()
+    }
+
+    /// The node's placement state (map, owned engines, metrics).
+    #[must_use]
+    pub fn cluster(&self) -> &Arc<ClusterShards> {
+        &self.state.cluster
+    }
+
+    /// Client-plane request counters.
+    #[must_use]
+    pub fn server_stats(&self) -> rodain_server::ServerStats {
+        self.server.stats()
+    }
+
+    /// Stop both planes (owned engines shut down as their `Arc`s drop).
+    pub fn shutdown(self) {
+        self.server.shutdown();
+        self.peer.shutdown();
+    }
+}
+
+impl NodeState {
+    fn peer(&self, addr: &str) -> Arc<PeerClient> {
+        let mut peers = self.peers.lock();
+        Arc::clone(
+            peers
+                .entry(addr.to_string())
+                .or_insert_with(|| Arc::new(PeerClient::new(addr))),
+        )
+    }
+
+    /// Peer call with correlation-id checking; `None` on any transport
+    /// or protocol failure (callers treat the answer as unknown).
+    fn call(&self, addr: &str, request: &ClusterRequest) -> Option<ClusterReply> {
+        let id = 1; // one in-flight call per connection
+        let frame = crate::proto::encode_request(id, request);
+        let reply = self.peer(addr).call(frame, PEER_CALL_TIMEOUT).ok()?;
+        let (got_id, reply) = crate::proto::decode_reply(reply).ok()?;
+        (got_id == id).then_some(reply)
+    }
+}
+
+fn err(message: impl Into<String>) -> ClusterReply {
+    ClusterReply::Err {
+        message: message.into(),
+    }
+}
+
+fn owned_engine(state: &NodeState, shard: u64) -> Result<Arc<Rodain>, ClusterReply> {
+    let shard = shard as usize;
+    state
+        .cluster
+        .local()
+        .engine(shard)
+        .ok_or_else(|| err(format!("shard {shard} is not seated on this node")))
+}
+
+fn run_ops(
+    engine: &Rodain,
+    ops: Vec<rodain_shard::ShardOp>,
+) -> Result<rodain_db::TxnReceipt, rodain_db::TxnError> {
+    engine.execute(TxnOptions::non_real_time(), move |ctx| {
+        for op in &ops {
+            match op {
+                rodain_shard::ShardOp::Add { oid, delta } => {
+                    let current = ctx.read(*oid)?.and_then(|v| v.as_int()).unwrap_or(0);
+                    ctx.write(*oid, Value::Int(current + delta))?;
+                }
+                rodain_shard::ShardOp::Put { oid, value } => {
+                    ctx.write(*oid, value.clone())?;
+                }
+            }
+        }
+        Ok(None)
+    })
+}
+
+/// Read the committed tail of `shard`'s redo log: every transaction with
+/// CSN > `after`, regrouped in true validation order (the same reorder
+/// pass the mirror uses). A torn final segment (the engine is still
+/// appending) silently ends the scan — the next round picks it up.
+fn read_tail(state: &NodeState, shard: usize, after: u64) -> io::Result<Vec<TailCommit>> {
+    let dir = ShardedRodain::shard_dir(&state.cfg.data_dir, shard);
+    let mut reorder = rodain_log::ReorderBuffer::starting_at(Csn(after + 1));
+    let mut commits = Vec::new();
+    for item in LogStorage::scan_dir(&dir)? {
+        let Ok(record) = item else {
+            break;
+        };
+        if reorder.ingest(record).is_err() {
+            break;
+        }
+        for committed in reorder.drain_ready() {
+            commits.push(TailCommit {
+                csn: committed.csn.0,
+                ser_ts: committed.ser_ts.0,
+                writes: committed.writes,
+            });
+        }
+    }
+    Ok(commits)
+}
+
+/// Resolve every intent held on this node's shards: roll forward when
+/// the coordinator (local or remote, via [`ClusterRequest::QueryDecision`])
+/// has a decision record, presume abort when it answers "no decision",
+/// and leave the intent pending when the coordinator is unreachable.
+fn resolve_local(state: &NodeState) -> (u64, u64) {
+    let local = state.cluster.local();
+    let router = local.router();
+    let map = state.cluster.map();
+    let (mut rolled_forward, mut aborted) = (0u64, 0u64);
+    for shard in 0..local.shard_count() {
+        let Some(engine) = local.engine(shard) else {
+            continue;
+        };
+        let snapshot = engine.snapshot();
+        for (oid, object) in &snapshot.objects {
+            let Some(meta) = ShardRouter::meta_parts(*oid) else {
+                continue;
+            };
+            if meta.kind != MetaKind::Intent {
+                continue;
+            }
+            local.note_gid_seen(meta.gid & GID_SEQ_MASK);
+            match &object.value {
+                Value::Int(_) => {
+                    // Applied marker: the data already changed.
+                    best_effort_delete(&engine, *oid);
+                }
+                value => {
+                    let Some((gid, coordinator, ops)) = decode_intent(value) else {
+                        best_effort_delete(&engine, *oid);
+                        aborted += 1;
+                        continue;
+                    };
+                    let decision_oid = router.decision_oid(coordinator, gid);
+                    let decided = if let Some(coord_engine) = local.engine(coordinator) {
+                        Some(coord_engine.get(decision_oid).is_some())
+                    } else {
+                        map.owner(coordinator).and_then(|owner| {
+                            match state.call(
+                                &owner.peer_addr,
+                                &ClusterRequest::QueryDecision {
+                                    shard: coordinator as u64,
+                                    gid,
+                                },
+                            ) {
+                                Some(ClusterReply::Decision { decided }) => Some(decided),
+                                _ => None,
+                            }
+                        })
+                    };
+                    match decided {
+                        Some(true) => {
+                            if apply_on_shard(
+                                &engine,
+                                TxnOptions::non_real_time(),
+                                *oid,
+                                ops,
+                                gid as i64,
+                            )
+                            .is_ok()
+                            {
+                                best_effort_delete(&engine, *oid);
+                                rolled_forward += 1;
+                            }
+                        }
+                        Some(false) => {
+                            best_effort_delete(&engine, *oid);
+                            aborted += 1;
+                        }
+                        // Coordinator unreachable: neither outcome is
+                        // safe to presume — keep the intent for a later
+                        // pass.
+                        None => {}
+                    }
+                }
+            }
+        }
+    }
+    (rolled_forward, aborted)
+}
+
+/// Delete every decision record on this node's shards. Only safe after
+/// a cluster-wide resolve pass succeeded on every node (`DESIGN.md`
+/// §16).
+fn gc_decisions(state: &NodeState) -> u64 {
+    let local = state.cluster.local();
+    let mut count = 0u64;
+    for shard in 0..local.shard_count() {
+        let Some(engine) = local.engine(shard) else {
+            continue;
+        };
+        let snapshot = engine.snapshot();
+        for (oid, _) in &snapshot.objects {
+            let Some(meta) = ShardRouter::meta_parts(*oid) else {
+                continue;
+            };
+            if meta.kind == MetaKind::Decision {
+                local.note_gid_seen(meta.gid & GID_SEQ_MASK);
+                best_effort_delete(&engine, *oid);
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+fn handle_peer(state: &Arc<NodeState>, request: ClusterRequest) -> ClusterReply {
+    match request {
+        ClusterRequest::FetchMap => ClusterReply::Map {
+            map: state.cluster.map(),
+        },
+        ClusterRequest::InstallMap { map } => {
+            state.cluster.install_map(map);
+            ClusterReply::Ack
+        }
+        ClusterRequest::AllocGid { shard } => match owned_engine(state, shard) {
+            Ok(_) => {
+                let seq = state.cluster.local().alloc_gid() & GID_SEQ_MASK;
+                ClusterReply::Gid {
+                    gid: (shard << 32) | seq,
+                }
+            }
+            Err(e) => e,
+        },
+        ClusterRequest::Prepare {
+            gid,
+            coordinator_shard,
+            shard,
+            ops,
+        } => match owned_engine(state, shard) {
+            Ok(engine) => {
+                state.cluster.local().note_gid_seen(gid & GID_SEQ_MASK);
+                let intent = state
+                    .cluster
+                    .local()
+                    .router()
+                    .intent_oid(shard as usize, gid);
+                let payload = rodain_shard::encode_intent(gid, coordinator_shard as usize, &ops);
+                match engine.execute(TxnOptions::non_real_time(), move |ctx| {
+                    ctx.write(intent, payload.clone())?;
+                    Ok(None)
+                }) {
+                    Ok(_) => ClusterReply::Prepared,
+                    Err(e) => err(e.to_string()),
+                }
+            }
+            Err(e) => e,
+        },
+        ClusterRequest::Decide { shard, gid } => match owned_engine(state, shard) {
+            Ok(engine) => {
+                let decision = state
+                    .cluster
+                    .local()
+                    .router()
+                    .decision_oid(shard as usize, gid);
+                match engine.execute(TxnOptions::non_real_time(), move |ctx| {
+                    ctx.write(decision, Value::Int(gid as i64))?;
+                    Ok(None)
+                }) {
+                    Ok(receipt) => ClusterReply::Decided {
+                        csn: receipt.csn.0,
+                    },
+                    Err(e) => err(e.to_string()),
+                }
+            }
+            Err(e) => e,
+        },
+        ClusterRequest::Apply { shard, gid, stamp } => match owned_engine(state, shard) {
+            Ok(engine) => {
+                let intent = state
+                    .cluster
+                    .local()
+                    .router()
+                    .intent_oid(shard as usize, gid);
+                match engine.get(intent) {
+                    Some(value @ Value::Record(_)) => match decode_intent(&value) {
+                        Some((_, _, ops)) => {
+                            match apply_on_shard(
+                                &engine,
+                                TxnOptions::non_real_time(),
+                                intent,
+                                ops,
+                                stamp,
+                            ) {
+                                Ok(_) => ClusterReply::Ack,
+                                Err(e) => err(e.to_string()),
+                            }
+                        }
+                        None => err("undecodable intent"),
+                    },
+                    // Already applied (marker) or already cleaned up.
+                    _ => ClusterReply::Ack,
+                }
+            }
+            Err(e) => e,
+        },
+        ClusterRequest::Cleanup {
+            shard,
+            gid,
+            decision,
+        } => match owned_engine(state, shard) {
+            Ok(engine) => {
+                let router = state.cluster.local().router();
+                let oid = if decision {
+                    router.decision_oid(shard as usize, gid)
+                } else {
+                    router.intent_oid(shard as usize, gid)
+                };
+                best_effort_delete(&engine, oid);
+                ClusterReply::Ack
+            }
+            Err(e) => e,
+        },
+        ClusterRequest::QueryDecision { shard, gid } => match owned_engine(state, shard) {
+            Ok(engine) => ClusterReply::Decision {
+                decided: engine
+                    .get(
+                        state
+                            .cluster
+                            .local()
+                            .router()
+                            .decision_oid(shard as usize, gid),
+                    )
+                    .is_some(),
+            },
+            Err(e) => e,
+        },
+        ClusterRequest::TriggerResolve => {
+            let (rolled_forward, aborted) = resolve_local(state);
+            ClusterReply::Resolved {
+                rolled_forward,
+                aborted,
+            }
+        }
+        ClusterRequest::GcDecisions => ClusterReply::Cleaned {
+            count: gc_decisions(state),
+        },
+        ClusterRequest::Commit { shard, ops } => match owned_engine(state, shard) {
+            Ok(engine) => match run_ops(&engine, ops) {
+                Ok(receipt) => ClusterReply::Committed {
+                    csn: receipt.csn.0,
+                },
+                Err(e) => err(e.to_string()),
+            },
+            Err(e) => e,
+        },
+        ClusterRequest::MigrateSnapshot { shard } => match owned_engine(state, shard) {
+            Ok(engine) => {
+                let (snapshot, upto) = engine.snapshot_upto();
+                ClusterReply::Snapshot {
+                    upto: upto.0,
+                    snapshot: rodain_log::encode_snapshot(&snapshot, upto).to_vec(),
+                }
+            }
+            Err(e) => e,
+        },
+        ClusterRequest::MigrateTail { shard, after } => {
+            match read_tail(state, shard as usize, after) {
+                Ok(commits) => ClusterReply::Tail { commits },
+                Err(e) => err(e.to_string()),
+            }
+        }
+        ClusterRequest::MigrateSeal { shard, after } => {
+            let Some(taken) = state.cluster.local().take_shard(shard as usize) else {
+                return err(format!("shard {shard} is not seated on this node"));
+            };
+            // Wait for transient engine handles (in-flight submissions)
+            // to drop so our drop is the one that shuts the engine down
+            // and flushes its log.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while Arc::strong_count(&taken) > 1 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            drop(taken);
+            match read_tail(state, shard as usize, after) {
+                Ok(commits) => ClusterReply::Tail { commits },
+                Err(e) => err(e.to_string()),
+            }
+        }
+        ClusterRequest::InstallStaged {
+            shard,
+            upto,
+            snapshot,
+        } => match decode_snapshot(&snapshot) {
+            Ok((snap, snap_upto)) => {
+                if snap_upto.0 != upto {
+                    return err("staged snapshot boundary mismatch");
+                }
+                let store = Arc::new(Store::new());
+                for (oid, object) in snap.objects {
+                    store.install(oid, object.value, object.wts);
+                }
+                state
+                    .staged
+                    .lock()
+                    .insert(shard as usize, Staged { store, upto });
+                ClusterReply::Ack
+            }
+            Err(e) => err(e.to_string()),
+        },
+        ClusterRequest::ApplyTail { shard, commits } => {
+            let mut staged = state.staged.lock();
+            let Some(entry) = staged.get_mut(&(shard as usize)) else {
+                return err(format!("shard {shard} has no staged copy"));
+            };
+            for commit in commits {
+                if commit.csn <= entry.upto {
+                    continue; // replayed duplicate
+                }
+                for (oid, value) in commit.writes {
+                    entry.store.install(oid, value, Ts(commit.ser_ts));
+                }
+                entry.upto = commit.csn;
+                state.catchup.inc();
+            }
+            ClusterReply::Ack
+        }
+        ClusterRequest::Activate { shard, map } => {
+            let Some(entry) = state.staged.lock().remove(&(shard as usize)) else {
+                return err(format!("shard {shard} has no staged copy"));
+            };
+            let dir = ShardedRodain::shard_dir(&state.cfg.data_dir, shard as usize);
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                return err(e.to_string());
+            }
+            // Durable base for the new owner: the staged copy becomes a
+            // snapshot file (the checkpoint format from DESIGN.md §15);
+            // commits after cutover land in the fresh log beside it.
+            if let Err(e) = write_snapshot_file(&dir, &entry.store.snapshot(), Csn(entry.upto)) {
+                return err(e.to_string());
+            }
+            let builder = configure_shard(
+                &state.cfg,
+                shard as usize,
+                Rodain::builder()
+                    .workers(state.cfg.workers_per_shard)
+                    .store(Arc::clone(&entry.store)),
+            );
+            match builder.build() {
+                Ok(engine) => {
+                    state
+                        .cluster
+                        .local()
+                        .install_shard(shard as usize, Arc::new(engine));
+                    state.cluster.install_map(map);
+                    state.migrations.inc();
+                    ClusterReply::Ack
+                }
+                Err(e) => err(e.to_string()),
+            }
+        }
+    }
+}
+
+/// The protocol version the node answers with (re-exported so binaries
+/// can print it).
+#[must_use]
+pub fn protocol_version() -> u8 {
+    CLUSTER_PROTOCOL_VERSION
+}

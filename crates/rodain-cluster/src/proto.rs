@@ -1,0 +1,807 @@
+//! The cluster peer protocol: request/response messages exchanged between
+//! nodes (and coordinators) over [`rodain_net::PeerClient`] frames.
+//!
+//! Every frame is `version u8 · id u64le · tag u8 · body`. The id
+//! correlates a reply with its request (the peer layer serializes calls
+//! per connection, so correlation is a consistency check, not a
+//! multiplexer). Compound payloads — operation lists, shard maps,
+//! migrated after-images — ride inside [`Value`] via the log codec that
+//! every layer of the system already speaks; snapshots are the opaque
+//! bytes of [`rodain_log::encode_snapshot`]. Decoders reject foreign
+//! versions first, then unknown tags, then any trailing bytes, so a
+//! truncated or corrupted frame can never misparse into a different
+//! message.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rodain_log::{decode_value, encode_value};
+use rodain_shard::{decode_op, encode_op, ShardMap, ShardOp};
+use rodain_store::{ObjectId, Value};
+
+/// Version byte leading every cluster frame.
+pub const CLUSTER_PROTOCOL_VERSION: u8 = 1;
+
+/// One committed transaction shipped during migration catch-up: the
+/// source shard's redo log regrouped per transaction in true validation
+/// (CSN) order, exactly what the mirror catch-up path replays.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TailCommit {
+    /// Commit sequence number on the source shard.
+    pub csn: u64,
+    /// Serialization timestamp the after-images install at.
+    pub ser_ts: u64,
+    /// After-images in write order.
+    pub writes: Vec<(ObjectId, Value)>,
+}
+
+/// A request to a cluster node's peer plane.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterRequest {
+    /// The node's current shard map → [`ClusterReply::Map`].
+    FetchMap,
+    /// Install a newer shard map (idempotent; older epochs are ignored)
+    /// → [`ClusterReply::Ack`].
+    InstallMap {
+        /// The map to install.
+        map: ShardMap,
+    },
+    /// Allocate a cross-shard group id scoped to coordinator shard
+    /// `shard` (the id embeds the shard in its high bits, so ids from
+    /// different coordinator shards never collide) →
+    /// [`ClusterReply::Gid`].
+    AllocGid {
+        /// The coordinator shard the id is scoped to.
+        shard: u64,
+    },
+    /// 2PC phase 1: durably record the intent for `shard`'s slice of
+    /// transaction `gid` → [`ClusterReply::Prepared`].
+    Prepare {
+        /// Group id of the cross-shard transaction.
+        gid: u64,
+        /// The shard carrying the decision record.
+        coordinator_shard: u64,
+        /// The participant shard this intent belongs to.
+        shard: u64,
+        /// Operations to apply on `shard` if the transaction commits.
+        ops: Vec<ShardOp>,
+    },
+    /// 2PC phase 2a: durably record the decision on the coordinator
+    /// shard — the commit point → [`ClusterReply::Decided`].
+    Decide {
+        /// The coordinator shard.
+        shard: u64,
+        /// Group id.
+        gid: u64,
+    },
+    /// 2PC phase 2b: apply `shard`'s intent, stamping `stamp` into its
+    /// redo stream (idempotent: a missing intent or an applied marker is
+    /// a no-op) → [`ClusterReply::Ack`].
+    Apply {
+        /// The participant shard.
+        shard: u64,
+        /// Group id.
+        gid: u64,
+        /// Marker stamped into the intent (the decision CSN).
+        stamp: i64,
+    },
+    /// Delete `shard`'s intent (or, with `decision`, the decision
+    /// record) for `gid` → [`ClusterReply::Ack`].
+    Cleanup {
+        /// The shard holding the record.
+        shard: u64,
+        /// Group id.
+        gid: u64,
+        /// Delete the decision record instead of the intent.
+        decision: bool,
+    },
+    /// Does a decision record exist for `gid` on coordinator shard
+    /// `shard`? → [`ClusterReply::Decision`].
+    QueryDecision {
+        /// The coordinator shard.
+        shard: u64,
+        /// Group id.
+        gid: u64,
+    },
+    /// Resolve every locally-held intent (presumed abort, consulting
+    /// remote coordinators over this same protocol) →
+    /// [`ClusterReply::Resolved`].
+    TriggerResolve,
+    /// Garbage-collect local decision records. Only safe after every
+    /// node's [`ClusterRequest::TriggerResolve`] succeeded — see
+    /// `DESIGN.md` §16 → [`ClusterReply::Cleaned`].
+    GcDecisions,
+    /// Execute a single-shard group of operations as one ordinary local
+    /// transaction (the fast path needs no 2PC) →
+    /// [`ClusterReply::Committed`].
+    Commit {
+        /// The shard every operation routes to.
+        shard: u64,
+        /// The operations.
+        ops: Vec<ShardOp>,
+    },
+    /// Migration step 1: a consistent snapshot of `shard` with its
+    /// boundary CSN, taken under the commit gate while traffic continues
+    /// around it → [`ClusterReply::Snapshot`].
+    MigrateSnapshot {
+        /// The shard to snapshot.
+        shard: u64,
+    },
+    /// Migration catch-up: committed transactions with CSN > `after`
+    /// from `shard`'s redo log → [`ClusterReply::Tail`].
+    MigrateTail {
+        /// The shard.
+        shard: u64,
+        /// Last CSN the caller already has.
+        after: u64,
+    },
+    /// Migration cutover, source side: detach `shard`'s engine (no
+    /// further commits), flush its log, and return the final tail after
+    /// `after` → [`ClusterReply::Tail`].
+    MigrateSeal {
+        /// The shard.
+        shard: u64,
+        /// Last CSN the caller already has.
+        after: u64,
+    },
+    /// Migration step 2, target side: stage `snapshot` (the bytes of
+    /// [`ClusterReply::Snapshot`]) for `shard` → [`ClusterReply::Ack`].
+    InstallStaged {
+        /// The shard being staged.
+        shard: u64,
+        /// The snapshot's boundary CSN.
+        upto: u64,
+        /// Encoded snapshot ([`rodain_log::encode_snapshot`]).
+        snapshot: Vec<u8>,
+    },
+    /// Apply a catch-up tail to `shard`'s staged copy (idempotent by
+    /// CSN) → [`ClusterReply::Ack`].
+    ApplyTail {
+        /// The staged shard.
+        shard: u64,
+        /// Committed transactions in CSN order.
+        commits: Vec<TailCommit>,
+    },
+    /// Migration cutover, target side: durably checkpoint the staged
+    /// copy, seat a live engine over it, and install `map` (the
+    /// epoch-bumped assignment naming this node the owner) →
+    /// [`ClusterReply::Ack`].
+    Activate {
+        /// The shard to seat.
+        shard: u64,
+        /// The post-cutover shard map.
+        map: ShardMap,
+    },
+}
+
+/// A cluster node's reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterReply {
+    /// The node's current shard map.
+    Map {
+        /// The map.
+        map: ShardMap,
+    },
+    /// An allocated cross-shard group id.
+    Gid {
+        /// The id (coordinator shard in the high bits).
+        gid: u64,
+    },
+    /// The intent is durable.
+    Prepared,
+    /// The decision is durable; the transaction committed at `csn`.
+    Decided {
+        /// The coordinator shard's commit sequence number.
+        csn: u64,
+    },
+    /// The request was performed.
+    Ack,
+    /// Whether a decision record exists.
+    Decision {
+        /// `true` if the transaction decided commit.
+        decided: bool,
+    },
+    /// What a [`ClusterRequest::TriggerResolve`] pass did.
+    Resolved {
+        /// Intents rolled forward (decision found).
+        rolled_forward: u64,
+        /// Intents presumed aborted (no decision anywhere).
+        aborted: u64,
+    },
+    /// Records deleted by [`ClusterRequest::GcDecisions`].
+    Cleaned {
+        /// How many.
+        count: u64,
+    },
+    /// A single-shard group committed.
+    Committed {
+        /// The owning shard's commit sequence number.
+        csn: u64,
+    },
+    /// A consistent shard snapshot.
+    Snapshot {
+        /// Boundary CSN: every commit ≤ `upto` is inside.
+        upto: u64,
+        /// Encoded snapshot bytes.
+        snapshot: Vec<u8>,
+    },
+    /// A migration catch-up tail (empty when the caller is current).
+    Tail {
+        /// Committed transactions in CSN order.
+        commits: Vec<TailCommit>,
+    },
+    /// The request failed; the condition travels as text.
+    Err {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Decoding failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterProtoError {
+    /// The frame's version byte is not [`CLUSTER_PROTOCOL_VERSION`].
+    Version {
+        /// The byte received.
+        got: u8,
+    },
+    /// Unknown message tag.
+    UnknownTag(u8),
+    /// The body is shorter than its fields or carries trailing bytes.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ClusterProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterProtoError::Version { got } => {
+                write!(f, "unsupported cluster protocol version {got}")
+            }
+            ClusterProtoError::UnknownTag(tag) => write!(f, "unknown cluster message tag {tag}"),
+            ClusterProtoError::Malformed(what) => write!(f, "malformed cluster frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterProtoError {}
+
+fn put_ops(buf: &mut BytesMut, ops: &[ShardOp]) {
+    encode_value(buf, &Value::Record(ops.iter().map(encode_op).collect()));
+}
+
+fn get_ops(buf: &mut Bytes) -> Result<Vec<ShardOp>, ClusterProtoError> {
+    let value = decode_value(buf).map_err(|_| ClusterProtoError::Malformed("op list value"))?;
+    let Value::Record(items) = value else {
+        return Err(ClusterProtoError::Malformed("op list shape"));
+    };
+    items
+        .iter()
+        .map(|v| decode_op(v).ok_or(ClusterProtoError::Malformed("op shape")))
+        .collect()
+}
+
+fn put_map(buf: &mut BytesMut, map: &ShardMap) {
+    encode_value(buf, &map.to_value());
+}
+
+fn get_map(buf: &mut Bytes) -> Result<ShardMap, ClusterProtoError> {
+    let value = decode_value(buf).map_err(|_| ClusterProtoError::Malformed("map value"))?;
+    ShardMap::from_value(&value).ok_or(ClusterProtoError::Malformed("map shape"))
+}
+
+fn put_blob(buf: &mut BytesMut, blob: &[u8]) {
+    buf.put_u32_le(blob.len() as u32);
+    buf.put_slice(blob);
+}
+
+fn get_blob(buf: &mut Bytes) -> Result<Vec<u8>, ClusterProtoError> {
+    if buf.remaining() < 4 {
+        return Err(ClusterProtoError::Malformed("blob length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(ClusterProtoError::Malformed("blob body"));
+    }
+    Ok(buf.copy_to_bytes(len).to_vec())
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    put_blob(buf, s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, ClusterProtoError> {
+    String::from_utf8(get_blob(buf)?).map_err(|_| ClusterProtoError::Malformed("string utf-8"))
+}
+
+fn put_tail(buf: &mut BytesMut, commits: &[TailCommit]) {
+    buf.put_u32_le(commits.len() as u32);
+    for commit in commits {
+        buf.put_u64_le(commit.csn);
+        buf.put_u64_le(commit.ser_ts);
+        encode_value(
+            buf,
+            &Value::Record(
+                commit
+                    .writes
+                    .iter()
+                    .map(|(oid, value)| {
+                        Value::Record(vec![Value::Int(oid.0 as i64), value.clone()])
+                    })
+                    .collect(),
+            ),
+        );
+    }
+}
+
+fn get_tail(buf: &mut Bytes) -> Result<Vec<TailCommit>, ClusterProtoError> {
+    if buf.remaining() < 4 {
+        return Err(ClusterProtoError::Malformed("tail length"));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut commits = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        if buf.remaining() < 16 {
+            return Err(ClusterProtoError::Malformed("tail commit header"));
+        }
+        let csn = buf.get_u64_le();
+        let ser_ts = buf.get_u64_le();
+        let value =
+            decode_value(buf).map_err(|_| ClusterProtoError::Malformed("tail writes value"))?;
+        let Value::Record(items) = value else {
+            return Err(ClusterProtoError::Malformed("tail writes shape"));
+        };
+        let mut writes = Vec::with_capacity(items.len());
+        for item in items {
+            let Value::Record(fields) = item else {
+                return Err(ClusterProtoError::Malformed("tail write shape"));
+            };
+            let [Value::Int(oid), image] = fields.as_slice() else {
+                return Err(ClusterProtoError::Malformed("tail write fields"));
+            };
+            writes.push((ObjectId(*oid as u64), image.clone()));
+        }
+        commits.push(TailCommit {
+            csn,
+            ser_ts,
+            writes,
+        });
+    }
+    Ok(commits)
+}
+
+fn frame_header(id: u64, tag: u8) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_u8(CLUSTER_PROTOCOL_VERSION);
+    buf.put_u64_le(id);
+    buf.put_u8(tag);
+    buf
+}
+
+fn open_frame(mut frame: Bytes) -> Result<(u64, u8, Bytes), ClusterProtoError> {
+    if frame.remaining() < 1 {
+        return Err(ClusterProtoError::Malformed("empty frame"));
+    }
+    let version = frame.get_u8();
+    if version != CLUSTER_PROTOCOL_VERSION {
+        return Err(ClusterProtoError::Version { got: version });
+    }
+    if frame.remaining() < 9 {
+        return Err(ClusterProtoError::Malformed("frame header"));
+    }
+    let id = frame.get_u64_le();
+    let tag = frame.get_u8();
+    Ok((id, tag, frame))
+}
+
+fn need_u64(buf: &mut Bytes, what: &'static str) -> Result<u64, ClusterProtoError> {
+    if buf.remaining() < 8 {
+        return Err(ClusterProtoError::Malformed(what));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn finish<T>(value: T, buf: &Bytes) -> Result<T, ClusterProtoError> {
+    if buf.has_remaining() {
+        return Err(ClusterProtoError::Malformed("trailing bytes"));
+    }
+    Ok(value)
+}
+
+/// Encode a request with its correlation id.
+#[must_use]
+pub fn encode_request(id: u64, request: &ClusterRequest) -> Bytes {
+    let mut buf = match request {
+        ClusterRequest::FetchMap => frame_header(id, 1),
+        ClusterRequest::InstallMap { map } => {
+            let mut buf = frame_header(id, 2);
+            put_map(&mut buf, map);
+            buf
+        }
+        ClusterRequest::AllocGid { shard } => {
+            let mut buf = frame_header(id, 3);
+            buf.put_u64_le(*shard);
+            buf
+        }
+        ClusterRequest::Prepare {
+            gid,
+            coordinator_shard,
+            shard,
+            ops,
+        } => {
+            let mut buf = frame_header(id, 4);
+            buf.put_u64_le(*gid);
+            buf.put_u64_le(*coordinator_shard);
+            buf.put_u64_le(*shard);
+            put_ops(&mut buf, ops);
+            buf
+        }
+        ClusterRequest::Decide { shard, gid } => {
+            let mut buf = frame_header(id, 5);
+            buf.put_u64_le(*shard);
+            buf.put_u64_le(*gid);
+            buf
+        }
+        ClusterRequest::Apply { shard, gid, stamp } => {
+            let mut buf = frame_header(id, 6);
+            buf.put_u64_le(*shard);
+            buf.put_u64_le(*gid);
+            buf.put_i64_le(*stamp);
+            buf
+        }
+        ClusterRequest::Cleanup {
+            shard,
+            gid,
+            decision,
+        } => {
+            let mut buf = frame_header(id, 7);
+            buf.put_u64_le(*shard);
+            buf.put_u64_le(*gid);
+            buf.put_u8(u8::from(*decision));
+            buf
+        }
+        ClusterRequest::QueryDecision { shard, gid } => {
+            let mut buf = frame_header(id, 8);
+            buf.put_u64_le(*shard);
+            buf.put_u64_le(*gid);
+            buf
+        }
+        ClusterRequest::TriggerResolve => frame_header(id, 9),
+        ClusterRequest::GcDecisions => frame_header(id, 10),
+        ClusterRequest::Commit { shard, ops } => {
+            let mut buf = frame_header(id, 11);
+            buf.put_u64_le(*shard);
+            put_ops(&mut buf, ops);
+            buf
+        }
+        ClusterRequest::MigrateSnapshot { shard } => {
+            let mut buf = frame_header(id, 12);
+            buf.put_u64_le(*shard);
+            buf
+        }
+        ClusterRequest::MigrateTail { shard, after } => {
+            let mut buf = frame_header(id, 13);
+            buf.put_u64_le(*shard);
+            buf.put_u64_le(*after);
+            buf
+        }
+        ClusterRequest::MigrateSeal { shard, after } => {
+            let mut buf = frame_header(id, 14);
+            buf.put_u64_le(*shard);
+            buf.put_u64_le(*after);
+            buf
+        }
+        ClusterRequest::InstallStaged {
+            shard,
+            upto,
+            snapshot,
+        } => {
+            let mut buf = frame_header(id, 15);
+            buf.put_u64_le(*shard);
+            buf.put_u64_le(*upto);
+            put_blob(&mut buf, snapshot);
+            buf
+        }
+        ClusterRequest::ApplyTail { shard, commits } => {
+            let mut buf = frame_header(id, 16);
+            buf.put_u64_le(*shard);
+            put_tail(&mut buf, commits);
+            buf
+        }
+        ClusterRequest::Activate { shard, map } => {
+            let mut buf = frame_header(id, 17);
+            buf.put_u64_le(*shard);
+            put_map(&mut buf, map);
+            buf
+        }
+    };
+    buf.freeze()
+}
+
+/// Decode a request frame into `(id, request)`.
+pub fn decode_request(frame: Bytes) -> Result<(u64, ClusterRequest), ClusterProtoError> {
+    let (id, tag, mut buf) = open_frame(frame)?;
+    let request = match tag {
+        1 => ClusterRequest::FetchMap,
+        2 => ClusterRequest::InstallMap {
+            map: get_map(&mut buf)?,
+        },
+        3 => ClusterRequest::AllocGid {
+            shard: need_u64(&mut buf, "alloc gid shard")?,
+        },
+        4 => ClusterRequest::Prepare {
+            gid: need_u64(&mut buf, "prepare gid")?,
+            coordinator_shard: need_u64(&mut buf, "prepare coordinator")?,
+            shard: need_u64(&mut buf, "prepare shard")?,
+            ops: get_ops(&mut buf)?,
+        },
+        5 => ClusterRequest::Decide {
+            shard: need_u64(&mut buf, "decide shard")?,
+            gid: need_u64(&mut buf, "decide gid")?,
+        },
+        6 => ClusterRequest::Apply {
+            shard: need_u64(&mut buf, "apply shard")?,
+            gid: need_u64(&mut buf, "apply gid")?,
+            stamp: {
+                if buf.remaining() < 8 {
+                    return Err(ClusterProtoError::Malformed("apply stamp"));
+                }
+                buf.get_i64_le()
+            },
+        },
+        7 => ClusterRequest::Cleanup {
+            shard: need_u64(&mut buf, "cleanup shard")?,
+            gid: need_u64(&mut buf, "cleanup gid")?,
+            decision: {
+                if buf.remaining() < 1 {
+                    return Err(ClusterProtoError::Malformed("cleanup flag"));
+                }
+                buf.get_u8() != 0
+            },
+        },
+        8 => ClusterRequest::QueryDecision {
+            shard: need_u64(&mut buf, "query shard")?,
+            gid: need_u64(&mut buf, "query gid")?,
+        },
+        9 => ClusterRequest::TriggerResolve,
+        10 => ClusterRequest::GcDecisions,
+        11 => ClusterRequest::Commit {
+            shard: need_u64(&mut buf, "commit shard")?,
+            ops: get_ops(&mut buf)?,
+        },
+        12 => ClusterRequest::MigrateSnapshot {
+            shard: need_u64(&mut buf, "snapshot shard")?,
+        },
+        13 => ClusterRequest::MigrateTail {
+            shard: need_u64(&mut buf, "tail shard")?,
+            after: need_u64(&mut buf, "tail after")?,
+        },
+        14 => ClusterRequest::MigrateSeal {
+            shard: need_u64(&mut buf, "seal shard")?,
+            after: need_u64(&mut buf, "seal after")?,
+        },
+        15 => ClusterRequest::InstallStaged {
+            shard: need_u64(&mut buf, "staged shard")?,
+            upto: need_u64(&mut buf, "staged upto")?,
+            snapshot: get_blob(&mut buf)?,
+        },
+        16 => ClusterRequest::ApplyTail {
+            shard: need_u64(&mut buf, "apply-tail shard")?,
+            commits: get_tail(&mut buf)?,
+        },
+        17 => ClusterRequest::Activate {
+            shard: need_u64(&mut buf, "activate shard")?,
+            map: get_map(&mut buf)?,
+        },
+        other => return Err(ClusterProtoError::UnknownTag(other)),
+    };
+    finish((id, request), &buf)
+}
+
+/// Encode a reply with the request's correlation id.
+#[must_use]
+pub fn encode_reply(id: u64, reply: &ClusterReply) -> Bytes {
+    let buf = match reply {
+        ClusterReply::Map { map } => {
+            let mut buf = frame_header(id, 1);
+            put_map(&mut buf, map);
+            buf
+        }
+        ClusterReply::Gid { gid } => {
+            let mut buf = frame_header(id, 2);
+            buf.put_u64_le(*gid);
+            buf
+        }
+        ClusterReply::Prepared => frame_header(id, 3),
+        ClusterReply::Decided { csn } => {
+            let mut buf = frame_header(id, 4);
+            buf.put_u64_le(*csn);
+            buf
+        }
+        ClusterReply::Ack => frame_header(id, 5),
+        ClusterReply::Decision { decided } => {
+            let mut buf = frame_header(id, 6);
+            buf.put_u8(u8::from(*decided));
+            buf
+        }
+        ClusterReply::Resolved {
+            rolled_forward,
+            aborted,
+        } => {
+            let mut buf = frame_header(id, 7);
+            buf.put_u64_le(*rolled_forward);
+            buf.put_u64_le(*aborted);
+            buf
+        }
+        ClusterReply::Cleaned { count } => {
+            let mut buf = frame_header(id, 8);
+            buf.put_u64_le(*count);
+            buf
+        }
+        ClusterReply::Committed { csn } => {
+            let mut buf = frame_header(id, 9);
+            buf.put_u64_le(*csn);
+            buf
+        }
+        ClusterReply::Snapshot { upto, snapshot } => {
+            let mut buf = frame_header(id, 10);
+            buf.put_u64_le(*upto);
+            put_blob(&mut buf, snapshot);
+            buf
+        }
+        ClusterReply::Tail { commits } => {
+            let mut buf = frame_header(id, 11);
+            put_tail(&mut buf, commits);
+            buf
+        }
+        ClusterReply::Err { message } => {
+            let mut buf = frame_header(id, 12);
+            put_string(&mut buf, message);
+            buf
+        }
+    };
+    buf.freeze()
+}
+
+/// Decode a reply frame into `(id, reply)`.
+pub fn decode_reply(frame: Bytes) -> Result<(u64, ClusterReply), ClusterProtoError> {
+    let (id, tag, mut buf) = open_frame(frame)?;
+    let reply = match tag {
+        1 => ClusterReply::Map {
+            map: get_map(&mut buf)?,
+        },
+        2 => ClusterReply::Gid {
+            gid: need_u64(&mut buf, "gid")?,
+        },
+        3 => ClusterReply::Prepared,
+        4 => ClusterReply::Decided {
+            csn: need_u64(&mut buf, "decided csn")?,
+        },
+        5 => ClusterReply::Ack,
+        6 => ClusterReply::Decision {
+            decided: {
+                if buf.remaining() < 1 {
+                    return Err(ClusterProtoError::Malformed("decision flag"));
+                }
+                buf.get_u8() != 0
+            },
+        },
+        7 => ClusterReply::Resolved {
+            rolled_forward: need_u64(&mut buf, "resolved forward")?,
+            aborted: need_u64(&mut buf, "resolved aborted")?,
+        },
+        8 => ClusterReply::Cleaned {
+            count: need_u64(&mut buf, "cleaned count")?,
+        },
+        9 => ClusterReply::Committed {
+            csn: need_u64(&mut buf, "committed csn")?,
+        },
+        10 => ClusterReply::Snapshot {
+            upto: need_u64(&mut buf, "snapshot upto")?,
+            snapshot: get_blob(&mut buf)?,
+        },
+        11 => ClusterReply::Tail {
+            commits: get_tail(&mut buf)?,
+        },
+        12 => ClusterReply::Err {
+            message: get_string(&mut buf)?,
+        },
+        other => return Err(ClusterProtoError::UnknownTag(other)),
+    };
+    finish((id, reply), &buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let map = ShardMap::single(3, "127.0.0.1:1", "127.0.0.1:2");
+        let samples = vec![
+            ClusterRequest::FetchMap,
+            ClusterRequest::InstallMap { map: map.clone() },
+            ClusterRequest::AllocGid { shard: 2 },
+            ClusterRequest::Prepare {
+                gid: (2 << 32) | 7,
+                coordinator_shard: 2,
+                shard: 1,
+                ops: vec![
+                    ShardOp::Add {
+                        oid: ObjectId(9),
+                        delta: -3,
+                    },
+                    ShardOp::Put {
+                        oid: ObjectId(10),
+                        value: Value::Text("x".into()),
+                    },
+                ],
+            },
+            ClusterRequest::Apply {
+                shard: 1,
+                gid: 3,
+                stamp: -1,
+            },
+            ClusterRequest::InstallStaged {
+                shard: 0,
+                upto: 42,
+                snapshot: vec![1, 2, 3],
+            },
+            ClusterRequest::ApplyTail {
+                shard: 0,
+                commits: vec![TailCommit {
+                    csn: 43,
+                    ser_ts: 4300,
+                    writes: vec![(ObjectId(5), Value::Int(7))],
+                }],
+            },
+            ClusterRequest::Activate { shard: 0, map },
+        ];
+        for (i, request) in samples.into_iter().enumerate() {
+            let id = i as u64 + 100;
+            let decoded = decode_request(encode_request(id, &request)).unwrap();
+            assert_eq!(decoded, (id, request));
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        let samples = vec![
+            ClusterReply::Map {
+                map: ShardMap::single(2, "a:1", "a:2"),
+            },
+            ClusterReply::Gid { gid: u64::MAX },
+            ClusterReply::Prepared,
+            ClusterReply::Decided { csn: 17 },
+            ClusterReply::Tail {
+                commits: vec![TailCommit {
+                    csn: 1,
+                    ser_ts: 100,
+                    writes: vec![],
+                }],
+            },
+            ClusterReply::Err {
+                message: "nope".into(),
+            },
+        ];
+        for (i, reply) in samples.into_iter().enumerate() {
+            let id = i as u64;
+            let decoded = decode_reply(encode_reply(id, &reply)).unwrap();
+            assert_eq!(decoded, (id, reply));
+        }
+    }
+
+    #[test]
+    fn foreign_version_and_trailing_bytes_rejected() {
+        let frame = encode_request(1, &ClusterRequest::FetchMap);
+        let mut wrong = frame.to_vec();
+        wrong[0] = 9;
+        assert_eq!(
+            decode_request(Bytes::from(wrong)),
+            Err(ClusterProtoError::Version { got: 9 })
+        );
+        let mut trailing = frame.to_vec();
+        trailing.push(0);
+        assert_eq!(
+            decode_request(Bytes::from(trailing)),
+            Err(ClusterProtoError::Malformed("trailing bytes"))
+        );
+    }
+}

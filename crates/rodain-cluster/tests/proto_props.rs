@@ -1,0 +1,217 @@
+//! Property-based tests of the cluster peer protocol: every request and
+//! reply — 2PC, placement, migration — round-trips losslessly, any
+//! truncation is rejected rather than misparsed, and foreign version
+//! bytes are refused before anything else is inspected.
+
+use proptest::prelude::*;
+use rodain_cluster::proto::{
+    decode_reply, decode_request, encode_reply, encode_request, ClusterProtoError, ClusterReply,
+    ClusterRequest, TailCommit, CLUSTER_PROTOCOL_VERSION,
+};
+use rodain_net::Bytes;
+use rodain_shard::{ShardMap, ShardOp, ShardOwner};
+use rodain_store::{ObjectId, Value};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        "[a-z0-9+-]{0,24}".prop_map(Value::Text),
+        prop::collection::vec(any::<u8>(), 0..24).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(2, 12, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Value::Record)
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = ShardOp> {
+    prop_oneof![
+        (any::<u64>(), any::<i64>()).prop_map(|(oid, delta)| ShardOp::Add {
+            oid: ObjectId(oid),
+            delta,
+        }),
+        (any::<u64>(), value_strategy()).prop_map(|(oid, value)| ShardOp::Put {
+            oid: ObjectId(oid),
+            value,
+        }),
+    ]
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<ShardOp>> {
+    prop::collection::vec(op_strategy(), 0..5)
+}
+
+fn map_strategy() -> impl Strategy<Value = ShardMap> {
+    (
+        any::<u64>(),
+        prop::collection::vec(("[a-z0-9.:]{1,20}", "[a-z0-9.:]{1,20}"), 1..5),
+    )
+        .prop_map(|(epoch, owners)| ShardMap {
+            epoch,
+            owners: owners
+                .into_iter()
+                .map(|(client_addr, peer_addr)| ShardOwner {
+                    client_addr,
+                    peer_addr,
+                })
+                .collect(),
+        })
+}
+
+fn tail_strategy() -> impl Strategy<Value = Vec<TailCommit>> {
+    prop::collection::vec(
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec((any::<u64>(), value_strategy()), 0..4),
+        )
+            .prop_map(|(csn, ser_ts, writes)| TailCommit {
+                csn,
+                ser_ts,
+                writes: writes
+                    .into_iter()
+                    .map(|(oid, value)| (ObjectId(oid), value))
+                    .collect(),
+            }),
+        0..4,
+    )
+}
+
+fn request_strategy() -> impl Strategy<Value = ClusterRequest> {
+    prop_oneof![
+        Just(ClusterRequest::FetchMap),
+        map_strategy().prop_map(|map| ClusterRequest::InstallMap { map }),
+        any::<u64>().prop_map(|shard| ClusterRequest::AllocGid { shard }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), ops_strategy()).prop_map(
+            |(gid, coordinator_shard, shard, ops)| ClusterRequest::Prepare {
+                gid,
+                coordinator_shard,
+                shard,
+                ops,
+            }
+        ),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(shard, gid)| ClusterRequest::Decide { shard, gid }),
+        (any::<u64>(), any::<u64>(), any::<i64>())
+            .prop_map(|(shard, gid, stamp)| ClusterRequest::Apply { shard, gid, stamp }),
+        (any::<u64>(), any::<u64>(), any::<bool>()).prop_map(|(shard, gid, decision)| {
+            ClusterRequest::Cleanup {
+                shard,
+                gid,
+                decision,
+            }
+        }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(shard, gid)| ClusterRequest::QueryDecision { shard, gid }),
+        Just(ClusterRequest::TriggerResolve),
+        Just(ClusterRequest::GcDecisions),
+        (any::<u64>(), ops_strategy()).prop_map(|(shard, ops)| ClusterRequest::Commit {
+            shard,
+            ops
+        }),
+        any::<u64>().prop_map(|shard| ClusterRequest::MigrateSnapshot { shard }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(shard, after)| ClusterRequest::MigrateTail { shard, after }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(shard, after)| ClusterRequest::MigrateSeal { shard, after }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(any::<u8>(), 0..48)
+        )
+            .prop_map(|(shard, upto, snapshot)| ClusterRequest::InstallStaged {
+                shard,
+                upto,
+                snapshot,
+            }),
+        (any::<u64>(), tail_strategy())
+            .prop_map(|(shard, commits)| ClusterRequest::ApplyTail { shard, commits }),
+        (any::<u64>(), map_strategy())
+            .prop_map(|(shard, map)| ClusterRequest::Activate { shard, map }),
+    ]
+}
+
+fn reply_strategy() -> impl Strategy<Value = ClusterReply> {
+    prop_oneof![
+        map_strategy().prop_map(|map| ClusterReply::Map { map }),
+        any::<u64>().prop_map(|gid| ClusterReply::Gid { gid }),
+        Just(ClusterReply::Prepared),
+        any::<u64>().prop_map(|csn| ClusterReply::Decided { csn }),
+        Just(ClusterReply::Ack),
+        any::<bool>().prop_map(|decided| ClusterReply::Decision { decided }),
+        (any::<u64>(), any::<u64>()).prop_map(|(rolled_forward, aborted)| {
+            ClusterReply::Resolved {
+                rolled_forward,
+                aborted,
+            }
+        }),
+        any::<u64>().prop_map(|count| ClusterReply::Cleaned { count }),
+        any::<u64>().prop_map(|csn| ClusterReply::Committed { csn }),
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..48))
+            .prop_map(|(upto, snapshot)| ClusterReply::Snapshot { upto, snapshot }),
+        tail_strategy().prop_map(|commits| ClusterReply::Tail { commits }),
+        "[ -~]{0,48}".prop_map(|message| ClusterReply::Err { message }),
+    ]
+}
+
+proptest! {
+    /// Every cluster request — placement, 2PC and migration messages —
+    /// round-trips through encode/decode with its correlation id intact.
+    #[test]
+    fn requests_roundtrip(id in any::<u64>(), request in request_strategy()) {
+        let decoded = decode_request(encode_request(id, &request)).unwrap();
+        prop_assert_eq!(decoded, (id, request));
+    }
+
+    /// Every reply round-trips unchanged.
+    #[test]
+    fn replies_roundtrip(id in any::<u64>(), reply in reply_strategy()) {
+        let decoded = decode_reply(encode_reply(id, &reply)).unwrap();
+        prop_assert_eq!(decoded, (id, reply));
+    }
+
+    /// Truncating an encoded request at any point is an error — never a
+    /// silent misparse into some other message.
+    #[test]
+    fn truncated_requests_are_rejected(
+        id in any::<u64>(),
+        request in request_strategy(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let encoded = encode_request(id, &request);
+        let cut = cut.index(encoded.len());
+        prop_assert!(decode_request(encoded.slice(..cut)).is_err());
+    }
+
+    /// Same for replies.
+    #[test]
+    fn truncated_replies_are_rejected(
+        id in any::<u64>(),
+        reply in reply_strategy(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let encoded = encode_reply(id, &reply);
+        let cut = cut.index(encoded.len());
+        prop_assert!(decode_reply(encoded.slice(..cut)).is_err());
+    }
+
+    /// A frame led by any byte other than the cluster protocol version
+    /// fails with `Version` before anything else is inspected.
+    #[test]
+    fn foreign_versions_are_refused(
+        version in any::<u8>().prop_map(|v| if v == CLUSTER_PROTOCOL_VERSION { !v } else { v }),
+        body in prop::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let mut frame = vec![version];
+        frame.extend_from_slice(&body);
+        let frame = Bytes::from(frame);
+        prop_assert_eq!(
+            decode_request(frame.clone()),
+            Err(ClusterProtoError::Version { got: version })
+        );
+        prop_assert_eq!(
+            decode_reply(frame),
+            Err(ClusterProtoError::Version { got: version })
+        );
+    }
+}

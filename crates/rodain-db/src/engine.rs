@@ -533,6 +533,18 @@ impl RodainBuilder {
     }
 }
 
+/// An exclusive hold on the commit gate (see [`Rodain::hold_commits`]).
+/// Commits resume when it drops.
+pub struct CommitHold<'a> {
+    _gate: parking_lot::RwLockWriteGuard<'a, ()>,
+}
+
+impl std::fmt::Debug for CommitHold<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CommitHold")
+    }
+}
+
 /// The RODAIN real-time main-memory database engine. See the crate docs.
 pub struct Rodain {
     engine: Arc<Engine>,
@@ -572,6 +584,37 @@ impl Rodain {
     pub fn snapshot(&self) -> Snapshot {
         let _gate = self.engine.commit_gate.write();
         self.engine.store.snapshot()
+    }
+
+    /// A consistent snapshot plus the highest CSN it contains — the
+    /// shippable form a cluster migration or remote standby seeds from:
+    /// every commit `<= Csn` is in the snapshot, every later one must
+    /// come from the log tail.
+    #[must_use]
+    pub fn snapshot_upto(&self) -> (Snapshot, Csn) {
+        let _gate = self.engine.commit_gate.write();
+        let upto = Csn(self.engine.last_csn.load(Ordering::Acquire));
+        (self.engine.store.snapshot(), upto)
+    }
+
+    /// The highest commit sequence number this engine has assigned.
+    #[must_use]
+    pub fn last_csn(&self) -> u64 {
+        self.engine.last_csn.load(Ordering::Acquire)
+    }
+
+    /// Pause the commit point: while the returned [`CommitHold`] lives, no
+    /// transaction can pass the commit gate, so `last_csn` and the on-disk
+    /// log tail are frozen. This is the hook remote coordination layers
+    /// (networked prepare/decide, shard-migration cutover) use to fence a
+    /// final state transfer: everything acknowledged before the hold is in
+    /// the log, and nothing new commits until the hold drops. Reads and
+    /// transaction execution continue; only the commit step blocks.
+    #[must_use]
+    pub fn hold_commits(&self) -> CommitHold<'_> {
+        CommitHold {
+            _gate: self.engine.commit_gate.write(),
+        }
     }
 
     /// Current replication/durability mode.

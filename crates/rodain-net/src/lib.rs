@@ -16,6 +16,11 @@
 //!
 //! Frames are opaque [`Bytes`]; `rodain-node` defines the message codec on
 //! top.
+//!
+//! For short request/response exchanges between cluster nodes (shard
+//! maps, networked 2PC, migration) the [`PeerServer`] / [`PeerClient`]
+//! pair manages connections *outside* the engine: the application
+//! supplies a bytes-in/bytes-out handler and never touches a socket.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,11 +28,13 @@
 mod error;
 mod inproc;
 mod lossy;
+mod peer;
 mod tcp;
 
 pub use error::NetError;
 pub use inproc::InProcTransport;
 pub use lossy::{LinkControl, LossyLink};
+pub use peer::{PeerClient, PeerHandler, PeerServer};
 pub use tcp::TcpTransport;
 
 /// Re-export of the frame buffer type used by [`Transport`], so adapters in

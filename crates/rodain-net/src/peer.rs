@@ -1,0 +1,259 @@
+//! Peer connection management: a request/response service layered on
+//! [`Transport`] frames, kept strictly *outside* the engine.
+//!
+//! The replication path ([`TcpTransport`] + `rodain-node`'s codec) is a
+//! long-lived streaming link; cluster coordination (shard maps, networked
+//! 2PC, migration) instead wants short request/response exchanges between
+//! any pair of nodes. Following the connection-management split common in
+//! peer-to-peer stacks (accept loop and dialing live in the network
+//! layer; the application supplies only a frame handler), this module
+//! provides:
+//!
+//! * [`PeerServer`] — an accept loop on a [`std::net::TcpListener`];
+//!   every connection gets its own thread running `handler(frame) ->
+//!   Option<reply>` over length-prefixed frames. The handler is plain
+//!   bytes-in/bytes-out: the cluster message codec lives above, the
+//!   engine below, and neither knows about sockets.
+//! * [`PeerClient`] — a dialing client that connects on first use,
+//!   serializes calls (one request in flight per connection, matching
+//!   the server's one-reply-per-frame contract), and redials once on a
+//!   broken link before reporting the peer gone.
+
+use crate::{NetError, TcpTransport, Transport};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The frame handler a [`PeerServer`] runs: one reply per request frame;
+/// `None` closes the connection (protocol violation or shutdown).
+pub type PeerHandler = Arc<dyn Fn(Bytes) -> Option<Bytes> + Send + Sync>;
+
+/// A request/response server: accept loop + one handler thread per peer
+/// connection.
+pub struct PeerServer {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PeerServer {
+    /// Serve `handler` on `listener`. Returns once the accept loop is
+    /// running; the loop polls for shutdown every few milliseconds.
+    pub fn start(listener: TcpListener, handler: PeerHandler) -> std::io::Result<PeerServer> {
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("rodain-peer-accept".into())
+            .spawn(move || {
+                while !accept_shutdown.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let handler = Arc::clone(&handler);
+                            let conn_shutdown = Arc::clone(&accept_shutdown);
+                            let _ = std::thread::Builder::new()
+                                .name("rodain-peer-conn".into())
+                                .spawn(move || {
+                                    let Ok(transport) = TcpTransport::from_stream(stream) else {
+                                        return;
+                                    };
+                                    serve_peer(&transport, &handler, &conn_shutdown);
+                                });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(PeerServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address peers dial.
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop; connection threads drain
+    /// as their peers disconnect or observe the shutdown flag.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PeerServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_peer(transport: &TcpTransport, handler: &PeerHandler, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::Acquire) {
+        match transport.recv_timeout(Duration::from_millis(50)) {
+            Ok(Some(frame)) => match handler(frame) {
+                Some(reply) => {
+                    if transport.send(reply).is_err() {
+                        return;
+                    }
+                }
+                None => {
+                    transport.close();
+                    return;
+                }
+            },
+            Ok(None) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// A dialing request/response client. Calls are serialized (the peer
+/// protocol above correlates by request id anyway, but one-in-flight
+/// keeps the failure model simple: a reply always answers the last
+/// request on the connection).
+pub struct PeerClient {
+    addr: String,
+    conn: Mutex<Option<TcpTransport>>,
+}
+
+impl PeerClient {
+    /// A client for the peer at `addr`. No connection is made until the
+    /// first call.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> PeerClient {
+        PeerClient {
+            addr: addr.into(),
+            conn: Mutex::new(None),
+        }
+    }
+
+    /// The address this client dials.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Send `request` and wait up to `timeout` for the reply, dialing (or
+    /// once redialing) as needed.
+    pub fn call(&self, request: Bytes, timeout: Duration) -> Result<Bytes, NetError> {
+        let mut conn = self.conn.lock();
+        for attempt in 0..2 {
+            if conn.is_none() {
+                let addrs = self
+                    .addr
+                    .to_socket_addrs()
+                    .map_err(|_| NetError::Disconnected)?
+                    .collect::<Vec<_>>();
+                let dialed = addrs
+                    .first()
+                    .ok_or(NetError::Disconnected)
+                    .and_then(|a| TcpTransport::connect(a))?;
+                *conn = Some(dialed);
+            }
+            let transport = conn.as_ref().expect("dialed above");
+            let sent = transport.send(request.clone());
+            let reply = match sent {
+                Ok(()) => transport.recv_timeout(timeout),
+                Err(e) => Err(e),
+            };
+            match reply {
+                Ok(Some(frame)) => return Ok(frame),
+                // A timeout with the link healthy is not retryable: the
+                // request may be executing. Surface it.
+                Ok(None) => return Err(NetError::Disconnected),
+                Err(_) if attempt == 0 => {
+                    // Stale connection (peer restarted): redial once.
+                    *conn = None;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(NetError::Disconnected)
+    }
+
+    /// Drop any cached connection (the next call redials).
+    pub fn disconnect(&self) {
+        if let Some(t) = self.conn.lock().take() {
+            t.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> PeerServer {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        PeerServer::start(
+            listener,
+            Arc::new(|frame: Bytes| {
+                if frame.as_ref() == b"close" {
+                    None
+                } else {
+                    let mut reply = b"re:".to_vec();
+                    reply.extend_from_slice(&frame);
+                    Some(Bytes::from(reply))
+                }
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn call_roundtrips_and_serializes() {
+        let server = echo_server();
+        let client = PeerClient::new(server.addr().to_string());
+        for i in 0..10u8 {
+            let reply = client
+                .call(Bytes::from(vec![b'a' + i]), Duration::from_secs(5))
+                .unwrap();
+            assert_eq!(&reply[..2], b"re");
+            assert_eq!(reply[3], b'a' + i);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn handler_none_closes_connection_and_client_redials() {
+        let server = echo_server();
+        let client = PeerClient::new(server.addr().to_string());
+        // The close request gets no reply: the client sees the link drop.
+        assert!(client
+            .call(Bytes::from_static(b"close"), Duration::from_secs(5))
+            .is_err());
+        // The next call redials and succeeds.
+        let reply = client
+            .call(Bytes::from_static(b"hi"), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(reply.as_ref(), b"re:hi");
+        server.shutdown();
+    }
+
+    #[test]
+    fn dead_peer_reports_disconnected() {
+        let server = echo_server();
+        let addr = server.addr().to_string();
+        server.shutdown();
+        let client = PeerClient::new(addr);
+        assert!(client
+            .call(Bytes::from_static(b"hi"), Duration::from_millis(200))
+            .is_err());
+    }
+}

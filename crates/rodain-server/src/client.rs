@@ -188,6 +188,16 @@ impl Client {
         self.request(0, RequestOp::Checkpoint)
     }
 
+    /// Fetch the node's current shard map (cluster deployments).
+    ///
+    /// Returns `Outcome::Ok` holding the map's `Value` encoding — decode
+    /// with [`rodain_shard::ShardMap::from_value`] — or `Outcome::Failed`
+    /// on a non-cluster node. Clients cache the map and refetch whenever
+    /// a request is answered [`Outcome::WrongShard`].
+    pub fn cluster_map(&mut self) -> std::io::Result<Outcome> {
+        self.request(0, RequestOp::ClusterMap)
+    }
+
     /// Send a burst of pipelined requests and collect all responses,
     /// returned in request order regardless of the order the server
     /// resolves them in (correlation is by request id).

@@ -1,0 +1,184 @@
+//! The cluster-node backend: a [`ShardedRodain`] holding only the shards
+//! this node owns, plus the versioned [`ShardMap`] the front-end routes
+//! by.
+//!
+//! A cluster node is built with engines for *every* shard and then
+//! detaches ([`ShardedRodain::take_shard`]) the ones assigned elsewhere,
+//! so ownership is simply "is an engine seated for this shard". The
+//! front-end consults [`ClusterShards::route_check`] before submitting:
+//! an anchor routing to a detached shard is answered
+//! [`crate::Outcome::WrongShard`] with the node's current map epoch, and
+//! the client refetches the map (`ClusterMap` op) and retries against
+//! the owner. Migration cutover installs a higher-epoch map
+//! ([`ClusterShards::install_map`]); stale maps are rejected so a
+//! delayed installer can never roll ownership backwards.
+
+use parking_lot::RwLock;
+use rodain_obs::{Counter, Gauge, Recorder};
+use rodain_shard::{ShardMap, ShardedRodain};
+use rodain_store::ObjectId;
+use std::sync::Arc;
+
+/// The shard placement state of one cluster node: locally-seated engines
+/// plus the epoch-numbered cluster map (see `DESIGN.md` §16).
+pub struct ClusterShards {
+    local: Arc<ShardedRodain>,
+    map: RwLock<ShardMap>,
+    recorder: Recorder,
+    epoch_gauge: Gauge,
+    redirects: Counter,
+}
+
+impl ClusterShards {
+    /// Wrap `local` (with non-owned shards already taken) as a cluster
+    /// node holding `map`. Cluster routing metrics register on
+    /// `recorder` and ride along in [`ClusterShards::metrics`].
+    #[must_use]
+    pub fn new(local: Arc<ShardedRodain>, map: ShardMap) -> Arc<ClusterShards> {
+        let recorder = Recorder::new();
+        let epoch_gauge = recorder.gauge("cluster_shard_map_epoch");
+        let redirects = recorder.counter("cluster_redirects_total");
+        epoch_gauge.set(map.epoch as i64);
+        Arc::new(ClusterShards {
+            local,
+            map: RwLock::new(map),
+            recorder,
+            epoch_gauge,
+            redirects,
+        })
+    }
+
+    /// The locally-seated engines.
+    #[must_use]
+    pub fn local(&self) -> &Arc<ShardedRodain> {
+        &self.local
+    }
+
+    /// The node's current shard map (a cheap clone).
+    #[must_use]
+    pub fn map(&self) -> ShardMap {
+        self.map.read().clone()
+    }
+
+    /// The node's current map epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.map.read().epoch
+    }
+
+    /// Install `map` if it is newer than the current one. Returns whether
+    /// it was installed; equal or older epochs are ignored (idempotent
+    /// broadcast, and a delayed installer cannot regress ownership).
+    pub fn install_map(&self, map: ShardMap) -> bool {
+        let mut cur = self.map.write();
+        if map.epoch <= cur.epoch {
+            return false;
+        }
+        self.epoch_gauge.set(map.epoch as i64);
+        *cur = map;
+        true
+    }
+
+    /// Whether this node currently seats an engine for `shard`.
+    #[must_use]
+    pub fn owns(&self, shard: usize) -> bool {
+        self.local.engine(shard).is_some()
+    }
+
+    /// Route check for an anchored request: `None` when this node owns
+    /// the anchor's shard, otherwise `Some(epoch)` for a
+    /// `WrongShard { epoch }` answer (counted in
+    /// `cluster_redirects_total`).
+    #[must_use]
+    pub fn route_check(&self, anchor: ObjectId) -> Option<u64> {
+        let shard = self.local.shard_of(anchor);
+        if self.owns(shard) {
+            return None;
+        }
+        self.redirects.inc();
+        Some(self.epoch())
+    }
+
+    /// The node's cluster-routing recorder (epoch gauge, redirects).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Local engine metrics merged with the cluster-routing metrics.
+    #[must_use]
+    pub fn metrics(&self) -> rodain_db::MetricsSnapshot {
+        let mut snap = self.local.metrics();
+        snap.merge(&self.recorder.snapshot());
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(shards: usize, own: &[usize]) -> Arc<ClusterShards> {
+        let local = Arc::new(
+            ShardedRodain::builder()
+                .shards(shards)
+                .workers_per_shard(1)
+                .build()
+                .unwrap(),
+        );
+        for s in 0..shards {
+            if !own.contains(&s) {
+                local.take_shard(s);
+            }
+        }
+        let map = ShardMap::single(shards, "127.0.0.1:1", "127.0.0.1:2");
+        ClusterShards::new(local, map)
+    }
+
+    #[test]
+    fn route_check_redirects_only_non_owned() {
+        let cluster = node(4, &[0, 2]);
+        let router = cluster.local().router();
+        let mut owned_seen = false;
+        let mut foreign_seen = false;
+        for raw in 0..64u64 {
+            let oid = ObjectId(raw);
+            let shard = router.route(oid);
+            match cluster.route_check(oid) {
+                None => {
+                    assert!(cluster.owns(shard));
+                    owned_seen = true;
+                }
+                Some(epoch) => {
+                    assert!(!cluster.owns(shard));
+                    assert_eq!(epoch, 1);
+                    foreign_seen = true;
+                }
+            }
+        }
+        assert!(owned_seen && foreign_seen);
+        let snap = cluster.metrics();
+        assert!(snap.counter("cluster_redirects_total").unwrap() > 0);
+    }
+
+    #[test]
+    fn install_map_is_monotone() {
+        let cluster = node(2, &[0, 1]);
+        let newer = cluster
+            .map()
+            .reassigned(1, rodain_shard::ShardOwner {
+                client_addr: "127.0.0.1:3".into(),
+                peer_addr: "127.0.0.1:4".into(),
+            });
+        assert_eq!(newer.epoch, 2);
+        assert!(cluster.install_map(newer.clone()));
+        // Same epoch again: rejected.
+        assert!(!cluster.install_map(newer));
+        // Older: rejected.
+        let stale = ShardMap::single(2, "127.0.0.1:1", "127.0.0.1:2");
+        assert!(!cluster.install_map(stale));
+        assert_eq!(cluster.epoch(), 2);
+        let snap = cluster.metrics();
+        assert_eq!(snap.gauge("cluster_shard_map_epoch"), Some(2));
+    }
+}

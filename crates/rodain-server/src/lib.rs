@@ -39,10 +39,12 @@
 #![warn(missing_docs)]
 
 mod client;
+mod cluster;
 pub mod protocol;
 mod server;
 
 pub use client::Client;
+pub use cluster::ClusterShards;
 pub use protocol::{
     MetricsFormat, Outcome, ProtocolError, Request, RequestOp, Response, PROTOCOL_VERSION,
 };

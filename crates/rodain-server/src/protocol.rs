@@ -82,6 +82,13 @@ pub enum RequestOp {
     /// snapshot file path, or `Failed` when the node has no checkpoint
     /// directory configured (see OPERATIONS.md).
     Checkpoint,
+    /// The node's current [`rodain_shard::ShardMap`] (served outside the
+    /// transaction path): answers `Ok` with the map's `Value` encoding
+    /// ([`rodain_shard::ShardMap::to_value`]) on a cluster node, `Failed`
+    /// on a single-node or single-process-sharded deployment. Clients
+    /// cache the map, route by it, and refetch on
+    /// [`Outcome::WrongShard`] (see DESIGN.md §16).
+    ClusterMap,
 }
 
 /// Rendering formats for [`RequestOp::Metrics`].
@@ -171,6 +178,16 @@ pub enum Outcome {
         csn: u64,
         /// The operation's payload (as in [`Outcome::Ok`]).
         value: Value,
+    },
+    /// This node does not own the shard the request's anchor object
+    /// routes to (cluster deployments only). The client's shard map is
+    /// stale — or it guessed — and must be refreshed via
+    /// [`RequestOp::ClusterMap`] before retrying. Carries the epoch of
+    /// the answering node's map so the client can tell a genuinely newer
+    /// map from a redirect it has already acted on.
+    WrongShard {
+        /// The answering node's current shard-map epoch.
+        epoch: u64,
     },
 }
 
@@ -277,6 +294,7 @@ impl Request {
                 buf.put_u8(format.tag());
             }
             RequestOp::Checkpoint => buf.put_u8(7),
+            RequestOp::ClusterMap => buf.put_u8(8),
         }
         buf.freeze()
     }
@@ -338,6 +356,7 @@ impl Request {
                 RequestOp::Metrics { format }
             }
             7 => RequestOp::Checkpoint,
+            8 => RequestOp::ClusterMap,
             other => return Err(ProtocolError::UnknownTag(other)),
         };
         if buf.has_remaining() {
@@ -379,6 +398,10 @@ impl Response {
                 buf.put_u64_le(*csn);
                 encode_value(&mut buf, value);
             }
+            Outcome::WrongShard { epoch } => {
+                buf.put_u8(8);
+                buf.put_u64_le(*epoch);
+            }
         }
         buf.freeze()
     }
@@ -409,6 +432,14 @@ impl Response {
                 let value = decode_value(&mut buf)
                     .map_err(|_| ProtocolError::Malformed("durable value"))?;
                 Outcome::CommitDurable { tier, csn, value }
+            }
+            8 => {
+                if buf.remaining() < 8 {
+                    return Err(ProtocolError::Malformed("wrong shard body"));
+                }
+                Outcome::WrongShard {
+                    epoch: buf.get_u64_le(),
+                }
             }
             other => return Err(ProtocolError::UnknownTag(other)),
         };
@@ -484,6 +515,7 @@ mod tests {
                 },
             ),
             Request::new(7, 0, RequestOp::Checkpoint),
+            Request::new(8, 0, RequestOp::ClusterMap),
         ]
     }
 
@@ -543,6 +575,10 @@ mod tests {
                     csn: 4_242,
                     value: Value::Null,
                 },
+            },
+            Response {
+                id: 8,
+                outcome: Outcome::WrongShard { epoch: 3 },
             },
         ];
         for r in responses {

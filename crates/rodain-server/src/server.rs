@@ -1,5 +1,6 @@
 //! The TCP front-end.
 
+use crate::cluster::ClusterShards;
 use crate::protocol::{
     read_frame, write_frame, MetricsFormat, Outcome, Request, RequestOp, Response,
 };
@@ -27,6 +28,7 @@ struct StatsInner {
     miss_deadline: AtomicU64,
     overloaded: AtomicU64,
     failed: AtomicU64,
+    redirected: AtomicU64,
 }
 
 /// Snapshot of the front-end's request counters.
@@ -46,6 +48,8 @@ pub struct ServerStats {
     pub overloaded: u64,
     /// Requests that failed for any other reason.
     pub failed: u64,
+    /// Requests answered `WrongShard` (cluster nodes only).
+    pub redirected: u64,
 }
 
 /// What answers the front-end's transactions: one engine, or a
@@ -58,6 +62,10 @@ pub enum Backend {
     /// A sharded cluster; single-shard requests take the fast path to
     /// their owning engine.
     Sharded(Arc<ShardedRodain>),
+    /// One node of a multi-process cluster: only locally-owned shards
+    /// are served; anchors routing elsewhere are answered
+    /// `WrongShard { epoch }` so the client refetches the shard map.
+    Cluster(Arc<ClusterShards>),
 }
 
 impl Backend {
@@ -70,6 +78,7 @@ impl Backend {
         match self {
             Backend::Single(db) => db.submit(opts, closure),
             Backend::Sharded(cluster) => cluster.submit_on(anchor, opts, closure),
+            Backend::Cluster(node) => node.local().submit_on(anchor, opts, closure),
         }
     }
 
@@ -79,6 +88,7 @@ impl Backend {
         match self {
             Backend::Single(db) => db.stats(),
             Backend::Sharded(cluster) => cluster.stats(),
+            Backend::Cluster(node) => node.local().stats(),
         }
     }
 
@@ -88,6 +98,7 @@ impl Backend {
         match self {
             Backend::Single(db) => db.metrics(),
             Backend::Sharded(cluster) => cluster.metrics(),
+            Backend::Cluster(node) => node.metrics(),
         }
     }
 
@@ -97,23 +108,23 @@ impl Backend {
     /// Fails when no engine has checkpointing configured
     /// ([`rodain_db::RodainBuilder::checkpoints`]).
     pub fn force_checkpoint(&self) -> std::io::Result<std::path::PathBuf> {
-        match self {
-            Backend::Single(db) => db.force_checkpoint(),
-            Backend::Sharded(cluster) => {
-                let mut last = None;
-                for shard in 0..cluster.shard_count() {
-                    if let Some(engine) = cluster.engine(shard) {
-                        last = Some(engine.force_checkpoint()?);
-                    }
-                }
-                last.ok_or_else(|| {
-                    std::io::Error::new(
-                        std::io::ErrorKind::InvalidInput,
-                        "checkpointing not configured on any shard",
-                    )
-                })
+        let sharded = match self {
+            Backend::Single(db) => return db.force_checkpoint(),
+            Backend::Sharded(cluster) => cluster,
+            Backend::Cluster(node) => node.local(),
+        };
+        let mut last = None;
+        for shard in 0..sharded.shard_count() {
+            if let Some(engine) = sharded.engine(shard) {
+                last = Some(engine.force_checkpoint()?);
             }
         }
+        last.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "checkpointing not configured on any shard",
+            )
+        })
     }
 }
 
@@ -151,6 +162,7 @@ impl ServerHandle {
             miss_deadline: self.stats.miss_deadline.load(Ordering::Relaxed),
             overloaded: self.stats.overloaded.load(Ordering::Relaxed),
             failed: self.stats.failed.load(Ordering::Relaxed),
+            redirected: self.stats.redirected.load(Ordering::Relaxed),
         }
     }
 
@@ -191,6 +203,18 @@ impl Server {
     pub fn sharded(cluster: Arc<ShardedRodain>, schema: NumberTranslationDb) -> Server {
         Server {
             backend: Backend::Sharded(cluster),
+            schema,
+        }
+    }
+
+    /// Create a front-end over one node of a multi-process cluster:
+    /// requests anchored on shards this node does not own are answered
+    /// `WrongShard { epoch }`, and the `ClusterMap` op serves the node's
+    /// current [`rodain_shard::ShardMap`].
+    #[must_use]
+    pub fn cluster(node: Arc<ClusterShards>, schema: NumberTranslationDb) -> Server {
+        Server {
+            backend: Backend::Cluster(node),
             schema,
         }
     }
@@ -303,6 +327,25 @@ fn handle_request(
     let id = request.id;
     let deferred = request.deferred;
     let opts = txn_options(request.deadline_ms, request.tier);
+    // Cluster placement check: an anchored request whose shard is not
+    // seated here never reaches an engine — the client's map is stale.
+    if let Backend::Cluster(node) = backend {
+        let anchor = match &request.op {
+            RequestOp::Translate { number } | RequestOp::Provision { number, .. } => {
+                Some(schema.object_id(*number))
+            }
+            RequestOp::Get { oid } | RequestOp::Put { oid, .. } => Some(*oid),
+            _ => None,
+        };
+        if let Some(epoch) = anchor.and_then(|a| node.route_check(a)) {
+            return replies
+                .send(ReplyJob::Immediate(Response {
+                    id,
+                    outcome: Outcome::WrongShard { epoch },
+                }))
+                .map_err(|_| ());
+        }
+    }
     let future = match request.op {
         RequestOp::Translate { number } => {
             let anchor = schema.object_id(number);
@@ -373,6 +416,15 @@ fn handle_request(
             let outcome = match backend.force_checkpoint() {
                 Ok(path) => Outcome::Ok(Value::Text(path.display().to_string())),
                 Err(e) => Outcome::Failed(e.to_string()),
+            };
+            return replies
+                .send(ReplyJob::Immediate(Response { id, outcome }))
+                .map_err(|_| ());
+        }
+        RequestOp::ClusterMap => {
+            let outcome = match backend {
+                Backend::Cluster(node) => Outcome::Ok(node.map().to_value()),
+                _ => Outcome::Failed("not a cluster node".into()),
             };
             return replies
                 .send(ReplyJob::Immediate(Response { id, outcome }))
@@ -480,6 +532,9 @@ fn writer_loop(stream: TcpStream, replies: Receiver<ReplyJob>, stats: Arc<StatsI
                 }
                 Outcome::Failed(_) => {
                     stats.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                Outcome::WrongShard { .. } => {
+                    stats.redirected.fetch_add(1, Ordering::Relaxed);
                 }
             }
             if write_frame(&mut out, &response.encode()).is_err() {

@@ -48,6 +48,8 @@ fn op_strategy() -> impl Strategy<Value = RequestOp> {
             Just(MetricsFormat::Prometheus),
         ]
         .prop_map(|format| RequestOp::Metrics { format }),
+        Just(RequestOp::Checkpoint),
+        Just(RequestOp::ClusterMap),
     ]
 }
 
@@ -78,6 +80,7 @@ fn outcome_strategy() -> impl Strategy<Value = Outcome> {
         Just(Outcome::CommitPending),
         (tier_strategy(), any::<u64>(), value_strategy())
             .prop_map(|(tier, csn, value)| { Outcome::CommitDurable { tier, csn, value } }),
+        any::<u64>().prop_map(|epoch| Outcome::WrongShard { epoch }),
     ]
 }
 

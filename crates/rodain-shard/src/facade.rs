@@ -376,13 +376,15 @@ impl ShardedRodain {
         *self.shards[shard].write() = Some(engine);
     }
 
-    /// Allocate a cross-shard transaction group id.
-    pub(crate) fn alloc_gid(&self) -> u64 {
+    /// Allocate a cross-shard transaction group id. Ids are unique within
+    /// this facade; a networked coordinator must scope them further (the
+    /// cluster layer prefixes the coordinator shard into the high bits).
+    pub fn alloc_gid(&self) -> u64 {
         self.next_gid.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Keep the gid allocator ahead of ids observed during recovery.
-    pub(crate) fn note_gid_seen(&self, gid: u64) {
+    pub fn note_gid_seen(&self, gid: u64) {
         self.next_gid.fetch_max(gid + 1, Ordering::Relaxed);
     }
 }

@@ -20,6 +20,11 @@
 //!   validation + the intent shipped like any redo record), *commit* is a
 //!   decision record on the coordinator shard whose CSN is then stamped
 //!   into every participant's redo stream by the apply phase.
+//! * [`ShardMap`] — the versioned (epoch-numbered) shard → owning-node
+//!   assignment multi-node placement routes by: clients cache a map,
+//!   nodes answer `WrongShard { epoch }` for shards they don't own, and
+//!   every ownership change (a migration cutover) bumps the epoch
+//!   exactly once (see `DESIGN.md` §16).
 //! * Presumed abort: a crash between prepare and decision leaves intents
 //!   with no decision record; [`ShardedRodain::resolve_pending`] replays
 //!   them to abort. A crash after the decision rolls forward.
@@ -30,9 +35,14 @@
 #![warn(missing_docs)]
 
 mod facade;
+mod map;
 mod router;
 mod twopc;
 
 pub use facade::{ShardedRodain, ShardedRodainBuilder};
+pub use map::{ShardMap, ShardOwner};
 pub use router::{MetaKind, MetaOid, ShardRouter, MAX_SHARDS, META_BIT};
-pub use twopc::{CrashPoint, CrossReceipt, RecoveryReport, ShardOp};
+pub use twopc::{
+    apply_on_shard, best_effort_delete, decode_intent, decode_op, encode_intent, encode_op,
+    CrashPoint, CrossReceipt, RecoveryReport, ShardOp,
+};

@@ -1,0 +1,184 @@
+//! The versioned shard map: which node owns which shard, as of an epoch.
+//!
+//! Multi-node placement (DESIGN.md §16) needs one piece of shared,
+//! *versioned* routing state: shard → owning node. The map is a plain
+//! value — an epoch number and one [`ShardOwner`] per shard — copied
+//! around by value and compared only by epoch. Every node serves its
+//! current map over the client protocol (`RequestOp::ClusterMap`), every
+//! client caches one, and a request routed with a stale map is answered
+//! `WrongShard { epoch }` so the client refetches and retries. Epochs are
+//! bumped exactly once per ownership change (a migration cutover), so
+//! "my epoch ≥ the redirect's epoch" is the client's convergence test.
+//!
+//! The map rides inside [`rodain_store::Value`] on the wire (the codec
+//! every protocol layer already has), via [`ShardMap::to_value`] /
+//! [`ShardMap::from_value`].
+
+use rodain_store::Value;
+
+/// One shard's owning node: where clients send transactions for the
+/// shard, and where peers reach the node's cluster port.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardOwner {
+    /// The owner's client-plane address (`rodain-server` protocol).
+    pub client_addr: String,
+    /// The owner's peer-plane address (cluster protocol: 2PC, migration).
+    pub peer_addr: String,
+}
+
+/// An epoch-numbered assignment of every shard to an owning node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Version of this assignment; bumped on every ownership change.
+    pub epoch: u64,
+    /// Owner of shard `i` at `owners[i]`.
+    pub owners: Vec<ShardOwner>,
+}
+
+impl ShardMap {
+    /// A single-node map: every shard owned by the same node, epoch 1.
+    #[must_use]
+    pub fn single(shards: usize, client_addr: &str, peer_addr: &str) -> ShardMap {
+        ShardMap {
+            epoch: 1,
+            owners: vec![
+                ShardOwner {
+                    client_addr: client_addr.to_string(),
+                    peer_addr: peer_addr.to_string(),
+                };
+                shards
+            ],
+        }
+    }
+
+    /// Number of shards the map covers.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Shard `shard`'s owner, if the shard exists.
+    #[must_use]
+    pub fn owner(&self, shard: usize) -> Option<&ShardOwner> {
+        self.owners.get(shard)
+    }
+
+    /// A copy of this map with `shard` reassigned to `owner` and the
+    /// epoch bumped — the migration-cutover successor map.
+    #[must_use]
+    pub fn reassigned(&self, shard: usize, owner: ShardOwner) -> ShardMap {
+        let mut next = self.clone();
+        if let Some(slot) = next.owners.get_mut(shard) {
+            *slot = owner;
+        }
+        next.epoch += 1;
+        next
+    }
+
+    /// Encode as a [`Value`]: `Record[Int(epoch), Record[Record[Text(client),
+    /// Text(peer)], …]]` — carried inside any protocol that moves values.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        Value::Record(vec![
+            Value::Int(self.epoch as i64),
+            Value::Record(
+                self.owners
+                    .iter()
+                    .map(|o| {
+                        Value::Record(vec![
+                            Value::Text(o.client_addr.clone()),
+                            Value::Text(o.peer_addr.clone()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ])
+    }
+
+    /// Inverse of [`ShardMap::to_value`]; `None` on any shape mismatch.
+    #[must_use]
+    pub fn from_value(value: &Value) -> Option<ShardMap> {
+        let Value::Record(fields) = value else {
+            return None;
+        };
+        let [Value::Int(epoch), Value::Record(owners)] = fields.as_slice() else {
+            return None;
+        };
+        let owners = owners
+            .iter()
+            .map(|o| {
+                let Value::Record(pair) = o else {
+                    return None;
+                };
+                let [Value::Text(client_addr), Value::Text(peer_addr)] = pair.as_slice() else {
+                    return None;
+                };
+                Some(ShardOwner {
+                    client_addr: client_addr.clone(),
+                    peer_addr: peer_addr.clone(),
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(ShardMap {
+            epoch: *epoch as u64,
+            owners,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_map() -> ShardMap {
+        ShardMap {
+            epoch: 7,
+            owners: vec![
+                ShardOwner {
+                    client_addr: "127.0.0.1:4001".into(),
+                    peer_addr: "127.0.0.1:5001".into(),
+                },
+                ShardOwner {
+                    client_addr: "127.0.0.1:4002".into(),
+                    peer_addr: "127.0.0.1:5002".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let map = two_node_map();
+        assert_eq!(ShardMap::from_value(&map.to_value()), Some(map));
+        let single = ShardMap::single(4, "c", "p");
+        assert_eq!(single.epoch, 1);
+        assert_eq!(single.shards(), 4);
+        assert_eq!(ShardMap::from_value(&single.to_value()), Some(single));
+    }
+
+    #[test]
+    fn malformed_values_rejected() {
+        assert!(ShardMap::from_value(&Value::Int(3)).is_none());
+        assert!(ShardMap::from_value(&Value::Record(vec![Value::Int(1)])).is_none());
+        assert!(ShardMap::from_value(&Value::Record(vec![
+            Value::Int(1),
+            Value::Record(vec![Value::Int(9)]),
+        ]))
+        .is_none());
+    }
+
+    #[test]
+    fn reassigned_bumps_epoch_and_swaps_owner() {
+        let map = two_node_map();
+        let next = map.reassigned(
+            1,
+            ShardOwner {
+                client_addr: "127.0.0.1:4001".into(),
+                peer_addr: "127.0.0.1:5001".into(),
+            },
+        );
+        assert_eq!(next.epoch, 8);
+        assert_eq!(next.owner(1), next.owner(0));
+        assert_eq!(map.epoch, 7, "original untouched");
+    }
+}

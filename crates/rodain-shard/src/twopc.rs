@@ -107,7 +107,10 @@ pub struct RecoveryReport {
     pub decisions_cleaned: u64,
 }
 
-fn encode_op(op: &ShardOp) -> Value {
+/// Encode one [`ShardOp`] as a [`Value`] — the building block of both the
+/// durable intent payload and the networked cluster protocol's op lists.
+#[must_use]
+pub fn encode_op(op: &ShardOp) -> Value {
     match op {
         ShardOp::Add { oid, delta } => Value::Record(vec![
             Value::Int(0),
@@ -120,7 +123,9 @@ fn encode_op(op: &ShardOp) -> Value {
     }
 }
 
-fn decode_op(value: &Value) -> Option<ShardOp> {
+/// Inverse of [`encode_op`]; `None` on any shape mismatch.
+#[must_use]
+pub fn decode_op(value: &Value) -> Option<ShardOp> {
     let Value::Record(fields) = value else {
         return None;
     };
@@ -137,7 +142,12 @@ fn decode_op(value: &Value) -> Option<ShardOp> {
     }
 }
 
-fn encode_intent(gid: u64, coordinator: usize, ops: &[ShardOp]) -> Value {
+/// Encode a participant's durable-intent payload: the transaction's group
+/// id, its coordinator shard, and the operations to apply on this shard.
+/// Public so a *networked* coordinator (`rodain-cluster`) can write the
+/// same intents remote participants' recovery understands.
+#[must_use]
+pub fn encode_intent(gid: u64, coordinator: usize, ops: &[ShardOp]) -> Value {
     Value::Record(vec![
         Value::Int(gid as i64),
         Value::Int(coordinator as i64),
@@ -145,7 +155,9 @@ fn encode_intent(gid: u64, coordinator: usize, ops: &[ShardOp]) -> Value {
     ])
 }
 
-fn decode_intent(value: &Value) -> Option<(u64, usize, Vec<ShardOp>)> {
+/// Inverse of [`encode_intent`]: `(gid, coordinator_shard, ops)`.
+#[must_use]
+pub fn decode_intent(value: &Value) -> Option<(u64, usize, Vec<ShardOp>)> {
     let Value::Record(fields) = value else {
         return None;
     };
@@ -158,7 +170,7 @@ fn decode_intent(value: &Value) -> Option<(u64, usize, Vec<ShardOp>)> {
 
 /// Delete `oid` (best effort — failures are resolved later by
 /// [`crate::ShardedRodain::resolve_pending`]).
-fn best_effort_delete(engine: &Rodain, oid: ObjectId) {
+pub fn best_effort_delete(engine: &Rodain, oid: ObjectId) {
     let _ = engine.execute(TxnOptions::non_real_time(), move |ctx| {
         ctx.write(oid, Value::Null)?;
         Ok(None)
@@ -167,7 +179,7 @@ fn best_effort_delete(engine: &Rodain, oid: ObjectId) {
 
 /// Apply `ops` and flip the intent to an applied marker, atomically in one
 /// local transaction (idempotent: a marker or missing intent is a no-op).
-fn apply_on_shard(
+pub fn apply_on_shard(
     engine: &Rodain,
     opts: TxnOptions,
     intent: ObjectId,

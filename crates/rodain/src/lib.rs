@@ -23,12 +23,14 @@
 //! | [`sim`] | `rodain-sim` | deterministic simulation regenerating the paper's figures |
 //! | [`workload`] | `rodain-workload` | number-translation workloads, traces |
 //! | [`shard`] | `rodain-shard` | hash-partitioned multi-engine cluster: routing, cross-shard 2PC, per-shard failover |
+//! | [`cluster`] | `rodain-cluster` | multi-node placement: shard maps, networked 2PC, online shard migration |
 //!
 //! See the repository's `README.md` for a tour and `examples/` for runnable
 //! programs.
 
 #![forbid(unsafe_code)]
 
+pub use rodain_cluster as cluster;
 pub use rodain_db as db;
 pub use rodain_log as log;
 pub use rodain_net as net;

@@ -1,211 +1,198 @@
-//! The sharding layer end to end: a 4-shard cluster with a mirror per
-//! shard, mixed single-shard and cross-shard traffic, one shard's primary
-//! killed and failed over mid-run, and a merged Prometheus scrape.
+//! The multi-node placement layer end to end: two cluster nodes behind
+//! real TCP sockets, a networked 2PC coordinator driving mixed traffic,
+//! and an online shard migration — with the total balance conserved
+//! throughout.
 //!
 //! Run with: `cargo run --example sharded_cluster`
 //!
-//! The point of DESIGN.md §11: availability is the paper's protocol ×N.
-//! Killing shard 2's primary promotes *shard 2's* mirror; shards 0, 1 and
-//! 3 keep committing throughout, and the global invariant (total balance
-//! conserved by transfers) holds across the failover.
+//! The point of DESIGN.md §16: the sharding layer of §11 seated across
+//! *processes*. Each node owns a subset of shards behind a client-plane
+//! server and a peer-plane server; an epoch-numbered shard map names the
+//! owners; cross-shard transfers run the durable-intent 2PC over the
+//! wire; and a shard moves between live nodes (snapshot ship + log-tail
+//! catch-up + epoch-bumped cutover) without stopping traffic.
 
-use rodain::db::{MirrorLossPolicy, Rodain, TxnOptions};
-use rodain::net::InProcTransport;
-use rodain::node::{MirrorConfig, MirrorExit, MirrorNode};
-use rodain::shard::{ShardOp, ShardedRodain};
-use rodain::store::Store;
+use rodain::cluster::{ClusterClient, ClusterCoordinator, ClusterNode, NodeConfig};
+use rodain::server::Outcome;
+use rodain::shard::{ShardMap, ShardOp, ShardOwner, ShardRouter};
+use rodain::workload::NumberTranslationDb;
 use rodain::{ObjectId, Value};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::net::TcpListener;
 
 const SHARDS: usize = 4;
 const ACCOUNTS: u64 = 64;
 const OPENING_BALANCE: i64 = 100;
 
-struct MirrorHandle {
-    store: Arc<Store>,
-    shutdown: Arc<AtomicBool>,
-    thread: std::thread::JoinHandle<(MirrorExit, rodain::node::MirrorReport)>,
+fn start_node(own: Vec<usize>, tag: &str) -> ClusterNode {
+    let data = std::env::temp_dir().join(format!(
+        "rodain-example-cluster-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&data);
+    let cfg = NodeConfig::new(SHARDS, own, data);
+    let client = TcpListener::bind("127.0.0.1:0").expect("bind client plane");
+    let peer = TcpListener::bind("127.0.0.1:0").expect("bind peer plane");
+    ClusterNode::start(cfg, client, peer).expect("start node")
 }
 
-fn fast_config() -> MirrorConfig {
-    MirrorConfig {
-        poll_interval: Duration::from_millis(1),
-        heartbeat_interval: Duration::from_millis(10),
-        peer_timeout: Duration::from_millis(100),
-        suspect_rounds: 3,
-        snapshot_dir: None,
-        takeover_workers: 2,
+fn owner_of(node: &ClusterNode) -> ShardOwner {
+    ShardOwner {
+        client_addr: node.client_addr().to_string(),
+        peer_addr: node.peer_addr().to_string(),
     }
 }
 
-fn attach_mirror(cluster: &ShardedRodain, shard: usize) -> MirrorHandle {
-    let (primary_side, mirror_side) = InProcTransport::pair();
-    let store = Arc::new(Store::new());
-    let mut mirror = MirrorNode::new(
-        Arc::clone(&store),
-        Arc::new(mirror_side),
-        None,
-        fast_config(),
-    );
-    let shutdown = mirror.shutdown_handle();
-    let thread = std::thread::spawn(move || {
-        mirror.join().expect("mirror join handshake");
-        mirror.run()
-    });
-    cluster
-        .attach_mirror(
-            shard,
-            Arc::new(primary_side),
-            MirrorLossPolicy::ContinueVolatile,
-        )
-        .expect("attach mirror");
-    MirrorHandle {
-        store,
-        shutdown,
-        thread,
-    }
-}
-
-fn total_balance(cluster: &ShardedRodain) -> i64 {
+fn total_balance(client: &mut ClusterClient) -> i64 {
     (0..ACCOUNTS)
-        .map(|i| match cluster.get(ObjectId(i)) {
-            Some(Value::Int(v)) => v,
+        .map(|i| match client.get(ObjectId(i)).expect("audit read") {
+            Outcome::Ok(Value::Int(v)) => v,
             _ => 0,
         })
         .sum()
 }
 
 fn main() {
-    // ── Phase 1: build the cluster, one mirror per shard ─────────────────
-    println!("phase 1: {SHARDS} shards, one mirror each");
-    let cluster = ShardedRodain::builder()
-        .shards(SHARDS)
-        .workers_per_shard(2)
-        .build()
-        .expect("build cluster");
+    // ── Phase 1: two nodes behind real sockets, one map ──────────────────
+    println!("phase 1: two nodes on loopback, shards 0-1 on A, 2-3 on B");
+    let node_a = start_node(vec![0, 1], "a");
+    let node_b = start_node(vec![2, 3], "b");
+    let coordinator =
+        ClusterCoordinator::connect(&node_a.peer_addr().to_string()).expect("coordinator");
+    let map = ShardMap {
+        epoch: 2,
+        owners: vec![
+            owner_of(&node_a),
+            owner_of(&node_a),
+            owner_of(&node_b),
+            owner_of(&node_b),
+        ],
+    };
+    let addrs = vec![
+        node_a.peer_addr().to_string(),
+        node_b.peer_addr().to_string(),
+    ];
+    coordinator.broadcast_map(&map, &addrs).expect("install map");
+    println!(
+        "  A client={} peer={}",
+        node_a.client_addr(),
+        node_a.peer_addr()
+    );
+    println!(
+        "  B client={} peer={}",
+        node_b.client_addr(),
+        node_b.peer_addr()
+    );
+
     for i in 0..ACCOUNTS {
-        cluster.load_initial(ObjectId(i), Value::Int(OPENING_BALANCE));
+        coordinator
+            .execute(vec![ShardOp::Put {
+                oid: ObjectId(i),
+                value: Value::Int(OPENING_BALANCE),
+            }])
+            .expect("seed balance");
     }
-    let mut mirrors: Vec<Option<MirrorHandle>> = (0..SHARDS)
-        .map(|shard| Some(attach_mirror(&cluster, shard)))
-        .collect();
-    let opening_total = total_balance(&cluster);
+    let mut client = ClusterClient::connect(
+        &node_a.client_addr().to_string(),
+        NumberTranslationDb::new(ACCOUNTS),
+    )
+    .expect("routing client");
+    let opening_total = total_balance(&mut client);
     println!("  opening total balance: {opening_total}");
 
-    // ── Phase 2: mixed traffic ────────────────────────────────────────────
-    // Single-shard updates take the fast path; transfers between accounts
-    // on different shards go through the cross-shard two-phase commit.
+    // ── Phase 2: mixed traffic over the wire ─────────────────────────────
+    // Single-shard groups take the one-node fast path; groups spanning
+    // shards run the durable-intent 2PC: intents on each participant,
+    // decision record on the coordinator shard, then apply + cleanup.
     println!("phase 2: mixed single-shard and cross-shard traffic");
+    let router = ShardRouter::new(SHARDS);
     let mut singles = 0u64;
     let mut transfers = 0u64;
     for k in 0..200u64 {
         let from = ObjectId(k % ACCOUNTS);
         let to = ObjectId((k * 7 + 3) % ACCOUNTS);
-        if k % 3 == 0 && cluster.shard_of(from) != cluster.shard_of(to) {
-            cluster
-                .execute_cross(
-                    TxnOptions::soft_ms(5_000),
-                    vec![
-                        ShardOp::Add {
-                            oid: from,
-                            delta: -5,
-                        },
-                        ShardOp::Add { oid: to, delta: 5 },
-                    ],
-                )
+        if k % 3 == 0 && router.route(from) != router.route(to) {
+            coordinator
+                .execute(vec![
+                    ShardOp::Add {
+                        oid: from,
+                        delta: -5,
+                    },
+                    ShardOp::Add { oid: to, delta: 5 },
+                ])
                 .expect("cross-shard transfer");
             transfers += 1;
         } else {
-            cluster
-                .execute_on(from, TxnOptions::soft_ms(5_000), move |ctx| {
-                    let v = ctx.read(from)?.unwrap().as_int().unwrap();
-                    ctx.write(from, Value::Int(v))?; // touch: version bump only
-                    Ok(None)
-                })
-                .expect("single-shard update");
+            coordinator
+                .execute(vec![ShardOp::Add { oid: from, delta: 0 }])
+                .expect("single-shard touch");
             singles += 1;
         }
     }
-    println!("  {singles} single-shard commits, {transfers} cross-shard transfers");
-    assert_eq!(total_balance(&cluster), opening_total);
+    println!("  {singles} single-shard commits, {transfers} networked 2PC transfers");
+    assert_eq!(total_balance(&mut client), opening_total);
 
-    // ── Phase 3: kill shard 2's primary and fail over ─────────────────────
-    println!("phase 3: kill shard 2's primary");
-    let victim = 2;
-    let taken = cluster.take_shard(victim).expect("victim engine");
-    drop(taken); // closes the mirror link: shard 2's mirror takes over
-    let handle = mirrors[victim].take().expect("victim mirror");
-    let (exit, _report) = handle.thread.join().expect("mirror thread");
-    assert_eq!(exit, MirrorExit::PrimaryFailed);
-    println!("  shard {victim} mirror observed the failure and holds the copy");
+    // ── Phase 3: migrate shard 1 from A to B, online ─────────────────────
+    println!("phase 3: migrate shard 1 from node A to node B (online)");
+    let report = coordinator
+        .migrate_shard(1, owner_of(&node_b))
+        .expect("migrate shard 1");
+    println!(
+        "  snapshot upto CSN {}, {} catch-up commits in {} rounds, epoch {} installed",
+        report.snapshot_upto, report.catchup_commits, report.rounds, report.final_epoch
+    );
 
-    // Survivors never notice: traffic on the other shards keeps acking
-    // while shard 2 is detached.
-    let mut survivor_commits = 0u64;
-    for i in 0..ACCOUNTS {
-        let oid = ObjectId(i);
-        if cluster.shard_of(oid) == victim {
-            continue;
+    // The routing client's map is stale (epoch 2): its next touch of
+    // shard 1 is answered WrongShard, it refetches the map, and lands on
+    // node B — the caller never sees the redirect.
+    let on_shard_1 = (0..ACCOUNTS)
+        .map(ObjectId)
+        .find(|oid| router.route(*oid) == 1)
+        .expect("an account on shard 1");
+    match client.get(on_shard_1).expect("read moved account") {
+        Outcome::Ok(Value::Int(v)) => {
+            println!("  account {} read from its new home: {v}", on_shard_1.0);
         }
-        cluster
-            .execute_on(oid, TxnOptions::soft_ms(5_000), move |ctx| {
-                let v = ctx.read(oid)?.unwrap().as_int().unwrap();
-                ctx.write(oid, Value::Int(v))?;
-                Ok(None)
-            })
-            .expect("survivor commit during the outage");
-        survivor_commits += 1;
+        other => panic!("unexpected outcome {other:?}"),
     }
-    println!("  {survivor_commits} commits served by the survivors during the outage");
+    println!("  client converged on epoch {}", client.map().epoch);
 
-    // Promote: seat a successor over the mirror's copy of shard 2.
-    let successor = Rodain::builder()
-        .workers(2)
-        .store(handle.store)
-        .build()
-        .expect("promote mirror store");
-    cluster.install_shard(victim, Arc::new(successor));
-    println!("  shard {victim} serving again from the mirror copy");
-
-    // ── Phase 4: post-failover traffic, invariant intact ─────────────────
-    println!("phase 4: cross-shard transfers across the recovered cluster");
+    // ── Phase 4: post-migration traffic, invariant intact ────────────────
+    println!("phase 4: transfers across the migrated cluster");
     for k in 0..50u64 {
         let from = ObjectId((k * 5) % ACCOUNTS);
         let to = ObjectId((k * 11 + 1) % ACCOUNTS);
-        if cluster.shard_of(from) == cluster.shard_of(to) {
+        if router.route(from) == router.route(to) {
             continue;
         }
-        cluster
-            .execute_cross(
-                TxnOptions::soft_ms(5_000),
-                vec![
-                    ShardOp::Add {
-                        oid: from,
-                        delta: -1,
-                    },
-                    ShardOp::Add { oid: to, delta: 1 },
-                ],
-            )
-            .expect("post-failover transfer");
+        coordinator
+            .execute(vec![
+                ShardOp::Add {
+                    oid: from,
+                    delta: -1,
+                },
+                ShardOp::Add { oid: to, delta: 1 },
+            ])
+            .expect("post-migration transfer");
     }
-    assert_eq!(total_balance(&cluster), opening_total);
+    let _ = coordinator.resolve_all();
+    assert_eq!(total_balance(&mut client), opening_total);
     println!("  total balance conserved: {opening_total}");
 
-    // ── Phase 5: one merged scrape for the whole cluster ─────────────────
-    println!("phase 5: merged Prometheus scrape (per-shard labels)");
-    let prom = cluster.metrics().render_prometheus();
-    for line in prom
-        .lines()
-        .filter(|l| l.starts_with("txn_committed_total"))
+    // ── Phase 5: scrape the placement metrics off node B ─────────────────
+    println!("phase 5: cluster metrics from node B");
+    let mut raw = rodain::server::Client::connect(node_b.client_addr()).expect("metrics client");
+    if let Outcome::Ok(Value::Text(prom)) = raw
+        .metrics(rodain::server::MetricsFormat::Prometheus)
+        .expect("scrape")
     {
-        println!("  {line}");
+        for line in prom.lines().filter(|l| {
+            l.starts_with("cluster_shard_map_epoch") || l.starts_with("cluster_migrations_total")
+        }) {
+            println!("  {line}");
+        }
     }
 
-    for handle in mirrors.into_iter().flatten() {
-        handle.shutdown.store(true, Ordering::Release);
-        let _ = handle.thread.join();
-    }
+    node_a.shutdown();
+    node_b.shutdown();
     println!("done.");
 }

@@ -1,0 +1,272 @@
+//! Multi-process cluster integration: two `cluster_node` processes on
+//! loopback, a networked 2PC coordinator driving mixed traffic, and an
+//! online shard migration mid-run.
+//!
+//! Invariants checked:
+//! - money conservation across cross-shard transfers spanning the
+//!   migration (2PC atomicity over the wire),
+//! - zero acked-commit loss on the migrating shard (every acknowledged
+//!   increment survives the move),
+//! - client convergence: a client with a pre-migration map reaches the
+//!   new owner via `WrongShard` redirects and ends on a newer epoch.
+//!
+//! The test skips (passes vacuously) when the `cluster_node` binary is
+//! not present; CI builds it first and points `RODAIN_CLUSTER_NODE_BIN`
+//! at it.
+
+use rodain::cluster::harness::{node_binary, NodeProcess, NodeProcessConfig};
+use rodain::cluster::{ClusterClient, ClusterCoordinator, ShardMap, ShardOwner};
+use rodain::shard::{ShardOp, ShardRouter};
+use rodain::workload::NumberTranslationDb;
+use rodain::{ObjectId, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SHARDS: usize = 4;
+const BALANCES: u64 = 32;
+const SEED_AMOUNT: i64 = 100;
+/// A dedicated counter object used for the zero-acked-loss check.
+const COUNTER_BASE: u64 = 1_000;
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rodain-cluster-it-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn owner_of(node: &NodeProcess) -> ShardOwner {
+    ShardOwner {
+        client_addr: node.client_addr.clone(),
+        peer_addr: node.peer_addr.clone(),
+    }
+}
+
+/// The deployment map: A seats shards 0 and 1, B seats 2 and 3.
+fn deployment_map(a: &NodeProcess, b: &NodeProcess) -> ShardMap {
+    ShardMap {
+        epoch: 2,
+        owners: vec![owner_of(a), owner_of(a), owner_of(b), owner_of(b)],
+    }
+}
+
+fn int_outcome(outcome: rodain::server::Outcome) -> Option<i64> {
+    match outcome {
+        rodain::server::Outcome::Ok(value) => value.as_int(),
+        _ => None,
+    }
+}
+
+#[test]
+fn migration_under_mixed_traffic_conserves_money() {
+    let Some(bin) = node_binary() else {
+        eprintln!("cluster_node binary not found; skipping multi-process test");
+        return;
+    };
+    let dir_a = scratch_dir("a");
+    let dir_b = scratch_dir("b");
+    let node_a = NodeProcess::spawn(&bin, &NodeProcessConfig::new(SHARDS, vec![0, 1], &dir_a))
+        .expect("spawn node A");
+    let node_b = NodeProcess::spawn(&bin, &NodeProcessConfig::new(SHARDS, vec![2, 3], &dir_b))
+        .expect("spawn node B");
+
+    let coordinator =
+        ClusterCoordinator::connect(&node_a.peer_addr).expect("connect coordinator");
+    let map = deployment_map(&node_a, &node_b);
+    let addrs = vec![node_a.peer_addr.clone(), node_b.peer_addr.clone()];
+    coordinator.broadcast_map(&map, &addrs).expect("install map");
+    assert_eq!(coordinator.map().epoch, 2);
+
+    // Find an object that routes to the shard we will migrate (1) for
+    // the acked-loss counter, then seed all balances.
+    let router = ShardRouter::new(SHARDS);
+    let counter_oid = (COUNTER_BASE..COUNTER_BASE + 64)
+        .map(ObjectId)
+        .find(|oid| router.route(*oid) == 1)
+        .expect("an oid routing to shard 1");
+    for n in 0..BALANCES {
+        coordinator
+            .execute(vec![ShardOp::Put {
+                oid: ObjectId(n),
+                value: Value::Int(SEED_AMOUNT),
+            }])
+            .expect("seed balance");
+    }
+    coordinator
+        .execute(vec![ShardOp::Put {
+            oid: counter_oid,
+            value: Value::Int(0),
+        }])
+        .expect("seed counter");
+
+    // A client that learns the pre-migration map now, so its view is
+    // stale after the cutover and it must converge via redirects.
+    let mut stale_client =
+        ClusterClient::connect(&node_a.client_addr, NumberTranslationDb::new(1_024))
+            .expect("connect client");
+    assert_eq!(stale_client.map().epoch, 2);
+
+    // Mixed traffic from a second coordinator while the shard moves:
+    // cross-shard transfers (conserve money) and single-shard increments
+    // on the migrating shard (count every ack).
+    let traffic = {
+        let peer = node_a.peer_addr.clone();
+        std::thread::spawn(move || {
+            let coordinator = ClusterCoordinator::connect(&peer).expect("traffic coordinator");
+            let mut acked_transfers = 0u64;
+            let mut acked_increments = 0u64;
+            for round in 0..120u64 {
+                let from = ObjectId(round % BALANCES);
+                let to = ObjectId((round + 17) % BALANCES);
+                if from != to {
+                    let transfer = vec![
+                        ShardOp::Add {
+                            oid: from,
+                            delta: -1,
+                        },
+                        ShardOp::Add { oid: to, delta: 1 },
+                    ];
+                    if coordinator.execute(transfer).is_ok() {
+                        acked_transfers += 1;
+                    }
+                }
+                if coordinator
+                    .execute(vec![ShardOp::Add {
+                        oid: counter_oid,
+                        delta: 1,
+                    }])
+                    .is_ok()
+                {
+                    acked_increments += 1;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            (acked_transfers, acked_increments)
+        })
+    };
+
+    // A coordinator whose map predates the migration: it must converge
+    // on the new placement through refresh-and-retry.
+    let stale_coord =
+        ClusterCoordinator::connect(&node_a.peer_addr).expect("stale coordinator");
+    assert_eq!(stale_coord.map().epoch, 2);
+
+    // Let traffic get going, then move shard 1 from A to B, live.
+    std::thread::sleep(Duration::from_millis(40));
+    let report = coordinator
+        .migrate_shard(1, owner_of(&node_b))
+        .expect("migrate shard 1");
+    assert_eq!(report.shard, 1);
+    assert_eq!(report.final_epoch, 3);
+    assert_eq!(
+        coordinator.map().owner(1).expect("owner").peer_addr,
+        node_b.peer_addr,
+        "shard 1 must now belong to node B"
+    );
+
+    // The stale coordinator's next write to the moved shard hits the old
+    // owner, gets refused, refreshes, and lands on node B.
+    stale_coord
+        .execute(vec![ShardOp::Add {
+            oid: counter_oid,
+            delta: 0,
+        }])
+        .expect("stale coordinator converges after migration");
+    assert!(stale_coord.map().epoch >= 3);
+
+    let (acked_transfers, acked_increments) = traffic.join().expect("traffic thread");
+    // In-doubt leftovers from transfers racing the cutover window are
+    // finished (or presumed aborted) before auditing.
+    coordinator.resolve_all().expect("resolve");
+
+    // Audit through the stale client: it must converge on the new
+    // placement via WrongShard redirects.
+    let mut total = 0i64;
+    for n in 0..BALANCES {
+        let value = int_outcome(stale_client.get(ObjectId(n)).expect("get balance"))
+            .expect("balance is an int");
+        total += value;
+    }
+    assert_eq!(
+        total,
+        BALANCES as i64 * SEED_AMOUNT,
+        "cross-shard transfers must conserve money across the migration \
+         ({acked_transfers} transfers acked)"
+    );
+    let counter = int_outcome(stale_client.get(counter_oid).expect("get counter"))
+        .expect("counter is an int");
+    assert!(
+        counter >= acked_increments as i64,
+        "acked increments lost in migration: counter {counter} < acked {acked_increments}"
+    );
+    assert!(
+        stale_client.map().epoch >= 3,
+        "client must have converged on the post-migration map"
+    );
+    assert!(acked_increments > 0, "no traffic was acked during the run");
+
+    node_a.quit();
+    node_b.quit();
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn cluster_map_is_served_and_redirects_count() {
+    let Some(bin) = node_binary() else {
+        eprintln!("cluster_node binary not found; skipping multi-process test");
+        return;
+    };
+    let dir_a = scratch_dir("ra");
+    let dir_b = scratch_dir("rb");
+    let node_a = NodeProcess::spawn(&bin, &NodeProcessConfig::new(2, vec![0], &dir_a))
+        .expect("spawn node A");
+    let node_b = NodeProcess::spawn(&bin, &NodeProcessConfig::new(2, vec![1], &dir_b))
+        .expect("spawn node B");
+    let coordinator =
+        ClusterCoordinator::connect(&node_a.peer_addr).expect("connect coordinator");
+    let map = ShardMap {
+        epoch: 2,
+        owners: vec![owner_of(&node_a), owner_of(&node_b)],
+    };
+    let addrs = vec![node_a.peer_addr.clone(), node_b.peer_addr.clone()];
+    coordinator.broadcast_map(&map, &addrs).expect("install map");
+
+    // A raw (map-oblivious) client pointed at node A: requests whose
+    // anchor lives on node B are answered WrongShard, not served.
+    let mut raw = rodain::server::Client::connect(&node_a.client_addr).expect("connect raw");
+    let router = ShardRouter::new(2);
+    let foreign = (0..64)
+        .map(ObjectId)
+        .find(|oid| router.route(*oid) == 1)
+        .expect("oid on shard 1");
+    match raw.get(foreign, 0).expect("get") {
+        rodain::server::Outcome::WrongShard { epoch } => assert_eq!(epoch, 2),
+        other => panic!("expected WrongShard, got {other:?}"),
+    }
+
+    // The routing client resolves the same read against node B.
+    let mut routed = ClusterClient::connect(&node_a.client_addr, NumberTranslationDb::new(64))
+        .expect("connect routed");
+    routed
+        .put(foreign, Value::Int(7))
+        .expect("routed put succeeds");
+    assert_eq!(
+        int_outcome(routed.get(foreign).expect("routed get")),
+        Some(7)
+    );
+
+    node_a.quit();
+    node_b.quit();
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// Sharing a coordinator across threads is part of the API contract.
+#[allow(dead_code)]
+fn coordinator_is_shareable(c: Arc<ClusterCoordinator>) -> impl Send + Sync {
+    c
+}
