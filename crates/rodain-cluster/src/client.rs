@@ -9,11 +9,25 @@ use rodain_store::{ObjectId, Value};
 use rodain_workload::NumberTranslationDb;
 use std::collections::HashMap;
 use std::io;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Retry budget per request: enough for a full map refresh plus the
-/// brief window where old and new owner disagree during cutover.
-const MAX_ATTEMPTS: usize = 16;
+/// Default retry window per request. A migration cutover can hold a
+/// shard unavailable for seconds (the seal alone waits up to 5s for
+/// in-flight handles, and the epoch-bumped map only lands after the
+/// broadcast), during which the old owner keeps answering `WrongShard`
+/// on an unchanged epoch — so the window must comfortably outlast a
+/// worst-case seal-to-broadcast interval, not just one map refresh.
+const RETRY_WINDOW: Duration = Duration::from_secs(15);
+
+/// Attempts made regardless of elapsed time, so a short window never
+/// degenerates into a single try.
+const MIN_ATTEMPTS: usize = 4;
+
+/// Pause between attempts: doubles from `BACKOFF_START` up to
+/// `BACKOFF_CAP`, keeping early redirects snappy without hammering a
+/// node mid-cutover.
+const BACKOFF_START: Duration = Duration::from_millis(10);
+const BACKOFF_CAP: Duration = Duration::from_millis(250);
 
 /// A routing client over a cluster of nodes.
 pub struct ClusterClient {
@@ -22,6 +36,7 @@ pub struct ClusterClient {
     conns: HashMap<String, Client>,
     schema: NumberTranslationDb,
     deadline_ms: u32,
+    retry_window: Duration,
 }
 
 impl ClusterClient {
@@ -48,12 +63,20 @@ impl ClusterClient {
             conns,
             schema,
             deadline_ms: 0,
+            retry_window: RETRY_WINDOW,
         })
     }
 
     /// Deadline attached to every data request (0 = soft/none).
     pub fn set_deadline_ms(&mut self, deadline_ms: u32) {
         self.deadline_ms = deadline_ms;
+    }
+
+    /// How long a request keeps retrying through redirects and dead
+    /// connections before surfacing an error (default 15s — sized to
+    /// cover a worst-case migration cutover).
+    pub fn set_retry_window(&mut self, window: Duration) {
+        self.retry_window = window;
     }
 
     /// The client's current view of the map.
@@ -71,11 +94,10 @@ impl ClusterClient {
     }
 
     /// Ask every distinct owner for its map and keep the newest. Nodes
-    /// mid-cutover can briefly disagree; the newest epoch wins and a
-    /// short pause lets the installation broadcast land (`DESIGN.md`
-    /// §16).
+    /// mid-cutover can briefly disagree; the newest epoch wins
+    /// (`DESIGN.md` §16). The pacing between refreshes is the retry
+    /// backoff in [`ClusterClient::request_on`].
     fn refresh_map(&mut self) {
-        std::thread::sleep(Duration::from_millis(10));
         let mut addrs: Vec<String> = self
             .map
             .owners
@@ -113,8 +135,10 @@ impl ClusterClient {
         op: impl Fn(&mut Client, u32) -> io::Result<Outcome>,
     ) -> io::Result<Outcome> {
         let deadline = self.deadline_ms;
+        let started = Instant::now();
+        let mut backoff = BACKOFF_START;
         let mut last_err: Option<io::Error> = None;
-        for _ in 0..MAX_ATTEMPTS {
+        for attempt in 1.. {
             let shard = self.router.route(anchor);
             let Some(addr) = self.map.owner(shard).map(|o| o.client_addr.clone()) else {
                 return Err(io::Error::new(
@@ -127,18 +151,21 @@ impl ClusterClient {
                 Err(e) => Err(e),
             };
             match outcome {
-                Ok(Outcome::WrongShard { .. }) => {
-                    self.refresh_map();
-                }
+                Ok(Outcome::WrongShard { .. }) => {}
                 Ok(other) => return Ok(other),
                 Err(e) => {
                     // Connection torn (node restarting, migrating away):
                     // drop it, refresh the map, try the new owner.
                     self.conns.remove(&addr);
                     last_err = Some(e);
-                    self.refresh_map();
                 }
             }
+            if attempt >= MIN_ATTEMPTS && started.elapsed() >= self.retry_window {
+                break;
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(BACKOFF_CAP);
+            self.refresh_map();
         }
         Err(last_err.unwrap_or_else(|| {
             io::Error::new(

@@ -164,6 +164,11 @@ impl ClusterCoordinator {
     }
 
     /// One correlated request/reply exchange with the node at `addr`.
+    ///
+    /// An undecodable or mismatched reply also drops the cached
+    /// connection: a frame that does not answer this request belongs to
+    /// an earlier, abandoned one, and keeping the connection would let
+    /// the next call consume another stale reply.
     pub(crate) fn call(
         &self,
         addr: &str,
@@ -171,9 +176,17 @@ impl ClusterCoordinator {
     ) -> Result<ClusterReply, ClusterError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let frame = encode_request(id, request);
-        let raw = self.peer(addr).call(frame, self.timeout)?;
-        let (got_id, reply) = decode_reply(raw)?;
+        let peer = self.peer(addr);
+        let raw = peer.call(frame, self.timeout)?;
+        let (got_id, reply) = match decode_reply(raw) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                peer.disconnect();
+                return Err(ClusterError::Proto(e));
+            }
+        };
         if got_id != id {
+            peer.disconnect();
             return Err(ClusterError::Proto(ClusterProtoError::Malformed(
                 "reply id does not match request",
             )));

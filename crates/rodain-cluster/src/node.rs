@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::TcpListener;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -123,6 +124,7 @@ struct NodeState {
     cluster: Arc<ClusterShards>,
     staged: Mutex<HashMap<usize, Staged>>,
     peers: Mutex<HashMap<String, Arc<PeerClient>>>,
+    next_call_id: AtomicU64,
     migrations: Counter,
     catchup: Counter,
 }
@@ -177,9 +179,32 @@ impl ClusterNode {
             cluster: Arc::clone(&cluster),
             staged: Mutex::new(HashMap::new()),
             peers: Mutex::new(HashMap::new()),
+            next_call_id: AtomicU64::new(1),
             migrations,
             catchup,
         });
+        // Re-seed the gid allocator from durable 2PC state recovered off
+        // the seated shards' logs. Without this a restarted
+        // coordinator-shard owner could reissue a sequence number still
+        // referenced by a pre-crash intent or decision, and the new
+        // transaction's records would collide with the old one's — e.g.
+        // a fresh Decide would make an old prepared-but-undecided intent
+        // resolve as committed.
+        {
+            let local = state.cluster.local();
+            for shard in 0..local.shard_count() {
+                let Some(engine) = local.engine(shard) else {
+                    continue;
+                };
+                for (oid, _) in &engine.snapshot().objects {
+                    if let Some(meta) = ShardRouter::meta_parts(*oid) {
+                        if matches!(meta.kind, MetaKind::Intent | MetaKind::Decision) {
+                            local.note_gid_seen(meta.gid & GID_SEQ_MASK);
+                        }
+                    }
+                }
+            }
+        }
         let schema = NumberTranslationDb::new(state.cfg.schema_objects);
         let server = Server::cluster(Arc::clone(&cluster), schema).start(client_listener)?;
         let handler_state = Arc::clone(&state);
@@ -241,12 +266,25 @@ impl NodeState {
 
     /// Peer call with correlation-id checking; `None` on any transport
     /// or protocol failure (callers treat the answer as unknown).
+    ///
+    /// Ids are unique per call so a delayed reply to an earlier,
+    /// abandoned request can never be accepted as the answer to this
+    /// one — with a constant id a stale `Decision` for gid A could pass
+    /// for gid B's during resolve. On any mismatch or undecodable frame
+    /// the cached connection is dropped: whatever else it might deliver
+    /// belongs to a request nobody is waiting on.
     fn call(&self, addr: &str, request: &ClusterRequest) -> Option<ClusterReply> {
-        let id = 1; // one in-flight call per connection
+        let id = self.next_call_id.fetch_add(1, Ordering::Relaxed);
         let frame = crate::proto::encode_request(id, request);
-        let reply = self.peer(addr).call(frame, PEER_CALL_TIMEOUT).ok()?;
-        let (got_id, reply) = crate::proto::decode_reply(reply).ok()?;
-        (got_id == id).then_some(reply)
+        let peer = self.peer(addr);
+        let raw = peer.call(frame, PEER_CALL_TIMEOUT).ok()?;
+        match crate::proto::decode_reply(raw) {
+            Ok((got_id, reply)) if got_id == id => Some(reply),
+            _ => {
+                peer.disconnect();
+                None
+            }
+        }
     }
 }
 
@@ -583,6 +621,17 @@ fn handle_peer(state: &Arc<NodeState>, request: ClusterRequest) -> ClusterReply 
             let deadline = Instant::now() + Duration::from_secs(5);
             while Arc::strong_count(&taken) > 1 && Instant::now() < deadline {
                 std::thread::sleep(Duration::from_millis(2));
+            }
+            if Arc::strong_count(&taken) > 1 {
+                // The engine cannot shut down while other handles hold
+                // it, so in-flight commits could still flush after any
+                // tail we read now — cutting over would silently drop
+                // them. Re-seat the shard and fail the seal; the
+                // coordinator aborts the migration instead.
+                state.cluster.local().install_shard(shard as usize, taken);
+                return err(format!(
+                    "shard {shard} seal aborted: in-flight handles outlived the drain window"
+                ));
             }
             drop(taken);
             match read_tail(state, shard as usize, after) {

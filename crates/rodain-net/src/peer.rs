@@ -16,8 +16,11 @@
 //!   engine below, and neither knows about sockets.
 //! * [`PeerClient`] — a dialing client that connects on first use,
 //!   serializes calls (one request in flight per connection, matching
-//!   the server's one-reply-per-frame contract), and redials once on a
-//!   broken link before reporting the peer gone.
+//!   the server's one-reply-per-frame contract), and redials once when
+//!   the *send* fails — the one failure that proves the request never
+//!   reached the peer. Any failure after a successful send (timeout,
+//!   broken link) is surfaced, because the peer may have executed the
+//!   request and resending could execute it twice.
 
 use crate::{NetError, TcpTransport, Transport};
 use bytes::Bytes;
@@ -149,8 +152,16 @@ impl PeerClient {
         &self.addr
     }
 
-    /// Send `request` and wait up to `timeout` for the reply, dialing (or
-    /// once redialing) as needed.
+    /// Send `request` and wait up to `timeout` for the reply, dialing as
+    /// needed.
+    ///
+    /// Failure semantics matter here: only a failed *send* is retried
+    /// (once, after a redial), because a send that never completed
+    /// provably never executed on the peer. Once the send has succeeded
+    /// the request may be executing — or may already have committed with
+    /// the reply lost — so a recv failure or timeout is surfaced, never
+    /// retried, and the connection is closed so a late reply can never
+    /// be read as the answer to a later request.
     pub fn call(&self, request: Bytes, timeout: Duration) -> Result<Bytes, NetError> {
         let mut conn = self.conn.lock();
         for attempt in 0..2 {
@@ -167,22 +178,38 @@ impl PeerClient {
                 *conn = Some(dialed);
             }
             let transport = conn.as_ref().expect("dialed above");
-            let sent = transport.send(request.clone());
-            let reply = match sent {
-                Ok(()) => transport.recv_timeout(timeout),
-                Err(e) => Err(e),
-            };
-            match reply {
-                Ok(Some(frame)) => return Ok(frame),
-                // A timeout with the link healthy is not retryable: the
-                // request may be executing. Surface it.
-                Ok(None) => return Err(NetError::Disconnected),
-                Err(_) if attempt == 0 => {
-                    // Stale connection (peer restarted): redial once.
-                    *conn = None;
+            if let Err(e) = transport.send(request.clone()) {
+                // The request never left this side: redialing and
+                // resending cannot double-execute it. A cached
+                // connection usually fails here when the peer restarted.
+                if let Some(t) = conn.take() {
+                    t.close();
                 }
-                Err(e) => return Err(e),
+                if attempt == 0 {
+                    continue;
+                }
+                return Err(e);
             }
+            // Sent. From here on the peer may execute the request, so no
+            // failure is retryable.
+            return match transport.recv_timeout(timeout) {
+                Ok(Some(frame)) => Ok(frame),
+                // Timeout with the link healthy: the reply may still be
+                // in flight. Close the connection so the next call
+                // cannot consume that stale reply.
+                Ok(None) => {
+                    if let Some(t) = conn.take() {
+                        t.close();
+                    }
+                    Err(NetError::Disconnected)
+                }
+                Err(e) => {
+                    if let Some(t) = conn.take() {
+                        t.close();
+                    }
+                    Err(e)
+                }
+            };
         }
         Err(NetError::Disconnected)
     }
@@ -243,6 +270,71 @@ mod tests {
             .call(Bytes::from_static(b"hi"), Duration::from_secs(5))
             .unwrap();
         assert_eq!(reply.as_ref(), b"re:hi");
+        server.shutdown();
+    }
+
+    #[test]
+    fn timed_out_call_poisons_connection_so_stale_reply_is_never_consumed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = PeerServer::start(
+            listener,
+            Arc::new(|frame: Bytes| {
+                if frame.as_ref() == b"slow" {
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                let mut reply = b"re:".to_vec();
+                reply.extend_from_slice(&frame);
+                Some(Bytes::from(reply))
+            }),
+        )
+        .unwrap();
+        let client = PeerClient::new(server.addr().to_string());
+        // First call times out while its reply is still in flight.
+        assert!(client
+            .call(Bytes::from_static(b"slow"), Duration::from_millis(20))
+            .is_err());
+        // Give the delayed reply time to land where the old cached
+        // connection would have buffered it.
+        std::thread::sleep(Duration::from_millis(300));
+        // The next call must answer itself, not the abandoned request.
+        let reply = client
+            .call(Bytes::from_static(b"fast"), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(reply.as_ref(), b"re:fast");
+        server.shutdown();
+    }
+
+    #[test]
+    fn recv_failure_after_successful_send_is_not_resent() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let executions = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&executions);
+        // The handler "executes" the request, then drops the link
+        // instead of replying — the committed-but-reply-lost shape.
+        let server = PeerServer::start(
+            listener,
+            Arc::new(move |frame: Bytes| {
+                if frame.as_ref() == b"once" {
+                    counted.fetch_add(1, Ordering::SeqCst);
+                    None
+                } else {
+                    Some(frame)
+                }
+            }),
+        )
+        .unwrap();
+        let client = PeerClient::new(server.addr().to_string());
+        assert!(client
+            .call(Bytes::from_static(b"once"), Duration::from_secs(5))
+            .is_err());
+        // Give any (incorrect) resend time to arrive before counting.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(
+            executions.load(Ordering::SeqCst),
+            1,
+            "a request whose send succeeded must never be resent"
+        );
         server.shutdown();
     }
 
