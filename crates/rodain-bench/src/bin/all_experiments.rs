@@ -48,6 +48,18 @@ fn main() {
         std::fs::write(&path, report.to_json()).unwrap();
         println!("json: {path:?}\n");
     }
+    #[cfg(unix)]
+    {
+        // SATURATION runs both front-ends on the real server; the
+        // regression gate stays in the standalone `c10k` binary.
+        let report = rodain_bench::frontend::front_end_saturation(opts);
+        report.table().print();
+        let dir = rodain_bench::report::out_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_SATURATION.json");
+        std::fs::write(&path, report.to_json()).unwrap();
+        println!("json: {path:?}\n");
+    }
     // REALENGINE, SHARDSCALE and RECOVERY are deliberately NOT part of
     // the suite: they measure wall-clock behaviour and need an otherwise
     // idle machine. Run them standalone:

@@ -1,0 +1,39 @@
+//! SATURATION (C10K): the event-driven front-end vs the
+//! thread-per-connection baseline under pipelined connection storms,
+//! 64 → 4096 connections (64 → 1024 with `--quick`).
+//!
+//! Writes `BENCH_SATURATION.json` into the output directory and exits
+//! non-zero when the front-end redesign regresses: the event-driven
+//! server must clear 1.5× the baseline's committed throughput at the
+//! largest measured point with ≥ 1024 connections — while using O(cores)
+//! threads instead of two per connection.
+//!
+//! `cargo run -p rodain-bench --release --bin c10k [-- --quick]`
+
+#[cfg(unix)]
+fn main() {
+    use rodain_bench::experiments::SweepOptions;
+    use rodain_bench::frontend::front_end_saturation;
+    use rodain_bench::report::out_dir;
+
+    let report = front_end_saturation(SweepOptions::from_args());
+    report.table().print();
+
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    let path = dir.join("BENCH_SATURATION.json");
+    std::fs::write(&path, report.to_json()).expect("write BENCH_SATURATION.json");
+    println!("json: {path:?}");
+
+    let speedup = report.speedup();
+    println!("event-driven / thread-per-conn committed throughput at the gate point: {speedup:.2}x");
+    if speedup < 1.5 {
+        eprintln!("SATURATION regression: need speedup >= 1.5 (got {speedup:.2})");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(not(unix))]
+fn main() {
+    println!("SATURATION needs the unix readiness poller; skipping.");
+}

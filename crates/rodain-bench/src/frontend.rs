@@ -1,0 +1,578 @@
+//! SATURATION (C10K): the event-driven front-end vs the
+//! thread-per-connection baseline under a pipelined connection storm.
+//!
+//! Both series serve the same volatile engine and the same workload —
+//! `Translate` requests at `DurabilityTier::Volatile`, `WINDOW` requests
+//! pipelined per connection — while the connection count sweeps from a
+//! few dozen to a few thousand. The client is itself event-driven: one
+//! driver thread multiplexes every socket through the in-repo
+//! [`rodain_net::Poller`], so client-side thread scheduling never
+//! pollutes the comparison. A connection that cannot be established or
+//! dies mid-run (the baseline *will* shed connections once it cannot
+//! spawn two threads per socket) is counted dead and the run continues:
+//! on small machines the baseline degrading is the expected result, not
+//! an error.
+//!
+//! The regression gate (`c10k` binary, `BENCH_SATURATION.json`) holds the
+//! event-driven front-end at ≥ 1.5× the baseline's committed throughput
+//! at the largest measured point with ≥ 1024 connections.
+
+use crate::experiments::SweepOptions;
+use crate::report::{ms, Table};
+use rodain_db::{DurabilityTier, Rodain};
+use rodain_net::{raise_nofile_limit, Bytes, Events, Interest, Poller};
+use rodain_server::protocol::{read_frame, write_frame};
+use rodain_server::{Outcome, Request, RequestOp, Response, Server};
+use rodain_workload::NumberTranslationDb;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Requests kept in flight per connection (well under the server's
+/// default per-connection cap, so backpressure pauses stay the server's
+/// choice, not the workload's).
+const WINDOW: usize = 8;
+
+/// Service numbers provisioned in the schema.
+const OBJECTS: u64 = 10_000;
+
+/// Per-request firm deadline — generous, so the sweep measures front-end
+/// capacity rather than deadline misses.
+const DEADLINE_MS: u32 = 10_000;
+
+/// Wall-clock budget for establishing one series' connections. Plenty on
+/// an idle multi-core box (thousands of connects per second); on a small
+/// or thrashing machine it converts connect stalls into dead connections
+/// so the sweep finishes in bounded time.
+const CONNECT_BUDGET: Duration = Duration::from_secs(10);
+
+/// Which front-end a series drives.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FrontEnd {
+    /// `Server::start` — poller loop + fixed worker pool.
+    Event,
+    /// `Server::start_threaded` — two threads per connection.
+    Threaded,
+}
+
+impl FrontEnd {
+    fn label(self) -> &'static str {
+        match self {
+            FrontEnd::Event => "event-driven",
+            FrontEnd::Threaded => "thread-per-conn",
+        }
+    }
+}
+
+/// One (front-end, connection-count) measurement.
+#[derive(Clone, Debug)]
+pub struct FrontEndRow {
+    /// Connections attempted.
+    pub conns: usize,
+    /// Connections still alive when the measurement window closed.
+    pub live_conns: usize,
+    /// `Ok` responses received inside the window.
+    pub committed: u64,
+    /// `Overloaded` responses (admission-gate rejections).
+    pub overloaded: u64,
+    /// Committed throughput (responses/s over the window).
+    pub tput_tps: f64,
+    /// 99th-percentile request→response latency (ns).
+    pub p99_ns: u64,
+}
+
+/// One connection-count point: both series side by side.
+#[derive(Clone, Debug)]
+pub struct FrontEndPoint {
+    /// Connections attempted.
+    pub conns: usize,
+    /// The event-driven front-end.
+    pub event: FrontEndRow,
+    /// The thread-per-connection baseline.
+    pub threaded: FrontEndRow,
+}
+
+impl FrontEndPoint {
+    /// Committed-throughput ratio, event-driven over baseline. The
+    /// denominator is floored at 1 txn/s so a fully collapsed baseline
+    /// (0 commits — it happens once it cannot spawn threads) reports a
+    /// large finite ratio instead of a division blow-up.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.event.tput_tps / self.threaded.tput_tps.max(1.0)
+    }
+}
+
+/// SATURATION result: the sweep plus the server-side thread budget the
+/// event-driven series ran with (loop + workers — O(cores), not O(conns)).
+#[derive(Clone, Debug)]
+pub struct FrontEndReport {
+    /// One entry per connection count.
+    pub points: Vec<FrontEndPoint>,
+    /// Threads the event-driven server used (1 loop + worker pool).
+    pub event_threads: usize,
+}
+
+impl FrontEndReport {
+    /// The gated ratio: event-driven over baseline committed throughput at
+    /// the largest point with ≥ 1024 connections (falls back to the last
+    /// point when the sweep never reaches 1024).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.conns >= 1024)
+            .next_back()
+            .or_else(|| self.points.last())
+            .map_or(0.0, FrontEndPoint::speedup)
+    }
+
+    /// Render as the usual markdown table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            &format!(
+                "SATURATION — event-driven front-end ({} server threads) vs \
+                 thread-per-connection under pipelined connection storms \
+                 ({WINDOW} requests in flight per connection)",
+                self.event_threads
+            ),
+            &[
+                "conns",
+                "series",
+                "live",
+                "committed",
+                "overloaded",
+                "tput (txn/s)",
+                "p99 (ms)",
+                "speedup",
+            ],
+        );
+        for point in &self.points {
+            for (label, row, speedup) in [
+                (
+                    FrontEnd::Event.label(),
+                    &point.event,
+                    format!("{:.2}x", point.speedup()),
+                ),
+                (FrontEnd::Threaded.label(), &point.threaded, String::new()),
+            ] {
+                table.push(vec![
+                    point.conns.to_string(),
+                    label.to_string(),
+                    row.live_conns.to_string(),
+                    row.committed.to_string(),
+                    row.overloaded.to_string(),
+                    format!("{:.0}", row.tput_tps),
+                    ms(row.p99_ns as f64),
+                    speedup,
+                ]);
+            }
+        }
+        table
+    }
+
+    /// Hand-rolled JSON (the bench crate deliberately has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn row_json(label: &str, r: &FrontEndRow) -> String {
+            format!(
+                "{{\"series\": \"{label}\", \"live_conns\": {}, \"committed\": {}, \
+                 \"overloaded\": {}, \"tput_tps\": {:.1}, \"p99_ns\": {}}}",
+                r.live_conns, r.committed, r.overloaded, r.tput_tps, r.p99_ns
+            )
+        }
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"conns\": {}, \"rows\": [\n      {},\n      {}\n    ], \
+                     \"speedup\": {:.3}}}",
+                    p.conns,
+                    row_json(FrontEnd::Event.label(), &p.event),
+                    row_json(FrontEnd::Threaded.label(), &p.threaded),
+                    p.speedup()
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"experiment\": \"SATURATION\",\n  \"window\": {WINDOW},\n  \
+             \"event_threads\": {},\n  \"points\": [\n{}\n  ],\n  \"speedup\": {:.3}\n}}\n",
+            self.event_threads,
+            points.join(",\n"),
+            self.speedup()
+        )
+    }
+}
+
+/// The C10K sweep. `--quick` (reps ≤ 3) measures two points for ~300 ms
+/// each; the full run sweeps 64 → 4096 connections at ~1 s per point.
+#[must_use]
+pub fn front_end_saturation(opts: SweepOptions) -> FrontEndReport {
+    let _ = raise_nofile_limit();
+    let quick = opts.reps <= 3;
+    let conn_sweep: &[usize] = if quick {
+        &[64, 1024]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    let window = Duration::from_millis(if quick { 300 } else { 1000 });
+
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16);
+
+    let mut points = Vec::new();
+    for &conns in conn_sweep {
+        let event = run_series(FrontEnd::Event, conns, window);
+        let threaded = run_series(FrontEnd::Threaded, conns, window);
+        points.push(FrontEndPoint {
+            conns,
+            event,
+            threaded,
+        });
+    }
+    FrontEndReport {
+        points,
+        event_threads: workers + 1,
+    }
+}
+
+/// Serve a fresh volatile engine through the chosen front-end and drive it
+/// with `conns` pipelined connections for `window`.
+fn run_series(front_end: FrontEnd, conns: usize, window: Duration) -> FrontEndRow {
+    let db = Arc::new(Rodain::builder().workers(4).build().expect("engine"));
+    let schema = NumberTranslationDb::new(OBJECTS);
+    schema.populate(&db.store());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let server = Server::new(db, schema);
+    let handle = match front_end {
+        FrontEnd::Event => server.start(listener),
+        FrontEnd::Threaded => server.start_threaded(listener),
+    }
+    .expect("start server");
+    let row = drive(handle.addr(), conns, window);
+    handle.shutdown();
+    row
+}
+
+/// One multiplexed client connection.
+struct ClientConn {
+    stream: TcpStream,
+    /// Bytes read but not yet peeled into whole response frames.
+    rbuf: Vec<u8>,
+    /// Encoded frames not yet accepted by the socket.
+    outbox: Vec<u8>,
+    /// Send timestamp per in-flight request id.
+    sent_at: HashMap<u64, Instant>,
+    next_id: u64,
+    /// Whether the poller currently watches this socket for write.
+    want_write: bool,
+}
+
+/// Aggregate counters for one series run.
+#[derive(Default)]
+struct DriveTotals {
+    committed: u64,
+    overloaded: u64,
+    other: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// Drive `conns` pipelined connections against `addr` for `window` from a
+/// single poller thread; dead connections are dropped, not retried.
+fn drive(addr: SocketAddr, conns: usize, window: Duration) -> FrontEndRow {
+    let poller = Poller::new().expect("client poller");
+    let mut events = Events::with_capacity(1024);
+    let mut slots: Vec<Option<ClientConn>> = Vec::with_capacity(conns);
+
+    // Connect with a per-socket timeout AND an overall budget so a wedged
+    // or thrashing accept side (the baseline out of threads) degrades the
+    // row instead of stretching the experiment's wall clock; sockets never
+    // established are dead connections, which is itself the measurement.
+    let connect_deadline = Instant::now() + CONNECT_BUDGET;
+    for i in 0..conns {
+        if Instant::now() >= connect_deadline {
+            slots.push(None);
+            continue;
+        }
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    slots.push(None);
+                    continue;
+                }
+                if poller
+                    .register(stream.as_raw_fd(), i as u64, Interest::READ)
+                    .is_err()
+                {
+                    slots.push(None);
+                    continue;
+                }
+                slots.push(Some(ClientConn {
+                    stream,
+                    rbuf: Vec::new(),
+                    outbox: Vec::new(),
+                    sent_at: HashMap::new(),
+                    next_id: 1,
+                    want_write: false,
+                }));
+            }
+            Err(_) => slots.push(None),
+        }
+    }
+
+    let start = Instant::now();
+    let deadline = start + window;
+    let mut totals = DriveTotals::default();
+
+    // Prime every live connection with a full window of requests.
+    for i in 0..slots.len() {
+        let mut dead = false;
+        if let Some(conn) = slots[i].as_mut() {
+            for _ in 0..WINDOW {
+                enqueue_request(conn, i);
+            }
+            dead = !flush(conn, &poller, i as u64);
+        }
+        if dead {
+            close_slot(&poller, &mut slots, i);
+        }
+    }
+
+    while Instant::now() < deadline {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let timeout = remaining.min(Duration::from_millis(50));
+        if poller.wait(&mut events, Some(timeout)).is_err() {
+            break;
+        }
+        let fired: Vec<(u64, bool, bool, bool)> = events
+            .iter()
+            .map(|e| (e.token, e.readable, e.writable, e.error))
+            .collect();
+        for (token, readable, writable, error) in fired {
+            let i = token as usize;
+            let mut dead = false;
+            if let Some(conn) = slots.get_mut(i).and_then(Option::as_mut) {
+                if error {
+                    dead = true;
+                } else {
+                    if readable {
+                        dead = !pump_reads(conn, i, deadline, &mut totals);
+                    }
+                    if !dead && writable {
+                        dead = !flush(conn, &poller, token);
+                    }
+                }
+            }
+            if dead {
+                close_slot(&poller, &mut slots, i);
+            }
+        }
+    }
+
+    let live = slots.iter().filter(|s| s.is_some()).count();
+    for i in 0..slots.len() {
+        close_slot(&poller, &mut slots, i);
+    }
+
+    let secs = window.as_secs_f64();
+    totals.latencies_ns.sort_unstable();
+    let p99 = if totals.latencies_ns.is_empty() {
+        0
+    } else {
+        let idx = (totals.latencies_ns.len() - 1).min(totals.latencies_ns.len() * 99 / 100);
+        totals.latencies_ns[idx]
+    };
+    FrontEndRow {
+        conns,
+        live_conns: live,
+        committed: totals.committed,
+        overloaded: totals.overloaded,
+        tput_tps: totals.committed as f64 / secs.max(f64::EPSILON),
+        p99_ns: p99,
+    }
+}
+
+/// Append one encoded `Translate` frame to the connection's outbox.
+fn enqueue_request(conn: &mut ClientConn, slot: usize) {
+    let id = conn.next_id;
+    conn.next_id += 1;
+    let number = (slot as u64 * 7 + id) % OBJECTS;
+    let request = Request {
+        id,
+        deadline_ms: DEADLINE_MS,
+        tier: DurabilityTier::Volatile,
+        deferred: false,
+        op: RequestOp::Translate { number },
+    };
+    let body = request.encode();
+    // write_frame needs a blocking sink; build the frame into the outbox
+    // instead so partial writes survive WouldBlock.
+    let _ = write_frame(&mut conn.outbox, &body);
+    conn.sent_at.insert(id, Instant::now());
+}
+
+/// Push outbox bytes until the socket would block; returns `false` when
+/// the connection died. Keeps the poller's write interest in sync.
+fn flush(conn: &mut ClientConn, poller: &Poller, token: u64) -> bool {
+    while !conn.outbox.is_empty() {
+        match conn.stream.write(&conn.outbox) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.outbox.drain(..n);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    let want_write = !conn.outbox.is_empty();
+    if want_write != conn.want_write {
+        let interest = if want_write {
+            Interest::BOTH
+        } else {
+            Interest::READ
+        };
+        if poller
+            .modify(conn.stream.as_raw_fd(), token, interest)
+            .is_err()
+        {
+            return false;
+        }
+        conn.want_write = want_write;
+    }
+    true
+}
+
+/// Read until WouldBlock, peel whole frames, account outcomes, and refill
+/// the pipeline window while the measurement deadline has not passed.
+/// Returns `false` when the connection died (EOF or error).
+fn pump_reads(
+    conn: &mut ClientConn,
+    slot: usize,
+    deadline: Instant,
+    totals: &mut DriveTotals,
+) -> bool {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return false,
+            Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    let mut cursor = 0usize;
+    while conn.rbuf.len() - cursor >= 4 {
+        let len = u32::from_le_bytes(conn.rbuf[cursor..cursor + 4].try_into().unwrap()) as usize;
+        if conn.rbuf.len() - cursor - 4 < len {
+            break;
+        }
+        let frame = Bytes::copy_from_slice(&conn.rbuf[cursor + 4..cursor + 4 + len]);
+        cursor += 4 + len;
+        let Ok(response) = Response::decode(frame) else {
+            return false;
+        };
+        let now = Instant::now();
+        if let Some(sent) = conn.sent_at.remove(&response.id) {
+            totals
+                .latencies_ns
+                .push(now.saturating_duration_since(sent).as_nanos() as u64);
+        }
+        match response.outcome {
+            Outcome::Ok(_) => totals.committed += 1,
+            Outcome::Overloaded => totals.overloaded += 1,
+            _ => totals.other += 1,
+        }
+        if now < deadline {
+            enqueue_request(conn, slot);
+        }
+    }
+    conn.rbuf.drain(..cursor);
+    // New requests go out on the next writable/flush; try immediately so a
+    // never-blocking socket keeps its pipeline full without waiting for a
+    // write event (interest is fixed up by the caller's flush).
+    while !conn.outbox.is_empty() {
+        match conn.stream.write(&conn.outbox) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.outbox.drain(..n);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Deregister and drop one connection slot (idempotent).
+fn close_slot(poller: &Poller, slots: &mut [Option<ClientConn>], i: usize) {
+    if let Some(conn) = slots[i].take() {
+        let _ = poller.deregister(conn.stream.as_raw_fd());
+    }
+}
+
+/// Sanity helper for tests: one blocking request over a fresh socket.
+#[cfg(test)]
+fn blocking_roundtrip(addr: SocketAddr) -> Outcome {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = Request::new(1, DEADLINE_MS, RequestOp::Translate { number: 1 });
+    write_frame(&mut stream, &request.encode()).expect("write");
+    let frame = read_frame(&mut stream).expect("read");
+    Response::decode(frame).expect("decode").outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_rows_and_json() {
+        let row = run_series(FrontEnd::Event, 8, Duration::from_millis(120));
+        assert_eq!(row.conns, 8);
+        assert!(row.live_conns > 0, "all connections died");
+        assert!(row.committed > 0, "no commits observed");
+        let report = FrontEndReport {
+            points: vec![FrontEndPoint {
+                conns: 8,
+                event: row.clone(),
+                threaded: row,
+            }],
+            event_threads: 2,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"SATURATION\""));
+        assert!(json.contains("\"speedup\""));
+        assert!((report.speedup() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn both_front_ends_answer_a_blocking_probe() {
+        for fe in [FrontEnd::Event, FrontEnd::Threaded] {
+            let db = Arc::new(Rodain::builder().workers(2).build().unwrap());
+            let schema = NumberTranslationDb::new(64);
+            schema.populate(&db.store());
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let server = Server::new(db, schema);
+            let handle = match fe {
+                FrontEnd::Event => server.start(listener),
+                FrontEnd::Threaded => server.start_threaded(listener),
+            }
+            .unwrap();
+            match blocking_roundtrip(handle.addr()) {
+                Outcome::Ok(_) => {}
+                other => panic!("{} gave {other:?}", fe.label()),
+            }
+            handle.shutdown();
+        }
+    }
+}

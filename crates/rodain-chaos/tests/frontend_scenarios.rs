@@ -1,0 +1,90 @@
+//! Front-end chaos: a slow client — one that pipelines requests but never
+//! reads its responses — must not stall the event loop or other
+//! connections' commits. The server's answer is per-connection
+//! backpressure: once the stalled connection's reply queue fills, its read
+//! interest is withdrawn (TCP flow control stalls the sender) while every
+//! other connection keeps committing.
+
+use rodain_db::Rodain;
+use rodain_server::protocol::write_frame;
+use rodain_server::{Client, FrontEndConfig, Outcome, Request, RequestOp, Server};
+use rodain_workload::NumberTranslationDb;
+use std::io::{ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn stalled_reader_does_not_stall_other_connections() {
+    let db = Arc::new(Rodain::builder().workers(2).build().unwrap());
+    let schema = NumberTranslationDb::new(1_000);
+    schema.populate(&db.store());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let config = FrontEndConfig {
+        workers: 2,
+        max_inflight_per_conn: 4,
+        reply_queue_cap: 4,
+        ..FrontEndConfig::default()
+    };
+    let server = Server::new(db, schema).start_with(listener, config).unwrap();
+    let addr = server.addr();
+
+    // The stalled reader: blast pipelined requests and never read a byte.
+    // Non-blocking writes, so once the server parks the connection's read
+    // interest and the kernel buffers fill, the blast ends in WouldBlock
+    // instead of deadlocking the test itself.
+    let stall = TcpStream::connect(addr).unwrap();
+    stall.set_nonblocking(true).unwrap();
+    let mut frame = Vec::new();
+    write_frame(
+        &mut frame,
+        &Request::new(1, 10_000, RequestOp::Translate { number: 1 }).encode(),
+    )
+    .unwrap();
+    let mut wrote = 0u64;
+    let blast_deadline = Instant::now() + Duration::from_secs(30);
+    'blast: while Instant::now() < blast_deadline {
+        let mut off = 0;
+        while off < frame.len() {
+            match (&stall).write(&frame[off..]) {
+                Ok(0) => break 'blast,
+                Ok(n) => off += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break 'blast,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break 'blast,
+            }
+        }
+        wrote += 1;
+    }
+    assert!(wrote > 0, "stalled client could not send anything");
+
+    // While that connection sits paused with its responses undelivered, a
+    // healthy connection's requests keep committing promptly.
+    let mut client = Client::connect(addr).unwrap();
+    let healthy_start = Instant::now();
+    for n in 0..100u64 {
+        match client.translate(n, 5_000).unwrap() {
+            Outcome::Ok(_) => {}
+            other => panic!("healthy request {n} gave {other:?}"),
+        }
+    }
+    assert!(
+        healthy_start.elapsed() < Duration::from_secs(10),
+        "healthy connection starved behind the stalled reader: {:?}",
+        healthy_start.elapsed()
+    );
+
+    let stats = server.stats();
+    assert!(
+        stats.backpressure_pauses >= 1,
+        "the stalled reader never tripped backpressure: {wrote} requests sent"
+    );
+
+    // The loop is still live after the stalled connection goes away.
+    drop(stall);
+    match client.translate(0, 5_000).unwrap() {
+        Outcome::Ok(_) => {}
+        other => panic!("post-drop request gave {other:?}"),
+    }
+    server.shutdown();
+}

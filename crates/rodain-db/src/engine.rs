@@ -39,9 +39,36 @@ const CHECKPOINT_POLL: Duration = Duration::from_millis(25);
 
 type BoxClosure = Box<dyn FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send>;
 
+/// Callback fired *after* a submission's outcome has been delivered to its
+/// [`CommitFuture`] (see [`Rodain::submit_hooked`]). Runs on whichever
+/// engine thread resolves the transaction — a worker for aborts and
+/// Volatile commits, the completer for deferred tiers — so it must be
+/// cheap and non-blocking (push a token, wake a poller).
+pub type CompletionHook = Arc<dyn Fn() + Send + Sync>;
+
+/// A commit future's resolution side: the reply channel plus the optional
+/// completion hook. Every resolution path goes through [`ReplySlot::send`]
+/// so the hook can never be missed; `try_send` (the channel holds exactly
+/// one outcome) makes an accidental double-resolve inert instead of a
+/// deadlock.
+#[derive(Clone)]
+struct ReplySlot {
+    tx: Sender<Result<TxnReceipt, TxnError>>,
+    hook: Option<CompletionHook>,
+}
+
+impl ReplySlot {
+    fn send(&self, outcome: Result<TxnReceipt, TxnError>) {
+        let _ = self.tx.try_send(outcome);
+        if let Some(hook) = &self.hook {
+            hook();
+        }
+    }
+}
+
 struct Job {
     closure: BoxClosure,
-    reply: Sender<Result<TxnReceipt, TxnError>>,
+    reply: ReplySlot,
     meta: TaskMeta,
     flags: Arc<TxnFlags>,
     /// Durability gate the commit future waits for (from
@@ -118,7 +145,7 @@ struct PendingDurability {
     ticket: CommitTicket,
     /// `None` for a Volatile-tier commit that already replied at the
     /// worker — the completer then only babysits the ticket.
-    reply: Option<Sender<Result<TxnReceipt, TxnError>>>,
+    reply: Option<ReplySlot>,
     value: Option<Value>,
     csn: Csn,
     ser_ts: Ts,
@@ -687,7 +714,32 @@ impl Rodain {
     where
         F: FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send + 'static,
     {
-        let (reply, rx) = bounded(1);
+        self.submit_inner(opts, Box::new(closure), None)
+    }
+
+    /// [`Rodain::submit`] with a [`CompletionHook`] that fires once the
+    /// returned future resolves (the outcome is already in the future when
+    /// the hook runs). This is how the event-driven server front-end
+    /// multiplexes thousands of in-flight commits onto one poller thread
+    /// without selecting over thousands of channels: each completion
+    /// pushes its token and wakes the event loop, O(1) per commit. The
+    /// hook fires on *every* resolution path — abort, admission denial,
+    /// eviction, deadline miss, shutdown, and durable commit alike.
+    pub fn submit_hooked<F>(&self, opts: TxnOptions, closure: F, hook: CompletionHook) -> CommitFuture
+    where
+        F: FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send + 'static,
+    {
+        self.submit_inner(opts, Box::new(closure), Some(hook))
+    }
+
+    fn submit_inner(
+        &self,
+        opts: TxnOptions,
+        closure: BoxClosure,
+        hook: Option<CompletionHook>,
+    ) -> CommitFuture {
+        let (tx, rx) = bounded(1);
+        let reply = ReplySlot { tx, hook };
         let rx = CommitFuture::new(rx);
         let engine = &self.engine;
         if engine.shutdown.load(Ordering::Acquire) {
@@ -743,7 +795,7 @@ impl Rodain {
         sched.jobs.insert(
             id,
             Job {
-                closure: Box::new(closure),
+                closure,
                 reply,
                 meta,
                 flags,
@@ -1512,6 +1564,75 @@ mod tests {
         assert!(a.wait().is_ok());
         assert!(b.wait().is_ok());
         assert_eq!(db.stats().aborted_admission, 1);
+    }
+
+    #[test]
+    fn completion_hook_fires_on_every_resolution_path() {
+        use std::sync::atomic::AtomicUsize;
+        let fired = Arc::new(AtomicUsize::new(0));
+        let hook: CompletionHook = {
+            let fired = Arc::clone(&fired);
+            Arc::new(move || {
+                fired.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+
+        // Commit path: the hook runs after the outcome is in the future,
+        // so a try_wait right after observing the hook must succeed.
+        let db = volatile_db(2);
+        db.load_initial(ObjectId(1), Value::Int(1));
+        let f = db.submit_hooked(
+            TxnOptions::non_real_time(),
+            |ctx| {
+                ctx.write(ObjectId(1), Value::Int(2))?;
+                Ok(Some(Value::Int(2)))
+            },
+            Arc::clone(&hook),
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while fired.load(Ordering::SeqCst) < 1 {
+            assert!(std::time::Instant::now() < deadline, "hook never fired");
+            std::thread::yield_now();
+        }
+        assert!(matches!(f.try_wait(), Some(Ok(_))));
+
+        // User-abort path.
+        let f = db.submit_hooked(
+            TxnOptions::non_real_time(),
+            |ctx| Err(ctx.abort("no")),
+            Arc::clone(&hook),
+        );
+        assert!(matches!(f.wait(), Err(TxnError::UserAbort(_))));
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+
+        // Admission-denial path: the rejection is sent before any worker
+        // ever touches the job, and the hook must still fire.
+        drop(db);
+        let db = Rodain::builder()
+            .workers(1)
+            .overload(OverloadConfig {
+                base_limit: 2,
+                min_limit: 1,
+                window: 1_000_000_000,
+                miss_tolerance: 1,
+            })
+            .build()
+            .unwrap();
+        db.load_initial(ObjectId(1), Value::Int(1));
+        let a = db.submit(TxnOptions::soft_ms(10_000), |_| {
+            std::thread::sleep(Duration::from_millis(50));
+            Ok(None)
+        });
+        let b = db.submit(TxnOptions::soft_ms(10_000), |_| {
+            std::thread::sleep(Duration::from_millis(50));
+            Ok(None)
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        let c = db.submit_hooked(TxnOptions::soft_ms(60_000), |_| Ok(None), Arc::clone(&hook));
+        assert_eq!(c.wait(), Err(TxnError::AdmissionDenied));
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
+        assert!(a.wait().is_ok());
+        assert!(b.wait().is_ok());
     }
 
     #[test]

@@ -86,7 +86,7 @@ mod replicate;
 mod stats;
 
 pub use ctx::TxnCtx;
-pub use engine::{CommitFuture, CommitHold, Rodain, RodainBuilder};
+pub use engine::{CommitFuture, CommitHold, CompletionHook, Rodain, RodainBuilder};
 pub use error::{TxnAbort, TxnError};
 pub use options::{CheckpointPolicy, DurabilityTier, MirrorLossPolicy, TxnOptions};
 pub use replicate::{ReplicationMode, ShipBatchConfig};

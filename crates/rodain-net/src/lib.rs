@@ -21,20 +21,33 @@
 //! maps, networked 2PC, migration) the [`PeerServer`] / [`PeerClient`]
 //! pair manages connections *outside* the engine: the application
 //! supplies a bytes-in/bytes-out handler and never touches a socket.
+//!
+//! The event-driven server front-end (`rodain-server`) is built on this
+//! crate's readiness [`Poller`] — level-triggered epoll on Linux with a
+//! `poll(2)` fallback on other unix systems, plus a cross-thread
+//! [`Waker`] — so one loop thread can own thousands of non-blocking
+//! client sockets (DESIGN.md §17).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the readiness poller's raw-syscall shim
+// (`poll::sys`) is the one place allowed to use FFI, under a scoped
+// `#[allow(unsafe_code)]` with per-call safety comments.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod inproc;
 mod lossy;
 mod peer;
+#[cfg(unix)]
+mod poll;
 mod tcp;
 
 pub use error::NetError;
 pub use inproc::InProcTransport;
 pub use lossy::{LinkControl, LossyLink};
 pub use peer::{PeerClient, PeerHandler, PeerServer};
+#[cfg(unix)]
+pub use poll::{raise_nofile_limit, Event, Events, Interest, Poller, Waker};
 pub use tcp::TcpTransport;
 
 /// Re-export of the frame buffer type used by [`Transport`], so adapters in

@@ -10,13 +10,20 @@
 //!   reads/writes, each tagged with a firm deadline, a
 //!   [`rodain_db::DurabilityTier`] and an optional *deferred* flag that
 //!   splits the answer into `CommitPending` + `CommitDurable` frames;
-//! * [`Server`] — a thread-per-connection TCP front-end that maps requests
-//!   onto [`rodain_db::Rodain`] transactions (requests on one connection may
-//!   be pipelined; responses carry the request id and may return out of
-//!   order); [`Server::sharded`] serves a hash-partitioned
-//!   [`rodain_shard::ShardedRodain`] cluster instead, routing each request
-//!   to the shard owning its object and answering `Stats`/`Metrics` with
-//!   cluster-wide merges;
+//! * [`Server`] — an event-driven TCP front-end (DESIGN.md §17): one loop
+//!   thread multiplexes every client socket through the
+//!   [`rodain_net::Poller`], a fixed worker pool (`min(cores, 16)` by
+//!   default, [`FrontEndConfig`]) executes decoded requests through the
+//!   engine's `submit()`/`CommitFuture` path, and responses are
+//!   correlated by request id so pipelined requests on one connection
+//!   complete out of order. Backpressure is end-to-end: per-connection
+//!   in-flight caps park a connection's read interest (TCP flow control
+//!   stalls the sender), and a global admission gate answers `Overloaded`
+//!   before decode work. [`Server::start_threaded`] keeps the
+//!   thread-per-connection baseline; [`Server::sharded`] serves a
+//!   hash-partitioned [`rodain_shard::ShardedRodain`] cluster instead,
+//!   routing each request to the shard owning its object and answering
+//!   `Stats`/`Metrics` with cluster-wide merges;
 //! * [`Client`] — a blocking client with id-correlated pipelining and
 //!   deferred-commit support ([`Client::submit_deferred`] /
 //!   [`Client::wait_durable`]).
@@ -40,6 +47,8 @@
 
 mod client;
 mod cluster;
+#[cfg(unix)]
+mod event;
 pub mod protocol;
 mod server;
 
@@ -48,4 +57,4 @@ pub use cluster::ClusterShards;
 pub use protocol::{
     MetricsFormat, Outcome, ProtocolError, Request, RequestOp, Response, PROTOCOL_VERSION,
 };
-pub use server::{Backend, Server, ServerHandle, ServerStats};
+pub use server::{Backend, FrontEndConfig, Server, ServerHandle, ServerStats};

@@ -1,14 +1,28 @@
 //! The TCP front-end.
+//!
+//! Two front-end architectures share this module's request plumbing:
+//!
+//! * the **event-driven** front-end (`event.rs`, DESIGN.md §17) — one
+//!   loop thread multiplexing every client socket through a
+//!   [`rodain_net::Poller`], a fixed worker pool executing decoded
+//!   requests, out-of-order id-correlated responses, and end-to-end
+//!   backpressure. This is what [`Server::start`] runs on unix.
+//! * the **thread-per-connection** front-end ([`Server::start_threaded`])
+//!   — one reader + one writer thread per connection. Kept as the
+//!   baseline for the SATURATION experiment and as the fallback on
+//!   platforms without the readiness poller.
 
 use crate::cluster::ClusterShards;
 use crate::protocol::{
     read_frame, write_frame, MetricsFormat, Outcome, Request, RequestOp, Response,
 };
+use bytes::BufMut;
 use crossbeam::channel::{unbounded, Receiver, Select, Sender};
 use rodain_db::{
-    CommitFuture, DurabilityTier, EngineStats, MetricsSnapshot, Rodain, TxnAbort, TxnCtx, TxnError,
-    TxnOptions, TxnReceipt,
+    CommitFuture, CompletionHook, DurabilityTier, EngineStats, MetricsSnapshot, Rodain, TxnAbort,
+    TxnCtx, TxnError, TxnOptions, TxnReceipt,
 };
+use rodain_obs::{Counter, Gauge, Histogram, Recorder};
 use rodain_shard::ShardedRodain;
 use rodain_store::{ObjectId, Value};
 use rodain_workload::NumberTranslationDb;
@@ -20,15 +34,18 @@ use std::time::Duration;
 
 /// Monotone request counters.
 #[derive(Default)]
-struct StatsInner {
-    connections: AtomicU64,
-    requests: AtomicU64,
-    ok: AtomicU64,
-    not_found: AtomicU64,
-    miss_deadline: AtomicU64,
-    overloaded: AtomicU64,
-    failed: AtomicU64,
-    redirected: AtomicU64,
+pub(crate) struct StatsInner {
+    pub(crate) connections: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) ok: AtomicU64,
+    pub(crate) not_found: AtomicU64,
+    pub(crate) miss_deadline: AtomicU64,
+    pub(crate) overloaded: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) redirected: AtomicU64,
+    pub(crate) accept_errors: AtomicU64,
+    pub(crate) replies_dropped: AtomicU64,
+    pub(crate) backpressure_pauses: AtomicU64,
 }
 
 /// Snapshot of the front-end's request counters.
@@ -44,12 +61,103 @@ pub struct ServerStats {
     pub not_found: u64,
     /// Requests that missed their deadline.
     pub miss_deadline: u64,
-    /// Requests rejected by the overload manager.
+    /// Requests rejected by the overload manager or the front-end's
+    /// global in-flight admission gate.
     pub overloaded: u64,
     /// Requests that failed for any other reason.
     pub failed: u64,
     /// Requests answered `WrongShard` (cluster nodes only).
     pub redirected: u64,
+    /// Transient `accept(2)` failures survived by backing off.
+    pub accept_errors: u64,
+    /// Responses that could not be delivered because the connection died
+    /// first (queued frames dropped at teardown, plus commits resolving
+    /// after their connection closed).
+    pub replies_dropped: u64,
+    /// Times a connection's read interest was withdrawn because it hit
+    /// its in-flight cap or its reply queue filled (event-driven mode).
+    pub backpressure_pauses: u64,
+}
+
+/// Tuning knobs for the event-driven front-end ([`Server::start_with`]).
+///
+/// The backpressure story is end-to-end: a connection that exceeds
+/// `max_inflight_per_conn` outstanding requests — or whose reply queue
+/// backs up past `reply_queue_cap` because the peer stops reading — is
+/// removed from the read interest set until it drains, which in turn
+/// fills the kernel receive buffer and stalls the sender via TCP flow
+/// control. Above `max_global_inflight` outstanding requests across all
+/// connections, new frames are answered [`Outcome::Overloaded`] before
+/// any decode work, complementing the engine's EDF admission control.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontEndConfig {
+    /// Worker threads executing decoded requests. `0` means
+    /// `min(available cores, 16)`.
+    pub workers: usize,
+    /// Per-connection cap on outstanding requests before the connection
+    /// is paused.
+    pub max_inflight_per_conn: usize,
+    /// Per-connection cap on undelivered response frames before the
+    /// connection is paused.
+    pub reply_queue_cap: usize,
+    /// Global cap on outstanding requests; above it new frames are
+    /// answered `Overloaded` without decoding.
+    pub max_global_inflight: usize,
+}
+
+impl Default for FrontEndConfig {
+    fn default() -> FrontEndConfig {
+        FrontEndConfig {
+            workers: 0,
+            max_inflight_per_conn: 128,
+            reply_queue_cap: 256,
+            max_global_inflight: 16 * 1024,
+        }
+    }
+}
+
+impl FrontEndConfig {
+    pub(crate) fn effective_workers(&self) -> usize {
+        if self.workers != 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .min(16)
+    }
+}
+
+/// The front-end's own instruments, registered on a server-owned
+/// [`Recorder`] and merged into every `Metrics` op response (rows in
+/// METRICS.md).
+pub(crate) struct FrontEndMetrics {
+    pub(crate) recorder: Recorder,
+    pub(crate) connections: Gauge,
+    pub(crate) inflight: Gauge,
+    pub(crate) tick: Histogram,
+    pub(crate) read_to_dispatch: Histogram,
+    pub(crate) backpressure_pauses: Counter,
+    pub(crate) replies_dropped: Counter,
+    pub(crate) accept_errors: Counter,
+    pub(crate) overload_rejects: Counter,
+}
+
+impl FrontEndMetrics {
+    pub(crate) fn new() -> FrontEndMetrics {
+        let recorder = Recorder::new();
+        FrontEndMetrics {
+            connections: recorder.gauge("server_connections"),
+            inflight: recorder.gauge("server_inflight_requests"),
+            tick: recorder.histogram("server_event_loop_tick_ns"),
+            read_to_dispatch: recorder.histogram("server_read_to_dispatch_ns"),
+            backpressure_pauses: recorder.counter("server_backpressure_pauses_total"),
+            replies_dropped: recorder.counter("server_replies_dropped_total"),
+            accept_errors: recorder.counter("server_accept_errors_total"),
+            overload_rejects: recorder.counter("server_overload_rejects_total"),
+            recorder,
+        }
+    }
 }
 
 /// What answers the front-end's transactions: one engine, or a
@@ -70,15 +178,30 @@ pub enum Backend {
 
 impl Backend {
     /// Submit a transaction anchored at `anchor` (the object the request
-    /// addresses; ignored by a single engine).
-    fn submit<F>(&self, anchor: ObjectId, opts: TxnOptions, closure: F) -> CommitFuture
+    /// addresses; ignored by a single engine). When `hook` is set it
+    /// fires after the outcome reaches the returned future — the
+    /// event-driven front-end's completion signal.
+    fn submit_hooked<F>(
+        &self,
+        anchor: ObjectId,
+        opts: TxnOptions,
+        closure: F,
+        hook: Option<CompletionHook>,
+    ) -> CommitFuture
     where
         F: FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send + 'static,
     {
-        match self {
-            Backend::Single(db) => db.submit(opts, closure),
-            Backend::Sharded(cluster) => cluster.submit_on(anchor, opts, closure),
-            Backend::Cluster(node) => node.local().submit_on(anchor, opts, closure),
+        match (self, hook) {
+            (Backend::Single(db), None) => db.submit(opts, closure),
+            (Backend::Single(db), Some(hook)) => db.submit_hooked(opts, closure, hook),
+            (Backend::Sharded(cluster), None) => cluster.submit_on(anchor, opts, closure),
+            (Backend::Sharded(cluster), Some(hook)) => {
+                cluster.submit_on_hooked(anchor, opts, closure, hook)
+            }
+            (Backend::Cluster(node), None) => node.local().submit_on(anchor, opts, closure),
+            (Backend::Cluster(node), Some(hook)) => {
+                node.local().submit_on_hooked(anchor, opts, closure, hook)
+            }
         }
     }
 
@@ -129,19 +252,24 @@ impl Backend {
 }
 
 /// The User Request Interpreter: accepts connections and maps requests onto
-/// engine transactions. Requests on one connection may be pipelined;
-/// responses are written in request order.
+/// engine transactions. Requests on one connection may be pipelined and
+/// execute out of order; responses are correlated by request id.
 pub struct Server {
-    backend: Backend,
-    schema: NumberTranslationDb,
+    pub(crate) backend: Backend,
+    pub(crate) schema: NumberTranslationDb,
+    pub(crate) metrics: Arc<FrontEndMetrics>,
 }
 
 /// Handle to a running server: address, stats, shutdown.
 pub struct ServerHandle {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    stats: Arc<StatsInner>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) stats: Arc<StatsInner>,
+    pub(crate) threads: Vec<std::thread::JoinHandle<()>>,
+    /// Wakes the event loop out of a blocked wait so it notices the
+    /// shutdown flag (event-driven mode only).
+    #[cfg(unix)]
+    pub(crate) waker: Option<Arc<rodain_net::Waker>>,
 }
 
 impl ServerHandle {
@@ -163,14 +291,26 @@ impl ServerHandle {
             overloaded: self.stats.overloaded.load(Ordering::Relaxed),
             failed: self.stats.failed.load(Ordering::Relaxed),
             redirected: self.stats.redirected.load(Ordering::Relaxed),
+            accept_errors: self.stats.accept_errors.load(Ordering::Relaxed),
+            replies_dropped: self.stats.replies_dropped.load(Ordering::Relaxed),
+            backpressure_pauses: self.stats.backpressure_pauses.load(Ordering::Relaxed),
         }
     }
 
-    /// Stop accepting connections and join the accept loop. Existing
-    /// connections drain naturally (clients see EOF on their next read).
+    /// Stop the front-end and join its threads. In threaded mode existing
+    /// connections drain naturally (clients see EOF on their next read);
+    /// in event-driven mode every connection is closed.
     pub fn shutdown(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
         self.shutdown.store(true, Ordering::Release);
-        if let Some(t) = self.accept_thread.take() {
+        #[cfg(unix)]
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -178,10 +318,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Release);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.finish();
     }
 }
 
@@ -193,6 +330,7 @@ impl Server {
         Server {
             backend: Backend::Single(db),
             schema,
+            metrics: Arc::new(FrontEndMetrics::new()),
         }
     }
 
@@ -204,6 +342,7 @@ impl Server {
         Server {
             backend: Backend::Sharded(cluster),
             schema,
+            metrics: Arc::new(FrontEndMetrics::new()),
         }
     }
 
@@ -216,36 +355,79 @@ impl Server {
         Server {
             backend: Backend::Cluster(node),
             schema,
+            metrics: Arc::new(FrontEndMetrics::new()),
         }
     }
 
-    /// Start serving on `listener` (a background accept loop + one thread
-    /// pair per connection).
+    /// Start serving on `listener`. On unix this is the event-driven
+    /// front-end with [`FrontEndConfig::default`] (DESIGN.md §17);
+    /// elsewhere it falls back to [`Server::start_threaded`].
     pub fn start(self, listener: TcpListener) -> std::io::Result<ServerHandle> {
+        self.start_with(listener, FrontEndConfig::default())
+    }
+
+    /// Start the event-driven front-end with explicit tuning knobs. Falls
+    /// back to the threaded front-end on platforms without the readiness
+    /// poller (the `config` is then ignored).
+    pub fn start_with(
+        self,
+        listener: TcpListener,
+        config: FrontEndConfig,
+    ) -> std::io::Result<ServerHandle> {
+        #[cfg(unix)]
+        {
+            crate::event::start(self, listener, config)
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = config;
+            self.start_threaded(listener)
+        }
+    }
+
+    /// Start the thread-per-connection front-end: a background accept
+    /// loop plus one reader + one writer thread per connection. This is
+    /// the SATURATION experiment's baseline; prefer [`Server::start`].
+    pub fn start_threaded(self, listener: TcpListener) -> std::io::Result<ServerHandle> {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsInner::default());
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_stats = Arc::clone(&stats);
+        let fe = Arc::clone(&self.metrics);
         let accept_thread = std::thread::Builder::new()
             .name("rodain-uri-accept".into())
             .spawn(move || {
+                let mut backoff = Duration::from_millis(1);
                 while !accept_shutdown.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            backoff = Duration::from_millis(1);
                             accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                            fe.connections.add(1);
                             let backend = self.backend.clone();
                             let schema = self.schema;
                             let stats = Arc::clone(&accept_stats);
+                            let fe = Arc::clone(&fe);
                             let _ = std::thread::Builder::new()
                                 .name("rodain-uri-conn".into())
-                                .spawn(move || serve_connection(stream, backend, schema, stats));
+                                .spawn(move || serve_connection(stream, backend, schema, stats, fe));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(5));
                         }
-                        Err(_) => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            // Transient accept failures (aborted
+                            // handshakes, fd exhaustion) must not kill the
+                            // listener; back off exponentially so a
+                            // persistent error cannot hot-loop either.
+                            accept_stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                            fe.accept_errors.inc();
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(Duration::from_secs(1));
+                        }
                     }
                 }
             })
@@ -254,7 +436,9 @@ impl Server {
             addr,
             shutdown,
             stats,
-            accept_thread: Some(accept_thread),
+            threads: vec![accept_thread],
+            #[cfg(unix)]
+            waker: None,
         })
     }
 }
@@ -278,18 +462,21 @@ fn serve_connection(
     backend: Backend,
     schema: NumberTranslationDb,
     stats: Arc<StatsInner>,
+    fe: Arc<FrontEndMetrics>,
 ) {
     let _ = stream.set_nodelay(true);
     let Ok(write_stream) = stream.try_clone() else {
+        fe.connections.add(-1);
         return;
     };
     // Writer: resolves replies in request order, keeping the read loop free
     // to accept pipelined requests.
     let (reply_tx, reply_rx) = unbounded::<ReplyJob>();
     let writer_stats = Arc::clone(&stats);
+    let writer_fe = Arc::clone(&fe);
     let writer = std::thread::Builder::new()
         .name("rodain-uri-writer".into())
-        .spawn(move || writer_loop(write_stream, reply_rx, writer_stats))
+        .spawn(move || writer_loop(write_stream, reply_rx, writer_stats, writer_fe))
         .expect("spawn writer");
 
     let mut reader = BufReader::new(stream);
@@ -301,15 +488,16 @@ fn serve_connection(
             break; // protocol violation: drop the connection
         };
         stats.requests.fetch_add(1, Ordering::Relaxed);
-        if handle_request(&backend, schema, request, &reply_tx).is_err() {
+        if handle_request(&backend, schema, &fe, request, &reply_tx).is_err() {
             break;
         }
     }
     drop(reply_tx);
     let _ = writer.join();
+    fe.connections.add(-1);
 }
 
-fn txn_options(deadline_ms: u32, tier: DurabilityTier) -> TxnOptions {
+pub(crate) fn txn_options(deadline_ms: u32, tier: DurabilityTier) -> TxnOptions {
     let base = if deadline_ms == 0 {
         TxnOptions::non_real_time()
     } else {
@@ -318,45 +506,96 @@ fn txn_options(deadline_ms: u32, tier: DurabilityTier) -> TxnOptions {
     base.with_durability(tier)
 }
 
-fn handle_request(
+/// Cluster placement check: an anchored request whose shard is not seated
+/// on this node never reaches an engine — the client's map is stale.
+pub(crate) fn shard_redirect(
+    backend: &Backend,
+    schema: NumberTranslationDb,
+    request: &Request,
+) -> Option<Outcome> {
+    let Backend::Cluster(node) = backend else {
+        return None;
+    };
+    let anchor = match &request.op {
+        RequestOp::Translate { number } | RequestOp::Provision { number, .. } => {
+            Some(schema.object_id(*number))
+        }
+        RequestOp::Get { oid } | RequestOp::Put { oid, .. } => Some(*oid),
+        _ => None,
+    };
+    anchor
+        .and_then(|a| node.route_check(a))
+        .map(|epoch| Outcome::WrongShard { epoch })
+}
+
+/// Ops served outside the transaction path, answered synchronously.
+/// `Metrics` merges the front-end's own recorder into the engine
+/// snapshot so connection/in-flight gauges and loop histograms ride the
+/// same scrape. Returns `None` for transactional ops.
+pub(crate) fn immediate_outcome(
+    backend: &Backend,
+    fe: &FrontEndMetrics,
+    op: &RequestOp,
+) -> Option<Outcome> {
+    match op {
+        RequestOp::Stats => {
+            let stats = backend.stats();
+            Some(Outcome::Ok(Value::Record(vec![
+                Value::Int(stats.committed as i64),
+                Value::Int(stats.aborted() as i64),
+                Value::Int(stats.restarts as i64),
+                Value::Int(stats.active as i64),
+            ])))
+        }
+        RequestOp::Metrics { format } => {
+            let mut snapshot = backend.metrics();
+            snapshot.merge(&fe.recorder.snapshot());
+            let rendered = match format {
+                MetricsFormat::Text => snapshot.render_text(),
+                MetricsFormat::Json => snapshot.render_json(),
+                MetricsFormat::Prometheus => snapshot.render_prometheus(),
+            };
+            Some(Outcome::Ok(Value::Text(rendered)))
+        }
+        RequestOp::Checkpoint => {
+            // An operator op, serialized against the background
+            // checkpointer. In threaded mode it runs on the connection's
+            // read thread; in event-driven mode it occupies one worker
+            // until the snapshot installs.
+            Some(match backend.force_checkpoint() {
+                Ok(path) => Outcome::Ok(Value::Text(path.display().to_string())),
+                Err(e) => Outcome::Failed(e.to_string()),
+            })
+        }
+        RequestOp::ClusterMap => Some(match backend {
+            Backend::Cluster(node) => Outcome::Ok(node.map().to_value()),
+            _ => Outcome::Failed("not a cluster node".into()),
+        }),
+        _ => None,
+    }
+}
+
+/// Submit a transactional request to the backend. The caller has already
+/// routed away immediate ops ([`immediate_outcome`]) and stale-shard
+/// anchors ([`shard_redirect`]).
+pub(crate) fn submit_request(
     backend: &Backend,
     schema: NumberTranslationDb,
     request: Request,
-    replies: &Sender<ReplyJob>,
-) -> Result<(), ()> {
-    let id = request.id;
-    let deferred = request.deferred;
+    hook: Option<CompletionHook>,
+) -> CommitFuture {
     let opts = txn_options(request.deadline_ms, request.tier);
-    // Cluster placement check: an anchored request whose shard is not
-    // seated here never reaches an engine — the client's map is stale.
-    if let Backend::Cluster(node) = backend {
-        let anchor = match &request.op {
-            RequestOp::Translate { number } | RequestOp::Provision { number, .. } => {
-                Some(schema.object_id(*number))
-            }
-            RequestOp::Get { oid } | RequestOp::Put { oid, .. } => Some(*oid),
-            _ => None,
-        };
-        if let Some(epoch) = anchor.and_then(|a| node.route_check(a)) {
-            return replies
-                .send(ReplyJob::Immediate(Response {
-                    id,
-                    outcome: Outcome::WrongShard { epoch },
-                }))
-                .map_err(|_| ());
-        }
-    }
-    let future = match request.op {
+    match request.op {
         RequestOp::Translate { number } => {
             let anchor = schema.object_id(number);
-            backend.submit(anchor, opts, move |ctx| {
+            backend.submit_hooked(anchor, opts, move |ctx| {
                 let record = ctx.read(anchor)?;
                 Ok(record.map(|r| r.as_record().map(|f| f[0].clone()).unwrap_or(Value::Null)))
-            })
+            }, hook)
         }
         RequestOp::Provision { number, address } => {
             let oid = schema.object_id(number);
-            backend.submit(oid, opts, move |ctx| {
+            backend.submit_hooked(oid, opts, move |ctx| {
                 let Some(record) = ctx.read(oid)? else {
                     return Ok(None);
                 };
@@ -373,64 +612,43 @@ fn handle_request(
                     ]),
                 )?;
                 Ok(Some(Value::Int(count + 1)))
-            })
+            }, hook)
         }
-        RequestOp::Get { oid } => backend.submit(oid, opts, move |ctx| ctx.read(oid)),
-        RequestOp::Put { oid, value } => backend.submit(oid, opts, move |ctx| {
-            ctx.write(oid, value.clone())?;
-            Ok(Some(Value::Null))
-        }),
-        RequestOp::Stats => {
-            let stats = backend.stats();
-            let payload = Value::Record(vec![
-                Value::Int(stats.committed as i64),
-                Value::Int(stats.aborted() as i64),
-                Value::Int(stats.restarts as i64),
-                Value::Int(stats.active as i64),
-            ]);
-            return replies
-                .send(ReplyJob::Immediate(Response {
-                    id,
-                    outcome: Outcome::Ok(payload),
-                }))
-                .map_err(|_| ());
-        }
-        RequestOp::Metrics { format } => {
-            let snapshot = backend.metrics();
-            let rendered = match format {
-                MetricsFormat::Text => snapshot.render_text(),
-                MetricsFormat::Json => snapshot.render_json(),
-                MetricsFormat::Prometheus => snapshot.render_prometheus(),
-            };
-            return replies
-                .send(ReplyJob::Immediate(Response {
-                    id,
-                    outcome: Outcome::Ok(Value::Text(rendered)),
-                }))
-                .map_err(|_| ());
-        }
-        RequestOp::Checkpoint => {
-            // Runs inline on the connection's read thread: an operator op,
-            // serialized against the background checkpointer. Pipelined
-            // requests behind it wait for the snapshot to install.
-            let outcome = match backend.force_checkpoint() {
-                Ok(path) => Outcome::Ok(Value::Text(path.display().to_string())),
-                Err(e) => Outcome::Failed(e.to_string()),
-            };
-            return replies
-                .send(ReplyJob::Immediate(Response { id, outcome }))
-                .map_err(|_| ());
-        }
-        RequestOp::ClusterMap => {
-            let outcome = match backend {
-                Backend::Cluster(node) => Outcome::Ok(node.map().to_value()),
-                _ => Outcome::Failed("not a cluster node".into()),
-            };
-            return replies
-                .send(ReplyJob::Immediate(Response { id, outcome }))
-                .map_err(|_| ());
-        }
-    };
+        RequestOp::Get { oid } => backend.submit_hooked(oid, opts, move |ctx| ctx.read(oid), hook),
+        RequestOp::Put { oid, value } => backend.submit_hooked(
+            oid,
+            opts,
+            move |ctx| {
+                ctx.write(oid, value.clone())?;
+                Ok(Some(Value::Null))
+            },
+            hook,
+        ),
+        // Immediate ops never reach here (see the callers).
+        _ => unreachable!("immediate op submitted as a transaction"),
+    }
+}
+
+fn handle_request(
+    backend: &Backend,
+    schema: NumberTranslationDb,
+    fe: &FrontEndMetrics,
+    request: Request,
+    replies: &Sender<ReplyJob>,
+) -> Result<(), ()> {
+    let id = request.id;
+    let deferred = request.deferred;
+    if let Some(outcome) = shard_redirect(backend, schema, &request) {
+        return replies
+            .send(ReplyJob::Immediate(Response { id, outcome }))
+            .map_err(|_| ());
+    }
+    if let Some(outcome) = immediate_outcome(backend, fe, &request.op) {
+        return replies
+            .send(ReplyJob::Immediate(Response { id, outcome }))
+            .map_err(|_| ());
+    }
+    let future = submit_request(backend, schema, request, None);
     replies
         .send(ReplyJob::Pending(PendingReply {
             id,
@@ -443,7 +661,7 @@ fn handle_request(
 /// Map a resolved transaction outcome onto the wire. A deferred request's
 /// final frame is `CommitDurable` (carrying the achieved tier and CSN);
 /// failures and `NotFound` use the same outcomes either way.
-fn wire_outcome(result: Result<TxnReceipt, TxnError>, deferred: bool) -> Outcome {
+pub(crate) fn wire_outcome(result: Result<TxnReceipt, TxnError>, deferred: bool) -> Outcome {
     match result {
         Ok(receipt) => match receipt.result {
             Some(value) if deferred => Outcome::CommitDurable {
@@ -460,12 +678,51 @@ fn wire_outcome(result: Result<TxnReceipt, TxnError>, deferred: bool) -> Outcome
     }
 }
 
+/// Bump the per-outcome counter for a response leaving the front-end.
+pub(crate) fn count_outcome(stats: &StatsInner, outcome: &Outcome) {
+    match outcome {
+        Outcome::Ok(_) | Outcome::CommitDurable { .. } => {
+            stats.ok.fetch_add(1, Ordering::Relaxed);
+        }
+        Outcome::CommitPending => {}
+        Outcome::NotFound => {
+            stats.not_found.fetch_add(1, Ordering::Relaxed);
+        }
+        Outcome::MissDeadline => {
+            stats.miss_deadline.fetch_add(1, Ordering::Relaxed);
+        }
+        Outcome::Overloaded => {
+            stats.overloaded.fetch_add(1, Ordering::Relaxed);
+        }
+        Outcome::Failed(_) => {
+            stats.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        Outcome::WrongShard { .. } => {
+            stats.redirected.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Length-prefix a response into one contiguous wire frame.
+pub(crate) fn frame_bytes(response: &Response) -> bytes::Bytes {
+    let body = response.encode();
+    let mut buf = bytes::BytesMut::with_capacity(4 + body.len());
+    buf.put_u32_le(body.len() as u32);
+    buf.put_slice(&body);
+    buf.freeze()
+}
+
 /// The connection's writer: multiplexes newly-submitted jobs and resolving
 /// commit futures with one `Select`, so a slow durability gate never blocks
 /// the frames behind it. Responses are correlated by request id, not by
 /// order; a deferred request gets `CommitPending` as soon as it is
 /// submitted and its durable frame whenever the tier gate resolves.
-fn writer_loop(stream: TcpStream, replies: Receiver<ReplyJob>, stats: Arc<StatsInner>) {
+fn writer_loop(
+    stream: TcpStream,
+    replies: Receiver<ReplyJob>,
+    stats: Arc<StatsInner>,
+    fe: Arc<FrontEndMetrics>,
+) {
     let mut out = BufWriter::new(stream);
     let mut pending: Vec<PendingReply> = Vec::new();
     let mut jobs_open = true;
@@ -516,27 +773,7 @@ fn writer_loop(stream: TcpStream, replies: Receiver<ReplyJob>, stats: Arc<StatsI
             }
         }
         for response in batch {
-            match &response.outcome {
-                Outcome::Ok(_) | Outcome::CommitDurable { .. } => {
-                    stats.ok.fetch_add(1, Ordering::Relaxed);
-                }
-                Outcome::CommitPending => {}
-                Outcome::NotFound => {
-                    stats.not_found.fetch_add(1, Ordering::Relaxed);
-                }
-                Outcome::MissDeadline => {
-                    stats.miss_deadline.fetch_add(1, Ordering::Relaxed);
-                }
-                Outcome::Overloaded => {
-                    stats.overloaded.fetch_add(1, Ordering::Relaxed);
-                }
-                Outcome::Failed(_) => {
-                    stats.failed.fetch_add(1, Ordering::Relaxed);
-                }
-                Outcome::WrongShard { .. } => {
-                    stats.redirected.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+            count_outcome(&stats, &response.outcome);
             if write_frame(&mut out, &response.encode()).is_err() {
                 break 'serve;
             }
@@ -546,4 +783,19 @@ fn writer_loop(stream: TcpStream, replies: Receiver<ReplyJob>, stats: Arc<StatsI
         }
     }
     let _ = out.flush();
+    // Teardown: either a clean drain (nothing left) or the peer died
+    // mid-stream. Whatever is still queued — resolved-but-unwritten
+    // futures, plus any jobs the reader submits until it notices the dead
+    // socket — can no longer be delivered: drain, drop, and account
+    // instead of silently leaking the responses.
+    let mut dropped = pending.len() as u64;
+    pending.clear();
+    for job in replies.iter() {
+        let _ = job;
+        dropped += 1;
+    }
+    if dropped > 0 {
+        stats.replies_dropped.fetch_add(dropped, Ordering::Relaxed);
+        fe.replies_dropped.add(dropped);
+    }
 }

@@ -5,8 +5,8 @@ use crate::twopc;
 use crate::twopc::{CrashPoint, CrossReceipt, RecoveryReport, ShardOp};
 use parking_lot::RwLock;
 use rodain_db::{
-    CommitFuture, EngineStats, MirrorLossPolicy, Rodain, RodainBuilder, TxnAbort, TxnCtx, TxnError,
-    TxnOptions, TxnReceipt,
+    CommitFuture, CompletionHook, EngineStats, MirrorLossPolicy, Rodain, RodainBuilder, TxnAbort,
+    TxnCtx, TxnError, TxnOptions, TxnReceipt,
 };
 use rodain_net::Transport;
 use rodain_obs::MetricsSnapshot;
@@ -245,6 +245,31 @@ impl ShardedRodain {
         match self.engine_for(anchor) {
             Some(engine) => engine.submit(opts, closure),
             None => CommitFuture::ready(Err(TxnError::Shutdown)),
+        }
+    }
+
+    /// [`ShardedRodain::submit_on`] with a [`CompletionHook`] fired when
+    /// the returned future resolves (see [`Rodain::submit_hooked`]). The
+    /// hook fires even when the anchor routes to a detached shard — the
+    /// ready error is in the future before the hook runs — so an
+    /// event-loop caller never leaks a pending entry.
+    pub fn submit_on_hooked<F>(
+        &self,
+        anchor: ObjectId,
+        opts: TxnOptions,
+        closure: F,
+        hook: CompletionHook,
+    ) -> CommitFuture
+    where
+        F: FnMut(&mut TxnCtx) -> Result<Option<Value>, TxnAbort> + Send + 'static,
+    {
+        match self.engine_for(anchor) {
+            Some(engine) => engine.submit_hooked(opts, closure, hook),
+            None => {
+                let future = CommitFuture::ready(Err(TxnError::Shutdown));
+                hook();
+                future
+            }
         }
     }
 

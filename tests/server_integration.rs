@@ -451,3 +451,169 @@ fn sharded_backend_serves_and_merges_metrics() {
     }
     server.shutdown();
 }
+
+/// Acceptance (DESIGN.md §17): responses on one connection are correlated
+/// by id, not by arrival order. A slow request — a `Checkpoint` snapshot
+/// of a 100 000-object store, which occupies one front-end worker for its
+/// full duration — is pipelined first, followed by 32 cheap reads served
+/// by the other worker: the fast answers must overtake the slow one on
+/// the wire.
+#[test]
+fn pipelined_responses_overtake_a_slow_request() {
+    use rodain::db::CheckpointPolicy;
+    use rodain::server::protocol::{read_frame, write_frame};
+    use rodain::server::{FrontEndConfig, Request, Response};
+    use std::io::Write;
+
+    let base = std::env::temp_dir().join(format!("rodain-ooo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let db = Arc::new(
+        Rodain::builder()
+            .workers(4)
+            .contingency_log(base.join("log"))
+            .checkpoints(base.join("snapshots"), CheckpointPolicy::default())
+            .build()
+            .unwrap(),
+    );
+    let schema = NumberTranslationDb::new(100_000);
+    schema.populate(&db.store());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let config = FrontEndConfig {
+        workers: 2,
+        ..FrontEndConfig::default()
+    };
+    let server = Server::new(db, schema).start_with(listener, config).unwrap();
+
+    // Raw socket so the observed order is the wire order.
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut batch = Vec::new();
+    let slow = Request::new(1, 0, RequestOp::Checkpoint);
+    write_frame(&mut batch, &slow.encode()).unwrap();
+    for id in 2..=33u64 {
+        let fast = Request::new(id, 10_000, RequestOp::Translate { number: id });
+        write_frame(&mut batch, &fast.encode()).unwrap();
+    }
+    stream.write_all(&batch).unwrap();
+
+    let mut order = Vec::new();
+    for _ in 0..33 {
+        let response = Response::decode(read_frame(&mut stream).unwrap()).unwrap();
+        assert!(
+            matches!(response.outcome, Outcome::Ok(_)),
+            "id {} gave {:?}",
+            response.id,
+            response.outcome
+        );
+        order.push(response.id);
+    }
+    let mut sorted = order.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (1..=33u64).collect::<Vec<_>>(), "{order:?}");
+    let slow_pos = order.iter().position(|&id| id == 1).unwrap();
+    assert!(
+        slow_pos >= 8,
+        "slow checkpoint response was overtaken by only {slow_pos} \
+         fast responses: {order:?}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Regression (DESIGN.md §17): when the per-connection caps pause reads,
+/// request bytes already buffered must survive the interest re-arm — a
+/// 50-request burst through caps of 2 must produce exactly one response
+/// per id, and the pause itself must be observable in the stats.
+#[test]
+fn backpressure_pause_preserves_buffered_requests() {
+    use rodain::server::protocol::{read_frame, write_frame};
+    use rodain::server::{FrontEndConfig, Request, Response};
+    use std::io::Write;
+
+    let db = Arc::new(Rodain::builder().workers(2).build().unwrap());
+    let schema = NumberTranslationDb::new(100);
+    schema.populate(&db.store());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let config = FrontEndConfig {
+        workers: 1,
+        max_inflight_per_conn: 2,
+        reply_queue_cap: 2,
+        ..FrontEndConfig::default()
+    };
+    let server = Server::new(db, schema).start_with(listener, config).unwrap();
+
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut batch = Vec::new();
+    for id in 1..=50u64 {
+        let request = Request::new(id, 10_000, RequestOp::Translate { number: id });
+        write_frame(&mut batch, &request.encode()).unwrap();
+    }
+    stream.write_all(&batch).unwrap();
+
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..50 {
+        let response = Response::decode(read_frame(&mut stream).unwrap()).unwrap();
+        assert!(
+            seen.insert(response.id),
+            "duplicate response for id {}",
+            response.id
+        );
+    }
+    assert!((1..=50u64).all(|id| seen.contains(&id)));
+
+    let stats = server.stats();
+    assert!(
+        stats.backpressure_pauses >= 1,
+        "caps of 2 against a 50-request burst never paused the connection"
+    );
+    server.shutdown();
+}
+
+/// The global admission gate answers `Overloaded` from the frame header
+/// alone: with a cap of one in-flight request, a pipelined burst gets a
+/// mix of `Ok` (admitted) and `Overloaded` (gated) — and every id is
+/// still answered exactly once.
+#[test]
+fn global_admission_gate_rejects_with_overloaded() {
+    use rodain::server::protocol::{read_frame, write_frame};
+    use rodain::server::{FrontEndConfig, Request, Response};
+    use std::io::Write;
+
+    let db = Arc::new(Rodain::builder().workers(2).build().unwrap());
+    let schema = NumberTranslationDb::new(100);
+    schema.populate(&db.store());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let config = FrontEndConfig {
+        workers: 1,
+        max_global_inflight: 1,
+        ..FrontEndConfig::default()
+    };
+    let server = Server::new(db, schema).start_with(listener, config).unwrap();
+
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut batch = Vec::new();
+    for id in 1..=20u64 {
+        let request = Request::new(id, 10_000, RequestOp::Translate { number: id });
+        write_frame(&mut batch, &request.encode()).unwrap();
+    }
+    stream.write_all(&batch).unwrap();
+
+    let mut ok = 0;
+    let mut overloaded = 0;
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..20 {
+        let response = Response::decode(read_frame(&mut stream).unwrap()).unwrap();
+        assert!(seen.insert(response.id), "duplicate id {}", response.id);
+        match response.outcome {
+            Outcome::Ok(_) => ok += 1,
+            Outcome::Overloaded => overloaded += 1,
+            other => panic!("id {} gave {other:?}", response.id),
+        }
+    }
+    assert!(ok >= 1, "nothing was admitted");
+    assert!(
+        overloaded >= 1,
+        "a burst of 20 against a global cap of 1 was never gated"
+    );
+    server.shutdown();
+}
